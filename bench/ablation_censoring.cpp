@@ -1,0 +1,89 @@
+// Ablation: right-censored training data (the paper's §5.3 concern made
+// end-to-end). A short monitoring window right-censors the availability
+// tail: occupancies still running when the monitor stops are recorded at
+// the window length. We compare, as the window shrinks:
+//   * the naive Weibull fit (treats censored values as failures),
+//   * the censoring-aware MLE (fit_weibull_censored),
+// in fitted-scale bias and in the downstream simulation metrics.
+//
+// Expected shape: the naive fit's scale collapses toward the window, making
+// it schedule like a pessimistic exponential (more checkpoints, more
+// bandwidth); the censored fit stays near the uncensored baseline.
+#include <cstdio>
+
+#include "common.hpp"
+#include "harvest/fit/censored.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+#include "harvest/trace/trace.hpp"
+#include "harvest/util/table.hpp"
+
+int main() {
+  using namespace harvest;
+  std::printf(
+      "=== Ablation: right-censored training windows (Weibull fits, C=250) "
+      "===\n\n");
+
+  const auto traces = bench::standard_traces(120, 120);
+  constexpr double kCost = 250.0;
+
+  util::TextTable table({"window", "fit", "mean scale ratio", "mean eff",
+                         "mean MB"});
+  const std::vector<double> windows = {1e18, 7200.0, 1800.0};
+  for (double window : windows) {
+    for (bool aware : {false, true}) {
+      if (window > 1e17 && aware) continue;  // no censoring to correct
+      double scale_ratio = 0.0;
+      double eff = 0.0;
+      double mb = 0.0;
+      int n = 0;
+      for (const auto& t : traces) {
+        if (t.size() < 26) continue;
+        const auto split = trace::split_train_test(t, 25);
+        dist::DistributionPtr model;
+        double fitted_scale = 0.0;
+        double baseline_scale = 0.0;
+        try {
+          const auto baseline = fit::fit_weibull_mle(split.train);
+          baseline_scale = baseline.scale();
+          if (window > 1e17) {
+            model = std::make_shared<dist::Weibull>(baseline);
+            fitted_scale = baseline.scale();
+          } else {
+            const auto cens =
+                fit::CensoredSample::censor_at(split.train, window);
+            const dist::Weibull w =
+                aware ? fit::fit_weibull_censored(cens)
+                      : fit::fit_weibull_mle(cens.values);
+            fitted_scale = w.scale();
+            model = std::make_shared<dist::Weibull>(w);
+          }
+        } catch (const std::exception&) {
+          continue;
+        }
+        core::IntervalCosts costs;
+        costs.checkpoint = kCost;
+        costs.recovery = kCost;
+        auto schedule = core::Planner::make_schedule(model, costs);
+        const auto sim = sim::simulate_job_on_trace(split.test, schedule);
+        scale_ratio += fitted_scale / baseline_scale;
+        eff += sim.efficiency();
+        mb += sim.network_mb;
+        ++n;
+      }
+      const std::string label =
+          window > 1e17 ? "none" : util::format_fixed(window, 0) + " s";
+      table.add_row({label, aware ? "censoring-aware" : "naive",
+                     util::format_fixed(scale_ratio / n, 2),
+                     util::format_fixed(eff / n, 3),
+                     util::format_fixed(mb / n, 0)});
+      std::fprintf(stderr, "  [censoring] window=%s aware=%d done (n=%d)\n",
+                   label.c_str(), aware ? 1 : 0, n);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: naive fits under short windows shrink the fitted scale\n"
+      "(ratio << 1) and burn extra bandwidth; the censoring-aware MLE keeps\n"
+      "both near the uncensored baseline.\n");
+  return 0;
+}

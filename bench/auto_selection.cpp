@@ -1,0 +1,54 @@
+// Extension: per-machine automatic model selection. The paper fixes one
+// family for the whole pool; the library can instead pick, per machine, the
+// smallest-AIC family from its 25 training observations
+// (ModelFamily::kAutoAic). Does adaptive selection beat every fixed family?
+//
+// Expected shape: on a pool that genuinely mixes Weibull-like and
+// bimodal machines, auto-AIC should match or beat the best fixed family on
+// BOTH metrics at once — fixed families win one metric on "their" machines
+// and lose on the others'.
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+#include "harvest/util/table.hpp"
+
+int main() {
+  using namespace harvest;
+  std::printf(
+      "=== Extension: per-machine AIC model selection vs fixed families "
+      "===\n\n");
+
+  const auto traces = bench::standard_traces(140, 110);
+  util::TextTable table({"C", "family", "mean eff", "mean MB"});
+  for (double cost : {100.0, 500.0}) {
+    sim::ExperimentConfig cfg;
+    cfg.checkpoint_cost_s = cost;
+    std::vector<core::ModelFamily> menu(bench::families().begin(),
+                                        bench::families().end());
+    menu.push_back(core::ModelFamily::kAutoAic);
+    for (core::ModelFamily f : menu) {
+      const auto res = sim::run_trace_experiment(traces, f, cfg);
+      table.add_row({util::format_fixed(cost, 0), core::to_string(f),
+                     util::format_fixed(stats::mean_of(res.efficiencies()), 3),
+                     util::format_fixed(stats::mean_of(res.network_mbs()), 0)});
+      if (f == core::ModelFamily::kAutoAic) {
+        std::map<std::string, int> chosen;
+        for (const auto& m : res.machines) ++chosen[m.fitted_family];
+        std::printf("auto-aic choices at C=%.0f:", cost);
+        for (const auto& [name, n] : chosen) {
+          std::printf("  %s=%d", name.c_str(), n);
+        }
+        std::printf("\n");
+      }
+      std::fprintf(stderr, "  [auto] C=%.0f %s done\n", cost,
+                   core::to_string(f).c_str());
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "Reading: AIC mostly recognizes each machine's true family from 25\n"
+      "observations; the mixed pool rewards picking per machine instead of\n"
+      "fixing one family pool-wide.\n");
+  return 0;
+}

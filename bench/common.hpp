@@ -1,0 +1,85 @@
+// Shared harness for the paper-reproduction benches: the standard synthetic
+// Condor pool (DESIGN.md §2 substitution for the Wisconsin traces), the
+// paper's checkpoint-cost grid, per-row experiment execution for all four
+// model families, and the table/significance formatting used by Tables 1
+// and 3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harvest/core/planner.hpp"
+#include "harvest/net/bandwidth_model.hpp"
+#include "harvest/sim/experiment.hpp"
+#include "harvest/stats/summary.hpp"
+#include "harvest/trace/trace.hpp"
+
+namespace harvest::bench {
+
+/// The checkpoint/recovery costs of the paper's Figures 3–4 / Tables 1 & 3.
+[[nodiscard]] const std::vector<double>& paper_costs();
+
+/// The standard synthetic pool (fixed seed ⇒ fully reproducible output).
+/// `machines`/`durations` default to a size that keeps every bench binary
+/// in the tens of seconds on one core while preserving the paper's shape.
+[[nodiscard]] std::vector<trace::AvailabilityTrace> standard_traces(
+    std::size_t machines = 160, std::size_t durations = 120,
+    std::uint64_t seed = 20050917);
+
+/// Paper column order and significance letters: e, w, 2, 3.
+inline constexpr std::array<char, 4> kFamilyLetters = {'e', 'w', '2', '3'};
+[[nodiscard]] const std::array<core::ModelFamily, 4>& families();
+[[nodiscard]] std::string family_header(std::size_t i);
+
+/// One table row: the four families' per-machine metric vectors, aligned by
+/// machine (same index ⇒ same machine across families).
+struct RowMetrics {
+  double cost = 0.0;
+  std::array<std::vector<double>, 4> efficiency;
+  std::array<std::vector<double>, 4> network_mb;
+};
+
+/// Run all four families at one checkpoint cost over the traces. Machines
+/// any family skipped are dropped from every family so columns stay paired.
+[[nodiscard]] RowMetrics run_row(
+    const std::vector<trace::AvailabilityTrace>& traces, double cost,
+    const sim::ExperimentConfig& base_config);
+
+/// Letters of the families whose metric mean is statistically significantly
+/// SMALLER than family `self`'s (two-sided paired t at alpha) — the paper's
+/// cell annotation convention for both Table 1 and Table 3.
+[[nodiscard]] std::string beaten_letters(
+    const std::array<std::vector<double>, 4>& metric, std::size_t self,
+    double alpha = 0.05);
+
+/// "0.754 +- 0.013 (e,2)" cell for one family/metric.
+[[nodiscard]] std::string ci_cell(const std::vector<double>& values,
+                                  int precision, const std::string& letters);
+
+/// Emit a gnuplot-ready data block (one line per cost, one column per
+/// family mean) under a "# FIGURE n" banner.
+void print_figure_series(const std::string& banner,
+                         const std::vector<RowMetrics>& rows,
+                         bool efficiency_metric);
+
+/// The live-experiment bench body shared by Tables 4 and 5: build the
+/// emulated pool, collect monitor histories, run the instrumented test
+/// process for each family over `link`, and print the paper's five-column
+/// table. Returns the per-family results (used by the validation bench).
+struct LiveTableOutcome {
+  std::vector<std::string> family_names;
+  std::vector<double> avg_efficiency;
+  std::vector<double> total_time_s;
+  std::vector<double> megabytes;
+  std::vector<double> mb_per_hour;
+  std::vector<std::size_t> samples;
+  std::vector<double> mean_transfer_s;
+};
+[[nodiscard]] LiveTableOutcome run_live_table(const std::string& title,
+                                              const net::BandwidthModel& link,
+                                              std::size_t placements,
+                                              std::uint64_t seed);
+
+}  // namespace harvest::bench

@@ -1,0 +1,93 @@
+// Extension bench: age-aware matchmaking. The paper conditions the
+// checkpoint schedule on a machine's uptime; the same future-lifetime logic
+// can steer PLACEMENT: prefer the idle machine with the largest expected
+// residual availability. This bench compares the three policies on the
+// standard pool:
+//   random          — uptime-blind (baseline; what most matchmakers do),
+//   longest-uptime  — pick the machine that has been idle-available longest,
+//   model-ranked    — max E[residual | uptime] under each machine's fitted
+//                     model (25-observation training, like the paper).
+//
+// Expected shape: under decreasing hazards both age-aware policies deliver
+// substantially longer availability periods than random, and the delivered
+// periods translate into higher job efficiency and less recovery traffic.
+#include <cstdio>
+
+#include "common.hpp"
+#include "harvest/condor/matchmaker.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/sim/job_sim.hpp"
+#include "harvest/trace/synthetic.hpp"
+#include "harvest/util/table.hpp"
+
+int main() {
+  using namespace harvest;
+  std::printf(
+      "=== Extension: age-aware matchmaking via future-lifetime models "
+      "===\n\n");
+
+  // Machines + 25-point fitted models from monitor histories.
+  trace::PoolSpec spec;
+  spec.machine_count = 64;
+  spec.durations_per_machine = 25;
+  spec.seed = 20050917;
+  std::vector<condor::TimelinePool::MachineSpec> specs;
+  std::vector<dist::DistributionPtr> fitted;
+  for (auto& m : trace::generate_pool(spec)) {
+    condor::TimelinePool::MachineSpec s;
+    s.id = m.trace.machine_id;
+    s.availability_law = m.ground_truth;
+    specs.push_back(std::move(s));
+    dist::DistributionPtr model;
+    try {
+      model = core::Planner::fit_model(m.trace.durations,
+                                       core::ModelFamily::kWeibull);
+    } catch (const std::exception&) {
+      model = m.ground_truth;  // degenerate history: fall back
+    }
+    fitted.push_back(std::move(model));
+  }
+
+  constexpr std::size_t kPlacements = 400;
+  constexpr double kSpacing = 1800.0;  // a placement every 30 min
+  constexpr double kCost = 110.0;
+
+  util::TextTable table({"policy", "mean avail (s)", "median avail (s)",
+                         "job efficiency", "recoveries/h"});
+  for (condor::MatchPolicy policy :
+       {condor::MatchPolicy::kRandom, condor::MatchPolicy::kLongestUptime,
+        condor::MatchPolicy::kModelRanked}) {
+    condor::TimelinePool pool(specs, 99);  // same timelines per policy
+    condor::Matchmaker mm(pool, fitted, policy, 7);
+    std::vector<double> delivered;
+    delivered.reserve(kPlacements);
+    for (std::size_t i = 0; i < kPlacements; ++i) {
+      const auto match = mm.place(3600.0 + kSpacing * i);
+      if (match) delivered.push_back(match->remaining_s);
+    }
+    // Run the paper's job cycle over the delivered periods.
+    core::IntervalCosts costs;
+    costs.checkpoint = kCost;
+    costs.recovery = kCost;
+    auto model = std::make_shared<dist::Weibull>(0.43, 3409.0);
+    auto schedule = core::Planner::make_schedule(model, costs);
+    const auto sim = sim::simulate_job_on_trace(delivered, schedule);
+    table.add_row(
+        {condor::to_string(policy),
+         util::format_fixed(stats::mean_of(delivered), 0),
+         util::format_fixed(stats::median_of(delivered), 0),
+         util::format_fixed(sim.efficiency(), 3),
+         util::format_fixed(
+             (sim.recoveries_completed + sim.recoveries_interrupted) /
+                 (sim.total_time / 3600.0),
+             2)});
+    std::fprintf(stderr, "  [matchmaking] %s done (%zu placements)\n",
+                 condor::to_string(policy).c_str(), delivered.size());
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: conditioning placement on uptime (not just the schedule)\n"
+      "lengthens delivered availability and cuts recovery traffic — the\n"
+      "paper's future-lifetime machinery applied one layer up the stack.\n");
+  return 0;
+}

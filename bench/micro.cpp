@@ -1,0 +1,160 @@
+// google-benchmark microbenchmarks for the hot paths: distribution fitting
+// (what runs when a job is placed), Γ evaluation and T_opt search (the
+// planner's inner loop), schedule extension, and the trace simulator.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "harvest/core/planner.hpp"
+#include "harvest/dist/serialize.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/fit/censored.hpp"
+#include "harvest/fit/em_hyperexp.hpp"
+#include "harvest/fit/mle_exponential.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/sim/job_sim.hpp"
+#include "harvest/sim/parallel_sim.hpp"
+#include "harvest/stats/kaplan_meier.hpp"
+
+namespace {
+
+using namespace harvest;
+
+std::vector<double> weibull_data(std::size_t n) {
+  numerics::Rng rng(1);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.weibull(0.43, 3409.0);
+  return xs;
+}
+
+void BM_FitExponential(benchmark::State& state) {
+  const auto xs = weibull_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::fit_exponential_mle(xs));
+  }
+}
+BENCHMARK(BM_FitExponential)->Arg(25)->Arg(1000);
+
+void BM_FitWeibull(benchmark::State& state) {
+  const auto xs = weibull_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::fit_weibull_mle(xs));
+  }
+}
+BENCHMARK(BM_FitWeibull)->Arg(25)->Arg(1000);
+
+void BM_FitHyperexpEm(benchmark::State& state) {
+  const auto xs = weibull_data(25);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::fit_hyperexp_em(xs, k));
+  }
+}
+BENCHMARK(BM_FitHyperexpEm)->Arg(2)->Arg(3);
+
+core::MarkovModel paper_model(double cost) {
+  core::IntervalCosts costs;
+  costs.checkpoint = cost;
+  costs.recovery = cost;
+  return core::MarkovModel(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                           costs);
+}
+
+void BM_GammaEvaluation(benchmark::State& state) {
+  const auto m = paper_model(100.0);
+  double t = 500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.gamma(t, 1000.0));
+    t += 1e-9;  // defeat value caching
+  }
+}
+BENCHMARK(BM_GammaEvaluation);
+
+void BM_OptimizeTopt(benchmark::State& state) {
+  const core::CheckpointOptimizer opt(paper_model(100.0));
+  double age = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.optimize(age));
+    age += 1.0;
+  }
+}
+BENCHMARK(BM_OptimizeTopt);
+
+void BM_ScheduleFirst20Entries(benchmark::State& state) {
+  for (auto _ : state) {
+    core::CheckpointSchedule s(paper_model(100.0));
+    benchmark::DoNotOptimize(s.entry(19));
+  }
+}
+BENCHMARK(BM_ScheduleFirst20Entries);
+
+void BM_SimulateTrace(benchmark::State& state) {
+  const auto periods = weibull_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::CheckpointSchedule s(paper_model(100.0));
+    benchmark::DoNotOptimize(sim::simulate_job_on_trace(periods, s));
+  }
+}
+BENCHMARK(BM_SimulateTrace)->Arg(100)->Arg(1000);
+
+void BM_ConditionalSurvival(benchmark::State& state) {
+  const dist::Weibull w(0.43, 3409.0);
+  double age = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.conditional_survival(age, 500.0));
+    age += 0.1;
+  }
+}
+BENCHMARK(BM_ConditionalSurvival);
+
+void BM_PartialExpectation(benchmark::State& state) {
+  const dist::Weibull w(0.43, 3409.0);
+  double x = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.partial_expectation(x));
+    x += 0.1;
+  }
+}
+BENCHMARK(BM_PartialExpectation);
+
+void BM_FitWeibullCensored(benchmark::State& state) {
+  auto xs = weibull_data(1000);
+  const auto sample = fit::CensoredSample::censor_at(xs, 3000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::fit_weibull_censored(sample));
+  }
+}
+BENCHMARK(BM_FitWeibullCensored);
+
+void BM_KaplanMeierBuild(benchmark::State& state) {
+  const auto xs = weibull_data(static_cast<std::size_t>(state.range(0)));
+  const std::vector<bool> obs(xs.size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::KaplanMeier(xs, obs));
+  }
+}
+BENCHMARK(BM_KaplanMeierBuild)->Arg(1000)->Arg(10000);
+
+void BM_ParallelSim8Jobs(benchmark::State& state) {
+  const std::vector<dist::DistributionPtr> laws = {
+      std::make_shared<dist::Weibull>(0.5, 3000.0)};
+  sim::ParallelSimConfig cfg;
+  cfg.job_count = 8;
+  cfg.horizon_s = 6.0 * 3600.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_parallel_simulation(laws, cfg));
+  }
+}
+BENCHMARK(BM_ParallelSim8Jobs);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const dist::Weibull w(0.43, 3409.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::deserialize(dist::serialize(w)));
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Reproduces Table 2: application efficiency when machine availability
+// really is Weibull(shape = 0.43, scale = 3409) — a 5000-value synthetic
+// trace — comparing schedules computed from each model family fitted on
+// (a) all 5000 values and (b) only the first 25, at C = 50 and C = 500.
+//
+// Expected shape: the Weibull fit is optimal by construction and every
+// other family (and the 25-point fits) loses only slightly — the paper
+// reads this as "an exponential model … can be used to develop a
+// checkpoint schedule that is close to optimal" in *time* (not network).
+#include <cstdio>
+#include <span>
+
+#include "common.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/sim/job_sim.hpp"
+#include "harvest/trace/synthetic.hpp"
+#include "harvest/util/table.hpp"
+
+namespace {
+
+double run_case(const std::vector<double>& durations,
+                std::span<const double> training,
+                harvest::core::ModelFamily family, double cost) {
+  using namespace harvest;
+  auto model = core::Planner::fit_model(training, family);
+  core::IntervalCosts costs;
+  costs.checkpoint = cost;
+  costs.recovery = cost;
+  auto schedule = core::Planner::make_schedule(model, costs);
+  return sim::simulate_job_on_trace(durations, schedule).efficiency();
+}
+
+}  // namespace
+
+int main() {
+  using namespace harvest;
+  std::printf(
+      "=== Table 2: efficiency on a known-Weibull synthetic trace ===\n"
+      "Ground truth Weibull(shape=0.43, scale=3409), 5000 draws; the\n"
+      "Weibull row is optimal, others are approximations.\n\n");
+
+  const dist::Weibull truth(0.43, 3409.0);
+  const auto trace = trace::sample_trace(truth, 5000, /*seed=*/424242,
+                                         "table2-synthetic");
+  const std::span<const double> all(trace.durations);
+  const std::span<const double> first25 = all.subspan(0, 25);
+
+  util::TextTable table({"Distribution", "C=50 All", "C=50 First25",
+                         "C=500 All", "C=500 First25"});
+  const std::array<std::string, 4> names = {"Exponential", "Weibull",
+                                            "2-Phase Hyper", "3-Phase Hyper"};
+  for (std::size_t f = 0; f < 4; ++f) {
+    const auto family = bench::families()[f];
+    std::vector<std::string> cells = {names[f]};
+    for (double cost : {50.0, 500.0}) {
+      cells.push_back(util::format_fixed(
+          run_case(trace.durations, all, family, cost), 3));
+      cells.push_back(util::format_fixed(
+          run_case(trace.durations, first25, family, cost), 3));
+    }
+    // Reorder to match the header (C=50 All, C=50 First25, C=500 All, ...).
+    table.add_row({cells[0], cells[1], cells[2], cells[3], cells[4]});
+    std::fprintf(stderr, "  [table2] %s done\n", names[f].c_str());
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper reference (Table 2): all entries within ~0.03 of the optimal\n"
+      "Weibull row at both costs; 25-point fits barely degrade accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Right-censoring demo: what a short monitoring window does to availability
+// fits, and how to correct it.
+//
+// A monitor that only ran for `window` seconds records every longer
+// occupancy as "still running at window end" — a right-censored value. This
+// example fits a Weibull three ways (full data / naive on censored data /
+// censoring-aware) and compares against the nonparametric Kaplan–Meier
+// curve.
+//
+// Usage: ./censored_fitting [window_seconds]   (default 3000)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/fit/censored.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/stats/kaplan_meier.hpp"
+#include "harvest/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  const double window = argc > 1 ? std::atof(argv[1]) : 3000.0;
+  if (window <= 0.0) {
+    std::fprintf(stderr, "window must be > 0\n");
+    return 1;
+  }
+
+  // Ground truth: the paper's exemplar machine.
+  const dist::Weibull truth(0.43, 3409.0);
+  numerics::Rng rng(2024);
+  std::vector<double> lifetimes(4000);
+  for (auto& x : lifetimes) x = truth.sample(rng);
+
+  const auto censored = fit::CensoredSample::censor_at(lifetimes, window);
+  std::printf("ground truth: %s\n", truth.describe().c_str());
+  std::printf("window %.0f s censors %zu of %zu observations\n\n", window,
+              censored.size() - censored.event_count(), censored.size());
+
+  const auto full = fit::fit_weibull_mle(lifetimes);
+  const auto naive = fit::fit_weibull_mle(censored.values);
+  const auto aware = fit::fit_weibull_censored(censored);
+
+  util::TextTable table({"fit", "shape", "scale", "mean avail (s)"});
+  const auto add = [&](const char* name, const dist::Weibull& w) {
+    table.add_row({name, util::format_fixed(w.shape(), 3),
+                   util::format_fixed(w.scale(), 0),
+                   util::format_fixed(w.mean(), 0)});
+  };
+  add("full data", full);
+  add("naive on censored", naive);
+  add("censoring-aware", aware);
+  std::printf("%s\n", table.render().c_str());
+
+  // Nonparametric cross-check: survival at a few horizons.
+  stats::KaplanMeier km(censored.values, censored.observed);
+  std::printf("survival cross-check (KM is model-free):\n");
+  std::printf("%-10s %-8s %-8s %-8s %-8s\n", "t (s)", "truth", "KM",
+              "naive", "aware");
+  for (double t : {200.0, 800.0, 0.5 * window, 0.9 * window}) {
+    std::printf("%-10.0f %-8.3f %-8.3f %-8.3f %-8.3f\n", t,
+                truth.survival(t), km.survival(t), naive.survival(t),
+                aware.survival(t));
+  }
+  std::printf(
+      "\nThe naive fit underestimates survival (it thinks censored machines\n"
+      "died); the censoring-aware fit tracks the Kaplan-Meier curve.\n");
+  return 0;
+}

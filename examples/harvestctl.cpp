@@ -1,0 +1,240 @@
+// harvestctl — command-line front end to the library's full pipeline.
+//
+//   harvestctl generate <out.csv> [machines] [durations] [seed]
+//       Synthesize a Condor-like pool and write its monitor traces.
+//   harvestctl summarize <traces.csv>
+//       Pool-level availability statistics.
+//   harvestctl fit <traces.csv> <machine_id>
+//       Fit the full model menu to one machine and rank the fits.
+//   harvestctl plan <traces.csv> <machine_id> <family> <C> [R]
+//       Print the checkpoint schedule a placed job would follow.
+//   harvestctl simulate <traces.csv> <family> <C>
+//       Trace-driven simulation across the pool (efficiency + network).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harvest/core/makespan.hpp"
+#include "harvest/core/prediction.hpp"
+#include "harvest/fit/model_select.hpp"
+#include "harvest/sim/experiment.hpp"
+#include "harvest/stats/summary.hpp"
+#include "harvest/trace/io.hpp"
+#include "harvest/trace/statistics.hpp"
+#include "harvest/trace/synthetic.hpp"
+#include "harvest/util/table.hpp"
+
+namespace {
+
+using namespace harvest;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  harvestctl generate <out.csv> [machines] [durations] [seed]\n"
+      "  harvestctl summarize <traces.csv>\n"
+      "  harvestctl fit <traces.csv> <machine_id>\n"
+      "  harvestctl plan <traces.csv> <machine_id> <family> <C> [R]\n"
+      "  harvestctl simulate <traces.csv> <family> <C>\n"
+      "  harvestctl predict <traces.csv> <machine_id> <family> <C>\n"
+      "  harvestctl makespan <traces.csv> <machine_id> <family> <C> "
+      "<work_hours>\n"
+      "families: exponential weibull hyperexp2 hyperexp3 lognormal gamma "
+      "auto\n");
+  return 2;
+}
+
+const trace::AvailabilityTrace* find_machine(
+    const std::vector<trace::AvailabilityTrace>& traces,
+    const std::string& id) {
+  for (const auto& t : traces) {
+    if (t.machine_id == id) return &t;
+  }
+  return nullptr;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  trace::PoolSpec spec;
+  if (argc > 3) spec.machine_count = std::strtoul(argv[3], nullptr, 10);
+  if (argc > 4) {
+    spec.durations_per_machine = std::strtoul(argv[4], nullptr, 10);
+  }
+  if (argc > 5) spec.seed = std::strtoull(argv[5], nullptr, 10);
+  std::vector<trace::AvailabilityTrace> traces;
+  for (auto& m : trace::generate_pool(spec)) {
+    traces.push_back(std::move(m.trace));
+  }
+  trace::save_traces_csv(argv[2], traces);
+  std::printf("wrote %zu machines x %zu durations to %s (seed %llu)\n",
+              spec.machine_count, spec.durations_per_machine, argv[2],
+              static_cast<unsigned long long>(spec.seed));
+  return 0;
+}
+
+int cmd_summarize(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto traces = trace::load_traces_csv(argv[2]);
+  const auto pool = trace::summarize_pool(traces);
+  std::printf("machines:              %zu\n", pool.machine_count);
+  std::printf("total observations:    %zu\n", pool.total_observations);
+  std::printf("mean availability:     %.0f s (median of machine means %.0f)\n",
+              pool.mean_of_means_s, pool.median_of_means_s);
+  std::printf("mean cv:               %.2f\n", pool.mean_cv);
+  std::printf("heavy-tailed machines: %.0f%% (cv > 1)\n",
+              100.0 * pool.heavy_tailed_fraction);
+  return 0;
+}
+
+int cmd_fit(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto traces = trace::load_traces_csv(argv[2]);
+  const auto* t = find_machine(traces, argv[3]);
+  if (t == nullptr) {
+    std::fprintf(stderr, "no machine '%s' in %s\n", argv[3], argv[2]);
+    return 1;
+  }
+  fit::ModelMenu menu;
+  menu.lognormal = true;
+  menu.gamma = true;
+  const auto fits = fit::fit_all(t->durations, menu);
+  util::TextTable table({"family", "parameters", "logLik", "AIC", "KS"});
+  for (const auto& f : fits) {
+    table.add_row({f.family, f.model->describe(),
+                   util::format_fixed(f.log_likelihood, 1),
+                   util::format_fixed(f.aic, 1),
+                   util::format_fixed(f.ks_statistic, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  if (!fits.empty()) {
+    std::printf("best by AIC: %s\n", fit::best_by_aic(fits).family.c_str());
+  }
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const auto traces = trace::load_traces_csv(argv[2]);
+  const auto* t = find_machine(traces, argv[3]);
+  if (t == nullptr) {
+    std::fprintf(stderr, "no machine '%s' in %s\n", argv[3], argv[2]);
+    return 1;
+  }
+  const auto family = core::model_family_from_string(argv[4]);
+  core::IntervalCosts costs;
+  costs.checkpoint = std::atof(argv[5]);
+  costs.recovery = argc > 6 ? std::atof(argv[6]) : costs.checkpoint;
+  auto schedule = core::Planner::plan(t->durations, family, costs);
+  std::printf("machine %s, model %s, C=%.0f R=%.0f\n", argv[3],
+              core::to_string(family).c_str(), costs.checkpoint,
+              costs.recovery);
+  util::TextTable table({"interval", "uptime (s)", "T_opt (s)", "pred. eff"});
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto e = schedule.entry(i);
+    table.add_row({std::to_string(i), util::format_fixed(e.age, 0),
+                   util::format_fixed(e.work_time, 0),
+                   util::format_fixed(e.efficiency, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto traces = trace::load_traces_csv(argv[2]);
+  const auto family = core::model_family_from_string(argv[3]);
+  sim::ExperimentConfig cfg;
+  cfg.checkpoint_cost_s = std::atof(argv[4]);
+  const auto res = sim::run_trace_experiment(traces, family, cfg);
+  if (res.machines.size() < 2) {
+    std::fprintf(stderr, "not enough fittable machines\n");
+    return 1;
+  }
+  const auto ci = stats::mean_confidence_interval(res.efficiencies());
+  std::printf("model %s, C=R=%.0f s, %zu machines (%zu skipped)\n",
+              core::to_string(family).c_str(), cfg.checkpoint_cost_s,
+              res.machines.size(), res.skipped.size());
+  std::printf("mean efficiency: %.3f +- %.3f (95%% CI)\n", ci.mean,
+              ci.half_width);
+  std::printf("mean network:    %.0f MB per machine\n",
+              stats::mean_of(res.network_mbs()));
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const auto traces = trace::load_traces_csv(argv[2]);
+  const auto* t = find_machine(traces, argv[3]);
+  if (t == nullptr) {
+    std::fprintf(stderr, "no machine '%s' in %s\n", argv[3], argv[2]);
+    return 1;
+  }
+  const auto family = core::model_family_from_string(argv[4]);
+  core::IntervalCosts costs;
+  costs.checkpoint = std::atof(argv[5]);
+  costs.recovery = costs.checkpoint;
+  auto model = core::Planner::fit_model(t->durations, family);
+  const core::MarkovModel markov(model, costs);
+  const core::CheckpointOptimizer opt(markov);
+  const double t_opt = opt.optimize(0.0).work_time;
+  const auto p = core::predict_steady_state(markov, t_opt, 0.0);
+  std::printf("machine %s, model %s, C=R=%.0f s\n", argv[3],
+              core::to_string(family).c_str(), costs.checkpoint);
+  std::printf("T_opt:                 %.0f s\n", p.work_time);
+  std::printf("expected efficiency:   %.3f\n", p.efficiency);
+  std::printf("recovery visits/intvl: %.3f\n", p.recovery_visits);
+  std::printf("transfers per hour:    %.2f\n", p.transfers_per_hour);
+  std::printf("network (500 MB ea.):  %.0f MB/hour (upper bound)\n",
+              p.mb_per_hour);
+  return 0;
+}
+
+int cmd_makespan(int argc, char** argv) {
+  if (argc < 7) return usage();
+  const auto traces = trace::load_traces_csv(argv[2]);
+  const auto* t = find_machine(traces, argv[3]);
+  if (t == nullptr) {
+    std::fprintf(stderr, "no machine '%s' in %s\n", argv[3], argv[2]);
+    return 1;
+  }
+  const auto family = core::model_family_from_string(argv[4]);
+  core::IntervalCosts costs;
+  costs.checkpoint = std::atof(argv[5]);
+  costs.recovery = costs.checkpoint;
+  const double work_s = std::atof(argv[6]) * 3600.0;
+  auto schedule = core::Planner::plan(t->durations, family, costs);
+  const auto est = core::estimate_makespan(schedule, work_s);
+  std::printf("machine %s, model %s, C=R=%.0f s, work %.1f h\n", argv[3],
+              core::to_string(family).c_str(), costs.checkpoint,
+              work_s / 3600.0);
+  std::printf("expected completion:   %.1f h\n",
+              est.expected_time_s / 3600.0);
+  std::printf("expected efficiency:   %.3f\n", est.efficiency());
+  std::printf("checkpoint intervals:  %zu\n", est.intervals);
+  std::printf("expected network:      %.0f MB (upper bound)\n",
+              est.expected_mb);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "summarize") return cmd_summarize(argc, argv);
+    if (cmd == "fit") return cmd_fit(argc, argv);
+    if (cmd == "plan") return cmd_plan(argc, argv);
+    if (cmd == "simulate") return cmd_simulate(argc, argv);
+    if (cmd == "predict") return cmd_predict(argc, argv);
+    if (cmd == "makespan") return cmd_makespan(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "harvestctl: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,73 @@
+// Parallel checkpointing demo: N guest jobs share one link to the
+// checkpoint server. Shows the feedback loop the paper's conclusion warns
+// about — collisions stretch transfers, stretched transfers lose more work
+// to evictions — and how a bandwidth-parsimonious availability model
+// softens it.
+//
+// Usage: ./parallel_checkpointing [jobs] [family]
+// Defaults: 8 jobs, compares exponential vs hyperexp2.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/sim/parallel_sim.hpp"
+#include "harvest/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  const std::size_t jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  if (jobs == 0) {
+    std::fprintf(stderr, "jobs must be >= 1\n");
+    return 1;
+  }
+
+  // A small mixed machine park: two heavy-tailed Weibulls and a bimodal
+  // office machine.
+  std::vector<dist::DistributionPtr> laws = {
+      std::make_shared<dist::Weibull>(0.45, 2500.0),
+      std::make_shared<dist::Weibull>(0.55, 4000.0),
+      std::make_shared<dist::Hyperexponential>(
+          std::vector<double>{0.65, 0.35},
+          std::vector<double>{1.0 / 240.0, 1.0 / 10800.0}),
+  };
+
+  std::vector<core::ModelFamily> families;
+  if (argc > 2) {
+    families.push_back(core::model_family_from_string(argv[2]));
+  } else {
+    families = {core::ModelFamily::kExponential,
+                core::ModelFamily::kHyperexp2};
+  }
+
+  std::printf("%zu jobs, 24 h horizon, campus link (500 MB ~ 110 s)\n\n",
+              jobs);
+  util::TextTable table({"family", "efficiency", "mean stretch",
+                         "GB moved", "evictions", "xfers ok/cut"});
+  for (core::ModelFamily f : families) {
+    sim::ParallelSimConfig cfg;
+    cfg.job_count = jobs;
+    cfg.family = f;
+    cfg.seed = 9;
+    const auto res = sim::run_parallel_simulation(laws, cfg);
+    std::size_t ok = 0;
+    std::size_t cut = 0;
+    for (const auto& j : res.jobs) {
+      ok += j.transfers_completed;
+      cut += j.transfers_interrupted;
+    }
+    table.add_row({core::to_string(f),
+                   util::format_fixed(res.efficiency(), 3),
+                   util::format_fixed(res.mean_stretch(), 2),
+                   util::format_fixed(res.total_moved_mb() / 1024.0, 1),
+                   std::to_string(res.total_evictions()),
+                   std::to_string(ok) + "/" + std::to_string(cut)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Try growing the job count: the exponential model's extra checkpoint\n"
+      "traffic amplifies its own collisions.\n");
+  return 0;
+}

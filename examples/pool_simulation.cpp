@@ -1,0 +1,75 @@
+// Simulate a whole cycle-harvesting pool: generate (or load) machine
+// traces, fit every model family per machine, and compare time efficiency
+// and network load across families — a miniature of the paper's §5.1 study
+// you can point at your own monitor data.
+//
+// Usage:
+//   ./pool_simulation                      # synthetic 60-machine pool
+//   ./pool_simulation traces.csv          # your own monitor CSV
+//   ./pool_simulation traces.csv 250     # custom checkpoint cost (s)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harvest/sim/experiment.hpp"
+#include "harvest/stats/summary.hpp"
+#include "harvest/trace/io.hpp"
+#include "harvest/trace/synthetic.hpp"
+#include "harvest/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+
+  std::vector<trace::AvailabilityTrace> traces;
+  if (argc > 1) {
+    traces = trace::load_traces_csv(argv[1]);
+    std::printf("loaded %zu machines from %s\n", traces.size(), argv[1]);
+  } else {
+    trace::PoolSpec spec;
+    spec.machine_count = 60;
+    spec.durations_per_machine = 100;
+    spec.seed = 99;
+    for (auto& m : trace::generate_pool(spec)) {
+      traces.push_back(std::move(m.trace));
+    }
+    std::printf("generated a synthetic pool of %zu machines (seed %llu)\n",
+                traces.size(),
+                static_cast<unsigned long long>(spec.seed));
+  }
+  const double cost = argc > 2 ? std::atof(argv[2]) : 110.0;
+  std::printf("checkpoint = recovery = %.0f s, 500 MB per transfer, "
+              "train = first 25\n\n", cost);
+
+  sim::ExperimentConfig cfg;
+  cfg.checkpoint_cost_s = cost;
+
+  util::TextTable table({"family", "machines", "mean eff", "eff 95% CI",
+                         "mean MB", "MB/hour"});
+  for (core::ModelFamily f : core::paper_families()) {
+    const auto res = sim::run_trace_experiment(traces, f, cfg);
+    if (res.machines.size() < 2) {
+      std::printf("%s: not enough fittable machines\n",
+                  core::to_string(f).c_str());
+      continue;
+    }
+    const auto effs = res.efficiencies();
+    const auto ci = stats::mean_confidence_interval(effs);
+    double mb = 0.0;
+    double hours = 0.0;
+    for (const auto& m : res.machines) {
+      mb += m.sim.network_mb;
+      hours += m.sim.total_time / 3600.0;
+    }
+    table.add_row({core::to_string(f), std::to_string(res.machines.size()),
+                   util::format_fixed(ci.mean, 3),
+                   "+-" + util::format_fixed(ci.half_width, 3),
+                   util::format_fixed(mb / res.machines.size(), 0),
+                   util::format_fixed(mb / hours, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expect: similar efficiency columns, but markedly lower MB for the\n"
+      "hyperexponential families — the paper's central observation.\n");
+  return 0;
+}

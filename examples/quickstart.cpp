@@ -1,0 +1,55 @@
+// Quickstart: the core five-line workflow of the library.
+//
+//   1. You have a machine's availability history (seconds between
+//      placements and evictions, e.g. from a Condor occupancy monitor).
+//   2. Fit an availability model to it.
+//   3. Tell the planner what a checkpoint and a recovery cost.
+//   4. Get back an (aperiodic) checkpoint schedule.
+//   5. Read off T_opt for each interval and the predicted efficiency.
+//
+// Build & run:  ./quickstart
+#include <cstdio>
+#include <vector>
+
+#include "harvest/core/planner.hpp"
+
+int main() {
+  using namespace harvest;
+
+  // 1. Availability history: this machine usually dies fast, but sometimes
+  //    survives for hours (a classic desktop pattern).
+  const std::vector<double> history_s = {
+      120,  340,  90,    2500, 180,  14000, 260,  75,   430,  9800,
+      150,  3100, 22000, 310,  95,   1800,  640,  55,   7600, 210,
+      1300, 480,  28000, 170,  880};
+
+  // 2. Fit the model family of your choice (kAutoAic picks by AIC).
+  const dist::DistributionPtr model =
+      core::Planner::fit_model(history_s, core::ModelFamily::kWeibull);
+  std::printf("fitted model: %s\n", model->describe().c_str());
+  std::printf("mean availability: %.0f s\n\n", model->mean());
+
+  // 3. Costs: a 500 MB checkpoint over a campus LAN takes ~110 s, and
+  //    recovery reads the same data back.
+  core::IntervalCosts costs;
+  costs.checkpoint = 110.0;
+  costs.recovery = 110.0;
+
+  // 4. Plan.
+  core::CheckpointSchedule schedule =
+      core::Planner::make_schedule(model, costs);
+
+  // 5. Use: after every committed checkpoint, work for the next entry's
+  //    work_time, then checkpoint again. After an eviction, refit/replan.
+  std::printf("%-8s %-12s %-12s %-10s\n", "interval", "uptime(s)",
+              "T_opt(s)", "pred.eff");
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto e = schedule.entry(i);
+    std::printf("%-8zu %-12.0f %-12.0f %-10.3f\n", i, e.age, e.work_time,
+                e.efficiency);
+  }
+  std::printf(
+      "\nNote the growing intervals: the longer the machine survives, the\n"
+      "safer it looks (decreasing hazard), so checkpoints spread out.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Explore how the four availability models schedule checkpoints for the
+// same machine: fit each family to one history, print the first intervals
+// of each schedule side by side, and show the expected efficiency the
+// Markov model predicts — the paper's §3.5 machinery made tangible.
+//
+// Usage:
+//   ./schedule_explorer [checkpoint_cost_s] [recovery_cost_s]
+// Defaults: 110 110 (campus-LAN 500 MB transfer).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harvest/core/planner.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/trace/synthetic.hpp"
+#include "harvest/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  const double c = argc > 1 ? std::atof(argv[1]) : 110.0;
+  const double r = argc > 2 ? std::atof(argv[2]) : c;
+  if (c < 0.0 || r < 0.0) {
+    std::fprintf(stderr, "costs must be >= 0\n");
+    return 1;
+  }
+
+  // One heavy-tailed machine history, 25 observations (the paper's training
+  // window).
+  const auto history =
+      trace::sample_trace(dist::Weibull(0.43, 3409.0), 25, 11, "explorer");
+
+  core::IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = r;
+  std::printf("checkpoint C=%.0f s, recovery R=%.0f s, training n=%zu\n\n",
+              c, r, history.size());
+
+  // Build one schedule per family.
+  std::vector<core::CheckpointSchedule> schedules;
+  std::vector<std::string> names;
+  for (core::ModelFamily f : core::paper_families()) {
+    try {
+      schedules.push_back(
+          core::Planner::plan(history.durations, f, costs));
+      names.push_back(core::to_string(f));
+    } catch (const std::exception& e) {
+      std::printf("could not fit %s: %s\n", core::to_string(f).c_str(),
+                  e.what());
+    }
+  }
+
+  util::TextTable table({"interval", "exp T_opt", "weib T_opt",
+                         "hyper2 T_opt", "hyper3 T_opt"});
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::vector<std::string> row = {std::to_string(i)};
+    for (auto& s : schedules) {
+      row.push_back(util::format_fixed(s.entry(i).work_time, 0));
+    }
+    while (row.size() < 5) row.push_back("-");
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("model-predicted efficiency of the first interval:\n");
+  for (std::size_t s = 0; s < schedules.size(); ++s) {
+    std::printf("  %-12s %.3f\n", names[s].c_str(),
+                schedules[s].entry(0).efficiency);
+  }
+  std::printf(
+      "\nThe exponential column is constant (memoryless); the others adapt\n"
+      "to uptime — the essence of the paper's aperiodic schedules.\n");
+  return 0;
+}

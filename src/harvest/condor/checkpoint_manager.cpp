@@ -1,0 +1,50 @@
+#include "harvest/condor/checkpoint_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::condor {
+
+CheckpointManager::CheckpointManager(net::BandwidthModel link,
+                                     std::uint64_t seed)
+    : link_(link), rng_(seed) {}
+
+TransferOutcome CheckpointManager::transfer(std::size_t job_id,
+                                            TransferKind kind,
+                                            double megabytes,
+                                            double available_s) {
+  if (!(megabytes >= 0.0)) {
+    throw std::invalid_argument("CheckpointManager::transfer: megabytes >= 0");
+  }
+  if (!(available_s >= 0.0)) {
+    throw std::invalid_argument("CheckpointManager::transfer: available >= 0");
+  }
+  const double full_duration = link_.sample_transfer_seconds(megabytes, rng_);
+
+  TransferRecord rec;
+  rec.job_id = job_id;
+  rec.kind = kind;
+  rec.requested_mb = megabytes;
+  if (full_duration <= available_s) {
+    rec.duration_s = full_duration;
+    rec.moved_mb = megabytes;
+    rec.completed = true;
+  } else {
+    rec.duration_s = available_s;
+    rec.moved_mb = (full_duration > 0.0)
+                       ? megabytes * available_s / full_duration
+                       : 0.0;
+    rec.completed = false;
+  }
+  log_.push_back(rec);
+  return TransferOutcome{rec.duration_s, rec.moved_mb, rec.completed};
+}
+
+double CheckpointManager::total_moved_mb() const {
+  double total = 0.0;
+  for (const auto& rec : log_) total += rec.moved_mb;
+  return total;
+}
+
+}  // namespace harvest::condor

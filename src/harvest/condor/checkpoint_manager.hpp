@@ -1,0 +1,59 @@
+// The checkpoint manager of the paper's live experiment (§5.2): the process
+// on the storage side of the network that serves recovery data, receives
+// checkpoints, measures every transfer, and keeps per-job logs from which
+// efficiency and network load are computed post facto.
+//
+// In this emulation, "performing a transfer" means sampling its duration
+// from the manager's BandwidthModel and racing it against the remaining
+// machine availability; the manager records the same events the real one
+// logged (full transfers, interrupted transfers with elapsed time).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "harvest/net/bandwidth_model.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::condor {
+
+enum class TransferKind { kRecovery, kCheckpoint };
+
+struct TransferRecord {
+  std::size_t job_id = 0;
+  TransferKind kind = TransferKind::kRecovery;
+  double requested_mb = 0.0;
+  double duration_s = 0.0;   ///< elapsed wire time (to cutoff if interrupted)
+  double moved_mb = 0.0;     ///< pro-rated bytes that actually traversed
+  bool completed = false;
+};
+
+struct TransferOutcome {
+  double duration_s = 0.0;  ///< full duration if completed, else time to cutoff
+  double moved_mb = 0.0;
+  bool completed = false;
+};
+
+class CheckpointManager {
+ public:
+  CheckpointManager(net::BandwidthModel link, std::uint64_t seed);
+
+  /// Serve/accept a transfer of `megabytes` for `job_id`. The transfer is
+  /// cut off after `available_s` seconds (machine eviction); pass +inf for
+  /// an unconstrained transfer. Logged either way.
+  TransferOutcome transfer(std::size_t job_id, TransferKind kind,
+                           double megabytes, double available_s);
+
+  [[nodiscard]] const std::vector<TransferRecord>& log() const { return log_; }
+  [[nodiscard]] const net::BandwidthModel& link() const { return link_; }
+
+  /// Total megabytes that traversed the network across all logged transfers.
+  [[nodiscard]] double total_moved_mb() const;
+
+ private:
+  net::BandwidthModel link_;
+  numerics::Rng rng_;
+  std::vector<TransferRecord> log_;
+};
+
+}  // namespace harvest::condor

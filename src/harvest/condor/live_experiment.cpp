@@ -1,0 +1,178 @@
+#include "harvest/condor/live_experiment.hpp"
+
+#include <stdexcept>
+
+#include "harvest/core/adaptive_planner.hpp"
+#include "harvest/trace/trace.hpp"
+
+namespace harvest::condor {
+
+double LiveResult::avg_efficiency() const {
+  const double total = total_time_s();
+  if (total <= 0.0) return 0.0;
+  double useful = 0.0;
+  for (const auto& p : placements) useful += p.useful_work_s;
+  return useful / total;
+}
+
+double LiveResult::total_time_s() const {
+  double total = 0.0;
+  for (const auto& p : placements) total += p.period_s;
+  return total;
+}
+
+double LiveResult::megabytes_used() const {
+  double mb = 0.0;
+  for (const auto& p : placements) mb += p.moved_mb;
+  return mb;
+}
+
+double LiveResult::megabytes_per_hour() const {
+  const double total = total_time_s();
+  return total > 0.0 ? megabytes_used() / (total / 3600.0) : 0.0;
+}
+
+double LiveResult::mean_transfer_s() const {
+  return completed_transfers_ > 0
+             ? completed_transfer_time_total_ /
+                   static_cast<double>(completed_transfers_)
+             : 0.0;
+}
+
+LiveExperiment::LiveExperiment(Pool& pool,
+                               std::vector<trace::AvailabilityTrace> histories,
+                               net::BandwidthModel link,
+                               LiveExperimentConfig config)
+    : pool_(pool),
+      histories_(std::move(histories)),
+      manager_(link, config.seed ^ 0x9d2c5680aad2f13bULL),
+      config_(config) {
+  if (histories_.size() != pool_.size()) {
+    throw std::invalid_argument(
+        "LiveExperiment: one history per pool machine required");
+  }
+  if (config_.placements == 0) {
+    throw std::invalid_argument("LiveExperiment: placements >= 1");
+  }
+}
+
+dist::DistributionPtr LiveExperiment::model_for(std::size_t machine_index,
+                                                core::ModelFamily family) {
+  const auto key = std::make_pair(machine_index, static_cast<int>(family));
+  const auto it = fits_.find(key);
+  if (it != fits_.end()) return it->second;
+  const trace::AvailabilityTrace& history = histories_[machine_index];
+  std::span<const double> training(history.durations);
+  if (training.size() > config_.train_count) {
+    training = training.subspan(0, config_.train_count);
+  }
+  dist::DistributionPtr model = core::Planner::fit_model(training, family);
+  fits_.emplace(key, model);
+  return model;
+}
+
+LiveResult LiveExperiment::run(core::ModelFamily family) {
+  LiveResult result;
+  result.family = to_string(family);
+  result.placements.reserve(config_.placements);
+
+  for (std::size_t job = 0; job < config_.placements; ++job) {
+    const Placement placement = pool_.next_placement();
+    PlacementLog log;
+    log.machine_index = placement.machine_index;
+    log.period_s = placement.available_for_s;
+    double pos = 0.0;  // uptime consumed on this machine
+
+    // Initial recovery transfer; its measured duration seeds C and R.
+    const TransferOutcome recovery =
+        manager_.transfer(job, TransferKind::kRecovery,
+                          config_.checkpoint_size_mb, log.period_s);
+    log.recovery_time_s = recovery.duration_s;
+    log.moved_mb += recovery.moved_mb;
+    log.first_measured_cost_s = recovery.duration_s;
+    pos += recovery.duration_s;
+    if (!recovery.completed) {
+      result.placements.push_back(log);
+      continue;  // evicted during recovery; back to the queue
+    }
+    result.completed_transfer_time_total_ += recovery.duration_s;
+    ++result.completed_transfers_;
+
+    dist::DistributionPtr model;
+    try {
+      model = model_for(placement.machine_index, family);
+    } catch (const std::exception&) {
+      // Cannot fit this family to this machine's history; the test process
+      // falls back to its last placement's behavior — here we simply skip.
+      result.placements.push_back(log);
+      continue;
+    }
+
+    // The instrumented test process's control loop.
+    core::AdaptivePlannerOptions planner_opts;
+    planner_opts.optimizer = config_.optimizer;
+    core::AdaptivePlanner planner(model, planner_opts);
+    planner.on_placement(0.0);
+    planner.on_transfer_measured(recovery.duration_s);
+    for (;;) {
+      const double t_opt = planner.next_interval();
+
+      // Emulated computation (the real process spins and heartbeats).
+      if (pos + t_opt > log.period_s) {
+        // Evicted mid-computation. Vanilla universe: the work is gone.
+        // Standard universe (grace > 0): the job gets a final window to
+        // push a checkpoint of the partial work before it is killed.
+        const double partial_work = log.period_s - pos;
+        if (config_.eviction_grace_s > 0.0) {
+          const TransferOutcome last_gasp = manager_.transfer(
+              job, TransferKind::kCheckpoint, config_.checkpoint_size_mb,
+              config_.eviction_grace_s);
+          log.grace_transfer_s += last_gasp.duration_s;
+          log.moved_mb += last_gasp.moved_mb;
+          if (last_gasp.completed) {
+            log.useful_work_s += partial_work;
+            log.saved_by_grace = true;
+            result.completed_transfer_time_total_ += last_gasp.duration_s;
+            ++result.completed_transfers_;
+          } else {
+            log.lost_work_s += partial_work;
+          }
+        } else {
+          log.lost_work_s += partial_work;
+        }
+        break;
+      }
+      pos += t_opt;
+      planner.on_work_completed(t_opt);
+
+      // Checkpoint transfer back to the manager; re-measure the cost. In
+      // the Standard universe an eviction arriving mid-transfer extends the
+      // window by the grace period instead of cutting it dead.
+      const TransferOutcome ckpt =
+          manager_.transfer(job, TransferKind::kCheckpoint,
+                            config_.checkpoint_size_mb,
+                            log.period_s - pos + config_.eviction_grace_s);
+      log.checkpoint_time_s += ckpt.duration_s;
+      log.moved_mb += ckpt.moved_mb;
+      pos += ckpt.duration_s;
+      if (!ckpt.completed) {
+        log.lost_work_s += t_opt;  // work was never committed
+        break;
+      }
+      log.useful_work_s += t_opt;
+      ++log.intervals_completed;
+      result.completed_transfer_time_total_ += ckpt.duration_s;
+      ++result.completed_transfers_;
+      planner.on_transfer_measured(ckpt.duration_s);
+      if (pos >= log.period_s) {
+        // The transfer only finished thanks to the grace window; the
+        // machine is reclaimed, so the placement ends here.
+        break;
+      }
+    }
+    result.placements.push_back(log);
+  }
+  return result;
+}
+
+}  // namespace harvest::condor

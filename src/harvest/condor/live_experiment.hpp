@@ -1,0 +1,110 @@
+// The paper's live experiment (§5.2), emulated end-to-end: an instrumented
+// test process is repeatedly submitted to the pool; on each placement it
+//
+//   1. opens a connection to the checkpoint manager and performs the 500 MB
+//      initial recovery transfer, *timing it* — that measured duration
+//      becomes the current estimate of C and R;
+//   2. fits the requested model family to the machine's recorded
+//      availability history and computes T_opt for the machine's current
+//      uptime (the measured costs, not constants, parameterize the model);
+//   3. emulates computation for T_opt seconds, then transfers a 500 MB
+//      checkpoint back, re-times it, updates C/R, and repeats;
+//   4. whenever the owner reclaims the machine mid-phase, the manager logs
+//      the interrupted transfer / lost work, and the job returns to the
+//      queue for its next placement.
+//
+// The per-placement logs are kept (post-mortem trace data) so the §5.3
+// validation can replay the same availability periods through the offline
+// trace simulator and compare.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harvest/condor/checkpoint_manager.hpp"
+#include "harvest/condor/pool.hpp"
+#include "harvest/core/planner.hpp"
+
+namespace harvest::condor {
+
+struct LiveExperimentConfig {
+  /// Placements (submissions) per experiment — the paper's per-model sample
+  /// sizes range from 40 to 89.
+  std::size_t placements = 85;
+  double checkpoint_size_mb = 500.0;
+  /// Training prefix of each machine's history used to fit its model.
+  std::size_t train_count = 25;
+  /// Condor-universe semantics. The paper uses the Vanilla universe
+  /// (terminate-on-eviction, grace 0). A positive grace emulates the
+  /// Standard universe: when the owner reclaims the machine mid-phase, the
+  /// job gets up to this many seconds to push a final checkpoint before it
+  /// is killed (committing the in-progress work if the transfer finishes).
+  double eviction_grace_s = 0.0;
+  core::OptimizerOptions optimizer;
+  std::uint64_t seed = 1;
+};
+
+struct PlacementLog {
+  std::size_t machine_index = 0;
+  double period_s = 0.0;          ///< availability duration (post-mortem)
+  double useful_work_s = 0.0;     ///< committed work
+  double checkpoint_time_s = 0.0;
+  double recovery_time_s = 0.0;
+  double lost_work_s = 0.0;
+  double moved_mb = 0.0;
+  std::size_t intervals_completed = 0;
+  double first_measured_cost_s = 0.0;  ///< duration of the initial recovery
+  /// Standard-universe accounting: wire time spent past the eviction inside
+  /// the grace window, and whether a grace checkpoint saved the work.
+  double grace_transfer_s = 0.0;
+  bool saved_by_grace = false;
+};
+
+struct LiveResult {
+  std::string family;
+  std::vector<PlacementLog> placements;
+
+  /// Paper Tables 4–5 columns.
+  [[nodiscard]] double avg_efficiency() const;     ///< total useful / total time
+  [[nodiscard]] double total_time_s() const;
+  [[nodiscard]] double megabytes_used() const;
+  [[nodiscard]] double megabytes_per_hour() const;
+  [[nodiscard]] std::size_t sample_size() const { return placements.size(); }
+  /// Mean duration of *completed* transfers (the paper reports ~110 s on
+  /// campus, ~475 s over the WAN).
+  [[nodiscard]] double mean_transfer_s() const;
+
+ private:
+  friend class LiveExperiment;
+  double completed_transfer_time_total_ = 0.0;
+  std::size_t completed_transfers_ = 0;
+};
+
+class LiveExperiment {
+ public:
+  /// `histories` are the availability traces previously recorded for the
+  /// pool's machines by the occupancy monitor (same order as pool machines);
+  /// the experiment fits models to these, never to the live periods.
+  LiveExperiment(Pool& pool,
+                 std::vector<trace::AvailabilityTrace> histories,
+                 net::BandwidthModel link, LiveExperimentConfig config);
+
+  /// Run the full experiment for one model family.
+  [[nodiscard]] LiveResult run(core::ModelFamily family);
+
+  [[nodiscard]] const CheckpointManager& manager() const { return manager_; }
+
+ private:
+  dist::DistributionPtr model_for(std::size_t machine_index,
+                                  core::ModelFamily family);
+
+  Pool& pool_;
+  std::vector<trace::AvailabilityTrace> histories_;
+  CheckpointManager manager_;
+  LiveExperimentConfig config_;
+  /// Fit cache: (machine, family) → model.
+  std::map<std::pair<std::size_t, int>, dist::DistributionPtr> fits_;
+};
+
+}  // namespace harvest::condor

@@ -1,0 +1,157 @@
+#include "harvest/condor/matchmaker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harvest/dist/conditional.hpp"
+
+namespace harvest::condor {
+
+std::string to_string(MatchPolicy policy) {
+  switch (policy) {
+    case MatchPolicy::kRandom: return "random";
+    case MatchPolicy::kLongestUptime: return "longest-uptime";
+    case MatchPolicy::kModelRanked: return "model-ranked";
+  }
+  throw std::invalid_argument("to_string: unknown MatchPolicy");
+}
+
+void TimelinePool::Timeline::advance_to(double now) {
+  while (spell_end <= now) {
+    spell_start = spell_end;
+    if (available) {
+      // Owner reclaims: busy spell.
+      const double busy_mean = spec.busy_mean_s > 0.0
+                                   ? spec.busy_mean_s
+                                   : 0.5 * spec.availability_law->mean();
+      spell_end = spell_start + rng.exponential(1.0 / busy_mean);
+      available = false;
+    } else {
+      spell_end = spell_start + spec.availability_law->sample(rng);
+      available = true;
+    }
+  }
+}
+
+TimelinePool::TimelinePool(std::vector<MachineSpec> specs, std::uint64_t seed)
+    : machines_() {
+  if (specs.empty()) throw std::invalid_argument("TimelinePool: no machines");
+  numerics::Rng master(seed);
+  machines_.reserve(specs.size());
+  for (auto& spec : specs) {
+    if (!spec.availability_law) {
+      throw std::invalid_argument("TimelinePool: machine without law");
+    }
+    Timeline tl;
+    tl.spec = std::move(spec);
+    tl.rng = master.split();
+    // Start each machine in a random phase: available with the long-run
+    // probability mean_avail / (mean_avail + mean_busy).
+    const double ma = tl.spec.availability_law->mean();
+    const double mb =
+        tl.spec.busy_mean_s > 0.0 ? tl.spec.busy_mean_s : 0.5 * ma;
+    tl.available = tl.rng.uniform() < ma / (ma + mb);
+    tl.spell_start = 0.0;
+    tl.spell_end = tl.available
+                       ? tl.spec.availability_law->sample(tl.rng)
+                       : tl.rng.exponential(1.0 / mb);
+    machines_.push_back(std::move(tl));
+  }
+}
+
+std::vector<TimelinePool::Candidate> TimelinePool::available_at(double now) {
+  if (!(now >= 0.0)) throw std::invalid_argument("available_at: now >= 0");
+  std::vector<Candidate> out;
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    machines_[i].advance_to(now);
+    if (machines_[i].available) {
+      out.push_back(Candidate{i, now - machines_[i].spell_start});
+    }
+  }
+  return out;
+}
+
+double TimelinePool::remaining_availability(std::size_t i, double now) {
+  if (i >= machines_.size()) {
+    throw std::out_of_range("remaining_availability: machine index");
+  }
+  machines_[i].advance_to(now);
+  if (!machines_[i].available) {
+    throw std::logic_error("remaining_availability: machine is busy");
+  }
+  return machines_[i].spell_end - now;
+}
+
+const TimelinePool::MachineSpec& TimelinePool::spec(std::size_t i) const {
+  if (i >= machines_.size()) throw std::out_of_range("TimelinePool::spec");
+  return machines_[i].spec;
+}
+
+Matchmaker::Matchmaker(TimelinePool& pool,
+                       std::vector<dist::DistributionPtr> models,
+                       MatchPolicy policy, std::uint64_t seed)
+    : pool_(pool), models_(std::move(models)), policy_(policy), rng_(seed) {
+  if (policy_ == MatchPolicy::kModelRanked &&
+      models_.size() != pool_.size()) {
+    throw std::invalid_argument(
+        "Matchmaker: kModelRanked needs one fitted model per machine");
+  }
+}
+
+std::optional<Matchmaker::Match> Matchmaker::place(
+    double now, const std::vector<bool>& occupied) {
+  if (!occupied.empty() && occupied.size() != pool_.size()) {
+    throw std::invalid_argument(
+        "Matchmaker::place: occupancy mask size mismatch");
+  }
+  auto candidates = pool_.available_at(now);
+  if (!occupied.empty()) {
+    std::erase_if(candidates, [&](const TimelinePool::Candidate& c) {
+      return occupied[c.machine_index];
+    });
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  std::size_t pick = 0;
+  switch (policy_) {
+    case MatchPolicy::kRandom:
+      pick = rng_.uniform_index(candidates.size());
+      break;
+    case MatchPolicy::kLongestUptime: {
+      double best = -1.0;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (candidates[c].uptime_s > best) {
+          best = candidates[c].uptime_s;
+          pick = c;
+        }
+      }
+      break;
+    }
+    case MatchPolicy::kModelRanked: {
+      double best = -1.0;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        const auto& model = models_[candidates[c].machine_index];
+        double expected;
+        try {
+          expected =
+              dist::Conditional(model, candidates[c].uptime_s).mean();
+        } catch (const std::exception&) {
+          expected = model->mean();  // survival underflow at extreme age
+        }
+        if (expected > best) {
+          best = expected;
+          pick = c;
+        }
+      }
+      break;
+    }
+  }
+
+  Match match;
+  match.machine_index = candidates[pick].machine_index;
+  match.uptime_s = candidates[pick].uptime_s;
+  match.remaining_s = pool_.remaining_availability(match.machine_index, now);
+  return match;
+}
+
+}  // namespace harvest::condor

@@ -1,0 +1,99 @@
+// Age-aware matchmaking — an extension the paper's machinery makes
+// possible. With heavy-tailed availability, a machine that has ALREADY been
+// idle-available for a long time is expected to remain available longer
+// (decreasing hazard; §3.3's future-lifetime distribution). A matchmaker
+// that can see each idle machine's current uptime can therefore place jobs
+// on the machines with the largest expected residual availability, instead
+// of picking blindly.
+//
+// TimelinePool maintains a continuous busy/available timeline per machine;
+// Matchmaker ranks the currently available machines under a policy:
+//   kRandom          — the baseline (what Pool::next_placement models),
+//   kLongestUptime   — proxy: oldest currently-available machine,
+//   kModelRanked     — full model: max E[residual life | uptime] using each
+//                      machine's fitted availability model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harvest/dist/distribution.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::condor {
+
+enum class MatchPolicy { kRandom, kLongestUptime, kModelRanked };
+
+[[nodiscard]] std::string to_string(MatchPolicy policy);
+
+/// One machine's continuous timeline of alternating available/busy spells.
+class TimelinePool {
+ public:
+  struct MachineSpec {
+    std::string id;
+    dist::DistributionPtr availability_law;  ///< available-spell durations
+    /// Mean of the (exponential) owner-busy spells between availabilities.
+    double busy_mean_s = 0.0;  ///< 0 → half the availability mean
+  };
+
+  TimelinePool(std::vector<MachineSpec> specs, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const { return machines_.size(); }
+
+  /// Currently available machine indices with their uptimes at time `now`.
+  struct Candidate {
+    std::size_t machine_index = 0;
+    double uptime_s = 0.0;
+  };
+  [[nodiscard]] std::vector<Candidate> available_at(double now);
+
+  /// Remaining availability of machine `i` at `now` (it must be available).
+  [[nodiscard]] double remaining_availability(std::size_t i, double now);
+
+  [[nodiscard]] const MachineSpec& spec(std::size_t i) const;
+
+ private:
+  struct Timeline {
+    MachineSpec spec;
+    numerics::Rng rng{0};
+    double spell_start = 0.0;
+    double spell_end = 0.0;
+    bool available = false;
+    void advance_to(double now);
+  };
+  std::vector<Timeline> machines_;
+};
+
+class Matchmaker {
+ public:
+  /// `models[i]` is the fitted availability model for machine i, used by
+  /// kModelRanked (pass the fitted models, not the ground truths — the
+  /// matchmaker only knows what the monitor measured). May be empty for the
+  /// other policies.
+  Matchmaker(TimelinePool& pool, std::vector<dist::DistributionPtr> models,
+             MatchPolicy policy, std::uint64_t seed);
+
+  struct Match {
+    std::size_t machine_index = 0;
+    double uptime_s = 0.0;      ///< machine's uptime at placement
+    double remaining_s = 0.0;   ///< availability the job will actually get
+  };
+
+  /// Pick a machine at time `now`; nullopt when nothing is available.
+  /// `occupied` (optional, one flag per machine) excludes machines already
+  /// running a guest job.
+  [[nodiscard]] std::optional<Match> place(
+      double now, const std::vector<bool>& occupied = {});
+
+  [[nodiscard]] MatchPolicy policy() const { return policy_; }
+
+ private:
+  TimelinePool& pool_;
+  std::vector<dist::DistributionPtr> models_;
+  MatchPolicy policy_;
+  numerics::Rng rng_;
+};
+
+}  // namespace harvest::condor

@@ -1,0 +1,61 @@
+#include "harvest/condor/pool.hpp"
+
+#include <stdexcept>
+
+namespace harvest::condor {
+
+Pool::Pool(std::vector<Machine> machines, std::uint64_t seed)
+    : machines_(std::move(machines)), rng_(seed) {
+  if (machines_.empty()) throw std::invalid_argument("Pool: no machines");
+  for (const auto& m : machines_) {
+    if (!m.availability_law) {
+      throw std::invalid_argument("Pool: machine without availability law");
+    }
+  }
+}
+
+const Machine& Pool::machine(std::size_t i) const {
+  if (i >= machines_.size()) throw std::out_of_range("Pool::machine");
+  return machines_[i];
+}
+
+std::vector<trace::AvailabilityTrace> Pool::collect_traces(
+    std::size_t observations) {
+  if (observations == 0) {
+    throw std::invalid_argument("collect_traces: observations >= 1");
+  }
+  std::vector<trace::AvailabilityTrace> traces;
+  traces.reserve(machines_.size());
+  for (const auto& m : machines_) {
+    numerics::Rng machine_rng = rng_.split();
+    trace::AvailabilityTrace t;
+    t.machine_id = m.id;
+    t.durations.reserve(observations);
+    t.timestamps.reserve(observations);
+    double clock = 0.0;
+    for (std::size_t i = 0; i < observations; ++i) {
+      const double d = m.availability_law->sample(machine_rng);
+      // Owner-busy gap before the next occupancy (exponential, mean = half
+      // the machine's mean availability — desks are busy about a third of
+      // the time).
+      const double gap =
+          machine_rng.exponential(2.0 / m.availability_law->mean());
+      t.timestamps.push_back(clock);
+      t.durations.push_back(d);
+      clock += d + gap;
+    }
+    t.validate();
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+Placement Pool::next_placement() {
+  Placement p;
+  p.machine_index = rng_.uniform_index(machines_.size());
+  p.available_for_s =
+      machines_[p.machine_index].availability_law->sample(rng_);
+  return p;
+}
+
+}  // namespace harvest::condor

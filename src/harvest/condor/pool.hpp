@@ -1,0 +1,60 @@
+// Emulated cycle-harvesting pool: the stand-in for the live Condor system
+// at the University of Wisconsin (see DESIGN.md §2). Machines alternate
+// between owner-busy gaps and guest-available periods; available periods are
+// drawn from each machine's ground-truth availability law, ending with an
+// owner reclamation (eviction).
+//
+// The pool supports the paper's two uses of Condor:
+//  * the occupancy monitor (§4): sensor jobs record availability durations,
+//    producing the traces the model-fitting layer consumes;
+//  * the matchmaker (§5.2): the live experiment asks for a placement and
+//    receives (machine, availability period) pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harvest/dist/distribution.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/trace/trace.hpp"
+
+namespace harvest::condor {
+
+struct Machine {
+  std::string id;
+  dist::DistributionPtr availability_law;
+};
+
+/// One job placement handed out by the matchmaker.
+struct Placement {
+  std::size_t machine_index = 0;
+  /// How long the machine will stay available this time. The guest job
+  /// cannot observe this — it only finds out when the eviction hits.
+  double available_for_s = 0.0;
+};
+
+class Pool {
+ public:
+  /// `machines` must be non-empty; `seed` makes all pool randomness
+  /// (periods, matchmaking) reproducible.
+  Pool(std::vector<Machine> machines, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const { return machines_.size(); }
+  [[nodiscard]] const Machine& machine(std::size_t i) const;
+
+  /// Run the §4 occupancy monitor: record `observations` availability
+  /// durations (with timestamps) from every machine.
+  [[nodiscard]] std::vector<trace::AvailabilityTrace> collect_traces(
+      std::size_t observations);
+
+  /// Matchmaker: pick an idle machine uniformly and start an availability
+  /// period on it.
+  [[nodiscard]] Placement next_placement();
+
+ private:
+  std::vector<Machine> machines_;
+  numerics::Rng rng_;
+};
+
+}  // namespace harvest::condor

@@ -1,0 +1,246 @@
+#include "harvest/condor/pool_simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "harvest/core/optimizer.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::condor {
+
+std::size_t PoolSimResult::finished_count() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    if (j.finished) ++n;
+  }
+  return n;
+}
+
+double PoolSimResult::mean_completion_s() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    if (j.finished) {
+      sum += j.completion_s;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double PoolSimResult::total_moved_mb() const {
+  double mb = 0.0;
+  for (const auto& j : jobs) mb += j.moved_mb;
+  return mb;
+}
+
+std::size_t PoolSimResult::total_evictions() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.evictions;
+  return n;
+}
+
+namespace {
+
+struct PlacementOutcome {
+  double end_time = 0.0;   ///< when the machine frees (eviction or finish)
+  bool job_finished = false;
+};
+
+// Simulate one whole placement synchronously: the eviction instant is known
+// (spell end), so the recovery/work/checkpoint walk inside it is
+// deterministic given the sampled transfer times.
+PlacementOutcome run_placement(double start, double eviction_time,
+                               double uptime_at_start, double remaining_work,
+                               bool has_checkpoint,
+                               const dist::DistributionPtr& model,
+                               const PoolSimConfig& cfg, numerics::Rng& rng,
+                               PoolSimJobStats& stats,
+                               double& remaining_work_out,
+                               bool& has_checkpoint_out) {
+  double now = start;
+  double uptime = uptime_at_start;
+  double measured_cost =
+      cfg.link.expected_transfer_seconds(cfg.checkpoint_size_mb);
+
+  struct Transfer {
+    double duration;  ///< elapsed wire time (cut at budget if interrupted)
+    double moved_mb;  ///< pro-rated bytes
+    bool completed;
+  };
+  const auto transfer = [&](double budget) -> Transfer {
+    const double full =
+        cfg.link.sample_transfer_seconds(cfg.checkpoint_size_mb, rng);
+    if (full <= budget) return {full, cfg.checkpoint_size_mb, true};
+    return {budget,
+            full > 0.0 ? cfg.checkpoint_size_mb * budget / full : 0.0,
+            false};
+  };
+
+  // Recovery of the last checkpoint, if any exists.
+  if (has_checkpoint) {
+    const auto [dur, moved, ok] = transfer(eviction_time - now);
+    now += dur;
+    uptime += dur;
+    stats.moved_mb += moved;
+    if (!ok) {
+      ++stats.evictions;
+      remaining_work_out = remaining_work;
+      has_checkpoint_out = has_checkpoint;
+      return {eviction_time, false};
+    }
+    measured_cost = dur;
+  }
+
+  for (;;) {
+    core::IntervalCosts costs;
+    costs.checkpoint = measured_cost;
+    costs.recovery = measured_cost;
+    const core::CheckpointOptimizer optimizer(
+        core::MarkovModel(model, costs), cfg.optimizer);
+    const double t_opt = optimizer.optimize(uptime).work_time;
+    const double chunk = std::min(t_opt, remaining_work);
+
+    if (now + chunk > eviction_time) {
+      // Evicted mid-computation: work since the last checkpoint is lost.
+      stats.lost_work_s += eviction_time - now;
+      ++stats.evictions;
+      remaining_work_out = remaining_work;
+      has_checkpoint_out = has_checkpoint;
+      return {eviction_time, false};
+    }
+    now += chunk;
+    uptime += chunk;
+
+    // Transfer: a periodic checkpoint, or the final result upload.
+    const auto [dur, moved, ok] = transfer(eviction_time - now);
+    stats.moved_mb += moved;
+    now += dur;
+    uptime += dur;
+    if (!ok) {
+      // The chunk was never committed.
+      stats.lost_work_s += chunk;
+      ++stats.evictions;
+      remaining_work_out = remaining_work;
+      has_checkpoint_out = has_checkpoint;
+      return {eviction_time, false};
+    }
+    stats.useful_work_s += chunk;
+    remaining_work -= chunk;
+    has_checkpoint = true;
+    measured_cost = dur;
+    if (remaining_work <= 1e-9) {
+      remaining_work_out = 0.0;
+      has_checkpoint_out = true;
+      return {now, true};
+    }
+  }
+}
+
+}  // namespace
+
+PoolSimResult run_pool_simulation(
+    const std::vector<TimelinePool::MachineSpec>& machine_specs,
+    const PoolSimConfig& config) {
+  if (machine_specs.empty()) {
+    throw std::invalid_argument("run_pool_simulation: need machines");
+  }
+  if (config.job_count == 0 || !(config.work_per_job_s > 0.0) ||
+      !(config.negotiation_interval_s > 0.0) || !(config.horizon_s > 0.0)) {
+    throw std::invalid_argument("run_pool_simulation: bad config");
+  }
+
+  numerics::Rng master(config.seed);
+
+  // Monitor histories → fitted models (what the planner is allowed to see).
+  std::vector<dist::DistributionPtr> fitted;
+  fitted.reserve(machine_specs.size());
+  for (const auto& spec : machine_specs) {
+    numerics::Rng hist_rng = master.split();
+    std::vector<double> history(config.train_count);
+    for (auto& h : history) h = spec.availability_law->sample(hist_rng);
+    dist::DistributionPtr model;
+    try {
+      model = core::Planner::fit_model(history, config.family);
+    } catch (const std::exception&) {
+      model = spec.availability_law;  // degenerate history
+    }
+    fitted.push_back(std::move(model));
+  }
+
+  TimelinePool pool(machine_specs, master.next_u64());
+  Matchmaker matchmaker(pool, fitted, config.policy, master.next_u64());
+  numerics::Rng transfer_rng = master.split();
+
+  struct JobState {
+    double remaining_work;
+    bool has_checkpoint = false;
+    PoolSimJobStats stats;
+  };
+  std::vector<JobState> jobs(config.job_count);
+  for (auto& j : jobs) j.remaining_work = config.work_per_job_s;
+
+  // Min-heap of (time, job) negotiation events.
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  for (std::size_t j = 0; j < jobs.size(); ++j) queue.push({0.0, j});
+
+  std::vector<bool> occupied(machine_specs.size(), false);
+  std::vector<double> occupied_until(machine_specs.size(), 0.0);
+
+  PoolSimResult result;
+  double last_finish = 0.0;
+  while (!queue.empty()) {
+    const auto [now, job_id] = queue.top();
+    queue.pop();
+    if (now >= config.horizon_s) continue;
+    JobState& job = jobs[job_id];
+
+    // Free machines whose placements have ended.
+    for (std::size_t m = 0; m < occupied.size(); ++m) {
+      if (occupied[m] && occupied_until[m] <= now) occupied[m] = false;
+    }
+
+    const auto match = matchmaker.place(now, occupied);
+    if (!match) {
+      // Nothing idle: wait for the next negotiation cycle.
+      queue.push({now + config.negotiation_interval_s, job_id});
+      continue;
+    }
+    ++job.stats.placements;
+    const double eviction_time = now + match->remaining_s;
+    double remaining_after = job.remaining_work;
+    bool ckpt_after = job.has_checkpoint;
+    const auto outcome = run_placement(
+        now, eviction_time, match->uptime_s, job.remaining_work,
+        job.has_checkpoint, fitted[match->machine_index], config,
+        transfer_rng, job.stats, remaining_after, ckpt_after);
+    job.remaining_work = remaining_after;
+    job.has_checkpoint = ckpt_after;
+    occupied[match->machine_index] = true;
+    occupied_until[match->machine_index] = outcome.end_time;
+
+    if (outcome.job_finished) {
+      job.stats.finished = true;
+      job.stats.completion_s = outcome.end_time;
+      last_finish = std::max(last_finish, outcome.end_time);
+    } else {
+      // Re-queue at the next negotiation after the eviction.
+      queue.push(
+          {outcome.end_time + config.negotiation_interval_s, job_id});
+    }
+  }
+
+  result.jobs.reserve(jobs.size());
+  bool all_finished = true;
+  for (auto& j : jobs) {
+    all_finished &= j.stats.finished;
+    result.jobs.push_back(j.stats);
+  }
+  result.makespan_s = all_finished ? last_finish : config.horizon_s;
+  return result;
+}
+
+}  // namespace harvest::condor

@@ -1,0 +1,81 @@
+#include "harvest/core/adaptive_planner.hpp"
+
+#include <stdexcept>
+
+namespace harvest::core {
+
+AdaptivePlanner::AdaptivePlanner(dist::DistributionPtr availability_model,
+                                 AdaptivePlannerOptions options)
+    : model_(std::move(availability_model)),
+      options_(options),
+      cost_estimate_s_(options.initial_cost_s) {
+  if (!model_) throw std::invalid_argument("AdaptivePlanner: null model");
+  if (!(options_.cost_smoothing > 0.0 && options_.cost_smoothing <= 1.0)) {
+    throw std::invalid_argument(
+        "AdaptivePlanner: cost_smoothing in (0, 1]");
+  }
+}
+
+void AdaptivePlanner::on_placement(double uptime_s) {
+  if (!(uptime_s >= 0.0)) {
+    throw std::invalid_argument("on_placement: uptime >= 0");
+  }
+  uptime_s_ = uptime_s;
+  placed_ = true;
+}
+
+void AdaptivePlanner::on_transfer_measured(double seconds) {
+  if (!(seconds >= 0.0)) {
+    throw std::invalid_argument("on_transfer_measured: seconds >= 0");
+  }
+  if (cost_estimate_s_ < 0.0) {
+    cost_estimate_s_ = seconds;
+  } else {
+    cost_estimate_s_ = (1.0 - options_.cost_smoothing) * cost_estimate_s_ +
+                       options_.cost_smoothing * seconds;
+  }
+  if (placed_) uptime_s_ += seconds;
+}
+
+void AdaptivePlanner::on_work_completed(double seconds) {
+  if (!(seconds >= 0.0)) {
+    throw std::invalid_argument("on_work_completed: seconds >= 0");
+  }
+  if (!placed_) throw std::logic_error("on_work_completed: not placed");
+  uptime_s_ += seconds;
+}
+
+void AdaptivePlanner::on_eviction() { placed_ = false; }
+
+OptimalInterval AdaptivePlanner::optimize_now() const {
+  if (!placed_) throw std::logic_error("AdaptivePlanner: not placed");
+  if (cost_estimate_s_ < 0.0) {
+    throw std::logic_error("AdaptivePlanner: no cost estimate yet");
+  }
+  IntervalCosts costs;
+  costs.checkpoint = cost_estimate_s_;
+  costs.recovery = cost_estimate_s_;
+  const CheckpointOptimizer optimizer(MarkovModel(model_, costs),
+                                      options_.optimizer);
+  return optimizer.optimize(uptime_s_);
+}
+
+double AdaptivePlanner::next_interval() const { return optimize_now().work_time; }
+
+double AdaptivePlanner::predicted_efficiency() const {
+  return optimize_now().efficiency;
+}
+
+double AdaptivePlanner::current_uptime_s() const {
+  if (!placed_) throw std::logic_error("current_uptime_s: not placed");
+  return uptime_s_;
+}
+
+double AdaptivePlanner::current_cost_estimate_s() const {
+  if (cost_estimate_s_ < 0.0) {
+    throw std::logic_error("current_cost_estimate_s: none yet");
+  }
+  return cost_estimate_s_;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,77 @@
+// The stateful, online side of the planner: what actually runs inside a
+// guest job. The offline CheckpointSchedule assumes constant costs known in
+// advance; a real job instead (paper §5.2) measures every transfer and
+// re-plans with the current cost estimate and its current machine uptime.
+// AdaptivePlanner packages that loop:
+//
+//   AdaptivePlanner planner(model, options);
+//   planner.on_placement(uptime_at_start);      // job lands on a machine
+//   double t = planner.next_interval();         // work this long...
+//   planner.on_work_completed(t);
+//   planner.on_transfer_measured(seconds);      // ...checkpoint, re-measure
+//   ...
+//   planner.on_eviction();                      // machine reclaimed
+//
+// Both the live-experiment emulation and the parallel-checkpoint simulator
+// drive their jobs through this class.
+#pragma once
+
+#include "harvest/core/optimizer.hpp"
+
+namespace harvest::core {
+
+struct AdaptivePlannerOptions {
+  /// Initial cost estimate before any transfer has been measured; negative
+  /// means "must be provided via on_transfer_measured or on_placement".
+  double initial_cost_s = -1.0;
+  /// Exponential smoothing weight for measured costs: estimate ←
+  /// (1−w)·estimate + w·measurement. 1.0 (the paper's live experiment)
+  /// tracks the latest measurement only.
+  double cost_smoothing = 1.0;
+  OptimizerOptions optimizer;
+};
+
+class AdaptivePlanner {
+ public:
+  AdaptivePlanner(dist::DistributionPtr availability_model,
+                  AdaptivePlannerOptions options = {});
+
+  /// The job was placed on a machine whose uptime is `uptime_s` (0 if just
+  /// rebooted/reclaimed). Resets per-placement state, keeps the cost
+  /// estimate (network conditions outlive placements).
+  void on_placement(double uptime_s = 0.0);
+
+  /// A transfer (recovery or checkpoint) took `seconds`; fold it into the
+  /// cost estimate. Also advances uptime by the transfer duration.
+  void on_transfer_measured(double seconds);
+
+  /// The planned work interval was completed; advances uptime.
+  void on_work_completed(double seconds);
+
+  /// The machine was reclaimed; uptime becomes meaningless until the next
+  /// on_placement.
+  void on_eviction();
+
+  /// T_opt for the job's current uptime and cost estimate. Throws
+  /// std::logic_error before any cost estimate exists or while evicted.
+  [[nodiscard]] double next_interval() const;
+
+  /// Model-predicted efficiency of the next interval.
+  [[nodiscard]] double predicted_efficiency() const;
+
+  [[nodiscard]] double current_uptime_s() const;
+  [[nodiscard]] double current_cost_estimate_s() const;
+  [[nodiscard]] bool placed() const { return placed_; }
+  [[nodiscard]] const dist::Distribution& model() const { return *model_; }
+
+ private:
+  [[nodiscard]] OptimalInterval optimize_now() const;
+
+  dist::DistributionPtr model_;
+  AdaptivePlannerOptions options_;
+  double uptime_s_ = 0.0;
+  double cost_estimate_s_;
+  bool placed_ = false;
+};
+
+}  // namespace harvest::core

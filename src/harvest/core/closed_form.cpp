@@ -1,0 +1,57 @@
+#include "harvest/core/closed_form.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::core {
+namespace {
+
+// E[X | X < w] for X ~ Exponential(rate), w > 0.
+double truncated_mean(double rate, double w) {
+  const double ew = std::exp(-rate * w);
+  const double mass = -std::expm1(-rate * w);  // 1 − e^{−λw}
+  return 1.0 / rate - w * ew / mass;
+}
+
+}  // namespace
+
+double exponential_gamma(double rate, const IntervalCosts& costs,
+                         double work_time) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("exponential_gamma: rate > 0");
+  }
+  if (!(work_time > 0.0)) {
+    throw std::invalid_argument("exponential_gamma: work_time > 0");
+  }
+  costs.validate();
+  const double a = costs.checkpoint + work_time;
+  const double b = costs.effective_latency() + costs.recovery + work_time;
+  const double p01 = std::exp(-rate * a);
+  const double p02 = -std::expm1(-rate * a);
+  if (p02 <= 0.0) return a;
+  const double p21 = std::exp(-rate * b);
+  const double p22 = -std::expm1(-rate * b);
+  const double k02 = truncated_mean(rate, a);
+  const double k22 = truncated_mean(rate, b);
+  return p01 * a + p02 * (k02 + k22 * p22 / p21 + b);
+}
+
+double young_interval(double rate, double checkpoint_cost) {
+  if (!(rate > 0.0) || !(checkpoint_cost > 0.0)) {
+    throw std::invalid_argument("young_interval: rate, cost > 0");
+  }
+  return std::sqrt(2.0 * checkpoint_cost / rate);
+}
+
+double daly_interval(double rate, double checkpoint_cost) {
+  if (!(rate > 0.0) || !(checkpoint_cost > 0.0)) {
+    throw std::invalid_argument("daly_interval: rate, cost > 0");
+  }
+  const double lc = rate * checkpoint_cost;
+  if (lc >= 2.0) return 1.0 / rate;
+  const double base = std::sqrt(2.0 * checkpoint_cost / rate);
+  return base * (1.0 + std::sqrt(lc / 2.0) / 3.0 + lc / 18.0) -
+         checkpoint_cost;
+}
+
+}  // namespace harvest::core

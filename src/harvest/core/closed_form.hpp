@@ -1,0 +1,30 @@
+// Closed-form results for the exponential availability model. The general
+// machinery (MarkovModel + golden section) handles the exponential too;
+// these expressions exist as (a) an independent cross-check the tests pin
+// the generic path against, and (b) the classical approximations users
+// coming from the literature expect to find.
+#pragma once
+
+#include "harvest/core/markov_model.hpp"
+
+namespace harvest::core {
+
+/// Exact Γ (paper Eq. 11) for availability ~ Exponential(rate), evaluated
+/// without quadrature:
+///   with A = C+T, B = L+R+T,
+///   K02 = 1/λ − A e^{−λA}/(1−e^{−λA}),  K22 analogous with B,
+///   Γ = e^{−λA}A + (1−e^{−λA})(K02 + K22(1−e^{−λB})/e^{−λB} + B).
+[[nodiscard]] double exponential_gamma(double rate, const IntervalCosts& costs,
+                                       double work_time);
+
+/// Young's classical first-order optimal interval √(2C/λ) (valid when
+/// λ(C+T) ≪ 1). The full optimizer refines this; the tests verify they
+/// agree in Young's regime.
+[[nodiscard]] double young_interval(double rate, double checkpoint_cost);
+
+/// Daly's higher-order refinement of Young:
+///   T ≈ √(2C/λ) · [1 + (1/3)√(λC/2) + (λC)/18] − C   for λC < 2,
+///   T ≈ 1/λ otherwise.
+[[nodiscard]] double daly_interval(double rate, double checkpoint_cost);
+
+}  // namespace harvest::core

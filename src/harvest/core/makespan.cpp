@@ -1,0 +1,49 @@
+#include "harvest/core/makespan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harvest/core/prediction.hpp"
+
+namespace harvest::core {
+
+MakespanEstimate estimate_makespan(CheckpointSchedule& schedule,
+                                   double work_s, double checkpoint_size_mb) {
+  if (!(work_s > 0.0)) {
+    throw std::invalid_argument("estimate_makespan: work_s > 0");
+  }
+  if (!(checkpoint_size_mb >= 0.0)) {
+    throw std::invalid_argument("estimate_makespan: size >= 0");
+  }
+  const MarkovModel& model = schedule.model();
+
+  MakespanEstimate est;
+  est.work_s = work_s;
+  // The job starts with one recovery-equivalent input transfer (fetching
+  // its input/last state), mirroring the simulators' accounting.
+  est.expected_mb += checkpoint_size_mb;
+
+  double remaining = work_s;
+  for (std::size_t i = 0; remaining > 0.0; ++i) {
+    const ScheduleEntry entry = schedule.entry(i);
+    const double chunk = std::min(entry.work_time, remaining);
+    // Γ for the (possibly shortened) final interval at this age.
+    const double gamma = (chunk == entry.work_time)
+                             ? entry.gamma
+                             : model.gamma(chunk, entry.age);
+    est.expected_time_s += gamma;
+    const auto pred =
+        predict_steady_state(model, chunk, entry.age, checkpoint_size_mb);
+    est.expected_mb +=
+        checkpoint_size_mb * (1.0 + pred.recovery_visits);
+    remaining -= chunk;
+    ++est.intervals;
+    if (est.intervals > 1000000) {
+      throw std::runtime_error(
+          "estimate_makespan: schedule does not make progress");
+    }
+  }
+  return est;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,35 @@
+// Expected completion time of a FINITE job under a checkpoint schedule:
+// "how long will my 8-hour job actually take on this machine?" — the
+// question a user asks before submitting. Walks the aperiodic schedule,
+// charging each interval its expected wall-clock Γ(Tᵢ; ageᵢ) until the
+// accumulated committed work covers the requirement, and prices the final
+// partial interval the same way.
+//
+// The estimate inherits the Markov model's assumptions (costs constant,
+// schedule restarts after failures are folded into each Γ), so it is a
+// planning-time expectation, not a distribution; the pool simulator gives
+// the empirical counterpart.
+#pragma once
+
+#include "harvest/core/schedule.hpp"
+
+namespace harvest::core {
+
+struct MakespanEstimate {
+  double expected_time_s = 0.0;   ///< wall clock including all overheads
+  double work_s = 0.0;            ///< the requested computation
+  std::size_t intervals = 0;      ///< checkpoint intervals consumed
+  double expected_mb = 0.0;       ///< analytic network estimate (upper bound)
+  /// work / expected_time — the job-level efficiency forecast.
+  [[nodiscard]] double efficiency() const {
+    return expected_time_s > 0.0 ? work_s / expected_time_s : 0.0;
+  }
+};
+
+/// Estimate for `work_s` seconds of computation on the scheduled machine.
+/// `checkpoint_size_mb` prices the network estimate. Throws on work <= 0.
+[[nodiscard]] MakespanEstimate estimate_makespan(
+    CheckpointSchedule& schedule, double work_s,
+    double checkpoint_size_mb = 500.0);
+
+}  // namespace harvest::core

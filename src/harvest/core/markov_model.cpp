@@ -1,0 +1,86 @@
+#include "harvest/core/markov_model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harvest::core {
+
+void IntervalCosts::validate() const {
+  if (!(checkpoint >= 0.0) || !std::isfinite(checkpoint)) {
+    throw std::invalid_argument("IntervalCosts: checkpoint must be >= 0");
+  }
+  if (!(recovery >= 0.0) || !std::isfinite(recovery)) {
+    throw std::invalid_argument("IntervalCosts: recovery must be >= 0");
+  }
+  if (latency >= 0.0 && !std::isfinite(latency)) {
+    throw std::invalid_argument("IntervalCosts: latency must be finite");
+  }
+}
+
+MarkovModel::MarkovModel(dist::DistributionPtr availability,
+                         IntervalCosts costs)
+    : availability_(std::move(availability)), costs_(costs) {
+  if (!availability_) throw std::invalid_argument("MarkovModel: null model");
+  costs_.validate();
+}
+
+IntervalTransitions MarkovModel::transitions(double work_time,
+                                             double age) const {
+  if (!(work_time > 0.0) || !std::isfinite(work_time)) {
+    throw std::invalid_argument("MarkovModel: work_time must be > 0");
+  }
+  if (!(age >= 0.0)) {
+    throw std::invalid_argument("MarkovModel: age must be >= 0");
+  }
+  const dist::Distribution& d = *availability_;
+  const double c_plus_t = costs_.checkpoint + work_time;
+  const double lrt =
+      costs_.effective_latency() + costs_.recovery + work_time;
+
+  IntervalTransitions tr;
+  // State-0 quantities use the future-lifetime law at `age`.
+  tr.p01 = d.conditional_survival(age, c_plus_t);
+  tr.k01 = c_plus_t;
+  tr.p02 = 1.0 - tr.p01;
+  if (tr.p02 > 0.0) {
+    // E[X | X < C+T] under the conditional law; partial expectation of the
+    // conditional reduces to unconditional partial expectations.
+    const double s_age = d.survival(age);
+    const double pe = (d.partial_expectation(age + c_plus_t) -
+                       d.partial_expectation(age) -
+                       age * (s_age - d.survival(age + c_plus_t))) /
+                      s_age;
+    tr.k02 = pe / tr.p02;
+  }
+  // State-2 quantities use the unconditional law (failure reset the machine).
+  tr.p21 = d.survival(lrt);
+  tr.k21 = lrt;
+  tr.p22 = 1.0 - tr.p21;
+  if (tr.p22 > 0.0) {
+    tr.k22 = d.partial_expectation(lrt) / tr.p22;
+  }
+  return tr;
+}
+
+double MarkovModel::gamma(double work_time, double age) const {
+  const IntervalTransitions tr = transitions(work_time, age);
+  if (tr.p02 <= 0.0) return tr.k01;  // failure impossible: Γ = C + T
+  if (tr.p21 <= 0.0) {
+    // Completion after a failure is impossible: the interval never ends.
+    return std::numeric_limits<double>::infinity();
+  }
+  return tr.p01 * tr.k01 +
+         tr.p02 * (tr.k02 + tr.k22 * tr.p22 / tr.p21 + tr.k21);
+}
+
+double MarkovModel::overhead_ratio(double work_time, double age) const {
+  return gamma(work_time, age) / work_time;
+}
+
+double MarkovModel::expected_efficiency(double work_time, double age) const {
+  const double g = gamma(work_time, age);
+  return std::isinf(g) ? 0.0 : work_time / g;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,89 @@
+// Vaidya's three-state Markov model of a single checkpoint interval
+// (paper §3.5, Figure 2), generalized to arbitrary availability
+// distributions and to future-lifetime conditioning.
+//
+// States: 0 = interval starts (machine currently up, uptime = `age`),
+//         1 = interval's checkpoint committed,
+//         2 = the machine failed somewhere in the interval.
+//
+// Transition probabilities / expected costs, with F_age the future-lifetime
+// law of the availability distribution given uptime `age` (Eq. 8), and
+// F the unconditional law (a failure resets uptime):
+//
+//   P01 = 1 − F_age(C+T)        K01 = C + T
+//   P02 = F_age(C+T)            K02 = E[X | X < C+T] under F_age
+//   P21 = 1 − F(L+R+T)          K21 = L + R + T
+//   P22 = F(L+R+T)              K22 = E[X | X < L+R+T] under F
+//
+//   Γ(T) = P01·K01 + P02·(K02 + (P22/P21)·K22 + K21)        (Eq. 11)
+//
+// (The paper's Eq. 11 prints "K20"; the geometric-retry expectation
+// E[time 2→1] = (P22/P21)·K22 + K21 identifies it as K21.)
+//
+// Γ is the expected wall-clock time to advance the application by T seconds
+// of useful work; Γ(T)/T is the overhead ratio the optimizer minimizes, and
+// T/Γ(T) is the expected efficiency.
+#pragma once
+
+#include <string>
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::core {
+
+/// Phase costs of the recovery → work → checkpoint cycle, in seconds.
+struct IntervalCosts {
+  double checkpoint = 0.0;  ///< C: time the application is blocked checkpointing
+  double recovery = 0.0;    ///< R: time to restore the last checkpoint
+  /// L: checkpoint latency until the checkpoint is safely committed. Vaidya
+  /// distinguishes L from C; with sequential (non-overlapped) checkpointing
+  /// over a network, L == C, which is the paper's (and our) default — a
+  /// negative value means "use C".
+  double latency = -1.0;
+
+  [[nodiscard]] double effective_latency() const {
+    return latency < 0.0 ? checkpoint : latency;
+  }
+  void validate() const;
+};
+
+/// All transition probabilities and costs for one work-interval length T.
+struct IntervalTransitions {
+  double p01 = 0.0, k01 = 0.0;
+  double p02 = 0.0, k02 = 0.0;
+  double p21 = 0.0, k21 = 0.0;
+  double p22 = 0.0, k22 = 0.0;
+};
+
+class MarkovModel {
+ public:
+  /// `availability` models the machine's availability durations;
+  /// `costs` the checkpoint/recovery/latency constants.
+  MarkovModel(dist::DistributionPtr availability, IntervalCosts costs);
+
+  [[nodiscard]] const dist::Distribution& availability() const {
+    return *availability_;
+  }
+  [[nodiscard]] const IntervalCosts& costs() const { return costs_; }
+
+  /// Transition probabilities/costs for work length T when the machine has
+  /// been up `age` seconds at the interval's start.
+  [[nodiscard]] IntervalTransitions transitions(double work_time,
+                                                double age) const;
+
+  /// Expected time Γ to complete one T-second work interval (Eq. 11).
+  /// Returns +inf when completion is impossible (P21 == 0).
+  [[nodiscard]] double gamma(double work_time, double age) const;
+
+  /// Overhead ratio Γ(T)/T — the quantity the paper minimizes.
+  [[nodiscard]] double overhead_ratio(double work_time, double age) const;
+
+  /// Expected efficiency T/Γ(T) ∈ (0, 1].
+  [[nodiscard]] double expected_efficiency(double work_time, double age) const;
+
+ private:
+  dist::DistributionPtr availability_;
+  IntervalCosts costs_;
+};
+
+}  // namespace harvest::core

@@ -1,0 +1,42 @@
+#include "harvest/core/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "harvest/numerics/minimize.hpp"
+
+namespace harvest::core {
+
+CheckpointOptimizer::CheckpointOptimizer(MarkovModel model,
+                                         OptimizerOptions opts)
+    : model_(std::move(model)), opts_(opts) {
+  if (!(opts_.t_min > 0.0) || !(opts_.t_max > opts_.t_min)) {
+    throw std::invalid_argument(
+        "CheckpointOptimizer: need 0 < t_min < t_max");
+  }
+  if (opts_.scan_points < 3) {
+    throw std::invalid_argument("CheckpointOptimizer: scan_points >= 3");
+  }
+}
+
+OptimalInterval CheckpointOptimizer::optimize(double age) const {
+  const auto objective = [this, age](double t) {
+    return model_.overhead_ratio(t, age);
+  };
+  const auto res = numerics::minimize_log_bracketed(
+      objective, opts_.t_min, opts_.t_max, opts_.scan_points, opts_.tolerance);
+
+  OptimalInterval out;
+  out.work_time = res.x;
+  out.gamma = res.value * res.x;
+  out.efficiency = std::isinf(out.gamma) ? 0.0 : res.x / out.gamma;
+  out.evaluations = res.evaluations;
+  // Detect a minimum pinned to the top of the search range (within one scan
+  // grid step of t_max).
+  const double log_step = (std::log(opts_.t_max) - std::log(opts_.t_min)) /
+                          (opts_.scan_points - 1);
+  out.at_upper_bound = std::log(opts_.t_max) - std::log(res.x) < 1.5 * log_step;
+  return out;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,46 @@
+// Optimal work-interval selection: minimize the overhead ratio Γ(T)/T with
+// a log-space bracket scan followed by Golden Section Search (the paper uses
+// Numerical Recipes' golden section for the same minimization).
+#pragma once
+
+#include "harvest/core/markov_model.hpp"
+
+namespace harvest::core {
+
+struct OptimizerOptions {
+  /// Search range for T in seconds. The upper bound caps how long the
+  /// application will run without a checkpoint even when the model says
+  /// failure is unlikely (a week by default).
+  double t_min = 1.0;
+  double t_max = 7.0 * 24.0 * 3600.0;
+  /// Log-scan resolution used to bracket the minimum before refinement.
+  int scan_points = 48;
+  /// Relative tolerance for the golden-section refinement.
+  double tolerance = 1e-4;
+};
+
+struct OptimalInterval {
+  double work_time = 0.0;    ///< T_opt, seconds
+  double gamma = 0.0;        ///< expected wall-clock time Γ(T_opt)
+  double efficiency = 0.0;   ///< T_opt / Γ(T_opt)
+  bool at_upper_bound = false;  ///< T_opt hit t_max (model favors "never checkpoint")
+  int evaluations = 0;
+};
+
+class CheckpointOptimizer {
+ public:
+  explicit CheckpointOptimizer(MarkovModel model, OptimizerOptions opts = {});
+
+  [[nodiscard]] const MarkovModel& model() const { return model_; }
+  [[nodiscard]] const OptimizerOptions& options() const { return opts_; }
+
+  /// T_opt for an interval starting when the machine has been up `age`
+  /// seconds (T_elapsed in the paper; 0 right after a failure).
+  [[nodiscard]] OptimalInterval optimize(double age = 0.0) const;
+
+ private:
+  MarkovModel model_;
+  OptimizerOptions opts_;
+};
+
+}  // namespace harvest::core

@@ -1,0 +1,88 @@
+#include "harvest/core/planner.hpp"
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+
+#include "harvest/fit/em_hyperexp.hpp"
+#include "harvest/fit/mle_exponential.hpp"
+#include "harvest/fit/mle_gamma.hpp"
+#include "harvest/fit/mle_lognormal.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+#include "harvest/fit/model_select.hpp"
+
+namespace harvest::core {
+
+std::string to_string(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kExponential: return "exponential";
+    case ModelFamily::kWeibull: return "weibull";
+    case ModelFamily::kHyperexp2: return "hyperexp2";
+    case ModelFamily::kHyperexp3: return "hyperexp3";
+    case ModelFamily::kLognormal: return "lognormal";
+    case ModelFamily::kGamma: return "gamma";
+    case ModelFamily::kAutoAic: return "auto-aic";
+  }
+  throw std::invalid_argument("to_string: unknown ModelFamily");
+}
+
+ModelFamily model_family_from_string(const std::string& name) {
+  if (name == "exponential" || name == "exp") return ModelFamily::kExponential;
+  if (name == "weibull") return ModelFamily::kWeibull;
+  if (name == "hyperexp2" || name == "hyper2") return ModelFamily::kHyperexp2;
+  if (name == "hyperexp3" || name == "hyper3") return ModelFamily::kHyperexp3;
+  if (name == "lognormal") return ModelFamily::kLognormal;
+  if (name == "gamma") return ModelFamily::kGamma;
+  if (name == "auto-aic" || name == "auto") return ModelFamily::kAutoAic;
+  throw std::invalid_argument("model_family_from_string: unknown family '" +
+                              name + "'");
+}
+
+std::span<const ModelFamily> paper_families() {
+  static constexpr std::array<ModelFamily, 4> kFamilies = {
+      ModelFamily::kExponential, ModelFamily::kWeibull,
+      ModelFamily::kHyperexp2, ModelFamily::kHyperexp3};
+  return kFamilies;
+}
+
+dist::DistributionPtr Planner::fit_model(std::span<const double> durations,
+                                         ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kExponential:
+      return std::make_shared<dist::Exponential>(
+          fit::fit_exponential_mle(durations));
+    case ModelFamily::kWeibull:
+      return std::make_shared<dist::Weibull>(
+          fit::fit_weibull_mle(durations));
+    case ModelFamily::kHyperexp2:
+      return std::make_shared<dist::Hyperexponential>(
+          fit::fit_hyperexp_em(durations, 2).model);
+    case ModelFamily::kHyperexp3:
+      return std::make_shared<dist::Hyperexponential>(
+          fit::fit_hyperexp_em(durations, 3).model);
+    case ModelFamily::kLognormal:
+      return std::make_shared<dist::Lognormal>(
+          fit::fit_lognormal_mle(durations));
+    case ModelFamily::kGamma:
+      return std::make_shared<dist::GammaDist>(fit::fit_gamma_mle(durations));
+    case ModelFamily::kAutoAic: {
+      const auto fits = fit::fit_all(durations);
+      return fit::best_by_aic(fits).model;
+    }
+  }
+  throw std::invalid_argument("Planner::fit_model: unknown ModelFamily");
+}
+
+CheckpointSchedule Planner::make_schedule(dist::DistributionPtr model,
+                                          IntervalCosts costs,
+                                          ScheduleOptions opts) {
+  return CheckpointSchedule(MarkovModel(std::move(model), costs), opts);
+}
+
+CheckpointSchedule Planner::plan(std::span<const double> durations,
+                                 ModelFamily family, IntervalCosts costs,
+                                 ScheduleOptions opts) {
+  return make_schedule(fit_model(durations, family), costs, opts);
+}
+
+}  // namespace harvest::core

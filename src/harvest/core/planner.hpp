@@ -1,0 +1,52 @@
+// High-level end-user API: from recorded availability durations to a
+// checkpoint schedule. This is the piece that runs "when an application is
+// assigned to a resource by the resource-harvesting system" — it fits the
+// requested model family to the resource's history and parameterizes the
+// Markov optimizer with it.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "harvest/core/schedule.hpp"
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::core {
+
+/// The paper's model menu, two extra families from the availability
+/// literature, and automatic selection.
+enum class ModelFamily {
+  kExponential,
+  kWeibull,
+  kHyperexp2,
+  kHyperexp3,
+  kLognormal,
+  kGamma,
+  kAutoAic,  ///< fit the paper's menu, keep the smallest-AIC model
+};
+
+[[nodiscard]] std::string to_string(ModelFamily family);
+[[nodiscard]] ModelFamily model_family_from_string(const std::string& name);
+
+/// All four concrete families, in the paper's column order.
+[[nodiscard]] std::span<const ModelFamily> paper_families();
+
+class Planner {
+ public:
+  /// Fit `family` to the availability durations (seconds). Throws
+  /// std::invalid_argument when the sample cannot support the family.
+  [[nodiscard]] static dist::DistributionPtr fit_model(
+      std::span<const double> durations, ModelFamily family);
+
+  /// Build a lazily evaluated schedule for a fitted model.
+  [[nodiscard]] static CheckpointSchedule make_schedule(
+      dist::DistributionPtr model, IntervalCosts costs,
+      ScheduleOptions opts = {});
+
+  /// One-shot: fit + schedule.
+  [[nodiscard]] static CheckpointSchedule plan(
+      std::span<const double> durations, ModelFamily family,
+      IntervalCosts costs, ScheduleOptions opts = {});
+};
+
+}  // namespace harvest::core

@@ -1,0 +1,33 @@
+#include "harvest/core/prediction.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harvest::core {
+
+SteadyStatePrediction predict_steady_state(const MarkovModel& model,
+                                           double work_time, double age,
+                                           double checkpoint_size_mb) {
+  if (!(checkpoint_size_mb >= 0.0)) {
+    throw std::invalid_argument("predict_steady_state: size >= 0");
+  }
+  const IntervalTransitions tr = model.transitions(work_time, age);
+  SteadyStatePrediction out;
+  out.work_time = work_time;
+  out.gamma = model.gamma(work_time, age);
+  if (std::isinf(out.gamma)) {
+    out.efficiency = 0.0;
+    out.recovery_visits = std::numeric_limits<double>::infinity();
+    out.transfers_per_hour = std::numeric_limits<double>::infinity();
+    out.mb_per_hour = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  out.efficiency = work_time / out.gamma;
+  out.recovery_visits = (tr.p21 > 0.0) ? tr.p02 / tr.p21 : 0.0;
+  out.transfers_per_hour = (1.0 + out.recovery_visits) / out.gamma * 3600.0;
+  out.mb_per_hour = out.transfers_per_hour * checkpoint_size_mb;
+  return out;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,39 @@
+// Analytic predictions of the schedule's steady-state behavior from the
+// Markov model alone — no simulation. Used to size network/storage before
+// deploying ("what MB/hour will 50 of these jobs generate?") and tested
+// against the trace simulator.
+//
+// Derivation. Per committed work interval (one 0→…→1 passage):
+//   * exactly one checkpoint transfer completes (the one that commits);
+//   * the chain visits state 2 an expected V = P02 / P21 times, and every
+//     visit begins with a recovery transfer (completed or cut short);
+//   * the passage consumes Γ seconds in expectation.
+// So the transfer-initiation rate is (1 + V) / Γ and the committed-work
+// throughput is T / Γ. Treating every initiated transfer as a full
+// `checkpoint_size_mb` gives a slight over-estimate (interrupted transfers
+// move fewer bytes); the simulator's pro-rated accounting is the ground
+// truth the tests compare against.
+#pragma once
+
+#include "harvest/core/markov_model.hpp"
+
+namespace harvest::core {
+
+struct SteadyStatePrediction {
+  double work_time = 0.0;            ///< the T the prediction was made for
+  double gamma = 0.0;                ///< expected seconds per interval
+  double efficiency = 0.0;           ///< T / Γ
+  double recovery_visits = 0.0;      ///< expected state-2 visits / interval
+  double transfers_per_hour = 0.0;   ///< initiated transfers per hour
+  double mb_per_hour = 0.0;          ///< upper-bound network rate
+};
+
+/// Predict steady-state rates for running work intervals of length
+/// `work_time` on a machine whose uptime at each interval start is `age`
+/// (use 0 for the freshly-recovered steady state the trace simulator
+/// reproduces).
+[[nodiscard]] SteadyStatePrediction predict_steady_state(
+    const MarkovModel& model, double work_time, double age,
+    double checkpoint_size_mb = 500.0);
+
+}  // namespace harvest::core

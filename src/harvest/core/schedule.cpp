@@ -1,0 +1,45 @@
+#include "harvest/core/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::core {
+
+CheckpointSchedule::CheckpointSchedule(MarkovModel model, ScheduleOptions opts)
+    : optimizer_(std::move(model), opts.optimizer), opts_(opts) {
+  if (!(opts_.initial_age >= 0.0)) {
+    throw std::invalid_argument("CheckpointSchedule: initial_age >= 0");
+  }
+}
+
+ScheduleEntry CheckpointSchedule::entry(std::size_t i) {
+  while (entries_.size() <= i) {
+    double age;
+    if (entries_.empty() || !opts_.condition_on_age) {
+      age = opts_.initial_age +
+            (opts_.recovery_leads ? optimizer_.model().costs().recovery : 0.0);
+    } else {
+      const ScheduleEntry& prev = entries_.back();
+      age = prev.age + prev.work_time + optimizer_.model().costs().checkpoint;
+    }
+    const OptimalInterval opt = optimizer_.optimize(age);
+    ScheduleEntry e;
+    e.work_time = opt.work_time;
+    e.age = age;
+    e.gamma = opt.gamma;
+    e.efficiency = opt.efficiency;
+    e.at_upper_bound = opt.at_upper_bound;
+    entries_.push_back(e);
+  }
+  return entries_[i];
+}
+
+bool CheckpointSchedule::is_periodic() {
+  const ScheduleEntry e0 = entry(0);
+  const ScheduleEntry e1 = entry(1);
+  const double rel =
+      std::fabs(e1.work_time - e0.work_time) / std::max(e0.work_time, 1e-12);
+  return rel < 1e-3;
+}
+
+}  // namespace harvest::core

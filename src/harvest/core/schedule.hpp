@@ -1,0 +1,69 @@
+// Aperiodic checkpoint schedules (paper §3.5). For a non-memoryless
+// availability model the optimal work interval depends on the machine's
+// uptime, so the schedule is a *sequence* T_opt(0), T_opt(1), … computed
+// from the start of an availability period:
+//
+//   age(0)   = initial_age (+ R if the period opens with a recovery)
+//   T_opt(i) = argmin_T Γ(T; age(i)) / T
+//   age(i+1) = age(i) + T_opt(i) + C
+//
+// The schedule is valid until the machine fails; after a failure the
+// schedule restarts from index 0 (uptime resets). Entries are computed
+// lazily and memoized, so a schedule shared across many availability
+// periods (as in the trace simulator) costs each index once.
+#pragma once
+
+#include <vector>
+
+#include "harvest/core/optimizer.hpp"
+
+namespace harvest::core {
+
+struct ScheduleOptions {
+  /// Machine uptime when the application is initiated (T_elapsed at start).
+  double initial_age = 0.0;
+  /// Whether the first work interval is preceded by a recovery phase that
+  /// itself consumes uptime (true in the paper's recovery→work→checkpoint
+  /// cycle: a placed job first restores its last checkpoint).
+  bool recovery_leads = true;
+  /// When false, every interval is computed at the first interval's age —
+  /// i.e. the future-lifetime conditioning of §3.3 is disabled and the
+  /// schedule degenerates to a periodic one. Exists for the ablation bench
+  /// that quantifies what the conditioning buys.
+  bool condition_on_age = true;
+  OptimizerOptions optimizer;
+};
+
+struct ScheduleEntry {
+  double work_time = 0.0;   ///< T_opt(i)
+  double age = 0.0;         ///< machine uptime when interval i starts
+  double gamma = 0.0;
+  double efficiency = 0.0;  ///< model-predicted T/Γ for this interval
+  bool at_upper_bound = false;
+};
+
+class CheckpointSchedule {
+ public:
+  CheckpointSchedule(MarkovModel model, ScheduleOptions opts = {});
+
+  /// i-th interval (lazily computed). Returned by value: the memo vector
+  /// grows on demand, so references into it would not survive later calls.
+  ScheduleEntry entry(std::size_t i);
+
+  /// Number of entries computed so far.
+  [[nodiscard]] std::size_t computed() const { return entries_.size(); }
+
+  [[nodiscard]] const MarkovModel& model() const { return optimizer_.model(); }
+  [[nodiscard]] const ScheduleOptions& options() const { return opts_; }
+
+  /// True when the availability model is memoryless (all entries equal);
+  /// detected numerically from the first two entries.
+  bool is_periodic();
+
+ private:
+  CheckpointOptimizer optimizer_;
+  ScheduleOptions opts_;
+  std::vector<ScheduleEntry> entries_;
+};
+
+}  // namespace harvest::core

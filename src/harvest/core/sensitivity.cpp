@@ -1,0 +1,63 @@
+#include "harvest/core/sensitivity.hpp"
+
+#include <stdexcept>
+
+namespace harvest::core {
+namespace {
+
+OptimalInterval optimize_at(const dist::DistributionPtr& model, double cost,
+                            double age, const OptimizerOptions& opts) {
+  IntervalCosts costs;
+  costs.checkpoint = cost;
+  costs.recovery = cost;
+  const CheckpointOptimizer optimizer(MarkovModel(model, costs), opts);
+  return optimizer.optimize(age);
+}
+
+}  // namespace
+
+std::vector<EfficiencyPoint> efficiency_vs_cost(dist::DistributionPtr model,
+                                                std::span<const double> costs,
+                                                double age,
+                                                const OptimizerOptions& opts) {
+  if (!model) throw std::invalid_argument("efficiency_vs_cost: null model");
+  std::vector<EfficiencyPoint> out;
+  out.reserve(costs.size());
+  for (double c : costs) {
+    const auto opt = optimize_at(model, c, age, opts);
+    out.push_back(EfficiencyPoint{c, opt.work_time, opt.efficiency});
+  }
+  return out;
+}
+
+double efficiency_cost_derivative(dist::DistributionPtr model, double cost,
+                                  double age, double relative_step,
+                                  const OptimizerOptions& opts) {
+  if (!model) {
+    throw std::invalid_argument("efficiency_cost_derivative: null model");
+  }
+  if (!(cost > 0.0) || !(relative_step > 0.0)) {
+    throw std::invalid_argument(
+        "efficiency_cost_derivative: cost and step must be > 0");
+  }
+  const double h = cost * relative_step;
+  const double lo = optimize_at(model, cost - h, age, opts).efficiency;
+  const double hi = optimize_at(model, cost + h, age, opts).efficiency;
+  return (hi - lo) / (2.0 * h);
+}
+
+double robustness_ratio(dist::DistributionPtr model, IntervalCosts costs,
+                        double t_used, double age,
+                        const OptimizerOptions& opts) {
+  if (!model) throw std::invalid_argument("robustness_ratio: null model");
+  if (!(t_used > 0.0)) {
+    throw std::invalid_argument("robustness_ratio: t_used > 0");
+  }
+  const MarkovModel markov(model, costs);
+  const CheckpointOptimizer optimizer(markov, opts);
+  const double best = optimizer.optimize(age).efficiency;
+  if (best <= 0.0) return 0.0;
+  return markov.expected_efficiency(t_used, age) / best;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,43 @@
+// Sensitivity analysis around an optimized checkpoint plan: how the
+// expected efficiency responds to the checkpoint cost (what a faster
+// network would buy the site) and to using a sub-optimal interval (how
+// much schedule precision actually matters). Administrators use the first
+// to size storage/network; the second justifies the paper's observation
+// that several model families land within a few points of each other.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "harvest/core/optimizer.hpp"
+
+namespace harvest::core {
+
+struct EfficiencyPoint {
+  double cost = 0.0;        ///< checkpoint cost C (= R) in seconds
+  double work_time = 0.0;   ///< T_opt at that cost
+  double efficiency = 0.0;  ///< predicted T/Γ at T_opt
+};
+
+/// Optimized efficiency as a function of checkpoint cost (C == R), at a
+/// fixed machine uptime.
+[[nodiscard]] std::vector<EfficiencyPoint> efficiency_vs_cost(
+    dist::DistributionPtr model, std::span<const double> costs,
+    double age = 0.0, const OptimizerOptions& opts = {});
+
+/// d(efficiency*)/dC at the given cost (central difference on the
+/// re-optimized efficiency; units: per second of checkpoint cost).
+[[nodiscard]] double efficiency_cost_derivative(
+    dist::DistributionPtr model, double cost, double age = 0.0,
+    double relative_step = 0.05, const OptimizerOptions& opts = {});
+
+/// Relative efficiency retained when running interval `t_used` instead of
+/// T_opt: (T_used/Γ(T_used)) / (T_opt/Γ(T_opt)) ∈ (0, 1]. Values near 1
+/// over a wide range of t_used mean the optimum is flat (schedule precision
+/// barely matters — the paper's "small differences" effect).
+[[nodiscard]] double robustness_ratio(dist::DistributionPtr model,
+                                      IntervalCosts costs, double t_used,
+                                      double age = 0.0,
+                                      const OptimizerOptions& opts = {});
+
+}  // namespace harvest::core

@@ -1,0 +1,103 @@
+#include "harvest/dist/conditional.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "harvest/numerics/quadrature.hpp"
+
+namespace harvest::dist {
+
+Conditional::Conditional(DistributionPtr base, double age)
+    : base_(std::move(base)), age_(age) {
+  if (!base_) throw std::invalid_argument("Conditional: null base");
+  if (!(age >= 0.0) || !std::isfinite(age)) {
+    throw std::invalid_argument("Conditional: age must be finite and >= 0");
+  }
+  base_survival_at_age_ = base_->survival(age_);
+  if (base_survival_at_age_ <= 0.0) {
+    throw std::invalid_argument(
+        "Conditional: base survival at age is zero; conditioning undefined");
+  }
+}
+
+double Conditional::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return base_->pdf(age_ + x) / base_survival_at_age_;
+}
+
+double Conditional::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - base_->conditional_survival(age_, x);
+}
+
+double Conditional::survival(double x) const {
+  if (x <= 0.0) return 1.0;
+  return base_->conditional_survival(age_, x);
+}
+
+double Conditional::mean() const {
+  // E[X − t | X > t] = ∫₀^∞ S_t(x) dx, integrated over doubling panels.
+  // (The closed form (E[X] − PE(t) − t·S(t)) / S(t) cancels catastrophically
+  // once S(t) is far below 1, so it is not used.)
+  const double m = std::max(base_->mean(), 1.0);
+  const auto s = [this](double x) { return survival(x); };
+  // Head chunk adaptively (heavy-tailed survivals have unbounded slope at
+  // 0), then geometrically growing Gauss–Legendre panels for the tail.
+  double total = numerics::integrate_adaptive_simpson(s, 0.0, m, 1e-10 * m);
+  double lo = m;
+  double width = m;
+  for (int i = 0; i < 64; ++i) {
+    const double chunk = numerics::integrate_gauss_legendre(s, lo, lo + width, 8);
+    total += chunk;
+    lo += width;
+    if (survival(lo) < 1e-13 && chunk < 1e-10 * total) break;
+    width *= 2.0;
+  }
+  return total;
+}
+
+double Conditional::sample(numerics::Rng& rng) const {
+  // Inverse transform through the base quantile:
+  // X | X > t  ~  F⁻¹(F(t) + U·S(t)), then shift by −t.
+  const double u = rng.uniform();
+  const double p = base_->cdf(age_) + u * base_survival_at_age_;
+  if (p >= 1.0) {
+    // Defend against round-off at the far tail.
+    return base_->quantile(std::nextafter(1.0, 0.0)) - age_;
+  }
+  return base_->quantile(p) - age_;
+}
+
+double Conditional::partial_expectation(double x) const {
+  if (x < 0.0) throw std::invalid_argument("partial_expectation: x >= 0");
+  if (x == 0.0) return 0.0;
+  // ∫₀ˣ u f_t(u) du = [PE(t+x) − PE(t) − t(F(t+x) − F(t))] / S(t)
+  const double pe_delta = base_->partial_expectation(age_ + x) -
+                          base_->partial_expectation(age_);
+  const double cdf_delta =
+      base_survival_at_age_ - base_->survival(age_ + x);
+  return (pe_delta - age_ * cdf_delta) / base_survival_at_age_;
+}
+
+double Conditional::conditional_survival(double t, double x) const {
+  // Conditioning a conditional just adds ages.
+  return base_->conditional_survival(age_ + t, x);
+}
+
+int Conditional::parameter_count() const { return base_->parameter_count(); }
+
+std::string Conditional::name() const { return base_->name() + "|age"; }
+
+std::string Conditional::describe() const {
+  std::ostringstream out;
+  out << base_->describe() << " conditioned on age " << age_;
+  return out.str();
+}
+
+std::unique_ptr<Distribution> Conditional::clone() const {
+  return std::make_unique<Conditional>(base_, age_);
+}
+
+}  // namespace harvest::dist

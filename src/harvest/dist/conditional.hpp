@@ -1,0 +1,41 @@
+// Future-lifetime (residual-life) distribution: the law of X − t given
+// X > t (paper Eq. 8). This is what the optimizer actually plugs into the
+// Markov model's state-0 quantities — the machine has already been up for
+// `age` seconds, and all probabilities must be conditioned on that.
+//
+// The wrapper delegates to the base family's closed forms
+// (conditional_survival, partial_expectation), so it is exact and O(1) for
+// all three paper families while remaining correct for any Distribution.
+#pragma once
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::dist {
+
+class Conditional final : public Distribution {
+ public:
+  /// Future-lifetime law of `base` given survival to `age` (>= 0).
+  Conditional(DistributionPtr base, double age);
+
+  [[nodiscard]] double age() const { return age_; }
+  [[nodiscard]] const Distribution& base() const { return *base_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double survival(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double sample(numerics::Rng& rng) const override;
+  [[nodiscard]] double partial_expectation(double x) const override;
+  [[nodiscard]] double conditional_survival(double t, double x) const override;
+  [[nodiscard]] int parameter_count() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  DistributionPtr base_;
+  double age_;
+  double base_survival_at_age_;
+};
+
+}  // namespace harvest::dist

@@ -1,0 +1,95 @@
+#include "harvest/dist/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "harvest/numerics/quadrature.hpp"
+#include "harvest/numerics/roots.hpp"
+
+namespace harvest::dist {
+
+double Distribution::log_pdf(double x) const {
+  const double p = pdf(x);
+  return (p > 0.0) ? std::log(p) : -std::numeric_limits<double>::infinity();
+}
+
+double Distribution::survival(double x) const { return 1.0 - cdf(x); }
+
+double Distribution::hazard(double x) const {
+  const double s = survival(x);
+  if (s <= 0.0) return std::numeric_limits<double>::infinity();
+  return pdf(x) / s;
+}
+
+double Distribution::second_moment() const {
+  // E[X²] = 2 ∫₀^∞ t S(t) dt, integrated over doubling panels.
+  const double m = std::max(mean(), 1.0);
+  const auto integrand = [this](double t) { return t * survival(t); };
+  double total = numerics::integrate_adaptive_simpson(integrand, 0.0, m,
+                                                      1e-10 * m * m);
+  double lo = m;
+  double width = m;
+  for (int i = 0; i < 64; ++i) {
+    const double chunk =
+        numerics::integrate_gauss_legendre(integrand, lo, lo + width, 8);
+    total += chunk;
+    lo += width;
+    if (survival(lo) * lo < 1e-14 * total && chunk < 1e-10 * total) break;
+    width *= 2.0;
+  }
+  return 2.0 * total;
+}
+
+double Distribution::variance() const {
+  const double m = mean();
+  return second_moment() - m * m;
+}
+
+double Distribution::coefficient_of_variation() const {
+  const double m = mean();
+  if (m <= 0.0) return 0.0;
+  return std::sqrt(std::max(variance(), 0.0)) / m;
+}
+
+double Distribution::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("quantile: p in [0,1)");
+  }
+  if (p == 0.0) return 0.0;
+  double lo = 0.0;
+  double hi = std::max(mean(), 1.0);
+  const auto g = [&](double x) { return cdf(x) - p; };
+  if (!numerics::expand_bracket_upward(g, lo, hi)) {
+    throw std::runtime_error("quantile: failed to bracket");
+  }
+  return numerics::find_root_bisection(g, lo, hi).x;
+}
+
+double Distribution::sample(numerics::Rng& rng) const {
+  return quantile(rng.uniform());
+}
+
+double Distribution::partial_expectation(double x) const {
+  if (x < 0.0) throw std::invalid_argument("partial_expectation: x >= 0");
+  if (x == 0.0) return 0.0;
+  return numerics::integrate_adaptive_simpson(
+      [this](double t) { return t * pdf(t); }, 0.0, x, 1e-10);
+}
+
+double Distribution::conditional_survival(double t, double x) const {
+  if (t < 0.0 || x < 0.0) {
+    throw std::invalid_argument("conditional_survival: t, x >= 0");
+  }
+  const double st = survival(t);
+  if (st <= 0.0) return 0.0;
+  return survival(t + x) / st;
+}
+
+double Distribution::log_likelihood(std::span<const double> xs) const {
+  double acc = 0.0;
+  for (double x : xs) acc += log_pdf(x);
+  return acc;
+}
+
+}  // namespace harvest::dist

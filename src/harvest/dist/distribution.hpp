@@ -1,0 +1,89 @@
+// Abstract interface for the availability-duration distributions the paper
+// studies (exponential, Weibull, hyperexponential) plus empirical CDFs.
+//
+// Beyond the usual pdf/cdf/sampling surface, the interface exposes the two
+// quantities the checkpoint optimizer consumes on its hot path:
+//
+//  * partial_expectation(x) = ∫₀ˣ t f(t) dt — the numerator of the Markov
+//    model's expected-loss terms K02/K22 (paper §3.5). Every family here
+//    supplies a closed form; a quadrature fallback is provided for new
+//    families and used by tests as an oracle.
+//  * conditional_survival(t, x) = P(X > t + x | X > t) — the future-lifetime
+//    survival (paper Eq. 8), overridden with numerically stable closed forms
+//    (Eqs. 9, 10) per family.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::dist {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density at x >= 0.
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+
+  /// log pdf(x); may be overridden for numerical range.
+  [[nodiscard]] virtual double log_pdf(double x) const;
+
+  /// Cumulative distribution function F(x) = P(X <= x).
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Survival S(x) = 1 − F(x); override when a stabler form exists.
+  [[nodiscard]] virtual double survival(double x) const;
+
+  /// Hazard rate f(x) / S(x).
+  [[nodiscard]] virtual double hazard(double x) const;
+
+  /// E[X]; must be finite for the families used here.
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// E[X²]. Default: quadrature against the survival function
+  /// (E[X²] = 2∫₀^∞ t S(t) dt); overridden with closed forms per family.
+  [[nodiscard]] virtual double second_moment() const;
+
+  /// Var[X] = E[X²] − E[X]².
+  [[nodiscard]] double variance() const;
+
+  /// Coefficient of variation (stddev/mean): 1 for exponential, > 1 for the
+  /// super-exponential variability desktop availability shows.
+  [[nodiscard]] double coefficient_of_variation() const;
+
+  /// Inverse CDF. Default: bracketed bisection on cdf().
+  [[nodiscard]] virtual double quantile(double p) const;
+
+  /// Draw one variate. Default: inverse-transform via quantile().
+  [[nodiscard]] virtual double sample(numerics::Rng& rng) const;
+
+  /// ∫₀ˣ t f(t) dt. Default: adaptive quadrature; overridden with closed
+  /// forms by every concrete family.
+  [[nodiscard]] virtual double partial_expectation(double x) const;
+
+  /// P(X > t + x | X > t). Default: survival(t + x) / survival(t).
+  [[nodiscard]] virtual double conditional_survival(double t, double x) const;
+
+  /// Σ log_pdf(xᵢ) over a sample.
+  [[nodiscard]] virtual double log_likelihood(
+      std::span<const double> xs) const;
+
+  /// Number of free parameters (for AIC/BIC).
+  [[nodiscard]] virtual int parameter_count() const = 0;
+
+  /// Short family name, e.g. "weibull".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Human-readable parameter summary, e.g. "weibull(shape=0.43, scale=3409)".
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Deep copy.
+  [[nodiscard]] virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace harvest::dist

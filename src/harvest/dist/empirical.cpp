@@ -1,0 +1,78 @@
+#include "harvest/dist/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace harvest::dist {
+
+Empirical::Empirical(std::vector<double> sample) : sorted_(std::move(sample)) {
+  if (sorted_.empty()) throw std::invalid_argument("Empirical: empty sample");
+  for (double x : sorted_) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument("Empirical: values must be finite and >= 0");
+    }
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  prefix_sum_.resize(sorted_.size());
+  std::partial_sum(sorted_.begin(), sorted_.end(), prefix_sum_.begin());
+}
+
+double Empirical::pdf(double) const {
+  throw std::logic_error("Empirical::pdf: ECDF has no density");
+}
+
+double Empirical::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Empirical::mean() const {
+  return prefix_sum_.back() / static_cast<double>(sorted_.size());
+}
+
+double Empirical::second_moment() const {
+  double acc = 0.0;
+  for (double x : sorted_) acc += x * x;
+  return acc / static_cast<double>(sorted_.size());
+}
+
+double Empirical::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("Empirical::quantile: p in [0,1)");
+  }
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_.size()));
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+double Empirical::sample(numerics::Rng& rng) const {
+  return sorted_[rng.uniform_index(sorted_.size())];
+}
+
+double Empirical::partial_expectation(double x) const {
+  if (x < 0.0) throw std::invalid_argument("partial_expectation: x >= 0");
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  if (it == sorted_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(it - sorted_.begin()) - 1;
+  return prefix_sum_[idx] / static_cast<double>(sorted_.size());
+}
+
+int Empirical::parameter_count() const {
+  return static_cast<int>(sorted_.size());
+}
+
+std::string Empirical::describe() const {
+  std::ostringstream out;
+  out << "empirical(n=" << sorted_.size() << ", mean=" << mean() << ")";
+  return out.str();
+}
+
+std::unique_ptr<Distribution> Empirical::clone() const {
+  return std::make_unique<Empirical>(*this);
+}
+
+}  // namespace harvest::dist

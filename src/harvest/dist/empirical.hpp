@@ -1,0 +1,43 @@
+// Empirical distribution (ECDF) over an observed sample. Used by the
+// goodness-of-fit tests (KS / AD distances between a fitted family and the
+// data) and by validation tooling; `sample` bootstraps from the data.
+//
+// pdf() is intentionally unsupported — an ECDF has no density; callers that
+// need one should fit a parametric family instead.
+#pragma once
+
+#include <vector>
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::dist {
+
+class Empirical final : public Distribution {
+ public:
+  /// Takes any sample (unsorted is fine); must be non-empty, values >= 0.
+  explicit Empirical(std::vector<double> sample);
+
+  [[nodiscard]] const std::vector<double>& sorted_sample() const {
+    return sorted_;
+  }
+
+  /// Throws std::logic_error: the ECDF has no density.
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(numerics::Rng& rng) const override;
+  /// Exact: (1/n) Σ_{xᵢ ≤ x} xᵢ.
+  [[nodiscard]] double partial_expectation(double x) const override;
+  [[nodiscard]] int parameter_count() const override;
+  [[nodiscard]] std::string name() const override { return "empirical"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  std::vector<double> sorted_;
+  std::vector<double> prefix_sum_;  // prefix_sum_[i] = Σ_{j<=i} sorted_[j]
+};
+
+}  // namespace harvest::dist

@@ -1,0 +1,86 @@
+#include "harvest/dist/exponential.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace harvest::dist {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("Exponential: rate must be finite and > 0");
+  }
+}
+
+Exponential Exponential::from_mean(double mean_value) {
+  if (!(mean_value > 0.0)) {
+    throw std::invalid_argument("Exponential::from_mean: mean > 0");
+  }
+  return Exponential(1.0 / mean_value);
+}
+
+double Exponential::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::log_pdf(double x) const {
+  if (x < 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(rate_) - rate_ * x;
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-rate_ * x);
+}
+
+double Exponential::survival(double x) const {
+  if (x <= 0.0) return 1.0;
+  return std::exp(-rate_ * x);
+}
+
+double Exponential::hazard(double x) const {
+  if (x < 0.0) return 0.0;
+  return rate_;
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+double Exponential::second_moment() const { return 2.0 / (rate_ * rate_); }
+
+double Exponential::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("Exponential::quantile: p in [0,1)");
+  }
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::sample(numerics::Rng& rng) const {
+  return rng.exponential(rate_);
+}
+
+double Exponential::partial_expectation(double x) const {
+  if (x < 0.0) throw std::invalid_argument("partial_expectation: x >= 0");
+  // ∫₀ˣ t λ e^{−λt} dt = (1 − e^{−λx}(1 + λx)) / λ
+  const double lx = rate_ * x;
+  return (1.0 - std::exp(-lx) * (1.0 + lx)) / rate_;
+}
+
+double Exponential::conditional_survival(double t, double x) const {
+  if (t < 0.0 || x < 0.0) {
+    throw std::invalid_argument("conditional_survival: t, x >= 0");
+  }
+  return std::exp(-rate_ * x);  // memoryless
+}
+
+std::string Exponential::describe() const {
+  std::ostringstream out;
+  out << "exponential(rate=" << rate_ << ", mean=" << mean() << ")";
+  return out.str();
+}
+
+std::unique_ptr<Distribution> Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+}  // namespace harvest::dist

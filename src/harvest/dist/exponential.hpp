@@ -1,0 +1,39 @@
+// Exponential availability model (paper Eqs. 1–2). Memoryless: the
+// conditional future-lifetime distribution is the distribution itself, so a
+// checkpoint schedule under this model is periodic (a single T_opt).
+#pragma once
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::dist {
+
+class Exponential final : public Distribution {
+ public:
+  /// Rate parameterization: mean = 1 / rate.
+  explicit Exponential(double rate);
+
+  [[nodiscard]] static Exponential from_mean(double mean_value);
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double survival(double x) const override;
+  [[nodiscard]] double hazard(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(numerics::Rng& rng) const override;
+  [[nodiscard]] double partial_expectation(double x) const override;
+  [[nodiscard]] double conditional_survival(double t, double x) const override;
+  [[nodiscard]] int parameter_count() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "exponential"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double rate_;
+};
+
+}  // namespace harvest::dist

@@ -1,0 +1,98 @@
+#include "harvest/dist/gamma.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "harvest/numerics/special_functions.hpp"
+
+namespace harvest::dist {
+
+GammaDist::GammaDist(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !std::isfinite(shape)) {
+    throw std::invalid_argument("GammaDist: shape must be finite and > 0");
+  }
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("GammaDist: scale must be finite and > 0");
+  }
+}
+
+double GammaDist::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::exp(log_pdf(x));
+}
+
+double GammaDist::log_pdf(double x) const {
+  if (x <= 0.0) {
+    return (x == 0.0 && shape_ == 1.0)
+               ? -std::log(scale_)
+               : -std::numeric_limits<double>::infinity();
+  }
+  return (shape_ - 1.0) * std::log(x) - x / scale_ -
+         numerics::log_gamma(shape_) - shape_ * std::log(scale_);
+}
+
+double GammaDist::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return numerics::gamma_p(shape_, x / scale_);
+}
+
+double GammaDist::mean() const { return shape_ * scale_; }
+
+double GammaDist::second_moment() const {
+  return shape_ * (shape_ + 1.0) * scale_ * scale_;
+}
+
+double GammaDist::sample(numerics::Rng& rng) const {
+  // Marsaglia–Tsang for shape >= 1; boost to shape+1 and correct otherwise.
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    double u = rng.uniform();
+    while (u == 0.0) u = rng.uniform();
+    boost = std::pow(u, 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v * scale_;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return boost * d * v * scale_;
+    }
+  }
+}
+
+double GammaDist::partial_expectation(double x) const {
+  if (x < 0.0) throw std::invalid_argument("partial_expectation: x >= 0");
+  if (x == 0.0) return 0.0;
+  return mean() * numerics::gamma_p(shape_ + 1.0, x / scale_);
+}
+
+std::string GammaDist::describe() const {
+  std::ostringstream out;
+  out << "gamma(shape=" << shape_ << ", scale=" << scale_ << ")";
+  return out.str();
+}
+
+std::unique_ptr<Distribution> GammaDist::clone() const {
+  return std::make_unique<GammaDist>(*this);
+}
+
+}  // namespace harvest::dist

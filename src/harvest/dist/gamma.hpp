@@ -1,0 +1,37 @@
+// Gamma availability model: the other classic two-parameter lifetime family
+// (shape < 1 gives a decreasing hazard like the heavy-tailed Weibull).
+// Included so the model menu spans the standard alternatives from the
+// availability-modeling literature.
+#pragma once
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::dist {
+
+class GammaDist final : public Distribution {
+ public:
+  /// shape k > 0, scale θ > 0; mean = kθ.
+  GammaDist(double shape, double scale);
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double sample(numerics::Rng& rng) const override;
+  /// Closed form: ∫₀ˣ t f(t) dt = kθ · P(k+1, x/θ).
+  [[nodiscard]] double partial_expectation(double x) const override;
+  [[nodiscard]] int parameter_count() const override { return 2; }
+  [[nodiscard]] std::string name() const override { return "gamma"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace harvest::dist

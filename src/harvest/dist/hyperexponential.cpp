@@ -1,0 +1,132 @@
+#include "harvest/dist/hyperexponential.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace harvest::dist {
+namespace {
+constexpr double kWeightSumTol = 1e-6;
+}
+
+Hyperexponential::Hyperexponential(std::vector<double> weights,
+                                   std::vector<double> rates)
+    : weights_(std::move(weights)), rates_(std::move(rates)) {
+  if (weights_.empty() || weights_.size() != rates_.size()) {
+    throw std::invalid_argument(
+        "Hyperexponential: weights/rates must be non-empty and equal length");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (!(weights_[i] >= 0.0) || !std::isfinite(weights_[i])) {
+      throw std::invalid_argument("Hyperexponential: weights must be >= 0");
+    }
+    if (!(rates_[i] > 0.0) || !std::isfinite(rates_[i])) {
+      throw std::invalid_argument("Hyperexponential: rates must be > 0");
+    }
+    sum += weights_[i];
+  }
+  if (std::fabs(sum - 1.0) > kWeightSumTol) {
+    throw std::invalid_argument("Hyperexponential: weights must sum to 1");
+  }
+  for (double& w : weights_) w /= sum;  // exact renormalization
+}
+
+double Hyperexponential::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i] * rates_[i] * std::exp(-rates_[i] * x);
+  }
+  return acc;
+}
+
+double Hyperexponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - survival(x);
+}
+
+double Hyperexponential::survival(double x) const {
+  if (x <= 0.0) return 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i] * std::exp(-rates_[i] * x);
+  }
+  return acc;
+}
+
+double Hyperexponential::mean() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i] / rates_[i];
+  }
+  return acc;
+}
+
+double Hyperexponential::second_moment() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i] * 2.0 / (rates_[i] * rates_[i]);
+  }
+  return acc;
+}
+
+double Hyperexponential::sample(numerics::Rng& rng) const {
+  const std::size_t phase = rng.categorical(weights_);
+  return rng.exponential(rates_[phase]);
+}
+
+double Hyperexponential::partial_expectation(double x) const {
+  if (x < 0.0) throw std::invalid_argument("partial_expectation: x >= 0");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    const double lx = rates_[i] * x;
+    acc += weights_[i] * (1.0 - std::exp(-lx) * (1.0 + lx)) / rates_[i];
+  }
+  return acc;
+}
+
+double Hyperexponential::conditional_survival(double t, double x) const {
+  if (t < 0.0 || x < 0.0) {
+    throw std::invalid_argument("conditional_survival: t, x >= 0");
+  }
+  // Factor e^{−λ_min t} out of both sums so the ratio stays well-scaled even
+  // for ages t far into the tail.
+  double min_rate = rates_[0];
+  for (double r : rates_) min_rate = std::min(min_rate, r);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    const double shifted = std::exp(-(rates_[i] - min_rate) * t);
+    num += weights_[i] * shifted * std::exp(-rates_[i] * x);
+    den += weights_[i] * shifted;
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+int Hyperexponential::parameter_count() const {
+  return static_cast<int>(2 * weights_.size() - 1);
+}
+
+std::string Hyperexponential::name() const {
+  std::ostringstream out;
+  out << "hyperexp" << weights_.size();
+  return out.str();
+}
+
+std::string Hyperexponential::describe() const {
+  std::ostringstream out;
+  out << "hyperexp(k=" << weights_.size();
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    out << ", p" << i << "=" << weights_[i] << " rate" << i << "=" << rates_[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+std::unique_ptr<Distribution> Hyperexponential::clone() const {
+  return std::make_unique<Hyperexponential>(*this);
+}
+
+}  // namespace harvest::dist

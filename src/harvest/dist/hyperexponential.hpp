@@ -1,0 +1,45 @@
+// k-phase hyperexponential availability model (paper Eqs. 5–7): a mixture
+// of exponentials Σ pᵢ λᵢ e^{−λᵢ x}. With well-separated rates it captures
+// the bimodal "many short occupancies, a few very long ones" character of
+// desktop availability, and the paper finds the 2-phase variant the most
+// bandwidth-parsimonious model.
+#pragma once
+
+#include <vector>
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::dist {
+
+class Hyperexponential final : public Distribution {
+ public:
+  /// `weights[i]` is the mixing probability of phase i (must sum to 1 within
+  /// tolerance; renormalized exactly), `rates[i]` its exponential rate.
+  Hyperexponential(std::vector<double> weights, std::vector<double> rates);
+
+  [[nodiscard]] std::size_t phases() const { return weights_.size(); }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] const std::vector<double>& rates() const { return rates_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double survival(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double sample(numerics::Rng& rng) const override;
+  /// Closed form: Σ pᵢ (1 − e^{−λᵢx}(1 + λᵢx)) / λᵢ.
+  [[nodiscard]] double partial_expectation(double x) const override;
+  /// Eq. 10 via the survival ratio Σpᵢe^{−λᵢ(t+x)} / Σpᵢe^{−λᵢt}.
+  [[nodiscard]] double conditional_survival(double t, double x) const override;
+  /// 2k − 1 free parameters: k rates and k − 1 independent weights.
+  [[nodiscard]] int parameter_count() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> rates_;
+};
+
+}  // namespace harvest::dist

@@ -1,0 +1,78 @@
+#include "harvest/dist/lognormal.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "harvest/numerics/special_functions.hpp"
+
+namespace harvest::dist {
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!std::isfinite(mu)) {
+    throw std::invalid_argument("Lognormal: mu must be finite");
+  }
+  if (!(sigma > 0.0) || !std::isfinite(sigma)) {
+    throw std::invalid_argument("Lognormal: sigma must be finite and > 0");
+  }
+}
+
+double Lognormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (x * sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double Lognormal::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double z = (std::log(x) - mu_) / sigma_;
+  return -0.5 * z * z - std::log(x * sigma_) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double Lognormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return numerics::normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double Lognormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double Lognormal::second_moment() const {
+  return std::exp(2.0 * mu_ + 2.0 * sigma_ * sigma_);
+}
+
+double Lognormal::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("Lognormal::quantile: p in [0,1)");
+  }
+  if (p == 0.0) return 0.0;
+  return std::exp(mu_ + sigma_ * numerics::normal_quantile(p));
+}
+
+double Lognormal::sample(numerics::Rng& rng) const {
+  return rng.lognormal(mu_, sigma_);
+}
+
+double Lognormal::partial_expectation(double x) const {
+  if (x < 0.0) throw std::invalid_argument("partial_expectation: x >= 0");
+  if (x == 0.0) return 0.0;
+  const double z = (std::log(x) - mu_ - sigma_ * sigma_) / sigma_;
+  return mean() * numerics::normal_cdf(z);
+}
+
+std::string Lognormal::describe() const {
+  std::ostringstream out;
+  out << "lognormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return out.str();
+}
+
+std::unique_ptr<Distribution> Lognormal::clone() const {
+  return std::make_unique<Lognormal>(*this);
+}
+
+}  // namespace harvest::dist

@@ -1,0 +1,38 @@
+// Lognormal availability model. Not one of the paper's three families, but
+// a standard alternative in the availability-modeling literature (and the
+// model this library's own network-jitter uses); having it in the menu lets
+// users test whether the paper's conclusions are family-specific.
+#pragma once
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::dist {
+
+class Lognormal final : public Distribution {
+ public:
+  /// ln X ~ Normal(mu, sigma²); sigma > 0.
+  Lognormal(double mu, double sigma);
+
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(numerics::Rng& rng) const override;
+  /// Closed form: ∫₀ˣ t f(t) dt = E[X] · Φ((ln x − μ − σ²) / σ).
+  [[nodiscard]] double partial_expectation(double x) const override;
+  [[nodiscard]] int parameter_count() const override { return 2; }
+  [[nodiscard]] std::string name() const override { return "lognormal"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace harvest::dist

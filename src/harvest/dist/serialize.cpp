@@ -1,0 +1,106 @@
+#include "harvest/dist/serialize.hpp"
+
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/gamma.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/lognormal.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::dist {
+namespace {
+
+std::ostringstream make_stream() {
+  std::ostringstream out;
+  out << std::setprecision(17);  // round-trips doubles exactly
+  return out;
+}
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::invalid_argument("dist::deserialize: " + why);
+}
+
+double read_double(std::istringstream& in, const char* what) {
+  double v;
+  if (!(in >> v)) fail(std::string("missing or malformed ") + what);
+  return v;
+}
+
+}  // namespace
+
+std::string serialize(const Distribution& model) {
+  if (const auto* e = dynamic_cast<const Exponential*>(&model)) {
+    auto out = make_stream();
+    out << "exponential " << e->rate();
+    return out.str();
+  }
+  if (const auto* w = dynamic_cast<const Weibull*>(&model)) {
+    auto out = make_stream();
+    out << "weibull " << w->shape() << " " << w->scale();
+    return out.str();
+  }
+  if (const auto* h = dynamic_cast<const Hyperexponential*>(&model)) {
+    auto out = make_stream();
+    out << "hyperexp " << h->phases();
+    for (std::size_t i = 0; i < h->phases(); ++i) {
+      out << " " << h->weights()[i] << " " << h->rates()[i];
+    }
+    return out.str();
+  }
+  if (const auto* ln = dynamic_cast<const Lognormal*>(&model)) {
+    auto out = make_stream();
+    out << "lognormal " << ln->mu() << " " << ln->sigma();
+    return out.str();
+  }
+  if (const auto* g = dynamic_cast<const GammaDist*>(&model)) {
+    auto out = make_stream();
+    out << "gamma " << g->shape() << " " << g->scale();
+    return out.str();
+  }
+  throw std::invalid_argument("dist::serialize: '" + model.name() +
+                              "' is not serializable");
+}
+
+DistributionPtr deserialize(const std::string& line) {
+  std::istringstream in(line);
+  std::string kind;
+  if (!(in >> kind)) fail("empty input");
+  if (kind == "exponential") {
+    return std::make_shared<Exponential>(read_double(in, "rate"));
+  }
+  if (kind == "weibull") {
+    const double shape = read_double(in, "shape");
+    const double scale = read_double(in, "scale");
+    return std::make_shared<Weibull>(shape, scale);
+  }
+  if (kind == "hyperexp") {
+    int k;
+    if (!(in >> k) || k < 1 || k > 64) fail("bad phase count");
+    std::vector<double> weights;
+    std::vector<double> rates;
+    for (int i = 0; i < k; ++i) {
+      weights.push_back(read_double(in, "weight"));
+      rates.push_back(read_double(in, "rate"));
+    }
+    return std::make_shared<Hyperexponential>(std::move(weights),
+                                              std::move(rates));
+  }
+  if (kind == "lognormal") {
+    const double mu = read_double(in, "mu");
+    const double sigma = read_double(in, "sigma");
+    return std::make_shared<Lognormal>(mu, sigma);
+  }
+  if (kind == "gamma") {
+    const double shape = read_double(in, "shape");
+    const double scale = read_double(in, "scale");
+    return std::make_shared<GammaDist>(shape, scale);
+  }
+  fail("unknown model kind '" + kind + "'");
+}
+
+}  // namespace harvest::dist

@@ -1,0 +1,31 @@
+// Compact text (de)serialization of availability models, so fitted models
+// can be stored centrally (the checkpoint manager sends model parameters to
+// the test process in the paper's live experiment — this is that wire
+// format). Grammar, one model per line:
+//
+//   exponential <rate>
+//   weibull <shape> <scale>
+//   hyperexp <k> <p1> <rate1> ... <pk> <ratek>
+//   lognormal <mu> <sigma>
+//   gamma <shape> <scale>
+//
+// Empirical and Conditional are deliberately not serializable (the first
+// would mean shipping raw data; the second is reconstructed from its base
+// and the current uptime).
+#pragma once
+
+#include <string>
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::dist {
+
+/// Render a model as a single line. Throws std::invalid_argument for
+/// non-serializable kinds (empirical, conditional).
+[[nodiscard]] std::string serialize(const Distribution& model);
+
+/// Parse a line produced by serialize(). Throws std::invalid_argument with
+/// a description on malformed input.
+[[nodiscard]] DistributionPtr deserialize(const std::string& line);
+
+}  // namespace harvest::dist

@@ -1,0 +1,113 @@
+#include "harvest/dist/weibull.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "harvest/numerics/special_functions.hpp"
+
+namespace harvest::dist {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !std::isfinite(shape)) {
+    throw std::invalid_argument("Weibull: shape must be finite and > 0");
+  }
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("Weibull: scale must be finite and > 0");
+  }
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    // Density at 0: 0 for shape > 1, rate 1/scale at shape == 1, +inf below.
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return std::numeric_limits<double>::infinity();
+  }
+  const double z = x / scale_;
+  const double za = std::pow(z, shape_);
+  return shape_ / scale_ * std::pow(z, shape_ - 1.0) * std::exp(-za);
+}
+
+double Weibull::log_pdf(double x) const {
+  if (x <= 0.0) {
+    return (x == 0.0 && shape_ == 1.0)
+               ? -std::log(scale_)
+               : -std::numeric_limits<double>::infinity();
+  }
+  const double z = x / scale_;
+  return std::log(shape_ / scale_) + (shape_ - 1.0) * std::log(z) -
+         std::pow(z, shape_);
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::survival(double x) const {
+  if (x <= 0.0) return 1.0;
+  return std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::hazard(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return std::numeric_limits<double>::infinity();
+  }
+  return shape_ / scale_ * std::pow(x / scale_, shape_ - 1.0);
+}
+
+double Weibull::mean() const {
+  return scale_ * numerics::gamma_fn(1.0 + 1.0 / shape_);
+}
+
+double Weibull::second_moment() const {
+  return scale_ * scale_ * numerics::gamma_fn(1.0 + 2.0 / shape_);
+}
+
+double Weibull::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("Weibull::quantile: p in [0,1)");
+  }
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::sample(numerics::Rng& rng) const {
+  return rng.weibull(shape_, scale_);
+}
+
+double Weibull::partial_expectation(double x) const {
+  if (x < 0.0) throw std::invalid_argument("partial_expectation: x >= 0");
+  if (x == 0.0) return 0.0;
+  // Substitute u = (t/β)^α: ∫₀ˣ t f(t) dt = β ∫₀^{(x/β)^α} u^{1/α} e^{−u} du
+  //                                       = β Γ(1+1/α) P(1+1/α, (x/β)^α).
+  const double a = 1.0 + 1.0 / shape_;
+  const double z = std::pow(x / scale_, shape_);
+  return mean() * numerics::gamma_p(a, z);
+}
+
+double Weibull::conditional_survival(double t, double x) const {
+  if (t < 0.0 || x < 0.0) {
+    throw std::invalid_argument("conditional_survival: t, x >= 0");
+  }
+  const double zt = std::pow(t / scale_, shape_);
+  const double ztx = std::pow((t + x) / scale_, shape_);
+  return std::exp(zt - ztx);
+}
+
+std::string Weibull::describe() const {
+  std::ostringstream out;
+  out << "weibull(shape=" << shape_ << ", scale=" << scale_ << ")";
+  return out.str();
+}
+
+std::unique_ptr<Distribution> Weibull::clone() const {
+  return std::make_unique<Weibull>(*this);
+}
+
+}  // namespace harvest::dist

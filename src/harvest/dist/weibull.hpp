@@ -1,0 +1,43 @@
+// Weibull availability model (paper Eqs. 3–4). With shape < 1 the hazard
+// decreases with uptime (heavy-tailed), which is what the paper's Condor
+// traces look like — the longer a machine has been available, the longer it
+// is likely to remain available, so the optimal checkpoint schedule is
+// aperiodic with growing intervals.
+#pragma once
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::dist {
+
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double survival(double x) const override;
+  [[nodiscard]] double hazard(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(numerics::Rng& rng) const override;
+  /// Closed form via the lower incomplete gamma:
+  /// ∫₀ˣ t f(t) dt = β · Γ(1+1/α) · P(1+1/α, (x/β)^α).
+  [[nodiscard]] double partial_expectation(double x) const override;
+  /// Stable form of Eq. 9: exp((t/β)^α − ((t+x)/β)^α).
+  [[nodiscard]] double conditional_survival(double t, double x) const override;
+  [[nodiscard]] int parameter_count() const override { return 2; }
+  [[nodiscard]] std::string name() const override { return "weibull"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace harvest::dist

@@ -1,0 +1,69 @@
+#include "harvest/fit/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harvest/numerics/rng.hpp"
+#include "harvest/stats/summary.hpp"
+
+namespace harvest::fit {
+
+BootstrapResult bootstrap_parameters(std::span<const double> xs,
+                                     const ParameterFitter& fitter,
+                                     const BootstrapOptions& opts) {
+  if (xs.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  if (opts.replicates < 10) {
+    throw std::invalid_argument("bootstrap: need >= 10 replicates");
+  }
+  if (!(opts.confidence > 0.0 && opts.confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap: confidence in (0,1)");
+  }
+
+  const std::vector<double> point = fitter(xs);
+  if (point.empty()) {
+    throw std::invalid_argument("bootstrap: fitter returned no parameters");
+  }
+
+  numerics::Rng rng(opts.seed);
+  std::vector<std::vector<double>> replicates;  // [param][replicate]
+  replicates.resize(point.size());
+  std::vector<double> resample(xs.size());
+  int failed = 0;
+  for (int b = 0; b < opts.replicates; ++b) {
+    for (auto& r : resample) {
+      r = xs[rng.uniform_index(xs.size())];
+    }
+    try {
+      const std::vector<double> params = fitter(resample);
+      if (params.size() != point.size()) {
+        throw std::runtime_error("bootstrap: fitter arity changed");
+      }
+      for (std::size_t p = 0; p < params.size(); ++p) {
+        replicates[p].push_back(params[p]);
+      }
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  const int used = opts.replicates - failed;
+  if (used <
+      static_cast<int>((1.0 - opts.max_failure_fraction) * opts.replicates)) {
+    throw std::runtime_error(
+        "bootstrap: too many replicates failed to fit");
+  }
+
+  BootstrapResult result;
+  result.replicates_used = used;
+  result.replicates_failed = failed;
+  const double alpha = 1.0 - opts.confidence;
+  for (std::size_t p = 0; p < point.size(); ++p) {
+    ParameterInterval ci;
+    ci.estimate = point[p];
+    ci.lo = stats::quantile_of(replicates[p], 0.5 * alpha);
+    ci.hi = stats::quantile_of(replicates[p], 1.0 - 0.5 * alpha);
+    result.parameters.push_back(ci);
+  }
+  return result;
+}
+
+}  // namespace harvest::fit

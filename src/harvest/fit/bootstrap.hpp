@@ -1,0 +1,45 @@
+// Nonparametric bootstrap confidence intervals for fitted availability
+// models. 25-observation training sets (the paper's operating point) make
+// parameter uncertainty substantial; the bootstrap quantifies it without
+// asymptotic formulas, for any fitter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace harvest::fit {
+
+/// A fitter maps a sample to a parameter vector (e.g. {shape, scale}).
+/// Throwing fitters are fine: failed replicates are skipped (and counted).
+using ParameterFitter =
+    std::function<std::vector<double>(std::span<const double>)>;
+
+struct BootstrapOptions {
+  int replicates = 500;
+  double confidence = 0.95;
+  std::uint64_t seed = 1;
+  /// Give up if more than this fraction of replicates fail to fit.
+  double max_failure_fraction = 0.5;
+};
+
+struct ParameterInterval {
+  double estimate = 0.0;  ///< fit on the original sample
+  double lo = 0.0;        ///< percentile CI lower bound
+  double hi = 0.0;        ///< percentile CI upper bound
+};
+
+struct BootstrapResult {
+  std::vector<ParameterInterval> parameters;
+  int replicates_used = 0;
+  int replicates_failed = 0;
+};
+
+/// Percentile-method bootstrap: resample `xs` with replacement, refit,
+/// take the (1±confidence)/2 quantiles per parameter.
+[[nodiscard]] BootstrapResult bootstrap_parameters(
+    std::span<const double> xs, const ParameterFitter& fitter,
+    const BootstrapOptions& opts = {});
+
+}  // namespace harvest::fit

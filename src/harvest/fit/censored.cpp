@@ -1,0 +1,171 @@
+#include "harvest/fit/censored.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "harvest/numerics/roots.hpp"
+
+namespace harvest::fit {
+
+std::size_t CensoredSample::event_count() const {
+  std::size_t n = 0;
+  for (bool o : observed) {
+    if (o) ++n;
+  }
+  return n;
+}
+
+void CensoredSample::validate() const {
+  if (values.size() != observed.size()) {
+    throw std::invalid_argument(
+        "CensoredSample: values/observed length mismatch");
+  }
+  for (double v : values) {
+    if (!(v >= 0.0) || !std::isfinite(v)) {
+      throw std::invalid_argument(
+          "CensoredSample: values must be finite and >= 0");
+    }
+  }
+}
+
+CensoredSample CensoredSample::fully_observed(std::span<const double> xs) {
+  CensoredSample s;
+  s.values.assign(xs.begin(), xs.end());
+  s.observed.assign(xs.size(), true);
+  s.validate();
+  return s;
+}
+
+CensoredSample CensoredSample::censor_at(std::span<const double> xs,
+                                         double horizon) {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("censor_at: horizon must be > 0");
+  }
+  CensoredSample s;
+  s.values.reserve(xs.size());
+  s.observed.reserve(xs.size());
+  for (double x : xs) {
+    if (x > horizon) {
+      s.values.push_back(horizon);
+      s.observed.push_back(false);
+    } else {
+      s.values.push_back(x);
+      s.observed.push_back(true);
+    }
+  }
+  s.validate();
+  return s;
+}
+
+dist::Exponential fit_exponential_censored(const CensoredSample& sample) {
+  sample.validate();
+  const std::size_t events = sample.event_count();
+  if (events == 0) {
+    throw std::invalid_argument(
+        "fit_exponential_censored: need at least one observed failure");
+  }
+  double total = 0.0;
+  for (double v : sample.values) total += v;
+  if (!(total > 0.0)) {
+    throw std::invalid_argument(
+        "fit_exponential_censored: total time on test must be > 0");
+  }
+  return dist::Exponential(static_cast<double>(events) / total);
+}
+
+dist::Weibull fit_weibull_censored(const CensoredSample& sample,
+                                   const CensoredWeibullOptions& opts) {
+  sample.validate();
+  const std::size_t r = sample.event_count();
+  if (r < 2) {
+    throw std::invalid_argument(
+        "fit_weibull_censored: need at least two observed failures");
+  }
+  std::vector<double> v = sample.values;
+  for (double& x : v) x = std::max(x, opts.zero_floor);
+
+  // Distinctness among events (identical event times with no censoring
+  // information drive the shape to infinity).
+  double first_event = -1.0;
+  bool distinct = false;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!sample.observed[i]) continue;
+    if (first_event < 0.0) {
+      first_event = v[i];
+    } else if (v[i] != first_event) {
+      distinct = true;
+    }
+  }
+  if (!distinct) {
+    throw std::invalid_argument(
+        "fit_weibull_censored: observed failures are all identical");
+  }
+
+  // Rescale by the geometric mean of all values (stability; shape is
+  // scale-invariant).
+  double mean_log_all = 0.0;
+  for (double x : v) mean_log_all += std::log(x);
+  mean_log_all /= static_cast<double>(v.size());
+  const double gm = std::exp(mean_log_all);
+  std::vector<double> logs(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] /= gm;
+    logs[i] = std::log(v[i]);
+  }
+  double mean_log_events = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (sample.observed[i]) mean_log_events += logs[i];
+  }
+  mean_log_events /= static_cast<double>(r);
+
+  const auto g = [&](double alpha) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const double xa = std::exp(alpha * logs[i]);
+      num += xa * logs[i];
+      den += xa;
+    }
+    return num / den - 1.0 / alpha - mean_log_events;
+  };
+  // Cap the shape so exp(alpha * log) cannot overflow to inf (which would
+  // poison the bracket with NaNs). Values are GM-normalized, so the largest
+  // |log| is modest unless the sample is near-degenerate.
+  double max_abs_log = 0.0;
+  for (double lg : logs) max_abs_log = std::max(max_abs_log, std::fabs(lg));
+  double lo = opts.shape_min;
+  double hi = std::min(opts.shape_max,
+                       600.0 / std::max(max_abs_log, 1e-12));
+  if (!(hi > lo) || g(lo) > 0.0 || g(hi) < 0.0) {
+    throw std::runtime_error(
+        "fit_weibull_censored: shape root outside search range");
+  }
+  const auto root = numerics::find_root_bisection(g, lo, hi, opts.tol);
+  const double alpha = root.x;
+  double sum_xa = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    sum_xa += std::exp(alpha * logs[i]);
+  }
+  const double beta =
+      gm * std::pow(sum_xa / static_cast<double>(r), 1.0 / alpha);
+  return dist::Weibull(alpha, beta);
+}
+
+double censored_log_likelihood(const dist::Distribution& d,
+                               const CensoredSample& sample) {
+  sample.validate();
+  double ll = 0.0;
+  for (std::size_t i = 0; i < sample.values.size(); ++i) {
+    if (sample.observed[i]) {
+      ll += d.log_pdf(sample.values[i]);
+    } else {
+      const double s = d.survival(sample.values[i]);
+      ll += (s > 0.0) ? std::log(s)
+                      : -std::numeric_limits<double>::infinity();
+    }
+  }
+  return ll;
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,66 @@
+// Right-censored availability fitting. The paper's §5.3 notes that a short
+// measurement window "tends to right censor the data": a monitor job still
+// running when measurement stops yields a duration known only to EXCEED the
+// recorded value. Ignoring that biases every fitted model toward shorter
+// lifetimes (and therefore toward over-checkpointing).
+//
+// This module provides censoring-aware maximum-likelihood fits: a censored
+// observation contributes its survival S(x) to the likelihood instead of
+// the density f(x).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::fit {
+
+/// A lifetime sample with right-censoring flags. `observed[i]` is true when
+/// values[i] is an actual failure time; false when the item was still alive
+/// at values[i] (censored).
+struct CensoredSample {
+  std::vector<double> values;
+  std::vector<bool> observed;
+
+  [[nodiscard]] std::size_t size() const { return values.size(); }
+  [[nodiscard]] std::size_t event_count() const;
+  void validate() const;
+
+  /// All-observed wrapper for plain samples.
+  [[nodiscard]] static CensoredSample fully_observed(
+      std::span<const double> xs);
+
+  /// Right-censor every value above the horizon at the horizon — what a
+  /// measurement window of that length does to a trace.
+  [[nodiscard]] static CensoredSample censor_at(std::span<const double> xs,
+                                                double horizon);
+};
+
+/// Censored exponential MLE: λ̂ = (#events) / Σ values (total time on test).
+/// Requires >= 1 event and positive total time.
+[[nodiscard]] dist::Exponential fit_exponential_censored(
+    const CensoredSample& sample);
+
+struct CensoredWeibullOptions {
+  double zero_floor = 1e-9;
+  double shape_min = 1e-3;
+  double shape_max = 1e3;
+  double tol = 1e-12;
+};
+
+/// Censored Weibull MLE (profile likelihood). The shape solves
+///   Σ_all xᵢ^α ln xᵢ / Σ_all xᵢ^α − 1/α − (1/r) Σ_events ln xᵢ = 0
+/// with r = number of events; then β̂ = (Σ_all xᵢ^α / r)^{1/α}.
+/// Requires >= 2 events with at least 2 distinct values.
+[[nodiscard]] dist::Weibull fit_weibull_censored(
+    const CensoredSample& sample, const CensoredWeibullOptions& opts = {});
+
+/// Censored log-likelihood of any distribution: Σ_events ln f(xᵢ) +
+/// Σ_censored ln S(xᵢ).
+[[nodiscard]] double censored_log_likelihood(const dist::Distribution& d,
+                                             const CensoredSample& sample);
+
+}  // namespace harvest::fit

@@ -1,0 +1,152 @@
+#include "harvest/fit/em_hyperexp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+// Initial (weights, rates) from k contiguous quantile blocks of the sorted
+// sample: each phase starts as the exponential MLE of its block.
+void quantile_block_init(const std::vector<double>& sorted, int k,
+                         std::vector<double>& weights,
+                         std::vector<double>& rates, double max_rate) {
+  const std::size_t n = sorted.size();
+  weights.assign(k, 0.0);
+  rates.assign(k, 0.0);
+  for (int j = 0; j < k; ++j) {
+    const std::size_t lo = n * j / k;
+    const std::size_t hi = std::max(n * (j + 1) / k, lo + 1);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < std::min(hi, n); ++i) sum += sorted[i];
+    const auto count = static_cast<double>(std::min(hi, n) - lo);
+    weights[j] = count / static_cast<double>(n);
+    const double mean = sum / count;
+    rates[j] = (mean > 0.0) ? std::min(1.0 / mean, max_rate) : max_rate;
+  }
+  // Rates must be distinct for identifiability; nudge collisions apart.
+  for (int j = 1; j < k; ++j) {
+    if (rates[j] >= rates[j - 1]) rates[j] = rates[j - 1] * 0.5;
+  }
+}
+
+// One EM run from the given starting point.
+EmResult run_em(const std::vector<double>& data, std::vector<double> weights,
+                std::vector<double> rates, const EmOptions& opts) {
+  const std::size_t n = data.size();
+  const int k = static_cast<int>(weights.size());
+  std::vector<double> resp(static_cast<std::size_t>(k));
+  std::vector<double> sum_resp(static_cast<std::size_t>(k));
+  std::vector<double> sum_resp_x(static_cast<std::size_t>(k));
+
+  EmResult out{dist::Hyperexponential(weights, rates), 0.0, 0, false, {}};
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    std::fill(sum_resp.begin(), sum_resp.end(), 0.0);
+    std::fill(sum_resp_x.begin(), sum_resp_x.end(), 0.0);
+    double ll = 0.0;
+    for (double x : data) {
+      // E-step for one observation, in a log-safe way: component log
+      // densities can underflow for large x, so subtract the max first.
+      double max_lc = -std::numeric_limits<double>::infinity();
+      for (int j = 0; j < k; ++j) {
+        const double lc =
+            std::log(weights[j]) + std::log(rates[j]) - rates[j] * x;
+        resp[j] = lc;
+        max_lc = std::max(max_lc, lc);
+      }
+      double denom = 0.0;
+      for (int j = 0; j < k; ++j) {
+        resp[j] = std::exp(resp[j] - max_lc);
+        denom += resp[j];
+      }
+      ll += max_lc + std::log(denom);
+      for (int j = 0; j < k; ++j) {
+        const double g = resp[j] / denom;
+        sum_resp[j] += g;
+        sum_resp_x[j] += g * x;
+      }
+    }
+    out.loglik_trace.push_back(ll);
+    out.iterations = iter + 1;
+
+    // M-step.
+    for (int j = 0; j < k; ++j) {
+      const double w =
+          std::max(sum_resp[j] / static_cast<double>(n), opts.min_weight);
+      weights[j] = w;
+      rates[j] = (sum_resp_x[j] > 0.0)
+                     ? std::min(sum_resp[j] / sum_resp_x[j], opts.max_rate)
+                     : opts.max_rate;
+    }
+    double wsum = 0.0;
+    for (double w : weights) wsum += w;
+    for (double& w : weights) w /= wsum;
+
+    if (ll - prev_ll < opts.loglik_tol && iter > 0) {
+      out.converged = true;
+      prev_ll = ll;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  out.model = dist::Hyperexponential(weights, rates);
+  out.log_likelihood = prev_ll;
+  return out;
+}
+
+}  // namespace
+
+EmResult fit_hyperexp_em(std::span<const double> xs, int phases,
+                         const EmOptions& opts) {
+  if (phases < 1) throw std::invalid_argument("fit_hyperexp_em: phases >= 1");
+  if (xs.size() < static_cast<std::size_t>(phases)) {
+    throw std::invalid_argument("fit_hyperexp_em: need at least k samples");
+  }
+  if (opts.restarts < 1) {
+    throw std::invalid_argument("fit_hyperexp_em: restarts >= 1");
+  }
+  std::vector<double> data(xs.begin(), xs.end());
+  for (double& x : data) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument(
+          "fit_hyperexp_em: values must be finite and >= 0");
+    }
+    x = std::max(x, opts.zero_floor);
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<double> weights;
+  std::vector<double> rates;
+  quantile_block_init(sorted, phases, weights, rates, opts.max_rate);
+
+  EmResult best = run_em(data, weights, rates, opts);
+  numerics::Rng rng(opts.restart_seed);
+  for (int r = 1; r < opts.restarts; ++r) {
+    // Perturb the deterministic init: jitter rates by a lognormal factor,
+    // weights toward uniform mixed with uniform noise.
+    std::vector<double> w(weights.size());
+    std::vector<double> rt(rates.size());
+    double wsum = 0.0;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      w[j] = weights[j] * rng.uniform(0.3, 1.7) + 0.05;
+      wsum += w[j];
+      rt[j] = std::min(rates[j] * rng.lognormal(0.0, 0.8), opts.max_rate);
+    }
+    for (double& v : w) v /= wsum;
+    EmResult candidate = run_em(data, std::move(w), std::move(rt), opts);
+    if (candidate.log_likelihood > best.log_likelihood) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,94 @@
+#include "harvest/fit/goodness_of_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace harvest::fit {
+
+double kolmogorov_tail(double t) {
+  if (t <= 0.0) return 1.0;
+  // Q_KS(t) = 2 Σ_{j>=1} (−1)^{j−1} e^{−2 j² t²}; converges very fast.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * t * t);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> xs,
+                 const dist::Distribution& hypothesized) {
+  if (xs.empty()) throw std::invalid_argument("ks_test: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double fx = hypothesized.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(fx - lo), std::fabs(hi - fx)});
+  }
+  KsResult r;
+  r.statistic = d;
+  const double sqrt_n = std::sqrt(n);
+  // Stephens' small-sample correction.
+  r.p_value = kolmogorov_tail((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return r;
+}
+
+KsResult ks_two_sample(std::span<const double> xs,
+                       std::span<const double> ys) {
+  if (xs.empty() || ys.empty()) {
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  }
+  std::vector<double> a(xs.begin(), xs.end());
+  std::vector<double> b(ys.begin(), ys.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+  KsResult r;
+  r.statistic = d;
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  r.p_value = kolmogorov_tail((sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d);
+  return r;
+}
+
+double anderson_darling(std::span<const double> xs,
+                        const dist::Distribution& hypothesized) {
+  if (xs.empty()) throw std::invalid_argument("anderson_darling: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const double dn = static_cast<double>(n);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double fi = hypothesized.cdf(sorted[i]);
+    double fj = hypothesized.cdf(sorted[n - 1 - i]);
+    // Clamp away from {0,1} so the logs stay finite.
+    fi = std::clamp(fi, 1e-12, 1.0 - 1e-12);
+    fj = std::clamp(fj, 1e-12, 1.0 - 1e-12);
+    s += (2.0 * static_cast<double>(i) + 1.0) *
+         (std::log(fi) + std::log1p(-fj));
+  }
+  return -dn - s / dn;
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,40 @@
+// Goodness-of-fit measures. The paper's antecedents ([9, 28]) proposed
+// availability models "with no quantitative measure of goodness-of-fit";
+// this module provides the quantitative measures: the Kolmogorov–Smirnov
+// distance (with asymptotic p-value) and the Anderson–Darling statistic
+// (more sensitive in the tails, which is where heavy-tailed availability
+// models differ).
+#pragma once
+
+#include <span>
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::fit {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F_n(x) − F(x)|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov p-value
+};
+
+/// One-sample KS test of `xs` against the hypothesized distribution.
+/// Note: the asymptotic p-value assumes the parameters were NOT fitted from
+/// `xs`; with fitted parameters it is optimistic (use it comparatively).
+[[nodiscard]] KsResult ks_test(std::span<const double> xs,
+                               const dist::Distribution& hypothesized);
+
+/// Anderson–Darling statistic A² of `xs` against the hypothesized
+/// distribution (no p-value; used comparatively).
+[[nodiscard]] double anderson_darling(std::span<const double> xs,
+                                      const dist::Distribution& hypothesized);
+
+/// Asymptotic Kolmogorov distribution complement: P(D_n > d) ≈ Q_KS(√n·d).
+[[nodiscard]] double kolmogorov_tail(double t);
+
+/// Two-sample KS test: are two machines' availability samples drawn from
+/// the same law? Useful for deciding whether machines can share a fitted
+/// model (pooling 25-observation histories across identical hardware).
+[[nodiscard]] KsResult ks_two_sample(std::span<const double> xs,
+                                     std::span<const double> ys);
+
+}  // namespace harvest::fit

@@ -1,0 +1,24 @@
+#include "harvest/fit/mle_exponential.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::fit {
+
+dist::Exponential fit_exponential_mle(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("fit_exponential_mle: empty");
+  double sum = 0.0;
+  for (double x : xs) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument(
+          "fit_exponential_mle: values must be finite and >= 0");
+    }
+    sum += x;
+  }
+  if (!(sum > 0.0)) {
+    throw std::invalid_argument("fit_exponential_mle: sample mean must be > 0");
+  }
+  return dist::Exponential(static_cast<double>(xs.size()) / sum);
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,16 @@
+// Maximum-likelihood fit of an exponential distribution: the paper's
+// baseline availability model (fitted with Matlab there; closed form here).
+#pragma once
+
+#include <span>
+
+#include "harvest/dist/exponential.hpp"
+
+namespace harvest::fit {
+
+/// MLE for the exponential rate: λ̂ = n / Σxᵢ. Requires a non-empty sample
+/// with positive mean; non-negative values only.
+[[nodiscard]] dist::Exponential fit_exponential_mle(
+    std::span<const double> xs);
+
+}  // namespace harvest::fit

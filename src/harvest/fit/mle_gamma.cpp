@@ -1,0 +1,54 @@
+#include "harvest/fit/mle_gamma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "harvest/numerics/roots.hpp"
+#include "harvest/numerics/special_functions.hpp"
+
+namespace harvest::fit {
+
+dist::GammaDist fit_gamma_mle(std::span<const double> xs, double zero_floor) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("fit_gamma_mle: need n >= 2");
+  }
+  std::vector<double> v(xs.begin(), xs.end());
+  double mean = 0.0;
+  double mean_log = 0.0;
+  for (double& x : v) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument(
+          "fit_gamma_mle: values must be finite and >= 0");
+    }
+    x = std::max(x, zero_floor);
+    mean += x;
+    mean_log += std::log(x);
+  }
+  const double n = static_cast<double>(v.size());
+  mean /= n;
+  mean_log /= n;
+  const double s = std::log(mean) - mean_log;  // >= 0 by Jensen
+  if (!(s > 0.0)) {
+    throw std::invalid_argument(
+        "fit_gamma_mle: all observations identical; shape MLE diverges");
+  }
+  // g(k) = ln k − ψ(k) − s, strictly decreasing; start from the standard
+  // closed-form approximation.
+  const auto g = [&](double k) {
+    return std::log(k) - numerics::digamma(k) - s;
+  };
+  double k0 = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+              (12.0 * s);
+  k0 = std::clamp(k0, 1e-6, 1e6);
+  double lo = k0;
+  double hi = k0;
+  while (g(lo) < 0.0 && lo > 1e-9) lo *= 0.5;
+  while (g(hi) > 0.0 && hi < 1e9) hi *= 2.0;
+  const auto root = numerics::find_root_bisection(g, lo, hi, 1e-12);
+  const double shape = root.x;
+  return dist::GammaDist(shape, mean / shape);
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,18 @@
+// Gamma MLE via Newton on the shape equation
+//     ln k − ψ(k) = ln(mean x) − mean(ln x)
+// (the right side s > 0 for any non-degenerate sample; the left side is
+// strictly decreasing in k), then scale = mean / k.
+#pragma once
+
+#include <span>
+
+#include "harvest/dist/gamma.hpp"
+
+namespace harvest::fit {
+
+/// Requires >= 2 observations with >= 2 distinct positive values. Zeros are
+/// clamped up to `zero_floor`.
+[[nodiscard]] dist::GammaDist fit_gamma_mle(std::span<const double> xs,
+                                            double zero_floor = 1e-9);
+
+}  // namespace harvest::fit

@@ -1,0 +1,38 @@
+#include "harvest/fit/mle_lognormal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace harvest::fit {
+
+dist::Lognormal fit_lognormal_mle(std::span<const double> xs,
+                                  double zero_floor) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("fit_lognormal_mle: need n >= 2");
+  }
+  std::vector<double> logs;
+  logs.reserve(xs.size());
+  for (double x : xs) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument(
+          "fit_lognormal_mle: values must be finite and >= 0");
+    }
+    logs.push_back(std::log(std::max(x, zero_floor)));
+  }
+  const double n = static_cast<double>(logs.size());
+  double mu = 0.0;
+  for (double l : logs) mu += l;
+  mu /= n;
+  double var = 0.0;
+  for (double l : logs) var += (l - mu) * (l - mu);
+  var /= n;  // MLE uses the biased (1/n) variance
+  if (!(var > 0.0)) {
+    throw std::invalid_argument(
+        "fit_lognormal_mle: all observations identical; sigma MLE is 0");
+  }
+  return dist::Lognormal(mu, std::sqrt(var));
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,16 @@
+// Lognormal MLE: closed form on the log-transformed sample
+// (μ̂ = mean(ln x), σ̂² = biased MLE variance of ln x).
+#pragma once
+
+#include <span>
+
+#include "harvest/dist/lognormal.hpp"
+
+namespace harvest::fit {
+
+/// Requires >= 2 observations with >= 2 distinct positive values (σ̂ > 0).
+/// Values of exactly zero are clamped up to `zero_floor`.
+[[nodiscard]] dist::Lognormal fit_lognormal_mle(std::span<const double> xs,
+                                                double zero_floor = 1e-9);
+
+}  // namespace harvest::fit

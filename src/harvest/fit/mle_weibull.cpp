@@ -1,0 +1,97 @@
+#include "harvest/fit/mle_weibull.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "harvest/numerics/roots.hpp"
+
+namespace harvest::fit {
+
+dist::Weibull fit_weibull_mle(std::span<const double> xs,
+                              const WeibullFitOptions& opts) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("fit_weibull_mle: need n >= 2");
+  }
+  std::vector<double> v(xs.begin(), xs.end());
+  for (double& x : v) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument(
+          "fit_weibull_mle: values must be finite and >= 0");
+    }
+    x = std::max(x, opts.zero_floor);
+  }
+  const bool degenerate =
+      std::all_of(v.begin(), v.end(), [&](double x) { return x == v[0]; });
+  if (degenerate) {
+    throw std::invalid_argument(
+        "fit_weibull_mle: all observations identical; shape MLE diverges");
+  }
+
+  const double n = static_cast<double>(v.size());
+  // Rescale by the geometric mean so x^alpha stays in range for extreme
+  // shapes; the shape estimate is scale-invariant.
+  double mean_log = 0.0;
+  for (double x : v) mean_log += std::log(x);
+  mean_log /= n;
+  const double gm = std::exp(mean_log);
+  std::vector<double> logs(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] /= gm;
+    logs[i] = std::log(v[i]);
+  }
+  // After rescaling, (1/n) Σ ln xᵢ == 0, so the profile equation becomes
+  // g(α) = Σ xᵢ^α ln xᵢ / Σ xᵢ^α − 1/α.
+  const auto g = [&](double alpha) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const double xa = std::exp(alpha * logs[i]);
+      num += xa * logs[i];
+      den += xa;
+    }
+    return num / den - 1.0 / alpha;
+  };
+  const auto dg = [&](double alpha) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const double xa = std::exp(alpha * logs[i]);
+      s0 += xa;
+      s1 += xa * logs[i];
+      s2 += xa * logs[i] * logs[i];
+    }
+    const double ratio = s1 / s0;
+    return (s2 / s0 - ratio * ratio) + 1.0 / (alpha * alpha);
+  };
+
+  // Cap the shape so exp(alpha * log) cannot overflow to inf and poison the
+  // bracket with NaNs (values are GM-normalized, so |log| is modest for any
+  // non-degenerate sample).
+  double max_abs_log = 0.0;
+  for (double lg : logs) max_abs_log = std::max(max_abs_log, std::fabs(lg));
+  double lo = opts.shape_min;
+  double hi = std::min(opts.shape_max,
+                       600.0 / std::max(max_abs_log, 1e-12));
+  if (!(hi > lo) || g(lo) > 0.0 || g(hi) < 0.0) {
+    throw std::runtime_error(
+        "fit_weibull_mle: shape root outside configured search range");
+  }
+  // Moment-style starting guess: α ≈ 1.2 / stddev(ln x).
+  double var_log = 0.0;
+  for (double lg : logs) var_log += lg * lg;
+  var_log /= (n - 1.0);
+  const double x0 = std::clamp(
+      var_log > 0.0 ? 1.2 / std::sqrt(var_log) : 1.0, lo * 2.0, hi / 2.0);
+  const auto root = numerics::find_root_newton(g, dg, lo, hi, x0, opts.tol);
+  const double alpha = root.x;
+
+  double sum_xa = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    sum_xa += std::exp(alpha * logs[i]);
+  }
+  const double beta = gm * std::pow(sum_xa / n, 1.0 / alpha);
+  return dist::Weibull(alpha, beta);
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,32 @@
+// Maximum-likelihood Weibull fit via the profile likelihood. The shape α̂
+// solves
+//     Σ xᵢ^α ln xᵢ / Σ xᵢ^α  −  1/α  −  (1/n) Σ ln xᵢ  =  0
+// (strictly increasing in α, so a safeguarded Newton/bisection always
+// converges), after which the scale is β̂ = (Σ xᵢ^α̂ / n)^{1/α̂}.
+// This matches what Matlab's `wblfit` computes in the paper.
+#pragma once
+
+#include <span>
+
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::fit {
+
+struct WeibullFitOptions {
+  /// Zero observations make ln x blow up; availability durations of exactly
+  /// zero are measurement artifacts and are clamped up to this floor.
+  double zero_floor = 1e-9;
+  /// Shape search range; the availability data this library targets has
+  /// shapes well inside [0.05, 50].
+  double shape_min = 1e-3;
+  double shape_max = 1e3;
+  double tol = 1e-12;
+};
+
+/// Requires at least 2 observations and at least 2 distinct values (a
+/// degenerate point mass has no Weibull MLE: α → ∞). Throws
+/// std::invalid_argument on bad input.
+[[nodiscard]] dist::Weibull fit_weibull_mle(
+    std::span<const double> xs, const WeibullFitOptions& opts = {});
+
+}  // namespace harvest::fit

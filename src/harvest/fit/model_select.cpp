@@ -1,0 +1,103 @@
+#include "harvest/fit/model_select.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "harvest/fit/em_hyperexp.hpp"
+#include "harvest/fit/goodness_of_fit.hpp"
+#include "harvest/fit/mle_exponential.hpp"
+#include "harvest/fit/mle_gamma.hpp"
+#include "harvest/fit/mle_lognormal.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+
+namespace harvest::fit {
+namespace {
+
+FittedModel make_entry(dist::DistributionPtr model,
+                       std::span<const double> xs) {
+  FittedModel fm;
+  fm.family = model->name();
+  fm.log_likelihood = model->log_likelihood(xs);
+  const double k = model->parameter_count();
+  const double n = static_cast<double>(xs.size());
+  fm.aic = 2.0 * k - 2.0 * fm.log_likelihood;
+  fm.bic = k * std::log(n) - 2.0 * fm.log_likelihood;
+  fm.ks_statistic = ks_test(xs, *model).statistic;
+  fm.anderson_darling = anderson_darling(xs, *model);
+  fm.model = std::move(model);
+  return fm;
+}
+
+}  // namespace
+
+std::vector<FittedModel> fit_all(std::span<const double> xs,
+                                 const ModelMenu& menu) {
+  std::vector<FittedModel> out;
+  if (menu.exponential) {
+    try {
+      auto m = std::make_shared<dist::Exponential>(fit_exponential_mle(xs));
+      out.push_back(make_entry(std::move(m), xs));
+    } catch (const std::exception&) {
+      // Degenerate sample for this family; skip it.
+    }
+  }
+  if (menu.weibull) {
+    try {
+      auto m = std::make_shared<dist::Weibull>(fit_weibull_mle(xs));
+      out.push_back(make_entry(std::move(m), xs));
+    } catch (const std::exception&) {
+    }
+  }
+  for (int k : menu.hyperexp_phases) {
+    try {
+      auto r = fit_hyperexp_em(xs, k);
+      auto m = std::make_shared<dist::Hyperexponential>(std::move(r.model));
+      out.push_back(make_entry(std::move(m), xs));
+    } catch (const std::exception&) {
+    }
+  }
+  if (menu.lognormal) {
+    try {
+      auto m = std::make_shared<dist::Lognormal>(fit_lognormal_mle(xs));
+      out.push_back(make_entry(std::move(m), xs));
+    } catch (const std::exception&) {
+    }
+  }
+  if (menu.gamma) {
+    try {
+      auto m = std::make_shared<dist::GammaDist>(fit_gamma_mle(xs));
+      out.push_back(make_entry(std::move(m), xs));
+    } catch (const std::exception&) {
+    }
+  }
+  return out;
+}
+
+const FittedModel& best_by_aic(const std::vector<FittedModel>& fits) {
+  if (fits.empty()) throw std::invalid_argument("best_by_aic: no fits");
+  const FittedModel* best = &fits.front();
+  for (const auto& f : fits) {
+    if (f.aic < best->aic) best = &f;
+  }
+  return *best;
+}
+
+const FittedModel& best_by_bic(const std::vector<FittedModel>& fits) {
+  if (fits.empty()) throw std::invalid_argument("best_by_bic: no fits");
+  const FittedModel* best = &fits.front();
+  for (const auto& f : fits) {
+    if (f.bic < best->bic) best = &f;
+  }
+  return *best;
+}
+
+const FittedModel* find_family(const std::vector<FittedModel>& fits,
+                               const std::string& family) {
+  for (const auto& f : fits) {
+    if (f.family == family) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,54 @@
+// Fit the paper's full model menu (exponential, Weibull, 2- and 3-phase
+// hyperexponential) to one availability sample and compare the fits.
+// This is the "software system that takes a set of measurements as inputs
+// and computes Weibull, exponential, and hyperexponential parameters
+// automatically" described in §3.4.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harvest/dist/distribution.hpp"
+
+namespace harvest::fit {
+
+/// Which model families to fit. Defaults to the paper's set; lognormal and
+/// gamma are opt-in extras from the wider availability literature.
+struct ModelMenu {
+  bool exponential = true;
+  bool weibull = true;
+  std::vector<int> hyperexp_phases = {2, 3};
+  bool lognormal = false;
+  bool gamma = false;
+};
+
+struct FittedModel {
+  dist::DistributionPtr model;
+  std::string family;       ///< "exponential", "weibull", "hyperexp2", ...
+  double log_likelihood = 0.0;
+  double aic = 0.0;
+  double bic = 0.0;
+  double ks_statistic = 0.0;
+  double anderson_darling = 0.0;
+};
+
+/// Fit every family in the menu to `xs`. Families whose fit fails (e.g.
+/// Weibull on a degenerate sample) are skipped. Result is non-empty for any
+/// sample with >= 2 distinct positive values.
+[[nodiscard]] std::vector<FittedModel> fit_all(std::span<const double> xs,
+                                               const ModelMenu& menu = {});
+
+/// Smallest-AIC entry; throws std::invalid_argument if `fits` is empty.
+[[nodiscard]] const FittedModel& best_by_aic(
+    const std::vector<FittedModel>& fits);
+
+/// Smallest-BIC entry; throws std::invalid_argument if `fits` is empty.
+[[nodiscard]] const FittedModel& best_by_bic(
+    const std::vector<FittedModel>& fits);
+
+/// Entry whose family name matches, or nullptr.
+[[nodiscard]] const FittedModel* find_family(
+    const std::vector<FittedModel>& fits, const std::string& family);
+
+}  // namespace harvest::fit

@@ -1,0 +1,60 @@
+#include "harvest/fit/weibull_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace harvest::fit {
+
+WeibullPlotFit fit_weibull_plot(std::span<const double> xs,
+                                double zero_floor) {
+  if (xs.size() < 3) {
+    throw std::invalid_argument("fit_weibull_plot: need n >= 3");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  for (double& x : sorted) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument(
+          "fit_weibull_plot: values must be finite and >= 0");
+    }
+    x = std::max(x, zero_floor);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() == sorted.back()) {
+    throw std::invalid_argument(
+        "fit_weibull_plot: all observations identical");
+  }
+
+  const double n = static_cast<double>(sorted.size());
+  // Regression of y = ln(−ln(1 − F̂)) on u = ln x with median ranks.
+  double su = 0.0, sy = 0.0, suu = 0.0, suy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double rank = (static_cast<double>(i) + 1.0 - 0.3) / (n + 0.4);
+    const double u = std::log(sorted[i]);
+    const double y = std::log(-std::log1p(-rank));
+    su += u;
+    sy += y;
+    suu += u * u;
+    suy += u * y;
+    syy += y * y;
+  }
+  const double duu = suu - su * su / n;
+  const double duy = suy - su * sy / n;
+  const double dyy = syy - sy * sy / n;
+  if (!(duu > 0.0)) {
+    throw std::invalid_argument("fit_weibull_plot: degenerate abscissae");
+  }
+  const double slope = duy / duu;          // = shape
+  const double intercept = (sy - slope * su) / n;
+  if (!(slope > 0.0)) {
+    throw std::runtime_error(
+        "fit_weibull_plot: non-positive slope (data not Weibull-orderable)");
+  }
+  const double scale = std::exp(-intercept / slope);
+  WeibullPlotFit fit{dist::Weibull(slope, scale), 0.0};
+  fit.r_squared = (dyy > 0.0) ? (duy * duy) / (duu * dyy) : 1.0;
+  return fit;
+}
+
+}  // namespace harvest::fit

@@ -1,0 +1,31 @@
+// Weibull probability-plot (least-squares) estimation: the graphical method
+// practitioners use to eyeball Weibull-ness, made numeric. On Weibull data
+// the points (ln x₍ᵢ₎, ln(−ln(1 − F̂(x₍ᵢ₎)))) lie on a line with slope =
+// shape and intercept = −shape·ln(scale); the R² of that line doubles as a
+// quantitative "how Weibull is this?" score (the goodness-of-fit measure
+// the paper notes its predecessors lacked).
+//
+// Less efficient than the MLE but robust and closed-form; also a good MLE
+// starting point.
+#pragma once
+
+#include <span>
+
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::fit {
+
+struct WeibullPlotFit {
+  dist::Weibull model;
+  /// R² of the probability-plot regression in [0, 1]; near 1 means the
+  /// sample is well described by SOME Weibull.
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit on the Weibull plot using median ranks
+/// (F̂(x₍ᵢ₎) = (i − 0.3)/(n + 0.4)). Requires >= 3 observations with >= 2
+/// distinct positive values; zeros are clamped up to `zero_floor`.
+[[nodiscard]] WeibullPlotFit fit_weibull_plot(std::span<const double> xs,
+                                              double zero_floor = 1e-9);
+
+}  // namespace harvest::fit

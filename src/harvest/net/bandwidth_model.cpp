@@ -1,0 +1,47 @@
+#include "harvest/net/bandwidth_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::net {
+
+BandwidthModel::BandwidthModel(double mean_rate_mbps, double jitter_sigma)
+    : mean_rate_(mean_rate_mbps), sigma_(jitter_sigma) {
+  if (!(mean_rate_mbps > 0.0) || !std::isfinite(mean_rate_mbps)) {
+    throw std::invalid_argument("BandwidthModel: mean rate must be > 0");
+  }
+  if (!(jitter_sigma >= 0.0) || !std::isfinite(jitter_sigma)) {
+    throw std::invalid_argument("BandwidthModel: jitter sigma must be >= 0");
+  }
+}
+
+double BandwidthModel::expected_transfer_seconds(double megabytes) const {
+  if (!(megabytes >= 0.0)) {
+    throw std::invalid_argument("expected_transfer_seconds: megabytes >= 0");
+  }
+  return megabytes / mean_rate_;
+}
+
+double BandwidthModel::sample_transfer_seconds(double megabytes,
+                                               numerics::Rng& rng) const {
+  if (!(megabytes >= 0.0)) {
+    throw std::invalid_argument("sample_transfer_seconds: megabytes >= 0");
+  }
+  if (sigma_ == 0.0) return megabytes / mean_rate_;
+  // Mean-one lognormal multiplier on the transfer TIME (mu = -sigma^2/2), so
+  // the expected duration matches expected_transfer_seconds.
+  const double multiplier = rng.lognormal(-0.5 * sigma_ * sigma_, sigma_);
+  return megabytes / mean_rate_ * multiplier;
+}
+
+BandwidthModel BandwidthModel::campus() {
+  // 500 MB / (4.545 MB/s) ≈ 110 s; modest LAN variability.
+  return BandwidthModel(500.0 / 110.0, 0.15);
+}
+
+BandwidthModel BandwidthModel::wan() {
+  // 500 MB / (1.053 MB/s) ≈ 475 s; wide-area variability is heavier.
+  return BandwidthModel(500.0 / 475.0, 0.35);
+}
+
+}  // namespace harvest::net

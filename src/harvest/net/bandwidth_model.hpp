@@ -1,0 +1,45 @@
+// Stochastic network model for checkpoint traffic. The paper's live
+// experiment measures each 500 MB transfer's duration against a real
+// network (campus LAN at Wisconsin: mean ~110 s; WAN back to UCSB:
+// mean ~475 s) and feeds the measured time back into the planner as the
+// current C and R. This model reproduces that variability: a nominal link
+// rate with multiplicative lognormal jitter per transfer.
+#pragma once
+
+#include <string>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::net {
+
+class BandwidthModel {
+ public:
+  /// `mean_rate_mbps`: long-run mean transfer rate in MB/s.
+  /// `jitter_sigma`: lognormal sigma of the per-transfer rate multiplier
+  /// (mean-one multiplier; 0 disables jitter).
+  BandwidthModel(double mean_rate_mbps, double jitter_sigma);
+
+  [[nodiscard]] double mean_rate_mbps() const { return mean_rate_; }
+  [[nodiscard]] double jitter_sigma() const { return sigma_; }
+
+  /// Expected time to move `megabytes` (no jitter).
+  [[nodiscard]] double expected_transfer_seconds(double megabytes) const;
+
+  /// Sampled time to move `megabytes` for one transfer.
+  [[nodiscard]] double sample_transfer_seconds(double megabytes,
+                                               numerics::Rng& rng) const;
+
+  /// Campus-LAN preset calibrated so a 500 MB transfer averages ~110 s
+  /// (the paper's Table 4 configuration).
+  [[nodiscard]] static BandwidthModel campus();
+
+  /// Cross-Internet preset calibrated so a 500 MB transfer averages ~475 s
+  /// with heavier variability (the paper's Table 5 configuration).
+  [[nodiscard]] static BandwidthModel wan();
+
+ private:
+  double mean_rate_;
+  double sigma_;
+};
+
+}  // namespace harvest::net

@@ -1,0 +1,83 @@
+#include "harvest/net/shared_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harvest::net {
+
+SharedLink::SharedLink(double capacity_mbps) : capacity_(capacity_mbps) {
+  if (!(capacity_mbps > 0.0) || !std::isfinite(capacity_mbps)) {
+    throw std::invalid_argument("SharedLink: capacity must be > 0");
+  }
+}
+
+std::vector<TransferOutcome> SharedLink::resolve(
+    std::vector<TransferRequest> requests) const {
+  for (const auto& r : requests) {
+    if (!(r.arrival_s >= 0.0) || !(r.megabytes > 0.0)) {
+      throw std::invalid_argument(
+          "SharedLink::resolve: arrivals >= 0, sizes > 0");
+    }
+  }
+  const std::size_t n = requests.size();
+  std::vector<TransferOutcome> outcomes(n);
+
+  // Event sweep: between consecutive events (an arrival or a completion)
+  // the active set is fixed, so each active transfer drains at
+  // capacity / |active|.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return requests[a].arrival_s < requests[b].arrival_s;
+  });
+
+  std::vector<double> remaining(n, 0.0);
+  std::vector<bool> active(n, false);
+  std::size_t next_arrival = 0;
+  std::size_t active_count = 0;
+  double now = n > 0 ? requests[order[0]].arrival_s : 0.0;
+
+  while (next_arrival < n || active_count > 0) {
+    // Admit arrivals at `now`.
+    while (next_arrival < n &&
+           requests[order[next_arrival]].arrival_s <= now) {
+      const std::size_t id = order[next_arrival];
+      remaining[id] = requests[id].megabytes;
+      active[id] = true;
+      outcomes[id].start_s = requests[id].arrival_s;
+      ++active_count;
+      ++next_arrival;
+    }
+    if (active_count == 0) {
+      now = requests[order[next_arrival]].arrival_s;
+      continue;
+    }
+    const double share = capacity_ / static_cast<double>(active_count);
+    // Time to the earliest completion among active transfers.
+    double min_drain = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]) min_drain = std::min(min_drain, remaining[i] / share);
+    }
+    // Time to the next arrival.
+    const double until_arrival =
+        (next_arrival < n)
+            ? requests[order[next_arrival]].arrival_s - now
+            : std::numeric_limits<double>::infinity();
+    const double dt = std::min(min_drain, until_arrival);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      remaining[i] -= share * dt;
+      if (remaining[i] <= 1e-12 * requests[i].megabytes) {
+        active[i] = false;
+        --active_count;
+        outcomes[i].finish_s = now + dt;
+      }
+    }
+    now += dt;
+  }
+  return outcomes;
+}
+
+}  // namespace harvest::net

@@ -1,0 +1,48 @@
+// Processor-sharing model of a shared network link. The paper's conclusion
+// motivates this: "for a parallel job, where multiple jobs may be
+// checkpointing simultaneously, the network load savings are likely to
+// improve application efficiency since network collisions will lengthen the
+// amount of time necessary for a checkpoint"; modeling that interaction is
+// flagged as future work. The ablation bench uses this module to quantify
+// the effect.
+//
+// Semantics: the link has a fixed capacity (MB/s). Concurrent transfers
+// share it equally (TCP-fair processor sharing). Given a set of transfer
+// requests (arrival time, size), `resolve` computes each transfer's
+// completion time exactly by sweeping arrival/completion events.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace harvest::net {
+
+struct TransferRequest {
+  double arrival_s = 0.0;
+  double megabytes = 0.0;
+};
+
+struct TransferOutcome {
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  /// finish − start; >= megabytes / capacity, with equality iff the
+  /// transfer never shared the link.
+  [[nodiscard]] double duration() const { return finish_s - start_s; }
+};
+
+class SharedLink {
+ public:
+  explicit SharedLink(double capacity_mbps);
+
+  [[nodiscard]] double capacity_mbps() const { return capacity_; }
+
+  /// Exact processor-sharing schedule for the given requests. Outcomes are
+  /// returned in the same order as the requests.
+  [[nodiscard]] std::vector<TransferOutcome> resolve(
+      std::vector<TransferRequest> requests) const;
+
+ private:
+  double capacity_;
+};
+
+}  // namespace harvest::net

@@ -1,0 +1,169 @@
+#include "harvest/numerics/minimize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::numerics {
+namespace {
+constexpr double kInvPhi = 0.6180339887498949;  // 1/golden ratio
+constexpr double kTiny = 1e-11;
+}  // namespace
+
+MinimizeResult minimize_golden_section(const Objective& f, double lo,
+                                       double hi, double tol, int max_iter) {
+  if (!(hi > lo)) throw std::invalid_argument("golden_section: hi <= lo");
+  MinimizeResult r;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  r.evaluations = 2;
+  for (int i = 0; i < max_iter; ++i) {
+    if (b - a < tol * (std::fabs(x1) + std::fabs(x2)) + kTiny) {
+      r.converged = true;
+      break;
+    }
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++r.evaluations;
+  }
+  if (f1 < f2) {
+    r.x = x1;
+    r.value = f1;
+  } else {
+    r.x = x2;
+    r.value = f2;
+  }
+  return r;
+}
+
+MinimizeResult minimize_brent(const Objective& f, double lo, double hi,
+                              double tol, int max_iter) {
+  if (!(hi > lo)) throw std::invalid_argument("brent: hi <= lo");
+  MinimizeResult r;
+  double a = lo, b = hi;
+  double x = a + kInvPhi * (b - a);
+  double w = x, v = x;
+  double fx = f(x);
+  double fw = fx, fv = fx;
+  r.evaluations = 1;
+  double d = 0.0, e = 0.0;
+  for (int i = 0; i < max_iter; ++i) {
+    const double m = 0.5 * (a + b);
+    const double tol1 = tol * std::fabs(x) + kTiny;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - m) <= tol2 - 0.5 * (b - a)) {
+      r.converged = true;
+      break;
+    }
+    bool take_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Parabolic fit through (x, fx), (w, fw), (v, fv).
+      const double rr = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * rr;
+      q = 2.0 * (q - rr);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (m > x) ? tol1 : -tol1;
+        take_golden = false;
+      }
+    }
+    if (take_golden) {
+      e = (x < m) ? b - x : a - x;
+      d = (1.0 - kInvPhi) * e;
+    }
+    const double u =
+        (std::fabs(d) >= tol1) ? x + d : x + ((d > 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    ++r.evaluations;
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  r.x = x;
+  r.value = fx;
+  return r;
+}
+
+Bracket bracket_log_scan(const Objective& f, double lo, double hi,
+                         int points) {
+  if (!(hi > lo) || lo <= 0.0) {
+    throw std::invalid_argument("bracket_log_scan: requires 0 < lo < hi");
+  }
+  if (points < 3) throw std::invalid_argument("bracket_log_scan: points >= 3");
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  const double step = (lhi - llo) / (points - 1);
+  double best_x = lo;
+  double best_f = f(lo);
+  int best_i = 0;
+  for (int i = 1; i < points; ++i) {
+    const double x = std::exp(llo + i * step);
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+      best_i = i;
+    }
+  }
+  Bracket b;
+  b.best = best_x;
+  b.lo = (best_i == 0) ? lo : std::exp(llo + (best_i - 1) * step);
+  b.hi = (best_i == points - 1) ? hi : std::exp(llo + (best_i + 1) * step);
+  return b;
+}
+
+MinimizeResult minimize_log_bracketed(const Objective& f, double lo, double hi,
+                                      int scan_points, double tol) {
+  const Bracket b = bracket_log_scan(f, lo, hi, scan_points);
+  MinimizeResult r = minimize_golden_section(f, b.lo, b.hi, tol);
+  r.evaluations += scan_points;
+  return r;
+}
+
+}  // namespace harvest::numerics

@@ -1,0 +1,50 @@
+// One-dimensional minimization. The paper minimizes the checkpoint overhead
+// ratio Γ(T)/T with the Golden Section Search of Numerical Recipes; we
+// provide that, a Brent refinement, and a log-space scan that brackets the
+// minimum first (Γ/T is unimodal-in-practice but its scale is unknown a
+// priori, spanning seconds to days).
+#pragma once
+
+#include <functional>
+
+namespace harvest::numerics {
+
+using Objective = std::function<double(double)>;
+
+struct MinimizeResult {
+  double x = 0.0;        ///< argmin
+  double value = 0.0;    ///< f(argmin)
+  int evaluations = 0;   ///< number of objective evaluations
+  bool converged = false;
+};
+
+/// Golden-section search on the bracket [lo, hi]; assumes `f` is unimodal
+/// there. Stops when the bracket width falls below `tol * |x| + tiny`.
+[[nodiscard]] MinimizeResult minimize_golden_section(const Objective& f,
+                                                     double lo, double hi,
+                                                     double tol = 1e-6,
+                                                     int max_iter = 200);
+
+/// Brent's method (golden section + parabolic interpolation) on [lo, hi].
+[[nodiscard]] MinimizeResult minimize_brent(const Objective& f, double lo,
+                                            double hi, double tol = 1e-8,
+                                            int max_iter = 200);
+
+/// Scan `points` log-spaced abscissae over [lo, hi], pick the best, and
+/// return a bracket (one grid step either side) suitable for golden-section
+/// refinement. `f` must be finite over [lo, hi].
+struct Bracket {
+  double lo = 0.0;
+  double hi = 0.0;
+  double best = 0.0;  ///< grid argmin inside the bracket
+};
+[[nodiscard]] Bracket bracket_log_scan(const Objective& f, double lo,
+                                       double hi, int points = 48);
+
+/// Convenience: bracket with a log scan, then refine with golden section.
+[[nodiscard]] MinimizeResult minimize_log_bracketed(const Objective& f,
+                                                    double lo, double hi,
+                                                    int scan_points = 48,
+                                                    double tol = 1e-6);
+
+}  // namespace harvest::numerics

@@ -1,0 +1,83 @@
+#include "harvest/numerics/quadrature.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::numerics {
+namespace {
+
+struct SimpsonPanel {
+  double fa, fm, fb;  // f at left, midpoint, right
+  double estimate;    // Simpson estimate over the panel
+};
+
+double simpson(double fa, double fm, double fb, double h) {
+  return h / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const Integrand& f, double a, double b,
+                const SimpsonPanel& whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const SimpsonPanel left{whole.fa, flm, whole.fm,
+                          simpson(whole.fa, flm, whole.fm, m - a)};
+  const SimpsonPanel right{whole.fm, frm, whole.fb,
+                           simpson(whole.fm, frm, whole.fb, b - m)};
+  const double two_panel = left.estimate + right.estimate;
+  const double err = (two_panel - whole.estimate) / 15.0;
+  if (depth <= 0 || std::fabs(err) <= tol) return two_panel + err;
+  return adaptive(f, a, m, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, b, right, 0.5 * tol, depth - 1);
+}
+
+// 16-point Gauss–Legendre nodes/weights on [-1, 1] (positive half; the rule
+// is symmetric).
+constexpr std::array<double, 8> kGlNodes = {
+    0.0950125098376374, 0.2816035507792589, 0.4580167776572274,
+    0.6178762444026438, 0.7554044083550030, 0.8656312023878318,
+    0.9445750230732326, 0.9894009349916499};
+constexpr std::array<double, 8> kGlWeights = {
+    0.1894506104550685, 0.1826034150449236, 0.1691565193950025,
+    0.1495959888165767, 0.1246289712555339, 0.0951585116824928,
+    0.0622535239386479, 0.0271524594117541};
+
+}  // namespace
+
+double integrate_adaptive_simpson(const Integrand& f, double a, double b,
+                                  double tol, int max_depth) {
+  if (!(b >= a)) throw std::invalid_argument("integrate: requires b >= a");
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const SimpsonPanel whole{fa, fm, fb, simpson(fa, fm, fb, b - a)};
+  return adaptive(f, a, b, whole, tol, max_depth);
+}
+
+double integrate_gauss_legendre(const Integrand& f, double a, double b,
+                                int panels) {
+  if (!(b >= a)) throw std::invalid_argument("integrate: requires b >= a");
+  if (panels < 1) throw std::invalid_argument("integrate: panels >= 1");
+  if (a == b) return 0.0;
+  const double panel_w = (b - a) / panels;
+  double total = 0.0;
+  for (int p = 0; p < panels; ++p) {
+    const double lo = a + p * panel_w;
+    const double mid = lo + 0.5 * panel_w;
+    const double half = 0.5 * panel_w;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < kGlNodes.size(); ++i) {
+      const double dx = half * kGlNodes[i];
+      acc += kGlWeights[i] * (f(mid - dx) + f(mid + dx));
+    }
+    total += acc * half;
+  }
+  return total;
+}
+
+}  // namespace harvest::numerics

@@ -1,0 +1,26 @@
+// Numerical integration used as the generic fallback for partial
+// expectations ∫₀ˣ t f(t) dt when a distribution family has no closed form,
+// and in tests to cross-check the closed forms each family provides.
+#pragma once
+
+#include <functional>
+
+namespace harvest::numerics {
+
+/// Real-valued integrand on an interval.
+using Integrand = std::function<double(double)>;
+
+/// Adaptive Simpson quadrature of `f` on [a, b] to absolute tolerance `tol`.
+/// Recursion depth is capped; the cap is generous enough for the smooth
+/// densities used in this library.
+[[nodiscard]] double integrate_adaptive_simpson(const Integrand& f, double a,
+                                                double b, double tol = 1e-9,
+                                                int max_depth = 40);
+
+/// Composite fixed-order Gauss–Legendre quadrature on [a, b] with
+/// `panels` panels of a 16-point rule. Non-adaptive but very fast; used by
+/// performance-sensitive callers that know their integrand is smooth.
+[[nodiscard]] double integrate_gauss_legendre(const Integrand& f, double a,
+                                              double b, int panels = 4);
+
+}  // namespace harvest::numerics

@@ -1,0 +1,105 @@
+#include "harvest/numerics/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace harvest::numerics {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_index: n must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0.0) throw std::invalid_argument("exponential: lambda > 0");
+  double u = uniform();
+  while (u == 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+double Rng::weibull(double alpha, double beta) {
+  if (alpha <= 0.0 || beta <= 0.0) {
+    throw std::invalid_argument("weibull: alpha, beta > 0");
+  }
+  double u = uniform();
+  while (u == 0.0) u = uniform();
+  return beta * std::pow(-std::log(u), 1.0 / alpha);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("categorical: empty");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("categorical: zero total");
+  const double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() { return Rng{next_u64() ^ 0xdeadbeefcafef00dULL}; }
+
+}  // namespace harvest::numerics

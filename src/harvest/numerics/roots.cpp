@@ -1,0 +1,103 @@
+#include "harvest/numerics/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::numerics {
+
+RootResult find_root_bisection(const RealFn& f, double lo, double hi,
+                               double tol, int max_iter) {
+  if (!(hi > lo)) throw std::invalid_argument("bisection: hi <= lo");
+  RootResult r;
+  double flo = f(lo);
+  double fhi = f(hi);
+  r.evaluations = 2;
+  if (flo == 0.0) {
+    r.x = lo;
+    r.converged = true;
+    return r;
+  }
+  if (fhi == 0.0) {
+    r.x = hi;
+    r.converged = true;
+    return r;
+  }
+  if (flo * fhi > 0.0) {
+    throw std::invalid_argument("bisection: f(lo) and f(hi) same sign");
+  }
+  for (int i = 0; i < max_iter; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    ++r.evaluations;
+    if (fm == 0.0 || hi - lo < tol * (std::fabs(mid) + 1.0)) {
+      r.x = mid;
+      r.converged = true;
+      return r;
+    }
+    if (flo * fm < 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  r.x = 0.5 * (lo + hi);
+  return r;
+}
+
+RootResult find_root_newton(const RealFn& f, const RealFn& df, double lo,
+                            double hi, double x0, double tol, int max_iter) {
+  if (!(hi > lo)) throw std::invalid_argument("newton: hi <= lo");
+  RootResult r;
+  double flo = f(lo);
+  double fhi = f(hi);
+  r.evaluations = 2;
+  if (flo * fhi > 0.0) {
+    throw std::invalid_argument("newton: f(lo) and f(hi) same sign");
+  }
+  double x = (x0 > lo && x0 < hi) ? x0 : 0.5 * (lo + hi);
+  for (int i = 0; i < max_iter; ++i) {
+    const double fx = f(x);
+    ++r.evaluations;
+    if (std::fabs(fx) == 0.0) {
+      r.x = x;
+      r.converged = true;
+      return r;
+    }
+    // Shrink the bracket around the root.
+    if (flo * fx < 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+      flo = fx;
+    }
+    const double dfx = df(x);
+    double next = (dfx != 0.0) ? x - fx / dfx : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - x) < tol * (std::fabs(x) + 1.0)) {
+      r.x = next;
+      r.converged = true;
+      return r;
+    }
+    x = next;
+  }
+  r.x = x;
+  return r;
+}
+
+bool expand_bracket_upward(const RealFn& f, double& lo, double& hi,
+                           int max_expand) {
+  if (!(hi > lo)) throw std::invalid_argument("expand_bracket: hi <= lo");
+  double flo = f(lo);
+  double fhi = f(hi);
+  for (int i = 0; i < max_expand; ++i) {
+    if (flo * fhi <= 0.0) return true;
+    lo = hi;
+    flo = fhi;
+    hi *= 2.0;
+    fhi = f(hi);
+  }
+  return flo * fhi <= 0.0;
+}
+
+}  // namespace harvest::numerics

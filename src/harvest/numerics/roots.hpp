@@ -1,0 +1,35 @@
+// Scalar root finding, used by the Weibull profile-likelihood MLE and the
+// distribution quantile fallbacks.
+#pragma once
+
+#include <functional>
+
+namespace harvest::numerics {
+
+using RealFn = std::function<double(double)>;
+
+struct RootResult {
+  double x = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs.
+[[nodiscard]] RootResult find_root_bisection(const RealFn& f, double lo,
+                                             double hi, double tol = 1e-12,
+                                             int max_iter = 200);
+
+/// Newton's method with a bisection safeguard: the iterate is kept inside a
+/// sign-changing bracket, falling back to its midpoint when a Newton step
+/// would escape. `df` is the derivative.
+[[nodiscard]] RootResult find_root_newton(const RealFn& f, const RealFn& df,
+                                          double lo, double hi, double x0,
+                                          double tol = 1e-12,
+                                          int max_iter = 100);
+
+/// Expand [lo, hi] geometrically (upward) until f changes sign on it.
+/// Returns false if no sign change is found within `max_expand` doublings.
+[[nodiscard]] bool expand_bracket_upward(const RealFn& f, double& lo,
+                                         double& hi, int max_expand = 60);
+
+}  // namespace harvest::numerics

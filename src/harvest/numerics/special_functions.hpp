@@ -1,0 +1,48 @@
+// Special functions needed by the distribution and statistics layers:
+// regularized incomplete gamma (Weibull partial expectations), regularized
+// incomplete beta (Student-t CDF for confidence intervals and paired
+// t-tests), and the complete gamma function (Weibull moments).
+//
+// Implementations follow the classical series / continued-fraction splits
+// (Abramowitz & Stegun 6.5, 26.5; the same scheme as Numerical Recipes,
+// which the paper itself relies on), hand-rolled here so the library has no
+// external numeric dependencies.
+#pragma once
+
+namespace harvest::numerics {
+
+/// True gamma function Γ(x) for x > 0.
+[[nodiscard]] double gamma_fn(double x);
+
+/// Natural log of Γ(x) for x > 0.
+[[nodiscard]] double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x) / Γ(a), a > 0, x ≥ 0.
+/// P is a CDF in x: P(a, 0) = 0 and P(a, ∞) = 1.
+[[nodiscard]] double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// Lower incomplete gamma γ(a, x) = ∫₀ˣ t^{a−1} e^{−t} dt (unregularized).
+[[nodiscard]] double lower_incomplete_gamma(double a, double x);
+
+/// Digamma ψ(x) = d/dx ln Γ(x), x > 0 (asymptotic series with upward
+/// recurrence). Needed by the gamma-distribution MLE.
+[[nodiscard]] double digamma(double x);
+
+/// Error function complement of the standard normal CDF:
+/// Φ(x) = (1 + erf(x/√2)) / 2.
+[[nodiscard]] double normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam-style rational approximation with a
+/// Newton polish step; |error| < 1e-13).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Regularized incomplete beta I_x(a, b), a, b > 0, x ∈ [0, 1].
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Inverse of the regularized incomplete beta: find x with I_x(a,b) = p.
+[[nodiscard]] double incomplete_beta_inv(double a, double b, double p);
+
+}  // namespace harvest::numerics

@@ -1,0 +1,82 @@
+#include "harvest/sim/experiment.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace harvest::sim {
+
+std::vector<double> ExperimentResult::efficiencies() const {
+  std::vector<double> out;
+  out.reserve(machines.size());
+  for (const auto& m : machines) out.push_back(m.sim.efficiency());
+  return out;
+}
+
+std::vector<double> ExperimentResult::network_mbs() const {
+  std::vector<double> out;
+  out.reserve(machines.size());
+  for (const auto& m : machines) out.push_back(m.sim.network_mb);
+  return out;
+}
+
+ExperimentResult run_trace_experiment(
+    const std::vector<trace::AvailabilityTrace>& traces,
+    core::ModelFamily family, const ExperimentConfig& config,
+    util::ThreadPool* pool) {
+  if (!(config.checkpoint_cost_s >= 0.0)) {
+    throw std::invalid_argument("run_trace_experiment: cost >= 0");
+  }
+  core::IntervalCosts costs;
+  costs.checkpoint = config.checkpoint_cost_s;
+  costs.recovery = config.checkpoint_cost_s;  // paper: C == R
+
+  ExperimentResult result;
+  result.machines.reserve(traces.size());
+  std::mutex result_mutex;
+
+  const auto run_one = [&](std::size_t i) {
+    const trace::AvailabilityTrace& tr = traces[i];
+    if (tr.size() < config.train_count + 1) {
+      std::lock_guard lock(result_mutex);
+      result.skipped.push_back(tr.machine_id);
+      return;
+    }
+    const trace::TraceSplit split = split_train_test(tr, config.train_count);
+    dist::DistributionPtr model;
+    try {
+      model = core::Planner::fit_model(split.train, family);
+    } catch (const std::exception&) {
+      std::lock_guard lock(result_mutex);
+      result.skipped.push_back(tr.machine_id);
+      return;
+    }
+    core::ScheduleOptions sched_opts;
+    sched_opts.optimizer = config.optimizer;
+    sched_opts.condition_on_age = config.condition_on_age;
+    core::CheckpointSchedule schedule =
+        core::Planner::make_schedule(model, costs, sched_opts);
+    MachineOutcome outcome;
+    outcome.machine_id = tr.machine_id;
+    outcome.fitted_family = model->name();
+    outcome.sim = simulate_job_on_trace(split.test, schedule, config.job);
+    std::lock_guard lock(result_mutex);
+    result.machines.push_back(std::move(outcome));
+  };
+
+  if (pool != nullptr) {
+    util::parallel_for_each(*pool, traces.size(), run_one);
+    // Parallel completion order is nondeterministic; restore trace order so
+    // paired t-tests across families line up machine-by-machine.
+    std::sort(result.machines.begin(), result.machines.end(),
+              [](const MachineOutcome& a, const MachineOutcome& b) {
+                return a.machine_id < b.machine_id;
+              });
+    std::sort(result.skipped.begin(), result.skipped.end());
+  } else {
+    for (std::size_t i = 0; i < traces.size(); ++i) run_one(i);
+  }
+  return result;
+}
+
+}  // namespace harvest::sim

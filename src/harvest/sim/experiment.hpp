@@ -1,0 +1,56 @@
+// The experiment engine behind the paper's simulation study (§5.1): for a
+// set of machine traces, fit each requested model family to every machine's
+// training prefix, derive a checkpoint schedule per (machine, family,
+// checkpoint-cost) configuration, and run the trace-driven job simulation
+// over the experimental suffix. Machines fan out across a thread pool.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harvest/core/planner.hpp"
+#include "harvest/sim/job_sim.hpp"
+#include "harvest/trace/trace.hpp"
+#include "harvest/util/thread_pool.hpp"
+
+namespace harvest::sim {
+
+struct ExperimentConfig {
+  /// Training prefix length (the paper uses the first 25 observations).
+  std::size_t train_count = 25;
+  /// Checkpoint/recovery cost in seconds (the paper sets C == R).
+  double checkpoint_cost_s = 100.0;
+  JobSimConfig job;
+  core::OptimizerOptions optimizer;
+  /// Forwarded to ScheduleOptions; false disables future-lifetime
+  /// conditioning (ablation).
+  bool condition_on_age = true;
+};
+
+struct MachineOutcome {
+  std::string machine_id;
+  JobSimResult sim;
+  /// Family actually fitted (meaningful with ModelFamily::kAutoAic).
+  std::string fitted_family;
+};
+
+struct ExperimentResult {
+  std::vector<MachineOutcome> machines;
+  /// Machines skipped because the family could not be fitted to their
+  /// training prefix (e.g. degenerate samples).
+  std::vector<std::string> skipped;
+
+  [[nodiscard]] std::vector<double> efficiencies() const;
+  [[nodiscard]] std::vector<double> network_mbs() const;
+};
+
+/// Run one (family, cost) configuration over every trace. Traces shorter
+/// than train_count + 1 are skipped. Pass a thread pool to parallelize
+/// across machines; pass nullptr to run inline.
+[[nodiscard]] ExperimentResult run_trace_experiment(
+    const std::vector<trace::AvailabilityTrace>& traces,
+    core::ModelFamily family, const ExperimentConfig& config,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace harvest::sim

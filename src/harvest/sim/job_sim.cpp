@@ -1,0 +1,122 @@
+#include "harvest/sim/job_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::sim {
+
+JobSimResult simulate_job_on_trace(std::span<const double> availability_periods,
+                                   core::CheckpointSchedule& schedule,
+                                   const JobSimConfig& config) {
+  if (!(config.checkpoint_size_mb >= 0.0)) {
+    throw std::invalid_argument("simulate_job_on_trace: size >= 0");
+  }
+  if (!(config.cost_jitter_sigma >= 0.0)) {
+    throw std::invalid_argument("simulate_job_on_trace: jitter sigma >= 0");
+  }
+  const double ckpt_cost = schedule.model().costs().checkpoint;
+  const double rec_cost = schedule.model().costs().recovery;
+
+  numerics::Rng jitter_rng(config.jitter_seed);
+  const double sigma = config.cost_jitter_sigma;
+  // Mean-one multiplier on the wire time of one transfer.
+  const auto jittered = [&](double nominal) {
+    if (sigma == 0.0 || nominal == 0.0) return nominal;
+    return nominal * jitter_rng.lognormal(-0.5 * sigma * sigma, sigma);
+  };
+
+  JobSimResult res;
+  double clock = 0.0;  // cumulative machine time across the whole trace
+  std::size_t period_index = 0;
+  const auto record = [&](SimEventKind kind, double start, double duration) {
+    if (config.record_events) {
+      res.events.push_back(SimEvent{kind, start, duration, period_index});
+    }
+  };
+
+  bool first_period = true;
+  for (const double period : availability_periods) {
+    if (!(period >= 0.0) || !std::isfinite(period)) {
+      throw std::invalid_argument(
+          "simulate_job_on_trace: periods must be finite and >= 0");
+    }
+    res.total_time += period;
+    double pos = 0.0;  // elapsed time within this availability period
+
+    // The period opens with a recovery of the last committed checkpoint —
+    // unless this is a cold start with nothing to restore.
+    const bool recover_now = config.first_period_recovers || !first_period;
+    first_period = false;
+    const double this_rec = recover_now ? jittered(rec_cost) : 0.0;
+    if (recover_now && pos + this_rec > period) {
+      const double partial = period - pos;
+      res.recovery_time += partial;
+      ++res.recoveries_interrupted;
+      record(SimEventKind::kRecoveryInterrupted, clock + pos, partial);
+      if (config.prorate_partial_transfers && this_rec > 0.0) {
+        res.network_mb += config.checkpoint_size_mb * partial / this_rec;
+      }
+      ++res.evictions;
+      clock += period;
+      ++period_index;
+      continue;
+    }
+    if (recover_now) {
+      record(SimEventKind::kRecovery, clock + pos, this_rec);
+      pos += this_rec;
+      res.recovery_time += this_rec;
+      res.network_mb += config.checkpoint_size_mb;
+      ++res.recoveries_completed;
+    }
+
+    // Work/checkpoint intervals until eviction ends the period.
+    for (std::size_t i = 0;; ++i) {
+      const double work = schedule.entry(i).work_time;
+      const double this_ckpt = jittered(ckpt_cost);
+      if (pos + work + this_ckpt <= period) {
+        // Interval committed.
+        record(SimEventKind::kWork, clock + pos, work);
+        record(SimEventKind::kCheckpoint, clock + pos + work, this_ckpt);
+        pos += work + this_ckpt;
+        res.useful_work += work;
+        res.checkpoint_time += this_ckpt;
+        res.network_mb += config.checkpoint_size_mb;
+        ++res.checkpoints_completed;
+        ++res.intervals_completed;
+        if (pos >= period) {  // eviction lands exactly on the boundary
+          ++res.evictions;
+          break;
+        }
+        continue;
+      }
+      // Eviction hits inside this interval.
+      if (pos + work <= period) {
+        // Work finished but the checkpoint was cut off: all of it is lost.
+        const double partial_ckpt = period - pos - work;
+        record(SimEventKind::kWorkInterrupted, clock + pos, work);
+        record(SimEventKind::kCheckpointInterrupted, clock + pos + work,
+               partial_ckpt);
+        res.lost_time += work;
+        res.checkpoint_time += partial_ckpt;
+        ++res.checkpoints_interrupted;
+        if (config.prorate_partial_transfers && this_ckpt > 0.0) {
+          res.network_mb +=
+              config.checkpoint_size_mb * partial_ckpt / this_ckpt;
+        }
+      } else {
+        // Eviction mid-work.
+        record(SimEventKind::kWorkInterrupted, clock + pos, period - pos);
+        res.lost_time += period - pos;
+      }
+      ++res.evictions;
+      break;
+    }
+    clock += period;
+    ++period_index;
+  }
+  return res;
+}
+
+}  // namespace harvest::sim

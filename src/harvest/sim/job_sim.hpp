@@ -1,0 +1,106 @@
+// Trace-driven discrete-event simulation of one long-running job on one
+// machine (paper §5.1). The job perpetually executes the
+// recovery → work → checkpoint cycle against the machine's recorded
+// availability periods: each trace duration is one uninterrupted period,
+// whose end is an eviction that destroys all un-checkpointed work.
+//
+// Accounting identity (asserted by the property tests): every simulated
+// second is attributed to exactly one of {useful work, checkpoint transfer,
+// recovery transfer, lost work}, so
+//   total_time == useful_work + checkpoint_time + recovery_time + lost_time.
+//
+// Network accounting: completed checkpoints and recoveries move exactly
+// `checkpoint_size_mb`; transfers cut off by an eviction move the elapsed
+// fraction (pro-rated), matching what a byte counter on the wire would see.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "harvest/core/schedule.hpp"
+
+namespace harvest::sim {
+
+struct JobSimConfig {
+  /// Megabytes moved by one full checkpoint or recovery (the paper uses
+  /// 500 MB — the working-set size of its target application).
+  double checkpoint_size_mb = 500.0;
+  /// When false, interrupted transfers contribute zero bytes instead of the
+  /// pro-rated fraction.
+  bool prorate_partial_transfers = true;
+  /// When > 0, each transfer's ACTUAL duration is the schedule's constant
+  /// cost times a mean-one lognormal multiplier with this sigma — the
+  /// "variable network performance" the paper's §5.3 identifies as a gap
+  /// between its Markov model (constant C, R) and reality. The schedule
+  /// still plans with the constant; only the simulated wire time varies.
+  double cost_jitter_sigma = 0.0;
+  std::uint64_t jitter_seed = 12345;
+  /// Record a full per-phase event timeline into JobSimResult::events
+  /// (costs memory proportional to the number of phases; off by default).
+  bool record_events = false;
+  /// When false, the FIRST availability period starts computing directly:
+  /// a brand-new job has no checkpoint to restore yet (cold start). The
+  /// paper simulates steady state ("a job that begins before the first
+  /// measurement"), which is the default true.
+  bool first_period_recovers = true;
+};
+
+/// Optional per-event timeline of a simulation (enable via
+/// JobSimConfig::record_events). Times are cumulative machine time across
+/// the whole trace.
+enum class SimEventKind {
+  kRecovery,
+  kRecoveryInterrupted,
+  kWork,
+  kWorkInterrupted,
+  kCheckpoint,
+  kCheckpointInterrupted,
+};
+
+struct SimEvent {
+  SimEventKind kind = SimEventKind::kWork;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  std::size_t period_index = 0;
+};
+
+struct JobSimResult {
+  double total_time = 0.0;       ///< Σ availability durations consumed
+  double useful_work = 0.0;      ///< committed (checkpointed) work
+  double checkpoint_time = 0.0;  ///< incl. partial checkpoints cut by eviction
+  double recovery_time = 0.0;    ///< incl. partial recoveries
+  double lost_time = 0.0;        ///< work destroyed by evictions
+
+  std::size_t checkpoints_completed = 0;
+  std::size_t checkpoints_interrupted = 0;
+  std::size_t recoveries_completed = 0;
+  std::size_t recoveries_interrupted = 0;
+  std::size_t intervals_completed = 0;
+  std::size_t evictions = 0;
+
+  double network_mb = 0.0;
+
+  /// Populated only when JobSimConfig::record_events is set.
+  std::vector<SimEvent> events;
+
+  /// Fraction of machine time spent on useful work (the paper's efficiency
+  /// metric, y-axis of Figure 3).
+  [[nodiscard]] double efficiency() const {
+    return total_time > 0.0 ? useful_work / total_time : 0.0;
+  }
+  /// MB transferred per hour of machine time (paper Tables 4–5, col. 4).
+  [[nodiscard]] double mb_per_hour() const {
+    return total_time > 0.0 ? network_mb / (total_time / 3600.0) : 0.0;
+  }
+};
+
+/// Simulate a job across the given availability periods, checkpointing on
+/// `schedule` (which restarts from entry 0 after every eviction — uptime
+/// resets). The schedule's cost constants C and R are taken from its model.
+[[nodiscard]] JobSimResult simulate_job_on_trace(
+    std::span<const double> availability_periods,
+    core::CheckpointSchedule& schedule, const JobSimConfig& config = {});
+
+}  // namespace harvest::sim

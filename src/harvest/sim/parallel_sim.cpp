@@ -1,0 +1,212 @@
+#include "harvest/sim/parallel_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "harvest/core/adaptive_planner.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::sim {
+
+double ParallelSimResult::efficiency() const {
+  double useful = 0.0;
+  for (const auto& j : jobs) useful += j.useful_work_s;
+  const double denom = horizon_s * static_cast<double>(jobs.size());
+  return denom > 0.0 ? useful / denom : 0.0;
+}
+
+double ParallelSimResult::total_moved_mb() const {
+  double mb = 0.0;
+  for (const auto& j : jobs) mb += j.moved_mb;
+  return mb;
+}
+
+double ParallelSimResult::mean_stretch() const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    s += j.stretch_sum;
+    n += j.transfers_completed;
+  }
+  return n > 0 ? s / static_cast<double>(n) : 0.0;
+}
+
+std::size_t ParallelSimResult::total_evictions() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.evictions;
+  return n;
+}
+
+namespace {
+
+enum class Phase { kTransferring, kWorking };
+
+struct JobState {
+  dist::DistributionPtr law;
+  std::optional<core::AdaptivePlanner> planner;
+  numerics::Rng rng{0};
+
+  double period_end = 0.0;
+
+  Phase phase = Phase::kTransferring;
+  // Transfer state.
+  double remaining_mb = 0.0;
+  bool transfer_is_checkpoint = false;
+  double transfer_started = 0.0;
+  double pending_work_s = 0.0;  // work carried by an in-flight checkpoint
+  // Work state.
+  double work_end = 0.0;
+  double work_started = 0.0;
+
+  ParallelJobStats stats;
+};
+
+constexpr double kEps = 1e-7;
+
+}  // namespace
+
+ParallelSimResult run_parallel_simulation(
+    const std::vector<dist::DistributionPtr>& laws,
+    const ParallelSimConfig& config) {
+  if (laws.empty()) {
+    throw std::invalid_argument("run_parallel_simulation: need laws");
+  }
+  if (config.job_count == 0 || !(config.horizon_s > 0.0) ||
+      !(config.link_capacity_mbps > 0.0) ||
+      !(config.checkpoint_size_mb > 0.0)) {
+    throw std::invalid_argument("run_parallel_simulation: bad config");
+  }
+
+  const double dedicated_s =
+      config.checkpoint_size_mb / config.link_capacity_mbps;
+
+  numerics::Rng master(config.seed);
+  std::vector<JobState> jobs(config.job_count);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobState& job = jobs[j];
+    job.law = laws[j % laws.size()];
+    job.rng = master.split();
+    // Fit the job's availability model from a sampled history of its own
+    // machine (what the monitor would have recorded).
+    std::vector<double> history(config.train_count);
+    for (auto& h : history) h = job.law->sample(job.rng);
+    core::AdaptivePlannerOptions planner_opts;
+    planner_opts.optimizer = config.optimizer;
+    planner_opts.initial_cost_s = dedicated_s;
+    planner_opts.cost_smoothing = config.cost_smoothing;
+    job.planner.emplace(core::Planner::fit_model(history, config.family),
+                        planner_opts);
+    job.planner->on_placement(0.0);
+
+    job.period_end = job.law->sample(job.rng);
+    job.phase = Phase::kTransferring;
+    job.remaining_mb = config.checkpoint_size_mb;
+    job.transfer_is_checkpoint = false;
+    job.transfer_started = 0.0;
+  }
+
+  const auto begin_transfer = [&](JobState& job, double now,
+                                  bool is_checkpoint, double pending_work) {
+    job.phase = Phase::kTransferring;
+    job.remaining_mb = config.checkpoint_size_mb;
+    job.transfer_is_checkpoint = is_checkpoint;
+    job.transfer_started = now;
+    job.pending_work_s = pending_work;
+  };
+
+  const auto begin_work = [&](JobState& job, double now) {
+    const double t_opt = job.planner->next_interval();
+    job.phase = Phase::kWorking;
+    job.work_started = now;
+    job.work_end = now + t_opt;
+  };
+
+  const auto evict = [&](JobState& job, double now) {
+    if (job.phase == Phase::kTransferring) {
+      job.stats.transfer_time_s += now - job.transfer_started;
+      job.stats.moved_mb += config.checkpoint_size_mb - job.remaining_mb;
+      ++job.stats.transfers_interrupted;
+      if (job.transfer_is_checkpoint) {
+        job.stats.lost_work_s += job.pending_work_s;
+      }
+    } else {
+      job.stats.lost_work_s += now - job.work_started;
+    }
+    ++job.stats.evictions;
+    job.planner->on_eviction();
+    // New availability period begins immediately (back-to-back placements;
+    // the matchmaker always has another idle machine of the same flavor).
+    job.planner->on_placement(0.0);
+    job.period_end = now + job.law->sample(job.rng);
+    begin_transfer(job, now, /*is_checkpoint=*/false, 0.0);
+  };
+
+  double now = 0.0;
+  ParallelSimResult result;
+  result.horizon_s = config.horizon_s;
+
+  while (now < config.horizon_s - kEps) {
+    std::size_t active = 0;
+    for (const auto& job : jobs) {
+      if (job.phase == Phase::kTransferring) ++active;
+    }
+    const double share =
+        config.link_capacity_mbps / std::max<std::size_t>(active, 1);
+
+    // Earliest next event.
+    double dt = config.horizon_s - now;
+    for (const auto& job : jobs) {
+      dt = std::min(dt, job.period_end - now);
+      if (job.phase == Phase::kTransferring) {
+        dt = std::min(dt, job.remaining_mb / share);
+      } else {
+        dt = std::min(dt, job.work_end - now);
+      }
+    }
+    dt = std::max(dt, 0.0);
+
+    // Advance transfers through the interval.
+    for (auto& job : jobs) {
+      if (job.phase == Phase::kTransferring) {
+        job.remaining_mb = std::max(0.0, job.remaining_mb - share * dt);
+      }
+    }
+    now += dt;
+    if (now >= config.horizon_s - kEps) break;
+
+    // Process all due events. Evictions take precedence over completions at
+    // the same instant (the machine is gone).
+    for (auto& job : jobs) {
+      if (now >= job.period_end - kEps) {
+        evict(job, now);
+        continue;
+      }
+      if (job.phase == Phase::kTransferring && job.remaining_mb <= kEps) {
+        const double duration = now - job.transfer_started;
+        job.stats.transfer_time_s += duration;
+        job.stats.moved_mb += config.checkpoint_size_mb;
+        ++job.stats.transfers_completed;
+        job.stats.stretch_sum += duration / dedicated_s;
+        job.planner->on_transfer_measured(duration);
+        if (job.transfer_is_checkpoint) {
+          job.stats.useful_work_s += job.pending_work_s;
+        }
+        begin_work(job, now);
+      } else if (job.phase == Phase::kWorking && now >= job.work_end - kEps) {
+        job.planner->on_work_completed(now - job.work_started);
+        begin_transfer(job, now, /*is_checkpoint=*/true,
+                       now - job.work_started);
+      }
+    }
+  }
+
+  result.jobs.reserve(jobs.size());
+  for (auto& job : jobs) result.jobs.push_back(job.stats);
+  return result;
+}
+
+}  // namespace harvest::sim

@@ -1,0 +1,96 @@
+#include "harvest/sim/sweep.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "harvest/stats/ttest.hpp"
+
+namespace harvest::sim {
+
+char family_letter(core::ModelFamily family) {
+  switch (family) {
+    case core::ModelFamily::kExponential: return 'e';
+    case core::ModelFamily::kWeibull: return 'w';
+    case core::ModelFamily::kHyperexp2: return '2';
+    case core::ModelFamily::kHyperexp3: return '3';
+    case core::ModelFamily::kLognormal: return 'l';
+    case core::ModelFamily::kGamma: return 'g';
+    case core::ModelFamily::kAutoAic: return 'a';
+  }
+  throw std::invalid_argument("family_letter: unknown family");
+}
+
+SweepCell SweepResult::cell(std::size_t row, std::size_t family,
+                            SweepMetric metric, double alpha) const {
+  if (row >= rows.size()) throw std::out_of_range("SweepResult::cell: row");
+  if (family >= families.size()) {
+    throw std::out_of_range("SweepResult::cell: family");
+  }
+  const auto& vectors = metric == SweepMetric::kEfficiency
+                            ? rows[row].efficiency
+                            : rows[row].network_mb;
+  SweepCell out;
+  out.ci = stats::mean_confidence_interval(vectors[family]);
+  for (std::size_t other = 0; other < vectors.size(); ++other) {
+    if (other == family) continue;
+    const auto t =
+        stats::paired_t_test(vectors[family], vectors[other], alpha);
+    if (t.significant && t.mean_diff > 0.0) {
+      if (!out.beats.empty()) out.beats += ',';
+      out.beats += family_letter(families[other]);
+    }
+  }
+  return out;
+}
+
+SweepResult run_sweep(const std::vector<trace::AvailabilityTrace>& traces,
+                      const SweepConfig& config, util::ThreadPool* pool) {
+  if (config.costs.empty() || config.families.empty()) {
+    throw std::invalid_argument("run_sweep: need costs and families");
+  }
+  SweepResult result;
+  result.families = config.families;
+  result.rows.reserve(config.costs.size());
+
+  for (double cost : config.costs) {
+    ExperimentConfig cfg = config.experiment;
+    cfg.checkpoint_cost_s = cost;
+
+    // machine_id → (efficiency, mb) per family.
+    std::vector<std::map<std::string, std::pair<double, double>>> per_family(
+        config.families.size());
+    for (std::size_t f = 0; f < config.families.size(); ++f) {
+      const auto res =
+          run_trace_experiment(traces, config.families[f], cfg, pool);
+      for (const auto& m : res.machines) {
+        per_family[f][m.machine_id] = {m.sim.efficiency(),
+                                       m.sim.network_mb};
+      }
+    }
+
+    SweepRow row;
+    row.cost = cost;
+    row.efficiency.resize(config.families.size());
+    row.network_mb.resize(config.families.size());
+    for (const auto& [id, first_metrics] : per_family[0]) {
+      (void)first_metrics;
+      bool everywhere = true;
+      for (std::size_t f = 1; f < per_family.size(); ++f) {
+        if (per_family[f].count(id) == 0) {
+          everywhere = false;
+          break;
+        }
+      }
+      if (!everywhere) continue;
+      for (std::size_t f = 0; f < per_family.size(); ++f) {
+        const auto& [eff, mb] = per_family[f].at(id);
+        row.efficiency[f].push_back(eff);
+        row.network_mb[f].push_back(mb);
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace harvest::sim

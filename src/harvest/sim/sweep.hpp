@@ -1,0 +1,68 @@
+// Grid sweeps over (checkpoint cost × model family) with machine-paired
+// results — the reusable engine behind the paper's Tables 1 and 3 and the
+// CLI. For every cost it runs each family over the same traces, keeps only
+// machines every family could fit (so per-machine pairing is valid), and
+// exposes the paired metric vectors plus the paper's summary statistics
+// (mean, 95 % CI, and "beats" letters from two-sided paired t-tests).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "harvest/core/planner.hpp"
+#include "harvest/sim/experiment.hpp"
+#include "harvest/stats/summary.hpp"
+
+namespace harvest::sim {
+
+/// Which metric a summary refers to.
+enum class SweepMetric { kEfficiency, kNetworkMb };
+
+struct SweepCell {
+  stats::ConfidenceInterval ci;
+  /// Letters (e/w/2/3… indexed by family order) of the families whose
+  /// metric is statistically significantly smaller than this cell's.
+  std::string beats;
+};
+
+struct SweepRow {
+  double cost = 0.0;
+  /// Paired per-machine metrics, one vector per family (same index ⇒ same
+  /// machine across families).
+  std::vector<std::vector<double>> efficiency;
+  std::vector<std::vector<double>> network_mb;
+
+  [[nodiscard]] std::size_t machines() const {
+    return efficiency.empty() ? 0 : efficiency.front().size();
+  }
+};
+
+struct SweepResult {
+  std::vector<core::ModelFamily> families;
+  std::vector<SweepRow> rows;
+
+  /// Summary cell for (row, family, metric) with significance letters at
+  /// level `alpha`.
+  [[nodiscard]] SweepCell cell(std::size_t row, std::size_t family,
+                               SweepMetric metric,
+                               double alpha = 0.05) const;
+};
+
+struct SweepConfig {
+  std::vector<double> costs;
+  std::vector<core::ModelFamily> families = {
+      core::ModelFamily::kExponential, core::ModelFamily::kWeibull,
+      core::ModelFamily::kHyperexp2, core::ModelFamily::kHyperexp3};
+  ExperimentConfig experiment;  ///< checkpoint_cost_s is overwritten per row
+};
+
+/// One-letter code per family position (e, w, 2, 3, l, g) used in `beats`.
+[[nodiscard]] char family_letter(core::ModelFamily family);
+
+/// Run the sweep over the traces (optionally parallel across machines).
+[[nodiscard]] SweepResult run_sweep(
+    const std::vector<trace::AvailabilityTrace>& traces,
+    const SweepConfig& config, util::ThreadPool* pool = nullptr);
+
+}  // namespace harvest::sim

@@ -1,0 +1,56 @@
+#include "harvest/stats/autocorrelation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "harvest/numerics/special_functions.hpp"
+
+namespace harvest::stats {
+
+double autocorrelation(std::span<const double> xs, int lag) {
+  if (lag < 1) throw std::invalid_argument("autocorrelation: lag >= 1");
+  const std::size_t n = xs.size();
+  if (n <= static_cast<std::size_t>(lag) + 1) {
+    throw std::invalid_argument("autocorrelation: need n > lag + 1");
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - mean) * (x - mean);
+  if (denom == 0.0) {
+    throw std::invalid_argument("autocorrelation: constant series");
+  }
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    num += (xs[i] - mean) * (xs[i + lag] - mean);
+  }
+  return num / denom;
+}
+
+IidDiagnostic iid_diagnostic(std::span<const double> xs, int max_lag,
+                             double alpha) {
+  if (max_lag < 1) throw std::invalid_argument("iid_diagnostic: max_lag >= 1");
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    throw std::invalid_argument("iid_diagnostic: alpha in (0,1)");
+  }
+  const double n = static_cast<double>(xs.size());
+  if (xs.size() <= static_cast<std::size_t>(max_lag) + 1) {
+    throw std::invalid_argument("iid_diagnostic: need n > max_lag + 1");
+  }
+  IidDiagnostic d;
+  d.lags = max_lag;
+  double q = 0.0;
+  for (int k = 1; k <= max_lag; ++k) {
+    const double rho = autocorrelation(xs, k);
+    if (k == 1) d.lag1 = rho;
+    q += rho * rho / (n - static_cast<double>(k));
+  }
+  d.ljung_box_q = n * (n + 2.0) * q;
+  // P(χ²(h) > Q) = Q_gamma(h/2, Q/2).
+  d.p_value = numerics::gamma_q(0.5 * max_lag, 0.5 * d.ljung_box_q);
+  d.iid_plausible = d.p_value >= alpha;
+  return d;
+}
+
+}  // namespace harvest::stats

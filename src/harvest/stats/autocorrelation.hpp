@@ -1,0 +1,30 @@
+// I.i.d. diagnostics for availability traces. The whole fitting pipeline
+// (§3.4) assumes a machine's availability durations are independent and
+// identically distributed; these helpers let an operator check that before
+// trusting a fit: sample autocorrelations and the Ljung–Box portmanteau
+// test (Q ~ χ²(h) under the i.i.d. null).
+#pragma once
+
+#include <span>
+
+namespace harvest::stats {
+
+/// Sample autocorrelation ρ̂(lag); requires n > lag and non-constant data.
+[[nodiscard]] double autocorrelation(std::span<const double> xs, int lag);
+
+struct IidDiagnostic {
+  double lag1 = 0.0;          ///< ρ̂(1)
+  double ljung_box_q = 0.0;   ///< Q statistic over `lags` lags
+  double p_value = 1.0;       ///< P(χ²(lags) > Q)
+  int lags = 0;
+  /// p_value >= alpha: no evidence against independence.
+  bool iid_plausible = true;
+};
+
+/// Ljung–Box test over lags 1..max_lag at significance `alpha`.
+/// Requires n > max_lag + 1.
+[[nodiscard]] IidDiagnostic iid_diagnostic(std::span<const double> xs,
+                                           int max_lag = 10,
+                                           double alpha = 0.05);
+
+}  // namespace harvest::stats

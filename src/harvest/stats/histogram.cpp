@@ -1,0 +1,67 @@
+#include "harvest/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace harvest::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi <= lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins >= 1");
+}
+
+void Histogram::add(double x) {
+  const double pos = (x - lo_) / bin_width_;
+  std::size_t bin;
+  if (pos < 0.0) {
+    bin = 0;
+  } else {
+    bin = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::count");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin + 1) * bin_width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) /
+         (static_cast<double>(total_) * bin_width_);
+}
+
+std::string Histogram::render_ascii(std::size_t width) const {
+  std::size_t max_count = 0;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        (max_count == 0)
+            ? 0
+            : counts_[b] * width / max_count;
+    out << "[" << bin_lo(b) << ", " << bin_hi(b) << ") "
+        << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace harvest::stats

@@ -1,0 +1,40 @@
+// Fixed-width histogram used by the examples and the goodness-of-fit
+// reporting to visualize availability-duration distributions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace harvest::stats {
+
+class Histogram {
+ public:
+  /// Build `bins` equal-width bins over [lo, hi]; values outside the range
+  /// are clamped into the edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Empirical density (count / total / width) for a bin.
+  [[nodiscard]] double density(std::size_t bin) const;
+
+  /// Simple ASCII rendering (one row per bin) for terminal output.
+  [[nodiscard]] std::string render_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace harvest::stats

@@ -1,0 +1,139 @@
+#include "harvest/stats/kaplan_meier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harvest::stats {
+
+KaplanMeier::KaplanMeier(const std::vector<double>& times,
+                         const std::vector<bool>& observed) {
+  if (times.empty() || times.size() != observed.size()) {
+    throw std::invalid_argument(
+        "KaplanMeier: need non-empty, equal-length times/observed");
+  }
+  struct Item {
+    double time;
+    bool event;
+  };
+  std::vector<Item> items;
+  items.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!(times[i] >= 0.0) || !std::isfinite(times[i])) {
+      throw std::invalid_argument(
+          "KaplanMeier: times must be finite and >= 0");
+    }
+    items.push_back({times[i], observed[i]});
+    max_time_ = std::max(max_time_, times[i]);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.time < b.time; });
+
+  double s = 1.0;
+  std::size_t at_risk = items.size();
+  std::size_t i = 0;
+  while (i < items.size()) {
+    const double t = items[i].time;
+    std::size_t events = 0;
+    std::size_t leaving = 0;
+    while (i < items.size() && items[i].time == t) {
+      if (items[i].event) ++events;
+      ++leaving;
+      ++i;
+    }
+    if (events > 0) {
+      s *= 1.0 - static_cast<double>(events) / static_cast<double>(at_risk);
+      points_.push_back(KaplanMeierPoint{t, s, at_risk, events});
+    }
+    at_risk -= leaving;
+  }
+}
+
+double KaplanMeier::survival(double t) const {
+  double s = 1.0;
+  for (const auto& p : points_) {
+    if (p.time > t) break;
+    s = p.survival;
+  }
+  return s;
+}
+
+double KaplanMeier::median() const {
+  for (const auto& p : points_) {
+    if (p.survival <= 0.5) return p.time;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double KaplanMeier::restricted_mean(double tau) const {
+  if (tau < 0.0) tau = max_time_;
+  double area = 0.0;
+  double prev_time = 0.0;
+  double prev_s = 1.0;
+  for (const auto& p : points_) {
+    if (p.time >= tau) break;
+    area += prev_s * (p.time - prev_time);
+    prev_time = p.time;
+    prev_s = p.survival;
+  }
+  area += prev_s * (tau - prev_time);
+  return area;
+}
+
+NelsonAalen::NelsonAalen(const std::vector<double>& times,
+                         const std::vector<bool>& observed) {
+  if (times.empty() || times.size() != observed.size()) {
+    throw std::invalid_argument(
+        "NelsonAalen: need non-empty, equal-length times/observed");
+  }
+  struct Item {
+    double time;
+    bool event;
+  };
+  std::vector<Item> items;
+  items.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!(times[i] >= 0.0) || !std::isfinite(times[i])) {
+      throw std::invalid_argument(
+          "NelsonAalen: times must be finite and >= 0");
+    }
+    items.push_back({times[i], observed[i]});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.time < b.time; });
+
+  double h = 0.0;
+  std::size_t at_risk = items.size();
+  std::size_t i = 0;
+  while (i < items.size()) {
+    const double t = items[i].time;
+    std::size_t events = 0;
+    std::size_t leaving = 0;
+    while (i < items.size() && items[i].time == t) {
+      if (items[i].event) ++events;
+      ++leaving;
+      ++i;
+    }
+    if (events > 0) {
+      h += static_cast<double>(events) / static_cast<double>(at_risk);
+      points_.push_back(Point{t, h});
+    }
+    at_risk -= leaving;
+  }
+}
+
+double NelsonAalen::cumulative_hazard(double t) const {
+  double h = 0.0;
+  for (const auto& p : points_) {
+    if (p.time > t) break;
+    h = p.hazard;
+  }
+  return h;
+}
+
+double NelsonAalen::survival(double t) const {
+  return std::exp(-cumulative_hazard(t));
+}
+
+}  // namespace harvest::stats

@@ -1,0 +1,73 @@
+// Kaplan–Meier product-limit estimator: the nonparametric survival curve
+// for right-censored lifetime data. Used to sanity-check parametric fits on
+// censored availability traces (§5.3's right-censoring concern) without
+// assuming any family.
+#pragma once
+
+#include <vector>
+
+namespace harvest::stats {
+
+struct KaplanMeierPoint {
+  double time = 0.0;      ///< an observed failure time
+  double survival = 1.0;  ///< Ŝ(time), after the drop at `time`
+  std::size_t at_risk = 0;
+  std::size_t events = 0;
+};
+
+class KaplanMeier {
+ public:
+  /// `times[i]` with `observed[i]` false is right-censored at that time.
+  /// (std::vector<bool> rather than a span: the packed vector has no
+  /// contiguous bool storage to view.)
+  KaplanMeier(const std::vector<double>& times,
+              const std::vector<bool>& observed);
+
+  /// Step-function value Ŝ(t); 1 before the first event.
+  [[nodiscard]] double survival(double t) const;
+
+  /// Smallest time with Ŝ(t) <= 0.5, or NaN if the curve never reaches 0.5
+  /// (heavy censoring).
+  [[nodiscard]] double median() const;
+
+  /// The curve's steps, one per distinct event time.
+  [[nodiscard]] const std::vector<KaplanMeierPoint>& points() const {
+    return points_;
+  }
+
+  /// Restricted mean survival time: ∫₀^τ Ŝ(t) dt (exact for the step
+  /// function). τ defaults to the largest time in the data.
+  [[nodiscard]] double restricted_mean(double tau = -1.0) const;
+
+ private:
+  std::vector<KaplanMeierPoint> points_;
+  double max_time_ = 0.0;
+};
+
+/// Nelson–Aalen cumulative-hazard estimator Ĥ(t) = Σ_{tᵢ ≤ t} dᵢ/nᵢ for
+/// right-censored data — the hazard-side companion of Kaplan–Meier. A
+/// concave Ĥ is the model-free signature of the decreasing hazard the
+/// paper's heavy-tailed models encode.
+class NelsonAalen {
+ public:
+  NelsonAalen(const std::vector<double>& times,
+              const std::vector<bool>& observed);
+
+  /// Step-function Ĥ(t); 0 before the first event.
+  [[nodiscard]] double cumulative_hazard(double t) const;
+
+  /// exp(−Ĥ(t)): the Fleming–Harrington survival estimate (close to
+  /// Kaplan–Meier, slightly above it).
+  [[nodiscard]] double survival(double t) const;
+
+  struct Point {
+    double time = 0.0;
+    double hazard = 0.0;  ///< Ĥ after the jump at `time`
+  };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace harvest::stats

@@ -1,0 +1,40 @@
+#include "harvest/stats/student_t.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "harvest/numerics/special_functions.hpp"
+
+namespace harvest::stats {
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) throw std::invalid_argument("student_t_cdf: df > 0");
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double tail =
+      0.5 * numerics::incomplete_beta(0.5 * df, 0.5, x);
+  return (t > 0.0) ? 1.0 - tail : tail;
+}
+
+double student_t_quantile(double p, double df) {
+  if (df <= 0.0) throw std::invalid_argument("student_t_quantile: df > 0");
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("student_t_quantile: p in (0,1)");
+  }
+  if (p == 0.5) return 0.0;
+  // Work with the upper half by symmetry.
+  const bool upper = p > 0.5;
+  const double tail = upper ? 2.0 * (1.0 - p) : 2.0 * p;
+  // t^2 = df (1/x - 1) where I_x(df/2, 1/2) = tail.
+  const double x = numerics::incomplete_beta_inv(0.5 * df, 0.5, tail);
+  const double t = std::sqrt(df * (1.0 / x - 1.0));
+  return upper ? t : -t;
+}
+
+double student_t_two_sided_p(double t, double df) {
+  if (df <= 0.0) throw std::invalid_argument("student_t_two_sided_p: df > 0");
+  const double x = df / (df + t * t);
+  return numerics::incomplete_beta(0.5 * df, 0.5, x);
+}
+
+}  // namespace harvest::stats

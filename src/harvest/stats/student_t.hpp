@@ -1,0 +1,17 @@
+// Student's t distribution, implemented on top of the regularized
+// incomplete beta function. Needed for confidence intervals and the paired
+// t-tests whose significance letters annotate Tables 1 and 3.
+#pragma once
+
+namespace harvest::stats {
+
+/// CDF of Student's t with `df` degrees of freedom at `t`.
+[[nodiscard]] double student_t_cdf(double t, double df);
+
+/// Quantile (inverse CDF) of Student's t: returns t with CDF(t) = p.
+[[nodiscard]] double student_t_quantile(double p, double df);
+
+/// Two-sided tail probability P(|T| >= |t|) for df degrees of freedom.
+[[nodiscard]] double student_t_two_sided_p(double t, double df);
+
+}  // namespace harvest::stats

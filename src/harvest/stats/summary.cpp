@@ -1,0 +1,111 @@
+#include "harvest/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "harvest/stats/student_t.hpp"
+
+namespace harvest::stats {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::mean: empty");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) throw std::logic_error("RunningStats::variance: need n >= 2");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::min: empty");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::max: empty");
+  return max_;
+}
+
+ConfidenceInterval mean_confidence_interval(std::span<const double> xs,
+                                            double confidence) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("mean_confidence_interval: need n >= 2");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("mean_confidence_interval: confidence in (0,1)");
+  }
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  const double n = static_cast<double>(rs.count());
+  const double se = rs.stddev() / std::sqrt(n);
+  const double t =
+      student_t_quantile(0.5 + 0.5 * confidence, n - 1.0);
+  return ConfidenceInterval{rs.mean(), t * se, rs.count()};
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean_of: empty");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance_of(std::span<const double> xs) {
+  if (xs.size() < 2) throw std::invalid_argument("variance_of: need n >= 2");
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.variance();
+}
+
+double median_of(std::span<const double> xs) { return quantile_of(xs, 0.5); }
+
+double quantile_of(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("quantile_of: empty");
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("quantile_of: p in [0,1]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace harvest::stats

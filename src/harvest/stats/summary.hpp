@@ -1,0 +1,61 @@
+// Sample summaries and confidence intervals. The paper reports, for every
+// (distribution, checkpoint-cost) cell, the across-machine mean with a 95 %
+// Student-t confidence interval (Tables 1 and 3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace harvest::stats {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// long runs; merging supported for parallel reduction.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n−1 denominator). Requires count() >= 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< mean ± half_width
+  std::size_t n = 0;
+
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+};
+
+/// Two-sided Student-t confidence interval for the mean of `xs` at the given
+/// confidence level (default 95 %). Requires xs.size() >= 2.
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(
+    std::span<const double> xs, double confidence = 0.95);
+
+/// Sample mean (requires non-empty input).
+[[nodiscard]] double mean_of(std::span<const double> xs);
+
+/// Unbiased sample variance (requires >= 2 values).
+[[nodiscard]] double variance_of(std::span<const double> xs);
+
+/// Median (copies and partially sorts; requires non-empty input).
+[[nodiscard]] double median_of(std::span<const double> xs);
+
+/// p-quantile by linear interpolation of the order statistics, p in [0, 1].
+[[nodiscard]] double quantile_of(std::span<const double> xs, double p);
+
+}  // namespace harvest::stats

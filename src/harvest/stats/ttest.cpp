@@ -1,0 +1,98 @@
+#include "harvest/stats/ttest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "harvest/stats/student_t.hpp"
+#include "harvest/stats/summary.hpp"
+
+namespace harvest::stats {
+namespace {
+
+TTestResult finish(double t, double df, double mean_diff, double alpha) {
+  TTestResult r;
+  r.t_statistic = t;
+  r.df = df;
+  r.mean_diff = mean_diff;
+  r.p_value = student_t_two_sided_p(t, df);
+  r.significant = r.p_value < alpha;
+  return r;
+}
+
+}  // namespace
+
+TTestResult paired_t_test(std::span<const double> a, std::span<const double> b,
+                          double alpha) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("paired_t_test: unequal lengths");
+  }
+  if (a.size() < 2) throw std::invalid_argument("paired_t_test: need n >= 2");
+  std::vector<double> diff(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double n = static_cast<double>(diff.size());
+  const double md = mean_of(diff);
+  const double sd = std::sqrt(variance_of(diff));
+  if (sd == 0.0) {
+    // All pairs identical: t is degenerate. Treat zero mean difference as
+    // "no evidence", nonzero (impossible here since sd==0 => all diffs equal
+    // md) as maximally significant when md != 0.
+    TTestResult r;
+    r.mean_diff = md;
+    r.df = n - 1.0;
+    r.t_statistic = (md == 0.0) ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p_value = (md == 0.0) ? 1.0 : 0.0;
+    r.significant = md != 0.0 && r.p_value < alpha;
+    return r;
+  }
+  const double t = md / (sd / std::sqrt(n));
+  return finish(t, n - 1.0, md, alpha);
+}
+
+TTestResult one_sample_t_test(std::span<const double> xs, double mu0,
+                              double alpha) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("one_sample_t_test: need n >= 2");
+  }
+  const double n = static_cast<double>(xs.size());
+  const double m = mean_of(xs);
+  const double sd = std::sqrt(variance_of(xs));
+  if (sd == 0.0) {
+    TTestResult r;
+    r.mean_diff = m - mu0;
+    r.df = n - 1.0;
+    r.p_value = (r.mean_diff == 0.0) ? 1.0 : 0.0;
+    r.significant = r.p_value < alpha;
+    return r;
+  }
+  const double t = (m - mu0) / (sd / std::sqrt(n));
+  return finish(t, n - 1.0, m - mu0, alpha);
+}
+
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b,
+                         double alpha) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("welch_t_test: need n >= 2 in both samples");
+  }
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double ma = mean_of(a);
+  const double mb = mean_of(b);
+  const double va = variance_of(a) / na;
+  const double vb = variance_of(b) / nb;
+  const double se2 = va + vb;
+  if (se2 == 0.0) {
+    TTestResult r;
+    r.mean_diff = ma - mb;
+    r.df = na + nb - 2.0;
+    r.p_value = (r.mean_diff == 0.0) ? 1.0 : 0.0;
+    r.significant = r.p_value < alpha;
+    return r;
+  }
+  const double t = (ma - mb) / std::sqrt(se2);
+  const double df =
+      se2 * se2 / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  return finish(t, df, ma - mb, alpha);
+}
+
+}  // namespace harvest::stats

@@ -1,0 +1,37 @@
+// Paired t-tests. The paper compares, per checkpoint cost, every pair of
+// distribution models across the same machine set, and marks a model's cell
+// with the letters of the models it beats at significance level 0.05
+// (two-sided paired t-test). `paired_t_test` implements exactly that test.
+#pragma once
+
+#include <span>
+
+namespace harvest::stats {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double p_value = 1.0;   ///< two-sided
+  double mean_diff = 0.0; ///< mean(a − b)
+  double df = 0.0;
+  /// True when p_value < alpha (set by the caller-chosen alpha).
+  bool significant = false;
+};
+
+/// Two-sided paired t-test of H0: mean(a − b) == 0. `a` and `b` must be the
+/// same length (pairs share an index, e.g. the same machine under two
+/// models). `alpha` sets the `significant` flag.
+[[nodiscard]] TTestResult paired_t_test(std::span<const double> a,
+                                        std::span<const double> b,
+                                        double alpha = 0.05);
+
+/// Two-sided one-sample t-test of H0: mean(xs) == mu0.
+[[nodiscard]] TTestResult one_sample_t_test(std::span<const double> xs,
+                                            double mu0, double alpha = 0.05);
+
+/// Welch's two-sided unpaired t-test (unequal variances) of
+/// H0: mean(a) == mean(b).
+[[nodiscard]] TTestResult welch_t_test(std::span<const double> a,
+                                       std::span<const double> b,
+                                       double alpha = 0.05);
+
+}  // namespace harvest::stats

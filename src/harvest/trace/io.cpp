@@ -1,0 +1,101 @@
+#include "harvest/trace/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace harvest::trace {
+namespace {
+
+struct Row {
+  double timestamp;
+  double duration;
+};
+
+void fail_at(std::size_t line, const std::string& why) {
+  std::ostringstream msg;
+  msg << "traces csv, line " << line << ": " << why;
+  throw std::runtime_error(msg.str());
+}
+
+}  // namespace
+
+std::vector<AvailabilityTrace> read_traces_csv(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("traces csv: empty input");
+  }
+  ++lineno;
+  if (line.find("machine_id") == std::string::npos) {
+    fail_at(lineno, "missing header 'machine_id,timestamp,duration'");
+  }
+  std::map<std::string, std::vector<Row>> by_machine;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    std::string id, ts_str, dur_str;
+    if (!std::getline(cells, id, ',') || !std::getline(cells, ts_str, ',') ||
+        !std::getline(cells, dur_str)) {
+      fail_at(lineno, "expected 3 comma-separated fields");
+    }
+    try {
+      const double ts = std::stod(ts_str);
+      const double dur = std::stod(dur_str);
+      by_machine[id].push_back(Row{ts, dur});
+    } catch (const std::exception&) {
+      fail_at(lineno, "non-numeric timestamp or duration");
+    }
+  }
+  std::vector<AvailabilityTrace> traces;
+  traces.reserve(by_machine.size());
+  for (auto& [id, rows] : by_machine) {
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.timestamp < b.timestamp; });
+    AvailabilityTrace t;
+    t.machine_id = id;
+    t.durations.reserve(rows.size());
+    t.timestamps.reserve(rows.size());
+    for (const Row& r : rows) {
+      t.timestamps.push_back(r.timestamp);
+      t.durations.push_back(r.duration);
+    }
+    t.validate();
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+std::vector<AvailabilityTrace> load_traces_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_traces_csv: cannot open " + path);
+  return read_traces_csv(in);
+}
+
+void write_traces_csv(std::ostream& out,
+                      const std::vector<AvailabilityTrace>& traces) {
+  // 17 significant digits: doubles survive the round trip bit-exactly.
+  out << std::setprecision(17);
+  out << "machine_id,timestamp,duration\n";
+  for (const auto& t : traces) {
+    for (std::size_t i = 0; i < t.durations.size(); ++i) {
+      const double ts = t.timestamps.empty() ? static_cast<double>(i)
+                                             : t.timestamps[i];
+      out << t.machine_id << "," << ts << "," << t.durations[i] << "\n";
+    }
+  }
+}
+
+void save_traces_csv(const std::string& path,
+                     const std::vector<AvailabilityTrace>& traces) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_traces_csv: cannot open " + path);
+  write_traces_csv(out, traces);
+  if (!out) throw std::runtime_error("save_traces_csv: write failed " + path);
+}
+
+}  // namespace harvest::trace

@@ -1,0 +1,36 @@
+// CSV persistence for availability traces, so the pipeline can run on real
+// monitor output as well as synthetic pools. Format (header required):
+//
+//   machine_id,timestamp,duration
+//   c001,1049155200,4211.5
+//   ...
+//
+// Rows may appear in any order; they are grouped by machine_id and sorted by
+// timestamp on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harvest/trace/trace.hpp"
+
+namespace harvest::trace {
+
+/// Parse traces from a CSV stream. Throws std::runtime_error with a line
+/// number on malformed input.
+[[nodiscard]] std::vector<AvailabilityTrace> read_traces_csv(std::istream& in);
+
+/// Load traces from a CSV file; throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<AvailabilityTrace> load_traces_csv(
+    const std::string& path);
+
+/// Serialize traces to CSV (with header).
+void write_traces_csv(std::ostream& out,
+                      const std::vector<AvailabilityTrace>& traces);
+
+/// Save traces to a CSV file; throws std::runtime_error on I/O failure.
+void save_traces_csv(const std::string& path,
+                     const std::vector<AvailabilityTrace>& traces);
+
+}  // namespace harvest::trace

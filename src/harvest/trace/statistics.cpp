@@ -1,0 +1,80 @@
+#include "harvest/trace/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "harvest/stats/summary.hpp"
+
+namespace harvest::trace {
+
+TraceSummary summarize_trace(const AvailabilityTrace& trace) {
+  if (trace.size() < 2) {
+    throw std::invalid_argument("summarize_trace: need >= 2 observations");
+  }
+  stats::RunningStats rs;
+  for (double d : trace.durations) rs.add(d);
+  TraceSummary s;
+  s.machine_id = trace.machine_id;
+  s.observations = trace.size();
+  s.mean_s = rs.mean();
+  s.median_s = stats::median_of(trace.durations);
+  s.min_s = rs.min();
+  s.max_s = rs.max();
+  s.cv = (rs.mean() > 0.0) ? rs.stddev() / rs.mean() : 0.0;
+  s.total_observed_s = rs.sum();
+  return s;
+}
+
+PoolSummary summarize_pool(const std::vector<AvailabilityTrace>& traces) {
+  PoolSummary pool;
+  std::vector<double> means;
+  for (const auto& t : traces) {
+    if (t.size() < 2) continue;
+    const TraceSummary s = summarize_trace(t);
+    ++pool.machine_count;
+    pool.total_observations += s.observations;
+    means.push_back(s.mean_s);
+    pool.mean_cv += s.cv;
+    if (s.cv > 1.0) pool.heavy_tailed_fraction += 1.0;
+  }
+  if (pool.machine_count > 0) {
+    pool.mean_cv /= static_cast<double>(pool.machine_count);
+    pool.heavy_tailed_fraction /= static_cast<double>(pool.machine_count);
+    pool.mean_of_means_s = stats::mean_of(means);
+    pool.median_of_means_s = stats::median_of(means);
+  }
+  return pool;
+}
+
+std::vector<AvailabilityTrace> filter_min_observations(
+    std::vector<AvailabilityTrace> traces, std::size_t min_observations) {
+  std::erase_if(traces, [&](const AvailabilityTrace& t) {
+    return t.size() < min_observations;
+  });
+  return traces;
+}
+
+std::vector<AvailabilityTrace> filter_time_window(
+    std::vector<AvailabilityTrace> traces, double start, double end) {
+  if (!(end > start)) {
+    throw std::invalid_argument("filter_time_window: end must be > start");
+  }
+  for (auto& t : traces) {
+    if (t.timestamps.empty()) continue;
+    AvailabilityTrace kept;
+    kept.machine_id = t.machine_id;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t.timestamps[i] >= start && t.timestamps[i] < end) {
+        kept.durations.push_back(t.durations[i]);
+        kept.timestamps.push_back(t.timestamps[i]);
+      }
+    }
+    t = std::move(kept);
+  }
+  std::erase_if(traces,
+                [](const AvailabilityTrace& t) { return t.empty(); });
+  return traces;
+}
+
+}  // namespace harvest::trace

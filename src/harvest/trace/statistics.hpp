@@ -1,0 +1,57 @@
+// Descriptive statistics and filtering for availability traces: what an
+// operator looks at before trusting fitted models — how many machines have
+// enough observations, how heterogeneous the pool is, how heavy the tails
+// are (coefficient of variation > 1 flags super-exponential variability).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harvest/trace/trace.hpp"
+
+namespace harvest::trace {
+
+struct TraceSummary {
+  std::string machine_id;
+  std::size_t observations = 0;
+  double mean_s = 0.0;
+  double median_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  /// Coefficient of variation (stddev / mean); 1 for an exponential,
+  /// > 1 for the heavy-tailed behavior the paper models.
+  double cv = 0.0;
+  double total_observed_s = 0.0;
+};
+
+/// Per-trace summary; requires >= 2 observations (cv needs a variance).
+[[nodiscard]] TraceSummary summarize_trace(const AvailabilityTrace& trace);
+
+struct PoolSummary {
+  std::size_t machine_count = 0;
+  std::size_t total_observations = 0;
+  double mean_of_means_s = 0.0;
+  double median_of_means_s = 0.0;
+  double mean_cv = 0.0;
+  /// Fraction of machines with cv > 1 (heavier than exponential).
+  double heavy_tailed_fraction = 0.0;
+};
+
+/// Aggregate over all traces with >= 2 observations.
+[[nodiscard]] PoolSummary summarize_pool(
+    const std::vector<AvailabilityTrace>& traces);
+
+/// Keep only traces with at least `min_observations` durations (the paper
+/// keeps machines the Condor scheduler chose "a sufficient number of
+/// times").
+[[nodiscard]] std::vector<AvailabilityTrace> filter_min_observations(
+    std::vector<AvailabilityTrace> traces, std::size_t min_observations);
+
+/// Restrict each trace to occupancies whose timestamp lies in
+/// [start, end); traces left empty are dropped. Traces without timestamps
+/// are kept untouched.
+[[nodiscard]] std::vector<AvailabilityTrace> filter_time_window(
+    std::vector<AvailabilityTrace> traces, double start, double end);
+
+}  // namespace harvest::trace

@@ -1,0 +1,101 @@
+#include "harvest/trace/synthetic.hpp"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::trace {
+namespace {
+
+dist::DistributionPtr draw_ground_truth(const PoolSpec& spec,
+                                        numerics::Rng& rng) {
+  if (rng.uniform() < spec.bimodal_fraction) {
+    const double short_mean = rng.uniform(spec.bimodal_short_mean_min_s,
+                                          spec.bimodal_short_mean_max_s);
+    const double long_mean = rng.uniform(spec.bimodal_long_mean_min_s,
+                                         spec.bimodal_long_mean_max_s);
+    const double p_short = spec.bimodal_short_weight;
+    return std::make_shared<dist::Hyperexponential>(
+        std::vector<double>{p_short, 1.0 - p_short},
+        std::vector<double>{1.0 / short_mean, 1.0 / long_mean});
+  }
+  const double shape = rng.uniform(spec.shape_min, spec.shape_max);
+  const double log_scale =
+      rng.uniform(std::log(spec.scale_min_s), std::log(spec.scale_max_s));
+  return std::make_shared<dist::Weibull>(shape, std::exp(log_scale));
+}
+
+}  // namespace
+
+std::vector<SyntheticMachine> generate_pool(const PoolSpec& spec) {
+  if (spec.machine_count == 0 || spec.durations_per_machine == 0) {
+    throw std::invalid_argument("generate_pool: empty spec");
+  }
+  if (!(spec.shape_min > 0.0 && spec.shape_max >= spec.shape_min)) {
+    throw std::invalid_argument("generate_pool: bad shape range");
+  }
+  if (!(spec.scale_min_s > 0.0 && spec.scale_max_s >= spec.scale_min_s)) {
+    throw std::invalid_argument("generate_pool: bad scale range");
+  }
+  if (!(spec.bimodal_fraction >= 0.0 && spec.bimodal_fraction <= 1.0)) {
+    throw std::invalid_argument("generate_pool: bimodal_fraction in [0,1]");
+  }
+
+  numerics::Rng master(spec.seed);
+  std::vector<SyntheticMachine> pool;
+  pool.reserve(spec.machine_count);
+  for (std::size_t m = 0; m < spec.machine_count; ++m) {
+    numerics::Rng rng = master.split();
+    SyntheticMachine machine;
+    machine.ground_truth = draw_ground_truth(spec, rng);
+
+    std::ostringstream id;
+    id << "m";
+    id.fill('0');
+    id.width(4);
+    id << m;
+    machine.trace.machine_id = id.str();
+
+    const double gap_rate =
+        1.0 / (spec.gap_mean_multiple * machine.ground_truth->mean());
+    double clock = 0.0;
+    machine.trace.durations.reserve(spec.durations_per_machine);
+    machine.trace.timestamps.reserve(spec.durations_per_machine);
+    for (std::size_t i = 0; i < spec.durations_per_machine; ++i) {
+      const double d = machine.ground_truth->sample(rng);
+      machine.trace.timestamps.push_back(clock);
+      machine.trace.durations.push_back(d);
+      clock += d + rng.exponential(gap_rate);
+    }
+    machine.trace.validate();
+    pool.push_back(std::move(machine));
+  }
+  return pool;
+}
+
+AvailabilityTrace sample_trace(const dist::Distribution& law,
+                               std::size_t count, std::uint64_t seed,
+                               const std::string& machine_id) {
+  if (count == 0) throw std::invalid_argument("sample_trace: count >= 1");
+  numerics::Rng rng(seed);
+  AvailabilityTrace t;
+  t.machine_id = machine_id;
+  t.durations.reserve(count);
+  t.timestamps.reserve(count);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double d = law.sample(rng);
+    t.timestamps.push_back(clock);
+    t.durations.push_back(d);
+    clock += d;
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace harvest::trace

@@ -1,0 +1,43 @@
+#include "harvest/trace/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::trace {
+
+void AvailabilityTrace::validate() const {
+  for (double d : durations) {
+    if (!(d >= 0.0) || !std::isfinite(d)) {
+      throw std::invalid_argument(
+          "AvailabilityTrace: durations must be finite and >= 0");
+    }
+  }
+  if (!timestamps.empty()) {
+    if (timestamps.size() != durations.size()) {
+      throw std::invalid_argument(
+          "AvailabilityTrace: timestamps/durations length mismatch");
+    }
+    for (std::size_t i = 1; i < timestamps.size(); ++i) {
+      if (timestamps[i] < timestamps[i - 1]) {
+        throw std::invalid_argument(
+            "AvailabilityTrace: timestamps must be non-decreasing");
+      }
+    }
+  }
+}
+
+TraceSplit split_train_test(const AvailabilityTrace& trace,
+                            std::size_t train_count) {
+  if (trace.size() < train_count + 1) {
+    throw std::invalid_argument(
+        "split_train_test: trace too short for requested training size");
+  }
+  TraceSplit split;
+  split.train.assign(trace.durations.begin(),
+                     trace.durations.begin() + static_cast<long>(train_count));
+  split.test.assign(trace.durations.begin() + static_cast<long>(train_count),
+                    trace.durations.end());
+  return split;
+}
+
+}  // namespace harvest::trace

@@ -1,0 +1,40 @@
+// Availability traces: what the paper's Condor occupancy monitor records.
+// For each machine, a chronological sequence of availability durations (how
+// long a sensor job ran before eviction) with the UTC timestamp at which
+// each occupancy began.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace harvest::trace {
+
+struct AvailabilityTrace {
+  std::string machine_id;
+  /// Occupancy durations in seconds, chronological.
+  std::vector<double> durations;
+  /// UTC start time of each occupancy, seconds; same length as durations
+  /// (may be empty when timestamps are unknown).
+  std::vector<double> timestamps;
+
+  [[nodiscard]] std::size_t size() const { return durations.size(); }
+  [[nodiscard]] bool empty() const { return durations.empty(); }
+
+  /// Throws std::invalid_argument on negative/non-finite durations,
+  /// timestamp length mismatch, or non-monotone timestamps.
+  void validate() const;
+};
+
+/// Chronological prefix/suffix split: the paper trains on the first 25
+/// values and evaluates on the rest.
+struct TraceSplit {
+  std::vector<double> train;
+  std::vector<double> test;
+};
+
+/// Splits after `train_count` values. Throws if the trace has fewer than
+/// train_count + 1 values (an empty experimental set is useless).
+[[nodiscard]] TraceSplit split_train_test(const AvailabilityTrace& trace,
+                                          std::size_t train_count = 25);
+
+}  // namespace harvest::trace

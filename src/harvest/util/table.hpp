@@ -1,0 +1,37 @@
+// Fixed-width text tables for the benchmark harness. Every reproduced table
+// in EXPERIMENTS.md is printed through this formatter so the output lines up
+// with the paper's layout (one row per checkpoint cost, one column per
+// model, "mean ± ci (letters)" cells).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace harvest::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column auto-sizing, a header separator, and 2-space gutters.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "123.4" style fixed-precision formatting.
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+/// "0.754 ± 0.013" confidence-interval cell, with optional "(e,w)" suffix.
+[[nodiscard]] std::string format_ci_cell(double mean, double half_width,
+                                         int precision,
+                                         const std::string& beats = "");
+
+}  // namespace harvest::util

@@ -1,0 +1,86 @@
+#include "harvest/util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace harvest::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    jobs_.push(std::move(job));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+      ++in_flight_;
+    }
+    job();  // jobs are expected to catch their own exceptions
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::size_t workers =
+      std::min<std::size_t>(pool.thread_count(), count);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace harvest::util

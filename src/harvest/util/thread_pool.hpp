@@ -1,0 +1,52 @@
+// Minimal fixed-size thread pool used to fan the per-machine simulations of
+// the experiment harness across cores. Tasks are type-erased void() jobs;
+// callers who need results use parallel_for_each, which partitions an index
+// range and rethrows the first exception raised by any worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace harvest::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a job; runs on some worker eventually.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, count) on the pool; blocks until done and
+/// rethrows the first exception any invocation produced. `body` must be
+/// safe to call concurrently for distinct indices.
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace harvest::util

@@ -1,0 +1,69 @@
+#include "harvest/condor/checkpoint_manager.hpp"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace harvest::condor {
+namespace {
+
+TEST(CheckpointManager, CompletedTransferMovesAllBytes) {
+  CheckpointManager mgr(net::BandwidthModel(5.0, 0.0), 1);
+  const auto out = mgr.transfer(0, TransferKind::kCheckpoint, 500.0,
+                                std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(out.completed);
+  EXPECT_DOUBLE_EQ(out.duration_s, 100.0);
+  EXPECT_DOUBLE_EQ(out.moved_mb, 500.0);
+}
+
+TEST(CheckpointManager, InterruptedTransferIsProrated) {
+  CheckpointManager mgr(net::BandwidthModel(5.0, 0.0), 1);
+  const auto out = mgr.transfer(3, TransferKind::kRecovery, 500.0, 25.0);
+  EXPECT_FALSE(out.completed);
+  EXPECT_DOUBLE_EQ(out.duration_s, 25.0);
+  EXPECT_DOUBLE_EQ(out.moved_mb, 125.0);  // 25 of 100 s → a quarter
+}
+
+TEST(CheckpointManager, LogRecordsEveryTransfer) {
+  CheckpointManager mgr(net::BandwidthModel(10.0, 0.0), 1);
+  (void)mgr.transfer(1, TransferKind::kRecovery, 100.0, 1e9);
+  (void)mgr.transfer(1, TransferKind::kCheckpoint, 100.0, 1.0);
+  ASSERT_EQ(mgr.log().size(), 2u);
+  EXPECT_EQ(mgr.log()[0].kind, TransferKind::kRecovery);
+  EXPECT_TRUE(mgr.log()[0].completed);
+  EXPECT_EQ(mgr.log()[1].kind, TransferKind::kCheckpoint);
+  EXPECT_FALSE(mgr.log()[1].completed);
+  EXPECT_EQ(mgr.log()[1].job_id, 1u);
+}
+
+TEST(CheckpointManager, TotalMovedAccumulates) {
+  CheckpointManager mgr(net::BandwidthModel(10.0, 0.0), 1);
+  (void)mgr.transfer(0, TransferKind::kRecovery, 100.0, 1e9);
+  (void)mgr.transfer(0, TransferKind::kCheckpoint, 100.0, 5.0);  // half done
+  EXPECT_DOUBLE_EQ(mgr.total_moved_mb(), 150.0);
+}
+
+TEST(CheckpointManager, JitteredDurationsVary) {
+  CheckpointManager mgr(net::BandwidthModel(5.0, 0.3), 42);
+  const auto a = mgr.transfer(0, TransferKind::kCheckpoint, 500.0, 1e9);
+  const auto b = mgr.transfer(0, TransferKind::kCheckpoint, 500.0, 1e9);
+  EXPECT_NE(a.duration_s, b.duration_s);
+}
+
+TEST(CheckpointManager, RejectsBadArguments) {
+  CheckpointManager mgr(net::BandwidthModel(1.0, 0.0), 1);
+  EXPECT_THROW((void)mgr.transfer(0, TransferKind::kRecovery, -1.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)mgr.transfer(0, TransferKind::kRecovery, 1.0, -10.0),
+               std::invalid_argument);
+}
+
+TEST(CheckpointManager, ZeroAvailabilityMovesNothing) {
+  CheckpointManager mgr(net::BandwidthModel(1.0, 0.0), 1);
+  const auto out = mgr.transfer(0, TransferKind::kRecovery, 100.0, 0.0);
+  EXPECT_FALSE(out.completed);
+  EXPECT_DOUBLE_EQ(out.moved_mb, 0.0);
+}
+
+}  // namespace
+}  // namespace harvest::condor

@@ -1,0 +1,100 @@
+// Additional live-experiment behaviors: adaptive cost tracking, model
+// caching across placements, and WAN-vs-campus consistency.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/condor/live_experiment.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::condor {
+namespace {
+
+struct Fixture {
+  std::vector<Machine> machines;
+  std::vector<trace::AvailabilityTrace> histories;
+
+  Fixture() {
+    for (std::size_t i = 0; i < 8; ++i) {
+      Machine m;
+      m.id = "x" + std::to_string(i);
+      m.availability_law = std::make_shared<dist::Weibull>(0.5, 3500.0);
+      machines.push_back(std::move(m));
+    }
+    Pool seed_pool(machines, 400);
+    histories = seed_pool.collect_traces(40);
+  }
+};
+
+TEST(LiveExperimentExtra, FirstMeasuredCostTracksLinkSpeed) {
+  Fixture fx;
+  Pool campus_pool(fx.machines, 41);
+  LiveExperimentConfig cfg;
+  cfg.placements = 60;
+  cfg.seed = 42;
+  LiveExperiment campus(campus_pool, fx.histories,
+                        net::BandwidthModel::campus(), cfg);
+  const auto campus_res = campus.run(core::ModelFamily::kWeibull);
+
+  Pool wan_pool(fx.machines, 41);
+  LiveExperiment wan(wan_pool, fx.histories, net::BandwidthModel::wan(),
+                     cfg);
+  const auto wan_res = wan.run(core::ModelFamily::kWeibull);
+
+  // First measured costs reflect the respective links (~110 s vs ~475 s).
+  double campus_first = 0.0;
+  double wan_first = 0.0;
+  int nc = 0;
+  int nw = 0;
+  for (const auto& p : campus_res.placements) {
+    if (p.intervals_completed > 0) {
+      campus_first += p.first_measured_cost_s;
+      ++nc;
+    }
+  }
+  for (const auto& p : wan_res.placements) {
+    if (p.intervals_completed > 0) {
+      wan_first += p.first_measured_cost_s;
+      ++nw;
+    }
+  }
+  ASSERT_GT(nc, 5);
+  ASSERT_GT(nw, 5);
+  EXPECT_NEAR(campus_first / nc / 110.0, 1.0, 0.2);
+  EXPECT_NEAR(wan_first / nw / 475.0, 1.0, 0.25);
+  // Dearer transfers => lower efficiency on the same placements.
+  EXPECT_LT(wan_res.avg_efficiency(), campus_res.avg_efficiency());
+}
+
+TEST(LiveExperimentExtra, IdenticalSeedsGiveIdenticalRuns) {
+  Fixture fx;
+  LiveExperimentConfig cfg;
+  cfg.placements = 40;
+  cfg.seed = 77;
+  Pool p1(fx.machines, 9);
+  LiveExperiment a(p1, fx.histories, net::BandwidthModel::campus(), cfg);
+  const auto ra = a.run(core::ModelFamily::kHyperexp2);
+  Pool p2(fx.machines, 9);
+  LiveExperiment b(p2, fx.histories, net::BandwidthModel::campus(), cfg);
+  const auto rb = b.run(core::ModelFamily::kHyperexp2);
+  ASSERT_EQ(ra.sample_size(), rb.sample_size());
+  EXPECT_DOUBLE_EQ(ra.avg_efficiency(), rb.avg_efficiency());
+  EXPECT_DOUBLE_EQ(ra.megabytes_used(), rb.megabytes_used());
+}
+
+TEST(LiveExperimentExtra, EveryPlacementLandsOnAKnownMachine) {
+  Fixture fx;
+  Pool pool(fx.machines, 13);
+  LiveExperimentConfig cfg;
+  cfg.placements = 50;
+  cfg.seed = 5;
+  LiveExperiment exp(pool, fx.histories, net::BandwidthModel::campus(), cfg);
+  const auto res = exp.run(core::ModelFamily::kExponential);
+  for (const auto& p : res.placements) {
+    EXPECT_LT(p.machine_index, fx.machines.size());
+    EXPECT_GE(p.period_s, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace harvest::condor

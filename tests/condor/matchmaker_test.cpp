@@ -1,0 +1,163 @@
+#include "harvest/condor/matchmaker.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::condor {
+namespace {
+
+std::vector<TimelinePool::MachineSpec> mixed_specs(std::size_t n) {
+  std::vector<TimelinePool::MachineSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    TimelinePool::MachineSpec s;
+    s.id = "tm" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.45, 1500.0 + 500.0 * static_cast<double>(i % 5));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::vector<dist::DistributionPtr> ground_truth_models(
+    const std::vector<TimelinePool::MachineSpec>& specs) {
+  std::vector<dist::DistributionPtr> models;
+  for (const auto& s : specs) models.push_back(s.availability_law);
+  return models;
+}
+
+TEST(TimelinePool, CandidatesCarryConsistentUptimes) {
+  TimelinePool pool(mixed_specs(20), 3);
+  const auto c1 = pool.available_at(1000.0);
+  EXPECT_FALSE(c1.empty());
+  for (const auto& c : c1) {
+    EXPECT_GE(c.uptime_s, 0.0);
+    EXPECT_LE(c.uptime_s, 1000.0 + 1e-9);
+    EXPECT_GT(pool.remaining_availability(c.machine_index, 1000.0), 0.0);
+  }
+}
+
+TEST(TimelinePool, TimeMovesForwardConsistently) {
+  TimelinePool pool(mixed_specs(10), 5);
+  const auto early = pool.available_at(500.0);
+  const auto late = pool.available_at(600.0);
+  // A machine available at both instants with no state change in between
+  // must have aged exactly 100 s.
+  for (const auto& a : early) {
+    for (const auto& b : late) {
+      if (a.machine_index == b.machine_index &&
+          b.uptime_s >= a.uptime_s) {
+        EXPECT_NEAR(b.uptime_s - a.uptime_s, 100.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TimelinePool, RemainingAvailabilityRequiresAvailable) {
+  TimelinePool pool(mixed_specs(4), 7);
+  const auto avail = pool.available_at(100.0);
+  // Some machine is busy at t=100 (4 machines, random phases) across seeds;
+  // find one and expect the logic_error.
+  bool found_busy = false;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    bool is_available = false;
+    for (const auto& c : avail) {
+      if (c.machine_index == i) is_available = true;
+    }
+    if (!is_available) {
+      found_busy = true;
+      EXPECT_THROW((void)pool.remaining_availability(i, 100.0),
+                   std::logic_error);
+    }
+  }
+  (void)found_busy;  // phase randomness may make all available; that's fine
+}
+
+TEST(TimelinePool, RejectsEmptyOrLawless) {
+  EXPECT_THROW(TimelinePool({}, 1), std::invalid_argument);
+  std::vector<TimelinePool::MachineSpec> specs(1);
+  specs[0].id = "nolaw";
+  EXPECT_THROW(TimelinePool(std::move(specs), 1), std::invalid_argument);
+}
+
+TEST(Matchmaker, LongestUptimePicksOldestCandidate) {
+  TimelinePool pool(mixed_specs(30), 11);
+  Matchmaker mm(pool, {}, MatchPolicy::kLongestUptime, 1);
+  const auto match = mm.place(5000.0);
+  ASSERT_TRUE(match.has_value());
+  const auto candidates = pool.available_at(5000.0);
+  double oldest = 0.0;
+  for (const auto& c : candidates) oldest = std::max(oldest, c.uptime_s);
+  EXPECT_DOUBLE_EQ(match->uptime_s, oldest);
+}
+
+TEST(Matchmaker, ModelRankedNeedsModels) {
+  TimelinePool pool(mixed_specs(5), 13);
+  EXPECT_THROW(Matchmaker(pool, {}, MatchPolicy::kModelRanked, 1),
+               std::invalid_argument);
+}
+
+TEST(Matchmaker, PolicyNamesRoundTrip) {
+  EXPECT_EQ(to_string(MatchPolicy::kRandom), "random");
+  EXPECT_EQ(to_string(MatchPolicy::kLongestUptime), "longest-uptime");
+  EXPECT_EQ(to_string(MatchPolicy::kModelRanked), "model-ranked");
+}
+
+TEST(Matchmaker, AgeAwarePoliciesBeatRandomOnHeavyTails) {
+  // The core claim: with decreasing hazards, picking machines that have
+  // been up longer yields longer remaining availability on average.
+  const auto specs = mixed_specs(40);
+  const auto models = ground_truth_models(specs);
+
+  double mean_random = 0.0;
+  double mean_oldest = 0.0;
+  double mean_model = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 250; ++trial) {
+    const double now = 2000.0 + 997.0 * trial;
+    TimelinePool p1(specs, 100 + trial);
+    TimelinePool p2(specs, 100 + trial);
+    TimelinePool p3(specs, 100 + trial);
+    Matchmaker random(p1, {}, MatchPolicy::kRandom, trial);
+    Matchmaker oldest(p2, {}, MatchPolicy::kLongestUptime, trial);
+    Matchmaker ranked(p3, models, MatchPolicy::kModelRanked, trial);
+    const auto r = random.place(now);
+    const auto o = oldest.place(now);
+    const auto m = ranked.place(now);
+    if (!r || !o || !m) continue;
+    mean_random += r->remaining_s;
+    mean_oldest += o->remaining_s;
+    mean_model += m->remaining_s;
+    ++n;
+  }
+  ASSERT_GT(n, 150);
+  mean_random /= n;
+  mean_oldest /= n;
+  mean_model /= n;
+  // Heavy-tailed means are noisy even at n=250; a 10 % margin is already a
+  // decisive policy difference while keeping the test stable.
+  EXPECT_GT(mean_oldest, mean_random * 1.1);
+  EXPECT_GT(mean_model, mean_random * 1.1);
+}
+
+TEST(Matchmaker, RandomEventuallyCoversCandidates) {
+  TimelinePool pool(mixed_specs(10), 17);
+  Matchmaker mm(pool, {}, MatchPolicy::kRandom, 23);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 300; ++i) {
+    const auto m = mm.place(4000.0);
+    ASSERT_TRUE(m.has_value());
+    ++hits[m->machine_index];
+  }
+  int distinct = 0;
+  for (int h : hits) {
+    if (h > 0) ++distinct;
+  }
+  EXPECT_GE(distinct, 3);  // at least the available subset gets variety
+}
+
+}  // namespace
+}  // namespace harvest::condor

@@ -1,0 +1,110 @@
+#include "harvest/condor/pool_simulation.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::condor {
+namespace {
+
+std::vector<TimelinePool::MachineSpec> park(std::size_t n) {
+  std::vector<TimelinePool::MachineSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    TimelinePool::MachineSpec s;
+    s.id = "pk" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.5, 2500.0 + 300.0 * static_cast<double>(i % 7));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+PoolSimConfig quick_config() {
+  PoolSimConfig cfg;
+  cfg.job_count = 6;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(PoolSimulation, JobsFinishAndAccountingHolds) {
+  const auto res = run_pool_simulation(park(24), quick_config());
+  ASSERT_EQ(res.jobs.size(), 6u);
+  EXPECT_EQ(res.finished_count(), 6u);
+  for (const auto& j : res.jobs) {
+    EXPECT_TRUE(j.finished);
+    EXPECT_NEAR(j.useful_work_s, 2.0 * 3600.0, 1.0);
+    EXPECT_GT(j.completion_s, j.useful_work_s);  // overheads exist
+    EXPECT_GT(j.placements, 0u);
+    EXPECT_GT(j.moved_mb, 0.0);
+  }
+  EXPECT_GE(res.makespan_s, res.mean_completion_s());
+}
+
+TEST(PoolSimulation, DeterministicGivenSeed) {
+  const auto a = run_pool_simulation(park(24), quick_config());
+  const auto b = run_pool_simulation(park(24), quick_config());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_s, b.jobs[i].completion_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].moved_mb, b.jobs[i].moved_mb);
+  }
+}
+
+TEST(PoolSimulation, MoreWorkTakesLonger) {
+  PoolSimConfig small = quick_config();
+  PoolSimConfig big = quick_config();
+  big.work_per_job_s = 6.0 * 3600.0;
+  const auto a = run_pool_simulation(park(24), small);
+  const auto b = run_pool_simulation(park(24), big);
+  EXPECT_GT(b.mean_completion_s(), a.mean_completion_s());
+}
+
+TEST(PoolSimulation, ContentionSlowsCompletion) {
+  // Many jobs on few machines queue behind one another.
+  PoolSimConfig uncontended = quick_config();
+  uncontended.job_count = 2;
+  PoolSimConfig contended = quick_config();
+  contended.job_count = 24;
+  const auto a = run_pool_simulation(park(8), uncontended);
+  const auto b = run_pool_simulation(park(8), contended);
+  EXPECT_GT(b.makespan_s, a.makespan_s);
+}
+
+TEST(PoolSimulation, HorizonCapsUnfinishedJobs) {
+  PoolSimConfig cfg = quick_config();
+  cfg.work_per_job_s = 1e9;  // cannot finish
+  cfg.horizon_s = 6.0 * 3600.0;
+  const auto res = run_pool_simulation(park(12), cfg);
+  EXPECT_EQ(res.finished_count(), 0u);
+  EXPECT_DOUBLE_EQ(res.makespan_s, cfg.horizon_s);
+}
+
+TEST(PoolSimulation, WanLinkMovesFewerLargerTransfersButFinishes) {
+  PoolSimConfig campus = quick_config();
+  PoolSimConfig wan = quick_config();
+  wan.link = net::BandwidthModel::wan();
+  const auto a = run_pool_simulation(park(24), campus);
+  const auto b = run_pool_simulation(park(24), wan);
+  EXPECT_EQ(b.finished_count(), 6u);
+  // Dearer transfers → longer completion.
+  EXPECT_GT(b.mean_completion_s(), a.mean_completion_s());
+}
+
+TEST(PoolSimulation, RejectsBadConfig) {
+  EXPECT_THROW((void)run_pool_simulation({}, quick_config()),
+               std::invalid_argument);
+  PoolSimConfig cfg = quick_config();
+  cfg.job_count = 0;
+  EXPECT_THROW((void)run_pool_simulation(park(4), cfg),
+               std::invalid_argument);
+  cfg = quick_config();
+  cfg.work_per_job_s = 0.0;
+  EXPECT_THROW((void)run_pool_simulation(park(4), cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::condor

@@ -1,0 +1,92 @@
+#include "harvest/condor/pool.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::condor {
+namespace {
+
+std::vector<Machine> two_machines() {
+  std::vector<Machine> machines(2);
+  machines[0].id = "fast-churn";
+  machines[0].availability_law = std::make_shared<dist::Exponential>(1.0 / 60.0);
+  machines[1].id = "stable";
+  machines[1].availability_law =
+      std::make_shared<dist::Weibull>(0.5, 20000.0);
+  return machines;
+}
+
+TEST(Pool, RejectsEmptyOrInvalidMachines) {
+  EXPECT_THROW(Pool({}, 1), std::invalid_argument);
+  std::vector<Machine> machines(1);
+  machines[0].id = "lawless";
+  EXPECT_THROW(Pool(std::move(machines), 1), std::invalid_argument);
+}
+
+TEST(Pool, CollectTracesShapesAndValidity) {
+  Pool pool(two_machines(), 11);
+  const auto traces = pool.collect_traces(30);
+  ASSERT_EQ(traces.size(), 2u);
+  for (const auto& t : traces) {
+    EXPECT_EQ(t.size(), 30u);
+    EXPECT_NO_THROW(t.validate());
+  }
+  EXPECT_EQ(traces[0].machine_id, "fast-churn");
+  EXPECT_EQ(traces[1].machine_id, "stable");
+}
+
+TEST(Pool, CollectedTracesReflectMachineScale) {
+  Pool pool(two_machines(), 13);
+  const auto traces = pool.collect_traces(300);
+  double mean0 = 0.0;
+  double mean1 = 0.0;
+  for (double d : traces[0].durations) mean0 += d;
+  for (double d : traces[1].durations) mean1 += d;
+  mean0 /= 300.0;
+  mean1 /= 300.0;
+  EXPECT_NEAR(mean0 / 60.0, 1.0, 0.25);
+  EXPECT_GT(mean1, 50.0 * mean0);  // stable machine dwarfs the churner
+}
+
+TEST(Pool, PlacementsCoverMachines) {
+  Pool pool(two_machines(), 17);
+  int seen0 = 0;
+  int seen1 = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto p = pool.next_placement();
+    ASSERT_LT(p.machine_index, 2u);
+    EXPECT_GE(p.available_for_s, 0.0);
+    (p.machine_index == 0 ? seen0 : seen1)++;
+  }
+  EXPECT_GT(seen0, 50);
+  EXPECT_GT(seen1, 50);
+}
+
+TEST(Pool, DeterministicAcrossSameSeed) {
+  Pool a(two_machines(), 23);
+  Pool b(two_machines(), 23);
+  for (int i = 0; i < 20; ++i) {
+    const auto pa = a.next_placement();
+    const auto pb = b.next_placement();
+    EXPECT_EQ(pa.machine_index, pb.machine_index);
+    EXPECT_DOUBLE_EQ(pa.available_for_s, pb.available_for_s);
+  }
+}
+
+TEST(Pool, MachineAccessorBoundsChecked) {
+  Pool pool(two_machines(), 1);
+  EXPECT_EQ(pool.machine(0).id, "fast-churn");
+  EXPECT_THROW((void)pool.machine(2), std::out_of_range);
+}
+
+TEST(Pool, CollectTracesRejectsZero) {
+  Pool pool(two_machines(), 1);
+  EXPECT_THROW((void)pool.collect_traces(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::condor

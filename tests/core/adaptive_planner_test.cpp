@@ -1,0 +1,108 @@
+#include "harvest/core/adaptive_planner.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/core/optimizer.hpp"
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::core {
+namespace {
+
+dist::DistributionPtr paper_weibull() {
+  return std::make_shared<dist::Weibull>(0.43, 3409.0);
+}
+
+TEST(AdaptivePlanner, MatchesOfflineOptimizerGivenSameState) {
+  AdaptivePlanner planner(paper_weibull());
+  planner.on_placement(0.0);
+  planner.on_transfer_measured(110.0);
+
+  IntervalCosts costs;
+  costs.checkpoint = 110.0;
+  costs.recovery = 110.0;
+  const CheckpointOptimizer offline(MarkovModel(paper_weibull(), costs));
+  // After the recovery the machine has been up 110 s.
+  EXPECT_NEAR(planner.next_interval(), offline.optimize(110.0).work_time,
+              1e-9);
+  EXPECT_NEAR(planner.predicted_efficiency(),
+              offline.optimize(110.0).efficiency, 1e-9);
+}
+
+TEST(AdaptivePlanner, UptimeAdvancesThroughTheCycle) {
+  AdaptivePlanner planner(paper_weibull());
+  planner.on_placement(500.0);
+  EXPECT_DOUBLE_EQ(planner.current_uptime_s(), 500.0);
+  planner.on_transfer_measured(100.0);  // recovery
+  EXPECT_DOUBLE_EQ(planner.current_uptime_s(), 600.0);
+  planner.on_work_completed(1000.0);
+  planner.on_transfer_measured(120.0);  // checkpoint
+  EXPECT_DOUBLE_EQ(planner.current_uptime_s(), 1720.0);
+  EXPECT_DOUBLE_EQ(planner.current_cost_estimate_s(), 120.0);
+}
+
+TEST(AdaptivePlanner, SmoothingBlendsMeasurements) {
+  AdaptivePlannerOptions opts;
+  opts.cost_smoothing = 0.5;
+  AdaptivePlanner planner(paper_weibull(), opts);
+  planner.on_transfer_measured(100.0);  // first: taken as-is
+  planner.on_transfer_measured(200.0);
+  EXPECT_DOUBLE_EQ(planner.current_cost_estimate_s(), 150.0);
+  planner.on_transfer_measured(150.0);
+  EXPECT_DOUBLE_EQ(planner.current_cost_estimate_s(), 150.0);
+}
+
+TEST(AdaptivePlanner, CostEstimateSurvivesEviction) {
+  AdaptivePlanner planner(paper_weibull());
+  planner.on_placement(0.0);
+  planner.on_transfer_measured(130.0);
+  planner.on_eviction();
+  EXPECT_FALSE(planner.placed());
+  EXPECT_DOUBLE_EQ(planner.current_cost_estimate_s(), 130.0);
+  planner.on_placement(0.0);
+  EXPECT_DOUBLE_EQ(planner.current_uptime_s(), 0.0);
+  EXPECT_GT(planner.next_interval(), 0.0);
+}
+
+TEST(AdaptivePlanner, HeavyTailIntervalRespondsToUptime) {
+  AdaptivePlanner young(paper_weibull());
+  young.on_placement(0.0);
+  young.on_transfer_measured(110.0);
+  AdaptivePlanner old_machine(paper_weibull());
+  old_machine.on_placement(50000.0);
+  old_machine.on_transfer_measured(110.0);
+  EXPECT_GT(old_machine.next_interval(), young.next_interval());
+}
+
+TEST(AdaptivePlanner, InitialCostOptionSkipsFirstMeasurement) {
+  AdaptivePlannerOptions opts;
+  opts.initial_cost_s = 110.0;
+  AdaptivePlanner planner(paper_weibull(), opts);
+  planner.on_placement(0.0);
+  EXPECT_GT(planner.next_interval(), 0.0);
+}
+
+TEST(AdaptivePlanner, LifecycleErrors) {
+  AdaptivePlanner planner(paper_weibull());
+  EXPECT_THROW((void)planner.next_interval(), std::logic_error);
+  planner.on_placement(0.0);
+  EXPECT_THROW((void)planner.next_interval(), std::logic_error);  // no cost
+  planner.on_transfer_measured(100.0);
+  EXPECT_NO_THROW((void)planner.next_interval());
+  planner.on_eviction();
+  EXPECT_THROW((void)planner.next_interval(), std::logic_error);
+  EXPECT_THROW(planner.on_work_completed(5.0), std::logic_error);
+}
+
+TEST(AdaptivePlanner, RejectsBadConstruction) {
+  EXPECT_THROW(AdaptivePlanner(nullptr), std::invalid_argument);
+  AdaptivePlannerOptions opts;
+  opts.cost_smoothing = 0.0;
+  EXPECT_THROW(AdaptivePlanner(paper_weibull(), opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,76 @@
+#include "harvest/core/closed_form.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/core/optimizer.hpp"
+#include "harvest/dist/exponential.hpp"
+
+namespace harvest::core {
+namespace {
+
+IntervalCosts costs_of(double c, double r) {
+  IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = r;
+  return costs;
+}
+
+TEST(ClosedForm, GammaMatchesGenericMarkovModel) {
+  const double rate = 1.0 / 4000.0;
+  const IntervalCosts costs = costs_of(120.0, 90.0);
+  const MarkovModel m(std::make_shared<dist::Exponential>(rate), costs);
+  for (double t : {10.0, 200.0, 1500.0, 20000.0}) {
+    EXPECT_NEAR(exponential_gamma(rate, costs, t) / m.gamma(t, 0.0), 1.0,
+                1e-10)
+        << "t=" << t;
+  }
+}
+
+TEST(ClosedForm, GammaIndependentOfAgeForExponential) {
+  const double rate = 1e-3;
+  const IntervalCosts costs = costs_of(50.0, 50.0);
+  const MarkovModel m(std::make_shared<dist::Exponential>(rate), costs);
+  EXPECT_NEAR(exponential_gamma(rate, costs, 300.0) / m.gamma(300.0, 7777.0),
+              1.0, 1e-10);
+}
+
+TEST(ClosedForm, YoungAgreesWithOptimizerInItsRegime) {
+  const double rate = 1e-6;  // lambda*(C+T) << 1
+  const double c = 50.0;
+  const CheckpointOptimizer opt(
+      MarkovModel(std::make_shared<dist::Exponential>(rate), costs_of(c, c)));
+  EXPECT_NEAR(opt.optimize(0.0).work_time / young_interval(rate, c), 1.0,
+              0.05);
+}
+
+TEST(ClosedForm, DalyRefinesYoungOutsideTheRegime) {
+  // With lambda*C no longer tiny, Daly should land closer to the true
+  // optimum than Young.
+  const double rate = 1.0 / 3000.0;
+  const double c = 250.0;
+  const CheckpointOptimizer opt(
+      MarkovModel(std::make_shared<dist::Exponential>(rate), costs_of(c, c)));
+  const double t_true = opt.optimize(0.0).work_time;
+  const double young_err = std::fabs(young_interval(rate, c) - t_true);
+  const double daly_err = std::fabs(daly_interval(rate, c) - t_true);
+  EXPECT_LT(daly_err, young_err);
+}
+
+TEST(ClosedForm, DalyCapsAtMeanLifetime) {
+  EXPECT_DOUBLE_EQ(daly_interval(0.01, 500.0), 100.0);  // lambda*C = 5 >= 2
+}
+
+TEST(ClosedForm, RejectsBadArguments) {
+  EXPECT_THROW((void)exponential_gamma(0.0, costs_of(1.0, 1.0), 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)exponential_gamma(1.0, costs_of(1.0, 1.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)young_interval(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)daly_interval(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

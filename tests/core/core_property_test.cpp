@@ -1,0 +1,172 @@
+// Parameterized property suite over the core checkpoint machinery: every
+// invariant must hold for every (availability family, checkpoint cost,
+// machine age) combination. This is the optimizer-level analog of the
+// distribution property suite.
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/core/optimizer.hpp"
+#include "harvest/core/prediction.hpp"
+#include "harvest/core/schedule.hpp"
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/gamma.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/lognormal.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::core {
+namespace {
+
+struct CoreCase {
+  std::string label;
+  std::function<dist::DistributionPtr()> make_model;
+  double cost;
+  double age;
+};
+
+std::vector<CoreCase> core_cases() {
+  const auto weibull = [] {
+    return std::make_shared<dist::Weibull>(0.43, 3409.0);
+  };
+  const auto expo = [] {
+    return std::make_shared<dist::Exponential>(1.0 / 5000.0);
+  };
+  const auto hyper = [] {
+    return std::make_shared<dist::Hyperexponential>(
+        std::vector<double>{0.65, 0.35},
+        std::vector<double>{1.0 / 240.0, 1.0 / 14400.0});
+  };
+  const auto lognormal = [] {
+    return std::make_shared<dist::Lognormal>(7.4, 1.3);
+  };
+  const auto gamma = [] { return std::make_shared<dist::GammaDist>(0.6, 4000.0); };
+
+  std::vector<CoreCase> cases;
+  for (const auto& [name, make] :
+       std::vector<std::pair<std::string, std::function<dist::DistributionPtr()>>>{
+           {"weibull", weibull},
+           {"exponential", expo},
+           {"hyperexp2", hyper},
+           {"lognormal", lognormal},
+           {"gamma", gamma}}) {
+    for (double cost : {50.0, 500.0}) {
+      for (double age : {0.0, 2000.0}) {
+        CoreCase c;
+        c.label = name + "_c" + std::to_string(static_cast<int>(cost)) +
+                  "_a" + std::to_string(static_cast<int>(age));
+        c.make_model = make;
+        c.cost = cost;
+        c.age = age;
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+class CoreProperty : public ::testing::TestWithParam<CoreCase> {
+ protected:
+  CoreProperty() {
+    IntervalCosts costs;
+    costs.checkpoint = GetParam().cost;
+    costs.recovery = GetParam().cost;
+    model_ = std::make_unique<MarkovModel>(GetParam().make_model(), costs);
+  }
+  std::unique_ptr<MarkovModel> model_;
+};
+
+TEST_P(CoreProperty, TransitionsFormDistributions) {
+  for (double t : {10.0, 300.0, 3000.0}) {
+    const auto tr = model_->transitions(t, GetParam().age);
+    EXPECT_NEAR(tr.p01 + tr.p02, 1.0, 1e-12);
+    EXPECT_NEAR(tr.p21 + tr.p22, 1.0, 1e-12);
+    EXPECT_GE(tr.p01, 0.0);
+    EXPECT_LE(tr.p01, 1.0);
+  }
+}
+
+TEST_P(CoreProperty, ExpectedFailureTimesInsideWindows) {
+  const double c = GetParam().cost;
+  for (double t : {10.0, 300.0, 3000.0}) {
+    const auto tr = model_->transitions(t, GetParam().age);
+    if (tr.p02 > 0.0) {
+      EXPECT_GE(tr.k02, 0.0);
+      EXPECT_LE(tr.k02, c + t + 1e-9);
+    }
+    if (tr.p22 > 0.0) {
+      EXPECT_GE(tr.k22, 0.0);
+      EXPECT_LE(tr.k22, 2.0 * c + t + 1e-9);
+    }
+  }
+}
+
+TEST_P(CoreProperty, GammaDominatesIdealTime) {
+  for (double t : {10.0, 300.0, 3000.0}) {
+    EXPECT_GE(model_->gamma(t, GetParam().age),
+              GetParam().cost + t - 1e-9);
+  }
+}
+
+TEST_P(CoreProperty, GammaIsMonotoneInWorkTime) {
+  // More work per interval can only take longer in expectation.
+  double prev = 0.0;
+  for (double t : {10.0, 100.0, 1000.0, 10000.0}) {
+    const double g = model_->gamma(t, GetParam().age);
+    EXPECT_GT(g, prev) << "t=" << t;
+    prev = g;
+  }
+}
+
+TEST_P(CoreProperty, OptimizerFindsInteriorLocalMinimum) {
+  const CheckpointOptimizer opt(*model_);
+  const auto r = opt.optimize(GetParam().age);
+  EXPECT_GT(r.work_time, 0.0);
+  EXPECT_GT(r.efficiency, 0.0);
+  EXPECT_LE(r.efficiency, 1.0);
+  if (!r.at_upper_bound) {
+    const double at = model_->overhead_ratio(r.work_time, GetParam().age);
+    EXPECT_LE(at,
+              model_->overhead_ratio(r.work_time * 0.8, GetParam().age) +
+                  1e-9);
+    EXPECT_LE(at,
+              model_->overhead_ratio(r.work_time * 1.25, GetParam().age) +
+                  1e-9);
+  }
+}
+
+TEST_P(CoreProperty, ScheduleAgesAreConsistent) {
+  ScheduleOptions opts;
+  opts.initial_age = GetParam().age;
+  CheckpointSchedule schedule(*model_, opts);
+  for (std::size_t i = 1; i < 5; ++i) {
+    const auto prev = schedule.entry(i - 1);
+    const auto cur = schedule.entry(i);
+    EXPECT_NEAR(cur.age, prev.age + prev.work_time + GetParam().cost, 1e-9);
+    EXPECT_GT(cur.work_time, 0.0);
+  }
+}
+
+TEST_P(CoreProperty, PredictionConsistentWithModel) {
+  const CheckpointOptimizer opt(*model_);
+  const auto r = opt.optimize(GetParam().age);
+  const auto p =
+      predict_steady_state(*model_, r.work_time, GetParam().age);
+  EXPECT_NEAR(p.efficiency, r.efficiency, 1e-9);
+  EXPECT_GE(p.recovery_visits, 0.0);
+  EXPECT_GT(p.transfers_per_hour, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CoreProperty,
+                         ::testing::ValuesIn(core_cases()),
+                         [](const ::testing::TestParamInfo<CoreCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,83 @@
+#include "harvest/core/makespan.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::core {
+namespace {
+
+CheckpointSchedule make_schedule(dist::DistributionPtr model, double c) {
+  IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = c;
+  return CheckpointSchedule(MarkovModel(std::move(model), costs));
+}
+
+TEST(Makespan, DominatesRequestedWork) {
+  auto s = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                         110.0);
+  const auto est = estimate_makespan(s, 8.0 * 3600.0);
+  EXPECT_GT(est.expected_time_s, 8.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(est.work_s, 8.0 * 3600.0);
+  EXPECT_GT(est.intervals, 1u);
+  EXPECT_GT(est.expected_mb, 500.0);  // input + at least one checkpoint
+  EXPECT_GT(est.efficiency(), 0.0);
+  EXPECT_LT(est.efficiency(), 1.0);
+}
+
+TEST(Makespan, MonotoneInWork) {
+  auto s1 = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                          110.0);
+  auto s2 = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                          110.0);
+  const auto small = estimate_makespan(s1, 2.0 * 3600.0);
+  const auto big = estimate_makespan(s2, 8.0 * 3600.0);
+  EXPECT_GT(big.expected_time_s, small.expected_time_s);
+  EXPECT_GE(big.intervals, small.intervals);
+  EXPECT_GT(big.expected_mb, small.expected_mb);
+}
+
+TEST(Makespan, CheaperCheckpointsFinishSooner) {
+  auto cheap = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                             25.0);
+  auto dear = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                            500.0);
+  const double w = 6.0 * 3600.0;
+  auto a = estimate_makespan(cheap, w);
+  auto b = estimate_makespan(dear, w);
+  EXPECT_LT(a.expected_time_s, b.expected_time_s);
+}
+
+TEST(Makespan, MatchesScheduleEfficiencyForTinyWork) {
+  // One interval's worth of work: the estimate reduces to Γ at that chunk.
+  auto s = make_schedule(std::make_shared<dist::Exponential>(1.0 / 5000.0),
+                         100.0);
+  const double t0 = s.entry(0).work_time;
+  auto s2 = make_schedule(std::make_shared<dist::Exponential>(1.0 / 5000.0),
+                          100.0);
+  const auto est = estimate_makespan(s2, t0);
+  EXPECT_NEAR(est.expected_time_s, s.entry(0).gamma, 1e-9);
+  EXPECT_EQ(est.intervals, 1u);
+}
+
+TEST(Makespan, ReliableMachineApproachesIdealTime) {
+  // Mean availability ~115 days: overheads are just the checkpoints.
+  auto s = make_schedule(std::make_shared<dist::Exponential>(1e-7), 50.0);
+  const double w = 4.0 * 3600.0;
+  const auto est = estimate_makespan(s, w);
+  EXPECT_LT(est.expected_time_s, w * 1.05);
+}
+
+TEST(Makespan, RejectsBadArguments) {
+  auto s = make_schedule(std::make_shared<dist::Exponential>(1e-4), 10.0);
+  EXPECT_THROW((void)estimate_makespan(s, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_makespan(s, 100.0, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

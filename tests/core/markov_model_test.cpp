@@ -1,0 +1,258 @@
+#include "harvest/core/markov_model.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::core {
+namespace {
+
+MarkovModel exp_model(double rate, double c, double r) {
+  IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = r;
+  return MarkovModel(std::make_shared<dist::Exponential>(rate), costs);
+}
+
+MarkovModel weibull_model(double shape, double scale, double c, double r) {
+  IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = r;
+  return MarkovModel(std::make_shared<dist::Weibull>(shape, scale), costs);
+}
+
+TEST(IntervalCosts, LatencyDefaultsToCheckpoint) {
+  IntervalCosts costs;
+  costs.checkpoint = 100.0;
+  EXPECT_DOUBLE_EQ(costs.effective_latency(), 100.0);
+  costs.latency = 40.0;
+  EXPECT_DOUBLE_EQ(costs.effective_latency(), 40.0);
+}
+
+TEST(IntervalCosts, ValidationRejectsNegatives) {
+  IntervalCosts costs;
+  costs.checkpoint = -1.0;
+  EXPECT_THROW(costs.validate(), std::invalid_argument);
+  costs.checkpoint = 1.0;
+  costs.recovery = -1.0;
+  EXPECT_THROW(costs.validate(), std::invalid_argument);
+}
+
+TEST(MarkovModel, TransitionProbabilitiesAreDistributions) {
+  const auto m = weibull_model(0.43, 3409.0, 100.0, 100.0);
+  for (double t : {10.0, 500.0, 5000.0}) {
+    for (double age : {0.0, 1000.0}) {
+      const auto tr = m.transitions(t, age);
+      EXPECT_NEAR(tr.p01 + tr.p02, 1.0, 1e-12);
+      EXPECT_NEAR(tr.p21 + tr.p22, 1.0, 1e-12);
+      EXPECT_GE(tr.p01, 0.0);
+      EXPECT_LE(tr.p01, 1.0);
+      EXPECT_GE(tr.p21, 0.0);
+      EXPECT_LE(tr.p21, 1.0);
+    }
+  }
+}
+
+TEST(MarkovModel, CostsMatchPaperDefinitions) {
+  const auto m = exp_model(0.001, 50.0, 80.0);
+  const auto tr = m.transitions(200.0, 0.0);
+  EXPECT_DOUBLE_EQ(tr.k01, 250.0);        // C + T
+  EXPECT_DOUBLE_EQ(tr.k21, 50.0 + 80.0 + 200.0);  // L + R + T with L == C
+  // Conditional expected failure times lie inside their windows.
+  EXPECT_GT(tr.k02, 0.0);
+  EXPECT_LT(tr.k02, 250.0);
+  EXPECT_GT(tr.k22, 0.0);
+  EXPECT_LT(tr.k22, 330.0);
+}
+
+TEST(MarkovModel, ExplicitLatencyChangesState2Window) {
+  IntervalCosts costs;
+  costs.checkpoint = 50.0;
+  costs.recovery = 80.0;
+  costs.latency = 10.0;
+  const MarkovModel m(std::make_shared<dist::Exponential>(0.001), costs);
+  EXPECT_DOUBLE_EQ(m.transitions(200.0, 0.0).k21, 10.0 + 80.0 + 200.0);
+}
+
+TEST(MarkovModel, GammaMatchesHandComputedExponential) {
+  // For the exponential everything is closed-form; compute Eq. 11 by hand.
+  const double lambda = 1.0 / 5000.0;
+  const double c = 100.0;
+  const double r = 100.0;
+  const double t = 1000.0;
+  const auto m = exp_model(lambda, c, r);
+
+  const auto F = [&](double x) { return 1.0 - std::exp(-lambda * x); };
+  const auto pe = [&](double x) {
+    return (1.0 - std::exp(-lambda * x) * (1.0 + lambda * x)) / lambda;
+  };
+  const double p01 = 1.0 - F(c + t);
+  const double p02 = F(c + t);
+  const double k02 = pe(c + t) / p02;
+  const double p21 = 1.0 - F(c + r + t);
+  const double p22 = F(c + r + t);
+  const double k22 = pe(c + r + t) / p22;
+  const double expected =
+      p01 * (c + t) + p02 * (k02 + k22 * p22 / p21 + (c + r + t));
+  EXPECT_NEAR(m.gamma(t, 0.0), expected, 1e-9);
+}
+
+TEST(MarkovModel, GammaAgainstMonteCarloExponential) {
+  const double lambda = 1.0 / 3000.0;
+  const auto m = exp_model(lambda, 150.0, 150.0);
+  const double t = 800.0;
+  const dist::Exponential life(lambda);
+  numerics::Rng rng(42);
+  double total = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    // First attempt from state 0 (age irrelevant: memoryless).
+    double lifetime = life.sample(rng);
+    if (lifetime >= 150.0 + t) {
+      total += 150.0 + t;
+      continue;
+    }
+    total += lifetime;
+    // Retry loop from state 2.
+    for (;;) {
+      lifetime = life.sample(rng);
+      if (lifetime >= 150.0 + 150.0 + t) {
+        total += 150.0 + 150.0 + t;
+        break;
+      }
+      total += lifetime;
+    }
+  }
+  EXPECT_NEAR(total / trials / m.gamma(t, 0.0), 1.0, 0.01);
+}
+
+TEST(MarkovModel, GammaAgainstMonteCarloConditionedWeibull) {
+  // The conditioning path (age > 0) exercised end-to-end against sampling.
+  const double shape = 0.43;
+  const double scale = 3409.0;
+  const double c = 100.0;
+  const double age = 2500.0;
+  const double t = 1500.0;
+  const MarkovModel m = weibull_model(shape, scale, c, c);
+  const dist::Weibull life(shape, scale);
+
+  numerics::Rng rng(43);
+  double total = 0.0;
+  const int trials = 300000;
+  for (int i = 0; i < trials; ++i) {
+    // Residual lifetime at `age` via inverse transform on the tail.
+    const double u = rng.uniform();
+    const double p = life.cdf(age) + u * life.survival(age);
+    double lifetime = life.quantile(std::min(p, 1.0 - 1e-16)) - age;
+    if (lifetime >= c + t) {
+      total += c + t;
+      continue;
+    }
+    total += lifetime;
+    for (;;) {
+      lifetime = life.sample(rng);
+      if (lifetime >= c + c + t) {
+        total += c + c + t;
+        break;
+      }
+      total += lifetime;
+    }
+  }
+  EXPECT_NEAR(total / trials / m.gamma(t, age), 1.0, 0.02);
+}
+
+TEST(MarkovModel, GammaAgainstMonteCarloConditionedHyperexp) {
+  // Bimodal availability conditioned on uptime: after 1500 s the machine is
+  // probably long-phase, and Γ must reflect that.
+  const double c = 120.0;
+  const double age = 1500.0;
+  const double t = 900.0;
+  const auto law = std::make_shared<dist::Hyperexponential>(
+      std::vector<double>{0.65, 0.35},
+      std::vector<double>{1.0 / 250.0, 1.0 / 12000.0});
+  IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = c;
+  const MarkovModel m(law, costs);
+
+  numerics::Rng rng(97);
+  double total = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    // Residual lifetime at `age` via inverse transform on the tail.
+    const double u = rng.uniform();
+    const double p = law->cdf(age) + u * law->survival(age);
+    double lifetime = law->quantile(std::min(p, 1.0 - 1e-16)) - age;
+    if (lifetime >= c + t) {
+      total += c + t;
+      continue;
+    }
+    total += lifetime;
+    for (;;) {
+      lifetime = law->sample(rng);
+      if (lifetime >= c + c + t) {
+        total += c + c + t;
+        break;
+      }
+      total += lifetime;
+    }
+  }
+  EXPECT_NEAR(total / trials / m.gamma(t, age), 1.0, 0.02);
+}
+
+TEST(MarkovModel, GammaLowerBoundedByIdealTime) {
+  const auto m = weibull_model(0.5, 2000.0, 50.0, 50.0);
+  for (double t : {10.0, 100.0, 1000.0}) {
+    EXPECT_GE(m.gamma(t, 0.0), 50.0 + t);
+  }
+}
+
+TEST(MarkovModel, GammaIncreasesWithCheckpointCost) {
+  const double t = 500.0;
+  double prev = 0.0;
+  for (double c : {10.0, 50.0, 200.0, 800.0}) {
+    const auto m = weibull_model(0.43, 3409.0, c, c);
+    const double g = m.gamma(t, 0.0);
+    EXPECT_GT(g, prev) << "c=" << c;
+    prev = g;
+  }
+}
+
+TEST(MarkovModel, ConditioningReducesGammaForHeavyTail) {
+  // A machine that has been up a long time is safer; the same interval
+  // should cost less in expectation.
+  const auto m = weibull_model(0.43, 3409.0, 100.0, 100.0);
+  EXPECT_LT(m.gamma(1000.0, 20000.0), m.gamma(1000.0, 0.0));
+}
+
+TEST(MarkovModel, EfficiencyBetweenZeroAndOne) {
+  const auto m = weibull_model(0.6, 1000.0, 250.0, 250.0);
+  for (double t : {50.0, 500.0, 5000.0}) {
+    const double e = m.expected_efficiency(t, 0.0);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LT(e, 1.0);
+  }
+}
+
+TEST(MarkovModel, RejectsBadArguments) {
+  const auto m = exp_model(1.0, 1.0, 1.0);
+  EXPECT_THROW((void)m.transitions(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)m.transitions(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(MarkovModel(nullptr, IntervalCosts{}), std::invalid_argument);
+}
+
+TEST(MarkovModel, ZeroCostCheckpointGammaApproachesWorkTime) {
+  // With C == R == 0 and a failure-free horizon, Γ ≈ T.
+  IntervalCosts costs;  // all zeros
+  const MarkovModel m(std::make_shared<dist::Exponential>(1e-9), costs);
+  EXPECT_NEAR(m.gamma(100.0, 0.0), 100.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace harvest::core

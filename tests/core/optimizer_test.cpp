@@ -1,0 +1,164 @@
+#include "harvest/core/optimizer.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::core {
+namespace {
+
+CheckpointOptimizer make_optimizer(dist::DistributionPtr d, double c,
+                                   OptimizerOptions opts = {}) {
+  IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = c;
+  return CheckpointOptimizer(MarkovModel(std::move(d), costs), opts);
+}
+
+TEST(Optimizer, ExponentialNearYoungApproximation) {
+  // For λ(C+T) << 1, T_opt ≈ sqrt(2C/λ) (Young 1974).
+  const double lambda = 1e-6;
+  const double c = 50.0;
+  const auto opt =
+      make_optimizer(std::make_shared<dist::Exponential>(lambda), c);
+  const auto r = opt.optimize(0.0);
+  const double young = std::sqrt(2.0 * c / lambda);
+  EXPECT_NEAR(r.work_time / young, 1.0, 0.05);
+  EXPECT_FALSE(r.at_upper_bound);
+}
+
+TEST(Optimizer, ResultIsALocalMinimumOfOverheadRatio) {
+  const auto opt = make_optimizer(
+      std::make_shared<dist::Weibull>(0.43, 3409.0), 100.0);
+  const auto r = opt.optimize(0.0);
+  const auto& m = opt.model();
+  const double at = m.overhead_ratio(r.work_time, 0.0);
+  EXPECT_LT(at, m.overhead_ratio(r.work_time * 0.8, 0.0));
+  EXPECT_LT(at, m.overhead_ratio(r.work_time * 1.25, 0.0));
+}
+
+TEST(Optimizer, GlobalGridCheck) {
+  // Dense scan finds nothing better than the returned optimum.
+  const auto opt = make_optimizer(
+      std::make_shared<dist::Weibull>(0.6, 2000.0), 250.0);
+  const auto r = opt.optimize(500.0);
+  const auto& m = opt.model();
+  for (double t = 10.0; t < 1e6; t *= 1.15) {
+    EXPECT_GE(m.overhead_ratio(t, 500.0),
+              m.overhead_ratio(r.work_time, 500.0) - 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(Optimizer, WorkTimeGrowsWithCheckpointCost) {
+  double prev = 0.0;
+  for (double c : {10.0, 50.0, 200.0, 1000.0}) {
+    const auto opt = make_optimizer(
+        std::make_shared<dist::Weibull>(0.43, 3409.0), c);
+    const double t = opt.optimize(0.0).work_time;
+    EXPECT_GT(t, prev) << "c=" << c;
+    prev = t;
+  }
+}
+
+TEST(Optimizer, EfficiencyDecreasesWithCheckpointCost) {
+  double prev = 1.0;
+  for (double c : {10.0, 100.0, 500.0, 1500.0}) {
+    const auto opt = make_optimizer(
+        std::make_shared<dist::Weibull>(0.43, 3409.0), c);
+    const double e = opt.optimize(0.0).efficiency;
+    EXPECT_LT(e, prev) << "c=" << c;
+    EXPECT_GT(e, 0.0);
+    prev = e;
+  }
+}
+
+TEST(Optimizer, HeavyTailScheduleDependsOnAge) {
+  // Decreasing hazard makes the schedule aperiodic. T_opt(age) is actually
+  // U-shaped for this Weibull (large near 0 where failure is near-certain
+  // anyway, dipping around one scale, then growing without bound), so the
+  // robust invariants are: (a) it varies with age, (b) it grows once the
+  // hazard has genuinely decayed.
+  const auto opt = make_optimizer(
+      std::make_shared<dist::Weibull>(0.43, 3409.0), 100.0);
+  const double t0 = opt.optimize(0.0).work_time;
+  const double t1k = opt.optimize(1000.0).work_time;
+  EXPECT_GT(std::fabs(t1k - t0) / t0, 0.02);  // genuinely aperiodic
+  double prev = 0.0;
+  for (double age : {3000.0, 10000.0, 30000.0, 100000.0}) {
+    const double t = opt.optimize(age).work_time;
+    EXPECT_GT(t, prev) << "age=" << age;
+    prev = t;
+  }
+  EXPECT_GT(opt.optimize(100000.0).work_time, t0);
+}
+
+TEST(Optimizer, HeavyTailPredictedEfficiencyGrowsWithAge) {
+  // Surviving longer is always good news under a decreasing hazard: the
+  // expected efficiency of the next interval increases monotonically.
+  const auto opt = make_optimizer(
+      std::make_shared<dist::Weibull>(0.43, 3409.0), 100.0);
+  double prev = 0.0;
+  for (double age : {0.0, 300.0, 1000.0, 3000.0, 10000.0, 100000.0}) {
+    const double e = opt.optimize(age).efficiency;
+    EXPECT_GT(e, prev) << "age=" << age;
+    prev = e;
+  }
+}
+
+TEST(Optimizer, ExponentialIntervalIndependentOfAge) {
+  const auto opt = make_optimizer(
+      std::make_shared<dist::Exponential>(1.0 / 5000.0), 100.0);
+  const double t0 = opt.optimize(0.0).work_time;
+  const double t1 = opt.optimize(50000.0).work_time;
+  EXPECT_NEAR(t0 / t1, 1.0, 1e-3);
+}
+
+TEST(Optimizer, UpperBoundFlagWhenFailureNegligible) {
+  // Mean availability of ~32 years: never checkpointing wins; the search
+  // pins to t_max and says so.
+  OptimizerOptions opts;
+  opts.t_max = 3600.0 * 24.0;
+  const auto opt = make_optimizer(
+      std::make_shared<dist::Exponential>(1e-9), 500.0, opts);
+  const auto r = opt.optimize(0.0);
+  EXPECT_TRUE(r.at_upper_bound);
+}
+
+TEST(Optimizer, RespectsSearchRange) {
+  OptimizerOptions opts;
+  opts.t_min = 100.0;
+  opts.t_max = 200.0;
+  const auto opt = make_optimizer(
+      std::make_shared<dist::Weibull>(0.43, 3409.0), 10.0, opts);
+  const auto r = opt.optimize(0.0);
+  EXPECT_GE(r.work_time, 100.0 * (1.0 - 1e-9));
+  EXPECT_LE(r.work_time, 200.0 * (1.0 + 1e-9));
+}
+
+TEST(Optimizer, RejectsBadOptions) {
+  OptimizerOptions opts;
+  opts.t_min = 0.0;
+  EXPECT_THROW(make_optimizer(std::make_shared<dist::Exponential>(1.0), 1.0,
+                              opts),
+               std::invalid_argument);
+  opts.t_min = 10.0;
+  opts.t_max = 5.0;
+  EXPECT_THROW(make_optimizer(std::make_shared<dist::Exponential>(1.0), 1.0,
+                              opts),
+               std::invalid_argument);
+}
+
+TEST(Optimizer, GammaEfficiencyConsistent) {
+  const auto opt = make_optimizer(
+      std::make_shared<dist::Weibull>(0.5, 1500.0), 250.0);
+  const auto r = opt.optimize(0.0);
+  EXPECT_NEAR(r.efficiency, r.work_time / r.gamma, 1e-12);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,93 @@
+#include "harvest/core/planner.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::core {
+namespace {
+
+std::vector<double> weibull_sample(std::size_t n, std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.weibull(0.43, 3409.0);
+  return xs;
+}
+
+TEST(ModelFamilyNames, RoundTrip) {
+  for (ModelFamily f : paper_families()) {
+    EXPECT_EQ(model_family_from_string(to_string(f)), f);
+  }
+  EXPECT_EQ(model_family_from_string("auto"), ModelFamily::kAutoAic);
+  EXPECT_THROW((void)model_family_from_string("gaussian"),
+               std::invalid_argument);
+}
+
+TEST(PaperFamilies, HasTheFourColumns) {
+  const auto fams = paper_families();
+  ASSERT_EQ(fams.size(), 4u);
+  EXPECT_EQ(fams[0], ModelFamily::kExponential);
+  EXPECT_EQ(fams[1], ModelFamily::kWeibull);
+  EXPECT_EQ(fams[2], ModelFamily::kHyperexp2);
+  EXPECT_EQ(fams[3], ModelFamily::kHyperexp3);
+}
+
+TEST(Planner, FitsEachFamily) {
+  const auto xs = weibull_sample(200, 1);
+  EXPECT_EQ(Planner::fit_model(xs, ModelFamily::kExponential)->name(),
+            "exponential");
+  EXPECT_EQ(Planner::fit_model(xs, ModelFamily::kWeibull)->name(), "weibull");
+  EXPECT_EQ(Planner::fit_model(xs, ModelFamily::kHyperexp2)->name(),
+            "hyperexp2");
+  EXPECT_EQ(Planner::fit_model(xs, ModelFamily::kHyperexp3)->name(),
+            "hyperexp3");
+}
+
+TEST(Planner, FitsExtendedFamilies) {
+  const auto xs = weibull_sample(200, 8);
+  EXPECT_EQ(Planner::fit_model(xs, ModelFamily::kLognormal)->name(),
+            "lognormal");
+  EXPECT_EQ(Planner::fit_model(xs, ModelFamily::kGamma)->name(), "gamma");
+  EXPECT_EQ(model_family_from_string("lognormal"), ModelFamily::kLognormal);
+  EXPECT_EQ(model_family_from_string("gamma"), ModelFamily::kGamma);
+  EXPECT_EQ(to_string(ModelFamily::kGamma), "gamma");
+}
+
+TEST(Planner, ExtendedFamiliesProduceUsableSchedules) {
+  const auto xs = weibull_sample(100, 9);
+  IntervalCosts costs;
+  costs.checkpoint = 100.0;
+  costs.recovery = 100.0;
+  for (ModelFamily f : {ModelFamily::kLognormal, ModelFamily::kGamma}) {
+    auto schedule = Planner::plan(xs, f, costs);
+    EXPECT_GT(schedule.entry(0).work_time, 0.0) << to_string(f);
+    EXPECT_GT(schedule.entry(0).efficiency, 0.0) << to_string(f);
+  }
+}
+
+TEST(Planner, AutoAicPicksWeibullOnWeibullData) {
+  const auto xs = weibull_sample(3000, 2);
+  EXPECT_EQ(Planner::fit_model(xs, ModelFamily::kAutoAic)->name(), "weibull");
+}
+
+TEST(Planner, PlanProducesUsableSchedule) {
+  const auto xs = weibull_sample(25, 3);  // the paper's training size
+  IntervalCosts costs;
+  costs.checkpoint = 100.0;
+  costs.recovery = 100.0;
+  auto schedule = Planner::plan(xs, ModelFamily::kWeibull, costs);
+  EXPECT_GT(schedule.entry(0).work_time, 0.0);
+  EXPECT_GT(schedule.entry(0).efficiency, 0.0);
+  EXPECT_LE(schedule.entry(0).efficiency, 1.0);
+}
+
+TEST(Planner, FitModelPropagatesFailures) {
+  const std::vector<double> degenerate = {7.0, 7.0, 7.0};
+  EXPECT_THROW((void)Planner::fit_model(degenerate, ModelFamily::kWeibull),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,143 @@
+#include "harvest/core/schedule.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::core {
+namespace {
+
+CheckpointSchedule make_schedule(dist::DistributionPtr d, double c,
+                                 ScheduleOptions opts = {}) {
+  IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = c;
+  return CheckpointSchedule(MarkovModel(std::move(d), costs), opts);
+}
+
+TEST(Schedule, ExponentialIsPeriodic) {
+  auto s = make_schedule(std::make_shared<dist::Exponential>(1.0 / 5000.0),
+                         100.0);
+  EXPECT_TRUE(s.is_periodic());
+  EXPECT_NEAR(s.entry(0).work_time / s.entry(7).work_time, 1.0, 1e-3);
+}
+
+TEST(Schedule, HeavyTailWeibullIsAperiodicAndEventuallyGrowing) {
+  auto s = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                         100.0);
+  EXPECT_FALSE(s.is_periodic());
+  // T_opt(age) is U-shaped near zero uptime, so early entries may shrink;
+  // once the hazard has decayed the intervals grow monotonically.
+  for (std::size_t i = 5; i < 12; ++i) {
+    EXPECT_GT(s.entry(i).work_time, s.entry(i - 1).work_time) << "i=" << i;
+  }
+  EXPECT_GT(s.entry(11).work_time, s.entry(0).work_time);
+  // Model-predicted efficiency improves with every survived interval.
+  for (std::size_t i = 1; i < 12; ++i) {
+    EXPECT_GT(s.entry(i).efficiency, s.entry(i - 1).efficiency) << "i=" << i;
+  }
+}
+
+TEST(Schedule, HyperexponentialConvergesToLongPhaseInterval) {
+  auto s = make_schedule(
+      std::make_shared<dist::Hyperexponential>(
+          std::vector<double>{0.6, 0.4},
+          std::vector<double>{1.0 / 300.0, 1.0 / 28800.0}),
+      100.0);
+  EXPECT_FALSE(s.is_periodic());
+  // Once uptime has outlived the short phase, the conditional law is the
+  // long phase's exponential, whose periodic optimum the schedule must
+  // approach.
+  auto limit = make_schedule(
+      std::make_shared<dist::Exponential>(1.0 / 28800.0), 100.0);
+  const double t_limit = limit.entry(0).work_time;
+  EXPECT_NEAR(s.entry(8).work_time / t_limit, 1.0, 0.05);
+  // And convergence is monotone from above here: early entries are larger
+  // because a (probably short-phase) machine will fail soon regardless.
+  EXPECT_GT(s.entry(0).work_time, s.entry(8).work_time);
+}
+
+TEST(Schedule, AgeRecurrenceHolds) {
+  const double c = 150.0;
+  auto s = make_schedule(std::make_shared<dist::Weibull>(0.5, 2000.0), c);
+  for (std::size_t i = 1; i < 6; ++i) {
+    const auto& prev = s.entry(i - 1);
+    const auto& cur = s.entry(i);
+    EXPECT_NEAR(cur.age, prev.age + prev.work_time + c, 1e-9);
+  }
+}
+
+TEST(Schedule, RecoveryLeadsSetsFirstAge) {
+  const double c = 200.0;
+  ScheduleOptions opts;
+  opts.recovery_leads = true;
+  auto s = make_schedule(std::make_shared<dist::Weibull>(0.5, 2000.0), c,
+                         opts);
+  EXPECT_DOUBLE_EQ(s.entry(0).age, c);  // recovery == checkpoint cost here
+
+  ScheduleOptions no_lead;
+  no_lead.recovery_leads = false;
+  auto s2 = make_schedule(std::make_shared<dist::Weibull>(0.5, 2000.0), c,
+                          no_lead);
+  EXPECT_DOUBLE_EQ(s2.entry(0).age, 0.0);
+}
+
+TEST(Schedule, InitialAgeShiftsSchedule) {
+  ScheduleOptions opts;
+  opts.initial_age = 10000.0;
+  opts.recovery_leads = false;
+  auto aged = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                            100.0, opts);
+  auto fresh = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                             100.0,
+                             []() {
+                               ScheduleOptions o;
+                               o.recovery_leads = false;
+                               return o;
+                             }());
+  // An old machine starts with a longer first interval.
+  EXPECT_GT(aged.entry(0).work_time, fresh.entry(0).work_time);
+}
+
+TEST(Schedule, LazyMemoization) {
+  auto s = make_schedule(std::make_shared<dist::Weibull>(0.5, 2000.0), 100.0);
+  EXPECT_EQ(s.computed(), 0u);
+  (void)s.entry(4);
+  EXPECT_EQ(s.computed(), 5u);
+  const double t4 = s.entry(4).work_time;
+  (void)s.entry(2);
+  EXPECT_EQ(s.computed(), 5u);  // no recomputation
+  EXPECT_DOUBLE_EQ(s.entry(4).work_time, t4);
+}
+
+TEST(Schedule, EntriesCarryModelPredictions) {
+  auto s = make_schedule(std::make_shared<dist::Weibull>(0.5, 2000.0), 100.0);
+  const auto& e = s.entry(0);
+  EXPECT_GT(e.gamma, e.work_time);
+  EXPECT_NEAR(e.efficiency, e.work_time / e.gamma, 1e-12);
+}
+
+TEST(Schedule, DisablingConditioningMakesAnyModelPeriodic) {
+  ScheduleOptions opts;
+  opts.condition_on_age = false;
+  auto s = make_schedule(std::make_shared<dist::Weibull>(0.43, 3409.0),
+                         100.0, opts);
+  EXPECT_TRUE(s.is_periodic());
+  EXPECT_DOUBLE_EQ(s.entry(0).work_time, s.entry(6).work_time);
+  EXPECT_DOUBLE_EQ(s.entry(0).age, s.entry(6).age);
+}
+
+TEST(Schedule, RejectsNegativeInitialAge) {
+  ScheduleOptions opts;
+  opts.initial_age = -1.0;
+  EXPECT_THROW(make_schedule(std::make_shared<dist::Exponential>(1.0), 1.0,
+                             opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,73 @@
+#include "harvest/core/sensitivity.hpp"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::core {
+namespace {
+
+dist::DistributionPtr paper_weibull() {
+  return std::make_shared<dist::Weibull>(0.43, 3409.0);
+}
+
+TEST(Sensitivity, EfficiencyCurveIsDecreasingInCost) {
+  const std::vector<double> costs = {50.0, 100.0, 250.0, 500.0, 1000.0};
+  const auto curve = efficiency_vs_cost(paper_weibull(), costs);
+  ASSERT_EQ(curve.size(), costs.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].efficiency, curve[i - 1].efficiency);
+    EXPECT_GT(curve[i].work_time, curve[i - 1].work_time);
+    EXPECT_DOUBLE_EQ(curve[i].cost, costs[i]);
+  }
+}
+
+TEST(Sensitivity, DerivativeIsNegativeAndMatchesCurveSlope) {
+  const double d = efficiency_cost_derivative(paper_weibull(), 200.0);
+  EXPECT_LT(d, 0.0);
+  // Secant check over the same +-5 % window.
+  const std::vector<double> costs = {190.0, 210.0};
+  const auto curve = efficiency_vs_cost(paper_weibull(), costs);
+  const double secant =
+      (curve[1].efficiency - curve[0].efficiency) / 20.0;
+  EXPECT_NEAR(d / secant, 1.0, 0.05);
+}
+
+TEST(Sensitivity, RobustnessRatioPeaksAtOptimum) {
+  IntervalCosts costs;
+  costs.checkpoint = 100.0;
+  costs.recovery = 100.0;
+  CheckpointOptimizer opt(MarkovModel(paper_weibull(), costs));
+  const double t_opt = opt.optimize(0.0).work_time;
+  EXPECT_NEAR(robustness_ratio(paper_weibull(), costs, t_opt), 1.0, 1e-3);
+  EXPECT_LT(robustness_ratio(paper_weibull(), costs, t_opt * 0.3), 1.0);
+  EXPECT_LT(robustness_ratio(paper_weibull(), costs, t_opt * 3.0), 1.0);
+}
+
+TEST(Sensitivity, OptimumIsFlatNearby) {
+  // The paper's "all models score similarly" effect requires a flat
+  // optimum: 30 % off in T should cost only a couple points.
+  IntervalCosts costs;
+  costs.checkpoint = 250.0;
+  costs.recovery = 250.0;
+  CheckpointOptimizer opt(MarkovModel(paper_weibull(), costs));
+  const double t_opt = opt.optimize(0.0).work_time;
+  EXPECT_GT(robustness_ratio(paper_weibull(), costs, t_opt * 1.3), 0.97);
+  EXPECT_GT(robustness_ratio(paper_weibull(), costs, t_opt * 0.7), 0.97);
+}
+
+TEST(Sensitivity, RejectsBadArguments) {
+  IntervalCosts costs;
+  EXPECT_THROW((void)efficiency_cost_derivative(nullptr, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)efficiency_cost_derivative(paper_weibull(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)robustness_ratio(paper_weibull(), costs, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

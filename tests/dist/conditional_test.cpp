@@ -1,0 +1,113 @@
+#include "harvest/dist/conditional.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/quadrature.hpp"
+
+namespace harvest::dist {
+namespace {
+
+TEST(Conditional, AgeZeroEqualsBase) {
+  const auto base = std::make_shared<Weibull>(0.43, 3409.0);
+  const Conditional c(base, 0.0);
+  for (double x : {1.0, 100.0, 5000.0}) {
+    EXPECT_NEAR(c.cdf(x), base->cdf(x), 1e-12);
+    EXPECT_NEAR(c.pdf(x), base->pdf(x), 1e-12);
+    EXPECT_NEAR(c.partial_expectation(x), base->partial_expectation(x), 1e-9);
+  }
+  EXPECT_NEAR(c.mean() / base->mean(), 1.0, 1e-6);
+}
+
+TEST(Conditional, MatchesPaperEq8Definition) {
+  const auto base = std::make_shared<Weibull>(0.6, 2000.0);
+  const double t = 750.0;
+  const Conditional c(base, t);
+  for (double x : {10.0, 500.0, 4000.0}) {
+    const double expected =
+        (base->cdf(t + x) - base->cdf(t)) / (1.0 - base->cdf(t));
+    EXPECT_NEAR(c.cdf(x), expected, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Conditional, ExponentialBaseIsUnchanged) {
+  const auto base = std::make_shared<Exponential>(0.01);
+  const Conditional c(base, 12345.0);
+  for (double x : {1.0, 50.0, 1000.0}) {
+    EXPECT_NEAR(c.cdf(x), base->cdf(x), 1e-12);
+  }
+  EXPECT_NEAR(c.mean() / base->mean(), 1.0, 1e-8);
+}
+
+TEST(Conditional, PdfIntegratesToCdf) {
+  const auto base = std::make_shared<Hyperexponential>(
+      std::vector<double>{0.7, 0.3},
+      std::vector<double>{1.0 / 200.0, 1.0 / 10000.0});
+  const Conditional c(base, 400.0);
+  const double x = 1500.0;
+  const double integral = numerics::integrate_adaptive_simpson(
+      [&](double u) { return c.pdf(u); }, 0.0, x, 1e-11);
+  EXPECT_NEAR(integral, c.cdf(x), 1e-8);
+}
+
+TEST(Conditional, PartialExpectationAgainstQuadrature) {
+  const auto base = std::make_shared<Weibull>(0.43, 3409.0);
+  const Conditional c(base, 2000.0);
+  for (double x : {100.0, 2000.0, 20000.0}) {
+    const double numeric = numerics::integrate_adaptive_simpson(
+        [&](double u) { return u * c.pdf(u); }, 0.0, x, 1e-10);
+    EXPECT_NEAR(c.partial_expectation(x) / numeric, 1.0, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(Conditional, MeanResidualLifeGrowsForHeavyTail) {
+  const auto base = std::make_shared<Weibull>(0.43, 3409.0);
+  double prev = 0.0;
+  for (double age : {0.0, 1000.0, 10000.0}) {
+    const Conditional c(base, age);
+    const double m = c.mean();
+    EXPECT_GT(m, prev) << "age=" << age;
+    prev = m;
+  }
+}
+
+TEST(Conditional, MeanResidualLifeShrinksForLightTail) {
+  const auto base = std::make_shared<Weibull>(2.0, 100.0);
+  const Conditional young(base, 0.0);
+  const Conditional old(base, 200.0);
+  EXPECT_LT(old.mean(), young.mean());
+}
+
+TEST(Conditional, NestedConditioningAddsAges) {
+  const auto base = std::make_shared<Weibull>(0.5, 1000.0);
+  const Conditional c(base, 300.0);
+  EXPECT_NEAR(c.conditional_survival(200.0, 50.0),
+              base->conditional_survival(500.0, 50.0), 1e-12);
+}
+
+TEST(Conditional, SamplesAreConsistentWithCdf) {
+  const auto base = std::make_shared<Weibull>(0.7, 500.0);
+  const Conditional c(base, 250.0);
+  numerics::Rng rng(31);
+  int below_median = 0;
+  const int n = 20000;
+  const double median = c.quantile(0.5);
+  for (int i = 0; i < n; ++i) {
+    if (c.sample(rng) <= median) ++below_median;
+  }
+  EXPECT_NEAR(below_median / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(Conditional, RejectsInvalidConstruction) {
+  EXPECT_THROW(Conditional(nullptr, 1.0), std::invalid_argument);
+  const auto base = std::make_shared<Exponential>(1.0);
+  EXPECT_THROW(Conditional(base, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::dist

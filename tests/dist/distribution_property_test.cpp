@@ -1,0 +1,288 @@
+// Parameterized property suite: every invariant here must hold for every
+// distribution family in the library. New families get these checks for
+// free by adding a factory entry.
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/conditional.hpp"
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/gamma.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/lognormal.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/quadrature.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::dist {
+namespace {
+
+struct Case {
+  std::string label;
+  std::function<DistributionPtr()> make;
+};
+
+std::vector<Case> all_cases() {
+  return {
+      {"exp_fast", [] { return std::make_shared<Exponential>(0.01); }},
+      {"exp_slow", [] { return std::make_shared<Exponential>(2.0); }},
+      {"weibull_paper", [] { return std::make_shared<Weibull>(0.43, 3409.0); }},
+      {"weibull_light", [] { return std::make_shared<Weibull>(2.5, 50.0); }},
+      {"weibull_exp_like", [] { return std::make_shared<Weibull>(1.0, 100.0); }},
+      {"hyper2",
+       [] {
+         return std::make_shared<Hyperexponential>(
+             std::vector<double>{0.6, 0.4},
+             std::vector<double>{1.0 / 300.0, 1.0 / 28800.0});
+       }},
+      {"hyper3",
+       [] {
+         return std::make_shared<Hyperexponential>(
+             std::vector<double>{0.5, 0.3, 0.2},
+             std::vector<double>{1.0 / 60.0, 1.0 / 1800.0, 1.0 / 40000.0});
+       }},
+      {"lognormal", [] { return std::make_shared<Lognormal>(7.0, 1.1); }},
+      {"gamma_heavy", [] { return std::make_shared<GammaDist>(0.6, 2000.0); }},
+      {"gamma_light", [] { return std::make_shared<GammaDist>(3.0, 50.0); }},
+      {"conditional_lognormal",
+       [] {
+         return std::make_shared<Conditional>(
+             std::make_shared<Lognormal>(7.0, 1.1), 800.0);
+       }},
+      {"conditional_gamma",
+       [] {
+         return std::make_shared<Conditional>(
+             std::make_shared<GammaDist>(0.6, 2000.0), 1200.0);
+       }},
+      {"conditional_weibull",
+       [] {
+         return std::make_shared<Conditional>(
+             std::make_shared<Weibull>(0.43, 3409.0), 1500.0);
+       }},
+      {"conditional_hyper",
+       [] {
+         return std::make_shared<Conditional>(
+             std::make_shared<Hyperexponential>(
+                 std::vector<double>{0.6, 0.4},
+                 std::vector<double>{1.0 / 300.0, 1.0 / 28800.0}),
+             900.0);
+       }},
+  };
+}
+
+class DistributionProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  DistributionPtr dist_ = GetParam().make();
+
+  // Probe points spanning the distribution's scale.
+  std::vector<double> probes() const {
+    const double m = dist_->mean();
+    return {1e-3 * m, 0.1 * m, 0.5 * m, m, 2.0 * m, 5.0 * m, 20.0 * m};
+  }
+};
+
+TEST_P(DistributionProperty, CdfIsMonotoneWithinUnitInterval) {
+  double prev = 0.0;
+  for (double x : probes()) {
+    const double f = dist_->cdf(x);
+    EXPECT_GE(f, prev - 1e-14) << "x=" << x;
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(dist_->cdf(0.0), 0.0);
+}
+
+TEST_P(DistributionProperty, SurvivalComplementsCdf) {
+  for (double x : probes()) {
+    EXPECT_NEAR(dist_->cdf(x) + dist_->survival(x), 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, PdfIsNonNegativeAndIntegratesToCdf) {
+  // Integrate from the 1 % quantile upward: heavy-tailed Weibulls have an
+  // integrable pdf singularity at 0 that adaptive Simpson cannot resolve.
+  const double m = dist_->mean();
+  const double lo = dist_->quantile(0.01);
+  for (double x : {0.2 * m, m, 3.0 * m}) {
+    if (x <= lo) continue;
+    const double integral = numerics::integrate_adaptive_simpson(
+        [&](double u) { return dist_->pdf(u); }, lo, x, 1e-11);
+    EXPECT_NEAR(integral, dist_->cdf(x) - dist_->cdf(lo), 5e-6) << "x=" << x;
+  }
+  for (double x : probes()) EXPECT_GE(dist_->pdf(x), 0.0);
+}
+
+TEST_P(DistributionProperty, PartialExpectationMatchesQuadrature) {
+  const double m = dist_->mean();
+  for (double x : {0.3 * m, m, 4.0 * m}) {
+    const double numeric = numerics::integrate_adaptive_simpson(
+        [&](double u) { return u * dist_->pdf(u); }, 1e-12, x, 1e-11);
+    EXPECT_NEAR(dist_->partial_expectation(x), numeric,
+                5e-6 * std::max(1.0, numeric))
+        << "x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, PartialExpectationIsMonotoneAndBoundedByMean) {
+  double prev = 0.0;
+  for (double x : probes()) {
+    const double pe = dist_->partial_expectation(x);
+    EXPECT_GE(pe, prev - 1e-12);
+    EXPECT_LE(pe, dist_->mean() * (1.0 + 1e-9));
+    prev = pe;
+  }
+  EXPECT_DOUBLE_EQ(dist_->partial_expectation(0.0), 0.0);
+}
+
+TEST_P(DistributionProperty, MeanEqualsIntegralOfSurvival) {
+  // E[X] = ∫₀^∞ S(x) dx for non-negative X; truncate far into the tail.
+  const double m = dist_->mean();
+  double upper = 200.0 * m;
+  // For very heavy tails extend further and accept the tail remainder.
+  const double integral = numerics::integrate_adaptive_simpson(
+      [&](double u) { return dist_->survival(u); }, 0.0, upper, 1e-9 * m);
+  EXPECT_NEAR(integral / m, 1.0, 0.02);
+}
+
+TEST_P(DistributionProperty, ConditionalSurvivalAtAgeZeroIsSurvival) {
+  for (double x : probes()) {
+    EXPECT_NEAR(dist_->conditional_survival(0.0, x), dist_->survival(x),
+                1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, ConditionalSurvivalDecreasesInHorizon) {
+  const double m = dist_->mean();
+  for (double age : {0.0, 0.5 * m, 2.0 * m}) {
+    double prev = 1.0;
+    for (double x : probes()) {
+      const double s = dist_->conditional_survival(age, x);
+      EXPECT_LE(s, prev + 1e-12) << "age=" << age << " x=" << x;
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      prev = s;
+    }
+    EXPECT_NEAR(dist_->conditional_survival(age, 0.0), 1.0, 1e-12);
+  }
+}
+
+TEST_P(DistributionProperty, ConditionalSurvivalMatchesSurvivalRatio) {
+  const double m = dist_->mean();
+  for (double age : {0.1 * m, m}) {
+    for (double x : {0.2 * m, 2.0 * m}) {
+      const double st = dist_->survival(age);
+      if (st < 1e-12) continue;
+      EXPECT_NEAR(dist_->conditional_survival(age, x),
+                  dist_->survival(age + x) / st, 1e-9)
+          << "age=" << age << " x=" << x;
+    }
+  }
+}
+
+TEST_P(DistributionProperty, QuantileInvertsCdf) {
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double x = dist_->quantile(p);
+    EXPECT_NEAR(dist_->cdf(x), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST_P(DistributionProperty, SampleMeanConvergesToModelMean) {
+  numerics::Rng rng(12345);
+  double sum = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) sum += dist_->sample(rng);
+  // Heavy tails converge slowly; 15 % is loose but catches gross breakage.
+  EXPECT_NEAR(sum / n / dist_->mean(), 1.0, 0.15);
+}
+
+TEST_P(DistributionProperty, SampleKsAgainstOwnCdf) {
+  numerics::Rng rng(777);
+  const int n = 5000;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist_->sample(rng);
+  std::sort(xs.begin(), xs.end());
+  double d = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double f = dist_->cdf(xs[i]);
+    d = std::max(d, std::fabs(f - static_cast<double>(i) / n));
+    d = std::max(d, std::fabs(static_cast<double>(i + 1) / n - f));
+  }
+  // KS 0.1% critical value ≈ 1.95 / sqrt(n) — loose enough that a fixed
+  // seed across many instantiations doesn't trip on multiple comparisons,
+  // tight enough to catch an actually-wrong sampler.
+  EXPECT_LT(d, 1.95 / std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(DistributionProperty, SecondMomentMatchesSurvivalIntegral) {
+  // E[X²] = 2∫₀^∞ t S(t) dt; integrate far enough into the tail that the
+  // remainder is negligible relative to the closed form.
+  const double m = dist_->mean();
+  const double m2 = dist_->second_moment();
+  double total = 0.0;
+  double lo = 0.0;
+  double width = m;
+  for (int i = 0; i < 60; ++i) {
+    total += numerics::integrate_adaptive_simpson(
+        [&](double t) { return t * dist_->survival(t); }, lo, lo + width,
+        1e-9 * m2);
+    lo += width;
+    if (dist_->survival(lo) * lo * lo < 1e-10 * m2) break;
+    width *= 1.8;
+  }
+  EXPECT_NEAR(2.0 * total / m2, 1.0, 2e-3);
+}
+
+TEST_P(DistributionProperty, VarianceIsNonNegativeAndCvSane) {
+  EXPECT_GE(dist_->variance(), 0.0);
+  const double cv = dist_->coefficient_of_variation();
+  EXPECT_GE(cv, 0.0);
+  EXPECT_NEAR(cv * cv, dist_->variance() / (dist_->mean() * dist_->mean()),
+              1e-9);
+}
+
+TEST_P(DistributionProperty, SampleVarianceConverges) {
+  numerics::Rng rng(2468);
+  const int n = 80000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = dist_->sample(rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  // Sample variance of heavy-tailed laws converges slowly: loose bound.
+  EXPECT_NEAR(var / dist_->variance(), 1.0, 0.5);
+}
+
+TEST_P(DistributionProperty, CloneBehavesIdentically) {
+  const auto copy = dist_->clone();
+  for (double x : probes()) {
+    EXPECT_DOUBLE_EQ(copy->cdf(x), dist_->cdf(x));
+  }
+  EXPECT_EQ(copy->name(), dist_->name());
+  EXPECT_EQ(copy->parameter_count(), dist_->parameter_count());
+}
+
+TEST_P(DistributionProperty, LogLikelihoodSumsLogPdf) {
+  const std::vector<double> xs = {0.5 * dist_->mean(), dist_->mean(),
+                                  1.5 * dist_->mean()};
+  double expected = 0.0;
+  for (double x : xs) expected += dist_->log_pdf(x);
+  EXPECT_NEAR(dist_->log_likelihood(xs), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DistributionProperty, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace harvest::dist

@@ -1,0 +1,64 @@
+#include "harvest/dist/empirical.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace harvest::dist {
+namespace {
+
+TEST(Empirical, CdfStepsThroughSample) {
+  const Empirical e({3.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(100.0), 1.0);
+}
+
+TEST(Empirical, MeanMatchesSample) {
+  const Empirical e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.mean(), 2.5);
+}
+
+TEST(Empirical, PartialExpectationExactPrefixSum) {
+  const Empirical e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.partial_expectation(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.partial_expectation(2.0), (1.0 + 2.0) / 4.0);
+  EXPECT_DOUBLE_EQ(e.partial_expectation(10.0), 2.5);
+}
+
+TEST(Empirical, QuantilePicksOrderStatistics) {
+  const Empirical e({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.99), 40.0);
+}
+
+TEST(Empirical, SampleBootstrapsFromData) {
+  const Empirical e({5.0, 7.0});
+  numerics::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = e.sample(rng);
+    EXPECT_TRUE(x == 5.0 || x == 7.0);
+  }
+}
+
+TEST(Empirical, PdfThrows) {
+  const Empirical e({1.0});
+  EXPECT_THROW((void)e.pdf(1.0), std::logic_error);
+}
+
+TEST(Empirical, RejectsBadSamples) {
+  EXPECT_THROW(Empirical({}), std::invalid_argument);
+  EXPECT_THROW(Empirical({-1.0}), std::invalid_argument);
+}
+
+TEST(Empirical, SortsUnorderedInput) {
+  const Empirical e({9.0, 1.0, 5.0});
+  const auto& s = e.sorted_sample();
+  EXPECT_EQ(s, (std::vector<double>{1.0, 5.0, 9.0}));
+}
+
+}  // namespace
+}  // namespace harvest::dist

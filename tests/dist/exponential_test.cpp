@@ -1,0 +1,93 @@
+#include "harvest/dist/exponential.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace harvest::dist {
+namespace {
+
+TEST(Exponential, BasicFunctions) {
+  const Exponential e(0.5);
+  EXPECT_DOUBLE_EQ(e.rate(), 0.5);
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+  EXPECT_NEAR(e.pdf(1.0), 0.5 * std::exp(-0.5), 1e-15);
+  EXPECT_NEAR(e.cdf(1.0), 1.0 - std::exp(-0.5), 1e-15);
+  EXPECT_NEAR(e.survival(1.0), std::exp(-0.5), 1e-15);
+  EXPECT_DOUBLE_EQ(e.hazard(3.0), 0.5);  // constant hazard
+}
+
+TEST(Exponential, FromMean) {
+  const Exponential e = Exponential::from_mean(100.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(e.rate(), 0.01);
+}
+
+TEST(Exponential, NegativeArgumentsAreZeroMass) {
+  const Exponential e(1.0);
+  EXPECT_DOUBLE_EQ(e.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.survival(-1.0), 1.0);
+}
+
+TEST(Exponential, QuantileInvertsCdf) {
+  const Exponential e(0.2);
+  for (double p : {0.01, 0.25, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(e.cdf(e.quantile(p)), p, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 0.0);
+}
+
+TEST(Exponential, Memorylessness) {
+  const Exponential e(0.1);
+  for (double age : {0.0, 5.0, 100.0, 1e4}) {
+    for (double x : {1.0, 10.0, 50.0}) {
+      EXPECT_NEAR(e.conditional_survival(age, x), e.survival(x), 1e-12)
+          << "age=" << age << " x=" << x;
+    }
+  }
+}
+
+TEST(Exponential, PartialExpectationClosedForm) {
+  const Exponential e(0.25);
+  // Against a hand-computed value: ∫₀⁴ t·0.25 e^{−0.25t} dt
+  //   = 4(1 − e^{−1}(1+1)/1)... use formula (1 − e^{-λx}(1+λx))/λ.
+  const double x = 4.0;
+  const double expected = (1.0 - std::exp(-1.0) * 2.0) / 0.25;
+  EXPECT_NEAR(e.partial_expectation(x), expected, 1e-12);
+  // Converges to the mean.
+  EXPECT_NEAR(e.partial_expectation(1e4), e.mean(), 1e-9);
+}
+
+TEST(Exponential, LogPdfMatchesLogOfPdf) {
+  const Exponential e(2.0);
+  for (double x : {0.1, 1.0, 10.0}) {
+    EXPECT_NEAR(e.log_pdf(x), std::log(e.pdf(x)), 1e-12);
+  }
+  EXPECT_TRUE(std::isinf(e.log_pdf(-1.0)));
+}
+
+TEST(Exponential, SampleMeanConverges) {
+  const Exponential e(0.01);
+  numerics::Rng rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += e.sample(rng);
+  EXPECT_NEAR(sum / n / e.mean(), 1.0, 0.02);
+}
+
+TEST(Exponential, RejectsBadRate) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(Exponential::from_mean(0.0), std::invalid_argument);
+}
+
+TEST(Exponential, CloneIsIndependentCopy) {
+  const Exponential e(3.0);
+  const auto c = e.clone();
+  EXPECT_EQ(c->name(), "exponential");
+  EXPECT_DOUBLE_EQ(c->mean(), e.mean());
+}
+
+}  // namespace
+}  // namespace harvest::dist

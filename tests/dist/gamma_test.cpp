@@ -1,0 +1,77 @@
+#include "harvest/dist/gamma.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/numerics/quadrature.hpp"
+
+namespace harvest::dist {
+namespace {
+
+TEST(GammaDist, ShapeOneIsExponential) {
+  const GammaDist g(1.0, 100.0);
+  const Exponential e(0.01);
+  for (double x : {1.0, 50.0, 300.0}) {
+    EXPECT_NEAR(g.pdf(x), e.pdf(x), 1e-12);
+    EXPECT_NEAR(g.cdf(x), e.cdf(x), 1e-12);
+    EXPECT_NEAR(g.partial_expectation(x), e.partial_expectation(x), 1e-9);
+  }
+}
+
+TEST(GammaDist, MeanIsShapeTimesScale) {
+  EXPECT_DOUBLE_EQ(GammaDist(2.5, 40.0).mean(), 100.0);
+}
+
+TEST(GammaDist, ErlangCdfClosedForm) {
+  // k = 2 (Erlang): F(x) = 1 − e^{−x/θ}(1 + x/θ).
+  const GammaDist g(2.0, 10.0);
+  for (double x : {5.0, 20.0, 100.0}) {
+    const double z = x / 10.0;
+    EXPECT_NEAR(g.cdf(x), 1.0 - std::exp(-z) * (1.0 + z), 1e-12);
+  }
+}
+
+TEST(GammaDist, PdfIntegratesToCdf) {
+  const GammaDist g(0.6, 1000.0);  // decreasing hazard like the paper's data
+  const double lo = g.quantile(0.01);
+  const double x = 2000.0;
+  const double integral = numerics::integrate_adaptive_simpson(
+      [&](double u) { return g.pdf(u); }, lo, x, 1e-11);
+  EXPECT_NEAR(integral, g.cdf(x) - g.cdf(lo), 1e-7);
+}
+
+TEST(GammaDist, PartialExpectationAgainstQuadrature) {
+  const GammaDist g(0.6, 1000.0);
+  for (double x : {50.0, 600.0, 5000.0}) {
+    const double numeric = numerics::integrate_adaptive_simpson(
+        [&](double u) { return u * g.pdf(u); }, 1e-12, x, 1e-9);
+    EXPECT_NEAR(g.partial_expectation(x) / numeric, 1.0, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(GammaDist, SampleMomentsMatchBothShapeRegimes) {
+  numerics::Rng rng(88);
+  for (double shape : {0.5, 3.0}) {  // exercises the boost path and not
+    const GammaDist g(shape, 200.0);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += g.sample(rng);
+    EXPECT_NEAR(sum / n / g.mean(), 1.0, 0.02) << "shape=" << shape;
+  }
+}
+
+TEST(GammaDist, DensityAtZeroEdgeCases) {
+  EXPECT_DOUBLE_EQ(GammaDist(2.0, 1.0).pdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(GammaDist(1.0, 4.0).pdf(0.0), 0.25);
+  EXPECT_TRUE(std::isinf(GammaDist(0.5, 1.0).pdf(0.0)));
+}
+
+TEST(GammaDist, RejectsBadParameters) {
+  EXPECT_THROW(GammaDist(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GammaDist(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::dist

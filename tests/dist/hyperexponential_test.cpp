@@ -1,0 +1,121 @@
+#include "harvest/dist/hyperexponential.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/numerics/quadrature.hpp"
+
+namespace harvest::dist {
+namespace {
+
+Hyperexponential bimodal() {
+  // Short office occupancies (mean 5 min) mixed with long overnight ones
+  // (mean 8 h).
+  return Hyperexponential({0.6, 0.4}, {1.0 / 300.0, 1.0 / 28800.0});
+}
+
+TEST(Hyperexponential, SinglePhaseReducesToExponential) {
+  const Hyperexponential h({1.0}, {0.5});
+  const Exponential e(0.5);
+  for (double x : {0.1, 1.0, 10.0}) {
+    EXPECT_NEAR(h.pdf(x), e.pdf(x), 1e-14);
+    EXPECT_NEAR(h.cdf(x), e.cdf(x), 1e-14);
+    EXPECT_NEAR(h.partial_expectation(x), e.partial_expectation(x), 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), e.mean());
+}
+
+TEST(Hyperexponential, MeanIsWeightedSum) {
+  const Hyperexponential h = bimodal();
+  EXPECT_NEAR(h.mean(), 0.6 * 300.0 + 0.4 * 28800.0, 1e-9);
+}
+
+TEST(Hyperexponential, CdfSurvivalComplement) {
+  const Hyperexponential h = bimodal();
+  for (double x : {1.0, 300.0, 5000.0, 1e5}) {
+    EXPECT_NEAR(h.cdf(x) + h.survival(x), 1.0, 1e-14);
+  }
+}
+
+TEST(Hyperexponential, ConditionalSurvivalMatchesPaperEq10) {
+  const Hyperexponential h = bimodal();
+  const double t = 1000.0;
+  const double x = 2000.0;
+  double num = 0.0;
+  double den = 0.0;
+  const auto& w = h.weights();
+  const auto& r = h.rates();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    num += w[i] * std::exp(-r[i] * (t + x));
+    den += w[i] * std::exp(-r[i] * t);
+  }
+  EXPECT_NEAR(h.conditional_survival(t, x), num / den, 1e-12);
+}
+
+TEST(Hyperexponential, AgeRevealsLongPhase) {
+  // A machine that has survived 2 hours is almost surely a "long" machine,
+  // so its conditional survival of another hour beats the unconditional.
+  const Hyperexponential h = bimodal();
+  EXPECT_GT(h.conditional_survival(7200.0, 3600.0), h.survival(3600.0));
+}
+
+TEST(Hyperexponential, ConditionalSurvivalStableAtExtremeAge) {
+  const Hyperexponential h = bimodal();
+  // At an age where the short phase has utterly underflowed, the ratio must
+  // converge to the long phase's survival, not NaN.
+  const double s = h.conditional_survival(1e6, 3600.0);
+  EXPECT_NEAR(s, std::exp(-3600.0 / 28800.0), 1e-9);
+}
+
+TEST(Hyperexponential, PartialExpectationAgainstQuadrature) {
+  const Hyperexponential h = bimodal();
+  for (double x : {50.0, 300.0, 10000.0}) {
+    const double numeric = numerics::integrate_adaptive_simpson(
+        [&](double t) { return t * h.pdf(t); }, 0.0, x, 1e-10);
+    EXPECT_NEAR(h.partial_expectation(x), numeric, 1e-7) << "x=" << x;
+  }
+}
+
+TEST(Hyperexponential, SampleMeanConverges) {
+  const Hyperexponential h = bimodal();
+  numerics::Rng rng(21);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += h.sample(rng);
+  EXPECT_NEAR(sum / n / h.mean(), 1.0, 0.02);
+}
+
+TEST(Hyperexponential, ParameterCountIs2kMinus1) {
+  EXPECT_EQ(bimodal().parameter_count(), 3);
+  const Hyperexponential h3({0.5, 0.3, 0.2}, {1.0, 0.1, 0.01});
+  EXPECT_EQ(h3.parameter_count(), 5);
+}
+
+TEST(Hyperexponential, NameEncodesPhaseCount) {
+  EXPECT_EQ(bimodal().name(), "hyperexp2");
+  const Hyperexponential h3({0.5, 0.3, 0.2}, {1.0, 0.1, 0.01});
+  EXPECT_EQ(h3.name(), "hyperexp3");
+}
+
+TEST(Hyperexponential, WeightsRenormalizedExactly) {
+  const Hyperexponential h({0.3000001, 0.6999999}, {1.0, 2.0});
+  double sum = 0.0;
+  for (double w : h.weights()) sum += w;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Hyperexponential, RejectsInvalidConstruction) {
+  EXPECT_THROW(Hyperexponential({}, {}), std::invalid_argument);
+  EXPECT_THROW(Hyperexponential({0.5, 0.5}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Hyperexponential({0.5, 0.4}, {1.0, 2.0}),
+               std::invalid_argument);  // weights sum to 0.9
+  EXPECT_THROW(Hyperexponential({0.5, 0.5}, {1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Hyperexponential({-0.5, 1.5}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::dist

@@ -1,0 +1,71 @@
+#include "harvest/dist/lognormal.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/quadrature.hpp"
+
+namespace harvest::dist {
+namespace {
+
+TEST(Lognormal, MomentsMatchClosedForm) {
+  const Lognormal ln(7.0, 1.2);
+  EXPECT_NEAR(ln.mean(), std::exp(7.0 + 0.5 * 1.44), 1e-9);
+}
+
+TEST(Lognormal, MedianIsExpMu) {
+  const Lognormal ln(3.0, 0.8);
+  EXPECT_NEAR(ln.quantile(0.5), std::exp(3.0), 1e-8);
+  EXPECT_NEAR(ln.cdf(std::exp(3.0)), 0.5, 1e-12);
+}
+
+TEST(Lognormal, PdfIntegratesToCdf) {
+  const Lognormal ln(1.0, 0.5);
+  const double x = 5.0;
+  const double integral = numerics::integrate_adaptive_simpson(
+      [&](double u) { return ln.pdf(u); }, 1e-9, x, 1e-11);
+  EXPECT_NEAR(integral, ln.cdf(x), 1e-8);
+}
+
+TEST(Lognormal, PartialExpectationAgainstQuadrature) {
+  const Lognormal ln(6.0, 1.0);
+  for (double x : {100.0, 500.0, 5000.0}) {
+    const double numeric = numerics::integrate_adaptive_simpson(
+        [&](double u) { return u * ln.pdf(u); }, 1e-9, x, 1e-9);
+    EXPECT_NEAR(ln.partial_expectation(x) / std::max(numeric, 1e-300), 1.0,
+                1e-5)
+        << "x=" << x;
+  }
+}
+
+TEST(Lognormal, QuantileRoundTrips) {
+  const Lognormal ln(2.0, 0.3);
+  for (double p : {0.01, 0.25, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(ln.cdf(ln.quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(Lognormal, SampleMeanConverges) {
+  const Lognormal ln(5.0, 0.6);
+  numerics::Rng rng(77);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += ln.sample(rng);
+  EXPECT_NEAR(sum / n / ln.mean(), 1.0, 0.02);
+}
+
+TEST(Lognormal, NegativeArgumentsAreZeroMass) {
+  const Lognormal ln(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(ln.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ln.cdf(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(ln.log_pdf(0.0)));
+}
+
+TEST(Lognormal, RejectsBadParameters) {
+  EXPECT_THROW(Lognormal(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Lognormal(0.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::dist

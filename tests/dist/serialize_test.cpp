@@ -1,0 +1,81 @@
+#include "harvest/dist/serialize.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/conditional.hpp"
+#include "harvest/dist/empirical.hpp"
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/gamma.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/lognormal.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::dist {
+namespace {
+
+void expect_same_law(const Distribution& a, const Distribution& b) {
+  EXPECT_EQ(a.name(), b.name());
+  for (double x : {0.1 * a.mean(), a.mean(), 5.0 * a.mean()}) {
+    EXPECT_DOUBLE_EQ(a.cdf(x), b.cdf(x)) << "x=" << x;
+  }
+}
+
+TEST(Serialize, RoundTripsEveryParametricFamily) {
+  const std::vector<DistributionPtr> models = {
+      std::make_shared<Exponential>(0.0123456789),
+      std::make_shared<Weibull>(0.43, 3409.0),
+      std::make_shared<Hyperexponential>(
+          std::vector<double>{0.6, 0.4},
+          std::vector<double>{1.0 / 300.0, 1.0 / 28800.0}),
+      std::make_shared<Hyperexponential>(
+          std::vector<double>{0.5, 0.3, 0.2},
+          std::vector<double>{0.01, 0.001, 0.0001}),
+      std::make_shared<Lognormal>(6.5, 1.2),
+      std::make_shared<GammaDist>(0.6, 2000.0),
+  };
+  for (const auto& m : models) {
+    const auto restored = deserialize(serialize(*m));
+    expect_same_law(*m, *restored);
+  }
+}
+
+TEST(Serialize, ExactDoubleRoundTrip) {
+  // 17 significant digits must reproduce the bits.
+  const Weibull w(0.4300000000000001, 3409.000000000002);
+  const auto r = deserialize(serialize(w));
+  const auto* rw = dynamic_cast<const Weibull*>(r.get());
+  ASSERT_NE(rw, nullptr);
+  EXPECT_DOUBLE_EQ(rw->shape(), w.shape());
+  EXPECT_DOUBLE_EQ(rw->scale(), w.scale());
+}
+
+TEST(Serialize, FormatIsStable) {
+  EXPECT_EQ(serialize(Exponential(0.5)), "exponential 0.5");
+  EXPECT_EQ(serialize(Weibull(2.0, 100.0)), "weibull 2 100");
+}
+
+TEST(Serialize, RejectsNonSerializableKinds) {
+  const Empirical e({1.0, 2.0});
+  EXPECT_THROW((void)serialize(e), std::invalid_argument);
+  const Conditional c(std::make_shared<Exponential>(1.0), 5.0);
+  EXPECT_THROW((void)serialize(c), std::invalid_argument);
+}
+
+TEST(Deserialize, RejectsMalformedInput) {
+  EXPECT_THROW((void)deserialize(""), std::invalid_argument);
+  EXPECT_THROW((void)deserialize("gaussian 0 1"), std::invalid_argument);
+  EXPECT_THROW((void)deserialize("weibull 0.5"), std::invalid_argument);
+  EXPECT_THROW((void)deserialize("exponential abc"), std::invalid_argument);
+  EXPECT_THROW((void)deserialize("hyperexp 2 0.5 1.0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)deserialize("hyperexp 0"), std::invalid_argument);
+  // Parameter validation still applies after parsing.
+  EXPECT_THROW((void)deserialize("weibull -1 100"), std::invalid_argument);
+  EXPECT_THROW((void)deserialize("hyperexp 2 0.9 1.0 0.9 2.0"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::dist

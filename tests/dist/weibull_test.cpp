@@ -1,0 +1,122 @@
+#include "harvest/dist/weibull.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/numerics/quadrature.hpp"
+
+namespace harvest::dist {
+namespace {
+
+// The paper's published exemplar fit (§5.1).
+constexpr double kPaperShape = 0.43;
+constexpr double kPaperScale = 3409.0;
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(1.0, 4.0);
+  const Exponential e(0.25);
+  for (double x : {0.1, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(w.pdf(x), e.pdf(x), 1e-12);
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+  }
+  EXPECT_NEAR(w.mean(), e.mean(), 1e-12);
+}
+
+TEST(Weibull, MeanMatchesGammaFormula) {
+  const Weibull w(kPaperShape, kPaperScale);
+  const double expected =
+      kPaperScale * std::exp(std::lgamma(1.0 + 1.0 / kPaperShape));
+  EXPECT_NEAR(w.mean(), expected, 1e-6);
+}
+
+TEST(Weibull, HazardDecreasesForShapeBelowOne) {
+  const Weibull w(kPaperShape, kPaperScale);
+  double prev = w.hazard(10.0);
+  for (double x : {100.0, 1000.0, 10000.0}) {
+    const double h = w.hazard(x);
+    EXPECT_LT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Weibull, HazardIncreasesForShapeAboveOne) {
+  const Weibull w(2.0, 100.0);
+  EXPECT_LT(w.hazard(10.0), w.hazard(100.0));
+}
+
+TEST(Weibull, ConditionalSurvivalMatchesPaperEq9) {
+  const Weibull w(kPaperShape, kPaperScale);
+  const double t = 500.0;
+  const double x = 1000.0;
+  const double expected = std::exp(std::pow(t / kPaperScale, kPaperShape) -
+                                   std::pow((t + x) / kPaperScale,
+                                            kPaperShape));
+  EXPECT_NEAR(w.conditional_survival(t, x), expected, 1e-12);
+}
+
+TEST(Weibull, HeavyTailConditionalSurvivalGrowsWithAge) {
+  // Decreasing hazard: the longer a machine has been up, the more likely it
+  // survives the next hour. This is what makes the schedule aperiodic.
+  const Weibull w(kPaperShape, kPaperScale);
+  const double x = 3600.0;
+  double prev = 0.0;
+  for (double age : {0.0, 600.0, 3600.0, 36000.0}) {
+    const double s = w.conditional_survival(age, x);
+    EXPECT_GT(s, prev) << "age=" << age;
+    prev = s;
+  }
+}
+
+TEST(Weibull, PartialExpectationAgainstQuadrature) {
+  const Weibull w(kPaperShape, kPaperScale);
+  for (double x : {10.0, 500.0, 3409.0, 50000.0}) {
+    const double numeric = numerics::integrate_adaptive_simpson(
+        [&](double t) { return t * w.pdf(t); }, 1e-9, x, 1e-10);
+    EXPECT_NEAR(w.partial_expectation(x) / numeric, 1.0, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(Weibull, PartialExpectationConvergesToMean) {
+  const Weibull w(0.7, 1000.0);
+  EXPECT_NEAR(w.partial_expectation(1e9) / w.mean(), 1.0, 1e-9);
+}
+
+TEST(Weibull, QuantileInvertsCdf) {
+  const Weibull w(kPaperShape, kPaperScale);
+  for (double p : {0.01, 0.3, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Weibull, DensityAtZeroEdgeCases) {
+  EXPECT_DOUBLE_EQ(Weibull(2.0, 1.0).pdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Weibull(1.0, 2.0).pdf(0.0), 0.5);
+  EXPECT_TRUE(std::isinf(Weibull(0.5, 1.0).pdf(0.0)));
+}
+
+TEST(Weibull, SampleMomentsMatch) {
+  const Weibull w(kPaperShape, kPaperScale);
+  numerics::Rng rng(7);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += w.sample(rng);
+  EXPECT_NEAR(sum / n / w.mean(), 1.0, 0.05);
+}
+
+TEST(Weibull, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Weibull, DescribeMentionsParameters) {
+  const Weibull w(0.43, 3409.0);
+  const std::string d = w.describe();
+  EXPECT_NE(d.find("0.43"), std::string::npos);
+  EXPECT_NE(d.find("3409"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harvest::dist

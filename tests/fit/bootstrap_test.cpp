@@ -1,0 +1,100 @@
+#include "harvest/fit/bootstrap.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/fit/mle_exponential.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+ParameterFitter exponential_fitter() {
+  return [](std::span<const double> xs) {
+    return std::vector<double>{fit_exponential_mle(xs).rate()};
+  };
+}
+
+ParameterFitter weibull_fitter() {
+  return [](std::span<const double> xs) {
+    const auto w = fit_weibull_mle(xs);
+    return std::vector<double>{w.shape(), w.scale()};
+  };
+}
+
+TEST(Bootstrap, IntervalCoversTruthForExponential) {
+  numerics::Rng rng(1);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.exponential(0.002);
+  const auto r = bootstrap_parameters(xs, exponential_fitter());
+  ASSERT_EQ(r.parameters.size(), 1u);
+  const auto& ci = r.parameters[0];
+  EXPECT_LT(ci.lo, 0.002);
+  EXPECT_GT(ci.hi, 0.002);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+  EXPECT_EQ(r.replicates_failed, 0);
+}
+
+TEST(Bootstrap, WeibullTwoParameterIntervals) {
+  numerics::Rng rng(2);
+  std::vector<double> xs(150);
+  for (auto& x : xs) x = rng.weibull(0.43, 3409.0);
+  const auto r = bootstrap_parameters(xs, weibull_fitter());
+  ASSERT_EQ(r.parameters.size(), 2u);
+  EXPECT_LT(r.parameters[0].lo, 0.43);
+  EXPECT_GT(r.parameters[0].hi, 0.43);
+  EXPECT_LT(r.parameters[1].lo, 3409.0);
+  EXPECT_GT(r.parameters[1].hi, 3409.0);
+}
+
+TEST(Bootstrap, SmallerSamplesGiveWiderIntervals) {
+  numerics::Rng rng(3);
+  std::vector<double> big(400);
+  for (auto& x : big) x = rng.weibull(0.5, 1000.0);
+  const std::vector<double> small(big.begin(), big.begin() + 25);
+  BootstrapOptions opts;
+  opts.replicates = 300;
+  const auto wide = bootstrap_parameters(small, weibull_fitter(), opts);
+  const auto narrow = bootstrap_parameters(big, weibull_fitter(), opts);
+  EXPECT_GT(wide.parameters[0].hi - wide.parameters[0].lo,
+            narrow.parameters[0].hi - narrow.parameters[0].lo);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  numerics::Rng rng(4);
+  std::vector<double> xs(60);
+  for (auto& x : xs) x = rng.exponential(0.01);
+  const auto a = bootstrap_parameters(xs, exponential_fitter());
+  const auto b = bootstrap_parameters(xs, exponential_fitter());
+  EXPECT_DOUBLE_EQ(a.parameters[0].lo, b.parameters[0].lo);
+  EXPECT_DOUBLE_EQ(a.parameters[0].hi, b.parameters[0].hi);
+}
+
+TEST(Bootstrap, CountsFailedReplicates) {
+  // A fitter that rejects resamples dominated by a single repeated value:
+  // with a 3-point sample many resamples are degenerate, but not most.
+  numerics::Rng rng(5);
+  std::vector<double> xs = {10.0, 20.0, 40.0, 80.0};
+  const auto r = bootstrap_parameters(xs, weibull_fitter());
+  // Some resamples are all-identical and the Weibull fitter throws on them.
+  EXPECT_GT(r.replicates_failed, 0);
+  EXPECT_GT(r.replicates_used, r.replicates_failed);
+}
+
+TEST(Bootstrap, RejectsBadInputs) {
+  const std::vector<double> xs = {1.0, 2.0};
+  BootstrapOptions opts;
+  opts.replicates = 5;
+  EXPECT_THROW(
+      (void)bootstrap_parameters(xs, exponential_fitter(), opts),
+      std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_parameters(std::vector<double>{},
+                                          exponential_fitter()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::fit

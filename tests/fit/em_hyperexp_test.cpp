@@ -1,0 +1,145 @@
+#include "harvest/fit/em_hyperexp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+std::vector<double> bimodal_sample(std::size_t n, std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    x = (rng.uniform() < 0.6) ? rng.exponential(1.0 / 300.0)
+                              : rng.exponential(1.0 / 28800.0);
+  }
+  return xs;
+}
+
+TEST(EmHyperexp, LogLikelihoodIsMonotone) {
+  const auto xs = bimodal_sample(2000, 11);
+  const auto r = fit_hyperexp_em(xs, 2);
+  ASSERT_GE(r.loglik_trace.size(), 2u);
+  for (std::size_t i = 1; i < r.loglik_trace.size(); ++i) {
+    EXPECT_GE(r.loglik_trace[i], r.loglik_trace[i - 1] - 1e-7)
+        << "iteration " << i;
+  }
+}
+
+TEST(EmHyperexp, RecoversBimodalStructure) {
+  const auto xs = bimodal_sample(20000, 12);
+  const auto r = fit_hyperexp_em(xs, 2);
+  EXPECT_TRUE(r.converged);
+  auto rates = r.model.rates();
+  auto weights = r.model.weights();
+  // Order phases fast-to-slow.
+  if (rates[0] < rates[1]) {
+    std::swap(rates[0], rates[1]);
+    std::swap(weights[0], weights[1]);
+  }
+  EXPECT_NEAR(1.0 / rates[0] / 300.0, 1.0, 0.15);
+  EXPECT_NEAR(1.0 / rates[1] / 28800.0, 1.0, 0.15);
+  EXPECT_NEAR(weights[0], 0.6, 0.05);
+}
+
+TEST(EmHyperexp, MeanIsPreservedApproximately) {
+  const auto xs = bimodal_sample(10000, 13);
+  double sample_mean = 0.0;
+  for (double x : xs) sample_mean += x;
+  sample_mean /= static_cast<double>(xs.size());
+  const auto r = fit_hyperexp_em(xs, 2);
+  EXPECT_NEAR(r.model.mean() / sample_mean, 1.0, 0.02);
+}
+
+TEST(EmHyperexp, SinglePhaseMatchesExponentialMle) {
+  const auto xs = bimodal_sample(5000, 14);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  const auto r = fit_hyperexp_em(xs, 1);
+  EXPECT_NEAR(1.0 / r.model.rates()[0] / mean, 1.0, 1e-6);
+}
+
+TEST(EmHyperexp, BeatsExponentialOnBimodalData) {
+  const auto xs = bimodal_sample(5000, 15);
+  const auto h2 = fit_hyperexp_em(xs, 2);
+  const auto h1 = fit_hyperexp_em(xs, 1);
+  EXPECT_GT(h2.log_likelihood, h1.log_likelihood + 100.0);
+}
+
+TEST(EmHyperexp, ThreePhasesAtLeastAsGoodAsTwo) {
+  const auto xs = bimodal_sample(3000, 16);
+  const auto h2 = fit_hyperexp_em(xs, 2);
+  const auto h3 = fit_hyperexp_em(xs, 3);
+  EXPECT_GE(h3.log_likelihood, h2.log_likelihood - 1.0);
+}
+
+TEST(EmHyperexp, Fits25ObservationsLikeThePaper) {
+  const auto xs = bimodal_sample(25, 17);
+  const auto r2 = fit_hyperexp_em(xs, 2);
+  const auto r3 = fit_hyperexp_em(xs, 3);
+  EXPECT_EQ(r2.model.phases(), 2u);
+  EXPECT_EQ(r3.model.phases(), 3u);
+  EXPECT_TRUE(std::isfinite(r2.log_likelihood));
+  EXPECT_TRUE(std::isfinite(r3.log_likelihood));
+}
+
+TEST(EmHyperexp, HandlesZerosViaFloor) {
+  std::vector<double> xs = bimodal_sample(100, 18);
+  xs[0] = 0.0;
+  xs[50] = 0.0;
+  const auto r = fit_hyperexp_em(xs, 2);
+  EXPECT_TRUE(std::isfinite(r.log_likelihood));
+}
+
+TEST(EmHyperexp, RejectsBadInputs) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)fit_hyperexp_em(xs, 0), std::invalid_argument);
+  EXPECT_THROW((void)fit_hyperexp_em(xs, 4), std::invalid_argument);
+  EXPECT_THROW((void)fit_hyperexp_em(std::vector<double>{-1.0, 1.0}, 1),
+               std::invalid_argument);
+}
+
+TEST(EmHyperexp, RestartsNeverWorsenLikelihood) {
+  const auto xs = bimodal_sample(400, 21);
+  EmOptions single;
+  single.restarts = 1;
+  EmOptions multi;
+  multi.restarts = 6;
+  const auto a = fit_hyperexp_em(xs, 3, single);
+  const auto b = fit_hyperexp_em(xs, 3, multi);
+  EXPECT_GE(b.log_likelihood, a.log_likelihood - 1e-9);
+}
+
+TEST(EmHyperexp, RestartsAreDeterministicGivenSeed) {
+  const auto xs = bimodal_sample(300, 22);
+  EmOptions opts;
+  opts.restarts = 4;
+  const auto a = fit_hyperexp_em(xs, 2, opts);
+  const auto b = fit_hyperexp_em(xs, 2, opts);
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+  EXPECT_EQ(a.model.rates(), b.model.rates());
+}
+
+TEST(EmHyperexp, RejectsZeroRestarts) {
+  const auto xs = bimodal_sample(50, 23);
+  EmOptions opts;
+  opts.restarts = 0;
+  EXPECT_THROW((void)fit_hyperexp_em(xs, 2, opts), std::invalid_argument);
+}
+
+TEST(EmHyperexp, RespectsIterationCap) {
+  EmOptions opts;
+  opts.max_iterations = 3;
+  const auto xs = bimodal_sample(500, 19);
+  const auto r = fit_hyperexp_em(xs, 2, opts);
+  EXPECT_LE(r.iterations, 3);
+}
+
+}  // namespace
+}  // namespace harvest::fit

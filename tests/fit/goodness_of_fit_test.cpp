@@ -1,0 +1,127 @@
+#include "harvest/fit/goodness_of_fit.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+TEST(KolmogorovTail, BoundaryBehavior) {
+  EXPECT_DOUBLE_EQ(kolmogorov_tail(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_tail(10.0), 0.0, 1e-12);
+  // Known value: Q(1.36) ≈ 0.049 (the classic 5% critical point).
+  EXPECT_NEAR(kolmogorov_tail(1.36), 0.049, 0.002);
+}
+
+TEST(KsTest, AcceptsCorrectHypothesis) {
+  const dist::Exponential e(0.01);
+  numerics::Rng rng(1);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = e.sample(rng);
+  const auto r = ks_test(xs, e);
+  EXPECT_LT(r.statistic, 0.04);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(KsTest, RejectsWrongHypothesis) {
+  // Heavy-tailed Weibull data vs an exponential with the same mean — the
+  // paper's central misfit scenario.
+  const dist::Weibull truth(0.43, 3409.0);
+  numerics::Rng rng(2);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = truth.sample(rng);
+  const dist::Exponential wrong = dist::Exponential::from_mean(truth.mean());
+  const auto r = ks_test(xs, wrong);
+  EXPECT_GT(r.statistic, 0.15);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, CorrectModelBeatsWrongModel) {
+  const dist::Weibull truth(0.5, 1000.0);
+  numerics::Rng rng(3);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = truth.sample(rng);
+  const dist::Exponential wrong = dist::Exponential::from_mean(truth.mean());
+  EXPECT_LT(ks_test(xs, truth).statistic, ks_test(xs, wrong).statistic);
+}
+
+TEST(KsTest, RejectsEmptySample) {
+  const dist::Exponential e(1.0);
+  EXPECT_THROW((void)ks_test(std::vector<double>{}, e), std::invalid_argument);
+}
+
+TEST(KsTwoSample, AcceptsSameLaw) {
+  const dist::Weibull w(0.5, 1000.0);
+  numerics::Rng rng(6);
+  std::vector<double> a(1500);
+  std::vector<double> b(1500);
+  for (auto& x : a) x = w.sample(rng);
+  for (auto& x : b) x = w.sample(rng);
+  const auto r = ks_two_sample(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(KsTwoSample, RejectsDifferentLaws) {
+  const dist::Weibull heavy(0.43, 3409.0);
+  numerics::Rng rng(7);
+  std::vector<double> a(1500);
+  std::vector<double> b(1500);
+  for (auto& x : a) x = heavy.sample(rng);
+  const dist::Exponential e = dist::Exponential::from_mean(heavy.mean());
+  for (auto& x : b) x = e.sample(rng);
+  const auto r = ks_two_sample(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.statistic, 0.1);
+}
+
+TEST(KsTwoSample, SymmetricInArguments) {
+  numerics::Rng rng(8);
+  std::vector<double> a(200);
+  std::vector<double> b(350);
+  for (auto& x : a) x = rng.exponential(0.01);
+  for (auto& x : b) x = rng.exponential(0.02);
+  const auto r1 = ks_two_sample(a, b);
+  const auto r2 = ks_two_sample(b, a);
+  EXPECT_DOUBLE_EQ(r1.statistic, r2.statistic);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+}
+
+TEST(KsTwoSample, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const auto r = ks_two_sample(xs, xs);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsTwoSample, RejectsEmpty) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)ks_two_sample(xs, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(AndersonDarling, SmallerForCorrectModel) {
+  const dist::Weibull truth(0.5, 1000.0);
+  numerics::Rng rng(4);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = truth.sample(rng);
+  const dist::Exponential wrong = dist::Exponential::from_mean(truth.mean());
+  EXPECT_LT(anderson_darling(xs, truth), anderson_darling(xs, wrong));
+}
+
+TEST(AndersonDarling, NearCriticalRangeForTrueModel) {
+  const dist::Exponential e(2.0);
+  numerics::Rng rng(5);
+  std::vector<double> xs(3000);
+  for (auto& x : xs) x = e.sample(rng);
+  const double a2 = anderson_darling(xs, e);
+  EXPECT_GT(a2, 0.0);
+  EXPECT_LT(a2, 2.5);  // 5% critical value for a fully specified model ≈ 2.49
+}
+
+}  // namespace
+}  // namespace harvest::fit

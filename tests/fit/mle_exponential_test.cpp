@@ -1,0 +1,63 @@
+#include "harvest/fit/mle_exponential.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+TEST(ExponentialMle, RateIsReciprocalOfSampleMean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};  // mean 2.5
+  const auto e = fit_exponential_mle(xs);
+  EXPECT_DOUBLE_EQ(e.rate(), 0.4);
+  EXPECT_DOUBLE_EQ(e.mean(), 2.5);
+}
+
+TEST(ExponentialMle, RecoversTrueRateFromLargeSample) {
+  numerics::Rng rng(5);
+  const double lambda = 1.0 / 3600.0;
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.exponential(lambda);
+  const auto e = fit_exponential_mle(xs);
+  EXPECT_NEAR(e.rate() / lambda, 1.0, 0.03);
+}
+
+TEST(ExponentialMle, SmallSampleStillFits) {
+  // The paper fits from just 25 observations.
+  numerics::Rng rng(6);
+  std::vector<double> xs(25);
+  for (auto& x : xs) x = rng.exponential(0.001);
+  const auto e = fit_exponential_mle(xs);
+  EXPECT_NEAR(e.rate() / 0.001, 1.0, 0.6);
+}
+
+TEST(ExponentialMle, ToleratesZeros) {
+  const std::vector<double> xs = {0.0, 2.0, 4.0};
+  const auto e = fit_exponential_mle(xs);
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+}
+
+TEST(ExponentialMle, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)fit_exponential_mle(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_exponential_mle(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_exponential_mle(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(ExponentialMle, MaximizesLikelihoodLocally) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const auto e = fit_exponential_mle(xs);
+  const double ll_hat = e.log_likelihood(xs);
+  for (double factor : {0.8, 0.9, 1.1, 1.2}) {
+    const dist::Exponential other(e.rate() * factor);
+    EXPECT_LT(other.log_likelihood(xs), ll_hat) << "factor=" << factor;
+  }
+}
+
+}  // namespace
+}  // namespace harvest::fit

@@ -1,0 +1,78 @@
+#include "harvest/fit/mle_gamma.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/gamma.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/numerics/special_functions.hpp"
+
+namespace harvest::fit {
+namespace {
+
+std::vector<double> gamma_sample(double shape, double scale, std::size_t n,
+                                 std::uint64_t seed) {
+  const dist::GammaDist g(shape, scale);
+  numerics::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = g.sample(rng);
+  return xs;
+}
+
+TEST(GammaMle, RecoversHeavyShape) {
+  const auto xs = gamma_sample(0.6, 2000.0, 30000, 1);
+  const auto g = fit_gamma_mle(xs);
+  EXPECT_NEAR(g.shape() / 0.6, 1.0, 0.03);
+  EXPECT_NEAR(g.scale() / 2000.0, 1.0, 0.04);
+}
+
+TEST(GammaMle, RecoversLightShape) {
+  const auto xs = gamma_sample(4.0, 50.0, 30000, 2);
+  const auto g = fit_gamma_mle(xs);
+  EXPECT_NEAR(g.shape() / 4.0, 1.0, 0.03);
+  EXPECT_NEAR(g.scale() / 50.0, 1.0, 0.04);
+}
+
+TEST(GammaMle, SatisfiesScoreEquation) {
+  const auto xs = gamma_sample(1.3, 700.0, 3000, 3);
+  const auto g = fit_gamma_mle(xs);
+  double mean = 0.0;
+  double mean_log = 0.0;
+  for (double x : xs) {
+    mean += x;
+    mean_log += std::log(x);
+  }
+  mean /= static_cast<double>(xs.size());
+  mean_log /= static_cast<double>(xs.size());
+  // ln k − ψ(k) = ln(mean) − mean(ln x)
+  EXPECT_NEAR(std::log(g.shape()) - numerics::digamma(g.shape()),
+              std::log(mean) - mean_log, 1e-9);
+  // Scale ties to the mean exactly.
+  EXPECT_NEAR(g.shape() * g.scale(), mean, 1e-9);
+}
+
+TEST(GammaMle, MaximizesLikelihoodLocally) {
+  const auto xs = gamma_sample(0.8, 1000.0, 800, 4);
+  const auto g = fit_gamma_mle(xs);
+  const double best = g.log_likelihood(xs);
+  EXPECT_LT(dist::GammaDist(g.shape() * 1.1, g.scale()).log_likelihood(xs),
+            best);
+  EXPECT_LT(dist::GammaDist(g.shape() * 0.9, g.scale()).log_likelihood(xs),
+            best);
+  EXPECT_LT(dist::GammaDist(g.shape(), g.scale() * 1.1).log_likelihood(xs),
+            best);
+}
+
+TEST(GammaMle, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)fit_gamma_mle(std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_gamma_mle(std::vector<double>{5.0, 5.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_gamma_mle(std::vector<double>{-2.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::fit

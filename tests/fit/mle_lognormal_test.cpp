@@ -1,0 +1,54 @@
+#include "harvest/fit/mle_lognormal.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+TEST(LognormalMle, RecoversTrueParameters) {
+  numerics::Rng rng(1);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.lognormal(6.5, 0.9);
+  const auto ln = fit_lognormal_mle(xs);
+  EXPECT_NEAR(ln.mu(), 6.5, 0.02);
+  EXPECT_NEAR(ln.sigma(), 0.9, 0.02);
+}
+
+TEST(LognormalMle, ClosedFormOnTinySample) {
+  // logs = {0, ln 4}: mu = ln 2, sigma = ln 2 (biased 1/n variance).
+  const std::vector<double> xs = {1.0, 4.0};
+  const auto ln = fit_lognormal_mle(xs);
+  EXPECT_NEAR(ln.mu(), std::log(2.0), 1e-12);
+  EXPECT_NEAR(ln.sigma(), std::log(2.0), 1e-12);
+}
+
+TEST(LognormalMle, MaximizesLikelihoodLocally) {
+  numerics::Rng rng(2);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.lognormal(3.0, 1.2);
+  const auto ln = fit_lognormal_mle(xs);
+  const double best = ln.log_likelihood(xs);
+  EXPECT_LT(dist::Lognormal(ln.mu() + 0.1, ln.sigma()).log_likelihood(xs),
+            best);
+  EXPECT_LT(dist::Lognormal(ln.mu(), ln.sigma() * 1.1).log_likelihood(xs),
+            best);
+  EXPECT_LT(dist::Lognormal(ln.mu(), ln.sigma() * 0.9).log_likelihood(xs),
+            best);
+}
+
+TEST(LognormalMle, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)fit_lognormal_mle(std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_lognormal_mle(std::vector<double>{2.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_lognormal_mle(std::vector<double>{-1.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::fit

@@ -1,0 +1,114 @@
+#include "harvest/fit/mle_weibull.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+TEST(WeibullMle, RecoversPaperParameters) {
+  // Ground truth: the paper's exemplar machine fit.
+  numerics::Rng rng(1);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.weibull(0.43, 3409.0);
+  const auto w = fit_weibull_mle(xs);
+  EXPECT_NEAR(w.shape() / 0.43, 1.0, 0.03);
+  EXPECT_NEAR(w.scale() / 3409.0, 1.0, 0.05);
+}
+
+TEST(WeibullMle, RecoversLightTailParameters) {
+  numerics::Rng rng(2);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.weibull(3.0, 120.0);
+  const auto w = fit_weibull_mle(xs);
+  EXPECT_NEAR(w.shape() / 3.0, 1.0, 0.03);
+  EXPECT_NEAR(w.scale() / 120.0, 1.0, 0.02);
+}
+
+TEST(WeibullMle, ExponentialDataGivesShapeNearOne) {
+  numerics::Rng rng(3);
+  std::vector<double> xs(30000);
+  for (auto& x : xs) x = rng.exponential(0.01);
+  const auto w = fit_weibull_mle(xs);
+  EXPECT_NEAR(w.shape(), 1.0, 0.03);
+  EXPECT_NEAR(w.scale() / 100.0, 1.0, 0.03);
+}
+
+TEST(WeibullMle, SmallSample25StillReasonable) {
+  // The paper's actual operating regime.
+  numerics::Rng rng(4);
+  std::vector<double> xs(25);
+  for (auto& x : xs) x = rng.weibull(0.43, 3409.0);
+  const auto w = fit_weibull_mle(xs);
+  EXPECT_GT(w.shape(), 0.15);
+  EXPECT_LT(w.shape(), 1.2);
+}
+
+TEST(WeibullMle, SatisfiesScoreEquation) {
+  // The fitted shape must zero the profile-likelihood score.
+  numerics::Rng rng(5);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.weibull(0.7, 800.0);
+  const auto w = fit_weibull_mle(xs);
+  double sum_xa = 0.0, sum_xa_ln = 0.0, sum_ln = 0.0;
+  for (double x : xs) {
+    const double xa = std::pow(x, w.shape());
+    sum_xa += xa;
+    sum_xa_ln += xa * std::log(x);
+    sum_ln += std::log(x);
+  }
+  const double score = sum_xa_ln / sum_xa - 1.0 / w.shape() -
+                       sum_ln / static_cast<double>(xs.size());
+  EXPECT_NEAR(score, 0.0, 1e-8);
+}
+
+TEST(WeibullMle, MaximizesLikelihoodLocally) {
+  numerics::Rng rng(6);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.weibull(0.5, 1000.0);
+  const auto w = fit_weibull_mle(xs);
+  const double ll_hat = w.log_likelihood(xs);
+  for (double ds : {-0.05, 0.05}) {
+    const dist::Weibull perturbed(w.shape() + ds, w.scale());
+    EXPECT_LT(perturbed.log_likelihood(xs), ll_hat);
+  }
+  for (double fs : {0.9, 1.1}) {
+    const dist::Weibull perturbed(w.shape(), w.scale() * fs);
+    EXPECT_LT(perturbed.log_likelihood(xs), ll_hat);
+  }
+}
+
+TEST(WeibullMle, ClampsZeroObservations) {
+  const std::vector<double> xs = {0.0, 10.0, 20.0, 40.0};
+  const auto w = fit_weibull_mle(xs);  // must not blow up on ln(0)
+  EXPECT_GT(w.shape(), 0.0);
+  EXPECT_GT(w.scale(), 0.0);
+}
+
+TEST(WeibullMle, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)fit_weibull_mle(std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_weibull_mle(std::vector<double>{5.0, 5.0, 5.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_weibull_mle(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(WeibullMle, ScaleInvarianceOfShape) {
+  numerics::Rng rng(7);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = rng.weibull(0.6, 500.0);
+  std::vector<double> scaled = xs;
+  for (auto& x : scaled) x *= 1000.0;
+  const auto w1 = fit_weibull_mle(xs);
+  const auto w2 = fit_weibull_mle(scaled);
+  EXPECT_NEAR(w1.shape(), w2.shape(), 1e-6);
+  EXPECT_NEAR(w2.scale() / w1.scale(), 1000.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace harvest::fit

@@ -1,0 +1,87 @@
+#include "harvest/fit/model_select.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+std::vector<double> weibull_sample(std::size_t n, std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.weibull(0.43, 3409.0);
+  return xs;
+}
+
+TEST(ModelSelect, FitsPaperMenu) {
+  const auto xs = weibull_sample(500, 1);
+  const auto fits = fit_all(xs);
+  ASSERT_EQ(fits.size(), 4u);
+  EXPECT_NE(find_family(fits, "exponential"), nullptr);
+  EXPECT_NE(find_family(fits, "weibull"), nullptr);
+  EXPECT_NE(find_family(fits, "hyperexp2"), nullptr);
+  EXPECT_NE(find_family(fits, "hyperexp3"), nullptr);
+}
+
+TEST(ModelSelect, WeibullWinsOnWeibullData) {
+  const auto xs = weibull_sample(3000, 2);
+  const auto fits = fit_all(xs);
+  EXPECT_EQ(best_by_aic(fits).family, "weibull");
+  EXPECT_EQ(best_by_bic(fits).family, "weibull");
+}
+
+TEST(ModelSelect, ExponentialIsWorstOnHeavyTailedData) {
+  const auto xs = weibull_sample(3000, 3);
+  const auto fits = fit_all(xs);
+  const auto* exp_fit = find_family(fits, "exponential");
+  ASSERT_NE(exp_fit, nullptr);
+  for (const auto& f : fits) {
+    if (f.family == "exponential") continue;
+    EXPECT_GT(exp_fit->aic, f.aic) << f.family;
+    EXPECT_GT(exp_fit->ks_statistic, f.ks_statistic) << f.family;
+  }
+}
+
+TEST(ModelSelect, AicOrdersByPenalizedLikelihood) {
+  const auto xs = weibull_sample(200, 4);
+  const auto fits = fit_all(xs);
+  for (const auto& f : fits) {
+    const double k = f.family == "exponential"  ? 1.0
+                     : f.family == "weibull"    ? 2.0
+                     : f.family == "hyperexp2" ? 3.0
+                                                : 5.0;
+    EXPECT_NEAR(f.aic, 2.0 * k - 2.0 * f.log_likelihood, 1e-9) << f.family;
+  }
+}
+
+TEST(ModelSelect, CustomMenu) {
+  const auto xs = weibull_sample(100, 5);
+  ModelMenu menu;
+  menu.exponential = false;
+  menu.weibull = true;
+  menu.hyperexp_phases = {};
+  const auto fits = fit_all(xs, menu);
+  ASSERT_EQ(fits.size(), 1u);
+  EXPECT_EQ(fits[0].family, "weibull");
+}
+
+TEST(ModelSelect, DegenerateSampleSkipsUnfittableFamilies) {
+  // All-identical values: Weibull MLE diverges, exponential still fits.
+  const std::vector<double> xs = {100.0, 100.0, 100.0, 100.0};
+  const auto fits = fit_all(xs);
+  EXPECT_NE(find_family(fits, "exponential"), nullptr);
+  EXPECT_EQ(find_family(fits, "weibull"), nullptr);
+}
+
+TEST(ModelSelect, EmptyFitsThrowOnSelection) {
+  const std::vector<FittedModel> none;
+  EXPECT_THROW((void)best_by_aic(none), std::invalid_argument);
+  EXPECT_THROW((void)best_by_bic(none), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::fit

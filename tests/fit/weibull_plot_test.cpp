@@ -1,0 +1,69 @@
+#include "harvest/fit/weibull_plot.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/fit/mle_weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::fit {
+namespace {
+
+std::vector<double> weibull_sample(double shape, double scale, std::size_t n,
+                                   std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.weibull(shape, scale);
+  return xs;
+}
+
+TEST(WeibullPlot, RecoversParametersWithHighRSquared) {
+  const auto xs = weibull_sample(0.43, 3409.0, 5000, 1);
+  const auto fit = fit_weibull_plot(xs);
+  EXPECT_NEAR(fit.model.shape() / 0.43, 1.0, 0.05);
+  EXPECT_NEAR(fit.model.scale() / 3409.0, 1.0, 0.10);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(WeibullPlot, AgreesWithMleOnCleanData) {
+  const auto xs = weibull_sample(0.7, 1200.0, 2000, 2);
+  const auto plot = fit_weibull_plot(xs);
+  const auto mle = fit_weibull_mle(xs);
+  EXPECT_NEAR(plot.model.shape() / mle.shape(), 1.0, 0.08);
+  EXPECT_NEAR(plot.model.scale() / mle.scale(), 1.0, 0.08);
+}
+
+TEST(WeibullPlot, LowRSquaredOnNonWeibullData) {
+  // Strongly bimodal data is NOT Weibull; R² should drop visibly below the
+  // clean-Weibull level.
+  numerics::Rng rng(3);
+  std::vector<double> xs(3000);
+  for (auto& x : xs) {
+    x = (rng.uniform() < 0.5) ? rng.uniform(9.0, 11.0)
+                              : rng.uniform(9000.0, 11000.0);
+  }
+  const auto bimodal = fit_weibull_plot(xs);
+  const auto clean =
+      fit_weibull_plot(weibull_sample(0.5, 1000.0, 3000, 4));
+  EXPECT_LT(bimodal.r_squared, clean.r_squared - 0.05);
+}
+
+TEST(WeibullPlot, WorksAtPaperTrainingSize) {
+  const auto xs = weibull_sample(0.43, 3409.0, 25, 5);
+  const auto fit = fit_weibull_plot(xs);
+  EXPECT_GT(fit.model.shape(), 0.15);
+  EXPECT_LT(fit.model.shape(), 1.2);
+}
+
+TEST(WeibullPlot, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)fit_weibull_plot(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_weibull_plot(std::vector<double>{3.0, 3.0, 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_weibull_plot(std::vector<double>{-1.0, 1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::fit

@@ -1,0 +1,116 @@
+// End-to-end integration: synthetic pool → model fitting → checkpoint
+// schedules → trace-driven simulation, asserting (at reduced scale) the
+// qualitative findings of the paper's §5.1.
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/sim/experiment.hpp"
+#include "harvest/stats/summary.hpp"
+#include "harvest/trace/synthetic.hpp"
+
+namespace harvest {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace::PoolSpec spec;
+    spec.machine_count = 30;
+    spec.durations_per_machine = 100;
+    spec.seed = 2005;
+    traces_ = new std::vector<trace::AvailabilityTrace>();
+    for (auto& m : trace::generate_pool(spec)) {
+      traces_->push_back(std::move(m.trace));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete traces_;
+    traces_ = nullptr;
+  }
+
+  static sim::ExperimentResult run(core::ModelFamily family, double cost) {
+    sim::ExperimentConfig cfg;
+    cfg.checkpoint_cost_s = cost;
+    return sim::run_trace_experiment(*traces_, family, cfg);
+  }
+
+  static std::vector<trace::AvailabilityTrace>* traces_;
+};
+
+std::vector<trace::AvailabilityTrace>* EndToEnd::traces_ = nullptr;
+
+TEST_F(EndToEnd, AllFamiliesProduceComparableEfficiency) {
+  // Paper: "application efficiency is relatively insensitive to the choice
+  // of probability distribution".
+  std::map<std::string, double> eff;
+  for (core::ModelFamily f : core::paper_families()) {
+    const auto res = run(f, 100.0);
+    ASSERT_GT(res.machines.size(), 20u) << core::to_string(f);
+    eff[core::to_string(f)] = stats::mean_of(res.efficiencies());
+  }
+  for (const auto& [name, e] : eff) {
+    EXPECT_GT(e, 0.35) << name;
+    EXPECT_LT(e, 0.95) << name;
+  }
+  // Spread across models stays small (paper Table 1 row 100: 0.669–0.688).
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& [name, e] : eff) {
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_LT(hi - lo, 0.12);
+}
+
+TEST_F(EndToEnd, ExponentialConsumesMostBandwidth) {
+  // Paper: "the exponential-based checkpoint schedule significantly (and
+  // substantially) underperforms all of the other approaches" on network.
+  std::map<std::string, double> mb;
+  for (core::ModelFamily f : core::paper_families()) {
+    const auto res = run(f, 500.0);
+    mb[core::to_string(f)] = stats::mean_of(res.network_mbs());
+  }
+  EXPECT_GT(mb["exponential"], mb["hyperexp2"]);
+  EXPECT_GT(mb["exponential"], mb["hyperexp3"]);
+  // ≥ 30 % saving for the 2-phase hyperexponential at C >= 200 s.
+  EXPECT_LT(mb["hyperexp2"] / mb["exponential"], 0.85);
+}
+
+TEST_F(EndToEnd, EfficiencyFallsWithCheckpointCost) {
+  double prev = 1.0;
+  for (double c : {50.0, 250.0, 1000.0}) {
+    const auto res = run(core::ModelFamily::kWeibull, c);
+    const double e = stats::mean_of(res.efficiencies());
+    EXPECT_LT(e, prev) << "c=" << c;
+    prev = e;
+  }
+}
+
+TEST_F(EndToEnd, BandwidthFallsWithCheckpointCost) {
+  // Longer checkpoints → longer intervals → fewer transfers (Figure 4's
+  // downward slope).
+  double prev = 1e18;
+  for (double c : {50.0, 250.0, 1000.0}) {
+    const auto res = run(core::ModelFamily::kExponential, c);
+    const double mb = stats::mean_of(res.network_mbs());
+    EXPECT_LT(mb, prev) << "c=" << c;
+    prev = mb;
+  }
+}
+
+TEST_F(EndToEnd, PairedMachinesLineUpAcrossFamilies) {
+  const auto a = run(core::ModelFamily::kExponential, 100.0);
+  const auto b = run(core::ModelFamily::kWeibull, 100.0);
+  // Same machines (no skips differ) in the same order: paired comparisons
+  // are meaningful.
+  ASSERT_EQ(a.machines.size(), b.machines.size());
+  for (std::size_t i = 0; i < a.machines.size(); ++i) {
+    EXPECT_EQ(a.machines[i].machine_id, b.machines[i].machine_id);
+  }
+}
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,100 @@
+// The paper's §5.3 validation, as a test: replay the availability periods
+// recorded during the live (emulated) experiment through the offline trace
+// simulator with the mean measured transfer cost, and require the two
+// efficiency estimates to agree within the tolerances the paper discusses
+// (right-censoring and variable-vs-constant C explain small discrepancies).
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/condor/live_experiment.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/sim/job_sim.hpp"
+
+namespace harvest {
+namespace {
+
+TEST(Validation, SimulationPredictsLiveEfficiency) {
+  // Build a pool and histories.
+  std::vector<condor::Machine> machines;
+  for (std::size_t i = 0; i < 8; ++i) {
+    condor::Machine m;
+    m.id = "v" + std::to_string(i);
+    m.availability_law = std::make_shared<dist::Weibull>(0.45, 3000.0);
+    machines.push_back(std::move(m));
+  }
+  condor::Pool pool(machines, 31);
+  auto histories = pool.collect_traces(40);
+
+  condor::LiveExperimentConfig cfg;
+  cfg.placements = 120;
+  cfg.seed = 71;
+  condor::LiveExperiment live(pool, histories, net::BandwidthModel::campus(),
+                              cfg);
+  const auto live_result = live.run(core::ModelFamily::kWeibull);
+
+  // Post-mortem replay: same periods, constant cost = mean measured
+  // transfer, same model family fitted from the same training data.
+  std::vector<double> periods;
+  for (const auto& p : live_result.placements) periods.push_back(p.period_s);
+  const double mean_cost = live_result.mean_transfer_s();
+  ASSERT_GT(mean_cost, 0.0);
+
+  core::IntervalCosts costs;
+  costs.checkpoint = mean_cost;
+  costs.recovery = mean_cost;
+  // One representative fitted model (machine histories share a law here).
+  std::span<const double> training(histories[0].durations.data(), 25);
+  auto model = core::Planner::fit_model(training, core::ModelFamily::kWeibull);
+  auto schedule = core::Planner::make_schedule(model, costs);
+  const auto sim_result = sim::simulate_job_on_trace(periods, schedule);
+
+  const double live_eff = live_result.avg_efficiency();
+  const double sim_eff = sim_result.efficiency();
+  EXPECT_GT(live_eff, 0.0);
+  EXPECT_GT(sim_eff, 0.0);
+  // Paper: "these factors are not drastically effecting the simulations,
+  // but do explain small discrepancies".
+  EXPECT_NEAR(live_eff, sim_eff, 0.12)
+      << "live=" << live_eff << " sim=" << sim_eff;
+}
+
+TEST(Validation, NetworkLoadAgreesWithinTolerance) {
+  std::vector<condor::Machine> machines;
+  for (std::size_t i = 0; i < 6; ++i) {
+    condor::Machine m;
+    m.id = "n" + std::to_string(i);
+    m.availability_law = std::make_shared<dist::Weibull>(0.5, 4000.0);
+    machines.push_back(std::move(m));
+  }
+  condor::Pool pool(machines, 37);
+  auto histories = pool.collect_traces(40);
+
+  condor::LiveExperimentConfig cfg;
+  cfg.placements = 120;
+  cfg.seed = 73;
+  condor::LiveExperiment live(pool, histories, net::BandwidthModel::campus(),
+                              cfg);
+  const auto live_result = live.run(core::ModelFamily::kHyperexp2);
+
+  std::vector<double> periods;
+  for (const auto& p : live_result.placements) periods.push_back(p.period_s);
+  core::IntervalCosts costs;
+  costs.checkpoint = live_result.mean_transfer_s();
+  costs.recovery = costs.checkpoint;
+  std::span<const double> training(histories[0].durations.data(), 25);
+  auto model =
+      core::Planner::fit_model(training, core::ModelFamily::kHyperexp2);
+  auto schedule = core::Planner::make_schedule(model, costs);
+  const auto sim_result = sim::simulate_job_on_trace(periods, schedule);
+
+  const double live_rate = live_result.megabytes_per_hour();
+  const double sim_rate = sim_result.mb_per_hour();
+  ASSERT_GT(live_rate, 0.0);
+  ASSERT_GT(sim_rate, 0.0);
+  EXPECT_NEAR(live_rate / sim_rate, 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace harvest

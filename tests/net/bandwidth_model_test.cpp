@@ -1,0 +1,65 @@
+#include "harvest/net/bandwidth_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harvest::net {
+namespace {
+
+TEST(BandwidthModel, ExpectedTransferTime) {
+  const BandwidthModel link(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(link.expected_transfer_seconds(500.0), 100.0);
+  EXPECT_DOUBLE_EQ(link.expected_transfer_seconds(0.0), 0.0);
+}
+
+TEST(BandwidthModel, NoJitterIsDeterministic) {
+  const BandwidthModel link(2.0, 0.0);
+  numerics::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(link.sample_transfer_seconds(100.0, rng), 50.0);
+  }
+}
+
+TEST(BandwidthModel, JitteredMeanMatchesExpected) {
+  const BandwidthModel link(500.0 / 110.0, 0.25);
+  numerics::Rng rng(2);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += link.sample_transfer_seconds(500.0, rng);
+  }
+  EXPECT_NEAR(sum / n / 110.0, 1.0, 0.01);
+}
+
+TEST(BandwidthModel, JitterActuallyVaries) {
+  const BandwidthModel link(1.0, 0.3);
+  numerics::Rng rng(3);
+  const double a = link.sample_transfer_seconds(100.0, rng);
+  const double b = link.sample_transfer_seconds(100.0, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(BandwidthModel, CampusPresetMatchesPaperTable4) {
+  const BandwidthModel link = BandwidthModel::campus();
+  EXPECT_NEAR(link.expected_transfer_seconds(500.0), 110.0, 1e-9);
+}
+
+TEST(BandwidthModel, WanPresetMatchesPaperTable5) {
+  const BandwidthModel link = BandwidthModel::wan();
+  EXPECT_NEAR(link.expected_transfer_seconds(500.0), 475.0, 1e-9);
+  // WAN is configured with heavier variability than campus.
+  EXPECT_GT(link.jitter_sigma(), BandwidthModel::campus().jitter_sigma());
+}
+
+TEST(BandwidthModel, RejectsBadParameters) {
+  EXPECT_THROW(BandwidthModel(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(BandwidthModel(1.0, -0.1), std::invalid_argument);
+  const BandwidthModel link(1.0, 0.1);
+  numerics::Rng rng(1);
+  EXPECT_THROW((void)link.expected_transfer_seconds(-1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)link.sample_transfer_seconds(-1.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::net

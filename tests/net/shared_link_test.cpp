@@ -1,0 +1,98 @@
+#include "harvest/net/shared_link.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace harvest::net {
+namespace {
+
+TEST(SharedLink, SingleTransferRunsAtFullCapacity) {
+  const SharedLink link(10.0);
+  const auto out = link.resolve({{0.0, 500.0}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].finish_s, 50.0);
+}
+
+TEST(SharedLink, TwoSimultaneousTransfersShareEvenly) {
+  const SharedLink link(10.0);
+  const auto out = link.resolve({{0.0, 100.0}, {0.0, 100.0}});
+  // Each gets 5 MB/s: both finish at t = 20.
+  EXPECT_DOUBLE_EQ(out[0].finish_s, 20.0);
+  EXPECT_DOUBLE_EQ(out[1].finish_s, 20.0);
+}
+
+TEST(SharedLink, UnequalSizesReleaseCapacity) {
+  const SharedLink link(10.0);
+  const auto out = link.resolve({{0.0, 50.0}, {0.0, 150.0}});
+  // Phase 1: both at 5 MB/s; small one done at t=10 (leaving 100 MB).
+  // Phase 2: big one alone at 10 MB/s: 10 more seconds -> t=20.
+  EXPECT_DOUBLE_EQ(out[0].finish_s, 10.0);
+  EXPECT_DOUBLE_EQ(out[1].finish_s, 20.0);
+}
+
+TEST(SharedLink, LateArrivalSlowsExistingTransfer) {
+  const SharedLink link(10.0);
+  const auto out = link.resolve({{0.0, 100.0}, {5.0, 100.0}});
+  // t∈[0,5): first alone, drains 50 MB. t>=5: share 5 MB/s each.
+  // First finishes its remaining 50 MB at t = 5 + 10 = 15.
+  // Second then alone: remaining 100−50=50 MB at 10 MB/s: t = 20.
+  EXPECT_DOUBLE_EQ(out[0].finish_s, 15.0);
+  EXPECT_DOUBLE_EQ(out[1].finish_s, 20.0);
+}
+
+TEST(SharedLink, DisjointTransfersDoNotInteract) {
+  const SharedLink link(10.0);
+  const auto out = link.resolve({{0.0, 100.0}, {100.0, 100.0}});
+  EXPECT_DOUBLE_EQ(out[0].finish_s, 10.0);
+  EXPECT_DOUBLE_EQ(out[1].start_s, 100.0);
+  EXPECT_DOUBLE_EQ(out[1].finish_s, 110.0);
+}
+
+TEST(SharedLink, WorkConservation) {
+  // Total bytes / capacity == busy time regardless of interleaving.
+  const SharedLink link(4.0);
+  const auto out = link.resolve(
+      {{0.0, 40.0}, {1.0, 60.0}, {2.0, 20.0}, {3.0, 80.0}});
+  double last_finish = 0.0;
+  for (const auto& o : out) last_finish = std::max(last_finish, o.finish_s);
+  // All arrive within the busy period, so makespan = 200 MB / 4 MB/s = 50 s.
+  EXPECT_NEAR(last_finish, 50.0, 1e-9);
+}
+
+TEST(SharedLink, DurationNeverBeatsDedicatedLink) {
+  const SharedLink link(8.0);
+  const auto out = link.resolve({{0.0, 80.0}, {0.0, 40.0}, {2.0, 160.0}});
+  const std::vector<double> sizes = {80.0, 40.0, 160.0};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out[i].duration(), sizes[i] / 8.0 - 1e-9) << "i=" << i;
+  }
+}
+
+TEST(SharedLink, NColliderSlowdownIsLinear) {
+  // The paper's motivation for parallel checkpointing: k simultaneous
+  // checkpoints take k times as long.
+  for (int k : {1, 2, 4, 8}) {
+    const SharedLink link(10.0);
+    std::vector<TransferRequest> reqs(k, TransferRequest{0.0, 100.0});
+    const auto out = link.resolve(reqs);
+    EXPECT_NEAR(out[0].finish_s, 10.0 * k, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(SharedLink, EmptyRequestListIsFine) {
+  const SharedLink link(1.0);
+  EXPECT_TRUE(link.resolve({}).empty());
+}
+
+TEST(SharedLink, RejectsInvalidInputs) {
+  EXPECT_THROW(SharedLink(0.0), std::invalid_argument);
+  const SharedLink link(1.0);
+  EXPECT_THROW((void)link.resolve({{-1.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW((void)link.resolve({{0.0, 0.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::net

@@ -1,0 +1,79 @@
+#include "harvest/numerics/minimize.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace harvest::numerics {
+namespace {
+
+TEST(GoldenSection, QuadraticMinimum) {
+  const auto f = [](double x) { return (x - 3.0) * (x - 3.0) + 2.0; };
+  const auto r = minimize_golden_section(f, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 3.0, 1e-4);
+  EXPECT_NEAR(r.value, 2.0, 1e-8);
+}
+
+TEST(GoldenSection, MinimumAtBracketEdge) {
+  const auto f = [](double x) { return x; };  // monotone: min at lo
+  const auto r = minimize_golden_section(f, 1.0, 5.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-3);
+}
+
+TEST(GoldenSection, RejectsBadBracket) {
+  EXPECT_THROW((void)minimize_golden_section([](double x) { return x; }, 2.0,
+                                             1.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, QuadraticMinimumFewEvals) {
+  const auto f = [](double x) { return (x - 1.5) * (x - 1.5); };
+  const auto r = minimize_brent(f, -10.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.5, 1e-6);
+  // Parabolic interpolation should beat golden section on a parabola.
+  const auto g = minimize_golden_section(f, -10.0, 10.0, 1e-8);
+  EXPECT_LT(r.evaluations, g.evaluations);
+}
+
+TEST(Brent, NonSmoothObjective) {
+  const auto f = [](double x) { return std::fabs(x - 0.7); };
+  const auto r = minimize_brent(f, -2.0, 2.0);
+  EXPECT_NEAR(r.x, 0.7, 1e-6);
+}
+
+TEST(BracketLogScan, FindsInteriorBracket) {
+  // Minimum of x + 100/x is at x = 10.
+  const auto f = [](double x) { return x + 100.0 / x; };
+  const auto b = bracket_log_scan(f, 0.1, 1e4, 64);
+  EXPECT_LT(b.lo, 10.0);
+  EXPECT_GT(b.hi, 10.0);
+}
+
+TEST(BracketLogScan, RejectsNonPositiveLo) {
+  EXPECT_THROW((void)bracket_log_scan([](double x) { return x; }, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)bracket_log_scan([](double x) { return x; }, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(MinimizeLogBracketed, WideRangeObjective) {
+  // Checkpoint-like objective: overhead C/T + growing loss term.
+  const double c = 100.0;
+  const double rate = 1e-4;
+  const auto f = [&](double t) { return c / t + 0.5 * rate * t; };
+  // Analytic minimum: t* = sqrt(2c / rate).
+  const double expected = std::sqrt(2.0 * c / rate);
+  const auto r = minimize_log_bracketed(f, 1.0, 1e8);
+  EXPECT_NEAR(r.x / expected, 1.0, 1e-3);
+}
+
+TEST(MinimizeLogBracketed, MinimumNearLowerEdge) {
+  const auto f = [](double t) { return t; };
+  const auto r = minimize_log_bracketed(f, 0.5, 1e6);
+  EXPECT_NEAR(r.x, 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace harvest::numerics

@@ -1,0 +1,70 @@
+#include "harvest/numerics/quadrature.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace harvest::numerics {
+namespace {
+
+TEST(AdaptiveSimpson, PolynomialExact) {
+  // Simpson is exact for cubics.
+  const auto f = [](double x) { return x * x * x - 2.0 * x + 1.0; };
+  // ∫₀² = 4 − 4 + 2 = 2
+  EXPECT_NEAR(integrate_adaptive_simpson(f, 0.0, 2.0), 2.0, 1e-12);
+}
+
+TEST(AdaptiveSimpson, TranscendentalIntegrals) {
+  EXPECT_NEAR(integrate_adaptive_simpson(
+                  [](double x) { return std::sin(x); }, 0.0, M_PI),
+              2.0, 1e-9);
+  EXPECT_NEAR(integrate_adaptive_simpson(
+                  [](double x) { return std::exp(-x); }, 0.0, 50.0),
+              1.0, 1e-8);
+}
+
+TEST(AdaptiveSimpson, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(
+      integrate_adaptive_simpson([](double) { return 1.0; }, 3.0, 3.0), 0.0);
+}
+
+TEST(AdaptiveSimpson, RejectsReversedInterval) {
+  EXPECT_THROW((void)integrate_adaptive_simpson([](double) { return 1.0; },
+                                                1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveSimpson, SharpPeakResolved) {
+  // Narrow Gaussian at 0.3 with width 0.01 integrates to ~1 over [0,1].
+  const double mu = 0.3;
+  const double s = 0.01;
+  const auto f = [&](double x) {
+    const double z = (x - mu) / s;
+    return std::exp(-0.5 * z * z) / (s * std::sqrt(2.0 * M_PI));
+  };
+  EXPECT_NEAR(integrate_adaptive_simpson(f, 0.0, 1.0, 1e-10), 1.0, 1e-6);
+}
+
+TEST(GaussLegendre, PolynomialExact) {
+  // 16-point GL is exact for polynomials up to degree 31.
+  const auto f = [](double x) { return std::pow(x, 9) + x * x; };
+  // ∫₀¹ = 1/10 + 1/3
+  EXPECT_NEAR(integrate_gauss_legendre(f, 0.0, 1.0, 1), 0.1 + 1.0 / 3.0,
+              1e-13);
+}
+
+TEST(GaussLegendre, MatchesAdaptiveOnSmoothIntegrand) {
+  const auto f = [](double x) { return std::exp(-0.3 * x) * std::cos(x); };
+  const double a = integrate_adaptive_simpson(f, 0.0, 10.0, 1e-12);
+  const double g = integrate_gauss_legendre(f, 0.0, 10.0, 8);
+  EXPECT_NEAR(a, g, 1e-10);
+}
+
+TEST(GaussLegendre, RejectsBadPanels) {
+  EXPECT_THROW((void)integrate_gauss_legendre([](double) { return 1.0; }, 0.0,
+                                              1.0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::numerics

@@ -1,0 +1,133 @@
+#include "harvest/numerics/rng.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace harvest::numerics {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(3);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_GT(c, 700);  // each ~1000 expected
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(5);
+  const double lambda = 0.25;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.05);
+}
+
+TEST(Rng, WeibullMeanMatchesGammaFormula) {
+  Rng rng(9);
+  const double shape = 0.43;
+  const double scale = 3409.0;
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(shape, scale);
+  // E = scale * Gamma(1 + 1/shape) = 3409 * Gamma(3.3256...) ≈ 9268.
+  const double expected = scale * std::exp(std::lgamma(1.0 + 1.0 / shape));
+  EXPECT_NEAR(sum / n / expected, 1.0, 0.05);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal(2.0, 3.0);
+    sum += z;
+    sq += z * z;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanOneMultiplier) {
+  Rng rng(17);
+  const double sigma = 0.35;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {0.1, 0.6, 0.3};
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.6, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalRejectsDegenerateInputs) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW((void)rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)rng.categorical({0.5, -0.5}), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child stream differs from the continuing parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace harvest::numerics

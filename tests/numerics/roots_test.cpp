@@ -1,0 +1,67 @@
+#include "harvest/numerics/roots.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace harvest::numerics {
+namespace {
+
+TEST(Bisection, FindsRootOfCubic) {
+  const auto f = [](double x) { return x * x * x - 2.0; };
+  const auto r = find_root_bisection(f, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::cbrt(2.0), 1e-9);
+}
+
+TEST(Bisection, ExactRootAtEndpoint) {
+  const auto f = [](double x) { return x - 1.0; };
+  EXPECT_DOUBLE_EQ(find_root_bisection(f, 1.0, 2.0).x, 1.0);
+  EXPECT_DOUBLE_EQ(find_root_bisection(f, 0.0, 1.0).x, 1.0);
+}
+
+TEST(Bisection, RejectsSameSign) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)find_root_bisection(f, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Newton, QuadraticConvergence) {
+  const auto f = [](double x) { return std::exp(x) - 3.0; };
+  const auto df = [](double x) { return std::exp(x); };
+  const auto r = find_root_newton(f, df, 0.0, 5.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::log(3.0), 1e-10);
+  // Newton should use far fewer evaluations than bisection at this tol.
+  const auto b = find_root_bisection(f, 0.0, 5.0, 1e-12);
+  EXPECT_LT(r.evaluations, b.evaluations);
+}
+
+TEST(Newton, SafeguardedAgainstDivergentSteps) {
+  // f has a nearly flat region that would throw plain Newton far away;
+  // the bracket keeps it contained.
+  const auto f = [](double x) { return std::tanh(x - 2.0); };
+  const auto df = [](double x) {
+    const double t = std::tanh(x - 2.0);
+    return 1.0 - t * t;
+  };
+  const auto r = find_root_newton(f, df, -50.0, 50.0, -49.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-8);
+}
+
+TEST(ExpandBracket, GrowsUntilSignChange) {
+  const auto f = [](double x) { return x - 1000.0; };
+  double lo = 0.0;
+  double hi = 1.0;
+  EXPECT_TRUE(expand_bracket_upward(f, lo, hi));
+  EXPECT_LE(f(lo) * f(hi), 0.0);
+}
+
+TEST(ExpandBracket, GivesUpWhenNoRoot) {
+  const auto f = [](double) { return 1.0; };
+  double lo = 0.0;
+  double hi = 1.0;
+  EXPECT_FALSE(expand_bracket_upward(f, lo, hi, 10));
+}
+
+}  // namespace
+}  // namespace harvest::numerics

@@ -1,0 +1,176 @@
+#include "harvest/numerics/special_functions.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace harvest::numerics {
+namespace {
+
+TEST(GammaFn, MatchesFactorialAtIntegers) {
+  EXPECT_NEAR(gamma_fn(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(gamma_fn(2.0), 1.0, 1e-12);
+  EXPECT_NEAR(gamma_fn(3.0), 2.0, 1e-11);
+  EXPECT_NEAR(gamma_fn(5.0), 24.0, 1e-9);
+  EXPECT_NEAR(gamma_fn(7.0), 720.0, 1e-7);
+}
+
+TEST(GammaFn, HalfIntegerValue) {
+  EXPECT_NEAR(gamma_fn(0.5), std::sqrt(M_PI), 1e-12);
+  EXPECT_NEAR(gamma_fn(1.5), 0.5 * std::sqrt(M_PI), 1e-12);
+}
+
+TEST(GammaFn, RejectsNonPositive) {
+  EXPECT_THROW((void)gamma_fn(0.0), std::invalid_argument);
+  EXPECT_THROW((void)gamma_fn(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)log_gamma(0.0), std::invalid_argument);
+}
+
+TEST(GammaP, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(gamma_p(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(1.0, 0.0), 1.0);
+  EXPECT_NEAR(gamma_p(1.0, 1e3), 1.0, 1e-12);
+}
+
+TEST(GammaP, ExponentialSpecialCase) {
+  // P(1, x) = 1 − e^{−x}.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(GammaP, ComplementsSumToOne) {
+  for (double a : {0.3, 1.0, 2.5, 10.0}) {
+    for (double x : {0.01, 0.5, 1.0, 3.0, 20.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 10.0; x += 0.25) {
+    const double v = gamma_p(0.7, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(GammaP, KnownValue) {
+  // From standard tables: P(2, 2) = 1 − 3e^{−2}.
+  EXPECT_NEAR(gamma_p(2.0, 2.0), 1.0 - 3.0 * std::exp(-2.0), 1e-12);
+}
+
+TEST(GammaP, RejectsBadArguments) {
+  EXPECT_THROW((void)gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(LowerIncompleteGamma, ConsistentWithRegularized) {
+  const double a = 1.7;
+  const double x = 2.3;
+  EXPECT_NEAR(lower_incomplete_gamma(a, x), gamma_p(a, x) * gamma_fn(a),
+              1e-10);
+}
+
+TEST(Digamma, KnownValues) {
+  // psi(1) = -gamma_E; psi(2) = 1 - gamma_E; psi(1/2) = -gamma_E - 2 ln 2.
+  constexpr double kEulerGamma = 0.5772156649015329;
+  EXPECT_NEAR(digamma(1.0), -kEulerGamma, 1e-12);
+  EXPECT_NEAR(digamma(2.0), 1.0 - kEulerGamma, 1e-12);
+  EXPECT_NEAR(digamma(0.5), -kEulerGamma - 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(Digamma, RecurrenceHolds) {
+  for (double x : {0.3, 1.7, 5.5, 42.0}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Digamma, MatchesLogGammaDerivative) {
+  for (double x : {0.8, 2.5, 10.0}) {
+    const double h = 1e-6 * x;
+    const double numeric = (log_gamma(x + h) - log_gamma(x - h)) / (2.0 * h);
+    EXPECT_NEAR(digamma(x), numeric, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(Digamma, RejectsNonPositive) {
+  EXPECT_THROW((void)digamma(0.0), std::invalid_argument);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-12);
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf) {
+  for (double p : {1e-6, 0.01, 0.3, 0.5, 0.8, 0.99, 1.0 - 1e-6}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownCriticalValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963985, 1e-8);
+}
+
+TEST(NormalQuantile, RejectsBoundary) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetryIdentity) {
+  // I_x(a, b) = 1 − I_{1−x}(b, a)
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(2.0, 5.0, x),
+                1.0 - incomplete_beta(5.0, 2.0, 1.0 - x), 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, KnownBinomialValue) {
+  // I_x(a, 1) = x^a.
+  EXPECT_NEAR(incomplete_beta(3.0, 1.0, 0.5), 0.125, 1e-12);
+}
+
+TEST(IncompleteBeta, RejectsBadArguments) {
+  EXPECT_THROW((void)incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)incomplete_beta(1.0, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)incomplete_beta(1.0, 1.0, 1.1), std::invalid_argument);
+}
+
+TEST(IncompleteBetaInv, RoundTrips) {
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    for (double b : {0.5, 2.0, 7.0}) {
+      for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+        const double x = incomplete_beta_inv(a, b, p);
+        EXPECT_NEAR(incomplete_beta(a, b, x), p, 1e-9)
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaInv, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta_inv(2.0, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta_inv(2.0, 2.0, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace harvest::numerics

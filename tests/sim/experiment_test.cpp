@@ -1,0 +1,109 @@
+#include "harvest/sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harvest/trace/synthetic.hpp"
+
+namespace harvest::sim {
+namespace {
+
+std::vector<trace::AvailabilityTrace> small_pool_traces() {
+  trace::PoolSpec spec;
+  spec.machine_count = 12;
+  spec.durations_per_machine = 60;
+  spec.seed = 7;
+  std::vector<trace::AvailabilityTrace> traces;
+  for (auto& m : trace::generate_pool(spec)) {
+    traces.push_back(std::move(m.trace));
+  }
+  return traces;
+}
+
+TEST(Experiment, RunsAllMachines) {
+  const auto traces = small_pool_traces();
+  ExperimentConfig cfg;
+  cfg.checkpoint_cost_s = 100.0;
+  const auto res =
+      run_trace_experiment(traces, core::ModelFamily::kWeibull, cfg);
+  EXPECT_EQ(res.machines.size() + res.skipped.size(), traces.size());
+  EXPECT_GE(res.machines.size(), traces.size() - 2);  // fits rarely fail
+  for (const auto& m : res.machines) {
+    EXPECT_GT(m.sim.total_time, 0.0);
+    EXPECT_GE(m.sim.efficiency(), 0.0);
+    EXPECT_LE(m.sim.efficiency(), 1.0);
+    EXPECT_EQ(m.fitted_family, "weibull");
+  }
+}
+
+TEST(Experiment, SkipsShortTraces) {
+  auto traces = small_pool_traces();
+  traces[0].durations.resize(10);
+  traces[0].timestamps.resize(10);
+  ExperimentConfig cfg;
+  const auto res =
+      run_trace_experiment(traces, core::ModelFamily::kExponential, cfg);
+  EXPECT_EQ(res.skipped.size(), 1u);
+  EXPECT_EQ(res.skipped[0], traces[0].machine_id);
+}
+
+TEST(Experiment, ParallelMatchesSerial) {
+  const auto traces = small_pool_traces();
+  ExperimentConfig cfg;
+  cfg.checkpoint_cost_s = 250.0;
+  const auto serial =
+      run_trace_experiment(traces, core::ModelFamily::kHyperexp2, cfg);
+  util::ThreadPool pool(4);
+  const auto parallel =
+      run_trace_experiment(traces, core::ModelFamily::kHyperexp2, cfg, &pool);
+  ASSERT_EQ(serial.machines.size(), parallel.machines.size());
+  for (std::size_t i = 0; i < serial.machines.size(); ++i) {
+    EXPECT_EQ(serial.machines[i].machine_id, parallel.machines[i].machine_id);
+    EXPECT_DOUBLE_EQ(serial.machines[i].sim.efficiency(),
+                     parallel.machines[i].sim.efficiency());
+    EXPECT_DOUBLE_EQ(serial.machines[i].sim.network_mb,
+                     parallel.machines[i].sim.network_mb);
+  }
+}
+
+TEST(Experiment, AccessorsMatchMachines) {
+  const auto traces = small_pool_traces();
+  ExperimentConfig cfg;
+  const auto res =
+      run_trace_experiment(traces, core::ModelFamily::kExponential, cfg);
+  const auto effs = res.efficiencies();
+  const auto mbs = res.network_mbs();
+  ASSERT_EQ(effs.size(), res.machines.size());
+  ASSERT_EQ(mbs.size(), res.machines.size());
+  for (std::size_t i = 0; i < effs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(effs[i], res.machines[i].sim.efficiency());
+    EXPECT_DOUBLE_EQ(mbs[i], res.machines[i].sim.network_mb);
+  }
+}
+
+TEST(Experiment, HigherCostLowersEfficiency) {
+  const auto traces = small_pool_traces();
+  ExperimentConfig cheap;
+  cheap.checkpoint_cost_s = 50.0;
+  ExperimentConfig dear;
+  dear.checkpoint_cost_s = 1000.0;
+  const auto a =
+      run_trace_experiment(traces, core::ModelFamily::kWeibull, cheap);
+  const auto b =
+      run_trace_experiment(traces, core::ModelFamily::kWeibull, dear);
+  double mean_a = 0.0;
+  for (double e : a.efficiencies()) mean_a += e;
+  double mean_b = 0.0;
+  for (double e : b.efficiencies()) mean_b += e;
+  EXPECT_GT(mean_a / a.machines.size(), mean_b / b.machines.size());
+}
+
+TEST(Experiment, RejectsNegativeCost) {
+  ExperimentConfig cfg;
+  cfg.checkpoint_cost_s = -1.0;
+  EXPECT_THROW((void)run_trace_experiment(small_pool_traces(),
+                                          core::ModelFamily::kWeibull, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::sim

@@ -1,0 +1,153 @@
+// Parameterized invariants of the trace-driven job simulator across
+// availability families, checkpoint costs, and trace shapes.
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/gamma.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/lognormal.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/sim/job_sim.hpp"
+
+namespace harvest::sim {
+namespace {
+
+struct SimCase {
+  std::string label;
+  std::function<dist::DistributionPtr()> make_model;  // schedule's model
+  std::function<dist::DistributionPtr()> make_truth;  // trace generator
+  double cost;
+};
+
+std::vector<SimCase> sim_cases() {
+  const auto weibull = [] {
+    return std::make_shared<dist::Weibull>(0.43, 3409.0);
+  };
+  const auto expo = [] {
+    return std::make_shared<dist::Exponential>(1.0 / 3000.0);
+  };
+  const auto hyper = [] {
+    return std::make_shared<dist::Hyperexponential>(
+        std::vector<double>{0.65, 0.35},
+        std::vector<double>{1.0 / 200.0, 1.0 / 9000.0});
+  };
+  const auto lognormal = [] {
+    return std::make_shared<dist::Lognormal>(7.0, 1.4);
+  };
+  const auto gamma = [] {
+    return std::make_shared<dist::GammaDist>(0.5, 5000.0);
+  };
+
+  std::vector<SimCase> cases;
+  // Model == truth (well-specified) and model != truth (misspecified, the
+  // paper's central situation) both appear.
+  const std::vector<
+      std::pair<std::string, std::function<dist::DistributionPtr()>>>
+      laws = {{"weibull", weibull},
+              {"exp", expo},
+              {"hyper2", hyper},
+              {"lognormal", lognormal},
+              {"gamma", gamma}};
+  for (const auto& [model_name, model] : laws) {
+    for (double cost : {100.0, 750.0}) {
+      SimCase c;
+      c.label = model_name + "_on_weibull_c" +
+                std::to_string(static_cast<int>(cost));
+      c.make_model = model;
+      c.make_truth = weibull;
+      c.cost = cost;
+      cases.push_back(c);
+    }
+  }
+  for (const auto& [truth_name, truth] : laws) {
+    SimCase c;
+    c.label = std::string("weibull_on_") + truth_name + "_c250";
+    c.make_model = weibull;
+    c.make_truth = truth;
+    c.cost = 250.0;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class JobSimProperty : public ::testing::TestWithParam<SimCase> {
+ protected:
+  JobSimProperty() {
+    core::IntervalCosts costs;
+    costs.checkpoint = GetParam().cost;
+    costs.recovery = GetParam().cost;
+    schedule_ = std::make_unique<core::CheckpointSchedule>(
+        core::MarkovModel(GetParam().make_model(), costs));
+    numerics::Rng rng(321);
+    const auto truth = GetParam().make_truth();
+    periods_.resize(250);
+    for (auto& p : periods_) p = truth->sample(rng);
+  }
+  std::unique_ptr<core::CheckpointSchedule> schedule_;
+  std::vector<double> periods_;
+};
+
+TEST_P(JobSimProperty, TimeAccountingIdentity) {
+  const auto res = simulate_job_on_trace(periods_, *schedule_);
+  const double accounted = res.useful_work + res.checkpoint_time +
+                           res.recovery_time + res.lost_time;
+  EXPECT_NEAR(accounted / res.total_time, 1.0, 1e-9);
+}
+
+TEST_P(JobSimProperty, MetricsWithinPhysicalBounds) {
+  const auto res = simulate_job_on_trace(periods_, *schedule_);
+  EXPECT_GE(res.efficiency(), 0.0);
+  EXPECT_LE(res.efficiency(), 1.0);
+  EXPECT_GE(res.useful_work, 0.0);
+  EXPECT_GE(res.network_mb, 0.0);
+  EXPECT_EQ(res.evictions, periods_.size());
+  // Every committed interval carries exactly one completed checkpoint.
+  EXPECT_EQ(res.intervals_completed, res.checkpoints_completed);
+  // Every period triggers exactly one recovery attempt.
+  EXPECT_EQ(res.recoveries_completed + res.recoveries_interrupted,
+            periods_.size());
+}
+
+TEST_P(JobSimProperty, NetworkBoundedByTransferCount) {
+  const auto res = simulate_job_on_trace(periods_, *schedule_);
+  const double full_transfers =
+      static_cast<double>(res.checkpoints_completed +
+                          res.recoveries_completed);
+  const double all_attempts =
+      full_transfers + static_cast<double>(res.checkpoints_interrupted +
+                                           res.recoveries_interrupted);
+  EXPECT_GE(res.network_mb, 500.0 * full_transfers - 1e-6);
+  EXPECT_LE(res.network_mb, 500.0 * all_attempts + 1e-6);
+}
+
+TEST_P(JobSimProperty, DisablingProrationOnlyReducesTraffic) {
+  JobSimConfig prorated;
+  JobSimConfig strict;
+  strict.prorate_partial_transfers = false;
+  core::IntervalCosts costs;
+  costs.checkpoint = GetParam().cost;
+  costs.recovery = GetParam().cost;
+  core::CheckpointSchedule s1(
+      core::MarkovModel(GetParam().make_model(), costs));
+  core::CheckpointSchedule s2(
+      core::MarkovModel(GetParam().make_model(), costs));
+  const auto a = simulate_job_on_trace(periods_, s1, prorated);
+  const auto b = simulate_job_on_trace(periods_, s2, strict);
+  EXPECT_GE(a.network_mb, b.network_mb);
+  EXPECT_DOUBLE_EQ(a.useful_work, b.useful_work);  // time flow unchanged
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, JobSimProperty,
+                         ::testing::ValuesIn(sim_cases()),
+                         [](const ::testing::TestParamInfo<SimCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace harvest::sim

@@ -1,0 +1,301 @@
+#include "harvest/sim/job_sim.hpp"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::sim {
+namespace {
+
+core::CheckpointSchedule fixed_schedule(double c, double r,
+                                        dist::DistributionPtr model) {
+  core::IntervalCosts costs;
+  costs.checkpoint = c;
+  costs.recovery = r;
+  return core::CheckpointSchedule(core::MarkovModel(std::move(model), costs));
+}
+
+// A schedule whose model makes T_opt land at a known value is hard to pin
+// down; instead these structural tests use an exponential model and read the
+// schedule's own T to compute expectations.
+
+TEST(JobSim, TimeAccountingIdentity) {
+  auto sched = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.43, 3409.0));
+  numerics::Rng rng(1);
+  std::vector<double> periods(200);
+  for (auto& p : periods) p = rng.weibull(0.43, 3409.0);
+  const auto res = simulate_job_on_trace(periods, sched);
+  const double accounted = res.useful_work + res.checkpoint_time +
+                           res.recovery_time + res.lost_time;
+  EXPECT_NEAR(accounted / res.total_time, 1.0, 1e-9);
+}
+
+TEST(JobSim, PeriodShorterThanRecoveryIsAllRecovery) {
+  auto sched = fixed_schedule(100.0, 100.0,
+                              std::make_shared<dist::Exponential>(1e-4));
+  const std::vector<double> periods = {40.0};
+  const auto res = simulate_job_on_trace(periods, sched);
+  EXPECT_DOUBLE_EQ(res.recovery_time, 40.0);
+  EXPECT_DOUBLE_EQ(res.useful_work, 0.0);
+  EXPECT_EQ(res.recoveries_interrupted, 1u);
+  EXPECT_EQ(res.recoveries_completed, 0u);
+  EXPECT_EQ(res.evictions, 1u);
+  // Pro-rated partial recovery traffic: 40/100 of 500 MB.
+  EXPECT_NEAR(res.network_mb, 500.0 * 0.4, 1e-9);
+}
+
+TEST(JobSim, LongPeriodCommitsIntervals) {
+  auto sched = fixed_schedule(100.0, 100.0,
+                              std::make_shared<dist::Exponential>(1e-4));
+  const double t0 = sched.entry(0).work_time;
+  // Room for recovery + exactly 2 intervals + half of a third.
+  const std::vector<double> periods = {100.0 + 2.0 * (t0 + 100.0) +
+                                       0.5 * t0};
+  const auto res = simulate_job_on_trace(periods, sched);
+  EXPECT_EQ(res.intervals_completed, 2u);
+  EXPECT_NEAR(res.useful_work, 2.0 * t0, 1e-9);
+  EXPECT_NEAR(res.lost_time, 0.5 * t0, 1e-9);
+  EXPECT_EQ(res.checkpoints_completed, 2u);
+  // Traffic: 1 recovery + 2 checkpoints, no partial checkpoint (evicted
+  // mid-work).
+  EXPECT_NEAR(res.network_mb, 3.0 * 500.0, 1e-9);
+}
+
+TEST(JobSim, EvictionDuringCheckpointLosesWork) {
+  auto sched = fixed_schedule(100.0, 100.0,
+                              std::make_shared<dist::Exponential>(1e-4));
+  const double t0 = sched.entry(0).work_time;
+  // Recovery + work + 30 s into the checkpoint.
+  const std::vector<double> periods = {100.0 + t0 + 30.0};
+  const auto res = simulate_job_on_trace(periods, sched);
+  EXPECT_EQ(res.intervals_completed, 0u);
+  EXPECT_DOUBLE_EQ(res.useful_work, 0.0);
+  EXPECT_NEAR(res.lost_time, t0, 1e-9);
+  EXPECT_NEAR(res.checkpoint_time, 30.0, 1e-9);
+  EXPECT_EQ(res.checkpoints_interrupted, 1u);
+  // Traffic: full recovery + 30 % of a checkpoint.
+  EXPECT_NEAR(res.network_mb, 500.0 + 500.0 * 0.3, 1e-9);
+}
+
+TEST(JobSim, ProrationCanBeDisabled) {
+  auto sched = fixed_schedule(100.0, 100.0,
+                              std::make_shared<dist::Exponential>(1e-4));
+  const std::vector<double> periods = {40.0};  // dies during recovery
+  JobSimConfig cfg;
+  cfg.prorate_partial_transfers = false;
+  const auto res = simulate_job_on_trace(periods, sched, cfg);
+  EXPECT_DOUBLE_EQ(res.network_mb, 0.0);
+}
+
+TEST(JobSim, ZeroCostCheckpointsAllWork) {
+  auto sched = fixed_schedule(0.0, 0.0,
+                              std::make_shared<dist::Exponential>(1e-6));
+  const std::vector<double> periods = {1000.0, 2000.0};
+  const auto res = simulate_job_on_trace(periods, sched);
+  // With C == R == 0 every second is either committed work or the sliver of
+  // the last uncommitted interval.
+  EXPECT_GT(res.efficiency(), 0.0);
+  EXPECT_NEAR(res.useful_work + res.lost_time, 3000.0, 1e-9);
+}
+
+TEST(JobSim, EmptyTraceYieldsEmptyResult) {
+  auto sched = fixed_schedule(10.0, 10.0,
+                              std::make_shared<dist::Exponential>(1e-3));
+  const std::vector<double> periods;
+  const auto res = simulate_job_on_trace(periods, sched);
+  EXPECT_DOUBLE_EQ(res.total_time, 0.0);
+  EXPECT_DOUBLE_EQ(res.efficiency(), 0.0);
+  EXPECT_DOUBLE_EQ(res.mb_per_hour(), 0.0);
+}
+
+TEST(JobSim, RejectsInvalidPeriods) {
+  auto sched = fixed_schedule(10.0, 10.0,
+                              std::make_shared<dist::Exponential>(1e-3));
+  const std::vector<double> bad = {100.0, -5.0};
+  EXPECT_THROW((void)simulate_job_on_trace(bad, sched), std::invalid_argument);
+}
+
+TEST(JobSim, EfficiencyImprovesWithCheaperCheckpoints) {
+  numerics::Rng rng(3);
+  std::vector<double> periods(300);
+  for (auto& p : periods) p = rng.weibull(0.43, 3409.0);
+  double prev = 0.0;
+  for (double c : {1000.0, 250.0, 50.0}) {
+    auto sched = fixed_schedule(
+        c, c, std::make_shared<dist::Weibull>(0.43, 3409.0));
+    const double eff = simulate_job_on_trace(periods, sched).efficiency();
+    EXPECT_GT(eff, prev) << "c=" << c;
+    prev = eff;
+  }
+}
+
+TEST(JobSim, CostJitterPreservesAccountingIdentity) {
+  auto sched = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.43, 3409.0));
+  numerics::Rng rng(5);
+  std::vector<double> periods(150);
+  for (auto& p : periods) p = rng.weibull(0.43, 3409.0);
+  JobSimConfig cfg;
+  cfg.cost_jitter_sigma = 0.4;
+  const auto res = simulate_job_on_trace(periods, sched, cfg);
+  const double accounted = res.useful_work + res.checkpoint_time +
+                           res.recovery_time + res.lost_time;
+  EXPECT_NEAR(accounted / res.total_time, 1.0, 1e-9);
+}
+
+TEST(JobSim, CostJitterChangesOutcomeButNotWildly) {
+  numerics::Rng rng(6);
+  std::vector<double> periods(400);
+  for (auto& p : periods) p = rng.weibull(0.43, 3409.0);
+  auto sched_a = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.43, 3409.0));
+  const auto constant = simulate_job_on_trace(periods, sched_a);
+  auto sched_b = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.43, 3409.0));
+  JobSimConfig cfg;
+  cfg.cost_jitter_sigma = 0.3;
+  const auto jittered = simulate_job_on_trace(periods, sched_b, cfg);
+  EXPECT_NE(constant.efficiency(), jittered.efficiency());
+  // §5.3: variable costs explain only SMALL discrepancies.
+  EXPECT_NEAR(jittered.efficiency() / constant.efficiency(), 1.0, 0.05);
+}
+
+TEST(JobSim, ZeroSigmaJitterIsExactlyConstantCost) {
+  numerics::Rng rng(7);
+  std::vector<double> periods(50);
+  for (auto& p : periods) p = rng.weibull(0.5, 2000.0);
+  auto sched_a = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.5, 2000.0));
+  auto sched_b = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.5, 2000.0));
+  JobSimConfig cfg;
+  cfg.cost_jitter_sigma = 0.0;
+  const auto a = simulate_job_on_trace(periods, sched_a);
+  const auto b = simulate_job_on_trace(periods, sched_b, cfg);
+  EXPECT_DOUBLE_EQ(a.efficiency(), b.efficiency());
+  EXPECT_DOUBLE_EQ(a.network_mb, b.network_mb);
+}
+
+TEST(JobSim, ColdStartSkipsFirstRecovery) {
+  auto sched = fixed_schedule(100.0, 100.0,
+                              std::make_shared<dist::Exponential>(1e-4));
+  const double t0 = sched.entry(0).work_time;
+  const std::vector<double> periods = {t0 + 150.0, t0 + 150.0};
+  JobSimConfig cold;
+  cold.first_period_recovers = false;
+  const auto res = simulate_job_on_trace(periods, sched, cold);
+  // First period: no recovery, work commits (t0 + 100 <= t0 + 150).
+  // Second period: recovery (100) + work t0 cut 50 s before its checkpoint
+  // finishes.
+  EXPECT_EQ(res.recoveries_completed, 1u);
+  EXPECT_EQ(res.checkpoints_completed, 1u);
+  EXPECT_NEAR(res.useful_work, t0, 1e-9);
+  const double accounted = res.useful_work + res.checkpoint_time +
+                           res.recovery_time + res.lost_time;
+  EXPECT_NEAR(accounted, res.total_time, 1e-9);
+}
+
+TEST(JobSim, ColdStartOnlyAffectsFirstPeriod) {
+  numerics::Rng rng(8);
+  std::vector<double> periods(100);
+  for (auto& p : periods) p = rng.weibull(0.5, 2000.0);
+  auto sched_a = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.5, 2000.0));
+  auto sched_b = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.5, 2000.0));
+  JobSimConfig cold;
+  cold.first_period_recovers = false;
+  const auto warm = simulate_job_on_trace(periods, sched_a);
+  const auto coldr = simulate_job_on_trace(periods, sched_b, cold);
+  // Exactly one recovery attempt fewer, at most one period's difference in
+  // every other metric.
+  EXPECT_EQ(warm.recoveries_completed + warm.recoveries_interrupted,
+            coldr.recoveries_completed + coldr.recoveries_interrupted + 1);
+  EXPECT_GE(coldr.useful_work, warm.useful_work);
+}
+
+TEST(JobSim, RejectsNegativeJitterSigma) {
+  auto sched = fixed_schedule(10.0, 10.0,
+                              std::make_shared<dist::Exponential>(1e-3));
+  JobSimConfig cfg;
+  cfg.cost_jitter_sigma = -0.1;
+  const std::vector<double> periods = {100.0};
+  EXPECT_THROW((void)simulate_job_on_trace(periods, sched, cfg),
+               std::invalid_argument);
+}
+
+TEST(JobSim, EventLogOffByDefault) {
+  auto sched = fixed_schedule(100.0, 100.0,
+                              std::make_shared<dist::Exponential>(1e-4));
+  const std::vector<double> periods = {5000.0};
+  const auto res = simulate_job_on_trace(periods, sched);
+  EXPECT_TRUE(res.events.empty());
+}
+
+TEST(JobSim, EventLogReconstructsAggregates) {
+  auto sched = fixed_schedule(
+      100.0, 100.0, std::make_shared<dist::Weibull>(0.43, 3409.0));
+  numerics::Rng rng(9);
+  std::vector<double> periods(120);
+  for (auto& p : periods) p = rng.weibull(0.43, 3409.0);
+  JobSimConfig cfg;
+  cfg.record_events = true;
+  const auto res = simulate_job_on_trace(periods, sched, cfg);
+  ASSERT_FALSE(res.events.empty());
+
+  double work = 0.0, lost = 0.0, ckpt = 0.0, rec = 0.0;
+  std::size_t completed_ckpts = 0;
+  for (const auto& e : res.events) {
+    switch (e.kind) {
+      case SimEventKind::kWork: work += e.duration_s; break;
+      case SimEventKind::kWorkInterrupted: lost += e.duration_s; break;
+      case SimEventKind::kCheckpoint:
+        ckpt += e.duration_s;
+        ++completed_ckpts;
+        break;
+      case SimEventKind::kCheckpointInterrupted: ckpt += e.duration_s; break;
+      case SimEventKind::kRecovery:
+      case SimEventKind::kRecoveryInterrupted: rec += e.duration_s; break;
+    }
+  }
+  EXPECT_NEAR(work, res.useful_work, 1e-9);
+  EXPECT_NEAR(lost, res.lost_time, 1e-9);
+  EXPECT_NEAR(ckpt, res.checkpoint_time, 1e-9);
+  EXPECT_NEAR(rec, res.recovery_time, 1e-9);
+  EXPECT_EQ(completed_ckpts, res.checkpoints_completed);
+}
+
+TEST(JobSim, EventTimelineIsOrderedAndWithinPeriods) {
+  auto sched = fixed_schedule(
+      50.0, 50.0, std::make_shared<dist::Weibull>(0.5, 1500.0));
+  numerics::Rng rng(10);
+  std::vector<double> periods(40);
+  for (auto& p : periods) p = rng.weibull(0.5, 1500.0);
+  JobSimConfig cfg;
+  cfg.record_events = true;
+  const auto res = simulate_job_on_trace(periods, sched, cfg);
+  double prev_end = 0.0;
+  for (const auto& e : res.events) {
+    EXPECT_GE(e.start_s, prev_end - 1e-9);  // non-overlapping, ordered
+    prev_end = e.start_s + e.duration_s;
+    EXPECT_LT(e.period_index, periods.size());
+  }
+  EXPECT_LE(prev_end, res.total_time + 1e-9);
+}
+
+TEST(JobSim, MbPerHourConsistent) {
+  auto sched = fixed_schedule(100.0, 100.0,
+                              std::make_shared<dist::Exponential>(1e-4));
+  const std::vector<double> periods = {7200.0};
+  const auto res = simulate_job_on_trace(periods, sched);
+  EXPECT_NEAR(res.mb_per_hour(), res.network_mb / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace harvest::sim

@@ -1,0 +1,118 @@
+#include "harvest/sim/parallel_sim.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::sim {
+namespace {
+
+std::vector<dist::DistributionPtr> small_pool() {
+  return {std::make_shared<dist::Weibull>(0.5, 3000.0),
+          std::make_shared<dist::Weibull>(0.45, 2000.0),
+          std::make_shared<dist::Weibull>(0.6, 4000.0)};
+}
+
+ParallelSimConfig fast_config(std::size_t jobs) {
+  ParallelSimConfig cfg;
+  cfg.job_count = jobs;
+  cfg.horizon_s = 12.0 * 3600.0;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(ParallelSim, ProducesOneStatsPerJob) {
+  const auto res = run_parallel_simulation(small_pool(), fast_config(4));
+  EXPECT_EQ(res.jobs.size(), 4u);
+  EXPECT_DOUBLE_EQ(res.horizon_s, 12.0 * 3600.0);
+}
+
+TEST(ParallelSim, SingleJobHasNoCollisionStretch) {
+  const auto res = run_parallel_simulation(small_pool(), fast_config(1));
+  EXPECT_NEAR(res.mean_stretch(), 1.0, 1e-6);
+}
+
+TEST(ParallelSim, StretchGrowsWithJobCount) {
+  const double s1 =
+      run_parallel_simulation(small_pool(), fast_config(1)).mean_stretch();
+  const double s8 =
+      run_parallel_simulation(small_pool(), fast_config(8)).mean_stretch();
+  EXPECT_GT(s8, s1 * 1.05);
+}
+
+TEST(ParallelSim, EfficiencyDegradesUnderContention) {
+  const double e1 =
+      run_parallel_simulation(small_pool(), fast_config(1)).efficiency();
+  const double e12 =
+      run_parallel_simulation(small_pool(), fast_config(12)).efficiency();
+  EXPECT_GT(e1, 0.2);
+  EXPECT_LT(e12, e1);
+}
+
+TEST(ParallelSim, TimeAccountingWithinHorizon) {
+  const auto res = run_parallel_simulation(small_pool(), fast_config(6));
+  for (const auto& j : res.jobs) {
+    const double accounted =
+        j.useful_work_s + j.lost_work_s + j.transfer_time_s;
+    // Accounted time can't exceed the horizon (plus one in-flight phase
+    // truncated by the horizon that was never attributed).
+    EXPECT_LE(accounted, res.horizon_s * (1.0 + 1e-9));
+    EXPECT_GE(j.moved_mb, 0.0);
+  }
+}
+
+TEST(ParallelSim, StretchNeverBelowOne) {
+  const auto res = run_parallel_simulation(small_pool(), fast_config(8));
+  for (const auto& j : res.jobs) {
+    if (j.transfers_completed > 0) {
+      EXPECT_GE(j.stretch_sum / j.transfers_completed, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(ParallelSim, DeterministicAcrossRuns) {
+  const auto a = run_parallel_simulation(small_pool(), fast_config(5));
+  const auto b = run_parallel_simulation(small_pool(), fast_config(5));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].useful_work_s, b.jobs[i].useful_work_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].moved_mb, b.jobs[i].moved_mb);
+  }
+}
+
+TEST(ParallelSim, EvictionsAreCounted) {
+  const auto res = run_parallel_simulation(small_pool(), fast_config(4));
+  // Mean availability ~a few thousand seconds over a 12 h horizon: there
+  // must be a decent number of evictions in total.
+  EXPECT_GT(res.total_evictions(), 10u);
+}
+
+TEST(ParallelSim, CostSmoothingIsWiredThrough) {
+  ParallelSimConfig sharp = fast_config(8);
+  ParallelSimConfig smooth = fast_config(8);
+  smooth.cost_smoothing = 0.3;
+  const auto a = run_parallel_simulation(small_pool(), sharp);
+  const auto b = run_parallel_simulation(small_pool(), smooth);
+  // Different planning behavior must change the outcome (same seeds).
+  EXPECT_NE(a.total_moved_mb(), b.total_moved_mb());
+  // Both remain sane.
+  EXPECT_GT(b.efficiency(), 0.0);
+  EXPECT_LE(b.efficiency(), 1.0);
+}
+
+TEST(ParallelSim, RejectsBadConfig) {
+  ParallelSimConfig cfg = fast_config(0);
+  EXPECT_THROW((void)run_parallel_simulation(small_pool(), cfg),
+               std::invalid_argument);
+  cfg = fast_config(2);
+  cfg.horizon_s = 0.0;
+  EXPECT_THROW((void)run_parallel_simulation(small_pool(), cfg),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_parallel_simulation({}, fast_config(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::sim

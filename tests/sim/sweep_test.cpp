@@ -1,0 +1,119 @@
+#include "harvest/sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harvest/trace/synthetic.hpp"
+
+namespace harvest::sim {
+namespace {
+
+std::vector<trace::AvailabilityTrace> small_traces() {
+  trace::PoolSpec spec;
+  spec.machine_count = 16;
+  spec.durations_per_machine = 70;
+  spec.seed = 99;
+  std::vector<trace::AvailabilityTrace> traces;
+  for (auto& m : trace::generate_pool(spec)) {
+    traces.push_back(std::move(m.trace));
+  }
+  return traces;
+}
+
+TEST(Sweep, ShapesAndPairing) {
+  SweepConfig cfg;
+  cfg.costs = {100.0, 500.0};
+  const auto res = run_sweep(small_traces(), cfg);
+  ASSERT_EQ(res.rows.size(), 2u);
+  ASSERT_EQ(res.families.size(), 4u);
+  for (const auto& row : res.rows) {
+    ASSERT_EQ(row.efficiency.size(), 4u);
+    // Pairing: every family has identical machine counts.
+    for (std::size_t f = 1; f < 4; ++f) {
+      EXPECT_EQ(row.efficiency[f].size(), row.efficiency[0].size());
+      EXPECT_EQ(row.network_mb[f].size(), row.network_mb[0].size());
+    }
+    EXPECT_GT(row.machines(), 10u);
+  }
+}
+
+TEST(Sweep, CellsCarryCiAndLetters) {
+  SweepConfig cfg;
+  cfg.costs = {500.0};
+  const auto res = run_sweep(small_traces(), cfg);
+  bool any_beats = false;
+  for (std::size_t f = 0; f < 4; ++f) {
+    const auto eff = res.cell(0, f, SweepMetric::kEfficiency);
+    EXPECT_GT(eff.ci.mean, 0.0);
+    EXPECT_LT(eff.ci.mean, 1.0);
+    EXPECT_GT(eff.ci.half_width, 0.0);
+    const auto mb = res.cell(0, f, SweepMetric::kNetworkMb);
+    EXPECT_GT(mb.ci.mean, 0.0);
+    any_beats |= !mb.beats.empty();
+  }
+  // The exponential's bandwidth is so much worse that SOMEONE must beat it.
+  EXPECT_TRUE(any_beats);
+}
+
+TEST(Sweep, ExponentialLosesOnBandwidth) {
+  // Needs a larger pool than the other tests: the paired t-test must reach
+  // significance, not just the right ordering.
+  trace::PoolSpec spec;
+  spec.machine_count = 48;
+  spec.durations_per_machine = 90;
+  spec.seed = 101;
+  std::vector<trace::AvailabilityTrace> traces;
+  for (auto& m : trace::generate_pool(spec)) {
+    traces.push_back(std::move(m.trace));
+  }
+  SweepConfig cfg;
+  cfg.costs = {500.0};
+  const auto res = run_sweep(traces, cfg);
+  const auto h2 = res.cell(0, 2, SweepMetric::kNetworkMb);
+  const auto e = res.cell(0, 0, SweepMetric::kNetworkMb);
+  EXPECT_LT(h2.ci.mean, e.ci.mean);
+  // Letters mark families with significantly SMALLER values, so the
+  // hyperexponential shows up in the exponential's cell (not vice versa).
+  EXPECT_NE(e.beats.find('2'), std::string::npos);
+  EXPECT_EQ(h2.beats.find('e'), std::string::npos);
+}
+
+TEST(Sweep, FamilyLettersStable) {
+  EXPECT_EQ(family_letter(core::ModelFamily::kExponential), 'e');
+  EXPECT_EQ(family_letter(core::ModelFamily::kWeibull), 'w');
+  EXPECT_EQ(family_letter(core::ModelFamily::kHyperexp2), '2');
+  EXPECT_EQ(family_letter(core::ModelFamily::kHyperexp3), '3');
+  EXPECT_EQ(family_letter(core::ModelFamily::kLognormal), 'l');
+  EXPECT_EQ(family_letter(core::ModelFamily::kGamma), 'g');
+}
+
+TEST(Sweep, CustomFamilySubset) {
+  SweepConfig cfg;
+  cfg.costs = {250.0};
+  cfg.families = {core::ModelFamily::kWeibull, core::ModelFamily::kGamma};
+  const auto res = run_sweep(small_traces(), cfg);
+  ASSERT_EQ(res.families.size(), 2u);
+  ASSERT_EQ(res.rows[0].efficiency.size(), 2u);
+  EXPECT_GT(res.rows[0].machines(), 10u);
+}
+
+TEST(Sweep, RejectsEmptyGrid) {
+  SweepConfig cfg;
+  cfg.costs = {};
+  EXPECT_THROW((void)run_sweep(small_traces(), cfg), std::invalid_argument);
+  cfg.costs = {100.0};
+  cfg.families = {};
+  EXPECT_THROW((void)run_sweep(small_traces(), cfg), std::invalid_argument);
+}
+
+TEST(Sweep, OutOfRangeCellThrows) {
+  SweepConfig cfg;
+  cfg.costs = {100.0};
+  const auto res = run_sweep(small_traces(), cfg);
+  EXPECT_THROW((void)res.cell(1, 0, SweepMetric::kEfficiency),
+               std::out_of_range);
+  EXPECT_THROW((void)res.cell(0, 9, SweepMetric::kEfficiency),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace harvest::sim

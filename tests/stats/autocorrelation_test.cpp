@@ -1,0 +1,94 @@
+#include "harvest/stats/autocorrelation.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::stats {
+namespace {
+
+std::vector<double> iid_sample(std::size_t n, std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.weibull(0.5, 1000.0);
+  return xs;
+}
+
+std::vector<double> ar1_sample(std::size_t n, double phi,
+                               std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  std::vector<double> xs(n);
+  double prev = 0.0;
+  for (auto& x : xs) {
+    prev = phi * prev + rng.normal();
+    x = prev;
+  }
+  return xs;
+}
+
+TEST(Autocorrelation, NearZeroForIidData) {
+  const auto xs = iid_sample(5000, 1);
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.05);
+  EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.05);
+}
+
+TEST(Autocorrelation, DetectsAr1Structure) {
+  const double phi = 0.7;
+  const auto xs = ar1_sample(8000, phi, 2);
+  EXPECT_NEAR(autocorrelation(xs, 1), phi, 0.05);
+  EXPECT_NEAR(autocorrelation(xs, 2), phi * phi, 0.06);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegative) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(autocorrelation(xs, 1), -1.0, 0.05);
+}
+
+TEST(Autocorrelation, RejectsBadInputs) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)autocorrelation(xs, 0), std::invalid_argument);
+  EXPECT_THROW((void)autocorrelation(xs, 2), std::invalid_argument);
+  const std::vector<double> constant = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_THROW((void)autocorrelation(constant, 1), std::invalid_argument);
+}
+
+TEST(IidDiagnostic, AcceptsIidData) {
+  const auto d = iid_diagnostic(iid_sample(2000, 3));
+  EXPECT_TRUE(d.iid_plausible);
+  EXPECT_GT(d.p_value, 0.05);
+  EXPECT_EQ(d.lags, 10);
+}
+
+TEST(IidDiagnostic, RejectsCorrelatedData) {
+  const auto d = iid_diagnostic(ar1_sample(2000, 0.5, 4));
+  EXPECT_FALSE(d.iid_plausible);
+  EXPECT_LT(d.p_value, 1e-6);
+  EXPECT_GT(d.lag1, 0.3);
+}
+
+TEST(IidDiagnostic, FalsePositiveRateRoughlyAlpha) {
+  int rejections = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto d = iid_diagnostic(iid_sample(300, 100 + t));
+    if (!d.iid_plausible) ++rejections;
+  }
+  // Expected ~5 %; allow generous slack for a 200-trial estimate.
+  EXPECT_LT(rejections, 30);
+  EXPECT_GT(rejections, 0);
+}
+
+TEST(IidDiagnostic, RejectsBadArguments) {
+  const auto xs = iid_sample(50, 5);
+  EXPECT_THROW((void)iid_diagnostic(xs, 0), std::invalid_argument);
+  EXPECT_THROW((void)iid_diagnostic(xs, 10, 1.5), std::invalid_argument);
+  const std::vector<double> tiny = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)iid_diagnostic(tiny, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::stats

@@ -1,0 +1,99 @@
+#include "harvest/stats/kaplan_meier.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::stats {
+namespace {
+
+TEST(KaplanMeier, NoCensoringMatchesEcdfComplement) {
+  const std::vector<double> times = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<bool> obs = {true, true, true, true};
+  const KaplanMeier km(times, obs);
+  EXPECT_DOUBLE_EQ(km.survival(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(km.survival(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(km.survival(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(km.survival(4.0), 0.0);
+}
+
+TEST(KaplanMeier, TextbookCensoredExample) {
+  // Times 1, 2+, 3, 4+ (+'s censored):
+  // S(1) = 3/4; S(3) = 3/4 * (1 - 1/2) = 3/8.
+  const std::vector<double> times = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<bool> obs = {true, false, true, false};
+  const KaplanMeier km(times, obs);
+  EXPECT_DOUBLE_EQ(km.survival(1.5), 0.75);
+  EXPECT_DOUBLE_EQ(km.survival(3.5), 0.375);
+  // No event at 4: the curve never drops below 0.375.
+  EXPECT_DOUBLE_EQ(km.survival(100.0), 0.375);
+}
+
+TEST(KaplanMeier, TiedEventTimes) {
+  const std::vector<double> times = {2.0, 2.0, 2.0, 5.0};
+  const std::vector<bool> obs = {true, true, false, true};
+  const KaplanMeier km(times, obs);
+  // At t=2: 4 at risk, 2 events -> S = 0.5; at t=5: 1 at risk, 1 event -> 0.
+  EXPECT_DOUBLE_EQ(km.survival(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(km.survival(5.0), 0.0);
+  ASSERT_EQ(km.points().size(), 2u);
+  EXPECT_EQ(km.points()[0].events, 2u);
+  EXPECT_EQ(km.points()[0].at_risk, 4u);
+}
+
+TEST(KaplanMeier, MedianDetection) {
+  const std::vector<double> times = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<bool> obs = {true, true, true, true};
+  EXPECT_DOUBLE_EQ(KaplanMeier(times, obs).median(), 2.0);
+  // Heavily censored: median unreachable.
+  const std::vector<bool> cens = {true, false, false, false};
+  EXPECT_TRUE(std::isnan(KaplanMeier(times, cens).median()));
+}
+
+TEST(KaplanMeier, AgreesWithTrueSurvivalOnLargeSample) {
+  // Exponential lifetimes censored at a fixed horizon; KM should track the
+  // true survival up to the horizon.
+  numerics::Rng rng(9);
+  const double rate = 0.01;
+  std::vector<double> times;
+  std::vector<bool> obs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(rate);
+    if (x > 150.0) {
+      times.push_back(150.0);
+      obs.push_back(false);
+    } else {
+      times.push_back(x);
+      obs.push_back(true);
+    }
+  }
+  const KaplanMeier km(times, obs);
+  for (double t : {20.0, 60.0, 120.0}) {
+    EXPECT_NEAR(km.survival(t), std::exp(-rate * t), 0.01) << "t=" << t;
+  }
+}
+
+TEST(KaplanMeier, RestrictedMeanMatchesStepIntegral) {
+  const std::vector<double> times = {1.0, 3.0};
+  const std::vector<bool> obs = {true, true};
+  const KaplanMeier km(times, obs);
+  // S = 1 on [0,1), 0.5 on [1,3), 0 beyond: ∫₀³ = 1 + 1 = 2.
+  EXPECT_DOUBLE_EQ(km.restricted_mean(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(km.restricted_mean(), 2.0);
+  EXPECT_DOUBLE_EQ(km.restricted_mean(2.0), 1.5);
+}
+
+TEST(KaplanMeier, RejectsBadInputs) {
+  const std::vector<double> times = {1.0};
+  const std::vector<bool> short_obs = {};
+  EXPECT_THROW(KaplanMeier(times, short_obs), std::invalid_argument);
+  const std::vector<double> neg = {-1.0};
+  const std::vector<bool> one = {true};
+  EXPECT_THROW(KaplanMeier(neg, one), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::stats

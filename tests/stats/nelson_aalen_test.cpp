@@ -1,0 +1,78 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+#include "harvest/stats/kaplan_meier.hpp"
+
+namespace harvest::stats {
+namespace {
+
+TEST(NelsonAalen, HandComputedExample) {
+  // Times 1, 2+, 3 (+ censored): H(1) = 1/3, H(3) = 1/3 + 1/1.
+  const std::vector<double> times = {1.0, 2.0, 3.0};
+  const std::vector<bool> obs = {true, false, true};
+  const NelsonAalen na(times, obs);
+  EXPECT_DOUBLE_EQ(na.cumulative_hazard(0.5), 0.0);
+  EXPECT_NEAR(na.cumulative_hazard(1.5), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(na.cumulative_hazard(10.0), 1.0 / 3.0 + 1.0, 1e-12);
+}
+
+TEST(NelsonAalen, SurvivalIsExpOfMinusHazard) {
+  const std::vector<double> times = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<bool> obs = {true, true, true, true};
+  const NelsonAalen na(times, obs);
+  for (double t : {0.5, 1.5, 3.5}) {
+    EXPECT_DOUBLE_EQ(na.survival(t), std::exp(-na.cumulative_hazard(t)));
+  }
+}
+
+TEST(NelsonAalen, TracksTrueCumulativeHazardOfExponential) {
+  numerics::Rng rng(7);
+  const double rate = 0.01;
+  std::vector<double> times(20000);
+  std::vector<bool> obs(times.size(), true);
+  for (auto& t : times) t = rng.exponential(rate);
+  const NelsonAalen na(times, obs);
+  for (double t : {20.0, 80.0, 200.0}) {
+    EXPECT_NEAR(na.cumulative_hazard(t) / (rate * t), 1.0, 0.05)
+        << "t=" << t;
+  }
+}
+
+TEST(NelsonAalen, ConcaveForDecreasingHazardData) {
+  // Weibull shape < 1: H(t) = (t/beta)^alpha is concave — the model-free
+  // signature of the paper's heavy-tailed availability.
+  numerics::Rng rng(8);
+  std::vector<double> times(20000);
+  std::vector<bool> obs(times.size(), true);
+  for (auto& t : times) t = rng.weibull(0.43, 3409.0);
+  const NelsonAalen na(times, obs);
+  const double h1 = na.cumulative_hazard(500.0);
+  const double h2 = na.cumulative_hazard(1000.0);
+  const double h3 = na.cumulative_hazard(1500.0);
+  // Concavity: equal-width increments shrink.
+  EXPECT_GT(h2 - h1, h3 - h2);
+}
+
+TEST(NelsonAalen, SitsSlightlyAboveKaplanMeierSurvival) {
+  numerics::Rng rng(9);
+  std::vector<double> times(500);
+  std::vector<bool> obs(times.size(), true);
+  for (auto& t : times) t = rng.exponential(0.002);
+  const NelsonAalen na(times, obs);
+  const KaplanMeier km(times, obs);
+  for (double t : {200.0, 500.0, 1500.0}) {
+    EXPECT_GE(na.survival(t), km.survival(t) - 1e-12) << "t=" << t;
+  }
+}
+
+TEST(NelsonAalen, RejectsBadInputs) {
+  EXPECT_THROW(NelsonAalen({}, {}), std::invalid_argument);
+  EXPECT_THROW(NelsonAalen({1.0}, {true, false}), std::invalid_argument);
+  EXPECT_THROW(NelsonAalen({-1.0}, {true}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::stats

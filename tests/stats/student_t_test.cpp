@@ -1,0 +1,70 @@
+#include "harvest/stats/student_t.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace harvest::stats {
+namespace {
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (double df : {1.0, 3.0, 10.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(student_t_cdf(0.0, df), 0.5);
+  }
+}
+
+TEST(StudentT, CdfSymmetry) {
+  for (double t : {0.5, 1.0, 2.5}) {
+    for (double df : {2.0, 5.0, 30.0}) {
+      EXPECT_NEAR(student_t_cdf(t, df) + student_t_cdf(-t, df), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(StudentT, CauchySpecialCase) {
+  // df=1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/pi.
+  for (double t : {-2.0, -0.5, 0.7, 3.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-10)
+        << "t=" << t;
+  }
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  // Classic table entries: t_{0.975, df}.
+  EXPECT_NEAR(student_t_quantile(0.975, 1.0), 12.7062, 1e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 5.0), 2.5706, 1e-4);
+  EXPECT_NEAR(student_t_quantile(0.975, 30.0), 2.0423, 1e-4);
+  EXPECT_NEAR(student_t_quantile(0.975, 120.0), 1.9799, 1e-4);
+}
+
+TEST(StudentT, QuantileRoundTrips) {
+  for (double df : {2.0, 7.0, 25.0, 200.0}) {
+    for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+      const double t = student_t_quantile(p, df);
+      EXPECT_NEAR(student_t_cdf(t, df), p, 1e-9)
+          << "df=" << df << " p=" << p;
+    }
+  }
+}
+
+TEST(StudentT, ApproachesNormalForLargeDf) {
+  // z_{0.975} = 1.95996
+  EXPECT_NEAR(student_t_quantile(0.975, 1e6), 1.95996, 1e-3);
+}
+
+TEST(StudentT, TwoSidedPValues) {
+  // p = 0.05 exactly at the critical value.
+  const double t = student_t_quantile(0.975, 10.0);
+  EXPECT_NEAR(student_t_two_sided_p(t, 10.0), 0.05, 1e-9);
+  EXPECT_NEAR(student_t_two_sided_p(-t, 10.0), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(student_t_two_sided_p(0.0, 10.0), 1.0);
+}
+
+TEST(StudentT, RejectsBadArguments) {
+  EXPECT_THROW((void)student_t_cdf(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)student_t_quantile(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)student_t_quantile(1.0, 5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::stats

@@ -1,0 +1,100 @@
+#include "harvest/stats/summary.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace harvest::stats {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW((void)rs.mean(), std::logic_error);
+  EXPECT_THROW((void)rs.min(), std::logic_error);
+  rs.add(1.0);
+  EXPECT_THROW((void)rs.variance(), std::logic_error);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0 + i;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(ConfidenceInterval, KnownSmallSample) {
+  // n=4, mean=5, sd=2 => se=1, t_{0.975,3}=3.1824 => hw≈3.1824.
+  const std::vector<double> xs = {3.0, 4.0, 6.0, 7.0};
+  const auto ci = mean_confidence_interval(xs, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  const double sd = std::sqrt(10.0 / 3.0);
+  EXPECT_NEAR(ci.half_width, 3.182446 * sd / 2.0, 1e-4);
+  EXPECT_EQ(ci.n, 4u);
+}
+
+TEST(ConfidenceInterval, WidthShrinksWithConfidence) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto ci90 = mean_confidence_interval(xs, 0.90);
+  const auto ci99 = mean_confidence_interval(xs, 0.99);
+  EXPECT_LT(ci90.half_width, ci99.half_width);
+}
+
+TEST(ConfidenceInterval, RejectsDegenerateInputs) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)mean_confidence_interval(one), std::invalid_argument);
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW((void)mean_confidence_interval(two, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Quantiles, MedianAndInterpolation) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median_of(xs), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantiles, RejectsBadInputs) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)median_of(empty), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)quantile_of(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile_of(xs, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::stats

@@ -1,0 +1,110 @@
+#include "harvest/stats/ttest.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::stats {
+namespace {
+
+TEST(PairedTTest, DetectsConsistentShift) {
+  std::vector<double> a;
+  std::vector<double> b;
+  numerics::Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.uniform(0.0, 10.0);
+    a.push_back(base + 1.0 + rng.normal(0.0, 0.2));
+    b.push_back(base);
+  }
+  const auto r = paired_t_test(a, b);
+  EXPECT_TRUE(r.significant);
+  EXPECT_GT(r.t_statistic, 0.0);
+  EXPECT_NEAR(r.mean_diff, 1.0, 0.2);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(PairedTTest, NoFalsePositiveOnPureNoise) {
+  std::vector<double> a;
+  std::vector<double> b;
+  numerics::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double base = rng.uniform(0.0, 10.0);
+    a.push_back(base + rng.normal(0.0, 1.0));
+    b.push_back(base + rng.normal(0.0, 1.0));
+  }
+  const auto r = paired_t_test(a, b);
+  EXPECT_GT(r.p_value, 0.05);  // seed chosen to be unremarkable
+}
+
+TEST(PairedTTest, PairingRemovesMachineVariance) {
+  // Across-machine variance dwarfs the shift; only the paired test sees it.
+  std::vector<double> a;
+  std::vector<double> b;
+  numerics::Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const double machine_scale = rng.uniform(0.0, 1000.0);
+    a.push_back(machine_scale + 0.5);
+    b.push_back(machine_scale);
+  }
+  EXPECT_TRUE(paired_t_test(a, b).significant);
+  EXPECT_FALSE(welch_t_test(a, b).significant);
+}
+
+TEST(PairedTTest, KnownTStatistic) {
+  // diffs = {1,2,3}: mean 2, sd 1, t = 2 / (1/sqrt(3)) = 2*sqrt(3).
+  const std::vector<double> a = {2.0, 4.0, 6.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto r = paired_t_test(a, b);
+  EXPECT_NEAR(r.t_statistic, 2.0 * std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(r.df, 2.0);
+}
+
+TEST(PairedTTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const auto r = paired_t_test(a, a);
+  EXPECT_FALSE(r.significant);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(PairedTTest, ConstantNonzeroDifferenceIsSignificant) {
+  const std::vector<double> a = {2.0, 3.0, 4.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto r = paired_t_test(a, b);
+  EXPECT_TRUE(r.significant);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(PairedTTest, RejectsBadInputs) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW((void)paired_t_test(a, b), std::invalid_argument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)paired_t_test(one, one), std::invalid_argument);
+}
+
+TEST(OneSampleTTest, DetectsShiftFromMu0) {
+  const std::vector<double> xs = {5.1, 4.9, 5.2, 5.0, 5.1, 4.8, 5.3};
+  EXPECT_FALSE(one_sample_t_test(xs, 5.0).significant);
+  EXPECT_TRUE(one_sample_t_test(xs, 4.0).significant);
+}
+
+TEST(WelchTTest, UnequalVariances) {
+  std::vector<double> a;
+  std::vector<double> b;
+  numerics::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(rng.normal(10.0, 0.5));
+    b.push_back(rng.normal(12.0, 5.0));
+  }
+  const auto r = welch_t_test(a, b);
+  EXPECT_TRUE(r.significant);
+  EXPECT_LT(r.t_statistic, 0.0);
+  // Welch df must be below the pooled n1+n2-2.
+  EXPECT_LT(r.df, 98.0);
+}
+
+}  // namespace
+}  // namespace harvest::stats

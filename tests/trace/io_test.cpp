@@ -1,0 +1,103 @@
+#include "harvest/trace/io.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace harvest::trace {
+namespace {
+
+TEST(TraceIo, RoundTripsThroughCsv) {
+  std::vector<AvailabilityTrace> traces(2);
+  traces[0].machine_id = "alpha";
+  traces[0].durations = {10.0, 20.0};
+  traces[0].timestamps = {100.0, 200.0};
+  traces[1].machine_id = "beta";
+  traces[1].durations = {5.5};
+  traces[1].timestamps = {50.0};
+
+  std::stringstream buf;
+  write_traces_csv(buf, traces);
+  const auto loaded = read_traces_csv(buf);
+
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].machine_id, "alpha");
+  EXPECT_EQ(loaded[0].durations, (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(loaded[1].machine_id, "beta");
+  EXPECT_DOUBLE_EQ(loaded[1].durations[0], 5.5);
+}
+
+TEST(TraceIo, GroupsInterleavedRowsAndSortsByTimestamp) {
+  std::stringstream in(
+      "machine_id,timestamp,duration\n"
+      "a,300,3\n"
+      "b,100,1\n"
+      "a,100,1\n"
+      "a,200,2\n");
+  const auto traces = read_traces_csv(in);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].machine_id, "a");
+  EXPECT_EQ(traces[0].durations, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(traces[1].durations, (std::vector<double>{1.0}));
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream in(
+      "machine_id,timestamp,duration\n"
+      "\n"
+      "a,1,2\n"
+      "\n");
+  const auto traces = read_traces_csv(in);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].durations.size(), 1u);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream in("a,1,2\n");
+  EXPECT_THROW((void)read_traces_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRowWithLineNumber) {
+  std::stringstream in(
+      "machine_id,timestamp,duration\n"
+      "a,1,2\n"
+      "broken-row\n");
+  try {
+    (void)read_traces_csv(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsNonNumericFields) {
+  std::stringstream in(
+      "machine_id,timestamp,duration\n"
+      "a,xyz,2\n");
+  EXPECT_THROW((void)read_traces_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::stringstream in("");
+  EXPECT_THROW((void)read_traces_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  std::vector<AvailabilityTrace> traces(1);
+  traces[0].machine_id = "disk";
+  traces[0].durations = {1.0, 2.0, 3.0};
+  traces[0].timestamps = {0.0, 10.0, 20.0};
+  const std::string path = ::testing::TempDir() + "/traces_roundtrip.csv";
+  save_traces_csv(path, traces);
+  const auto loaded = load_traces_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].durations, traces[0].durations);
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_traces_csv("/nonexistent/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace harvest::trace

@@ -1,0 +1,104 @@
+#include "harvest/trace/statistics.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "harvest/trace/synthetic.hpp"
+
+namespace harvest::trace {
+namespace {
+
+AvailabilityTrace make_trace(const std::string& id,
+                             std::vector<double> durations) {
+  AvailabilityTrace t;
+  t.machine_id = id;
+  t.durations = std::move(durations);
+  for (std::size_t i = 0; i < t.durations.size(); ++i) {
+    t.timestamps.push_back(static_cast<double>(i) * 100.0);
+  }
+  return t;
+}
+
+TEST(TraceStatistics, SummaryValues) {
+  const auto t = make_trace("a", {10.0, 20.0, 30.0, 40.0});
+  const auto s = summarize_trace(t);
+  EXPECT_EQ(s.machine_id, "a");
+  EXPECT_EQ(s.observations, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_s, 25.0);
+  EXPECT_DOUBLE_EQ(s.median_s, 25.0);
+  EXPECT_DOUBLE_EQ(s.min_s, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 40.0);
+  EXPECT_DOUBLE_EQ(s.total_observed_s, 100.0);
+  EXPECT_NEAR(s.cv, std::sqrt(500.0 / 3.0) / 25.0, 1e-12);
+}
+
+TEST(TraceStatistics, SummaryRejectsTinyTrace) {
+  EXPECT_THROW((void)summarize_trace(make_trace("x", {1.0})),
+               std::invalid_argument);
+}
+
+TEST(TraceStatistics, PoolSummaryAggregates) {
+  std::vector<AvailabilityTrace> traces = {
+      make_trace("a", {10.0, 20.0}),
+      make_trace("b", {100.0, 200.0, 300.0}),
+      make_trace("tiny", {5.0}),  // skipped
+  };
+  const auto p = summarize_pool(traces);
+  EXPECT_EQ(p.machine_count, 2u);
+  EXPECT_EQ(p.total_observations, 5u);
+  EXPECT_DOUBLE_EQ(p.mean_of_means_s, (15.0 + 200.0) / 2.0);
+}
+
+TEST(TraceStatistics, HeavyTailedFractionDetectsCvAboveOne) {
+  trace::PoolSpec spec;
+  spec.machine_count = 60;
+  spec.durations_per_machine = 200;
+  spec.seed = 5;
+  std::vector<AvailabilityTrace> traces;
+  for (auto& m : generate_pool(spec)) traces.push_back(std::move(m.trace));
+  const auto p = summarize_pool(traces);
+  // Heavy-tailed Weibulls (shape < 1) and bimodal hyperexps both have
+  // cv > 1; nearly the whole pool should flag.
+  EXPECT_GT(p.heavy_tailed_fraction, 0.8);
+  EXPECT_GT(p.mean_cv, 1.0);
+}
+
+TEST(TraceStatistics, FilterMinObservations) {
+  std::vector<AvailabilityTrace> traces = {
+      make_trace("keep", {1.0, 2.0, 3.0}),
+      make_trace("drop", {1.0}),
+  };
+  const auto kept = filter_min_observations(std::move(traces), 3);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].machine_id, "keep");
+}
+
+TEST(TraceStatistics, FilterTimeWindow) {
+  auto t = make_trace("w", {1.0, 2.0, 3.0, 4.0});  // timestamps 0,100,200,300
+  const auto kept = filter_time_window({t}, 100.0, 300.0);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].durations, (std::vector<double>{2.0, 3.0}));
+}
+
+TEST(TraceStatistics, FilterTimeWindowDropsEmptied) {
+  auto t = make_trace("gone", {1.0, 2.0});
+  const auto kept = filter_time_window({t}, 1000.0, 2000.0);
+  EXPECT_TRUE(kept.empty());
+}
+
+TEST(TraceStatistics, FilterTimeWindowKeepsTimestampless) {
+  AvailabilityTrace t;
+  t.machine_id = "nots";
+  t.durations = {1.0, 2.0};
+  const auto kept = filter_time_window({t}, 0.0, 1.0);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].durations.size(), 2u);
+}
+
+TEST(TraceStatistics, FilterTimeWindowRejectsBadRange) {
+  EXPECT_THROW((void)filter_time_window({}, 5.0, 5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::trace

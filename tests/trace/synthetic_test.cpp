@@ -1,0 +1,114 @@
+#include "harvest/trace/synthetic.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+
+namespace harvest::trace {
+namespace {
+
+PoolSpec small_spec() {
+  PoolSpec spec;
+  spec.machine_count = 40;
+  spec.durations_per_machine = 60;
+  spec.seed = 123;
+  return spec;
+}
+
+TEST(SyntheticPool, GeneratesRequestedShape) {
+  const auto pool = generate_pool(small_spec());
+  ASSERT_EQ(pool.size(), 40u);
+  for (const auto& m : pool) {
+    EXPECT_EQ(m.trace.size(), 60u);
+    EXPECT_NE(m.ground_truth, nullptr);
+    EXPECT_NO_THROW(m.trace.validate());
+  }
+}
+
+TEST(SyntheticPool, MachineIdsAreUniqueAndStable) {
+  const auto pool = generate_pool(small_spec());
+  std::set<std::string> ids;
+  for (const auto& m : pool) ids.insert(m.trace.machine_id);
+  EXPECT_EQ(ids.size(), pool.size());
+  EXPECT_EQ(pool[0].trace.machine_id, "m0000");
+  EXPECT_EQ(pool[7].trace.machine_id, "m0007");
+}
+
+TEST(SyntheticPool, DeterministicFromSeed) {
+  const auto a = generate_pool(small_spec());
+  const auto b = generate_pool(small_spec());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].trace.durations, b[i].trace.durations);
+  }
+}
+
+TEST(SyntheticPool, DifferentSeedsDiffer) {
+  auto spec = small_spec();
+  const auto a = generate_pool(spec);
+  spec.seed = 456;
+  const auto b = generate_pool(spec);
+  EXPECT_NE(a[0].trace.durations, b[0].trace.durations);
+}
+
+TEST(SyntheticPool, MixesWeibullAndBimodalMachines) {
+  auto spec = small_spec();
+  spec.machine_count = 200;
+  const auto pool = generate_pool(spec);
+  std::size_t weibull = 0;
+  std::size_t hyper = 0;
+  for (const auto& m : pool) {
+    if (m.ground_truth->name() == "weibull") ++weibull;
+    if (m.ground_truth->name() == "hyperexp2") ++hyper;
+  }
+  EXPECT_EQ(weibull + hyper, pool.size());
+  // bimodal_fraction = 0.5 ± sampling noise.
+  EXPECT_GT(hyper, 70u);
+  EXPECT_LT(hyper, 130u);
+}
+
+TEST(SyntheticPool, TraceMatchesGroundTruthScale) {
+  auto spec = small_spec();
+  spec.durations_per_machine = 400;
+  const auto pool = generate_pool(spec);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& m = pool[i];
+    double mean = 0.0;
+    for (double d : m.trace.durations) mean += d;
+    mean /= static_cast<double>(m.trace.size());
+    EXPECT_NEAR(mean / m.ground_truth->mean(), 1.0, 0.6) << "machine " << i;
+  }
+}
+
+TEST(SyntheticPool, RejectsBadSpecs) {
+  PoolSpec spec;
+  spec.machine_count = 0;
+  EXPECT_THROW((void)generate_pool(spec), std::invalid_argument);
+  spec = PoolSpec{};
+  spec.shape_min = -1.0;
+  EXPECT_THROW((void)generate_pool(spec), std::invalid_argument);
+  spec = PoolSpec{};
+  spec.bimodal_fraction = 1.5;
+  EXPECT_THROW((void)generate_pool(spec), std::invalid_argument);
+}
+
+TEST(SampleTrace, RecoverableParameters) {
+  // The Table 2 scenario: 5000 draws from the paper's Weibull; an MLE fit
+  // on the trace must recover the generator.
+  const dist::Weibull truth(0.43, 3409.0);
+  const auto t = sample_trace(truth, 5000, 99, "synthetic");
+  EXPECT_EQ(t.size(), 5000u);
+  const auto fitted = fit::fit_weibull_mle(t.durations);
+  EXPECT_NEAR(fitted.shape() / 0.43, 1.0, 0.07);
+  EXPECT_NEAR(fitted.scale() / 3409.0, 1.0, 0.10);
+}
+
+TEST(SampleTrace, RejectsZeroCount) {
+  const dist::Weibull truth(0.5, 100.0);
+  EXPECT_THROW((void)sample_trace(truth, 0, 1, "x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::trace

@@ -1,0 +1,69 @@
+#include "harvest/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harvest::trace {
+namespace {
+
+AvailabilityTrace make_trace(std::size_t n) {
+  AvailabilityTrace t;
+  t.machine_id = "m";
+  for (std::size_t i = 0; i < n; ++i) {
+    t.durations.push_back(100.0 + static_cast<double>(i));
+    t.timestamps.push_back(static_cast<double>(i) * 1000.0);
+  }
+  return t;
+}
+
+TEST(AvailabilityTrace, ValidatesGoodTrace) {
+  EXPECT_NO_THROW(make_trace(5).validate());
+}
+
+TEST(AvailabilityTrace, RejectsNegativeDurations) {
+  auto t = make_trace(3);
+  t.durations[1] = -1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(AvailabilityTrace, RejectsLengthMismatch) {
+  auto t = make_trace(3);
+  t.timestamps.pop_back();
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(AvailabilityTrace, RejectsDecreasingTimestamps) {
+  auto t = make_trace(3);
+  t.timestamps[2] = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(AvailabilityTrace, EmptyTimestampsAllowed) {
+  auto t = make_trace(3);
+  t.timestamps.clear();
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(SplitTrainTest, PaperDefaultTakesFirst25) {
+  const auto t = make_trace(40);
+  const auto split = split_train_test(t);
+  EXPECT_EQ(split.train.size(), 25u);
+  EXPECT_EQ(split.test.size(), 15u);
+  EXPECT_DOUBLE_EQ(split.train.front(), 100.0);
+  EXPECT_DOUBLE_EQ(split.test.front(), 125.0);
+}
+
+TEST(SplitTrainTest, CustomSplitPoint) {
+  const auto t = make_trace(10);
+  const auto split = split_train_test(t, 3);
+  EXPECT_EQ(split.train.size(), 3u);
+  EXPECT_EQ(split.test.size(), 7u);
+}
+
+TEST(SplitTrainTest, RejectsTooShortTrace) {
+  EXPECT_THROW((void)split_train_test(make_trace(25), 25),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)split_train_test(make_trace(26), 25));
+}
+
+}  // namespace
+}  // namespace harvest::trace

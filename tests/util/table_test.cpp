@@ -1,0 +1,53 @@
+#include "harvest/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harvest::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"CTime", "Exp."});
+  t.add_row({"50", "0.754"});
+  t.add_row({"100", "0.677"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("CTime"), std::string::npos);
+  EXPECT_NE(out.find("0.754"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"a", "bbbb"});
+  t.add_row({"xxxxxx", "y"});
+  const std::string out = t.render();
+  // Every line is as wide as the widest cell per column (6 + 2 + 4).
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    EXPECT_EQ(eol - pos, 12u);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"one", "two"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(0.7539, 3), "0.754");
+  EXPECT_EQ(format_fixed(110296.4, 0), "110296");
+}
+
+TEST(FormatCiCell, PaperStyle) {
+  EXPECT_EQ(format_ci_cell(0.754, 0.013, 3, ""), "0.754 +- 0.013");
+  EXPECT_EQ(format_ci_cell(0.767, 0.012, 3, "e,2,3"),
+            "0.767 +- 0.012 (e,2,3)");
+}
+
+}  // namespace
+}  // namespace harvest::util
