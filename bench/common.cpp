@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <stdexcept>
 
 #include "harvest/condor/live_experiment.hpp"
+#include "harvest/obs/json.hpp"
 #include "harvest/sim/sweep.hpp"
 #include "harvest/stats/ttest.hpp"
 #include "harvest/trace/synthetic.hpp"
@@ -21,6 +25,10 @@ const std::vector<double>& paper_costs() {
 std::vector<trace::AvailabilityTrace> standard_traces(std::size_t machines,
                                                       std::size_t durations,
                                                       std::uint64_t seed) {
+  // Every bench's output opens with the exact pool recipe it ran on.
+  std::printf("# repro: standard_traces machines=%zu durations=%zu "
+              "seed=%llu\n",
+              machines, durations, static_cast<unsigned long long>(seed));
   trace::PoolSpec spec;
   spec.machine_count = machines;
   spec.durations_per_machine = durations;
@@ -47,12 +55,14 @@ std::string family_header(std::size_t i) {
 }
 
 RowMetrics run_row(const std::vector<trace::AvailabilityTrace>& traces,
-                   double cost, const sim::ExperimentConfig& base_config) {
+                   double cost, const sim::ExperimentConfig& base_config,
+                   obs::MetricsRegistry* metrics) {
   // Delegate to the library's sweep engine (one-cost grid, paper families).
   sim::SweepConfig sweep_cfg;
   sweep_cfg.costs = {cost};
   sweep_cfg.families.assign(families().begin(), families().end());
   sweep_cfg.experiment = base_config;
+  if (metrics != nullptr) sweep_cfg.experiment.metrics = metrics;
   const auto sweep = sim::run_sweep(traces, sweep_cfg);
 
   RowMetrics row;
@@ -108,7 +118,10 @@ LiveTableOutcome run_live_table(const std::string& title,
   std::printf(
       "Emulated pool + checkpoint manager (DESIGN.md: substitution for the\n"
       "live Condor deployment); measured transfer times parameterize the\n"
-      "planner at every checkpoint; 500 MB transfers.\n\n");
+      "planner at every checkpoint; 500 MB transfers.\n");
+  std::printf("# repro: live_table placements=%zu seed=%llu machines=48 "
+              "histories=30\n\n",
+              placements, static_cast<unsigned long long>(seed));
 
   // Pool machines from the standard synthetic generator's ground truths.
   trace::PoolSpec spec;
@@ -161,6 +174,87 @@ LiveTableOutcome run_live_table(const std::string& title,
   }
   std::printf("%s\n", table.render().c_str());
   return out;
+}
+
+std::string parse_json_flag(int& argc, char** argv) {
+  std::string path;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[write++] = argv[i];
+    }
+  }
+  argc = write;
+  return path;
+}
+
+void write_bench_json(const std::string& path, const std::string& bench_name,
+                      const sim::ExperimentConfig& base_config,
+                      const std::vector<RowMetrics>& rows,
+                      const obs::MetricsRegistry* registry) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("bench", bench_name);
+  w.field("schema_version", 1);
+
+  // Everything needed to regenerate these numbers byte-for-byte.
+  w.key("config").begin_object();
+  w.field("trace_machines", std::uint64_t{kStandardTraceMachines});
+  w.field("trace_durations", std::uint64_t{kStandardTraceDurations});
+  w.field("trace_seed", std::uint64_t{kStandardTraceSeed});
+  w.field("train_count", std::uint64_t{base_config.train_count});
+  w.field("jitter_seed", std::uint64_t{base_config.job.jitter_seed});
+  w.field("cost_jitter_sigma", base_config.job.cost_jitter_sigma);
+  w.field("checkpoint_size_mb", base_config.job.checkpoint_size_mb);
+  w.field("prorate_partial_transfers",
+          base_config.job.prorate_partial_transfers);
+  w.field("condition_on_age", base_config.condition_on_age);
+  w.key("families").begin_array();
+  for (std::size_t f = 0; f < families().size(); ++f) {
+    w.value(std::string_view(family_header(f)));
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("rows").begin_array();
+  for (const auto& row : rows) {
+    w.begin_object();
+    w.field("cost_s", row.cost);
+    w.key("families").begin_object();
+    for (std::size_t f = 0; f < 4; ++f) {
+      const auto eff = stats::mean_confidence_interval(row.efficiency[f]);
+      const auto net = stats::mean_confidence_interval(row.network_mb[f]);
+      w.key(std::string(1, kFamilyLetters[f])).begin_object();
+      w.field("machines", std::uint64_t{row.efficiency[f].size()});
+      w.field("efficiency_mean", eff.mean);
+      w.field("efficiency_ci95", eff.half_width);
+      w.field("network_mb_mean", net.mean);
+      w.field("network_mb_ci95", net.half_width);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  if (registry != nullptr) {
+    w.key("metrics").raw(registry->snapshot_json());
+  }
+  w.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_bench_json: cannot open " + path);
+  }
+  out << w.str() << '\n';
+  if (!out) {
+    throw std::runtime_error("write_bench_json: write failed: " + path);
+  }
+  std::fprintf(stderr, "  [json] wrote %s\n", path.c_str());
 }
 
 }  // namespace harvest::bench

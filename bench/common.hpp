@@ -12,6 +12,7 @@
 
 #include "harvest/core/planner.hpp"
 #include "harvest/net/bandwidth_model.hpp"
+#include "harvest/obs/metrics.hpp"
 #include "harvest/sim/experiment.hpp"
 #include "harvest/stats/summary.hpp"
 #include "harvest/trace/trace.hpp"
@@ -21,12 +22,21 @@ namespace harvest::bench {
 /// The checkpoint/recovery costs of the paper's Figures 3–4 / Tables 1 & 3.
 [[nodiscard]] const std::vector<double>& paper_costs();
 
+/// Standard-pool defaults, public so benches can report the exact spec
+/// they ran with (reproducibility: same sizes + seed ⇒ same bytes out).
+inline constexpr std::size_t kStandardTraceMachines = 160;
+inline constexpr std::size_t kStandardTraceDurations = 120;
+inline constexpr std::uint64_t kStandardTraceSeed = 20050917;
+
 /// The standard synthetic pool (fixed seed ⇒ fully reproducible output).
 /// `machines`/`durations` default to a size that keeps every bench binary
 /// in the tens of seconds on one core while preserving the paper's shape.
+/// Prints a "# repro:" line to stdout recording the pool's RNG seed and
+/// counts so every bench's output states how to regenerate it.
 [[nodiscard]] std::vector<trace::AvailabilityTrace> standard_traces(
-    std::size_t machines = 160, std::size_t durations = 120,
-    std::uint64_t seed = 20050917);
+    std::size_t machines = kStandardTraceMachines,
+    std::size_t durations = kStandardTraceDurations,
+    std::uint64_t seed = kStandardTraceSeed);
 
 /// Paper column order and significance letters: e, w, 2, 3.
 inline constexpr std::array<char, 4> kFamilyLetters = {'e', 'w', '2', '3'};
@@ -43,9 +53,13 @@ struct RowMetrics {
 
 /// Run all four families at one checkpoint cost over the traces. Machines
 /// any family skipped are dropped from every family so columns stay paired.
+/// When `metrics` is set, per-family counters and phase-duration histograms
+/// accumulate into it under "sim.<family letter>.*" (see
+/// sim::ExperimentConfig::metrics).
 [[nodiscard]] RowMetrics run_row(
     const std::vector<trace::AvailabilityTrace>& traces, double cost,
-    const sim::ExperimentConfig& base_config);
+    const sim::ExperimentConfig& base_config,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Letters of the families whose metric mean is statistically significantly
 /// SMALLER than family `self`'s (two-sided paired t at alpha) — the paper's
@@ -81,5 +95,21 @@ struct LiveTableOutcome {
                                               const net::BandwidthModel& link,
                                               std::size_t placements,
                                               std::uint64_t seed);
+
+/// Strip a `--json <path>` (or `--json=<path>`) flag from argv and return
+/// the path ("" if absent). Lets every bench binary opt into machine-
+/// readable BENCH_*.json artifacts without touching its table output.
+[[nodiscard]] std::string parse_json_flag(int& argc, char** argv);
+
+/// Write the machine-readable artifact for a row-style bench: the run
+/// configuration (trace sizes + every RNG seed in play), per-cost
+/// per-family summaries (machine count, mean efficiency and network MB
+/// with 95 % CI half-widths), and — when `registry` is non-null — its full
+/// snapshot (checkpoint/eviction counters, bytes moved, and p50/p90/p99
+/// phase-duration histograms per family).
+void write_bench_json(const std::string& path, const std::string& bench_name,
+                      const sim::ExperimentConfig& base_config,
+                      const std::vector<RowMetrics>& rows,
+                      const obs::MetricsRegistry* registry);
 
 }  // namespace harvest::bench

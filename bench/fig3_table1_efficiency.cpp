@@ -8,12 +8,15 @@
 // one another; Weibull leads at small C, the 3-phase hyperexponential at
 // large C; efficiency decays from ~0.75 (C=50) to ~0.35–0.45 (C=1500).
 #include <cstdio>
+#include <exception>
 
 #include "common.hpp"
+#include "harvest/obs/timer.hpp"
 #include "harvest/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace harvest;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
   std::printf(
       "=== Figure 3 / Table 1: mean efficiency vs checkpoint cost ===\n"
       "Synthetic Condor pool (see DESIGN.md: substitution for the UW "
@@ -23,10 +26,14 @@ int main() {
   const auto traces = bench::standard_traces();
   sim::ExperimentConfig base;
 
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = json_path.empty() ? nullptr : &registry;
+  if (metrics != nullptr) obs::set_timing_enabled(true);
+
   std::vector<bench::RowMetrics> rows;
   rows.reserve(bench::paper_costs().size());
   for (double cost : bench::paper_costs()) {
-    rows.push_back(bench::run_row(traces, cost, base));
+    rows.push_back(bench::run_row(traces, cost, base, metrics));
     std::fprintf(stderr, "  [fig3] cost %.0f done (%zu paired machines)\n",
                  cost, rows.back().efficiency[0].size());
   }
@@ -50,5 +57,17 @@ int main() {
       "efficiency is statistically significantly smaller (paired t, .05).\n\n"
       "%s\n",
       table.render().c_str());
+
+  if (!json_path.empty()) {
+    try {
+      bench::write_bench_json(json_path, "fig3_table1_efficiency", base, rows,
+                              metrics);
+    } catch (const std::exception& e) {
+      // Exit normally so the tables above still flush to a redirected
+      // stdout; only the artifact is lost.
+      std::fprintf(stderr, "fig3: %s\n", e.what());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -8,12 +8,15 @@
 // hyperexponential is the most parsimonious, using >= 30 % less than the
 // exponential for C >= 200 s; the gap widens as C grows.
 #include <cstdio>
+#include <exception>
 
 #include "common.hpp"
+#include "harvest/obs/timer.hpp"
 #include "harvest/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace harvest;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
   std::printf(
       "=== Figure 4 / Table 3: network load vs checkpoint cost ===\n"
       "Megabytes moved per machine over its experimental trace; 500 MB per\n"
@@ -22,10 +25,16 @@ int main() {
   const auto traces = bench::standard_traces();
   sim::ExperimentConfig base;
 
+  // --json additionally collects the registry: per-family checkpoint and
+  // byte counters plus phase-duration histograms (p50/p99 in the artifact).
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = json_path.empty() ? nullptr : &registry;
+  if (metrics != nullptr) obs::set_timing_enabled(true);
+
   std::vector<bench::RowMetrics> rows;
   rows.reserve(bench::paper_costs().size());
   for (double cost : bench::paper_costs()) {
-    rows.push_back(bench::run_row(traces, cost, base));
+    rows.push_back(bench::run_row(traces, cost, base, metrics));
     std::fprintf(stderr, "  [fig4] cost %.0f done\n", cost);
   }
 
@@ -56,6 +65,18 @@ int main() {
     const double h2_mb = stats::mean_of(row.network_mb[2]);
     std::printf("  C=%5.0f: %5.1f%%\n", row.cost,
                 100.0 * (1.0 - h2_mb / exp_mb));
+  }
+
+  if (!json_path.empty()) {
+    try {
+      bench::write_bench_json(json_path, "fig4_table3_bandwidth", base, rows,
+                              metrics);
+    } catch (const std::exception& e) {
+      // Exit normally so the tables above still flush to a redirected
+      // stdout; only the artifact is lost.
+      std::fprintf(stderr, "fig4: %s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

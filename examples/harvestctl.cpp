@@ -10,6 +10,12 @@
 //       Print the checkpoint schedule a placed job would follow.
 //   harvestctl simulate <traces.csv> <family> <C>
 //       Trace-driven simulation across the pool (efficiency + network).
+//
+// Global flags (any subcommand):
+//   --metrics-json <path>   write the default metrics registry snapshot
+//                           (counters, gauges, histograms) after the command
+//   --trace-json <path>     write structured events from the default tracer
+//                           in Chrome trace_event format (chrome://tracing)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +25,9 @@
 #include "harvest/core/makespan.hpp"
 #include "harvest/core/prediction.hpp"
 #include "harvest/fit/model_select.hpp"
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/timer.hpp"
+#include "harvest/obs/tracer.hpp"
 #include "harvest/sim/experiment.hpp"
 #include "harvest/stats/summary.hpp"
 #include "harvest/trace/io.hpp"
@@ -29,6 +38,10 @@
 namespace {
 
 using namespace harvest;
+
+/// Set when --metrics-json / --trace-json is present: subcommands that run
+/// the pipeline attach the default registry/tracer to their configs.
+bool g_observing = false;
 
 int usage() {
   std::fprintf(
@@ -43,8 +56,30 @@ int usage() {
       "  harvestctl makespan <traces.csv> <machine_id> <family> <C> "
       "<work_hours>\n"
       "families: exponential weibull hyperexp2 hyperexp3 lognormal gamma "
-      "auto\n");
+      "auto\n"
+      "global flags:\n"
+      "  --metrics-json <path>  dump the metrics registry snapshot as JSON\n"
+      "  --trace-json <path>    dump structured events as a Chrome trace\n");
   return 2;
+}
+
+/// Strip `--<name> <path>` / `--<name>=<path>` from argv; "" if absent.
+std::string strip_path_flag(int& argc, char** argv, const char* name) {
+  const std::string eq = std::string("--") + name + "=";
+  const std::string bare = std::string("--") + name;
+  std::string path;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i] && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      path = argv[i] + eq.size();
+    } else {
+      argv[write++] = argv[i];
+    }
+  }
+  argc = write;
+  return path;
 }
 
 const trace::AvailabilityTrace* find_machine(
@@ -148,6 +183,10 @@ int cmd_simulate(int argc, char** argv) {
   const auto family = core::model_family_from_string(argv[3]);
   sim::ExperimentConfig cfg;
   cfg.checkpoint_cost_s = std::atof(argv[4]);
+  if (g_observing) {
+    cfg.metrics = &obs::default_registry();
+    cfg.job.tracer = &obs::default_tracer();
+  }
   const auto res = sim::run_trace_experiment(traces, family, cfg);
   if (res.machines.size() < 2) {
     std::fprintf(stderr, "not enough fittable machines\n");
@@ -222,19 +261,42 @@ int cmd_makespan(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_path = strip_path_flag(argc, argv, "metrics-json");
+  const std::string trace_path = strip_path_flag(argc, argv, "trace-json");
+  g_observing = !metrics_path.empty() || !trace_path.empty();
+  if (g_observing) obs::set_timing_enabled(true);
+
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  int rc = 2;
   try {
-    if (cmd == "generate") return cmd_generate(argc, argv);
-    if (cmd == "summarize") return cmd_summarize(argc, argv);
-    if (cmd == "fit") return cmd_fit(argc, argv);
-    if (cmd == "plan") return cmd_plan(argc, argv);
-    if (cmd == "simulate") return cmd_simulate(argc, argv);
-    if (cmd == "predict") return cmd_predict(argc, argv);
-    if (cmd == "makespan") return cmd_makespan(argc, argv);
+    if (cmd == "generate") rc = cmd_generate(argc, argv);
+    else if (cmd == "summarize") rc = cmd_summarize(argc, argv);
+    else if (cmd == "fit") rc = cmd_fit(argc, argv);
+    else if (cmd == "plan") rc = cmd_plan(argc, argv);
+    else if (cmd == "simulate") rc = cmd_simulate(argc, argv);
+    else if (cmd == "predict") rc = cmd_predict(argc, argv);
+    else if (cmd == "makespan") rc = cmd_makespan(argc, argv);
+    else return usage();
+
+    // Library code instruments the default registry/tracer as it runs;
+    // snapshot them once the command is done, whatever its outcome.
+    if (!metrics_path.empty()) {
+      obs::default_registry().write_json(metrics_path);
+      std::fprintf(stderr, "harvestctl: metrics -> %s\n",
+                   metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      obs::default_tracer().write_chrome_trace(trace_path);
+      std::fprintf(stderr, "harvestctl: trace -> %s (%zu events, %llu "
+                   "dropped)\n",
+                   trace_path.c_str(), obs::default_tracer().size(),
+                   static_cast<unsigned long long>(
+                       obs::default_tracer().dropped()));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "harvestctl: %s\n", e.what());
     return 1;
   }
-  return usage();
+  return rc;
 }

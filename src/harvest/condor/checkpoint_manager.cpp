@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/tracer.hpp"
+
 namespace harvest::condor {
 
 CheckpointManager::CheckpointManager(net::BandwidthModel link,
@@ -38,6 +41,29 @@ TransferOutcome CheckpointManager::transfer(std::size_t job_id,
     rec.completed = false;
   }
   log_.push_back(rec);
+
+  // What a byte counter next to the manager would report.
+  static auto& completed =
+      obs::default_registry().counter("condor.manager.transfers_completed");
+  static auto& cut_off =
+      obs::default_registry().counter("condor.manager.transfers_cut_off");
+  static auto& mb_moved =
+      obs::default_registry().gauge("condor.manager.mb_moved");
+  static auto& transfer_s = obs::default_registry().histogram(
+      "condor.manager.transfer_s",
+      obs::Histogram::exponential_bounds(1.0, 1e5, 26));
+  (rec.completed ? completed : cut_off).add();
+  mb_moved.add(rec.moved_mb);
+  transfer_s.observe(rec.duration_s);
+  obs::default_tracer().record_instant(
+      rec.completed ? (kind == TransferKind::kRecovery
+                           ? "transfer.recovery.complete"
+                           : "transfer.checkpoint.complete")
+                    : (kind == TransferKind::kRecovery
+                           ? "transfer.recovery.cut_off"
+                           : "transfer.checkpoint.cut_off"),
+      "condor", rec.duration_s, job_id, rec.moved_mb);
+
   return TransferOutcome{rec.duration_s, rec.moved_mb, rec.completed};
 }
 

@@ -7,6 +7,8 @@
 
 #include "harvest/core/optimizer.hpp"
 #include "harvest/numerics/rng.hpp"
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/timer.hpp"
 
 namespace harvest::condor {
 
@@ -152,6 +154,20 @@ PoolSimResult run_pool_simulation(
     throw std::invalid_argument("run_pool_simulation: bad config");
   }
 
+  static auto& runs = obs::default_registry().counter("condor.pool_sim.runs");
+  static auto& placements_total =
+      obs::default_registry().counter("condor.pool_sim.placements");
+  static auto& evictions_total =
+      obs::default_registry().counter("condor.pool_sim.evictions");
+  static auto& finished_total =
+      obs::default_registry().counter("condor.pool_sim.jobs_finished");
+  static auto& mb_total =
+      obs::default_registry().gauge("condor.pool_sim.mb_moved");
+  static auto& wall_s =
+      obs::default_registry().histogram("condor.pool_sim.wall_s");
+  runs.add();
+  obs::ScopedTimer run_timer(&wall_s);
+
   numerics::Rng master(config.seed);
 
   // Monitor histories → fitted models (what the planner is allowed to see).
@@ -210,9 +226,12 @@ PoolSimResult run_pool_simulation(
       continue;
     }
     ++job.stats.placements;
+    placements_total.add();
     const double eviction_time = now + match->remaining_s;
     double remaining_after = job.remaining_work;
     bool ckpt_after = job.has_checkpoint;
+    const double mb_before = job.stats.moved_mb;
+    const std::size_t evictions_before = job.stats.evictions;
     const auto outcome = run_placement(
         now, eviction_time, match->uptime_s, job.remaining_work,
         job.has_checkpoint, fitted[match->machine_index], config,
@@ -221,11 +240,24 @@ PoolSimResult run_pool_simulation(
     job.has_checkpoint = ckpt_after;
     occupied[match->machine_index] = true;
     occupied_until[match->machine_index] = outcome.end_time;
+    evictions_total.add(job.stats.evictions - evictions_before);
+    mb_total.add(job.stats.moved_mb - mb_before);
+    if (config.tracer != nullptr) {
+      config.tracer->record_complete("placement", "condor", now,
+                                     outcome.end_time - now, job_id,
+                                     job.stats.moved_mb - mb_before);
+    }
 
     if (outcome.job_finished) {
       job.stats.finished = true;
       job.stats.completion_s = outcome.end_time;
       last_finish = std::max(last_finish, outcome.end_time);
+      finished_total.add();
+      if (config.tracer != nullptr) {
+        config.tracer->record_instant("job.finished", "condor",
+                                      outcome.end_time, job_id,
+                                      job.stats.useful_work_s);
+      }
     } else {
       // Re-queue at the next negotiation after the eviction.
       queue.push(

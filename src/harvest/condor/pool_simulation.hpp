@@ -18,6 +18,7 @@
 #include "harvest/condor/matchmaker.hpp"
 #include "harvest/core/planner.hpp"
 #include "harvest/net/bandwidth_model.hpp"
+#include "harvest/obs/tracer.hpp"
 
 namespace harvest::condor {
 
@@ -37,6 +38,11 @@ struct PoolSimConfig {
   double horizon_s = 14.0 * 24.0 * 3600.0;
   core::OptimizerOptions optimizer;
   std::uint64_t seed = 1;
+  /// Optional structured timeline (category "condor"): one complete event
+  /// per placement (id = job, value = MB moved during it) plus instant
+  /// markers for job completions. Times are simulated pool seconds, so the
+  /// Chrome-trace view of this tracer is the cluster's gantt chart.
+  obs::EventTracer* tracer = nullptr;
 };
 
 struct PoolSimJobStats {

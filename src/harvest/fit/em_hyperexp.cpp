@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "harvest/numerics/rng.hpp"
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/tracer.hpp"
 
 namespace harvest::fit {
 namespace {
@@ -37,6 +39,19 @@ void quantile_block_init(const std::vector<double>& sorted, int k,
 // One EM run from the given starting point.
 EmResult run_em(const std::vector<double>& data, std::vector<double> weights,
                 std::vector<double> rates, const EmOptions& opts) {
+  static auto& runs = obs::default_registry().counter("fit.em.runs");
+  static auto& total_iterations =
+      obs::default_registry().counter("fit.em.iterations");
+  static auto& converged_runs =
+      obs::default_registry().counter("fit.em.converged");
+  static auto& iterations_hist = obs::default_registry().histogram(
+      "fit.em.iterations_per_run",
+      obs::Histogram::exponential_bounds(1.0, 1024.0, 11));
+  runs.add();
+  obs::default_tracer().record_instant(
+      "fit.em.start", "fit", 0.0, static_cast<std::uint64_t>(weights.size()),
+      static_cast<double>(data.size()));
+
   const std::size_t n = data.size();
   const int k = static_cast<int>(weights.size());
   std::vector<double> resp(static_cast<std::size_t>(k));
@@ -98,6 +113,16 @@ EmResult run_em(const std::vector<double>& data, std::vector<double> weights,
 
   out.model = dist::Hyperexponential(weights, rates);
   out.log_likelihood = prev_ll;
+
+  total_iterations.add(static_cast<std::uint64_t>(out.iterations));
+  iterations_hist.observe(static_cast<double>(out.iterations));
+  if (out.converged) converged_runs.add();
+  const auto& trace = out.loglik_trace;
+  const double final_delta =
+      trace.size() >= 2 ? trace.back() - trace[trace.size() - 2] : 0.0;
+  obs::default_tracer().record_instant(
+      out.converged ? "fit.em.converged" : "fit.em.max_iterations", "fit",
+      0.0, static_cast<std::uint64_t>(out.iterations), final_delta);
   return out;
 }
 

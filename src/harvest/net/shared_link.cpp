@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "harvest/obs/metrics.hpp"
+
 namespace harvest::net {
 
 SharedLink::SharedLink(double capacity_mbps) : capacity_(capacity_mbps) {
@@ -23,6 +25,18 @@ std::vector<TransferOutcome> SharedLink::resolve(
   }
   const std::size_t n = requests.size();
   std::vector<TransferOutcome> outcomes(n);
+
+  static auto& resolves =
+      obs::default_registry().counter("net.shared_link.resolves");
+  static auto& transfers =
+      obs::default_registry().counter("net.shared_link.transfers");
+  static auto& mb_requested =
+      obs::default_registry().gauge("net.shared_link.mb_requested");
+  resolves.add();
+  transfers.add(n);
+  double total_mb = 0.0;
+  for (const auto& r : requests) total_mb += r.megabytes;
+  mb_requested.add(total_mb);
 
   // Event sweep: between consecutive events (an arrival or a completion)
   // the active set is fixed, so each active transfer drains at
@@ -76,6 +90,18 @@ std::vector<TransferOutcome> SharedLink::resolve(
       }
     }
     now += dt;
+  }
+
+  // Contention factor per transfer: duration relative to an unshared link
+  // (1.0 = never shared). The histogram's p99 is the headline number for
+  // the paper's "network collisions lengthen checkpoints" future-work
+  // claim.
+  static auto& slowdown = obs::default_registry().histogram(
+      "net.shared_link.slowdown",
+      obs::Histogram::exponential_bounds(1.0, 64.0, 13));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double solo_s = requests[i].megabytes / capacity_;
+    if (solo_s > 0.0) slowdown.observe(outcomes[i].duration() / solo_s);
   }
   return outcomes;
 }

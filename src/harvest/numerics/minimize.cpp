@@ -3,10 +3,35 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "harvest/obs/metrics.hpp"
+
 namespace harvest::numerics {
 namespace {
 constexpr double kInvPhi = 0.6180339887498949;  // 1/golden ratio
 constexpr double kTiny = 1e-11;
+
+// Objective-evaluation metrics answer the perf question every optimizer
+// PR starts with: how many Γ(T)/T evaluations does one T_opt cost? Handles
+// are cached as function-local statics (minimizers sit on the planner's
+// hot path), so steady-state cost is a few relaxed atomic adds.
+struct MinimizeMetrics {
+  obs::Counter& calls;
+  obs::Counter& evaluations;
+  obs::Histogram& evaluations_per_call;
+
+  explicit MinimizeMetrics(const std::string& prefix)
+      : calls(obs::default_registry().counter(prefix + ".calls")),
+        evaluations(obs::default_registry().counter(prefix + ".evaluations")),
+        evaluations_per_call(obs::default_registry().histogram(
+            prefix + ".evaluations_per_call",
+            obs::Histogram::exponential_bounds(1.0, 4096.0, 13))) {}
+
+  void observe(int evals) const {
+    calls.add();
+    evaluations.add(static_cast<std::uint64_t>(evals));
+    evaluations_per_call.observe(static_cast<double>(evals));
+  }
+};
 }  // namespace
 
 MinimizeResult minimize_golden_section(const Objective& f, double lo,
@@ -47,6 +72,8 @@ MinimizeResult minimize_golden_section(const Objective& f, double lo,
     r.x = x2;
     r.value = f2;
   }
+  static const MinimizeMetrics metrics("numerics.minimize.golden");
+  metrics.observe(r.evaluations);
   return r;
 }
 
@@ -127,6 +154,8 @@ MinimizeResult minimize_brent(const Objective& f, double lo, double hi,
   }
   r.x = x;
   r.value = fx;
+  static const MinimizeMetrics metrics("numerics.minimize.brent");
+  metrics.observe(r.evaluations);
   return r;
 }
 
@@ -155,6 +184,8 @@ Bracket bracket_log_scan(const Objective& f, double lo, double hi,
   b.best = best_x;
   b.lo = (best_i == 0) ? lo : std::exp(llo + (best_i - 1) * step);
   b.hi = (best_i == points - 1) ? hi : std::exp(llo + (best_i + 1) * step);
+  static const MinimizeMetrics metrics("numerics.minimize.bracket_scan");
+  metrics.observe(points);
   return b;
 }
 

@@ -1,0 +1,66 @@
+// Minimal streaming JSON writer — just enough for the observability
+// exports (metrics snapshots, trace files, bench artifacts). Emits
+// syntactically valid JSON with proper string escaping and locale-proof
+// number formatting; no DOM, no parsing. Nesting is tracked so commas and
+// closing brackets are placed automatically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harvest::obs {
+
+/// Escape a string for inclusion inside JSON quotes (no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Render a double the way JSON expects: finite values via shortest
+/// round-trip formatting, non-finite values as null (JSON has no inf/nan).
+[[nodiscard]] std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splice a pre-rendered JSON value verbatim (e.g. a snapshot another
+  /// writer produced). The caller vouches for its validity.
+  JsonWriter& raw(std::string_view json);
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The document built so far. Valid JSON once every container is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  /// One entry per open container: true = object (expects keys).
+  std::vector<bool> stack_;
+  /// Whether the current container already holds at least one element.
+  std::vector<bool> has_elements_;
+  bool after_key_ = false;
+};
+
+}  // namespace harvest::obs

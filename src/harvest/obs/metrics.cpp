@@ -1,0 +1,236 @@
+#include "harvest/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "harvest/obs/json.hpp"
+
+namespace harvest::obs {
+namespace {
+
+// Lock-free running min/max over a relaxed atomic<double>. "No observation
+// yet" is the +-inf sentinel, which any finite value displaces; snapshot()
+// masks the sentinels behind its count == 0 check.
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < bucket_counts.size(); ++b) {
+    const std::uint64_t in_bucket = bucket_counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (b >= bounds.size()) return max;  // overflow bucket
+      const double upper = bounds[b];
+      const double lower = (b == 0) ? std::min(min, upper) : bounds[b - 1];
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + std::clamp(frac, 0.0, 1.0) * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_bounds() : std::move(bounds)),
+      buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  if (!std::isfinite(v)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot(std::string name) const {
+  HistogramSnapshot snap;
+  snap.name = std::move(name);
+  snap.bounds = bounds_;
+  snap.bucket_counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    snap.bucket_counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  snap.p50 = snap.quantile(0.50);
+  snap.p90 = snap.quantile(0.90);
+  snap.p99 = snap.quantile(0.99);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double hi,
+                                                  std::size_t n) {
+  if (!(lo > 0.0) || !(hi > lo) || n < 2) {
+    throw std::invalid_argument(
+        "Histogram::exponential_bounds: need 0 < lo < hi and n >= 2");
+  }
+  std::vector<double> bounds(n);
+  const double step = (std::log(hi) - std::log(lo)) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds[i] = std::exp(std::log(lo) + step * static_cast<double>(i));
+  }
+  bounds.back() = hi;  // kill the round-trip error on the last bound
+  return bounds;
+}
+
+std::vector<double> Histogram::default_bounds() {
+  return exponential_bounds(1e-6, 1e7, 40);
+}
+
+std::string RegistrySnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : counters) w.field(c.name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : gauges) w.field(g.name, g.value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : histograms) {
+    w.key(h.name).begin_object();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("mean", h.mean());
+    w.field("min", h.min);
+    w.field("max", h.max);
+    w.field("p50", h.p50);
+    w.field("p90", h.p90);
+    w.field("p99", h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = counters_.find(name); it != counters_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = gauges_.find(name); it != gauges_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = histograms_.find(name); it != histograms_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::shared_lock lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(h->snapshot(name));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  return snapshot().to_json();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry::write_json: cannot open " +
+                             path);
+  }
+  out << snapshot_json() << '\n';
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry::write_json: write failed: " +
+                             path);
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::shared_lock lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& default_registry() {
+  static auto* registry = new MetricsRegistry();  // intentionally leaked
+  return *registry;
+}
+
+}  // namespace harvest::obs

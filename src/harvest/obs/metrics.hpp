@@ -1,0 +1,178 @@
+// Thread-safe metrics for the fit → plan → simulate pipeline: monotone
+// counters, last-value/accumulating gauges, and fixed-bucket histograms
+// with quantile extraction. A process-wide default registry serves the
+// library's built-in instrumentation; callers who need isolation (tests,
+// per-family bench runs) inject their own MetricsRegistry instance.
+//
+// Concurrency model: every metric handle is lock-free on the write path
+// (relaxed atomics — metrics never synchronize other data), so workers of
+// util::ThreadPool can hammer the same counter without serialization. The
+// registry's name → handle map takes a shared_mutex, so the idiomatic hot
+// path caches the handle once:
+//
+//   static auto& evals = obs::default_registry().counter("foo.evals");
+//   evals.add();
+//
+// Handles remain valid for the registry's lifetime; reset() zeroes values
+// in place without invalidating them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harvest::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Floating-point level. `set` for instantaneous readings, `add` for
+/// accumulating quantities whose unit is fractional (e.g. megabytes moved).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Immutable point-in-time view of one histogram, with the derived
+/// statistics the exporters need.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;               ///< bucket upper bounds
+  std::vector<std::uint64_t> bucket_counts; ///< bounds.size() + 1 (overflow)
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Quantile from the bucket counts by linear interpolation inside the
+  /// containing bucket; the overflow bucket reports the observed max.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Fixed-bucket histogram. Buckets are upper bounds in ascending order plus
+/// an implicit +inf overflow bucket; observations are counted in the first
+/// bucket whose bound is >= the value.
+class Histogram {
+ public:
+  /// Empty `bounds` uses default_bounds().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double v);
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Approximate under concurrent writes (reads each atomic once).
+  [[nodiscard]] HistogramSnapshot snapshot(std::string name = {}) const;
+  [[nodiscard]] double quantile(double q) const {
+    return snapshot().quantile(q);
+  }
+  void reset();
+
+  /// `n` log-spaced upper bounds covering [lo, hi] inclusive.
+  [[nodiscard]] static std::vector<double> exponential_bounds(double lo,
+                                                              double hi,
+                                                              std::size_t n);
+  /// 1 µs … 10⁷ (seconds-flavored but unitless), 40 buckets — wide enough
+  /// for both wall times and simulated phase durations.
+  [[nodiscard]] static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  /// +-inf sentinels mean "no observation yet"; snapshot() reports 0 then.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Full registry snapshot, sorted by metric name within each kind.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// mean, min, max, p50, p90, p99}}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find or create. The returned reference lives as long as the registry.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` only applies on first creation; later callers get the
+  /// existing histogram regardless of the bounds they pass.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+  /// snapshot().to_json() in one call.
+  [[nodiscard]] std::string snapshot_json() const;
+  /// Write snapshot_json() to `path` (throws std::runtime_error on I/O
+  /// failure).
+  void write_json(const std::string& path) const;
+
+  /// Zero every metric in place; existing handles stay valid.
+  void reset();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry used by the library's built-in
+/// instrumentation. Never destroyed (safe to touch from static
+/// destructors).
+[[nodiscard]] MetricsRegistry& default_registry();
+
+}  // namespace harvest::obs

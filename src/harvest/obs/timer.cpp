@@ -1,0 +1,16 @@
+#include "harvest/obs/timer.hpp"
+
+namespace harvest::obs {
+namespace {
+std::atomic<bool> g_timing_enabled{false};
+}  // namespace
+
+void set_timing_enabled(bool enabled) {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool timing_enabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace harvest::obs

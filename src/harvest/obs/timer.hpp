@@ -1,0 +1,57 @@
+// RAII wall-clock timers feeding MetricsRegistry histograms. Timing is off
+// by default so instrumented hot paths cost one relaxed atomic load when
+// nobody is measuring; `--metrics-json` / `--json` front ends (and tests)
+// flip it on for the process.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::obs {
+
+/// Process-wide switch for ScopedTimer (and any caller that wants to gate
+/// more expensive instrumentation). Relaxed semantics: flips are advisory,
+/// not synchronization points.
+void set_timing_enabled(bool enabled);
+[[nodiscard]] bool timing_enabled();
+
+/// Measures its own lifetime and records the elapsed seconds into a wall
+/// time histogram. Inert (no clock read) when timing is globally disabled
+/// or constructed with a null histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink)
+      : sink_(timing_enabled() ? sink : nullptr) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->observe(elapsed_seconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction (0 when inert).
+  [[nodiscard]] double elapsed_seconds() const {
+    if (sink_ == nullptr) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Record now and detach (the destructor becomes a no-op).
+  void stop() {
+    if (sink_ != nullptr) {
+      sink_->observe(elapsed_seconds());
+      sink_ = nullptr;
+    }
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace harvest::obs

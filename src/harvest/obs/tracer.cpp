@@ -1,0 +1,146 @@
+#include "harvest/obs/tracer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "harvest/obs/json.hpp"
+
+namespace harvest::obs {
+namespace {
+
+void append_event_json(JsonWriter& w, const TraceEvent& e, bool chrome) {
+  // Chrome's trace_event format wants microseconds; JSONL keeps the
+  // producer's native unit (seconds).
+  const double scale = chrome ? 1e6 : 1.0;
+  w.begin_object();
+  w.field("name", e.name);
+  w.field("cat", e.category);
+  w.field("ph", e.phase == TracePhase::kComplete ? "X" : "i");
+  w.field("ts", e.start_s * scale);
+  if (e.phase == TracePhase::kComplete) w.field("dur", e.duration_s * scale);
+  if (chrome) {
+    w.field("pid", 1);
+    w.field("tid", 1);
+    if (e.phase == TracePhase::kInstant) w.field("s", "g");
+    w.key("args").begin_object();
+    w.field("id", e.id);
+    w.field("value", e.value);
+    w.end_object();
+  } else {
+    w.field("id", e.id);
+    w.field("value", e.value);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+EventTracer::EventTracer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void EventTracer::record(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  if (capacity_ == 0 || ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    if (capacity_ > 0) next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void EventTracer::record_complete(std::string name, std::string category,
+                                  double start_s, double duration_s,
+                                  std::uint64_t id, double value) {
+  record(TraceEvent{std::move(name), std::move(category),
+                    TracePhase::kComplete, start_s, duration_s, id, value});
+}
+
+void EventTracer::record_instant(std::string name, std::string category,
+                                 double at_s, std::uint64_t id, double value) {
+  record(TraceEvent{std::move(name), std::move(category), TracePhase::kInstant,
+                    at_s, 0.0, id, value});
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  std::lock_guard lock(mutex_);
+  if (capacity_ == 0 || ring_.size() < capacity_) return ring_;
+  // Full ring: oldest surviving event sits at the write cursor.
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t EventTracer::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t EventTracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+void EventTracer::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::string EventTracer::to_jsonl() const {
+  std::string out;
+  for (const auto& e : events()) {
+    JsonWriter w;
+    append_event_json(w, e, /*chrome=*/false);
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string EventTracer::to_chrome_trace() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const auto& e : events()) append_event_json(w, e, /*chrome=*/true);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("EventTracer: cannot open " + path);
+  }
+  out << text;
+  if (!out) {
+    throw std::runtime_error("EventTracer: write failed: " + path);
+  }
+}
+}  // namespace
+
+void EventTracer::write_jsonl(const std::string& path) const {
+  write_text_file(path, to_jsonl());
+}
+
+void EventTracer::write_chrome_trace(const std::string& path) const {
+  write_text_file(path, to_chrome_trace());
+}
+
+EventTracer& default_tracer() {
+  static auto* tracer = new EventTracer();  // intentionally leaked
+  return *tracer;
+}
+
+}  // namespace harvest::obs

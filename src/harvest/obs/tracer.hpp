@@ -1,0 +1,80 @@
+// Structured event tracing for the fit → plan → simulate pipeline. Typed
+// events (EM fit started/converged, optimizer brackets, sim phase
+// transitions, transfer starts/cutoffs, evictions…) land in an in-memory
+// ring and export as either JSONL (one event per line, grep/jq-friendly)
+// or the Chrome trace_event format, so a simulated timeline can be
+// inspected visually in chrome://tracing or https://ui.perfetto.dev.
+//
+// Timestamps are whatever clock the producer uses — simulated seconds for
+// the simulators, which is exactly what makes the Chrome view useful: the
+// rendered timeline IS the simulated machine's recovery/work/checkpoint
+// cycle, not the host's wall clock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace harvest::obs {
+
+/// How an event occupies time: a span with a duration, or a point marker.
+enum class TracePhase : std::uint8_t { kComplete, kInstant };
+
+struct TraceEvent {
+  std::string name;      ///< e.g. "work", "checkpoint.interrupted", "em.run"
+  std::string category;  ///< subsystem: "sim", "fit", "net", "condor", …
+  TracePhase phase = TracePhase::kComplete;
+  double start_s = 0.0;     ///< event start on the producer's clock
+  double duration_s = 0.0;  ///< 0 for instants
+  std::uint64_t id = 0;     ///< producer-defined: period index, job id, …
+  double value = 0.0;       ///< payload: bytes moved, loglik delta, …
+};
+
+/// Thread-safe bounded event ring. When full, the oldest events are
+/// overwritten and counted in dropped(); capacity 0 means unbounded (used
+/// by producers that must not lose events, e.g. the job simulator while
+/// reconstructing its result timeline).
+class EventTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit EventTracer(std::size_t capacity = kDefaultCapacity);
+
+  void record(TraceEvent event);
+  void record_complete(std::string name, std::string category, double start_s,
+                       double duration_s, std::uint64_t id = 0,
+                       double value = 0.0);
+  void record_instant(std::string name, std::string category, double at_s,
+                      std::uint64_t id = 0, double value = 0.0);
+
+  /// Events in record order (oldest surviving first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+  /// One JSON object per line:
+  /// {"name":…,"cat":…,"ph":"X","ts":…,"dur":…,"id":…,"value":…}
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Chrome trace_event JSON object format ({"traceEvents":[…]}), ts/dur in
+  /// microseconds as the format requires.
+  [[nodiscard]] std::string to_chrome_trace() const;
+  void write_jsonl(const std::string& path) const;
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;       ///< 0 = unbounded
+  std::size_t next_ = 0;       ///< ring write cursor (bounded mode)
+  std::uint64_t recorded_ = 0; ///< total record() calls ever
+};
+
+/// Process-wide tracer fed by the library's built-in instrumentation
+/// (bounded ring; old events are dropped under pressure). Never destroyed.
+[[nodiscard]] EventTracer& default_tracer();
+
+}  // namespace harvest::obs

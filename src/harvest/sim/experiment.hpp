@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harvest/core/planner.hpp"
+#include "harvest/obs/metrics.hpp"
 #include "harvest/sim/job_sim.hpp"
 #include "harvest/trace/trace.hpp"
 #include "harvest/util/thread_pool.hpp"
@@ -26,6 +27,15 @@ struct ExperimentConfig {
   /// Forwarded to ScheduleOptions; false disables future-lifetime
   /// conditioning (ablation).
   bool condition_on_age = true;
+  /// When set, the experiment feeds this registry: per-phase duration
+  /// histograms (p50/p99 extraction), checkpoint/recovery/eviction
+  /// counters, and megabytes moved, all under
+  /// "<metrics_prefix>.<family letter>." so multi-family sweeps stay
+  /// separable. Forces event recording internally (the per-sim timelines
+  /// are not retained). Thread-safe: the registry's metrics are atomic.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Metric name prefix; empty means "sim".
+  std::string metrics_prefix;
 };
 
 struct MachineOutcome {

@@ -7,6 +7,33 @@
 
 namespace harvest::sim {
 
+const char* to_string(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::kRecovery: return "recovery";
+    case SimEventKind::kRecoveryInterrupted: return "recovery.interrupted";
+    case SimEventKind::kWork: return "work";
+    case SimEventKind::kWorkInterrupted: return "work.interrupted";
+    case SimEventKind::kCheckpoint: return "checkpoint";
+    case SimEventKind::kCheckpointInterrupted:
+      return "checkpoint.interrupted";
+  }
+  throw std::invalid_argument("SimEventKind: unknown kind");
+}
+
+namespace {
+
+SimEventKind kind_from_name(const std::string& name) {
+  for (const SimEventKind kind :
+       {SimEventKind::kRecovery, SimEventKind::kRecoveryInterrupted,
+        SimEventKind::kWork, SimEventKind::kWorkInterrupted,
+        SimEventKind::kCheckpoint, SimEventKind::kCheckpointInterrupted}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("SimEventKind: unknown event name " + name);
+}
+
+}  // namespace
+
 JobSimResult simulate_job_on_trace(std::span<const double> availability_periods,
                                    core::CheckpointSchedule& schedule,
                                    const JobSimConfig& config) {
@@ -30,9 +57,17 @@ JobSimResult simulate_job_on_trace(std::span<const double> availability_periods,
   JobSimResult res;
   double clock = 0.0;  // cumulative machine time across the whole trace
   std::size_t period_index = 0;
-  const auto record = [&](SimEventKind kind, double start, double duration) {
-    if (config.record_events) {
-      res.events.push_back(SimEvent{kind, start, duration, period_index});
+
+  // All phase recording funnels through one tracer; the SimEvent timeline
+  // in the result is reconstructed from it afterwards. Unbounded so
+  // record_events never silently loses the head of a long trace.
+  const bool recording = config.record_events || config.tracer != nullptr;
+  obs::EventTracer local_tracer(/*capacity=*/0);
+  const auto record = [&](SimEventKind kind, double start, double duration,
+                          double bytes_mb) {
+    if (recording) {
+      local_tracer.record_complete(to_string(kind), "sim", start, duration,
+                                   period_index, bytes_mb);
     }
   };
 
@@ -54,17 +89,20 @@ JobSimResult simulate_job_on_trace(std::span<const double> availability_periods,
       const double partial = period - pos;
       res.recovery_time += partial;
       ++res.recoveries_interrupted;
-      record(SimEventKind::kRecoveryInterrupted, clock + pos, partial);
+      double moved = 0.0;
       if (config.prorate_partial_transfers && this_rec > 0.0) {
-        res.network_mb += config.checkpoint_size_mb * partial / this_rec;
+        moved = config.checkpoint_size_mb * partial / this_rec;
+        res.network_mb += moved;
       }
+      record(SimEventKind::kRecoveryInterrupted, clock + pos, partial, moved);
       ++res.evictions;
       clock += period;
       ++period_index;
       continue;
     }
     if (recover_now) {
-      record(SimEventKind::kRecovery, clock + pos, this_rec);
+      record(SimEventKind::kRecovery, clock + pos, this_rec,
+             config.checkpoint_size_mb);
       pos += this_rec;
       res.recovery_time += this_rec;
       res.network_mb += config.checkpoint_size_mb;
@@ -77,8 +115,9 @@ JobSimResult simulate_job_on_trace(std::span<const double> availability_periods,
       const double this_ckpt = jittered(ckpt_cost);
       if (pos + work + this_ckpt <= period) {
         // Interval committed.
-        record(SimEventKind::kWork, clock + pos, work);
-        record(SimEventKind::kCheckpoint, clock + pos + work, this_ckpt);
+        record(SimEventKind::kWork, clock + pos, work, 0.0);
+        record(SimEventKind::kCheckpoint, clock + pos + work, this_ckpt,
+               config.checkpoint_size_mb);
         pos += work + this_ckpt;
         res.useful_work += work;
         res.checkpoint_time += this_ckpt;
@@ -95,19 +134,21 @@ JobSimResult simulate_job_on_trace(std::span<const double> availability_periods,
       if (pos + work <= period) {
         // Work finished but the checkpoint was cut off: all of it is lost.
         const double partial_ckpt = period - pos - work;
-        record(SimEventKind::kWorkInterrupted, clock + pos, work);
-        record(SimEventKind::kCheckpointInterrupted, clock + pos + work,
-               partial_ckpt);
         res.lost_time += work;
         res.checkpoint_time += partial_ckpt;
         ++res.checkpoints_interrupted;
+        double moved = 0.0;
         if (config.prorate_partial_transfers && this_ckpt > 0.0) {
-          res.network_mb +=
-              config.checkpoint_size_mb * partial_ckpt / this_ckpt;
+          moved = config.checkpoint_size_mb * partial_ckpt / this_ckpt;
+          res.network_mb += moved;
         }
+        record(SimEventKind::kWorkInterrupted, clock + pos, work, 0.0);
+        record(SimEventKind::kCheckpointInterrupted, clock + pos + work,
+               partial_ckpt, moved);
       } else {
         // Eviction mid-work.
-        record(SimEventKind::kWorkInterrupted, clock + pos, period - pos);
+        record(SimEventKind::kWorkInterrupted, clock + pos, period - pos,
+               0.0);
         res.lost_time += period - pos;
       }
       ++res.evictions;
@@ -115,6 +156,22 @@ JobSimResult simulate_job_on_trace(std::span<const double> availability_periods,
     }
     clock += period;
     ++period_index;
+  }
+
+  if (recording) {
+    const auto traced = local_tracer.events();
+    if (config.tracer != nullptr) {
+      for (const auto& ev : traced) config.tracer->record(ev);
+    }
+    if (config.record_events) {
+      res.events.reserve(traced.size());
+      for (const auto& ev : traced) {
+        res.events.push_back(SimEvent{kind_from_name(ev.name), ev.start_s,
+                                      ev.duration_s,
+                                      static_cast<std::size_t>(ev.id),
+                                      ev.value});
+      }
+    }
   }
   return res;
 }

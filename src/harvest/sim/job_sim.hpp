@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "harvest/core/schedule.hpp"
+#include "harvest/obs/tracer.hpp"
 
 namespace harvest::sim {
 
@@ -39,7 +40,17 @@ struct JobSimConfig {
   std::uint64_t jitter_seed = 12345;
   /// Record a full per-phase event timeline into JobSimResult::events
   /// (costs memory proportional to the number of phases; off by default).
+  /// Recording goes through an obs::EventTracer internally, so the timeline
+  /// is also exportable as JSONL / Chrome trace_event via `tracer`. Every
+  /// event carries the bytes that moved during it (pro-rated for
+  /// interrupted transfers, honoring `prorate_partial_transfers`), so the
+  /// timeline satisfies the same wire-byte accounting identity as
+  /// JobSimResult::network_mb: Σ event bytes == network_mb.
   bool record_events = false;
+  /// Optional sink for the same phase events (category "sim", id = period
+  /// index, value = bytes moved). Works with or without `record_events`;
+  /// useful to merge many simulations into one inspectable timeline.
+  obs::EventTracer* tracer = nullptr;
   /// When false, the FIRST availability period starts computing directly:
   /// a brand-new job has no checkpoint to restore yet (cold start). The
   /// paper simulates steady state ("a job that begins before the first
@@ -64,7 +75,15 @@ struct SimEvent {
   double start_s = 0.0;
   double duration_s = 0.0;
   std::size_t period_index = 0;
+  /// Megabytes that traversed the wire during this event: the full
+  /// checkpoint size for completed transfers, the pro-rated fraction for
+  /// interrupted ones (zero when proration is disabled), zero for work.
+  double bytes_mb = 0.0;
 };
+
+/// Stable event name used by the tracer exports ("work", "checkpoint",
+/// "recovery.interrupted", …).
+[[nodiscard]] const char* to_string(SimEventKind kind);
 
 struct JobSimResult {
   double total_time = 0.0;       ///< Σ availability durations consumed
@@ -82,7 +101,9 @@ struct JobSimResult {
 
   double network_mb = 0.0;
 
-  /// Populated only when JobSimConfig::record_events is set.
+  /// Populated only when JobSimConfig::record_events is set. The events
+  /// partition total_time exactly (every simulated second belongs to
+  /// exactly one event) and their bytes_mb sum to network_mb.
   std::vector<SimEvent> events;
 
   /// Fraction of machine time spent on useful work (the paper's efficiency

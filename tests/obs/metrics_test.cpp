@@ -1,0 +1,219 @@
+// MetricsRegistry under fire: exactness of counters/histograms when
+// hammered from util::ThreadPool workers, quantile monotonicity, handle
+// stability across reset(), and the ScopedTimer enable gate.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/timer.hpp"
+#include "harvest/util/thread_pool.hpp"
+
+namespace harvest::obs {
+namespace {
+
+TEST(Counter, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAccumulate) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(0.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, SnapshotStatistics) {
+  Histogram h(Histogram::exponential_bounds(1.0, 1000.0, 16));
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const auto s = h.snapshot("t");
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  // Quantiles interpolate inside log-spaced buckets: order must hold and
+  // the values must land in the data's range.
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_GE(s.p50, 1.0);
+  EXPECT_LE(s.p99, 100.0 + 1e-9);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZeros) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, OverflowBucketReportsObservedMax) {
+  Histogram h(std::vector<double>{1.0, 10.0});
+  h.observe(5000.0);  // beyond every bound -> overflow bucket
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.bucket_counts.size(), 3u);
+  EXPECT_EQ(s.bucket_counts[2], 1u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5000.0);
+}
+
+TEST(Histogram, ExponentialBoundsAreAscendingAndCoverRange) {
+  const auto b = Histogram::exponential_bounds(1e-3, 1e3, 13);
+  ASSERT_EQ(b.size(), 13u);
+  EXPECT_NEAR(b.front(), 1e-3, 1e-12);
+  EXPECT_NEAR(b.back(), 1e3, 1e-6);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = reg.histogram("x.h", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("x.h");  // bounds ignored after creation
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlaceWithoutInvalidatingHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Histogram& h = reg.histogram("h");
+  c.add(7);
+  h.observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);  // handle still live
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("z").add(1);
+  reg.counter("a").add(2);
+  reg.counter("m").add(3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[1].name, "m");
+  EXPECT_EQ(snap.counters[2].name, "z");
+}
+
+// The registry's contract with sim::run_trace_experiment: many pool workers
+// bang on the same handles concurrently and nothing is lost.
+TEST(MetricsRegistry, ConcurrentCountersAreExact) {
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kPerTask = 20000;
+  MetricsRegistry reg;
+  Counter& hits = reg.counter("hammer.hits");
+  Gauge& mb = reg.gauge("hammer.mb");
+  util::ThreadPool pool(8);
+  util::parallel_for_each(pool, kTasks, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerTask; ++i) {
+      hits.add();
+      mb.add(0.5);
+    }
+  });
+  EXPECT_EQ(hits.value(), kTasks * kPerTask);
+  // 0.5 increments sum exactly in binary floating point at this magnitude.
+  EXPECT_DOUBLE_EQ(mb.value(), 0.5 * static_cast<double>(kTasks * kPerTask));
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramExactTotalsAndMonotoneQuantiles) {
+  constexpr std::size_t kTasks = 32;
+  constexpr int kPerTask = 5000;
+  MetricsRegistry reg;
+  Histogram& h =
+      reg.histogram("hammer.h", Histogram::exponential_bounds(1, 256, 9));
+  util::ThreadPool pool(8);
+  util::parallel_for_each(pool, kTasks, [&](std::size_t) {
+    for (int i = 0; i < kPerTask; ++i) {
+      h.observe(static_cast<double>(1 + (i % 200)));
+    }
+  });
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, kTasks * static_cast<std::uint64_t>(kPerTask));
+  // Integer-valued observations: the double accumulator is exact here.
+  const double expected_sum =
+      static_cast<double>(kTasks) * (kPerTask / 200) * (200 * 201 / 2);
+  EXPECT_DOUBLE_EQ(s.sum, expected_sum);
+  std::uint64_t bucket_total = 0;
+  for (const auto n : s.bucket_counts) bucket_total += n;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 200.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+}
+
+// Handle creation itself racing: all workers ask for the same names while
+// the map is being populated.
+TEST(MetricsRegistry, ConcurrentFindOrCreateIsExact) {
+  constexpr std::size_t kTasks = 48;
+  constexpr std::uint64_t kPerTask = 1000;
+  MetricsRegistry reg;
+  util::ThreadPool pool(8);
+  util::parallel_for_each(pool, kTasks, [&](std::size_t t) {
+    const std::string name = "shared." + std::to_string(t % 4);
+    for (std::uint64_t i = 0; i < kPerTask; ++i) reg.counter(name).add();
+  });
+  std::uint64_t total = 0;
+  for (int k = 0; k < 4; ++k) {
+    total += reg.counter("shared." + std::to_string(k)).value();
+  }
+  EXPECT_EQ(total, kTasks * kPerTask);
+}
+
+TEST(ScopedTimer, InertWhenTimingDisabled) {
+  set_timing_enabled(false);
+  Histogram h;
+  {
+    ScopedTimer t(&h);
+    EXPECT_DOUBLE_EQ(t.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ScopedTimer, RecordsOnceWhenEnabled) {
+  set_timing_enabled(true);
+  Histogram h;
+  {
+    ScopedTimer t(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+
+  Histogram h2;
+  ScopedTimer t2(&h2);
+  t2.stop();
+  t2.stop();  // idempotent: detached after the first stop
+  EXPECT_EQ(h2.count(), 1u);
+  set_timing_enabled(false);  // leave the process-wide gate as found
+}
+
+TEST(ScopedTimer, NullSinkIsSafe) {
+  set_timing_enabled(true);
+  {
+    ScopedTimer t(nullptr);
+    EXPECT_DOUBLE_EQ(t.elapsed_seconds(), 0.0);
+  }
+  set_timing_enabled(false);
+}
+
+}  // namespace
+}  // namespace harvest::obs

@@ -1,0 +1,270 @@
+// EventTracer: ring semantics (overwrite + dropped accounting), export
+// formats (JSONL, Chrome trace_event), and the end-to-end property that a
+// simulated job's exported phase events partition its total time (§5.1
+// accounting identity, viewed through the tracer).
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/obs/json.hpp"
+#include "harvest/obs/tracer.hpp"
+#include "harvest/sim/job_sim.hpp"
+
+namespace harvest::obs {
+namespace {
+
+// Minimal recursive-descent JSON syntax checker — enough to prove the
+// exporters emit well-formed documents without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool json_valid(std::string_view s) { return JsonChecker(s).valid(); }
+
+TEST(JsonChecker, SelfTest) {
+  EXPECT_TRUE(json_valid(R"({"a":[1,2.5,-3e4],"b":"x\"y","c":null})"));
+  EXPECT_FALSE(json_valid(R"({"a":1,})"));
+  EXPECT_FALSE(json_valid(R"([1,2)"));
+  EXPECT_FALSE(json_valid(R"({"a" 1})"));
+}
+
+TEST(JsonWriter, EscapesAndNumbers) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  JsonWriter w;
+  w.begin_object();
+  w.field("s", "hi");
+  w.field("n", 3.25);
+  w.key("arr").begin_array().value(1).value(false).null().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"s":"hi","n":3.25,"arr":[1,false,null]})");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(EventTracer, RecordsInOrder) {
+  EventTracer t(16);
+  t.record_complete("work", "sim", 0.0, 10.0, 1, 0.0);
+  t.record_instant("eviction", "sim", 10.0, 1, 0.0);
+  t.record_complete("recovery", "sim", 10.0, 3.0, 2, 500.0);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].name, "work");
+  EXPECT_EQ(evs[1].phase, TracePhase::kInstant);
+  EXPECT_EQ(evs[2].name, "recovery");
+  EXPECT_DOUBLE_EQ(evs[2].value, 500.0);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(EventTracer, BoundedRingOverwritesOldestAndCountsDrops) {
+  EventTracer t(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record_complete("e", "test", static_cast<double>(i), 1.0, i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(evs[k].id, 6u + k);  // oldest surviving first
+  }
+}
+
+TEST(EventTracer, UnboundedKeepsEverything) {
+  EventTracer t(0);
+  for (int i = 0; i < 1000; ++i) t.record_instant("i", "test", i);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(EventTracer, ClearEmptiesButKeepsCapacity) {
+  EventTracer t(8);
+  t.record_instant("i", "test", 0.0);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.capacity(), 8u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(EventTracer, JsonlOneValidObjectPerLine) {
+  EventTracer t;
+  t.record_complete("work", "sim", 1.0, 2.0, 7, 0.0);
+  t.record_instant("note \"quoted\"", "sim", 3.0);
+  const std::string jsonl = t.to_jsonl();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string_view line(jsonl.data() + start, end - start);
+    EXPECT_TRUE(json_valid(line)) << line;
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(EventTracer, ChromeTraceParsesAndConvertsToMicroseconds) {
+  EventTracer t;
+  t.record_complete("work", "sim", 1.5, 0.25, 42, 500.0);
+  t.record_instant("eviction", "sim", 2.0);
+  const std::string trace = t.to_chrome_trace();
+  ASSERT_TRUE(json_valid(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  // 1.5 s -> 1.5e6 µs, exact in binary; accept either rendering to_chars
+  // may pick for the shortest round-trip.
+  EXPECT_TRUE(trace.find("1.5e+06") != std::string::npos ||
+              trace.find("1500000") != std::string::npos)
+      << trace;
+}
+
+// The acceptance property: run a real job simulation with a tracer
+// attached; its "sim"-category complete events must tile [0, total_time]
+// with no gaps or overlaps, and their byte payloads must sum to the wire
+// total. Then the Chrome export of that same tracer must be valid JSON.
+TEST(EventTracer, SimPhaseEventsPartitionSimulatedTime) {
+  numerics::Rng rng(99);
+  const auto truth = std::make_shared<dist::Weibull>(0.5, 2500.0);
+  std::vector<double> periods(120);
+  for (auto& p : periods) p = truth->sample(rng);
+
+  core::IntervalCosts costs;
+  costs.checkpoint = 300.0;
+  costs.recovery = 300.0;
+  core::CheckpointSchedule schedule(core::MarkovModel(truth, costs));
+
+  EventTracer tracer(0);  // unbounded: the identity needs every event
+  sim::JobSimConfig cfg;
+  cfg.tracer = &tracer;
+  const auto res = sim::simulate_job_on_trace(periods, schedule, cfg);
+
+  double clock = 0.0;
+  double total = 0.0;
+  double bytes = 0.0;
+  std::size_t spans = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.phase != TracePhase::kComplete || ev.category != "sim") continue;
+    EXPECT_NEAR(ev.start_s, clock, 1e-6) << "gap/overlap before " << ev.name;
+    EXPECT_GE(ev.duration_s, 0.0);
+    clock = ev.start_s + ev.duration_s;
+    total += ev.duration_s;
+    bytes += ev.value;
+    ++spans;
+  }
+  ASSERT_GT(spans, 0u);
+  EXPECT_NEAR(clock, res.total_time, 1e-6 * std::max(1.0, res.total_time));
+  EXPECT_NEAR(total / res.total_time, 1.0, 1e-9);
+  EXPECT_NEAR(bytes, res.network_mb, 1e-6 * std::max(1.0, res.network_mb));
+
+  ASSERT_TRUE(json_valid(tracer.to_chrome_trace()));
+}
+
+}  // namespace
+}  // namespace harvest::obs

@@ -1,5 +1,6 @@
 // Parameterized invariants of the trace-driven job simulator across
 // availability families, checkpoint costs, and trace shapes.
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -141,6 +142,64 @@ TEST_P(JobSimProperty, DisablingProrationOnlyReducesTraffic) {
   const auto b = simulate_job_on_trace(periods_, s2, strict);
   EXPECT_GE(a.network_mb, b.network_mb);
   EXPECT_DOUBLE_EQ(a.useful_work, b.useful_work);  // time flow unchanged
+}
+
+TEST_P(JobSimProperty, EventsPartitionTotalTimeExactly) {
+  JobSimConfig cfg;
+  cfg.record_events = true;
+  const auto res = simulate_job_on_trace(periods_, *schedule_, cfg);
+  ASSERT_FALSE(res.events.empty());
+  // The §5.1 identity seen through the timeline: events tile
+  // [0, total_time] back to back — no gaps, no overlaps, nothing after.
+  double clock = 0.0;
+  double total = 0.0;
+  for (const auto& ev : res.events) {
+    EXPECT_NEAR(ev.start_s, clock, 1e-6)
+        << "gap/overlap before " << to_string(ev.kind) << " in period "
+        << ev.period_index;
+    EXPECT_GE(ev.duration_s, 0.0);
+    clock = ev.start_s + ev.duration_s;
+    total += ev.duration_s;
+  }
+  EXPECT_NEAR(clock / res.total_time, 1.0, 1e-9);
+  EXPECT_NEAR(total / res.total_time, 1.0, 1e-9);
+}
+
+TEST_P(JobSimProperty, EventBytesMatchWireAccounting) {
+  JobSimConfig cfg;
+  cfg.record_events = true;
+  const auto res = simulate_job_on_trace(periods_, *schedule_, cfg);
+  double bytes = 0.0;
+  for (const auto& ev : res.events) {
+    if (ev.kind == SimEventKind::kWork ||
+        ev.kind == SimEventKind::kWorkInterrupted) {
+      EXPECT_DOUBLE_EQ(ev.bytes_mb, 0.0);  // work moves nothing
+    }
+    EXPECT_GE(ev.bytes_mb, 0.0);
+    EXPECT_LE(ev.bytes_mb, cfg.checkpoint_size_mb + 1e-9);
+    bytes += ev.bytes_mb;
+  }
+  // Interrupted transfers carry their pro-rated fraction, so the timeline's
+  // bytes reproduce network_mb exactly, not just as an upper bound.
+  EXPECT_NEAR(bytes, res.network_mb, 1e-6 * std::max(1.0, res.network_mb));
+}
+
+TEST_P(JobSimProperty, TracerSeesSameTimelineAsRecordedEvents) {
+  obs::EventTracer tracer(0);
+  JobSimConfig cfg;
+  cfg.record_events = true;
+  cfg.tracer = &tracer;
+  const auto res = simulate_job_on_trace(periods_, *schedule_, cfg);
+  const auto traced = tracer.events();
+  ASSERT_EQ(traced.size(), res.events.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    EXPECT_EQ(traced[i].name, to_string(res.events[i].kind));
+    EXPECT_EQ(traced[i].category, "sim");
+    EXPECT_DOUBLE_EQ(traced[i].start_s, res.events[i].start_s);
+    EXPECT_DOUBLE_EQ(traced[i].duration_s, res.events[i].duration_s);
+    EXPECT_DOUBLE_EQ(traced[i].value, res.events[i].bytes_mb);
+    EXPECT_EQ(traced[i].id, res.events[i].period_index);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCombos, JobSimProperty,
