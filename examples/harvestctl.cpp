@@ -10,10 +10,15 @@
 //       Print the checkpoint schedule a placed job would follow.
 //   harvestctl simulate <traces.csv> <family> <C>
 //       Trace-driven simulation across the pool (efficiency + network).
+//   harvestctl pool <traces.csv> <family> <jobs> <work_hours>
+//       Whole-pool emulation (negotiation, placements, evictions). With any
+//       --server-* flag, every transfer contends for one checkpoint server.
 //
 // Global flags (any subcommand):
 //   --metrics-json <path>   write the default metrics registry snapshot
 //                           (counters, gauges, histograms) after the command
+//   --metrics-prom <path>   same snapshot in Prometheus text exposition
+//                           format (node_exporter textfile collector style)
 //   --trace-json <path>     write structured events from the default tracer
 //                           in Chrome trace_event format (chrome://tracing)
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "harvest/condor/pool_simulation.hpp"
 #include "harvest/core/makespan.hpp"
 #include "harvest/core/prediction.hpp"
 #include "harvest/fit/model_select.hpp"
@@ -55,11 +61,18 @@ int usage() {
       "  harvestctl predict <traces.csv> <machine_id> <family> <C>\n"
       "  harvestctl makespan <traces.csv> <machine_id> <family> <C> "
       "<work_hours>\n"
+      "  harvestctl pool <traces.csv> <family> <jobs> <work_hours>\n"
       "families: exponential weibull hyperexp2 hyperexp3 lognormal gamma "
       "auto\n"
       "global flags:\n"
       "  --metrics-json <path>  dump the metrics registry snapshot as JSON\n"
-      "  --trace-json <path>    dump structured events as a Chrome trace\n");
+      "  --metrics-prom <path>  dump the snapshot as Prometheus text\n"
+      "  --trace-json <path>    dump structured events as a Chrome trace\n"
+      "pool flags (checkpoint server; any enables contended mode):\n"
+      "  --server-policy <fifo|fair|urgency>\n"
+      "  --server-slots <n>     concurrent-transfer slots (0 = unbounded)\n"
+      "  --server-capacity <MB/s>\n"
+      "  --server-stagger <s>   storm-avoidance jitter window\n");
   return 2;
 }
 
@@ -231,6 +244,81 @@ int cmd_predict(int argc, char** argv) {
   return 0;
 }
 
+int cmd_pool(int argc, char** argv, const std::string& policy_flag,
+             const std::string& slots_flag, const std::string& capacity_flag,
+             const std::string& stagger_flag) {
+  if (argc < 6) return usage();
+  const auto traces = trace::load_traces_csv(argv[2]);
+  const auto family = core::model_family_from_string(argv[3]);
+  condor::PoolSimConfig cfg;
+  cfg.job_count = std::strtoul(argv[4], nullptr, 10);
+  cfg.work_per_job_s = std::atof(argv[5]) * 3600.0;
+  cfg.family = family;
+  cfg.seed = 31;
+
+  // The pool emulation needs a generating law per machine; fit one from
+  // each machine's monitor history (Weibull captures the pool's shape).
+  std::vector<condor::TimelinePool::MachineSpec> machines;
+  for (const auto& t : traces) {
+    condor::TimelinePool::MachineSpec s;
+    s.id = t.machine_id;
+    try {
+      s.availability_law =
+          core::Planner::fit_model(t.durations, core::ModelFamily::kWeibull);
+    } catch (const std::exception&) {
+      continue;  // too few observations to characterize this machine
+    }
+    machines.push_back(std::move(s));
+  }
+  if (machines.empty()) {
+    std::fprintf(stderr, "no fittable machines in %s\n", argv[2]);
+    return 1;
+  }
+
+  const bool contended = !policy_flag.empty() || !slots_flag.empty() ||
+                         !capacity_flag.empty() || !stagger_flag.empty();
+  if (contended) {
+    server::ServerConfig sc;
+    if (!policy_flag.empty()) {
+      sc.policy = server::policy_from_string(policy_flag);
+    }
+    if (!slots_flag.empty()) {
+      sc.slots = std::strtoul(slots_flag.c_str(), nullptr, 10);
+    }
+    if (!capacity_flag.empty()) sc.capacity_mbps = std::atof(capacity_flag.c_str());
+    if (!stagger_flag.empty()) sc.stagger_window_s = std::atof(stagger_flag.c_str());
+    cfg.server = sc;
+  }
+  if (g_observing) cfg.tracer = &obs::default_tracer();
+
+  const auto res = condor::run_pool_simulation(machines, cfg);
+  std::printf("pool of %zu machines, %zu jobs x %.1f h, model %s\n",
+              machines.size(), cfg.job_count, cfg.work_per_job_s / 3600.0,
+              core::to_string(family).c_str());
+  std::printf("finished:        %zu/%zu\n", res.finished_count(),
+              res.jobs.size());
+  std::printf("mean completion: %.1f h\n", res.mean_completion_s() / 3600.0);
+  std::printf("makespan:        %.1f h\n", res.makespan_s / 3600.0);
+  std::printf("network:         %.1f GB\n", res.total_moved_mb() / 1024.0);
+  std::printf("evictions:       %zu\n", res.total_evictions());
+  std::printf("lost work:       %.1f h\n", res.total_lost_work_s() / 3600.0);
+  if (res.server_enabled) {
+    std::printf("server [%s, %zu slots, %.0f MB/s]:\n",
+                server::to_string(cfg.server->policy).c_str(),
+                cfg.server->slots, cfg.server->capacity_mbps);
+    std::printf("  transfers:     %llu submitted, %llu completed, %llu "
+                "interrupted, %llu rejected\n",
+                static_cast<unsigned long long>(res.server.submitted),
+                static_cast<unsigned long long>(res.server.completed),
+                static_cast<unsigned long long>(res.server.interrupted),
+                static_cast<unsigned long long>(res.server.rejected));
+    std::printf("  mean wait:     %.1f s (peak queue %zu, peak active %zu)\n",
+                res.server.mean_wait_s(), res.server.peak_queue_depth,
+                res.server.peak_active);
+  }
+  return 0;
+}
+
 int cmd_makespan(int argc, char** argv) {
   if (argc < 7) return usage();
   const auto traces = trace::load_traces_csv(argv[2]);
@@ -262,8 +350,16 @@ int cmd_makespan(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const std::string metrics_path = strip_path_flag(argc, argv, "metrics-json");
+  const std::string prom_path = strip_path_flag(argc, argv, "metrics-prom");
   const std::string trace_path = strip_path_flag(argc, argv, "trace-json");
-  g_observing = !metrics_path.empty() || !trace_path.empty();
+  const std::string policy_flag = strip_path_flag(argc, argv, "server-policy");
+  const std::string slots_flag = strip_path_flag(argc, argv, "server-slots");
+  const std::string capacity_flag =
+      strip_path_flag(argc, argv, "server-capacity");
+  const std::string stagger_flag =
+      strip_path_flag(argc, argv, "server-stagger");
+  g_observing =
+      !metrics_path.empty() || !prom_path.empty() || !trace_path.empty();
   if (g_observing) obs::set_timing_enabled(true);
 
   if (argc < 2) return usage();
@@ -277,6 +373,10 @@ int main(int argc, char** argv) {
     else if (cmd == "simulate") rc = cmd_simulate(argc, argv);
     else if (cmd == "predict") rc = cmd_predict(argc, argv);
     else if (cmd == "makespan") rc = cmd_makespan(argc, argv);
+    else if (cmd == "pool") {
+      rc = cmd_pool(argc, argv, policy_flag, slots_flag, capacity_flag,
+                    stagger_flag);
+    }
     else return usage();
 
     // Library code instruments the default registry/tracer as it runs;
@@ -285,6 +385,11 @@ int main(int argc, char** argv) {
       obs::default_registry().write_json(metrics_path);
       std::fprintf(stderr, "harvestctl: metrics -> %s\n",
                    metrics_path.c_str());
+    }
+    if (!prom_path.empty()) {
+      obs::default_registry().write_prometheus(prom_path);
+      std::fprintf(stderr, "harvestctl: prometheus -> %s\n",
+                   prom_path.c_str());
     }
     if (!trace_path.empty()) {
       obs::default_tracer().write_chrome_trace(trace_path);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "harvest/obs/metrics.hpp"
@@ -13,6 +14,20 @@ CheckpointManager::CheckpointManager(net::BandwidthModel link,
                                      std::uint64_t seed)
     : link_(link), rng_(seed) {}
 
+CheckpointManager::CheckpointManager(net::BandwidthModel link,
+                                     const server::ServerConfig& server_config)
+    : link_(link),
+      rng_(server_config.seed),
+      server_(std::make_unique<server::CheckpointServer>(server_config)) {}
+
+const server::ServerStats& CheckpointManager::server_stats() const {
+  if (server_ == nullptr) {
+    throw std::logic_error(
+        "CheckpointManager::server_stats: not server-backed");
+  }
+  return server_->stats();
+}
+
 TransferOutcome CheckpointManager::transfer(std::size_t job_id,
                                             TransferKind kind,
                                             double megabytes,
@@ -23,22 +38,71 @@ TransferOutcome CheckpointManager::transfer(std::size_t job_id,
   if (!(available_s >= 0.0)) {
     throw std::invalid_argument("CheckpointManager::transfer: available >= 0");
   }
-  const double full_duration = link_.sample_transfer_seconds(megabytes, rng_);
 
   TransferRecord rec;
   rec.job_id = job_id;
   rec.kind = kind;
   rec.requested_mb = megabytes;
-  if (full_duration <= available_s) {
-    rec.duration_s = full_duration;
-    rec.moved_mb = megabytes;
-    rec.completed = true;
+  if (server_ != nullptr) {
+    // Route through the checkpoint server on the manager's own clock. The
+    // manager is a serial client, so the only contention effects are the
+    // stagger jitter and admission policy — which is exactly what the live
+    // experiment wants to measure into C and R.
+    const double t0 = server_clock_s_;
+    server::ServerTransferRequest req;
+    req.job_id = job_id;
+    req.megabytes = megabytes;
+    const auto outcome = server_->submit(req, t0);
+    if (outcome.status == server::SubmitStatus::kRejected) {
+      rec.duration_s = 0.0;
+      rec.moved_mb = 0.0;
+      rec.completed = false;
+    } else {
+      // Drain the (single-transfer) server until our transfer finishes or
+      // the availability budget runs out.
+      const double cutoff =
+          std::isfinite(available_s)
+              ? t0 + available_s
+              : std::numeric_limits<double>::infinity();
+      bool completed = false;
+      double finish_s = cutoff;
+      while (auto next = server_->next_event_s()) {
+        if (*next > cutoff) break;
+        for (const auto& done : server_->advance_to(*next)) {
+          if (done.id == outcome.id) {
+            completed = true;
+            finish_s = done.finish_s;
+          }
+        }
+        if (completed) break;
+      }
+      if (completed) {
+        rec.duration_s = finish_s - t0;
+        rec.moved_mb = megabytes;
+        rec.completed = true;
+        server_clock_s_ = finish_s;
+      } else {
+        const auto removal = server_->remove(outcome.id, cutoff);
+        rec.duration_s = available_s;
+        rec.moved_mb = removal.moved_mb;
+        rec.completed = false;
+        server_clock_s_ = cutoff;
+      }
+    }
   } else {
-    rec.duration_s = available_s;
-    rec.moved_mb = (full_duration > 0.0)
-                       ? megabytes * available_s / full_duration
-                       : 0.0;
-    rec.completed = false;
+    const double full_duration =
+        link_.sample_transfer_seconds(megabytes, rng_);
+    if (full_duration <= available_s) {
+      rec.duration_s = full_duration;
+      rec.moved_mb = megabytes;
+      rec.completed = true;
+    } else {
+      rec.duration_s = available_s;
+      rec.moved_mb = (full_duration > 0.0)
+                         ? megabytes * available_s / full_duration
+                         : 0.0;
+      rec.completed = false;
+    }
   }
   log_.push_back(rec);
 

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "harvest/net/bandwidth_model.hpp"
 #include "harvest/numerics/rng.hpp"
+#include "harvest/server/checkpoint_server.hpp"
 
 namespace harvest::condor {
 
@@ -38,6 +40,15 @@ class CheckpointManager {
  public:
   CheckpointManager(net::BandwidthModel link, std::uint64_t seed);
 
+  /// Server-backed manager: transfers route through a server::CheckpointServer
+  /// (deterministic capacity, storm stagger, admission) instead of sampling
+  /// independent BandwidthModel durations. The manager drives the server on
+  /// its own monotone clock, one transfer at a time, so stagger jitter and
+  /// rejections surface in the measured costs the planner feeds back on.
+  /// `link` is kept only for reporting (expected-cost queries).
+  CheckpointManager(net::BandwidthModel link,
+                    const server::ServerConfig& server_config);
+
   /// Serve/accept a transfer of `megabytes` for `job_id`. The transfer is
   /// cut off after `available_s` seconds (machine eviction); pass +inf for
   /// an unconstrained transfer. Logged either way.
@@ -46,6 +57,9 @@ class CheckpointManager {
 
   [[nodiscard]] const std::vector<TransferRecord>& log() const { return log_; }
   [[nodiscard]] const net::BandwidthModel& link() const { return link_; }
+  [[nodiscard]] bool server_backed() const { return server_ != nullptr; }
+  /// Server statistics; only meaningful when server_backed().
+  [[nodiscard]] const server::ServerStats& server_stats() const;
 
   /// Total megabytes that traversed the network across all logged transfers.
   [[nodiscard]] double total_moved_mb() const;
@@ -53,6 +67,8 @@ class CheckpointManager {
  private:
   net::BandwidthModel link_;
   numerics::Rng rng_;
+  std::unique_ptr<server::CheckpointServer> server_;
+  double server_clock_s_ = 0.0;
   std::vector<TransferRecord> log_;
 };
 

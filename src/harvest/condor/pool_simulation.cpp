@@ -4,8 +4,10 @@
 #include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <tuple>
 
 #include "harvest/core/optimizer.hpp"
+#include "harvest/dist/conditional.hpp"
 #include "harvest/numerics/rng.hpp"
 #include "harvest/obs/metrics.hpp"
 #include "harvest/obs/timer.hpp"
@@ -44,7 +46,41 @@ std::size_t PoolSimResult::total_evictions() const {
   return n;
 }
 
+double PoolSimResult::total_useful_work_s() const {
+  double s = 0.0;
+  for (const auto& j : jobs) s += j.useful_work_s;
+  return s;
+}
+
+double PoolSimResult::total_lost_work_s() const {
+  double s = 0.0;
+  for (const auto& j : jobs) s += j.lost_work_s;
+  return s;
+}
+
 namespace {
+
+struct PoolMetrics {
+  obs::Counter& runs;
+  obs::Counter& placements;
+  obs::Counter& evictions;
+  obs::Counter& finished;
+  obs::Gauge& mb_moved;
+  obs::Histogram& wall_s;
+};
+
+PoolMetrics& pool_metrics() {
+  auto& reg = obs::default_registry();
+  static PoolMetrics m{
+      reg.counter("condor.pool_sim.runs"),
+      reg.counter("condor.pool_sim.placements"),
+      reg.counter("condor.pool_sim.evictions"),
+      reg.counter("condor.pool_sim.jobs_finished"),
+      reg.gauge("condor.pool_sim.mb_moved"),
+      reg.histogram("condor.pool_sim.wall_s"),
+  };
+  return m;
+}
 
 struct PlacementOutcome {
   double end_time = 0.0;   ///< when the machine frees (eviction or finish)
@@ -141,6 +177,420 @@ PlacementOutcome run_placement(double start, double eviction_time,
   }
 }
 
+struct JobState {
+  double remaining_work = 0.0;
+  bool has_checkpoint = false;
+  PoolSimJobStats stats;
+};
+
+/// The original per-placement synchronous walk: each transfer samples an
+/// independent BandwidthModel duration (no cross-job network interaction).
+void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
+                     const PoolSimConfig& config,
+                     const std::vector<dist::DistributionPtr>& fitted,
+                     TimelinePool& pool, Matchmaker& matchmaker,
+                     numerics::Rng& transfer_rng, std::vector<JobState>& jobs,
+                     double& last_finish) {
+  (void)pool;
+  // Min-heap of (time, job) negotiation events.
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  for (std::size_t j = 0; j < jobs.size(); ++j) queue.push({0.0, j});
+
+  std::vector<bool> occupied(specs.size(), false);
+  std::vector<double> occupied_until(specs.size(), 0.0);
+
+  while (!queue.empty()) {
+    const auto [now, job_id] = queue.top();
+    queue.pop();
+    if (now >= config.horizon_s) continue;
+    JobState& job = jobs[job_id];
+
+    // Free machines whose placements have ended.
+    for (std::size_t m = 0; m < occupied.size(); ++m) {
+      if (occupied[m] && occupied_until[m] <= now) occupied[m] = false;
+    }
+
+    const auto match = matchmaker.place(now, occupied);
+    if (!match) {
+      // Nothing idle: wait for the next negotiation cycle.
+      queue.push({now + config.negotiation_interval_s, job_id});
+      continue;
+    }
+    ++job.stats.placements;
+    pool_metrics().placements.add();
+    const double eviction_time = now + match->remaining_s;
+    double remaining_after = job.remaining_work;
+    bool ckpt_after = job.has_checkpoint;
+    const double mb_before = job.stats.moved_mb;
+    const std::size_t evictions_before = job.stats.evictions;
+    const auto outcome = run_placement(
+        now, eviction_time, match->uptime_s, job.remaining_work,
+        job.has_checkpoint, fitted[match->machine_index], config,
+        transfer_rng, job.stats, remaining_after, ckpt_after);
+    job.remaining_work = remaining_after;
+    job.has_checkpoint = ckpt_after;
+    occupied[match->machine_index] = true;
+    occupied_until[match->machine_index] = outcome.end_time;
+    pool_metrics().evictions.add(job.stats.evictions - evictions_before);
+    pool_metrics().mb_moved.add(job.stats.moved_mb - mb_before);
+    if (config.tracer != nullptr) {
+      config.tracer->record_complete("placement", "condor", now,
+                                     outcome.end_time - now, job_id,
+                                     job.stats.moved_mb - mb_before,
+                                     match->machine_index);
+    }
+
+    if (outcome.job_finished) {
+      job.stats.finished = true;
+      job.stats.completion_s = outcome.end_time;
+      last_finish = std::max(last_finish, outcome.end_time);
+      pool_metrics().finished.add();
+      if (config.tracer != nullptr) {
+        config.tracer->record_instant("job.finished", "condor",
+                                      outcome.end_time, job_id,
+                                      job.stats.useful_work_s,
+                                      match->machine_index);
+      }
+    } else {
+      // Re-queue at the next negotiation after the eviction.
+      queue.push(
+          {outcome.end_time + config.negotiation_interval_s, job_id});
+    }
+  }
+}
+
+/// Contended mode: a global discrete-event walk where every recovery and
+/// checkpoint transfer is a request against one server::CheckpointServer.
+/// Jobs interleave in simulated time, so simultaneous checkpoints queue for
+/// slots and slow each other down — the pool-wide interaction the paper's
+/// conclusion flags as unmodeled.
+class ContendedEngine {
+ public:
+  ContendedEngine(const std::vector<TimelinePool::MachineSpec>& specs,
+                  const PoolSimConfig& config,
+                  const std::vector<dist::DistributionPtr>& fitted,
+                  Matchmaker& matchmaker, std::uint64_t server_seed,
+                  std::vector<JobState>& jobs, double& last_finish)
+      : config_(config),
+        fitted_(fitted),
+        matchmaker_(matchmaker),
+        server_(make_server_config(config, server_seed)),
+        jobs_(jobs),
+        last_finish_(last_finish),
+        occupied_(specs.size(), false),
+        occupied_until_(specs.size(), 0.0),
+        states_(jobs.size()) {}
+
+  void run() {
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      push_event(0.0, EventKind::kNegotiate, j, states_[j].generation);
+    }
+    for (;;) {
+      const double heap_t =
+          heap_.empty() ? std::numeric_limits<double>::infinity()
+                        : std::get<0>(heap_.top());
+      const auto server_next = server_.next_event_s();
+      const double server_t =
+          server_next.value_or(std::numeric_limits<double>::infinity());
+      if (!std::isfinite(heap_t) && !std::isfinite(server_t)) break;
+      // Server completions win ties: a transfer that finishes exactly at
+      // the eviction instant counts as completed, matching the synchronous
+      // walk's `full <= budget` rule.
+      if (server_t <= heap_t) {
+        for (const auto& done : server_.advance_to(server_t)) {
+          handle_completion(done);
+        }
+        continue;
+      }
+      const auto [t, seq, kind, job_id, gen] = heap_.top();
+      (void)seq;
+      heap_.pop();
+      if (gen != states_[job_id].generation) continue;  // stale placement
+      switch (kind) {
+        case EventKind::kNegotiate:
+          handle_negotiate(job_id, t);
+          break;
+        case EventKind::kWorkDone:
+          handle_work_done(job_id, t);
+          break;
+        case EventKind::kRetry:
+          submit_transfer(job_id, t);
+          break;
+        case EventKind::kEvict:
+          handle_evict(job_id, t);
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] const server::ServerStats& server_stats() const {
+    return server_.stats();
+  }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kNegotiate,
+    kWorkDone,
+    kRetry,
+    kEvict
+  };
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kWorking,
+    kTransferring,
+    kBackoff,
+    kDone
+  };
+  enum class TransferKind : std::uint8_t { kRecovery, kCheckpoint };
+
+  struct PerJob {
+    Phase phase = Phase::kIdle;
+    std::uint32_t generation = 0;  ///< bumps at placement end; stales events
+    std::size_t machine = 0;
+    double placement_start = 0.0;
+    double eviction_time = 0.0;
+    double uptime_at_start = 0.0;
+    double measured_cost = 0.0;  ///< last observed transfer cost (wait+wire)
+    double chunk = 0.0;          ///< work chunk awaiting its checkpoint
+    double work_start = 0.0;
+    TransferKind transfer_kind = TransferKind::kRecovery;
+    server::TransferId transfer_id = 0;
+    double transfer_submit_s = 0.0;
+    std::uint32_t backoff_attempts = 0;  ///< resets on a completed transfer
+    double placement_mb = 0.0;           ///< bytes moved this placement
+  };
+
+  static server::ServerConfig make_server_config(const PoolSimConfig& config,
+                                                 std::uint64_t seed) {
+    server::ServerConfig sc = *config.server;
+    sc.seed = seed;
+    sc.tracer = config.tracer;
+    return sc;
+  }
+
+  void push_event(double t, EventKind kind, std::size_t job,
+                  std::uint32_t gen) {
+    heap_.push({t, next_seq_++, kind, job, gen});
+  }
+
+  void handle_negotiate(std::size_t job_id, double now) {
+    if (now >= config_.horizon_s) return;  // job reports unfinished
+    for (std::size_t m = 0; m < occupied_.size(); ++m) {
+      if (occupied_[m] && occupied_until_[m] <= now) occupied_[m] = false;
+    }
+    const auto match = matchmaker_.place(now, occupied_);
+    if (!match) {
+      push_event(now + config_.negotiation_interval_s, EventKind::kNegotiate,
+                 job_id, states_[job_id].generation);
+      return;
+    }
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    ++job.stats.placements;
+    pool_metrics().placements.add();
+    st.machine = match->machine_index;
+    st.placement_start = now;
+    st.eviction_time = now + match->remaining_s;
+    st.uptime_at_start = match->uptime_s;
+    st.placement_mb = 0.0;
+    st.measured_cost =
+        config_.checkpoint_size_mb / server_.config().capacity_mbps;
+    occupied_[st.machine] = true;
+    occupied_until_[st.machine] = st.eviction_time;
+    push_event(st.eviction_time, EventKind::kEvict, job_id, st.generation);
+
+    if (job.has_checkpoint) {
+      st.transfer_kind = TransferKind::kRecovery;
+      if (st.backoff_attempts > 0) {
+        // This client's last transfer was interrupted or rejected: back off
+        // before hammering the server again.
+        st.phase = Phase::kBackoff;
+        push_event(
+            now + server_.backoff().delay_s(st.backoff_attempts - 1),
+            EventKind::kRetry, job_id, st.generation);
+      } else {
+        submit_transfer(job_id, now);
+      }
+    } else {
+      enter_work(job_id, now);
+    }
+  }
+
+  void enter_work(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    const double uptime = st.uptime_at_start + (now - st.placement_start);
+    core::IntervalCosts costs;
+    costs.checkpoint = st.measured_cost;
+    costs.recovery = st.measured_cost;
+    const core::CheckpointOptimizer optimizer(
+        core::MarkovModel(fitted_[st.machine], costs), config_.optimizer);
+    const double t_opt = optimizer.optimize(uptime).work_time;
+    st.chunk = std::min(t_opt, job.remaining_work);
+    st.phase = Phase::kWorking;
+    st.work_start = now;
+    // If the chunk outlives the availability spell, the eviction event
+    // (already queued) fires first and charges the lost work.
+    push_event(now + st.chunk, EventKind::kWorkDone, job_id, st.generation);
+  }
+
+  void handle_work_done(std::size_t job_id, double now) {
+    states_[job_id].transfer_kind = TransferKind::kCheckpoint;
+    submit_transfer(job_id, now);
+  }
+
+  void submit_transfer(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    server::ServerTransferRequest req;
+    req.job_id = job_id;
+    req.megabytes = config_.checkpoint_size_mb;
+    // Only checkpoints carry the urgency hint: a checkpoint racing the
+    // machine's predicted death has a committed chunk at risk, so jumping
+    // the queue saves real work. A recovery has nothing committed yet —
+    // fast-tracking it onto a machine predicted to die soon just starts a
+    // chunk that the eviction then destroys, so recoveries queue FIFO.
+    if (st.transfer_kind == TransferKind::kCheckpoint) {
+      req.predicted_remaining_s = predicted_remaining(job_id, now);
+    }
+    const auto outcome = server_.submit(req, now);
+    if (outcome.status == server::SubmitStatus::kRejected) {
+      ++job.stats.rejected_submits;
+      ++st.backoff_attempts;
+      st.phase = Phase::kBackoff;
+      push_event(now + server_.backoff().delay_s(st.backoff_attempts - 1),
+                 EventKind::kRetry, job_id, st.generation);
+      return;
+    }
+    st.phase = Phase::kTransferring;
+    st.transfer_id = outcome.id;
+    st.transfer_submit_s = now;
+  }
+
+  /// What the urgency scheduler orders by: the fitted model's expected
+  /// remaining availability of the submitting machine right now (same
+  /// estimate kModelRanked matchmaking uses).
+  [[nodiscard]] double predicted_remaining(std::size_t job_id,
+                                           double now) const {
+    const PerJob& st = states_[job_id];
+    const double uptime = st.uptime_at_start + (now - st.placement_start);
+    try {
+      return dist::Conditional(fitted_[st.machine], uptime).mean();
+    } catch (const std::exception&) {
+      return fitted_[st.machine]->mean();  // survival underflow at old age
+    }
+  }
+
+  void handle_completion(const server::ServerCompletion& done) {
+    const auto job_id = static_cast<std::size_t>(done.job_id);
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    const double now = done.finish_s;
+    job.stats.moved_mb += done.megabytes;
+    job.stats.server_wait_s += done.wait_s();
+    st.placement_mb += done.megabytes;
+    st.backoff_attempts = 0;
+    pool_metrics().mb_moved.add(done.megabytes);
+    // The cost the job *felt* — queueing plus wire time — is what it feeds
+    // back into the planner as C and R, so schedules adapt to congestion.
+    // Smoothed (EWMA), not raw: a single lucky fast transfer would collapse
+    // the planner's C, trigger a burst of frequent checkpoints, lengthen
+    // everyone's queue, and oscillate — the smoothing damps that closed
+    // loop regardless of scheduling policy.
+    const double sample = std::max(now - st.transfer_submit_s, 1e-6);
+    st.measured_cost = 0.5 * st.measured_cost + 0.5 * sample;
+
+    if (st.transfer_kind == TransferKind::kRecovery) {
+      enter_work(job_id, now);
+      return;
+    }
+    // Checkpoint (or final result upload) committed.
+    job.stats.useful_work_s += st.chunk;
+    job.remaining_work -= st.chunk;
+    job.has_checkpoint = true;
+    if (job.remaining_work <= 1e-9) {
+      finish_job(job_id, now);
+    } else {
+      enter_work(job_id, now);
+    }
+  }
+
+  void finish_job(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    job.stats.finished = true;
+    job.stats.completion_s = now;
+    last_finish_ = std::max(last_finish_, now);
+    pool_metrics().finished.add();
+    occupied_until_[st.machine] = now;
+    if (config_.tracer != nullptr) {
+      config_.tracer->record_complete("placement", "condor",
+                                      st.placement_start,
+                                      now - st.placement_start, job_id,
+                                      st.placement_mb, st.machine);
+      config_.tracer->record_instant("job.finished", "condor", now, job_id,
+                                     job.stats.useful_work_s, st.machine);
+    }
+    st.phase = Phase::kDone;
+    ++st.generation;  // cancels the pending eviction event
+  }
+
+  void handle_evict(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    switch (st.phase) {
+      case Phase::kWorking:
+        job.stats.lost_work_s += now - st.work_start;
+        break;
+      case Phase::kTransferring: {
+        const auto removal = server_.remove(st.transfer_id, now);
+        job.stats.moved_mb += removal.moved_mb;
+        st.placement_mb += removal.moved_mb;
+        pool_metrics().mb_moved.add(removal.moved_mb);
+        if (st.transfer_kind == TransferKind::kCheckpoint) {
+          job.stats.lost_work_s += st.chunk;  // never committed
+        }
+        ++st.backoff_attempts;  // interrupted: retry backs off next time
+        break;
+      }
+      case Phase::kBackoff:
+      case Phase::kIdle:
+      case Phase::kDone:
+        break;
+    }
+    ++job.stats.evictions;
+    pool_metrics().evictions.add();
+    if (config_.tracer != nullptr) {
+      config_.tracer->record_complete("placement", "condor",
+                                      st.placement_start,
+                                      now - st.placement_start, job_id,
+                                      st.placement_mb, st.machine);
+    }
+    st.phase = Phase::kIdle;
+    ++st.generation;  // cancels pending work/retry events
+    push_event(now + config_.negotiation_interval_s, EventKind::kNegotiate,
+               job_id, st.generation);
+  }
+
+  const PoolSimConfig& config_;
+  const std::vector<dist::DistributionPtr>& fitted_;
+  Matchmaker& matchmaker_;
+  server::CheckpointServer server_;
+  std::vector<JobState>& jobs_;
+  double& last_finish_;
+  std::vector<bool> occupied_;
+  std::vector<double> occupied_until_;
+  std::vector<PerJob> states_;
+
+  /// (time, sequence, kind, job, generation): sequence keeps equal-time
+  /// ordering deterministic.
+  using Event =
+      std::tuple<double, std::uint64_t, EventKind, std::size_t, std::uint32_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
 }  // namespace
 
 PoolSimResult run_pool_simulation(
@@ -154,19 +604,8 @@ PoolSimResult run_pool_simulation(
     throw std::invalid_argument("run_pool_simulation: bad config");
   }
 
-  static auto& runs = obs::default_registry().counter("condor.pool_sim.runs");
-  static auto& placements_total =
-      obs::default_registry().counter("condor.pool_sim.placements");
-  static auto& evictions_total =
-      obs::default_registry().counter("condor.pool_sim.evictions");
-  static auto& finished_total =
-      obs::default_registry().counter("condor.pool_sim.jobs_finished");
-  static auto& mb_total =
-      obs::default_registry().gauge("condor.pool_sim.mb_moved");
-  static auto& wall_s =
-      obs::default_registry().histogram("condor.pool_sim.wall_s");
-  runs.add();
-  obs::ScopedTimer run_timer(&wall_s);
+  pool_metrics().runs.add();
+  obs::ScopedTimer run_timer(&pool_metrics().wall_s);
 
   numerics::Rng master(config.seed);
 
@@ -190,79 +629,20 @@ PoolSimResult run_pool_simulation(
   Matchmaker matchmaker(pool, fitted, config.policy, master.next_u64());
   numerics::Rng transfer_rng = master.split();
 
-  struct JobState {
-    double remaining_work;
-    bool has_checkpoint = false;
-    PoolSimJobStats stats;
-  };
   std::vector<JobState> jobs(config.job_count);
   for (auto& j : jobs) j.remaining_work = config.work_per_job_s;
 
-  // Min-heap of (time, job) negotiation events.
-  using Event = std::pair<double, std::size_t>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
-  for (std::size_t j = 0; j < jobs.size(); ++j) queue.push({0.0, j});
-
-  std::vector<bool> occupied(machine_specs.size(), false);
-  std::vector<double> occupied_until(machine_specs.size(), 0.0);
-
   PoolSimResult result;
   double last_finish = 0.0;
-  while (!queue.empty()) {
-    const auto [now, job_id] = queue.top();
-    queue.pop();
-    if (now >= config.horizon_s) continue;
-    JobState& job = jobs[job_id];
-
-    // Free machines whose placements have ended.
-    for (std::size_t m = 0; m < occupied.size(); ++m) {
-      if (occupied[m] && occupied_until[m] <= now) occupied[m] = false;
-    }
-
-    const auto match = matchmaker.place(now, occupied);
-    if (!match) {
-      // Nothing idle: wait for the next negotiation cycle.
-      queue.push({now + config.negotiation_interval_s, job_id});
-      continue;
-    }
-    ++job.stats.placements;
-    placements_total.add();
-    const double eviction_time = now + match->remaining_s;
-    double remaining_after = job.remaining_work;
-    bool ckpt_after = job.has_checkpoint;
-    const double mb_before = job.stats.moved_mb;
-    const std::size_t evictions_before = job.stats.evictions;
-    const auto outcome = run_placement(
-        now, eviction_time, match->uptime_s, job.remaining_work,
-        job.has_checkpoint, fitted[match->machine_index], config,
-        transfer_rng, job.stats, remaining_after, ckpt_after);
-    job.remaining_work = remaining_after;
-    job.has_checkpoint = ckpt_after;
-    occupied[match->machine_index] = true;
-    occupied_until[match->machine_index] = outcome.end_time;
-    evictions_total.add(job.stats.evictions - evictions_before);
-    mb_total.add(job.stats.moved_mb - mb_before);
-    if (config.tracer != nullptr) {
-      config.tracer->record_complete("placement", "condor", now,
-                                     outcome.end_time - now, job_id,
-                                     job.stats.moved_mb - mb_before);
-    }
-
-    if (outcome.job_finished) {
-      job.stats.finished = true;
-      job.stats.completion_s = outcome.end_time;
-      last_finish = std::max(last_finish, outcome.end_time);
-      finished_total.add();
-      if (config.tracer != nullptr) {
-        config.tracer->record_instant("job.finished", "condor",
-                                      outcome.end_time, job_id,
-                                      job.stats.useful_work_s);
-      }
-    } else {
-      // Re-queue at the next negotiation after the eviction.
-      queue.push(
-          {outcome.end_time + config.negotiation_interval_s, job_id});
-    }
+  if (config.server.has_value()) {
+    ContendedEngine engine(machine_specs, config, fitted, matchmaker,
+                           master.next_u64(), jobs, last_finish);
+    engine.run();
+    result.server_enabled = true;
+    result.server = engine.server_stats();
+  } else {
+    run_uncontended(machine_specs, config, fitted, pool, matchmaker,
+                    transfer_rng, jobs, last_finish);
   }
 
   result.jobs.reserve(jobs.size());

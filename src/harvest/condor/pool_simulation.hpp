@@ -13,12 +13,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "harvest/condor/matchmaker.hpp"
 #include "harvest/core/planner.hpp"
 #include "harvest/net/bandwidth_model.hpp"
 #include "harvest/obs/tracer.hpp"
+#include "harvest/server/checkpoint_server.hpp"
 
 namespace harvest::condor {
 
@@ -39,10 +41,19 @@ struct PoolSimConfig {
   core::OptimizerOptions optimizer;
   std::uint64_t seed = 1;
   /// Optional structured timeline (category "condor"): one complete event
-  /// per placement (id = job, value = MB moved during it) plus instant
-  /// markers for job completions. Times are simulated pool seconds, so the
-  /// Chrome-trace view of this tracer is the cluster's gantt chart.
+  /// per placement (id = job, value = MB moved during it, tid = machine
+  /// index → one Chrome-trace track per machine) plus instant markers for
+  /// job completions. Times are simulated pool seconds, so the Chrome-trace
+  /// view of this tracer is the cluster's gantt chart.
   obs::EventTracer* tracer = nullptr;
+  /// Opt-in contended checkpoint server. When set, every job's recovery and
+  /// checkpoint transfer goes through ONE server::CheckpointServer —
+  /// transfers queue for slots, share the pipe TCP-fairly, and can be
+  /// staggered or rejected — instead of each sampling an independent
+  /// BandwidthModel duration. The server's `tracer` and `seed` fields are
+  /// overridden from this config (tracer above; seed derived from `seed`
+  /// below so runs stay deterministic).
+  std::optional<server::ServerConfig> server;
 };
 
 struct PoolSimJobStats {
@@ -53,16 +64,25 @@ struct PoolSimJobStats {
   double moved_mb = 0.0;
   std::size_t placements = 0;
   std::size_t evictions = 0;
+  /// Server mode only: queueing + stagger delay this job's transfers ate.
+  double server_wait_s = 0.0;
+  /// Server mode only: submissions the admission controller bounced.
+  std::size_t rejected_submits = 0;
 };
 
 struct PoolSimResult {
   std::vector<PoolSimJobStats> jobs;
   double makespan_s = 0.0;  ///< last finisher (or horizon if any unfinished)
+  /// Filled when PoolSimConfig::server was set.
+  bool server_enabled = false;
+  server::ServerStats server;
 
   [[nodiscard]] std::size_t finished_count() const;
   [[nodiscard]] double mean_completion_s() const;  ///< finished jobs only
   [[nodiscard]] double total_moved_mb() const;
   [[nodiscard]] std::size_t total_evictions() const;
+  [[nodiscard]] double total_useful_work_s() const;
+  [[nodiscard]] double total_lost_work_s() const;
 };
 
 /// Run the pool emulation. `machine_specs` define the park; models are

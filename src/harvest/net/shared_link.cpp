@@ -18,9 +18,11 @@ SharedLink::SharedLink(double capacity_mbps) : capacity_(capacity_mbps) {
 std::vector<TransferOutcome> SharedLink::resolve(
     std::vector<TransferRequest> requests) const {
   for (const auto& r : requests) {
-    if (!(r.arrival_s >= 0.0) || !(r.megabytes > 0.0)) {
+    // Zero-size transfers are legal: the sweep completes them at arrival
+    // (dt = 0), which is the natural limit of megabytes → 0.
+    if (!(r.arrival_s >= 0.0) || !(r.megabytes >= 0.0)) {
       throw std::invalid_argument(
-          "SharedLink::resolve: arrivals >= 0, sizes > 0");
+          "SharedLink::resolve: arrivals >= 0, sizes >= 0");
     }
   }
   const std::size_t n = requests.size();

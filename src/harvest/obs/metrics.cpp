@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <mutex>
@@ -146,6 +147,102 @@ std::string RegistrySnapshot::to_json() const {
   return w.str();
 }
 
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted
+/// names map '.' and '-' to '_'; anything else unexpected degrades to '_'
+/// too rather than emitting an invalid exposition.
+std::string sanitize_prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+                    c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+/// Label values need \ " and newline escaped per the exposition format.
+std::string escape_prom_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Render `{a="x",b="y"}` (or "" with no labels); `extra` appends one more
+/// pair (used for histogram `le`).
+std::string prom_labels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& extra_key = {}, const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_prom_name(k) + "=\"" + escape_prom_label(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + escape_prom_label(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+/// Prometheus floats: plain shortest-round-trip decimal; +Inf spelled out.
+std::string prom_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string RegistrySnapshot::to_prometheus(
+    const std::vector<std::pair<std::string, std::string>>& labels) const {
+  std::string out;
+  const std::string label_str = prom_labels(labels);
+  for (const auto& c : counters) {
+    const std::string name = sanitize_prom_name(c.name) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + label_str + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const auto& g : gauges) {
+    const std::string name = sanitize_prom_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + label_str + ' ' + prom_double(g.value) + '\n';
+  }
+  for (const auto& h : histograms) {
+    const std::string name = sanitize_prom_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      const std::string le = b < h.bounds.size()
+                                 ? prom_double(h.bounds[b])
+                                 : "+Inf";
+      out += name + "_bucket" + prom_labels(labels, "le", le) + ' ' +
+             std::to_string(cumulative) + '\n';
+    }
+    out += name + "_sum" + label_str + ' ' + prom_double(h.sum) + '\n';
+    out += name + "_count" + label_str + ' ' + std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   {
     std::shared_lock lock(mutex_);
@@ -208,6 +305,11 @@ std::string MetricsRegistry::snapshot_json() const {
   return snapshot().to_json();
 }
 
+std::string MetricsRegistry::prometheus_text(
+    const std::vector<std::pair<std::string, std::string>>& labels) const {
+  return snapshot().to_prometheus(labels);
+}
+
 void MetricsRegistry::write_json(const std::string& path) const {
   std::ofstream out(path);
   if (!out) {
@@ -218,6 +320,19 @@ void MetricsRegistry::write_json(const std::string& path) const {
   if (!out) {
     throw std::runtime_error("MetricsRegistry::write_json: write failed: " +
                              path);
+  }
+}
+
+void MetricsRegistry::write_prometheus(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error(
+        "MetricsRegistry::write_prometheus: cannot open " + path);
+  }
+  out << prometheus_text();
+  if (!out) {
+    throw std::runtime_error(
+        "MetricsRegistry::write_prometheus: write failed: " + path);
   }
 }
 

@@ -25,6 +25,7 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace harvest::obs {
@@ -138,6 +139,16 @@ struct RegistrySnapshot {
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
   /// mean, min, max, p50, p90, p99}}}
   [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters become
+  /// `<name>_total`, gauges expose as-is, histograms emit the conventional
+  /// cumulative `<name>_bucket{le="..."}` series plus `_sum` and `_count`.
+  /// Metric names are sanitized ('.', '-' → '_'); an optional
+  /// `{key="value"}` label set taken from `labels` is attached to every
+  /// sample (useful to tag a scrape with family/policy/run id).
+  [[nodiscard]] std::string to_prometheus(
+      const std::vector<std::pair<std::string, std::string>>& labels =
+          {}) const;
 };
 
 class MetricsRegistry {
@@ -156,9 +167,16 @@ class MetricsRegistry {
   [[nodiscard]] RegistrySnapshot snapshot() const;
   /// snapshot().to_json() in one call.
   [[nodiscard]] std::string snapshot_json() const;
+  /// snapshot().to_prometheus() in one call.
+  [[nodiscard]] std::string prometheus_text(
+      const std::vector<std::pair<std::string, std::string>>& labels =
+          {}) const;
   /// Write snapshot_json() to `path` (throws std::runtime_error on I/O
   /// failure).
   void write_json(const std::string& path) const;
+  /// Write prometheus_text() to `path` — a node_exporter textfile-collector
+  /// style drop (throws std::runtime_error on I/O failure).
+  void write_prometheus(const std::string& path) const;
 
   /// Zero every metric in place; existing handles stay valid.
   void reset();

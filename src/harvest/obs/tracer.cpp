@@ -22,7 +22,7 @@ void append_event_json(JsonWriter& w, const TraceEvent& e, bool chrome) {
   if (e.phase == TracePhase::kComplete) w.field("dur", e.duration_s * scale);
   if (chrome) {
     w.field("pid", 1);
-    w.field("tid", 1);
+    w.field("tid", e.tid);
     if (e.phase == TracePhase::kInstant) w.field("s", "g");
     w.key("args").begin_object();
     w.field("id", e.id);
@@ -31,6 +31,7 @@ void append_event_json(JsonWriter& w, const TraceEvent& e, bool chrome) {
   } else {
     w.field("id", e.id);
     w.field("value", e.value);
+    w.field("tid", e.tid);
   }
   w.end_object();
 }
@@ -55,15 +56,18 @@ void EventTracer::record(TraceEvent event) {
 
 void EventTracer::record_complete(std::string name, std::string category,
                                   double start_s, double duration_s,
-                                  std::uint64_t id, double value) {
+                                  std::uint64_t id, double value,
+                                  std::uint64_t tid) {
   record(TraceEvent{std::move(name), std::move(category),
-                    TracePhase::kComplete, start_s, duration_s, id, value});
+                    TracePhase::kComplete, start_s, duration_s, id, value,
+                    tid});
 }
 
 void EventTracer::record_instant(std::string name, std::string category,
-                                 double at_s, std::uint64_t id, double value) {
+                                 double at_s, std::uint64_t id, double value,
+                                 std::uint64_t tid) {
   record(TraceEvent{std::move(name), std::move(category), TracePhase::kInstant,
-                    at_s, 0.0, id, value});
+                    at_s, 0.0, id, value, tid});
 }
 
 std::vector<TraceEvent> EventTracer::events() const {

@@ -29,6 +29,11 @@ struct TraceEvent {
   double duration_s = 0.0;  ///< 0 for instants
   std::uint64_t id = 0;     ///< producer-defined: period index, job id, …
   double value = 0.0;       ///< payload: bytes moved, loglik delta, …
+  /// Timeline track the event renders on (Chrome trace tid). Producers that
+  /// simulate many actors in parallel give each its own track — the pool
+  /// simulator uses the machine index, so the Chrome view is a pool-wide
+  /// placement/eviction gantt instead of one merged lane.
+  std::uint64_t tid = 0;
 };
 
 /// Thread-safe bounded event ring. When full, the oldest events are
@@ -44,9 +49,10 @@ class EventTracer {
   void record(TraceEvent event);
   void record_complete(std::string name, std::string category, double start_s,
                        double duration_s, std::uint64_t id = 0,
-                       double value = 0.0);
+                       double value = 0.0, std::uint64_t tid = 0);
   void record_instant(std::string name, std::string category, double at_s,
-                      std::uint64_t id = 0, double value = 0.0);
+                      std::uint64_t id = 0, double value = 0.0,
+                      std::uint64_t tid = 0);
 
   /// Events in record order (oldest surviving first).
   [[nodiscard]] std::vector<TraceEvent> events() const;

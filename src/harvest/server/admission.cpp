@@ -1,0 +1,38 @@
+#include "harvest/server/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::server {
+
+AdmissionController::AdmissionController(std::size_t slots,
+                                         std::size_t queue_limit)
+    : slots_(slots), queue_limit_(queue_limit) {}
+
+AdmissionDecision AdmissionController::decide(std::size_t active_count,
+                                              std::size_t queued_count) const {
+  if (slots_ == 0 || active_count < slots_) return AdmissionDecision::kAdmit;
+  if (queued_count < queue_limit_) return AdmissionDecision::kQueue;
+  return AdmissionDecision::kReject;
+}
+
+ExponentialBackoff::ExponentialBackoff(double base_s, double cap_s)
+    : base_s_(base_s), cap_s_(cap_s) {
+  if (!(base_s > 0.0) || !std::isfinite(base_s)) {
+    throw std::invalid_argument("ExponentialBackoff: base must be > 0");
+  }
+  if (!(cap_s >= base_s)) {
+    throw std::invalid_argument("ExponentialBackoff: cap must be >= base");
+  }
+}
+
+double ExponentialBackoff::delay_s(std::uint32_t attempt) const {
+  // 2^attempt overflows double long after the cap kicks in; clamp the
+  // exponent so the multiply itself stays finite.
+  const auto exponent = std::min<std::uint32_t>(attempt, 63);
+  const double raw = base_s_ * std::ldexp(1.0, static_cast<int>(exponent));
+  return std::min(raw, cap_s_);
+}
+
+}  // namespace harvest::server

@@ -1,0 +1,57 @@
+// Admission control for the checkpoint server: every transfer request is
+// admitted to service, parked in the bounded waiting queue, or rejected
+// outright when the queue is full. Rejected (and eviction-interrupted)
+// clients retry with exponential backoff, so an overloaded server sheds
+// synchronized load instead of building an unbounded backlog — the classic
+// defense against the checkpoint storms the paper's conclusion warns about.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace harvest::server {
+
+enum class AdmissionDecision {
+  kAdmit,   ///< a service slot is free: start transferring now
+  kQueue,   ///< all slots busy but the queue has room: wait
+  kReject,  ///< queue full: client must back off and retry
+};
+
+/// Pure admission policy: a function of the server's occupancy and limits.
+/// Kept separate from CheckpointServer so tests (and future policies —
+/// per-job quotas, bytes-in-flight caps) can exercise it in isolation.
+class AdmissionController {
+ public:
+  /// `slots` == 0 means unbounded service (processor-sharing mode):
+  /// everything admits. `queue_limit` bounds the number of *waiting*
+  /// transfers; 0 disables queueing entirely (busy server rejects).
+  AdmissionController(std::size_t slots, std::size_t queue_limit);
+
+  [[nodiscard]] AdmissionDecision decide(std::size_t active_count,
+                                         std::size_t queued_count) const;
+
+  [[nodiscard]] std::size_t slots() const { return slots_; }
+  [[nodiscard]] std::size_t queue_limit() const { return queue_limit_; }
+
+ private:
+  std::size_t slots_;
+  std::size_t queue_limit_;
+};
+
+/// Truncated binary exponential backoff: delay(attempt) = base * 2^attempt,
+/// capped. Attempt 0 is the first retry. Deterministic (the storm staggerer
+/// supplies the randomness in this subsystem).
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(double base_s, double cap_s);
+
+  [[nodiscard]] double delay_s(std::uint32_t attempt) const;
+  [[nodiscard]] double base_s() const { return base_s_; }
+  [[nodiscard]] double cap_s() const { return cap_s_; }
+
+ private:
+  double base_s_;
+  double cap_s_;
+};
+
+}  // namespace harvest::server

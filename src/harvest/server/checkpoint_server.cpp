@@ -1,0 +1,305 @@
+#include "harvest/server/checkpoint_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::server {
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& submitted;
+  obs::Counter& started;
+  obs::Counter& rejected;
+  obs::Counter& deferred;
+  obs::Counter& completed;
+  obs::Counter& interrupted;
+  obs::Gauge& queue_depth;
+  obs::Gauge& active;
+  obs::Gauge& mb_moved;
+  obs::Histogram& wait_s;
+  obs::Histogram& service_s;
+};
+
+ServerMetrics& metrics() {
+  auto& reg = obs::default_registry();
+  static ServerMetrics m{
+      reg.counter("server.submitted"),
+      reg.counter("server.started"),
+      reg.counter("server.rejected"),
+      reg.counter("server.deferred"),
+      reg.counter("server.completed"),
+      reg.counter("server.interrupted"),
+      reg.gauge("server.queue_depth"),
+      reg.gauge("server.active"),
+      reg.gauge("server.mb_moved"),
+      reg.histogram("server.wait_s"),
+      reg.histogram("server.service_s"),
+  };
+  return m;
+}
+
+/// Completion slop: a transfer is done when its remaining bytes are within
+/// rounding noise of zero (mirrors net::SharedLink's sweep tolerance).
+[[nodiscard]] double finish_tolerance_mb(double megabytes) {
+  return 1e-12 * megabytes + 1e-15;
+}
+
+}  // namespace
+
+std::string to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kStarted:
+      return "started";
+    case SubmitStatus::kQueued:
+      return "queued";
+    case SubmitStatus::kDeferred:
+      return "deferred";
+    case SubmitStatus::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+CheckpointServer::CheckpointServer(const ServerConfig& config)
+    : config_(config),
+      scheduler_(make_scheduler(config.policy, config.urgency_horizon_s)),
+      admission_(scheduler_->unbounded_service() ? 0 : config.slots,
+                 config.queue_limit),
+      staggerer_(config.stagger_window_s, config.seed),
+      backoff_(config.retry_backoff_s, config.retry_backoff_cap_s) {
+  if (!(config.capacity_mbps > 0.0) || !std::isfinite(config.capacity_mbps)) {
+    throw std::invalid_argument("CheckpointServer: capacity must be > 0");
+  }
+  if (config.slots == 0 && !scheduler_->unbounded_service()) {
+    throw std::invalid_argument("CheckpointServer: need at least one slot");
+  }
+}
+
+SubmitOutcome CheckpointServer::submit(const ServerTransferRequest& request,
+                                       double now) {
+  if (!(request.megabytes >= 0.0) || !std::isfinite(request.megabytes)) {
+    throw std::invalid_argument("CheckpointServer::submit: bad size");
+  }
+  if (now < clock_) {
+    throw std::invalid_argument("CheckpointServer::submit: time ran backwards");
+  }
+  drain_to(now);
+  ++stats_.submitted;
+  metrics().submitted.add();
+
+  // The staggerer sees every submission (it tracks inter-arrival spacing);
+  // its defer only matters if the request is not rejected.
+  const double defer = staggerer_.defer_s(now);
+
+  const auto decision = admission_.decide(active_.size(), waiting_.size());
+  if (decision == AdmissionDecision::kReject) {
+    ++stats_.rejected;
+    metrics().rejected.add();
+    if (config_.tracer != nullptr) {
+      config_.tracer->record_instant("server.rejected", "server", now,
+                                     request.job_id, request.megabytes,
+                                     kServerTraceTrack);
+    }
+    return {SubmitStatus::kRejected, 0};
+  }
+
+  const TransferId id = ++next_id_;
+  Pending pending;
+  pending.sched.id = id;
+  pending.sched.arrival_s = now;
+  pending.sched.eligible_s = now + defer;
+  pending.sched.predicted_remaining_s = request.predicted_remaining_s;
+  pending.job_id = request.job_id;
+  pending.megabytes = request.megabytes;
+
+  if (decision == AdmissionDecision::kAdmit && defer <= 0.0) {
+    start_service(std::move(pending));
+    return {SubmitStatus::kStarted, id};
+  }
+
+  waiting_.push_back(std::move(pending));
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, waiting_.size());
+  set_queue_gauges();
+  if (defer > 0.0) {
+    ++stats_.deferred;
+    metrics().deferred.add();
+    return {SubmitStatus::kDeferred, id};
+  }
+  ++stats_.queued;
+  return {SubmitStatus::kQueued, id};
+}
+
+std::optional<double> CheckpointServer::next_event_s() const {
+  if (!done_buffer_.empty()) return clock_;
+  return next_internal_event();
+}
+
+std::vector<ServerCompletion> CheckpointServer::advance_to(double t) {
+  // t == clock_ still needs a drain: a zero-size (or just-finished) transfer
+  // completes at the current instant and must be collected, not spun on.
+  if (t >= clock_) drain_to(t);
+  std::vector<ServerCompletion> done = std::move(done_buffer_);
+  done_buffer_.clear();
+  return done;
+}
+
+ServerRemoval CheckpointServer::remove(TransferId id, double now) {
+  if (now >= clock_) drain_to(now);
+  ServerRemoval removal;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].id != id) continue;
+    const Active& a = active_[i];
+    removal.found = true;
+    removal.was_active = true;
+    removal.moved_mb = std::max(0.0, a.megabytes - a.remaining_mb);
+    stats_.moved_mb += removal.moved_mb;
+    ++stats_.interrupted;
+    metrics().interrupted.add();
+    metrics().mb_moved.add(removal.moved_mb);
+    if (config_.tracer != nullptr) {
+      config_.tracer->record_complete("server.transfer.interrupted", "server",
+                                      a.start_s, clock_ - a.start_s, a.job_id,
+                                      removal.moved_mb, kServerTraceTrack);
+    }
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    set_queue_gauges();
+    promote_eligible();
+    return removal;
+  }
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    if (waiting_[i].sched.id != id) continue;
+    removal.found = true;
+    ++stats_.interrupted;
+    metrics().interrupted.add();
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+    set_queue_gauges();
+    return removal;
+  }
+  return removal;
+}
+
+void CheckpointServer::drain_to(double t) {
+  for (;;) {
+    promote_eligible();
+    const auto next = next_internal_event();
+    if (!next.has_value() || *next > t) break;
+    integrate_to(*next);
+    // Collect every transfer that just finished.
+    for (std::size_t i = 0; i < active_.size();) {
+      Active& a = active_[i];
+      if (a.remaining_mb <= finish_tolerance_mb(a.megabytes)) {
+        ServerCompletion done;
+        done.id = a.id;
+        done.job_id = a.job_id;
+        done.arrival_s = a.arrival_s;
+        done.start_s = a.start_s;
+        done.finish_s = clock_;
+        done.megabytes = a.megabytes;
+        ++stats_.completed;
+        stats_.moved_mb += a.megabytes;
+        stats_.total_service_s += done.service_s();
+        metrics().completed.add();
+        metrics().mb_moved.add(a.megabytes);
+        metrics().service_s.observe(done.service_s());
+        if (config_.tracer != nullptr) {
+          config_.tracer->record_complete("server.transfer", "server",
+                                          done.start_s, done.service_s(),
+                                          done.job_id, done.megabytes,
+                                          kServerTraceTrack);
+        }
+        done_buffer_.push_back(done);
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    set_queue_gauges();
+  }
+  if (t > clock_) integrate_to(t);
+}
+
+void CheckpointServer::integrate_to(double t) {
+  if (t <= clock_) return;
+  if (!active_.empty()) {
+    const double share =
+        config_.capacity_mbps / static_cast<double>(active_.size());
+    const double dt = t - clock_;
+    for (auto& a : active_) a.remaining_mb -= share * dt;
+  }
+  clock_ = t;
+}
+
+void CheckpointServer::promote_eligible() {
+  const bool unbounded = scheduler_->unbounded_service();
+  while (!waiting_.empty() &&
+         (unbounded || active_.size() < config_.slots)) {
+    // Scheduler sees only the transfers whose stagger defer has elapsed.
+    std::vector<WaitingTransfer> eligible;
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < waiting_.size(); ++i) {
+      if (waiting_[i].sched.eligible_s <= clock_) {
+        eligible.push_back(waiting_[i].sched);
+        index.push_back(i);
+      }
+    }
+    if (eligible.empty()) break;
+    const std::size_t pick = index[scheduler_->pick_next(eligible, clock_)];
+    Pending pending = std::move(waiting_[pick]);
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(pick));
+    start_service(std::move(pending));
+  }
+  set_queue_gauges();
+}
+
+std::optional<double> CheckpointServer::next_internal_event() const {
+  double next = std::numeric_limits<double>::infinity();
+  if (!active_.empty()) {
+    const double share =
+        config_.capacity_mbps / static_cast<double>(active_.size());
+    double min_remaining = std::numeric_limits<double>::infinity();
+    for (const auto& a : active_) {
+      min_remaining = std::min(a.remaining_mb, min_remaining);
+    }
+    next = clock_ + std::max(0.0, min_remaining) / share;
+  }
+  // A deferred transfer becoming eligible only matters while a slot is (or
+  // will then be) free; when every slot is busy the next state change is a
+  // completion, already accounted above.
+  if (!waiting_.empty() &&
+      (scheduler_->unbounded_service() || active_.size() < config_.slots)) {
+    for (const auto& w : waiting_) {
+      if (w.sched.eligible_s > clock_) {
+        next = std::min(next, w.sched.eligible_s);
+      }
+    }
+  }
+  if (!std::isfinite(next)) return std::nullopt;
+  return next;
+}
+
+void CheckpointServer::start_service(Pending pending) {
+  Active a;
+  a.id = pending.sched.id;
+  a.job_id = pending.job_id;
+  a.megabytes = pending.megabytes;
+  a.remaining_mb = pending.megabytes;
+  a.arrival_s = pending.sched.arrival_s;
+  a.start_s = clock_;
+  ++stats_.started;
+  stats_.total_wait_s += a.start_s - a.arrival_s;
+  stats_.peak_active = std::max(stats_.peak_active, active_.size() + 1);
+  metrics().started.add();
+  metrics().wait_s.observe(a.start_s - a.arrival_s);
+  active_.push_back(a);
+  set_queue_gauges();
+}
+
+void CheckpointServer::set_queue_gauges() {
+  metrics().queue_depth.set(static_cast<double>(waiting_.size()));
+  metrics().active.set(static_cast<double>(active_.size()));
+}
+
+}  // namespace harvest::server

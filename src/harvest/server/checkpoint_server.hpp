@@ -1,0 +1,208 @@
+// The contended checkpoint server the paper's conclusion asks for: every
+// recovery and checkpoint transfer in the pool traverses ONE shared pipe
+// behind a bounded concurrent-transfer slot pool. The single-job model
+// charges each transfer an independent BandwidthModel sample; this server
+// makes pool-wide contention first-class instead:
+//
+//   * in-service transfers share the pipe TCP-fairly (the same
+//     processor-sharing semantics as net::SharedLink::resolve, computed
+//     incrementally as a discrete-event process so a simulation can
+//     interleave it with everything else);
+//   * an AdmissionController admits, queues, or rejects each request
+//     against the slot pool and a bounded waiting queue, with truncated
+//     exponential backoff for clients that get rejected or interrupted;
+//   * a pluggable TransferScheduler (fifo | fair | urgency) picks which
+//     waiting transfer enters service when a slot frees;
+//   * a StormStaggerer jitters near-simultaneous requests across a window
+//     so synchronized checkpoint waves don't all collide.
+//
+// The server is a passive discrete-event component: callers drive simulated
+// time through submit / advance_to / remove and poll next_event_s for the
+// earliest internal event (a completion or a deferred transfer becoming
+// eligible). Everything is deterministic given the config seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harvest/obs/tracer.hpp"
+#include "harvest/server/admission.hpp"
+#include "harvest/server/stagger.hpp"
+#include "harvest/server/transfer_scheduler.hpp"
+
+namespace harvest::server {
+
+/// Chrome-trace track (tid) the server's per-transfer events render on,
+/// chosen far above any plausible machine index so the server timeline
+/// never collides with the pool's per-machine tracks.
+inline constexpr std::uint64_t kServerTraceTrack = 1u << 20;
+
+struct ServerConfig {
+  /// Capacity of the server's network pipe, shared by in-service transfers.
+  double capacity_mbps = 12.0;
+  /// Concurrent-transfer slot pool (ignored by the fair policy, which
+  /// serves every admitted transfer processor-sharing style).
+  std::size_t slots = 4;
+  /// Waiting transfers beyond which admission rejects.
+  std::size_t queue_limit = 64;
+  SchedulerPolicy policy = SchedulerPolicy::kFifo;
+  /// Urgency policy only: a transfer may jump the FIFO order only when its
+  /// predicted remaining availability at submission is within this
+  /// horizon. 0 degenerates to FIFO, +inf to pure
+  /// earliest-predicted-death-first.
+  double urgency_horizon_s = kDefaultUrgencyHorizonS;
+  /// Storm-avoidance window; 0 disables the staggerer.
+  double stagger_window_s = 0.0;
+  /// Truncated exponential backoff for rejected / interrupted clients.
+  double retry_backoff_s = 30.0;
+  double retry_backoff_cap_s = 1920.0;
+  /// Seeds the staggerer's jitter stream.
+  std::uint64_t seed = 0x5eedULL;
+  /// Optional per-transfer timeline (category "server", track
+  /// kServerTraceTrack): one complete event per finished or interrupted
+  /// transfer whose value is the megabytes that actually moved.
+  obs::EventTracer* tracer = nullptr;
+};
+
+using TransferId = std::uint64_t;
+
+struct ServerTransferRequest {
+  std::uint64_t job_id = 0;
+  double megabytes = 0.0;
+  /// Urgency hint: the fitted model's predicted remaining availability of
+  /// the submitting machine (+inf when unknown). Smaller = more urgent.
+  double predicted_remaining_s =
+      std::numeric_limits<double>::infinity();
+};
+
+enum class SubmitStatus { kStarted, kQueued, kDeferred, kRejected };
+
+[[nodiscard]] std::string to_string(SubmitStatus status);
+
+struct SubmitOutcome {
+  SubmitStatus status = SubmitStatus::kRejected;
+  TransferId id = 0;  ///< valid unless rejected
+};
+
+struct ServerCompletion {
+  TransferId id = 0;
+  std::uint64_t job_id = 0;
+  double arrival_s = 0.0;  ///< submission time
+  double start_s = 0.0;    ///< service entry (after queueing / stagger)
+  double finish_s = 0.0;
+  double megabytes = 0.0;
+
+  [[nodiscard]] double wait_s() const { return start_s - arrival_s; }
+  [[nodiscard]] double service_s() const { return finish_s - start_s; }
+};
+
+struct ServerRemoval {
+  bool found = false;
+  bool was_active = false;  ///< in service (vs still waiting) when removed
+  double moved_mb = 0.0;    ///< bytes on the wire before the interruption
+};
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t started = 0;   ///< entered service
+  std::uint64_t queued = 0;    ///< parked for a slot at submission
+  std::uint64_t deferred = 0;  ///< parked by the storm staggerer
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t interrupted = 0;  ///< removed (eviction) before finishing
+  double moved_mb = 0.0;          ///< completed + pro-rated interrupted bytes
+  double total_wait_s = 0.0;      ///< over transfers that entered service
+  double total_service_s = 0.0;   ///< over completed transfers
+  std::size_t peak_queue_depth = 0;
+  std::size_t peak_active = 0;
+
+  [[nodiscard]] double mean_wait_s() const {
+    return started > 0 ? total_wait_s / static_cast<double>(started) : 0.0;
+  }
+  [[nodiscard]] double mean_service_s() const {
+    return completed > 0 ? total_service_s / static_cast<double>(completed)
+                         : 0.0;
+  }
+};
+
+class CheckpointServer {
+ public:
+  explicit CheckpointServer(const ServerConfig& config);
+
+  /// Submit a transfer at simulated time `now` (must be >= every previous
+  /// time this server has seen). Completions that fall due are buffered and
+  /// delivered by the next advance_to call.
+  SubmitOutcome submit(const ServerTransferRequest& request, double now);
+
+  /// Earliest time at which the server has something to do: a buffered or
+  /// upcoming completion, or a deferred transfer becoming eligible for a
+  /// free slot. nullopt when the server is idle.
+  [[nodiscard]] std::optional<double> next_event_s() const;
+
+  /// Advance simulated time to `t`, returning every transfer that finished
+  /// at or before `t` (in finish order). Monotone; `t` earlier than the
+  /// current clock is a no-op that drains the buffer.
+  std::vector<ServerCompletion> advance_to(double t);
+
+  /// Eviction: drop the transfer wherever it is (service or queue) at time
+  /// `now`. The pro-rated bytes already transferred are reported and
+  /// counted as moved.
+  ServerRemoval remove(TransferId id, double now);
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] const ExponentialBackoff& backoff() const { return backoff_; }
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] std::size_t queued_count() const { return waiting_.size(); }
+  [[nodiscard]] double clock_s() const { return clock_; }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t staggered_count() const {
+    return staggerer_.staggered_count();
+  }
+
+ private:
+  struct Active {
+    TransferId id = 0;
+    std::uint64_t job_id = 0;
+    double megabytes = 0.0;
+    double remaining_mb = 0.0;
+    double arrival_s = 0.0;
+    double start_s = 0.0;
+  };
+  struct Pending {
+    WaitingTransfer sched;  ///< what the scheduler sees
+    std::uint64_t job_id = 0;
+    double megabytes = 0.0;
+  };
+
+  /// Drain internal events (completions, promotions) up to `t` and leave
+  /// the clock there. Completions accumulate in done_buffer_.
+  void drain_to(double t);
+  /// Let active transfers progress from clock_ to `t` (no event between).
+  void integrate_to(double t);
+  /// Move eligible waiting transfers into free slots at the current clock.
+  void promote_eligible();
+  /// Earliest internal event strictly ahead of the clock (ignoring the
+  /// done buffer).
+  [[nodiscard]] std::optional<double> next_internal_event() const;
+  void start_service(Pending pending);
+  void set_queue_gauges();
+
+  ServerConfig config_;
+  std::unique_ptr<TransferScheduler> scheduler_;
+  AdmissionController admission_;
+  StormStaggerer staggerer_;
+  ExponentialBackoff backoff_;
+
+  double clock_ = 0.0;
+  TransferId next_id_ = 0;
+  std::vector<Active> active_;
+  std::vector<Pending> waiting_;
+  std::vector<ServerCompletion> done_buffer_;
+  ServerStats stats_;
+};
+
+}  // namespace harvest::server

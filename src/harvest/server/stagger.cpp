@@ -1,0 +1,18 @@
+#include "harvest/server/stagger.hpp"
+
+namespace harvest::server {
+
+StormStaggerer::StormStaggerer(double window_s, std::uint64_t seed)
+    : window_s_(window_s), rng_(seed) {}
+
+double StormStaggerer::defer_s(double arrival_s) {
+  const bool near_previous =
+      seen_any_ && (arrival_s - last_arrival_s_) < window_s_;
+  seen_any_ = true;
+  last_arrival_s_ = arrival_s;
+  if (window_s_ <= 0.0 || !near_previous) return 0.0;
+  ++staggered_;
+  return rng_.uniform(0.0, window_s_);
+}
+
+}  // namespace harvest::server

@@ -1,0 +1,38 @@
+// Storm avoidance: when many machines fit similar availability models they
+// compute similar T_opt schedules and their checkpoint requests arrive at
+// the server in near-simultaneous waves. The staggerer detects a request
+// arriving hot on the heels of the previous one and defers its queue entry
+// by a seeded uniform jitter inside the window, spreading the wave without
+// materially delaying isolated requests. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::server {
+
+class StormStaggerer {
+ public:
+  /// `window_s` <= 0 disables staggering (defer_s always returns 0).
+  StormStaggerer(double window_s, std::uint64_t seed);
+
+  /// Defer to apply to a request arriving at `arrival_s`, given the history
+  /// of previous arrivals this object has seen. Nonzero only when the
+  /// request lands within `window_s` of the previous arrival. Call exactly
+  /// once per submission (it advances the RNG and the arrival history).
+  [[nodiscard]] double defer_s(double arrival_s);
+
+  [[nodiscard]] double window_s() const { return window_s_; }
+  /// Requests deferred so far.
+  [[nodiscard]] std::uint64_t staggered_count() const { return staggered_; }
+
+ private:
+  double window_s_;
+  numerics::Rng rng_;
+  double last_arrival_s_ = -1.0;
+  bool seen_any_ = false;
+  std::uint64_t staggered_ = 0;
+};
+
+}  // namespace harvest::server

@@ -1,0 +1,131 @@
+#include "harvest/server/transfer_scheduler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::server {
+
+std::string to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      return "fifo";
+    case SchedulerPolicy::kFair:
+      return "fair";
+    case SchedulerPolicy::kUrgency:
+      return "urgency";
+  }
+  return "unknown";
+}
+
+SchedulerPolicy policy_from_string(const std::string& name) {
+  if (name == "fifo") return SchedulerPolicy::kFifo;
+  if (name == "fair") return SchedulerPolicy::kFair;
+  if (name == "urgency") return SchedulerPolicy::kUrgency;
+  throw std::invalid_argument("unknown scheduler policy: " + name +
+                              " (expected fifo|fair|urgency)");
+}
+
+namespace {
+
+[[nodiscard]] std::size_t fifo_pick(
+    const std::vector<WaitingTransfer>& waiting) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < waiting.size(); ++i) {
+    const auto& w = waiting[i];
+    const auto& b = waiting[best];
+    if (w.arrival_s < b.arrival_s ||
+        (w.arrival_s == b.arrival_s && w.id < b.id)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+class FifoScheduler final : public TransferScheduler {
+ public:
+  [[nodiscard]] std::size_t pick_next(
+      const std::vector<WaitingTransfer>& waiting,
+      double /*now*/) const override {
+    return fifo_pick(waiting);
+  }
+  [[nodiscard]] SchedulerPolicy policy() const override {
+    return SchedulerPolicy::kFifo;
+  }
+};
+
+class FairScheduler final : public TransferScheduler {
+ public:
+  // With unbounded service nothing ever waits for a slot; a transfer is
+  // only parked while storm-avoidance defers it, so FIFO order among the
+  // eligible is the natural (and deterministic) choice.
+  [[nodiscard]] std::size_t pick_next(
+      const std::vector<WaitingTransfer>& waiting,
+      double /*now*/) const override {
+    return fifo_pick(waiting);
+  }
+  [[nodiscard]] bool unbounded_service() const override { return true; }
+  [[nodiscard]] SchedulerPolicy policy() const override {
+    return SchedulerPolicy::kFair;
+  }
+};
+
+class UrgencyScheduler final : public TransferScheduler {
+ public:
+  explicit UrgencyScheduler(double horizon_s) : horizon_s_(horizon_s) {}
+
+  // FIFO, except that transfers flagged urgent at submission — predicted
+  // remaining availability within the imminence horizon — jump the queue,
+  // earliest predicted death (arrival + predicted remaining) first. The
+  // urgent class is decided by the submission-time prediction alone, NOT by
+  // time spent waiting: if long waiters aged into the urgent set, a
+  // saturated queue would migrate wholesale into it and the policy would
+  // collapse back to global earliest-deadline-first, whose differential
+  // service destabilizes the planners' cost feedback (see the header).
+  [[nodiscard]] std::size_t pick_next(
+      const std::vector<WaitingTransfer>& waiting,
+      double /*now*/) const override {
+    bool have_urgent = false;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      const auto& w = waiting[i];
+      if (!(w.predicted_remaining_s <= horizon_s_)) continue;
+      if (!have_urgent) {
+        have_urgent = true;
+        best = i;
+        continue;
+      }
+      const auto& b = waiting[best];
+      const double wd = w.arrival_s + w.predicted_remaining_s;
+      const double bd = b.arrival_s + b.predicted_remaining_s;
+      if (wd < bd || (wd == bd && w.id < b.id)) best = i;
+    }
+    return have_urgent ? best : fifo_pick(waiting);
+  }
+  [[nodiscard]] SchedulerPolicy policy() const override {
+    return SchedulerPolicy::kUrgency;
+  }
+
+ private:
+  double horizon_s_;
+};
+
+}  // namespace
+
+std::unique_ptr<TransferScheduler> make_scheduler(SchedulerPolicy policy,
+                                                  double urgency_horizon_s) {
+  if (std::isnan(urgency_horizon_s) || urgency_horizon_s < 0.0) {
+    throw std::invalid_argument(
+        "make_scheduler: urgency horizon must be >= 0");
+  }
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulerPolicy::kFair:
+      return std::make_unique<FairScheduler>();
+    case SchedulerPolicy::kUrgency:
+      return std::make_unique<UrgencyScheduler>(urgency_horizon_s);
+  }
+  throw std::invalid_argument("make_scheduler: unknown policy");
+}
+
+}  // namespace harvest::server

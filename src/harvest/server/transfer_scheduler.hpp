@@ -1,0 +1,85 @@
+// Pluggable service-order policies for the checkpoint server's waiting
+// queue. All in-service transfers share the server's pipe TCP-fairly (that
+// part is physics, shared with net::SharedLink's event sweep); the policy
+// decides *which waiting transfer enters service next* when a slot frees,
+// and whether the slot pool is bounded at all:
+//
+//   kFifo     — bounded slots, waiting transfers start in arrival order.
+//               The classic checkpoint-server daemon: predictable, but a
+//               checkpoint from a machine about to die waits behind
+//               everyone else's.
+//   kFair     — pure TCP-fair processor sharing: every admitted transfer
+//               enters service immediately and the pipe is split evenly
+//               (what an unmanaged shared link does on its own; the slot
+//               bound is ignored). Semantics deliberately identical to
+//               net::SharedLink::resolve so the two implementations check
+//               each other.
+//   kUrgency  — bounded slots, FIFO order EXCEPT that a transfer whose
+//               submission-time *predicted remaining availability* (from
+//               the fitted model) falls within an imminence horizon jumps
+//               the queue, earliest predicted death (arrival + predicted
+//               remaining) first — which is what Aupy/Robert/Vivien's
+//               prediction-window results say the predictions should buy
+//               you. The horizon matters: serving *everything* in
+//               predicted-death order hands the flakiest machines
+//               permanently fast service, their measured checkpoint cost
+//               collapses, their planners checkpoint more and more often,
+//               and the resulting traffic spiral loses more committed
+//               work than plain FIFO. Restricting the jump to transfers
+//               that were already racing death when they arrived keeps
+//               the bulk of traffic in FIFO's stable feedback
+//               equilibrium.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace harvest::server {
+
+enum class SchedulerPolicy { kFifo, kFair, kUrgency };
+
+/// Default imminence horizon for the urgency policy (see above): predicted
+/// deaths farther out than this are served in plain FIFO order.
+inline constexpr double kDefaultUrgencyHorizonS = 300.0;
+
+[[nodiscard]] std::string to_string(SchedulerPolicy policy);
+[[nodiscard]] SchedulerPolicy policy_from_string(const std::string& name);
+
+/// One waiting transfer as the scheduler sees it.
+struct WaitingTransfer {
+  std::uint64_t id = 0;        ///< server-assigned, monotone with submission
+  double arrival_s = 0.0;      ///< submission time
+  double eligible_s = 0.0;     ///< arrival + storm-avoidance defer
+  /// Predicted remaining availability of the submitting machine at
+  /// submission (+inf when the submitter has no model to ask).
+  double predicted_remaining_s = std::numeric_limits<double>::infinity();
+};
+
+class TransferScheduler {
+ public:
+  virtual ~TransferScheduler() = default;
+
+  /// Index into `waiting` of the transfer that should enter service next at
+  /// simulated time `now`. Only called with a non-empty vector whose
+  /// entries are all eligible (eligible_s <= now). Ties break on submission
+  /// id, so any policy is deterministic.
+  [[nodiscard]] virtual std::size_t pick_next(
+      const std::vector<WaitingTransfer>& waiting, double now) const = 0;
+
+  /// True for policies that ignore the slot bound (every admitted transfer
+  /// is served immediately, processor-sharing style).
+  [[nodiscard]] virtual bool unbounded_service() const { return false; }
+
+  [[nodiscard]] virtual SchedulerPolicy policy() const = 0;
+};
+
+/// `urgency_horizon_s` configures the urgency policy's imminence horizon
+/// (ignored by the other policies); must not be negative or NaN.
+[[nodiscard]] std::unique_ptr<TransferScheduler> make_scheduler(
+    SchedulerPolicy policy,
+    double urgency_horizon_s = kDefaultUrgencyHorizonS);
+
+}  // namespace harvest::server

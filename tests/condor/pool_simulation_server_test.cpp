@@ -1,0 +1,176 @@
+// Pool simulation in contended-server mode: the opt-in ServerConfig routes
+// every recovery/checkpoint transfer through one CheckpointServer. Checks
+// determinism per seed, byte conservation between the job stats / server
+// stats / tracer events, per-machine tracer tracks, and that the legacy
+// path is untouched when the option is absent.
+#include "harvest/condor/pool_simulation.hpp"
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/obs/tracer.hpp"
+
+namespace harvest::condor {
+namespace {
+
+std::vector<TimelinePool::MachineSpec> park(std::size_t n) {
+  std::vector<TimelinePool::MachineSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    TimelinePool::MachineSpec s;
+    s.id = "pk" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.5, 2500.0 + 300.0 * static_cast<double>(i % 7));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+PoolSimConfig server_config() {
+  PoolSimConfig cfg;
+  cfg.job_count = 6;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 5;
+  cfg.server = server::ServerConfig{};
+  cfg.server->capacity_mbps = 12.0;
+  cfg.server->slots = 2;
+  return cfg;
+}
+
+TEST(PoolSimulationServer, JobsFinishAndServerStatsFill) {
+  const auto res = run_pool_simulation(park(24), server_config());
+  ASSERT_EQ(res.jobs.size(), 6u);
+  EXPECT_TRUE(res.server_enabled);
+  EXPECT_EQ(res.finished_count(), 6u);
+  for (const auto& j : res.jobs) {
+    EXPECT_NEAR(j.useful_work_s, 2.0 * 3600.0, 1.0);
+    EXPECT_GT(j.moved_mb, 0.0);
+  }
+  EXPECT_GT(res.server.submitted, 0u);
+  EXPECT_GT(res.server.completed, 0u);
+  EXPECT_GE(res.server.submitted,
+            res.server.completed + res.server.rejected);
+  // Every byte the jobs account for went through the server, and vice
+  // versa.
+  EXPECT_NEAR(res.server.moved_mb, res.total_moved_mb(),
+              1e-6 * res.total_moved_mb());
+}
+
+TEST(PoolSimulationServer, DeterministicGivenSeed) {
+  const auto a = run_pool_simulation(park(24), server_config());
+  const auto b = run_pool_simulation(park(24), server_config());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.server.submitted, b.server.submitted);
+  EXPECT_DOUBLE_EQ(a.server.moved_mb, b.server.moved_mb);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_s, b.jobs[i].completion_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].moved_mb, b.jobs[i].moved_mb);
+    EXPECT_DOUBLE_EQ(a.jobs[i].server_wait_s, b.jobs[i].server_wait_s);
+    EXPECT_EQ(a.jobs[i].evictions, b.jobs[i].evictions);
+  }
+}
+
+TEST(PoolSimulationServer, SeedChangesTheRun) {
+  auto cfg = server_config();
+  const auto a = run_pool_simulation(park(24), cfg);
+  cfg.seed = 6;
+  const auto b = run_pool_simulation(park(24), cfg);
+  EXPECT_NE(a.makespan_s, b.makespan_s);
+}
+
+TEST(PoolSimulationServer, TracerBytesMatchMovedMb) {
+  auto cfg = server_config();
+  obs::EventTracer tracer(0);  // unbounded: every event must survive
+  cfg.tracer = &tracer;
+  const auto res = run_pool_simulation(park(24), cfg);
+
+  // Σ per-transfer server event bytes == server moved_mb == job moved_mb.
+  double server_traced_mb = 0.0;
+  double placement_traced_mb = 0.0;
+  std::set<std::uint64_t> machine_tids;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "server.transfer" ||
+        e.name == "server.transfer.interrupted") {
+      server_traced_mb += e.value;
+      EXPECT_EQ(e.tid, server::kServerTraceTrack);
+    } else if (e.name == "placement") {
+      placement_traced_mb += e.value;
+      machine_tids.insert(e.tid);
+    }
+  }
+  EXPECT_NEAR(server_traced_mb, res.server.moved_mb,
+              1e-9 * std::max(1.0, res.server.moved_mb));
+  EXPECT_NEAR(placement_traced_mb, res.total_moved_mb(),
+              1e-9 * std::max(1.0, res.total_moved_mb()));
+  // Per-machine tracks: placements spread over several machine tids, all
+  // plausible machine indices (well below the server's reserved track).
+  EXPECT_GT(machine_tids.size(), 1u);
+  for (const auto tid : machine_tids) {
+    EXPECT_LT(tid, 24u);
+  }
+}
+
+TEST(PoolSimulationServer, LegacyPathTracerAlsoUsesMachineTracks) {
+  PoolSimConfig cfg;
+  cfg.job_count = 6;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 5;
+  obs::EventTracer tracer(0);
+  cfg.tracer = &tracer;
+  const auto res = run_pool_simulation(park(24), cfg);
+  EXPECT_FALSE(res.server_enabled);
+  double placement_traced_mb = 0.0;
+  std::set<std::uint64_t> machine_tids;
+  for (const auto& e : tracer.events()) {
+    if (e.name != "placement") continue;
+    placement_traced_mb += e.value;
+    machine_tids.insert(e.tid);
+  }
+  EXPECT_NEAR(placement_traced_mb, res.total_moved_mb(),
+              1e-9 * std::max(1.0, res.total_moved_mb()));
+  EXPECT_GT(machine_tids.size(), 1u);
+}
+
+TEST(PoolSimulationServer, TightSlotsIncreaseWaiting) {
+  auto roomy = server_config();
+  roomy.server->slots = 16;
+  auto tight = server_config();
+  tight.server->slots = 1;
+  tight.job_count = 12;
+  roomy.job_count = 12;
+  const auto a = run_pool_simulation(park(12), roomy);
+  const auto b = run_pool_simulation(park(12), tight);
+  // With one slot and twelve jobs hammering the same server, transfers
+  // queue; with sixteen slots they rarely do.
+  EXPECT_GT(b.server.mean_wait_s(), a.server.mean_wait_s());
+  EXPECT_GT(b.server.peak_queue_depth, 0u);
+}
+
+TEST(PoolSimulationServer, UrgencyPolicyRunsAndConservesWork) {
+  auto cfg = server_config();
+  cfg.server->policy = server::SchedulerPolicy::kUrgency;
+  const auto res = run_pool_simulation(park(24), cfg);
+  EXPECT_EQ(res.finished_count(), 6u);
+  for (const auto& j : res.jobs) {
+    EXPECT_NEAR(j.useful_work_s, 2.0 * 3600.0, 1.0);
+  }
+  EXPECT_NEAR(res.server.moved_mb, res.total_moved_mb(),
+              1e-6 * res.total_moved_mb());
+}
+
+TEST(PoolSimulationServer, FairPolicyRunsWithZeroSlots) {
+  auto cfg = server_config();
+  cfg.server->policy = server::SchedulerPolicy::kFair;
+  cfg.server->slots = 0;  // fair ignores the bound
+  const auto res = run_pool_simulation(park(24), cfg);
+  EXPECT_EQ(res.finished_count(), 6u);
+  EXPECT_DOUBLE_EQ(res.server.total_wait_s, 0.0);  // nothing ever queues
+}
+
+}  // namespace
+}  // namespace harvest::condor

@@ -91,7 +91,46 @@ TEST(SharedLink, RejectsInvalidInputs) {
   EXPECT_THROW(SharedLink(0.0), std::invalid_argument);
   const SharedLink link(1.0);
   EXPECT_THROW((void)link.resolve({{-1.0, 10.0}}), std::invalid_argument);
-  EXPECT_THROW((void)link.resolve({{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW((void)link.resolve({{0.0, -5.0}}), std::invalid_argument);
+}
+
+TEST(SharedLink, ZeroSizeTransferCompletesAtArrival) {
+  const SharedLink link(10.0);
+  const auto out = link.resolve({{3.0, 0.0}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].start_s, 3.0);
+  EXPECT_DOUBLE_EQ(out[0].finish_s, 3.0);
+  EXPECT_DOUBLE_EQ(out[0].duration(), 0.0);
+}
+
+TEST(SharedLink, ZeroSizeTransferDoesNotDisturbOthers) {
+  const SharedLink link(10.0);
+  // The zero-size arrival at t=5 joins the active set for a zero-length
+  // instant: the 100 MB transfer must still finish at t=10.
+  const auto out = link.resolve({{0.0, 100.0}, {5.0, 0.0}});
+  EXPECT_DOUBLE_EQ(out[0].finish_s, 10.0);
+  EXPECT_DOUBLE_EQ(out[1].finish_s, 5.0);
+}
+
+TEST(SharedLink, IdenticalArrivalTimesShareFromTheStart) {
+  const SharedLink link(9.0);
+  const auto out =
+      link.resolve({{7.0, 90.0}, {7.0, 90.0}, {7.0, 90.0}});
+  // Three equal transfers from the same instant: each at 3 MB/s, all done
+  // 30 s later, and every start is the common arrival.
+  for (const auto& o : out) {
+    EXPECT_DOUBLE_EQ(o.start_s, 7.0);
+    EXPECT_DOUBLE_EQ(o.finish_s, 37.0);
+  }
+}
+
+TEST(SharedLink, SoloDurationIsExactlySizeOverCapacity) {
+  // No contention: duration must be exactly megabytes / capacity, not
+  // merely >= (the sweep should introduce no numerical slack).
+  const SharedLink link(12.0);
+  const auto out = link.resolve({{42.0, 600.0}});
+  EXPECT_DOUBLE_EQ(out[0].duration(), 600.0 / 12.0);
+  EXPECT_DOUBLE_EQ(out[0].finish_s, 42.0 + 50.0);
 }
 
 }  // namespace

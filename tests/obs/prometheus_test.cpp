@@ -1,0 +1,165 @@
+// Prometheus text exposition: format shape (# TYPE lines, name
+// sanitization, label escaping) and a full round trip — a tiny parser reads
+// the exposition back and must recover every counter value, gauge value,
+// and histogram (cumulative buckets, sum, count) the registry held.
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::obs {
+namespace {
+
+/// Minimal exposition parser: "name{labels} value" lines plus "# TYPE name
+/// kind" headers. Good enough to round-trip what to_prometheus emits.
+struct ParsedExposition {
+  std::map<std::string, std::string> types;  // sanitized name -> kind
+  std::map<std::string, double> samples;     // full sample key -> value
+};
+
+ParsedExposition parse_ok(const std::string& text) {
+  ParsedExposition parsed;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream header(line.substr(7));
+      std::string name;
+      std::string kind;
+      header >> name >> kind;
+      parsed.types[name] = kind;
+      continue;
+    }
+    EXPECT_NE(line[0], '#') << "unknown comment line: " << line;
+    const auto space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "sample without value: " << line;
+    if (space == std::string::npos) continue;
+    const std::string key = line.substr(0, space);
+    parsed.samples[key] = std::stod(line.substr(space + 1));
+  }
+  return parsed;
+}
+
+TEST(Prometheus, CounterGaugeRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("em.iterations").add(123);
+  reg.counter("sim.evictions").add(7);
+  reg.gauge("net.mb_moved").add(2560.5);
+
+  const auto parsed = parse_ok(reg.prometheus_text());
+  EXPECT_EQ(parsed.types.at("em_iterations_total"), "counter");
+  EXPECT_EQ(parsed.types.at("sim_evictions_total"), "counter");
+  EXPECT_EQ(parsed.types.at("net_mb_moved"), "gauge");
+  EXPECT_DOUBLE_EQ(parsed.samples.at("em_iterations_total"), 123.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("sim_evictions_total"), 7.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("net_mb_moved"), 2560.5);
+}
+
+TEST(Prometheus, HistogramRoundTripsBucketsSumCount) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("server.wait_s", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(5000.0);  // overflow bucket
+
+  const auto parsed = parse_ok(reg.prometheus_text());
+  EXPECT_EQ(parsed.types.at("server_wait_s"), "histogram");
+  // Buckets are cumulative.
+  EXPECT_DOUBLE_EQ(parsed.samples.at("server_wait_s_bucket{le=\"1\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("server_wait_s_bucket{le=\"10\"}"), 3.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("server_wait_s_bucket{le=\"100\"}"),
+                   4.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("server_wait_s_bucket{le=\"+Inf\"}"),
+                   5.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("server_wait_s_sum"),
+                   0.5 + 5.0 + 5.0 + 50.0 + 5000.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("server_wait_s_count"), 5.0);
+}
+
+TEST(Prometheus, RegistrySnapshotRoundTripIsLossless) {
+  // Everything the JSON snapshot knows, the exposition must also carry.
+  MetricsRegistry reg;
+  reg.counter("a.b.c").add(1);
+  reg.counter("x").add(999999);
+  reg.gauge("g.one").set(-3.25);
+  reg.gauge("g.two").add(1e12);
+  auto& h = reg.histogram("h.lat", {2.0, 4.0});
+  for (int i = 0; i < 10; ++i) h.observe(static_cast<double>(i));
+
+  const auto snap = reg.snapshot();
+  const auto parsed = parse_ok(snap.to_prometheus());
+  for (const auto& c : snap.counters) {
+    std::string name;
+    for (char ch : c.name) name.push_back(ch == '.' ? '_' : ch);
+    EXPECT_DOUBLE_EQ(parsed.samples.at(name + "_total"),
+                     static_cast<double>(c.value))
+        << c.name;
+  }
+  for (const auto& g : snap.gauges) {
+    std::string name;
+    for (char ch : g.name) name.push_back(ch == '.' ? '_' : ch);
+    EXPECT_DOUBLE_EQ(parsed.samples.at(name), g.value) << g.name;
+  }
+  for (const auto& hs : snap.histograms) {
+    std::string name;
+    for (char ch : hs.name) name.push_back(ch == '.' ? '_' : ch);
+    EXPECT_DOUBLE_EQ(parsed.samples.at(name + "_sum"), hs.sum);
+    EXPECT_DOUBLE_EQ(parsed.samples.at(name + "_count"),
+                     static_cast<double>(hs.count));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hs.bounds.size(); ++b) {
+      cumulative += hs.bucket_counts[b];
+      std::ostringstream key;
+      key << name << "_bucket{le=\"" << hs.bounds[b] << "\"}";
+      EXPECT_DOUBLE_EQ(parsed.samples.at(key.str()),
+                       static_cast<double>(cumulative));
+    }
+    EXPECT_DOUBLE_EQ(parsed.samples.at(name + "_bucket{le=\"+Inf\"}"),
+                     static_cast<double>(hs.count));
+  }
+}
+
+TEST(Prometheus, LabelsAttachToEverySampleAndEscape) {
+  MetricsRegistry reg;
+  reg.counter("runs").add(2);
+  reg.gauge("level").set(4.0);
+  const std::string text = reg.prometheus_text(
+      {{"family", "hyperexp2"}, {"note", "quote\" slash\\ nl\n"}});
+  const auto parsed = parse_ok(text);
+  const std::string labels =
+      "{family=\"hyperexp2\",note=\"quote\\\" slash\\\\ nl\\n\"}";
+  EXPECT_DOUBLE_EQ(parsed.samples.at("runs_total" + labels), 2.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("level" + labels), 4.0);
+}
+
+TEST(Prometheus, SanitizesHostileMetricNames) {
+  MetricsRegistry reg;
+  reg.counter("weird name-with.dots").add(1);
+  const auto parsed = parse_ok(reg.prometheus_text());
+  EXPECT_DOUBLE_EQ(parsed.samples.at("weird_name_with_dots_total"), 1.0);
+}
+
+TEST(Prometheus, WriteToFileMatchesInMemoryText) {
+  MetricsRegistry reg;
+  reg.counter("io.test").add(5);
+  const std::string path =
+      testing::TempDir() + "/harvest_prom_roundtrip.prom";
+  reg.write_prometheus(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), reg.prometheus_text());
+}
+
+}  // namespace
+}  // namespace harvest::obs

@@ -1,0 +1,64 @@
+// AdmissionController decision table and ExponentialBackoff growth/cap.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "harvest/server/admission.hpp"
+
+namespace harvest::server {
+namespace {
+
+TEST(AdmissionController, AdmitsWhileSlotsFree) {
+  const AdmissionController admission(2, 4);
+  EXPECT_EQ(admission.decide(0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.decide(1, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.decide(1, 3), AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionController, QueuesWhenSlotsBusy) {
+  const AdmissionController admission(2, 4);
+  EXPECT_EQ(admission.decide(2, 0), AdmissionDecision::kQueue);
+  EXPECT_EQ(admission.decide(2, 3), AdmissionDecision::kQueue);
+}
+
+TEST(AdmissionController, RejectsWhenQueueFull) {
+  const AdmissionController admission(2, 4);
+  EXPECT_EQ(admission.decide(2, 4), AdmissionDecision::kReject);
+  EXPECT_EQ(admission.decide(3, 9), AdmissionDecision::kReject);
+}
+
+TEST(AdmissionController, ZeroQueueLimitRejectsAnyWait) {
+  const AdmissionController admission(1, 0);
+  EXPECT_EQ(admission.decide(0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.decide(1, 0), AdmissionDecision::kReject);
+}
+
+TEST(AdmissionController, ZeroSlotsMeansUnboundedService) {
+  const AdmissionController admission(0, 0);
+  EXPECT_EQ(admission.decide(0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.decide(1000, 0), AdmissionDecision::kAdmit);
+}
+
+TEST(ExponentialBackoff, DoublesUntilCap) {
+  const ExponentialBackoff backoff(30.0, 1920.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_s(0), 30.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_s(1), 60.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_s(2), 120.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_s(5), 960.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_s(6), 1920.0);
+  // Truncated: the cap holds forever after, including absurd attempt
+  // numbers that would overflow 2^attempt.
+  EXPECT_DOUBLE_EQ(backoff.delay_s(7), 1920.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_s(100), 1920.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_s(4000000000u), 1920.0);
+}
+
+TEST(ExponentialBackoff, ValidatesParameters) {
+  EXPECT_THROW(ExponentialBackoff(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialBackoff(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialBackoff(10.0, 5.0), std::invalid_argument);
+  EXPECT_NO_THROW(ExponentialBackoff(10.0, 10.0));
+}
+
+}  // namespace
+}  // namespace harvest::server

@@ -1,0 +1,288 @@
+// CheckpointServer discrete-event behavior: service rates, FIFO/urgency
+// ordering through a contended slot pool, the fair policy's equivalence
+// with net::SharedLink::resolve, admission rejection, interruption
+// pro-rating, stagger, byte conservation, and tracer output.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/net/shared_link.hpp"
+#include "harvest/obs/tracer.hpp"
+#include "harvest/server/checkpoint_server.hpp"
+
+namespace harvest::server {
+namespace {
+
+ServerConfig basic_config() {
+  ServerConfig cfg;
+  cfg.capacity_mbps = 10.0;
+  cfg.slots = 2;
+  cfg.queue_limit = 16;
+  cfg.policy = SchedulerPolicy::kFifo;
+  return cfg;
+}
+
+/// Drain the server until it goes idle, collecting every completion.
+std::vector<ServerCompletion> drain_all(CheckpointServer& server) {
+  std::vector<ServerCompletion> all;
+  while (const auto next = server.next_event_s()) {
+    for (auto& done : server.advance_to(*next)) all.push_back(done);
+  }
+  return all;
+}
+
+TEST(CheckpointServer, SoloTransferRunsAtFullCapacity) {
+  CheckpointServer server(basic_config());
+  const auto outcome = server.submit({/*job_id=*/7, /*megabytes=*/500.0}, 0.0);
+  EXPECT_EQ(outcome.status, SubmitStatus::kStarted);
+  const auto done = drain_all(server);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].job_id, 7u);
+  EXPECT_DOUBLE_EQ(done[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(done[0].finish_s, 50.0);  // 500 MB / 10 MB/s
+  EXPECT_DOUBLE_EQ(done[0].wait_s(), 0.0);
+}
+
+TEST(CheckpointServer, ConcurrentTransfersShareThePipe) {
+  CheckpointServer server(basic_config());
+  (void)server.submit({1, 100.0}, 0.0);
+  (void)server.submit({2, 100.0}, 0.0);
+  const auto done = drain_all(server);
+  ASSERT_EQ(done.size(), 2u);
+  // Both in service at 5 MB/s each: both finish at t = 20, not 10.
+  EXPECT_DOUBLE_EQ(done[0].finish_s, 20.0);
+  EXPECT_DOUBLE_EQ(done[1].finish_s, 20.0);
+}
+
+TEST(CheckpointServer, FifoQueueReleasesInArrivalOrder) {
+  auto cfg = basic_config();
+  cfg.slots = 1;
+  CheckpointServer server(cfg);
+  EXPECT_EQ(server.submit({1, 100.0}, 0.0).status, SubmitStatus::kStarted);
+  EXPECT_EQ(server.submit({2, 100.0}, 1.0).status, SubmitStatus::kQueued);
+  EXPECT_EQ(server.submit({3, 100.0}, 2.0).status, SubmitStatus::kQueued);
+  const auto done = drain_all(server);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].job_id, 1u);
+  EXPECT_EQ(done[1].job_id, 2u);
+  EXPECT_EQ(done[2].job_id, 3u);
+  // One at a time at 10 MB/s: finishes at 10, 20, 30.
+  EXPECT_DOUBLE_EQ(done[0].finish_s, 10.0);
+  EXPECT_DOUBLE_EQ(done[1].finish_s, 20.0);
+  EXPECT_DOUBLE_EQ(done[2].finish_s, 30.0);
+  // Waits: job2 queued 1→10, job3 queued 2→20.
+  EXPECT_DOUBLE_EQ(done[1].wait_s(), 9.0);
+  EXPECT_DOUBLE_EQ(done[2].wait_s(), 18.0);
+}
+
+TEST(CheckpointServer, UrgencyJumpsTheQueue) {
+  auto cfg = basic_config();
+  cfg.slots = 1;
+  cfg.policy = SchedulerPolicy::kUrgency;
+  CheckpointServer server(cfg);
+  (void)server.submit({1, 100.0, /*predicted_remaining_s=*/1e6}, 0.0);
+  ServerTransferRequest patient{2, 100.0, 5000.0};
+  ServerTransferRequest dying{3, 100.0, 60.0};
+  (void)server.submit(patient, 1.0);
+  (void)server.submit(dying, 2.0);
+  const auto done = drain_all(server);
+  ASSERT_EQ(done.size(), 3u);
+  // Job 3's machine is predicted to die first: it is served before job 2
+  // even though it arrived later.
+  EXPECT_EQ(done[0].job_id, 1u);
+  EXPECT_EQ(done[1].job_id, 3u);
+  EXPECT_EQ(done[2].job_id, 2u);
+}
+
+TEST(CheckpointServer, FairPolicyMatchesSharedLinkResolve) {
+  // The fair policy is processor sharing with the same semantics as
+  // net::SharedLink::resolve; pushing the same open-loop arrivals through
+  // both must give identical finish times.
+  const std::vector<net::TransferRequest> requests = {
+      {0.0, 40.0}, {1.0, 60.0}, {2.0, 20.0}, {3.0, 80.0}, {100.0, 50.0}};
+  const net::SharedLink link(4.0);
+  const auto offline = link.resolve(requests);
+
+  auto cfg = basic_config();
+  cfg.capacity_mbps = 4.0;
+  cfg.policy = SchedulerPolicy::kFair;
+  CheckpointServer server(cfg);
+  std::map<std::uint64_t, double> finish_by_job;
+  std::size_t next_submit = 0;
+  while (next_submit < requests.size() || server.next_event_s()) {
+    const double arrival = next_submit < requests.size()
+                               ? requests[next_submit].arrival_s
+                               : std::numeric_limits<double>::infinity();
+    const auto next_event = server.next_event_s();
+    if (next_event.has_value() && *next_event <= arrival) {
+      for (const auto& done : server.advance_to(*next_event)) {
+        finish_by_job[done.job_id] = done.finish_s;
+      }
+      continue;
+    }
+    (void)server.submit(
+        {next_submit, requests[next_submit].megabytes}, arrival);
+    ++next_submit;
+  }
+  ASSERT_EQ(finish_by_job.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_NEAR(finish_by_job.at(i), offline[i].finish_s, 1e-9) << "i=" << i;
+  }
+}
+
+TEST(CheckpointServer, RejectsWhenQueueFull) {
+  auto cfg = basic_config();
+  cfg.slots = 1;
+  cfg.queue_limit = 1;
+  CheckpointServer server(cfg);
+  EXPECT_EQ(server.submit({1, 100.0}, 0.0).status, SubmitStatus::kStarted);
+  EXPECT_EQ(server.submit({2, 100.0}, 0.0).status, SubmitStatus::kQueued);
+  EXPECT_EQ(server.submit({3, 100.0}, 0.0).status, SubmitStatus::kRejected);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  // The rejected transfer never shows up in the completions.
+  const auto done = drain_all(server);
+  EXPECT_EQ(done.size(), 2u);
+}
+
+TEST(CheckpointServer, RemoveProRatesBytesOnTheWire) {
+  CheckpointServer server(basic_config());
+  const auto outcome = server.submit({1, 100.0}, 0.0);
+  // Interrupt halfway: 5 s at 10 MB/s = 50 MB on the wire.
+  const auto removal = server.remove(outcome.id, 5.0);
+  EXPECT_TRUE(removal.found);
+  EXPECT_TRUE(removal.was_active);
+  EXPECT_NEAR(removal.moved_mb, 50.0, 1e-9);
+  EXPECT_EQ(server.stats().interrupted, 1u);
+  EXPECT_NEAR(server.stats().moved_mb, 50.0, 1e-9);
+  EXPECT_TRUE(drain_all(server).empty());
+}
+
+TEST(CheckpointServer, RemoveWaitingTransferMovesNothing) {
+  auto cfg = basic_config();
+  cfg.slots = 1;
+  CheckpointServer server(cfg);
+  (void)server.submit({1, 100.0}, 0.0);
+  const auto queued = server.submit({2, 100.0}, 0.0);
+  const auto removal = server.remove(queued.id, 3.0);
+  EXPECT_TRUE(removal.found);
+  EXPECT_FALSE(removal.was_active);
+  EXPECT_DOUBLE_EQ(removal.moved_mb, 0.0);
+  const auto removal2 = server.remove(9999, 4.0);
+  EXPECT_FALSE(removal2.found);
+}
+
+TEST(CheckpointServer, RemovalFreesTheSlotForTheQueue) {
+  auto cfg = basic_config();
+  cfg.slots = 1;
+  CheckpointServer server(cfg);
+  const auto first = server.submit({1, 1000.0}, 0.0);
+  (void)server.submit({2, 100.0}, 0.0);
+  (void)server.remove(first.id, 10.0);
+  const auto done = drain_all(server);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].job_id, 2u);
+  // Started at the removal instant, 10 s of service.
+  EXPECT_DOUBLE_EQ(done[0].start_s, 10.0);
+  EXPECT_DOUBLE_EQ(done[0].finish_s, 20.0);
+}
+
+TEST(CheckpointServer, StaggerDefersBurstsDeterministically) {
+  auto cfg = basic_config();
+  cfg.slots = 8;
+  cfg.stagger_window_s = 30.0;
+  cfg.seed = 77;
+  auto run = [&cfg] {
+    CheckpointServer server(cfg);
+    (void)server.submit({0, 10.0}, 0.0);
+    std::vector<SubmitStatus> statuses;
+    for (std::uint64_t j = 1; j < 5; ++j) {
+      statuses.push_back(server.submit({j, 10.0}, 0.1 * (double)j).status);
+    }
+    auto done = drain_all(server);
+    return std::make_pair(statuses, done);
+  };
+  const auto [statuses_a, done_a] = run();
+  const auto [statuses_b, done_b] = run();
+  // The burst after the first submission gets deferred by the staggerer.
+  for (const auto s : statuses_a) EXPECT_EQ(s, SubmitStatus::kDeferred);
+  ASSERT_EQ(done_a.size(), done_b.size());
+  for (std::size_t i = 0; i < done_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(done_a[i].finish_s, done_b[i].finish_s) << "i=" << i;
+    EXPECT_EQ(done_a[i].job_id, done_b[i].job_id) << "i=" << i;
+  }
+  // Deferred transfers still start only after their jitter elapses.
+  for (const auto& d : done_a) {
+    if (d.job_id == 0) continue;
+    EXPECT_GT(d.start_s, d.arrival_s);
+  }
+}
+
+TEST(CheckpointServer, StatsConserveBytes) {
+  auto cfg = basic_config();
+  cfg.slots = 2;
+  CheckpointServer server(cfg);
+  (void)server.submit({1, 100.0}, 0.0);
+  (void)server.submit({2, 200.0}, 0.0);
+  const auto doomed = server.submit({3, 400.0}, 0.0);
+  const auto removal = server.remove(doomed.id, 12.0);
+  const auto done = drain_all(server);
+  double completed_mb = 0.0;
+  for (const auto& d : done) completed_mb += d.megabytes;
+  EXPECT_NEAR(server.stats().moved_mb, completed_mb + removal.moved_mb, 1e-9);
+  EXPECT_EQ(server.stats().completed, done.size());
+  EXPECT_EQ(server.stats().submitted, 3u);
+}
+
+TEST(CheckpointServer, TracerEventBytesSumToMovedMb) {
+  obs::EventTracer tracer(0);  // unbounded
+  auto cfg = basic_config();
+  cfg.slots = 1;
+  cfg.tracer = &tracer;
+  CheckpointServer server(cfg);
+  (void)server.submit({1, 100.0}, 0.0);
+  const auto second = server.submit({2, 300.0}, 0.0);
+  // Advance exactly to job 1's completion: job 2 then enters service.
+  ASSERT_EQ(server.advance_to(10.0).size(), 1u);
+  (void)server.remove(second.id, 25.0);  // 15 s into job 2: 150 MB moved
+  double traced_mb = 0.0;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "server.transfer" || e.name == "server.transfer.interrupted") {
+      traced_mb += e.value;
+      EXPECT_EQ(e.tid, kServerTraceTrack);
+      EXPECT_EQ(e.category, "server");
+    }
+  }
+  EXPECT_NEAR(traced_mb, server.stats().moved_mb, 1e-9);
+  EXPECT_NEAR(traced_mb, 250.0, 1e-9);
+}
+
+TEST(CheckpointServer, ZeroSizeTransferCompletesImmediately) {
+  CheckpointServer server(basic_config());
+  (void)server.submit({1, 0.0}, 5.0);
+  const auto done = drain_all(server);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].finish_s, 5.0);
+  EXPECT_DOUBLE_EQ(done[0].service_s(), 0.0);
+}
+
+TEST(CheckpointServer, RejectsBadInput) {
+  CheckpointServer server(basic_config());
+  EXPECT_THROW((void)server.submit({1, -5.0}, 0.0), std::invalid_argument);
+  (void)server.submit({1, 10.0}, 10.0);
+  EXPECT_THROW((void)server.submit({2, 10.0}, 5.0), std::invalid_argument);
+  auto cfg = basic_config();
+  cfg.capacity_mbps = 0.0;
+  EXPECT_THROW(CheckpointServer{cfg}, std::invalid_argument);
+  auto cfg2 = basic_config();
+  cfg2.slots = 0;  // only legal for the fair policy
+  EXPECT_THROW(CheckpointServer{cfg2}, std::invalid_argument);
+  cfg2.policy = SchedulerPolicy::kFair;
+  EXPECT_NO_THROW(CheckpointServer{cfg2});
+}
+
+}  // namespace
+}  // namespace harvest::server

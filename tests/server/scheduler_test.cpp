@@ -1,0 +1,114 @@
+// TransferScheduler policies: pick order, tie breaks, and the string round
+// trip the CLI flags use.
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/server/transfer_scheduler.hpp"
+
+namespace harvest::server {
+namespace {
+
+WaitingTransfer wt(std::uint64_t id, double arrival,
+                   double predicted = std::numeric_limits<double>::infinity()) {
+  WaitingTransfer w;
+  w.id = id;
+  w.arrival_s = arrival;
+  w.eligible_s = arrival;
+  w.predicted_remaining_s = predicted;
+  return w;
+}
+
+TEST(TransferScheduler, FifoPicksEarliestArrival) {
+  const auto fifo = make_scheduler(SchedulerPolicy::kFifo);
+  const std::vector<WaitingTransfer> waiting = {
+      wt(3, 20.0), wt(1, 5.0), wt(2, 10.0)};
+  EXPECT_EQ(fifo->pick_next(waiting, 25.0), 1u);
+  EXPECT_FALSE(fifo->unbounded_service());
+  EXPECT_EQ(fifo->policy(), SchedulerPolicy::kFifo);
+}
+
+TEST(TransferScheduler, FifoBreaksArrivalTiesById) {
+  const auto fifo = make_scheduler(SchedulerPolicy::kFifo);
+  const std::vector<WaitingTransfer> waiting = {
+      wt(9, 5.0), wt(4, 5.0), wt(7, 5.0)};
+  EXPECT_EQ(fifo->pick_next(waiting, 5.0), 1u);  // id 4
+}
+
+TEST(TransferScheduler, UrgencyPicksEarliestImminentDeath) {
+  const auto urgency = make_scheduler(SchedulerPolicy::kUrgency);
+  const std::vector<WaitingTransfer> waiting = {
+      wt(1, 0.0, 900.0), wt(2, 1.0, 30.0), wt(3, 2.0, 4000.0)};
+  // id 2's machine is predicted to die in 30 s, inside the default
+  // imminence horizon: it jumps the queue.
+  EXPECT_EQ(urgency->pick_next(waiting, 2.0), 1u);
+  EXPECT_FALSE(urgency->unbounded_service());
+}
+
+TEST(TransferScheduler, UrgencyOrdersTheUrgentClassByAbsoluteDeadline) {
+  const auto urgency = make_scheduler(SchedulerPolicy::kUrgency, 600.0);
+  // Both were predicted to die within the horizon when they arrived. The
+  // tie breaks on the absolute deadline (arrival + predicted remaining):
+  // the transfer waiting since t=0 dies at t=500, before the fresh arrival
+  // at t=600 whose machine is predicted to die in 200 s (t=800) — dying
+  // "soon" relative to a later arrival is still dying later on the clock.
+  const std::vector<WaitingTransfer> waiting = {
+      wt(1, 600.0, 200.0), wt(2, 0.0, 500.0)};
+  EXPECT_EQ(urgency->pick_next(waiting, 600.0), 1u);  // deadline 500 < 800
+}
+
+TEST(TransferScheduler, UrgencyServesNonImminentTransfersFifo) {
+  const auto urgency = make_scheduler(SchedulerPolicy::kUrgency);
+  // Every predicted death is comfortably beyond the horizon: no one jumps,
+  // arrival order rules — even though id 2's machine dies (much) sooner.
+  const std::vector<WaitingTransfer> waiting = {
+      wt(1, 0.0, 9000.0), wt(2, 1.0, 3000.0)};
+  EXPECT_EQ(urgency->pick_next(waiting, 2.0), 0u);
+
+  // A zero horizon is exactly FIFO.
+  const auto fifo_like = make_scheduler(SchedulerPolicy::kUrgency, 0.0);
+  const std::vector<WaitingTransfer> burst = {
+      wt(1, 5.0, 100.0), wt(2, 0.0, 9000.0)};
+  EXPECT_EQ(fifo_like->pick_next(burst, 5.0), 1u);
+
+  // An infinite horizon is pure earliest-deadline-first.
+  const auto edf = make_scheduler(
+      SchedulerPolicy::kUrgency, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(edf->pick_next(waiting, 2.0), 1u);  // deadline 3001 < 9000
+}
+
+TEST(TransferScheduler, UrgencyFallsBackToArrivalOrderWithoutPredictions) {
+  const auto urgency = make_scheduler(SchedulerPolicy::kUrgency);
+  // All +inf (no model information): nothing is imminent, pure FIFO.
+  const std::vector<WaitingTransfer> waiting = {
+      wt(5, 0.0), wt(2, 1.0), wt(8, 2.0)};
+  EXPECT_EQ(urgency->pick_next(waiting, 2.0), 0u);  // id 5, earliest arrival
+}
+
+TEST(TransferScheduler, RejectsBadUrgencyHorizon) {
+  EXPECT_THROW((void)make_scheduler(SchedulerPolicy::kUrgency, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_scheduler(
+                   SchedulerPolicy::kUrgency,
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(TransferScheduler, FairIsUnbounded) {
+  const auto fair = make_scheduler(SchedulerPolicy::kFair);
+  EXPECT_TRUE(fair->unbounded_service());
+  EXPECT_EQ(fair->policy(), SchedulerPolicy::kFair);
+}
+
+TEST(TransferScheduler, PolicyStringRoundTrip) {
+  for (const auto policy : {SchedulerPolicy::kFifo, SchedulerPolicy::kFair,
+                            SchedulerPolicy::kUrgency}) {
+    EXPECT_EQ(policy_from_string(to_string(policy)), policy);
+  }
+  EXPECT_THROW((void)policy_from_string("lifo"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::server

@@ -1,0 +1,56 @@
+// Storm staggerer: isolated requests pass through untouched, bursts are
+// jittered inside the window, and everything is deterministic per seed.
+#include <gtest/gtest.h>
+
+#include "harvest/server/stagger.hpp"
+
+namespace harvest::server {
+namespace {
+
+TEST(StormStaggerer, FirstAndIsolatedRequestsAreNotDeferred) {
+  StormStaggerer staggerer(10.0, 42);
+  EXPECT_DOUBLE_EQ(staggerer.defer_s(0.0), 0.0);
+  // Next arrival well past the window: no storm, no defer.
+  EXPECT_DOUBLE_EQ(staggerer.defer_s(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(staggerer.defer_s(250.0), 0.0);
+  EXPECT_EQ(staggerer.staggered_count(), 0u);
+}
+
+TEST(StormStaggerer, BurstArrivalsGetJitterInsideWindow) {
+  StormStaggerer staggerer(10.0, 42);
+  (void)staggerer.defer_s(100.0);
+  // Three more requests within the window of their predecessor: all jittered.
+  for (int i = 1; i <= 3; ++i) {
+    const double defer = staggerer.defer_s(100.0 + 0.1 * i);
+    EXPECT_GT(defer, 0.0) << "i=" << i;
+    EXPECT_LE(defer, 10.0) << "i=" << i;
+  }
+  EXPECT_EQ(staggerer.staggered_count(), 3u);
+}
+
+TEST(StormStaggerer, DeterministicPerSeed) {
+  StormStaggerer a(30.0, 7);
+  StormStaggerer b(30.0, 7);
+  StormStaggerer c(30.0, 8);
+  bool any_difference = false;
+  for (int i = 0; i < 20; ++i) {
+    const double t = static_cast<double>(i);
+    const double da = a.defer_s(t);
+    const double db = b.defer_s(t);
+    const double dc = c.defer_s(t);
+    EXPECT_DOUBLE_EQ(da, db) << "i=" << i;
+    any_difference |= da != dc;
+  }
+  EXPECT_TRUE(any_difference) << "different seeds should jitter differently";
+}
+
+TEST(StormStaggerer, ZeroWindowDisables) {
+  StormStaggerer staggerer(0.0, 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(staggerer.defer_s(0.001 * i), 0.0);
+  }
+  EXPECT_EQ(staggerer.staggered_count(), 0u);
+}
+
+}  // namespace
+}  // namespace harvest::server
