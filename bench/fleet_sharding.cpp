@@ -1,0 +1,350 @@
+// Fleet sharding: does splitting the checkpoint server into K independent
+// shards behind a routing policy actually buy back the queueing that a
+// single contended server costs a large pool? Sweeps shard count x pool
+// size x routing policy (x model family, since the paper's heavy-tailed
+// fit is what decides how much traffic hits the fleet in the first place)
+// and reports transfer waits, megabytes moved, and the fleet's load
+// imbalance.
+//
+// Gated checks:
+//   (a) a 1-shard fleet is bit-identical to the legacy single-server
+//       config path (same makespan, bytes, per-job completions, ledger);
+//   (b) on the large pool, K=4 strictly reduces mean transfer wait vs K=1
+//       under EVERY routing policy;
+//   (c) hyperexp2 moves fewer MB than exponential in every fleet cell
+//       (checkpoint cost >= 200 s — the Fig. 4 regime);
+//   (d) recovery-class mean wait <= checkpoint-class mean wait in every
+//       cell with queueing (the traffic classes doing their job).
+//
+// Flags:
+//   --json <path>   machine-readable artifact (config + cells + checks)
+//   --tiny          CI smoke: small pool, shards {1,4}, two routings
+//   plus the shared server/fleet flags (see server::CliOptions::help_text)
+//   — note --fleet-shards/--fleet-routing are swept here, so only the
+//   per-server knobs (capacity, slots, ...) are honoured.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "harvest/condor/pool_simulation.hpp"
+#include "harvest/obs/json.hpp"
+#include "harvest/server/cli_options.hpp"
+#include "harvest/trace/synthetic.hpp"
+#include "harvest/util/table.hpp"
+
+namespace {
+
+using namespace harvest;
+
+constexpr std::uint64_t kSimSeed = 31;
+
+struct Cell {
+  std::size_t shards = 1;
+  server::RoutingPolicy routing = server::RoutingPolicy::kStatic;
+  core::ModelFamily family = core::ModelFamily::kExponential;
+  std::size_t machines = 0;
+  double cost_s = 0.0;
+  condor::PoolSimResult result;
+};
+
+std::vector<condor::TimelinePool::MachineSpec> build_park(std::size_t n) {
+  trace::PoolSpec spec;
+  spec.machine_count = n;
+  spec.durations_per_machine = 1;
+  spec.seed = bench::kStandardTraceSeed;
+  std::vector<condor::TimelinePool::MachineSpec> machines;
+  for (auto& m : trace::generate_pool(spec)) {
+    condor::TimelinePool::MachineSpec s;
+    s.id = m.trace.machine_id;
+    s.availability_law = m.ground_truth;
+    machines.push_back(std::move(s));
+  }
+  return machines;
+}
+
+const Cell& find_cell(const std::vector<Cell>& cells, std::size_t shards,
+                      server::RoutingPolicy routing, core::ModelFamily family,
+                      std::size_t machines, double cost) {
+  for (const auto& c : cells) {
+    if (c.shards == shards && c.routing == routing && c.family == family &&
+        c.machines == machines && c.cost_s == cost) {
+      return c;
+    }
+  }
+  throw std::logic_error("fleet_sharding: missing swept cell");
+}
+
+/// Exact equality across every field the two engine paths report — the
+/// one-shard fleet must be indistinguishable from the legacy single-server
+/// configuration, byte for byte.
+bool results_identical(const condor::PoolSimResult& a,
+                       const condor::PoolSimResult& b) {
+  if (a.makespan_s != b.makespan_s ||
+      a.total_moved_mb() != b.total_moved_mb() ||
+      a.jobs.size() != b.jobs.size() ||
+      a.server.submitted != b.server.submitted ||
+      a.server.completed != b.server.completed ||
+      a.server.rejected != b.server.rejected ||
+      a.server.interrupted != b.server.interrupted ||
+      a.server.moved_mb != b.server.moved_mb ||
+      a.server.total_wait_s != b.server.total_wait_s) {
+    return false;
+  }
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    if (a.jobs[j].finished != b.jobs[j].finished ||
+        a.jobs[j].completion_s != b.jobs[j].completion_s ||
+        a.jobs[j].moved_mb != b.jobs[j].moved_mb ||
+        a.jobs[j].server_wait_s != b.jobs[j].server_wait_s) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  server::CliOptions opts;
+  try {
+    opts = server::CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_fleet_sharding: %s\n", e.what());
+    return 2;
+  }
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+
+  server::ServerConfig base;
+  base.capacity_mbps = 12.0;
+  base.slots = 3;
+  base = opts.server_config(base);
+
+  const std::size_t pool = tiny ? 32 : 128;
+  const std::vector<std::size_t> shard_counts = tiny
+                                                    ? std::vector<std::size_t>{1, 4}
+                                                    : std::vector<std::size_t>{1, 2, 4};
+  const std::vector<server::RoutingPolicy> routings =
+      tiny ? std::vector<server::RoutingPolicy>{
+                 server::RoutingPolicy::kStatic,
+                 server::RoutingPolicy::kLeastLoaded}
+           : std::vector<server::RoutingPolicy>{
+                 server::RoutingPolicy::kStatic,
+                 server::RoutingPolicy::kHash,
+                 server::RoutingPolicy::kLeastLoaded};
+  const std::vector<core::ModelFamily> families = {
+      core::ModelFamily::kExponential, core::ModelFamily::kHyperexp2};
+  const std::vector<double> costs =
+      tiny ? std::vector<double>{200.0} : std::vector<double>{200.0, 800.0};
+
+  std::printf(
+      "=== Fleet sharding: shards x routing x family "
+      "(pool %zu, capacity %.0f MB/s x shard, %zu slots) ===\n\n",
+      pool, base.capacity_mbps, base.slots);
+
+  const auto machines = build_park(pool);
+  const auto run_cell = [&](std::size_t shards,
+                            server::RoutingPolicy routing,
+                            core::ModelFamily family,
+                            double cost) -> condor::PoolSimResult {
+    condor::PoolSimConfig cfg;
+    cfg.job_count = pool / 2;
+    cfg.work_per_job_s = 4.0 * 3600.0;
+    cfg.checkpoint_size_mb = cost * base.capacity_mbps;
+    cfg.family = family;
+    cfg.seed = kSimSeed;
+    server::FleetConfig fc;
+    fc.shards = shards;
+    fc.routing = routing;
+    fc.server = base;
+    cfg.fleet = fc;
+    return condor::run_pool_simulation(machines, cfg);
+  };
+
+  // Gate (a): legacy single-server config vs explicit 1-shard fleet. Same
+  // seed, same pool — the results must be indistinguishable.
+  bool one_shard_matches = true;
+  {
+    condor::PoolSimConfig legacy;
+    legacy.job_count = pool / 2;
+    legacy.work_per_job_s = 4.0 * 3600.0;
+    legacy.checkpoint_size_mb = costs.front() * base.capacity_mbps;
+    legacy.family = core::ModelFamily::kHyperexp2;
+    legacy.seed = kSimSeed;
+    legacy.server = base;
+    const auto legacy_result = condor::run_pool_simulation(machines, legacy);
+    const auto fleet_result =
+        run_cell(1, server::RoutingPolicy::kStatic,
+                 core::ModelFamily::kHyperexp2, costs.front());
+    one_shard_matches = results_identical(legacy_result, fleet_result);
+    std::printf("1-shard fleet vs legacy single-server path: %s\n\n",
+                one_shard_matches ? "identical" : "MISMATCH");
+  }
+  int failures = one_shard_matches ? 0 : 1;
+
+  std::vector<Cell> cells;
+  util::TextTable table({"shards", "routing", "family", "cost (s)",
+                         "finished", "makespan (h)", "GB moved", "wait (s)",
+                         "rec wait", "ckpt wait", "imbalance"});
+  for (const std::size_t shards : shard_counts) {
+    // K=1 routes everything to shard 0, so sweeping routing there would
+    // triplicate identical cells; pin it to static.
+    const auto cell_routings =
+        shards == 1
+            ? std::vector<server::RoutingPolicy>{server::RoutingPolicy::kStatic}
+            : routings;
+    for (const auto routing : cell_routings) {
+      for (const auto family : families) {
+        for (const double cost : costs) {
+          Cell cell;
+          cell.shards = shards;
+          cell.routing = routing;
+          cell.family = family;
+          cell.machines = pool;
+          cell.cost_s = cost;
+          cell.result = run_cell(shards, routing, family, cost);
+          const auto& r = cell.result;
+          const auto& rec =
+              r.server.of(server::TransferKind::kRecovery);
+          const auto& ckpt =
+              r.server.of(server::TransferKind::kCheckpoint);
+          table.add_row(
+              {std::to_string(shards),
+               shards == 1 ? "-" : server::to_string(routing),
+               core::to_string(family), util::format_fixed(cost, 0),
+               std::to_string(r.finished_count()) + "/" +
+                   std::to_string(r.jobs.size()),
+               util::format_fixed(r.makespan_s / 3600.0, 1),
+               util::format_fixed(r.total_moved_mb() / 1024.0, 1),
+               util::format_fixed(r.server.mean_wait_s(), 1),
+               util::format_fixed(rec.mean_wait_s(), 1),
+               util::format_fixed(ckpt.mean_wait_s(), 1),
+               util::format_fixed(r.fleet.imbalance_ratio(), 2)});
+          std::fprintf(stderr,
+                       "  [fleet_sharding] K=%zu %s %s C=%.0f\n", shards,
+                       server::to_string(routing).c_str(),
+                       core::to_string(family).c_str(), cost);
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  std::printf("--- pool of %zu machines, %zu jobs x 4 h ---\n%s\n", pool,
+              pool / 2, table.render().c_str());
+
+  std::printf("--- checks ---\n");
+  // Gate (b): sharding must pay — on the large pool, K=4 strictly cuts the
+  // mean transfer wait vs K=1 under every routing policy. The tiny pool is
+  // too small to gate (waits can be ~0 either way); it prints as info.
+  const bool gate_waits = pool >= 128;
+  for (const auto routing : routings) {
+    for (const auto family : families) {
+      for (const double cost : costs) {
+        const auto& k1 = find_cell(cells, 1, server::RoutingPolicy::kStatic,
+                                   family, pool, cost);
+        const auto& k4 = find_cell(cells, 4, routing, family, pool, cost);
+        const double w1 = k1.result.server.mean_wait_s();
+        const double w4 = k4.result.server.mean_wait_s();
+        const bool ok = w4 < w1;
+        if (gate_waits && !ok) ++failures;
+        std::printf("  %-12s %-11s C=%-3.0f  wait K=4 %.1f s vs K=1 %.1f s "
+                    "(%s)\n",
+                    server::to_string(routing).c_str(),
+                    core::to_string(family).c_str(), cost, w4, w1,
+                    gate_waits ? (ok ? "ok" : "FAIL")
+                               : (ok ? "ok, info" : "info"));
+      }
+    }
+  }
+  // Gate (c): the paper's model-choice claim must survive sharding — in
+  // every fleet cell (same shards/routing/cost), hyperexp2 moves fewer MB.
+  for (const auto& c : cells) {
+    if (c.family != core::ModelFamily::kHyperexp2 || c.cost_s < 200.0) {
+      continue;
+    }
+    const auto& e = find_cell(cells, c.shards, c.routing,
+                              core::ModelFamily::kExponential, c.machines,
+                              c.cost_s);
+    const bool ok =
+        c.result.total_moved_mb() < e.result.total_moved_mb();
+    if (!ok) ++failures;
+    std::printf("  K=%zu %-12s C=%-3.0f  hyperexp2 %.0f MB vs exponential "
+                "%.0f MB (%s)\n",
+                c.shards, server::to_string(c.routing).c_str(), c.cost_s,
+                c.result.total_moved_mb(), e.result.total_moved_mb(),
+                ok ? "ok" : "FAIL");
+  }
+  // Gate (d): traffic classes — wherever transfers actually queued, the
+  // recovery class must not wait longer than the checkpoint class.
+  for (const auto& c : cells) {
+    const auto& rec = c.result.server.of(server::TransferKind::kRecovery);
+    const auto& ckpt =
+        c.result.server.of(server::TransferKind::kCheckpoint);
+    if (rec.started == 0 || c.result.server.queued == 0) continue;
+    const bool ok = rec.mean_wait_s() <= ckpt.mean_wait_s() + 1e-9;
+    if (!ok) ++failures;
+    std::printf("  K=%zu %-12s %-11s C=%-3.0f  recovery wait %.1f s <= "
+                "checkpoint %.1f s (%s)\n",
+                c.shards, server::to_string(c.routing).c_str(),
+                core::to_string(c.family).c_str(), c.cost_s,
+                rec.mean_wait_s(), ckpt.mean_wait_s(), ok ? "ok" : "FAIL");
+  }
+  std::printf("%s\n", failures == 0 ? "all checks passed"
+                                    : "SOME CHECKS FAILED");
+
+  if (!json_path.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "fleet_sharding");
+    w.key("config").begin_object();
+    w.field("pool_seed", std::uint64_t{bench::kStandardTraceSeed});
+    w.field("sim_seed", std::uint64_t{kSimSeed});
+    w.field("machines", static_cast<std::uint64_t>(pool));
+    w.field("server_capacity_mbps", base.capacity_mbps);
+    w.field("server_slots", static_cast<std::uint64_t>(base.slots));
+    w.end_object();
+    w.key("checks").begin_object();
+    w.field("one_shard_matches_legacy", one_shard_matches);
+    w.field("failures", static_cast<std::uint64_t>(failures));
+    w.end_object();
+    w.key("cells").begin_array();
+    for (const auto& c : cells) {
+      const auto& r = c.result;
+      w.begin_object();
+      w.field("shards", static_cast<std::uint64_t>(c.shards));
+      w.field("routing", server::to_string(c.routing));
+      w.field("family", core::to_string(c.family));
+      w.field("machines", static_cast<std::uint64_t>(c.machines));
+      w.field("checkpoint_cost_s", c.cost_s);
+      w.field("finished", static_cast<std::uint64_t>(r.finished_count()));
+      w.field("jobs", static_cast<std::uint64_t>(r.jobs.size()));
+      w.field("makespan_s", r.makespan_s);
+      w.field("moved_mb", r.total_moved_mb());
+      w.field("mean_wait_s", r.server.mean_wait_s());
+      w.field("recovery_mean_wait_s",
+              r.server.of(server::TransferKind::kRecovery).mean_wait_s());
+      w.field("checkpoint_mean_wait_s",
+              r.server.of(server::TransferKind::kCheckpoint).mean_wait_s());
+      w.field("imbalance_ratio", r.fleet.imbalance_ratio());
+      w.key("shard_moved_mb").begin_array();
+      for (const auto& s : r.fleet.shards) w.value(s.moved_mb);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot open " + json_path);
+    out << w.str() << '\n';
+    std::fprintf(stderr, "  [fleet_sharding] artifact -> %s\n",
+                 json_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,9 +1,10 @@
 // Checkpoint-server contention: the paper's flagged future work made
 // measurable. Every job in the emulated pool pushes its recovery and
-// checkpoint transfers through ONE contended CheckpointServer; this bench
-// sweeps scheduling policy x pool size x checkpoint cost and reports what
-// the site pays (network GB, server queueing) and what the user feels
-// (makespan, lost work).
+// checkpoint transfers through a contended checkpoint server (a 1-shard
+// fleet unless --fleet-shards says otherwise); this bench sweeps scheduling
+// policy x pool size x checkpoint cost and reports what the site pays
+// (network GB, server queueing) and what the user feels (makespan, lost
+// work).
 //
 // Expected shape, mirroring the paper's central claim under contention:
 // the heavy-tailed hyperexp2 fit checkpoints less often than the
@@ -12,9 +13,16 @@
 // The urgency policy spends its queue-jumping on transfers racing imminent
 // evictions, so it should lose no more committed work than FIFO.
 //
+// Every cell is replicated over several simulation seeds and the gated
+// comparisons are PAIRED: the per-seed difference (same seed, same pool,
+// different model/policy) is what gets a 95 % confidence interval, so one
+// lucky seed cannot pass or fail a gate on its own.
+//
 // Flags:
 //   --json <path>   machine-readable artifact (config + every swept cell)
-//   --tiny          CI smoke: one small pool, two policies, one cost
+//   --tiny          CI smoke: one small pool, two policies, one cost, 1 seed
+//   --seeds <n>     replications per cell (default 3; 1 skips the CIs)
+//   plus the shared server/fleet flags (see server::CliOptions::help_text).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,7 +33,8 @@
 #include "common.hpp"
 #include "harvest/condor/pool_simulation.hpp"
 #include "harvest/obs/json.hpp"
-#include "harvest/server/checkpoint_server.hpp"
+#include "harvest/server/cli_options.hpp"
+#include "harvest/stats/summary.hpp"
 #include "harvest/trace/synthetic.hpp"
 #include "harvest/util/table.hpp"
 
@@ -33,13 +42,40 @@ namespace {
 
 using namespace harvest;
 
+constexpr std::uint64_t kBaseSimSeed = 31;
+
 struct Cell {
   server::SchedulerPolicy policy = server::SchedulerPolicy::kFifo;
   core::ModelFamily family = core::ModelFamily::kExponential;
   std::size_t machines = 0;
   double cost_s = 0.0;  ///< checkpoint_size_mb / server capacity
-  condor::PoolSimResult result;
+  // One entry per replication seed, index-aligned across cells (same index
+  // ⇒ same seed, which is what makes the gate comparisons paired).
+  std::vector<double> moved_mb;
+  std::vector<double> mean_wait_s;
+  std::vector<double> ckpt_wait_s;  ///< checkpoint-class mean wait
+  std::vector<double> lost_work_s;
+  std::vector<double> makespan_s;
+  std::vector<double> finished;
+  std::vector<double> rejected;
+  std::vector<double> evictions;
+  std::size_t jobs = 0;
+  condor::PoolSimResult last;  ///< last seed's full result (for detail fields)
 };
+
+double mean_of(const std::vector<double>& xs) { return stats::mean_of(xs); }
+
+/// "x.x ± y.y" when replicated, plain mean otherwise.
+std::string pm_cell(const std::vector<double>& xs, int precision,
+                    double scale = 1.0) {
+  std::vector<double> scaled;
+  scaled.reserve(xs.size());
+  for (double x : xs) scaled.push_back(x * scale);
+  if (scaled.size() < 2) return util::format_fixed(scaled.front(), precision);
+  const auto ci = stats::mean_confidence_interval(scaled);
+  return util::format_fixed(ci.mean, precision) + "±" +
+         util::format_fixed(ci.half_width, precision);
+}
 
 std::vector<condor::TimelinePool::MachineSpec> build_park(std::size_t n) {
   trace::PoolSpec spec;
@@ -56,46 +92,78 @@ std::vector<condor::TimelinePool::MachineSpec> build_park(std::size_t n) {
   return machines;
 }
 
-double lost_work_s(const condor::PoolSimResult& r) {
-  return r.total_lost_work_s();
+/// Paired per-seed difference a - b for one metric.
+std::vector<double> paired_diff(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::logic_error("server_contention: unpaired replication vectors");
+  }
+  std::vector<double> d(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) d[i] = a[i] - b[i];
+  return d;
+}
+
+/// "mean [±hw]" for a paired difference, CI only when replicated.
+std::string diff_str(const std::vector<double>& d, int precision) {
+  if (d.size() < 2) return util::format_fixed(d.front(), precision);
+  const auto ci = stats::mean_confidence_interval(d);
+  return util::format_fixed(ci.mean, precision) + " ±" +
+         util::format_fixed(ci.half_width, precision);
+}
+
+/// Gate rule for "a should be no worse than b by more than slack": with a
+/// single seed, the point estimate decides; with replications, fail only
+/// when the regression is SIGNIFICANT — the whole 95 % CI of the paired
+/// per-seed difference sits above the slack.
+bool not_significantly_worse(const std::vector<double>& diff, double slack) {
+  if (mean_of(diff) <= slack) return true;
+  if (diff.size() < 2) return false;
+  return stats::mean_confidence_interval(diff).lo() <= slack;
 }
 
 void write_artifact(const std::string& path, const std::vector<Cell>& cells,
-                    double capacity_mbps, std::size_t slots) {
+                    const server::FleetConfig& fleet, std::size_t seeds) {
   obs::JsonWriter w;
   w.begin_object();
   w.field("bench", "server_contention");
   w.key("config").begin_object();
   w.field("pool_seed", std::uint64_t{bench::kStandardTraceSeed});
-  w.field("sim_seed", std::uint64_t{31});
-  w.field("server_capacity_mbps", capacity_mbps);
-  w.field("server_slots", std::uint64_t{slots});
+  w.field("sim_seed_base", std::uint64_t{kBaseSimSeed});
+  w.field("seeds", static_cast<std::uint64_t>(seeds));
+  w.field("server_capacity_mbps", fleet.server.capacity_mbps);
+  w.field("server_slots", static_cast<std::uint64_t>(fleet.server.slots));
+  w.field("fleet_shards", static_cast<std::uint64_t>(fleet.shards));
+  w.field("fleet_routing", server::to_string(fleet.routing));
   w.end_object();
   w.key("cells").begin_array();
   for (const auto& c : cells) {
-    const auto& r = c.result;
+    const auto& r = c.last;
     w.begin_object();
     w.field("policy", server::to_string(c.policy));
     w.field("family", core::to_string(c.family));
     w.field("machines", static_cast<std::uint64_t>(c.machines));
     w.field("checkpoint_cost_s", c.cost_s);
-    w.field("finished", static_cast<std::uint64_t>(r.finished_count()));
-    w.field("jobs", static_cast<std::uint64_t>(r.jobs.size()));
-    w.field("makespan_s", r.makespan_s);
-    w.field("mean_completion_s", r.mean_completion_s());
-    w.field("moved_mb", r.total_moved_mb());
-    w.field("lost_work_s", lost_work_s(r));
-    w.field("evictions", static_cast<std::uint64_t>(r.total_evictions()));
+    // Seed-mean headline metrics (what the gates compare).
+    w.field("finished", mean_of(c.finished));
+    w.field("jobs", static_cast<std::uint64_t>(c.jobs));
+    w.field("makespan_s", mean_of(c.makespan_s));
+    w.field("moved_mb", mean_of(c.moved_mb));
+    w.field("lost_work_s", mean_of(c.lost_work_s));
+    w.field("evictions", mean_of(c.evictions));
     w.key("server").begin_object();
     w.field("submitted", r.server.submitted);
     w.field("completed", r.server.completed);
     w.field("interrupted", r.server.interrupted);
-    w.field("rejected", r.server.rejected);
-    w.field("mean_wait_s", r.server.mean_wait_s());
+    w.field("rejected", mean_of(c.rejected));
+    w.field("mean_wait_s", mean_of(c.mean_wait_s));
     w.field("mean_service_s", r.server.mean_service_s());
     w.field("peak_queue_depth",
             static_cast<std::uint64_t>(r.server.peak_queue_depth));
     w.field("peak_active", static_cast<std::uint64_t>(r.server.peak_active));
+    w.field("checkpoint_mean_wait_s",
+            r.server.of(server::TransferKind::kCheckpoint).mean_wait_s());
+    w.field("recovery_mean_wait_s",
+            r.server.of(server::TransferKind::kRecovery).mean_wait_s());
     w.end_object();
     w.end_object();
   }
@@ -123,13 +191,30 @@ const Cell& find_cell(const std::vector<Cell>& cells,
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::parse_json_flag(argc, argv);
+  server::CliOptions opts;
+  try {
+    opts = server::CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_server_contention: %s\n", e.what());
+    return 2;
+  }
   bool tiny = false;
+  std::size_t seeds = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::strtoul(argv[i + 1], nullptr, 10);
+    }
   }
+  if (seeds == 0) seeds = tiny ? 1 : 3;
 
-  const double capacity_mbps = 12.0;
-  const std::size_t slots = 3;
+  // Bench defaults, overridable through the shared server/fleet flags.
+  server::ServerConfig base;
+  base.capacity_mbps = 12.0;
+  base.slots = 3;
+  base = opts.server_config(base);
+  server::FleetConfig fleet_base = opts.fleet_config(base);
+
   const std::vector<std::size_t> pools =
       tiny ? std::vector<std::size_t>{8} : std::vector<std::size_t>{16, 48};
   const std::vector<double> costs =
@@ -148,8 +233,20 @@ int main(int argc, char** argv) {
 
   std::printf(
       "=== Checkpoint-server contention: policy x pool x cost "
-      "(capacity %.0f MB/s, %zu slots) ===\n\n",
-      capacity_mbps, slots);
+      "(capacity %.0f MB/s, %zu slots, %zu shard%s, %zu seed%s) ===\n\n",
+      base.capacity_mbps, base.slots, fleet_base.shards,
+      fleet_base.shards == 1 ? "" : "s", seeds, seeds == 1 ? "" : "s");
+
+  // Surface the config self-validation once per swept policy (e.g. fair
+  // ignoring the slot pool) instead of silently adjusting.
+  for (const auto policy : policies) {
+    server::FleetConfig fc = fleet_base;
+    fc.server.policy = policy;
+    for (const auto& warning : fc.validate().warnings) {
+      std::fprintf(stderr, "  [server_contention] warning (%s): %s\n",
+                   server::to_string(policy).c_str(), warning.c_str());
+    }
+  }
 
   std::vector<Cell> cells;
   for (const std::size_t pool : pools) {
@@ -160,39 +257,53 @@ int main(int argc, char** argv) {
     for (const auto policy : policies) {
       for (const auto family : families) {
         for (const double cost : costs) {
-          condor::PoolSimConfig cfg;
-          cfg.job_count = pool / 2;
-          cfg.work_per_job_s = 4.0 * 3600.0;
-          cfg.checkpoint_size_mb = cost * capacity_mbps;
-          cfg.family = family;
-          cfg.seed = 31;
-          cfg.server = server::ServerConfig{};
-          cfg.server->capacity_mbps = capacity_mbps;
-          cfg.server->slots =
-              policy == server::SchedulerPolicy::kFair ? 0 : slots;
-          cfg.server->policy = policy;
           Cell cell;
           cell.policy = policy;
           cell.family = family;
           cell.machines = pool;
           cell.cost_s = cost;
-          cell.result = condor::run_pool_simulation(machines, cfg);
-          const auto& r = cell.result;
+          cell.jobs = pool / 2;
+          for (std::size_t k = 0; k < seeds; ++k) {
+            condor::PoolSimConfig cfg;
+            cfg.job_count = pool / 2;
+            cfg.work_per_job_s = 4.0 * 3600.0;
+            cfg.checkpoint_size_mb = cost * base.capacity_mbps;
+            cfg.family = family;
+            cfg.seed = kBaseSimSeed + k;
+            cfg.fleet = fleet_base;
+            cfg.fleet->server.policy = policy;
+            auto r = condor::run_pool_simulation(machines, cfg);
+            cell.moved_mb.push_back(r.total_moved_mb());
+            cell.mean_wait_s.push_back(r.server.mean_wait_s());
+            cell.ckpt_wait_s.push_back(
+                r.server.of(server::TransferKind::kCheckpoint)
+                    .mean_wait_s());
+            cell.lost_work_s.push_back(r.total_lost_work_s());
+            cell.makespan_s.push_back(r.makespan_s);
+            cell.finished.push_back(
+                static_cast<double>(r.finished_count()));
+            cell.rejected.push_back(static_cast<double>(r.server.rejected));
+            cell.evictions.push_back(
+                static_cast<double>(r.total_evictions()));
+            cell.last = std::move(r);
+          }
           table.add_row(
               {server::to_string(policy), core::to_string(family),
                util::format_fixed(cost, 0),
-               std::to_string(r.finished_count()) + "/" +
-                   std::to_string(r.jobs.size()),
-               util::format_fixed(r.makespan_s / 3600.0, 1),
-               util::format_fixed(r.total_moved_mb() / 1024.0, 1),
-               util::format_fixed(r.server.mean_wait_s(), 1),
-               util::format_fixed(lost_work_s(r) / 3600.0, 1),
-               std::to_string(r.total_evictions()),
-               std::to_string(static_cast<unsigned long>(r.server.rejected))});
-          cells.push_back(std::move(cell));
-          std::fprintf(stderr, "  [server_contention] pool=%zu %s %s C=%.0f\n",
+               util::format_fixed(mean_of(cell.finished), 1) + "/" +
+                   std::to_string(cell.jobs),
+               pm_cell(cell.makespan_s, 1, 1.0 / 3600.0),
+               pm_cell(cell.moved_mb, 1, 1.0 / 1024.0),
+               pm_cell(cell.mean_wait_s, 1),
+               pm_cell(cell.lost_work_s, 1, 1.0 / 3600.0),
+               util::format_fixed(mean_of(cell.evictions), 1),
+               util::format_fixed(mean_of(cell.rejected), 1)});
+          std::fprintf(stderr,
+                       "  [server_contention] pool=%zu %s %s C=%.0f "
+                       "(%zu seeds)\n",
                        pool, server::to_string(policy).c_str(),
-                       core::to_string(family).c_str(), cost);
+                       core::to_string(family).c_str(), cost, seeds);
+          cells.push_back(std::move(cell));
         }
       }
     }
@@ -203,10 +314,13 @@ int main(int argc, char** argv) {
   // The paper's claim, compounded through the shared pipe: at checkpoint
   // costs >= 200 s (the Fig. 4 regime) the heavy-tailed fit should move
   // fewer megabytes AND queue less than the exponential fit, and urgency
-  // should lose no more committed work than FIFO. Below 200 s checkpoints
-  // are cheap, absolute losses are small, and single-seed cell differences
-  // are noise — those rows print for context but are not gated.
-  std::printf("--- checks ---\n");
+  // should lose no more committed work than FIFO. The comparisons are
+  // paired per seed; with --seeds >= 2 the printed ± is the 95 % CI of the
+  // per-seed difference. Below 200 s checkpoints are cheap, absolute
+  // losses are small, and cell differences are noise — those rows print
+  // for context but are not gated.
+  std::printf("--- checks (paired per-seed differences, %zu seed%s) ---\n",
+              seeds, seeds == 1 ? "" : "s");
   int failures = 0;
   for (const std::size_t pool : pools) {
     for (const auto policy : policies) {
@@ -216,19 +330,24 @@ int main(int argc, char** argv) {
             cells, policy, core::ModelFamily::kExponential, pool, cost);
         const auto& hyp_cell = find_cell(
             cells, policy, core::ModelFamily::kHyperexp2, pool, cost);
-        const bool less_mb = hyp_cell.result.total_moved_mb() <
-                             exp_cell.result.total_moved_mb();
-        const bool less_wait = hyp_cell.result.server.mean_wait_s() <=
-                               exp_cell.result.server.mean_wait_s();
+        const auto d_mb = paired_diff(hyp_cell.moved_mb, exp_cell.moved_mb);
+        // The wait comparison is class-pure: with recovery traffic
+        // outranking checkpoints, the BLENDED mean wait mixes two service
+        // orders whose shares differ across families (Simpson's paradox —
+        // hyperexp2 can beat exponential within each class yet lose the
+        // blend), so the gate compares the checkpoint class against
+        // itself.
+        const auto d_wait =
+            paired_diff(hyp_cell.ckpt_wait_s, exp_cell.ckpt_wait_s);
+        const bool less_mb = mean_of(d_mb) < 0.0;
+        const bool less_wait = not_significantly_worse(d_wait, 0.0);
         if (!less_mb || !less_wait) ++failures;
         std::printf(
-            "  pool=%-2zu %-7s C=%-3.0f  hyperexp2 vs exponential: "
-            "MB %.0f vs %.0f (%s), wait %.1f vs %.1f s (%s)\n",
+            "  pool=%-2zu %-7s C=%-3.0f  hyperexp2 - exponential: "
+            "MB %s (%s), ckpt wait %s s (%s)\n",
             pool, server::to_string(policy).c_str(), cost,
-            hyp_cell.result.total_moved_mb(),
-            exp_cell.result.total_moved_mb(), less_mb ? "ok" : "FAIL",
-            hyp_cell.result.server.mean_wait_s(),
-            exp_cell.result.server.mean_wait_s(), less_wait ? "ok" : "FAIL");
+            diff_str(d_mb, 0).c_str(), less_mb ? "ok" : "FAIL",
+            diff_str(d_wait, 1).c_str(), less_wait ? "ok" : "FAIL");
       }
     }
   }
@@ -241,16 +360,18 @@ int main(int argc, char** argv) {
           const auto& urgency = find_cell(
               cells, server::SchedulerPolicy::kUrgency, family, pool, cost);
           const bool gated = cost >= 200.0;
-          const double slack = 1e-9 + 0.05 * lost_work_s(fifo.result);
-          const bool ok = lost_work_s(urgency.result) <=
-                          lost_work_s(fifo.result) + slack;
+          const auto d_lost =
+              paired_diff(urgency.lost_work_s, fifo.lost_work_s);
+          const double slack = 1e-9 + 0.05 * mean_of(fifo.lost_work_s);
+          const bool ok = not_significantly_worse(d_lost, slack);
           if (gated && !ok) ++failures;
+          std::vector<double> d_lost_h(d_lost);
+          for (auto& x : d_lost_h) x /= 3600.0;
           std::printf(
-              "  pool=%-2zu %-11s C=%-3.0f  urgency lost %.2f h vs fifo "
-              "%.2f h (%s)\n",
+              "  pool=%-2zu %-11s C=%-3.0f  urgency - fifo lost work: "
+              "%s h (%s)\n",
               pool, core::to_string(family).c_str(), cost,
-              lost_work_s(urgency.result) / 3600.0,
-              lost_work_s(fifo.result) / 3600.0,
+              diff_str(d_lost_h, 2).c_str(),
               gated ? (ok ? "ok" : "FAIL") : (ok ? "ok, info" : "info"));
         }
       }
@@ -260,7 +381,7 @@ int main(int argc, char** argv) {
                                     : "SOME CHECKS FAILED");
 
   if (!json_path.empty()) {
-    write_artifact(json_path, cells, capacity_mbps, slots);
+    write_artifact(json_path, cells, fleet_base, seeds);
   }
   return failures == 0 ? 0 : 1;
 }

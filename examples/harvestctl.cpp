@@ -12,7 +12,8 @@
 //       Trace-driven simulation across the pool (efficiency + network).
 //   harvestctl pool <traces.csv> <family> <jobs> <work_hours>
 //       Whole-pool emulation (negotiation, placements, evictions). With any
-//       --server-* flag, every transfer contends for one checkpoint server.
+//       --server-* / --fleet-* flag, every transfer contends for a fleet of
+//       checkpoint servers (1 shard unless --fleet-shards says otherwise).
 //
 // Global flags (any subcommand):
 //   --metrics-json <path>   write the default metrics registry snapshot
@@ -34,6 +35,7 @@
 #include "harvest/obs/metrics.hpp"
 #include "harvest/obs/timer.hpp"
 #include "harvest/obs/tracer.hpp"
+#include "harvest/server/cli_options.hpp"
 #include "harvest/sim/experiment.hpp"
 #include "harvest/stats/summary.hpp"
 #include "harvest/trace/io.hpp"
@@ -68,11 +70,8 @@ int usage() {
       "  --metrics-json <path>  dump the metrics registry snapshot as JSON\n"
       "  --metrics-prom <path>  dump the snapshot as Prometheus text\n"
       "  --trace-json <path>    dump structured events as a Chrome trace\n"
-      "pool flags (checkpoint server; any enables contended mode):\n"
-      "  --server-policy <fifo|fair|urgency>\n"
-      "  --server-slots <n>     concurrent-transfer slots (0 = unbounded)\n"
-      "  --server-capacity <MB/s>\n"
-      "  --server-stagger <s>   storm-avoidance jitter window\n");
+      "%s",
+      server::CliOptions::help_text().c_str());
   return 2;
 }
 
@@ -244,9 +243,7 @@ int cmd_predict(int argc, char** argv) {
   return 0;
 }
 
-int cmd_pool(int argc, char** argv, const std::string& policy_flag,
-             const std::string& slots_flag, const std::string& capacity_flag,
-             const std::string& stagger_flag) {
+int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
   if (argc < 6) return usage();
   const auto traces = trace::load_traces_csv(argv[2]);
   const auto family = core::model_family_from_string(argv[3]);
@@ -275,19 +272,13 @@ int cmd_pool(int argc, char** argv, const std::string& policy_flag,
     return 1;
   }
 
-  const bool contended = !policy_flag.empty() || !slots_flag.empty() ||
-                         !capacity_flag.empty() || !stagger_flag.empty();
-  if (contended) {
-    server::ServerConfig sc;
-    if (!policy_flag.empty()) {
-      sc.policy = server::policy_from_string(policy_flag);
+  if (server_opts.any()) {
+    cfg.fleet = server_opts.fleet_config();
+    // Surface what the engine will silently adjust (e.g. fair ignoring
+    // slots) — the self-validation satellite of the server config.
+    for (const auto& w : server_opts.warnings()) {
+      std::fprintf(stderr, "harvestctl: warning: %s\n", w.c_str());
     }
-    if (!slots_flag.empty()) {
-      sc.slots = std::strtoul(slots_flag.c_str(), nullptr, 10);
-    }
-    if (!capacity_flag.empty()) sc.capacity_mbps = std::atof(capacity_flag.c_str());
-    if (!stagger_flag.empty()) sc.stagger_window_s = std::atof(stagger_flag.c_str());
-    cfg.server = sc;
   }
   if (g_observing) cfg.tracer = &obs::default_tracer();
 
@@ -303,9 +294,13 @@ int cmd_pool(int argc, char** argv, const std::string& policy_flag,
   std::printf("evictions:       %zu\n", res.total_evictions());
   std::printf("lost work:       %.1f h\n", res.total_lost_work_s() / 3600.0);
   if (res.server_enabled) {
-    std::printf("server [%s, %zu slots, %.0f MB/s]:\n",
-                server::to_string(cfg.server->policy).c_str(),
-                cfg.server->slots, cfg.server->capacity_mbps);
+    const auto& fc = *cfg.fleet;
+    const auto effective = fc.validate().effective;
+    std::printf("server fleet [%zu x %s, routing %s, %zu slots, %.0f MB/s "
+                "each]:\n",
+                fc.shards, server::to_string(effective.policy).c_str(),
+                server::to_string(fc.routing).c_str(), effective.slots,
+                effective.capacity_mbps);
     std::printf("  transfers:     %llu submitted, %llu completed, %llu "
                 "interrupted, %llu rejected\n",
                 static_cast<unsigned long long>(res.server.submitted),
@@ -315,6 +310,18 @@ int cmd_pool(int argc, char** argv, const std::string& policy_flag,
     std::printf("  mean wait:     %.1f s (peak queue %zu, peak active %zu)\n",
                 res.server.mean_wait_s(), res.server.peak_queue_depth,
                 res.server.peak_active);
+    const auto& ckpt = res.server.of(server::TransferKind::kCheckpoint);
+    const auto& rec = res.server.of(server::TransferKind::kRecovery);
+    std::printf("  checkpoint:    %llu submitted, mean wait %.1f s\n",
+                static_cast<unsigned long long>(ckpt.submitted),
+                ckpt.mean_wait_s());
+    std::printf("  recovery:      %llu submitted, mean wait %.1f s\n",
+                static_cast<unsigned long long>(rec.submitted),
+                rec.mean_wait_s());
+    if (fc.shards > 1) {
+      std::printf("  imbalance:     %.2fx (max shard MB / mean shard MB)\n",
+                  res.fleet.imbalance_ratio());
+    }
   }
   return 0;
 }
@@ -352,12 +359,13 @@ int main(int argc, char** argv) {
   const std::string metrics_path = strip_path_flag(argc, argv, "metrics-json");
   const std::string prom_path = strip_path_flag(argc, argv, "metrics-prom");
   const std::string trace_path = strip_path_flag(argc, argv, "trace-json");
-  const std::string policy_flag = strip_path_flag(argc, argv, "server-policy");
-  const std::string slots_flag = strip_path_flag(argc, argv, "server-slots");
-  const std::string capacity_flag =
-      strip_path_flag(argc, argv, "server-capacity");
-  const std::string stagger_flag =
-      strip_path_flag(argc, argv, "server-stagger");
+  server::CliOptions server_opts;
+  try {
+    server_opts = server::CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "harvestctl: %s\n", e.what());
+    return 2;
+  }
   g_observing =
       !metrics_path.empty() || !prom_path.empty() || !trace_path.empty();
   if (g_observing) obs::set_timing_enabled(true);
@@ -374,8 +382,7 @@ int main(int argc, char** argv) {
     else if (cmd == "predict") rc = cmd_predict(argc, argv);
     else if (cmd == "makespan") rc = cmd_makespan(argc, argv);
     else if (cmd == "pool") {
-      rc = cmd_pool(argc, argv, policy_flag, slots_flag, capacity_flag,
-                    stagger_flag);
+      rc = cmd_pool(argc, argv, server_opts);
     }
     else return usage();
 

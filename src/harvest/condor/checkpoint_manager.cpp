@@ -16,22 +16,35 @@ CheckpointManager::CheckpointManager(net::BandwidthModel link,
 
 CheckpointManager::CheckpointManager(net::BandwidthModel link,
                                      const server::ServerConfig& server_config)
-    : link_(link),
-      rng_(server_config.seed),
-      server_(std::make_unique<server::CheckpointServer>(server_config)) {}
+    : CheckpointManager(link, server::FleetConfig{1, server::RoutingPolicy::kStatic, server_config},
+                        server_config.seed, server_config.tracer) {}
 
-const server::ServerStats& CheckpointManager::server_stats() const {
-  if (server_ == nullptr) {
+CheckpointManager::CheckpointManager(net::BandwidthModel link,
+                                     const server::FleetConfig& fleet_config,
+                                     std::uint64_t seed,
+                                     obs::EventTracer* tracer)
+    : link_(link),
+      rng_(seed),
+      fleet_(std::make_unique<server::ServerFleet>(fleet_config, seed,
+                                                   tracer)) {}
+
+server::ServerStats CheckpointManager::server_stats() const {
+  return fleet_stats().total;
+}
+
+server::FleetStats CheckpointManager::fleet_stats() const {
+  if (fleet_ == nullptr) {
     throw std::logic_error(
-        "CheckpointManager::server_stats: not server-backed");
+        "CheckpointManager::fleet_stats: not server-backed");
   }
-  return server_->stats();
+  return fleet_->stats();
 }
 
 TransferOutcome CheckpointManager::transfer(std::size_t job_id,
                                             TransferKind kind,
                                             double megabytes,
-                                            double available_s) {
+                                            double available_s,
+                                            std::size_t machine_index) {
   if (!(megabytes >= 0.0)) {
     throw std::invalid_argument("CheckpointManager::transfer: megabytes >= 0");
   }
@@ -43,8 +56,8 @@ TransferOutcome CheckpointManager::transfer(std::size_t job_id,
   rec.job_id = job_id;
   rec.kind = kind;
   rec.requested_mb = megabytes;
-  if (server_ != nullptr) {
-    // Route through the checkpoint server on the manager's own clock. The
+  if (fleet_ != nullptr) {
+    // Route through the checkpoint fleet on the manager's own clock. The
     // manager is a serial client, so the only contention effects are the
     // stagger jitter and admission policy — which is exactly what the live
     // experiment wants to measure into C and R.
@@ -52,7 +65,11 @@ TransferOutcome CheckpointManager::transfer(std::size_t job_id,
     server::ServerTransferRequest req;
     req.job_id = job_id;
     req.megabytes = megabytes;
-    const auto outcome = server_->submit(req, t0);
+    req.kind = kind == TransferKind::kRecovery
+                   ? server::TransferKind::kRecovery
+                   : server::TransferKind::kCheckpoint;
+    req.machine_index = machine_index;
+    const auto outcome = fleet_->submit(req, t0);
     if (outcome.status == server::SubmitStatus::kRejected) {
       rec.duration_s = 0.0;
       rec.moved_mb = 0.0;
@@ -66,9 +83,9 @@ TransferOutcome CheckpointManager::transfer(std::size_t job_id,
               : std::numeric_limits<double>::infinity();
       bool completed = false;
       double finish_s = cutoff;
-      while (auto next = server_->next_event_s()) {
+      while (auto next = fleet_->next_event_s()) {
         if (*next > cutoff) break;
-        for (const auto& done : server_->advance_to(*next)) {
+        for (const auto& done : fleet_->advance_to(*next)) {
           if (done.id == outcome.id) {
             completed = true;
             finish_s = done.finish_s;
@@ -82,7 +99,7 @@ TransferOutcome CheckpointManager::transfer(std::size_t job_id,
         rec.completed = true;
         server_clock_s_ = finish_s;
       } else {
-        const auto removal = server_->remove(outcome.id, cutoff);
+        const auto removal = fleet_->remove(outcome.id, cutoff);
         rec.duration_s = available_s;
         rec.moved_mb = removal.moved_mb;
         rec.completed = false;

@@ -15,7 +15,7 @@
 
 #include "harvest/net/bandwidth_model.hpp"
 #include "harvest/numerics/rng.hpp"
-#include "harvest/server/checkpoint_server.hpp"
+#include "harvest/server/fleet.hpp"
 
 namespace harvest::condor {
 
@@ -40,26 +40,40 @@ class CheckpointManager {
  public:
   CheckpointManager(net::BandwidthModel link, std::uint64_t seed);
 
-  /// Server-backed manager: transfers route through a server::CheckpointServer
+  /// Server-backed manager: transfers route through a checkpoint server
   /// (deterministic capacity, storm stagger, admission) instead of sampling
   /// independent BandwidthModel durations. The manager drives the server on
   /// its own monotone clock, one transfer at a time, so stagger jitter and
   /// rejections surface in the measured costs the planner feeds back on.
-  /// `link` is kept only for reporting (expected-cost queries).
+  /// `link` is kept only for reporting (expected-cost queries). Shorthand
+  /// for a 1-shard fleet; `server_config.seed` and `.tracer` supply the
+  /// runtime state FleetConfig::materialize() derives the shard from.
   CheckpointManager(net::BandwidthModel link,
                     const server::ServerConfig& server_config);
 
+  /// Fleet-backed manager: K sharded checkpoint servers behind a routing
+  /// policy (server::ServerFleet). A 1-shard fleet behaves exactly like the
+  /// ServerConfig overload.
+  CheckpointManager(net::BandwidthModel link,
+                    const server::FleetConfig& fleet_config,
+                    std::uint64_t seed,
+                    obs::EventTracer* tracer = nullptr);
+
   /// Serve/accept a transfer of `megabytes` for `job_id`. The transfer is
   /// cut off after `available_s` seconds (machine eviction); pass +inf for
-  /// an unconstrained transfer. Logged either way.
+  /// an unconstrained transfer. Logged either way. `machine_index` feeds
+  /// the fleet's rack-affine routing (ignored by 1-shard managers).
   TransferOutcome transfer(std::size_t job_id, TransferKind kind,
-                           double megabytes, double available_s);
+                           double megabytes, double available_s,
+                           std::size_t machine_index = 0);
 
   [[nodiscard]] const std::vector<TransferRecord>& log() const { return log_; }
   [[nodiscard]] const net::BandwidthModel& link() const { return link_; }
-  [[nodiscard]] bool server_backed() const { return server_ != nullptr; }
-  /// Server statistics; only meaningful when server_backed().
-  [[nodiscard]] const server::ServerStats& server_stats() const;
+  [[nodiscard]] bool server_backed() const { return fleet_ != nullptr; }
+  /// Fleet-wide aggregate statistics; only meaningful when server_backed().
+  [[nodiscard]] server::ServerStats server_stats() const;
+  /// Per-shard breakdown; only meaningful when server_backed().
+  [[nodiscard]] server::FleetStats fleet_stats() const;
 
   /// Total megabytes that traversed the network across all logged transfers.
   [[nodiscard]] double total_moved_mb() const;
@@ -67,7 +81,7 @@ class CheckpointManager {
  private:
   net::BandwidthModel link_;
   numerics::Rng rng_;
-  std::unique_ptr<server::CheckpointServer> server_;
+  std::unique_ptr<server::ServerFleet> fleet_;
   double server_clock_s_ = 0.0;
   std::vector<TransferRecord> log_;
 };

@@ -261,8 +261,9 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
 }
 
 /// Contended mode: a global discrete-event walk where every recovery and
-/// checkpoint transfer is a request against one server::CheckpointServer.
-/// Jobs interleave in simulated time, so simultaneous checkpoints queue for
+/// checkpoint transfer is a request against a server::ServerFleet (K
+/// sharded checkpoint servers; K=1 is the single-server case). Jobs
+/// interleave in simulated time, so simultaneous checkpoints queue for
 /// slots and slow each other down — the pool-wide interaction the paper's
 /// conclusion flags as unmodeled.
 class ContendedEngine {
@@ -270,12 +271,14 @@ class ContendedEngine {
   ContendedEngine(const std::vector<TimelinePool::MachineSpec>& specs,
                   const PoolSimConfig& config,
                   const std::vector<dist::DistributionPtr>& fitted,
-                  Matchmaker& matchmaker, std::uint64_t server_seed,
-                  std::vector<JobState>& jobs, double& last_finish)
+                  Matchmaker& matchmaker,
+                  const server::FleetConfig& fleet_config,
+                  std::uint64_t server_seed, std::vector<JobState>& jobs,
+                  double& last_finish)
       : config_(config),
         fitted_(fitted),
         matchmaker_(matchmaker),
-        server_(make_server_config(config, server_seed)),
+        fleet_(fleet_config, server_seed, config.tracer),
         jobs_(jobs),
         last_finish_(last_finish),
         occupied_(specs.size(), false),
@@ -290,7 +293,7 @@ class ContendedEngine {
       const double heap_t =
           heap_.empty() ? std::numeric_limits<double>::infinity()
                         : std::get<0>(heap_.top());
-      const auto server_next = server_.next_event_s();
+      const auto server_next = fleet_.next_event_s();
       const double server_t =
           server_next.value_or(std::numeric_limits<double>::infinity());
       if (!std::isfinite(heap_t) && !std::isfinite(server_t)) break;
@@ -298,7 +301,7 @@ class ContendedEngine {
       // the eviction instant counts as completed, matching the synchronous
       // walk's `full <= budget` rule.
       if (server_t <= heap_t) {
-        for (const auto& done : server_.advance_to(server_t)) {
+        for (const auto& done : fleet_.advance_to(server_t)) {
           handle_completion(done);
         }
         continue;
@@ -324,8 +327,8 @@ class ContendedEngine {
     }
   }
 
-  [[nodiscard]] const server::ServerStats& server_stats() const {
-    return server_.stats();
+  [[nodiscard]] server::FleetStats fleet_stats() const {
+    return fleet_.stats();
   }
 
  private:
@@ -342,7 +345,7 @@ class ContendedEngine {
     kBackoff,
     kDone
   };
-  enum class TransferKind : std::uint8_t { kRecovery, kCheckpoint };
+  using TransferKind = server::TransferKind;
 
   struct PerJob {
     Phase phase = Phase::kIdle;
@@ -360,14 +363,6 @@ class ContendedEngine {
     std::uint32_t backoff_attempts = 0;  ///< resets on a completed transfer
     double placement_mb = 0.0;           ///< bytes moved this placement
   };
-
-  static server::ServerConfig make_server_config(const PoolSimConfig& config,
-                                                 std::uint64_t seed) {
-    server::ServerConfig sc = *config.server;
-    sc.seed = seed;
-    sc.tracer = config.tracer;
-    return sc;
-  }
 
   void push_event(double t, EventKind kind, std::size_t job,
                   std::uint32_t gen) {
@@ -395,7 +390,7 @@ class ContendedEngine {
     st.uptime_at_start = match->uptime_s;
     st.placement_mb = 0.0;
     st.measured_cost =
-        config_.checkpoint_size_mb / server_.config().capacity_mbps;
+        config_.checkpoint_size_mb / fleet_.config().server.capacity_mbps;
     occupied_[st.machine] = true;
     occupied_until_[st.machine] = st.eviction_time;
     push_event(st.eviction_time, EventKind::kEvict, job_id, st.generation);
@@ -407,7 +402,7 @@ class ContendedEngine {
         // before hammering the server again.
         st.phase = Phase::kBackoff;
         push_event(
-            now + server_.backoff().delay_s(st.backoff_attempts - 1),
+            now + fleet_.backoff().delay_s(st.backoff_attempts - 1),
             EventKind::kRetry, job_id, st.generation);
       } else {
         submit_transfer(job_id, now);
@@ -446,20 +441,26 @@ class ContendedEngine {
     server::ServerTransferRequest req;
     req.job_id = job_id;
     req.megabytes = config_.checkpoint_size_mb;
+    // The traffic class rides the request: admission and the schedulers
+    // give recoveries headroom and service priority (admission.hpp), and
+    // the fleet's static routing shards on the submitting machine.
+    req.kind = st.transfer_kind;
+    req.machine_index = st.machine;
     // Only checkpoints carry the urgency hint: a checkpoint racing the
     // machine's predicted death has a committed chunk at risk, so jumping
     // the queue saves real work. A recovery has nothing committed yet —
     // fast-tracking it onto a machine predicted to die soon just starts a
-    // chunk that the eviction then destroys, so recoveries queue FIFO.
+    // chunk that the eviction then destroys, so recoveries queue FIFO
+    // within their class.
     if (st.transfer_kind == TransferKind::kCheckpoint) {
       req.predicted_remaining_s = predicted_remaining(job_id, now);
     }
-    const auto outcome = server_.submit(req, now);
+    const auto outcome = fleet_.submit(req, now);
     if (outcome.status == server::SubmitStatus::kRejected) {
       ++job.stats.rejected_submits;
       ++st.backoff_attempts;
       st.phase = Phase::kBackoff;
-      push_event(now + server_.backoff().delay_s(st.backoff_attempts - 1),
+      push_event(now + fleet_.backoff().delay_s(st.backoff_attempts - 1),
                  EventKind::kRetry, job_id, st.generation);
       return;
     }
@@ -544,7 +545,7 @@ class ContendedEngine {
         job.stats.lost_work_s += now - st.work_start;
         break;
       case Phase::kTransferring: {
-        const auto removal = server_.remove(st.transfer_id, now);
+        const auto removal = fleet_.remove(st.transfer_id, now);
         job.stats.moved_mb += removal.moved_mb;
         st.placement_mb += removal.moved_mb;
         pool_metrics().mb_moved.add(removal.moved_mb);
@@ -576,7 +577,7 @@ class ContendedEngine {
   const PoolSimConfig& config_;
   const std::vector<dist::DistributionPtr>& fitted_;
   Matchmaker& matchmaker_;
-  server::CheckpointServer server_;
+  server::ServerFleet fleet_;
   std::vector<JobState>& jobs_;
   double& last_finish_;
   std::vector<bool> occupied_;
@@ -602,6 +603,19 @@ PoolSimResult run_pool_simulation(
   if (config.job_count == 0 || !(config.work_per_job_s > 0.0) ||
       !(config.negotiation_interval_s > 0.0) || !(config.horizon_s > 0.0)) {
     throw std::invalid_argument("run_pool_simulation: bad config");
+  }
+  if (config.server.has_value() && config.fleet.has_value()) {
+    throw std::invalid_argument(
+        "run_pool_simulation: set `server` (1-shard shorthand) or `fleet`, "
+        "not both");
+  }
+  // `server` is sugar for a 1-shard fleet; from here on there is one code
+  // path, and K=1 is bit-identical to the old single-server engine.
+  std::optional<server::FleetConfig> fleet_config = config.fleet;
+  if (!fleet_config.has_value() && config.server.has_value()) {
+    server::FleetConfig fc;
+    fc.server = *config.server;
+    fleet_config = fc;
   }
 
   pool_metrics().runs.add();
@@ -634,12 +648,14 @@ PoolSimResult run_pool_simulation(
 
   PoolSimResult result;
   double last_finish = 0.0;
-  if (config.server.has_value()) {
+  if (fleet_config.has_value()) {
     ContendedEngine engine(machine_specs, config, fitted, matchmaker,
-                           master.next_u64(), jobs, last_finish);
+                           *fleet_config, master.next_u64(), jobs,
+                           last_finish);
     engine.run();
     result.server_enabled = true;
-    result.server = engine.server_stats();
+    result.fleet = engine.fleet_stats();
+    result.server = result.fleet.total;
   } else {
     run_uncontended(machine_specs, config, fitted, pool, matchmaker,
                     transfer_rng, jobs, last_finish);

@@ -20,7 +20,7 @@
 #include "harvest/core/planner.hpp"
 #include "harvest/net/bandwidth_model.hpp"
 #include "harvest/obs/tracer.hpp"
-#include "harvest/server/checkpoint_server.hpp"
+#include "harvest/server/fleet.hpp"
 
 namespace harvest::condor {
 
@@ -46,14 +46,21 @@ struct PoolSimConfig {
   /// job completions. Times are simulated pool seconds, so the Chrome-trace
   /// view of this tracer is the cluster's gantt chart.
   obs::EventTracer* tracer = nullptr;
-  /// Opt-in contended checkpoint server. When set, every job's recovery and
-  /// checkpoint transfer goes through ONE server::CheckpointServer —
-  /// transfers queue for slots, share the pipe TCP-fairly, and can be
-  /// staggered or rejected — instead of each sampling an independent
-  /// BandwidthModel duration. The server's `tracer` and `seed` fields are
-  /// overridden from this config (tracer above; seed derived from `seed`
-  /// below so runs stay deterministic).
+  /// Opt-in contended checkpoint server: shorthand for a 1-shard `fleet`
+  /// (below) and kept for callers that predate sharding. When set, every
+  /// job's recovery and checkpoint transfer contends for one
+  /// server::CheckpointServer — transfers queue for slots, share the pipe
+  /// TCP-fairly, and can be staggered or rejected — instead of each
+  /// sampling an independent BandwidthModel duration. The config's `seed`
+  /// and `tracer` fields are ignored: the engine derives per-shard runtime
+  /// state through server::FleetConfig::materialize() (seed from `seed`
+  /// above, tracer from `tracer` above). Setting both this and `fleet`
+  /// throws.
   std::optional<server::ServerConfig> server;
+  /// Full contended mode: K sharded checkpoint servers behind a routing
+  /// policy (server::ServerFleet). A 1-shard fleet is bit-identical to
+  /// `server`. Same materialize() contract for seed/tracer as above.
+  std::optional<server::FleetConfig> fleet;
 };
 
 struct PoolSimJobStats {
@@ -73,9 +80,13 @@ struct PoolSimJobStats {
 struct PoolSimResult {
   std::vector<PoolSimJobStats> jobs;
   double makespan_s = 0.0;  ///< last finisher (or horizon if any unfinished)
-  /// Filled when PoolSimConfig::server was set.
+  /// Filled when PoolSimConfig::server or ::fleet was set.
   bool server_enabled = false;
+  /// Fleet-wide aggregate (equals fleet.total; kept as the stable field
+  /// callers predating sharding read).
   server::ServerStats server;
+  /// Aggregate plus per-shard breakdown and imbalance.
+  server::FleetStats fleet;
 
   [[nodiscard]] std::size_t finished_count() const;
   [[nodiscard]] double mean_completion_s() const;  ///< finished jobs only

@@ -6,14 +6,31 @@
 
 namespace harvest::server {
 
+std::string to_string(TransferKind kind) {
+  switch (kind) {
+    case TransferKind::kCheckpoint:
+      return "checkpoint";
+    case TransferKind::kRecovery:
+      return "recovery";
+  }
+  return "unknown";
+}
+
 AdmissionController::AdmissionController(std::size_t slots,
-                                         std::size_t queue_limit)
-    : slots_(slots), queue_limit_(queue_limit) {}
+                                         std::size_t queue_limit,
+                                         std::size_t recovery_reserve)
+    : slots_(slots),
+      queue_limit_(queue_limit),
+      recovery_reserve_(std::min(recovery_reserve, queue_limit)) {}
 
 AdmissionDecision AdmissionController::decide(std::size_t active_count,
-                                              std::size_t queued_count) const {
+                                              std::size_t queued_count,
+                                              TransferKind kind) const {
   if (slots_ == 0 || active_count < slots_) return AdmissionDecision::kAdmit;
-  if (queued_count < queue_limit_) return AdmissionDecision::kQueue;
+  const std::size_t limit = kind == TransferKind::kRecovery
+                                ? queue_limit_
+                                : queue_limit_ - recovery_reserve_;
+  if (queued_count < limit) return AdmissionDecision::kQueue;
   return AdmissionDecision::kReject;
 }
 

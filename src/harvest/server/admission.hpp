@@ -4,12 +4,29 @@
 // clients retry with exponential backoff, so an overloaded server sheds
 // synchronized load instead of building an unbounded backlog — the classic
 // defense against the checkpoint storms the paper's conclusion warns about.
+//
+// Requests carry a traffic class (TransferKind). Recovery traffic outranks
+// checkpoint traffic under pressure: a job that cannot recover is stalled
+// outright, while a job that cannot checkpoint merely risks losing work it
+// has not committed yet. The controller can reserve queue headroom for
+// recoveries (checkpoints start rejecting while recoveries still queue);
+// the schedulers serve waiting recoveries first (transfer_scheduler.hpp).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace harvest::server {
+
+/// Traffic class of a transfer request. Recovery = a job pulling its last
+/// checkpoint so it can resume at all; checkpoint = a job persisting new
+/// work. Recovery outranks checkpoint at equal slot pressure.
+enum class TransferKind : std::uint8_t { kCheckpoint = 0, kRecovery = 1 };
+
+inline constexpr std::size_t kTransferKindCount = 2;
+
+[[nodiscard]] std::string to_string(TransferKind kind);
 
 enum class AdmissionDecision {
   kAdmit,   ///< a service slot is free: start transferring now
@@ -17,25 +34,36 @@ enum class AdmissionDecision {
   kReject,  ///< queue full: client must back off and retry
 };
 
-/// Pure admission policy: a function of the server's occupancy and limits.
-/// Kept separate from CheckpointServer so tests (and future policies —
-/// per-job quotas, bytes-in-flight caps) can exercise it in isolation.
+/// Pure admission policy: a function of the server's occupancy, limits, and
+/// the request's traffic class. Kept separate from CheckpointServer so
+/// tests (and future policies — per-job quotas, bytes-in-flight caps) can
+/// exercise it in isolation.
 class AdmissionController {
  public:
   /// `slots` == 0 means unbounded service (processor-sharing mode):
   /// everything admits. `queue_limit` bounds the number of *waiting*
   /// transfers; 0 disables queueing entirely (busy server rejects).
-  AdmissionController(std::size_t slots, std::size_t queue_limit);
+  /// `recovery_reserve` carves the last slots of the queue out for
+  /// recovery traffic: checkpoint requests reject once fewer than
+  /// `recovery_reserve` queue slots remain, recovery requests can use the
+  /// whole queue. 0 (the default) treats both classes identically.
+  AdmissionController(std::size_t slots, std::size_t queue_limit,
+                      std::size_t recovery_reserve = 0);
 
-  [[nodiscard]] AdmissionDecision decide(std::size_t active_count,
-                                         std::size_t queued_count) const;
+  [[nodiscard]] AdmissionDecision decide(
+      std::size_t active_count, std::size_t queued_count,
+      TransferKind kind = TransferKind::kCheckpoint) const;
 
   [[nodiscard]] std::size_t slots() const { return slots_; }
   [[nodiscard]] std::size_t queue_limit() const { return queue_limit_; }
+  [[nodiscard]] std::size_t recovery_reserve() const {
+    return recovery_reserve_;
+  }
 
  private:
   std::size_t slots_;
   std::size_t queue_limit_;
+  std::size_t recovery_reserve_;
 };
 
 /// Truncated binary exponential backoff: delay(attempt) = base * 2^attempt,

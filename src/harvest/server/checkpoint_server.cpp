@@ -49,6 +49,61 @@ ServerMetrics& metrics() {
 
 }  // namespace
 
+ServerStats& ServerStats::operator+=(const ServerStats& other) {
+  submitted += other.submitted;
+  started += other.started;
+  queued += other.queued;
+  deferred += other.deferred;
+  rejected += other.rejected;
+  completed += other.completed;
+  interrupted += other.interrupted;
+  moved_mb += other.moved_mb;
+  total_wait_s += other.total_wait_s;
+  total_service_s += other.total_service_s;
+  peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
+  peak_active = std::max(peak_active, other.peak_active);
+  for (std::size_t k = 0; k < kTransferKindCount; ++k) {
+    by_kind[k].submitted += other.by_kind[k].submitted;
+    by_kind[k].started += other.by_kind[k].started;
+    by_kind[k].rejected += other.by_kind[k].rejected;
+    by_kind[k].total_wait_s += other.by_kind[k].total_wait_s;
+  }
+  return *this;
+}
+
+ServerConfigValidation validate(const ServerConfig& config) {
+  ServerConfigValidation v;
+  v.effective = config;
+  if (config.policy == SchedulerPolicy::kFair && config.slots != 0) {
+    v.warnings.push_back(
+        "slots=" + std::to_string(config.slots) +
+        " is ignored by the fair policy (processor sharing serves every "
+        "admitted transfer); effective slots=0");
+    v.effective.slots = 0;
+  }
+  if (config.recovery_queue_reserve > config.queue_limit) {
+    v.warnings.push_back(
+        "recovery_queue_reserve=" +
+        std::to_string(config.recovery_queue_reserve) +
+        " exceeds queue_limit=" + std::to_string(config.queue_limit) +
+        "; clamped to the queue limit (checkpoints then always reject when "
+        "slots are busy)");
+    v.effective.recovery_queue_reserve = config.queue_limit;
+  }
+  if (config.policy != SchedulerPolicy::kUrgency &&
+      config.urgency_horizon_s != kDefaultUrgencyHorizonS) {
+    v.warnings.push_back(
+        "urgency_horizon_s is only read by the urgency policy; the " +
+        to_string(config.policy) + " policy ignores it");
+  }
+  if (config.stagger_window_s < 0.0) {
+    v.warnings.push_back(
+        "stagger_window_s < 0 disables the storm staggerer (same as 0)");
+    v.effective.stagger_window_s = 0.0;
+  }
+  return v;
+}
+
 std::string to_string(SubmitStatus status) {
   switch (status) {
     case SubmitStatus::kStarted:
@@ -64,16 +119,17 @@ std::string to_string(SubmitStatus status) {
 }
 
 CheckpointServer::CheckpointServer(const ServerConfig& config)
-    : config_(config),
-      scheduler_(make_scheduler(config.policy, config.urgency_horizon_s)),
-      admission_(scheduler_->unbounded_service() ? 0 : config.slots,
-                 config.queue_limit),
-      staggerer_(config.stagger_window_s, config.seed),
-      backoff_(config.retry_backoff_s, config.retry_backoff_cap_s) {
-  if (!(config.capacity_mbps > 0.0) || !std::isfinite(config.capacity_mbps)) {
+    : config_(validate(config).effective),
+      scheduler_(make_scheduler(config_.policy, config_.urgency_horizon_s)),
+      admission_(scheduler_->unbounded_service() ? 0 : config_.slots,
+                 config_.queue_limit, config_.recovery_queue_reserve),
+      staggerer_(config_.stagger_window_s, config_.seed),
+      backoff_(config_.retry_backoff_s, config_.retry_backoff_cap_s) {
+  if (!(config_.capacity_mbps > 0.0) ||
+      !std::isfinite(config_.capacity_mbps)) {
     throw std::invalid_argument("CheckpointServer: capacity must be > 0");
   }
-  if (config.slots == 0 && !scheduler_->unbounded_service()) {
+  if (config_.slots == 0 && !scheduler_->unbounded_service()) {
     throw std::invalid_argument("CheckpointServer: need at least one slot");
   }
 }
@@ -88,15 +144,18 @@ SubmitOutcome CheckpointServer::submit(const ServerTransferRequest& request,
   }
   drain_to(now);
   ++stats_.submitted;
+  ++stats_.of(request.kind).submitted;
   metrics().submitted.add();
 
   // The staggerer sees every submission (it tracks inter-arrival spacing);
   // its defer only matters if the request is not rejected.
   const double defer = staggerer_.defer_s(now);
 
-  const auto decision = admission_.decide(active_.size(), waiting_.size());
+  const auto decision =
+      admission_.decide(active_.size(), waiting_.size(), request.kind);
   if (decision == AdmissionDecision::kReject) {
     ++stats_.rejected;
+    ++stats_.of(request.kind).rejected;
     metrics().rejected.add();
     if (config_.tracer != nullptr) {
       config_.tracer->record_instant("server.rejected", "server", now,
@@ -112,6 +171,7 @@ SubmitOutcome CheckpointServer::submit(const ServerTransferRequest& request,
   pending.sched.arrival_s = now;
   pending.sched.eligible_s = now + defer;
   pending.sched.predicted_remaining_s = request.predicted_remaining_s;
+  pending.sched.kind = request.kind;
   pending.job_id = request.job_id;
   pending.megabytes = request.megabytes;
 
@@ -198,6 +258,7 @@ void CheckpointServer::drain_to(double t) {
         done.start_s = a.start_s;
         done.finish_s = clock_;
         done.megabytes = a.megabytes;
+        done.kind = a.kind;
         ++stats_.completed;
         stats_.moved_mb += a.megabytes;
         stats_.total_service_s += done.service_s();
@@ -288,13 +349,24 @@ void CheckpointServer::start_service(Pending pending) {
   a.remaining_mb = pending.megabytes;
   a.arrival_s = pending.sched.arrival_s;
   a.start_s = clock_;
+  a.kind = pending.sched.kind;
   ++stats_.started;
   stats_.total_wait_s += a.start_s - a.arrival_s;
+  auto& cls = stats_.of(a.kind);
+  ++cls.started;
+  cls.total_wait_s += a.start_s - a.arrival_s;
   stats_.peak_active = std::max(stats_.peak_active, active_.size() + 1);
   metrics().started.add();
   metrics().wait_s.observe(a.start_s - a.arrival_s);
   active_.push_back(a);
   set_queue_gauges();
+}
+
+double CheckpointServer::pending_mb() const {
+  double mb = 0.0;
+  for (const auto& a : active_) mb += std::max(0.0, a.remaining_mb);
+  for (const auto& w : waiting_) mb += w.megabytes;
+  return mb;
 }
 
 void CheckpointServer::set_queue_gauges() {

@@ -22,6 +22,7 @@
 // eligible). Everything is deterministic given the config seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -49,6 +50,11 @@ struct ServerConfig {
   std::size_t slots = 4;
   /// Waiting transfers beyond which admission rejects.
   std::size_t queue_limit = 64;
+  /// Queue headroom reserved for recovery traffic: checkpoint submissions
+  /// reject once fewer than this many queue slots remain free, recoveries
+  /// can fill the whole queue. 0 treats both classes identically at
+  /// admission (recoveries still outrank checkpoints in service order).
+  std::size_t recovery_queue_reserve = 0;
   SchedulerPolicy policy = SchedulerPolicy::kFifo;
   /// Urgency policy only: a transfer may jump the FIFO order only when its
   /// predicted remaining availability at submission is within this
@@ -60,13 +66,30 @@ struct ServerConfig {
   /// Truncated exponential backoff for rejected / interrupted clients.
   double retry_backoff_s = 30.0;
   double retry_backoff_cap_s = 1920.0;
-  /// Seeds the staggerer's jitter stream.
+  /// Seeds the staggerer's jitter stream. NOTE: when the server runs inside
+  /// a fleet or a pool simulation, this field and `tracer` are per-shard
+  /// runtime state derived in exactly one place —
+  /// FleetConfig::materialize() (fleet.hpp) — never taken from here.
   std::uint64_t seed = 0x5eedULL;
   /// Optional per-transfer timeline (category "server", track
   /// kServerTraceTrack): one complete event per finished or interrupted
-  /// transfer whose value is the megabytes that actually moved.
+  /// transfer whose value is the megabytes that actually moved. Runtime
+  /// state like `seed`; see FleetConfig::materialize().
   obs::EventTracer* tracer = nullptr;
 };
+
+/// Self-validation: returns the configuration the server will actually
+/// enforce plus a warning per adjusted knob — e.g. `slots` is ignored by
+/// the fair policy (processor sharing serves every admitted transfer), and
+/// `recovery_queue_reserve` is clamped to `queue_limit`. Hard errors
+/// (non-positive capacity, zero slots under a bounded policy) still throw
+/// from the CheckpointServer constructor; validate() only reports the
+/// silent adjustments.
+struct ServerConfigValidation {
+  ServerConfig effective;
+  std::vector<std::string> warnings;
+};
+[[nodiscard]] ServerConfigValidation validate(const ServerConfig& config);
 
 using TransferId = std::uint64_t;
 
@@ -77,6 +100,12 @@ struct ServerTransferRequest {
   /// the submitting machine (+inf when unknown). Smaller = more urgent.
   double predicted_remaining_s =
       std::numeric_limits<double>::infinity();
+  /// Traffic class: recoveries outrank checkpoints under slot pressure
+  /// (admission headroom + service order; see admission.hpp).
+  TransferKind kind = TransferKind::kCheckpoint;
+  /// Index of the submitting machine; the fleet's rack-affine (`static`)
+  /// routing shards on it. A standalone server ignores it.
+  std::size_t machine_index = 0;
 };
 
 enum class SubmitStatus { kStarted, kQueued, kDeferred, kRejected };
@@ -95,6 +124,7 @@ struct ServerCompletion {
   double start_s = 0.0;    ///< service entry (after queueing / stagger)
   double finish_s = 0.0;
   double megabytes = 0.0;
+  TransferKind kind = TransferKind::kCheckpoint;
 
   [[nodiscard]] double wait_s() const { return start_s - arrival_s; }
   [[nodiscard]] double service_s() const { return finish_s - start_s; }
@@ -104,6 +134,19 @@ struct ServerRemoval {
   bool found = false;
   bool was_active = false;  ///< in service (vs still waiting) when removed
   double moved_mb = 0.0;    ///< bytes on the wire before the interruption
+};
+
+/// Per-traffic-class slice of the server's ledger (indexed by
+/// TransferKind).
+struct ClassStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t started = 0;  ///< entered service
+  std::uint64_t rejected = 0;
+  double total_wait_s = 0.0;  ///< over transfers that entered service
+
+  [[nodiscard]] double mean_wait_s() const {
+    return started > 0 ? total_wait_s / static_cast<double>(started) : 0.0;
+  }
 };
 
 struct ServerStats {
@@ -119,6 +162,9 @@ struct ServerStats {
   double total_service_s = 0.0;   ///< over completed transfers
   std::size_t peak_queue_depth = 0;
   std::size_t peak_active = 0;
+  /// Traffic-class breakdown, indexed by TransferKind (0 = checkpoint,
+  /// 1 = recovery).
+  std::array<ClassStats, kTransferKindCount> by_kind{};
 
   [[nodiscard]] double mean_wait_s() const {
     return started > 0 ? total_wait_s / static_cast<double>(started) : 0.0;
@@ -127,6 +173,17 @@ struct ServerStats {
     return completed > 0 ? total_service_s / static_cast<double>(completed)
                          : 0.0;
   }
+  [[nodiscard]] const ClassStats& of(TransferKind kind) const {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] ClassStats& of(TransferKind kind) {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+
+  /// Fleet aggregation: counters and totals add, peaks take the max (the
+  /// shards are independent servers, so fleet-wide concurrent peaks are
+  /// not knowable from per-shard peaks; max is the honest lower bound).
+  ServerStats& operator+=(const ServerStats& other);
 };
 
 class CheckpointServer {
@@ -157,6 +214,10 @@ class CheckpointServer {
   [[nodiscard]] const ExponentialBackoff& backoff() const { return backoff_; }
   [[nodiscard]] std::size_t active_count() const { return active_.size(); }
   [[nodiscard]] std::size_t queued_count() const { return waiting_.size(); }
+  /// Megabytes still to serve: remaining bytes of in-service transfers (as
+  /// of this server's clock) plus full sizes of waiting ones. The fleet's
+  /// least-loaded router keys on this.
+  [[nodiscard]] double pending_mb() const;
   [[nodiscard]] double clock_s() const { return clock_; }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t staggered_count() const {
@@ -171,6 +232,7 @@ class CheckpointServer {
     double remaining_mb = 0.0;
     double arrival_s = 0.0;
     double start_s = 0.0;
+    TransferKind kind = TransferKind::kCheckpoint;
   };
   struct Pending {
     WaitingTransfer sched;  ///< what the scheduler sees

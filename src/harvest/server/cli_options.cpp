@@ -1,0 +1,156 @@
+#include "harvest/server/cli_options.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace harvest::server {
+namespace {
+
+/// Strip `--<name> <value>` / `--<name>=<value>` from argv; nullopt when
+/// the flag is absent. Throws when the flag is present without a value.
+std::optional<std::string> strip_value_flag(int& argc, char** argv,
+                                            const char* name) {
+  const std::string bare = std::string("--") + name;
+  const std::string eq = bare + "=";
+  std::optional<std::string> value;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(bare + " needs a value");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      value = argv[i] + eq.size();
+    } else {
+      argv[write++] = argv[i];
+    }
+  }
+  argc = write;
+  return value;
+}
+
+std::size_t parse_count(const std::string& flag, const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long n = 0;
+  try {
+    n = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + flag + ": not a count: " + value);
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("--" + flag + ": not a count: " + value);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+double parse_nonneg(const std::string& flag, const std::string& value) {
+  std::size_t pos = 0;
+  double x = 0.0;
+  try {
+    x = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + flag + ": not a number: " + value);
+  }
+  if (pos != value.size() || !(x >= 0.0)) {
+    throw std::invalid_argument("--" + flag +
+                                ": expected a number >= 0, got " + value);
+  }
+  return x;
+}
+
+}  // namespace
+
+CliOptions CliOptions::parse(int& argc, char** argv) {
+  CliOptions o;
+  if (const auto v = strip_value_flag(argc, argv, "server-policy")) {
+    o.policy = policy_from_string(*v);
+  }
+  if (const auto v = strip_value_flag(argc, argv, "server-slots")) {
+    o.slots = parse_count("server-slots", *v);
+  }
+  if (const auto v = strip_value_flag(argc, argv, "server-capacity")) {
+    const double x = parse_nonneg("server-capacity", *v);
+    if (!(x > 0.0)) {
+      throw std::invalid_argument("--server-capacity must be > 0");
+    }
+    o.capacity_mbps = x;
+  }
+  if (const auto v = strip_value_flag(argc, argv, "server-stagger")) {
+    o.stagger_window_s = parse_nonneg("server-stagger", *v);
+  }
+  if (const auto v =
+          strip_value_flag(argc, argv, "server-urgency-horizon")) {
+    o.urgency_horizon_s = parse_nonneg("server-urgency-horizon", *v);
+  }
+  if (const auto v = strip_value_flag(argc, argv, "server-queue-limit")) {
+    o.queue_limit = parse_count("server-queue-limit", *v);
+  }
+  if (const auto v =
+          strip_value_flag(argc, argv, "server-recovery-reserve")) {
+    o.recovery_reserve = parse_count("server-recovery-reserve", *v);
+  }
+  if (const auto v = strip_value_flag(argc, argv, "fleet-shards")) {
+    const std::size_t n = parse_count("fleet-shards", *v);
+    if (n == 0 || n > kMaxFleetShards) {
+      throw std::invalid_argument(
+          "--fleet-shards must be in [1, " +
+          std::to_string(kMaxFleetShards) + "]");
+    }
+    o.fleet_shards = n;
+  }
+  if (const auto v = strip_value_flag(argc, argv, "fleet-routing")) {
+    o.fleet_routing = routing_from_string(*v);
+  }
+  return o;
+}
+
+std::string CliOptions::help_text() {
+  return
+      "server flags (checkpoint server; any enables contended mode):\n"
+      "  --server-policy <fifo|fair|urgency>\n"
+      "  --server-slots <n>       concurrent-transfer slots (0 = unbounded)\n"
+      "  --server-capacity <MB/s>\n"
+      "  --server-stagger <s>     storm-avoidance jitter window\n"
+      "  --server-urgency-horizon <s>  imminence horizon (urgency policy)\n"
+      "  --server-queue-limit <n> waiting transfers beyond which admission\n"
+      "                           rejects\n"
+      "  --server-recovery-reserve <n>  queue slots held for recovery\n"
+      "                           traffic (checkpoints reject earlier)\n"
+      "fleet flags (shard the server K ways):\n"
+      "  --fleet-shards <k>       independent checkpoint servers (default 1)\n"
+      "  --fleet-routing <static|hash|least_loaded>\n";
+}
+
+bool CliOptions::any() const {
+  return policy.has_value() || slots.has_value() ||
+         capacity_mbps.has_value() || stagger_window_s.has_value() ||
+         urgency_horizon_s.has_value() || queue_limit.has_value() ||
+         recovery_reserve.has_value() || fleet_shards.has_value() ||
+         fleet_routing.has_value();
+}
+
+ServerConfig CliOptions::server_config(ServerConfig base) const {
+  if (policy) base.policy = *policy;
+  if (slots) base.slots = *slots;
+  if (capacity_mbps) base.capacity_mbps = *capacity_mbps;
+  if (stagger_window_s) base.stagger_window_s = *stagger_window_s;
+  if (urgency_horizon_s) base.urgency_horizon_s = *urgency_horizon_s;
+  if (queue_limit) base.queue_limit = *queue_limit;
+  if (recovery_reserve) base.recovery_queue_reserve = *recovery_reserve;
+  return base;
+}
+
+FleetConfig CliOptions::fleet_config(ServerConfig base) const {
+  FleetConfig fc;
+  fc.server = server_config(base);
+  if (fleet_shards) fc.shards = *fleet_shards;
+  if (fleet_routing) fc.routing = *fleet_routing;
+  return fc;
+}
+
+std::vector<std::string> CliOptions::warnings() const {
+  return fleet_config().validate().warnings;
+}
+
+}  // namespace harvest::server

@@ -1,0 +1,62 @@
+// Shared command-line surface for the checkpoint server / fleet knobs.
+// Every binary that exposes server options (examples/harvestctl,
+// bench/server_contention, bench/fleet_sharding) parses them through this
+// one helper, so flag names, value validation, help text, and defaulting
+// cannot drift between front ends.
+//
+// Usage:
+//   auto opts = server::CliOptions::parse(argc, argv);  // strips the flags
+//   if (opts.any()) { cfg.fleet = opts.fleet_config(); }
+//   for (const auto& w : opts.warnings()) fprintf(stderr, "%s\n", w);
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harvest/server/fleet.hpp"
+
+namespace harvest::server {
+
+struct CliOptions {
+  // Per-server knobs (--server-*). Unset fields keep the ServerConfig /
+  // FleetConfig defaults, so "any flag present" is detectable via any().
+  std::optional<SchedulerPolicy> policy;
+  std::optional<std::size_t> slots;
+  std::optional<double> capacity_mbps;
+  std::optional<double> stagger_window_s;
+  std::optional<double> urgency_horizon_s;
+  std::optional<std::size_t> queue_limit;
+  std::optional<std::size_t> recovery_reserve;
+  // Fleet knobs (--fleet-*).
+  std::optional<std::size_t> fleet_shards;
+  std::optional<RoutingPolicy> fleet_routing;
+
+  /// Strip every recognised `--flag value` / `--flag=value` pair from argv
+  /// (same in-place compaction idiom as the callers' other flags) and
+  /// return the parsed options. Throws std::invalid_argument on a
+  /// malformed value or a flag missing its value.
+  static CliOptions parse(int& argc, char** argv);
+
+  /// The uniform help block describing every flag parse() understands,
+  /// ready to embed in a usage() message.
+  static std::string help_text();
+
+  /// True when at least one server/fleet flag was given — front ends use
+  /// this as the "enable contended mode" switch.
+  [[nodiscard]] bool any() const;
+
+  /// `base` with the set per-server fields applied.
+  [[nodiscard]] ServerConfig server_config(ServerConfig base = {}) const;
+
+  /// Full fleet view: server_config(base) plus shard count / routing.
+  [[nodiscard]] FleetConfig fleet_config(ServerConfig base = {}) const;
+
+  /// Validation warnings for the resulting fleet_config() — what the
+  /// engine will silently adjust (e.g. fair policy ignoring slots). Front
+  /// ends print these so the adjustment is not silent.
+  [[nodiscard]] std::vector<std::string> warnings() const;
+};
+
+}  // namespace harvest::server

@@ -1,0 +1,180 @@
+#include "harvest/server/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace harvest::server {
+namespace {
+
+/// splitmix64 finalizer: the job-id hash for kHash routing and the
+/// per-shard seed mixer. Chosen for full avalanche so consecutive job ids
+/// (and shard indices) spread uniformly.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string to_string(RoutingPolicy routing) {
+  switch (routing) {
+    case RoutingPolicy::kStatic:
+      return "static";
+    case RoutingPolicy::kHash:
+      return "hash";
+    case RoutingPolicy::kLeastLoaded:
+      return "least_loaded";
+  }
+  return "unknown";
+}
+
+RoutingPolicy routing_from_string(const std::string& name) {
+  if (name == "static") return RoutingPolicy::kStatic;
+  if (name == "hash") return RoutingPolicy::kHash;
+  if (name == "least_loaded" || name == "least-loaded") {
+    return RoutingPolicy::kLeastLoaded;
+  }
+  throw std::invalid_argument("unknown routing policy: " + name +
+                              " (expected static|hash|least_loaded)");
+}
+
+ServerConfig FleetConfig::materialize(std::size_t shard_idx,
+                                      std::uint64_t seed,
+                                      obs::EventTracer* tracer) const {
+  ServerConfig sc = server;
+  // Shard 0 keeps the fleet seed verbatim: a 1-shard fleet must drive an
+  // RNG stream bit-identical to a standalone server seeded with `seed`.
+  sc.seed = shard_idx == 0 ? seed : mix64(seed ^ mix64(shard_idx));
+  sc.tracer = tracer;
+  return sc;
+}
+
+ServerConfigValidation FleetConfig::validate() const {
+  if (shards == 0) {
+    throw std::invalid_argument("FleetConfig: need at least one shard");
+  }
+  if (shards > kMaxFleetShards) {
+    throw std::invalid_argument(
+        "FleetConfig: at most " + std::to_string(kMaxFleetShards) +
+        " shards (the shard index must fit the TransferId tag bits)");
+  }
+  auto v = server::validate(server);
+  if (shards == 1 && routing == RoutingPolicy::kLeastLoaded) {
+    v.warnings.push_back(
+        "least_loaded routing is a no-op with a single shard");
+  }
+  return v;
+}
+
+double FleetStats::imbalance_ratio() const {
+  if (shards.empty() || !(total.moved_mb > 0.0)) return 1.0;
+  double peak = 0.0;
+  for (const auto& s : shards) peak = std::max(peak, s.moved_mb);
+  const double mean = total.moved_mb / static_cast<double>(shards.size());
+  return peak / mean;
+}
+
+ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed,
+                         obs::EventTracer* tracer)
+    : config_(config) {
+  const auto v = config.validate();  // throws on hard errors
+  (void)v;
+  shards_.reserve(config.shards);
+  shard_wait_s_.reserve(config.shards);
+  for (std::size_t k = 0; k < config.shards; ++k) {
+    shards_.push_back(std::make_unique<CheckpointServer>(
+        config.materialize(k, seed, tracer)));
+    shard_wait_s_.push_back(&obs::default_registry().histogram(
+        "server.fleet.shard" + std::to_string(k) + ".wait_s"));
+  }
+}
+
+TransferId ServerFleet::to_fleet_id(std::size_t shard,
+                                    TransferId local) const {
+  return (static_cast<TransferId>(shard) << (64 - kFleetShardBits)) | local;
+}
+
+std::size_t ServerFleet::route(const ServerTransferRequest& request) const {
+  const std::size_t n = shards_.size();
+  if (n == 1) return 0;
+  switch (config_.routing) {
+    case RoutingPolicy::kStatic:
+      return request.machine_index % n;
+    case RoutingPolicy::kHash:
+      return static_cast<std::size_t>(mix64(request.job_id) % n);
+    case RoutingPolicy::kLeastLoaded: {
+      std::size_t best = 0;
+      double best_mb = shards_[0]->pending_mb();
+      for (std::size_t k = 1; k < n; ++k) {
+        const double mb = shards_[k]->pending_mb();
+        if (mb < best_mb) {
+          best = k;
+          best_mb = mb;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+SubmitOutcome ServerFleet::submit(const ServerTransferRequest& request,
+                                  double now) {
+  const std::size_t shard = route(request);
+  SubmitOutcome outcome = shards_[shard]->submit(request, now);
+  if (outcome.status != SubmitStatus::kRejected) {
+    outcome.id = to_fleet_id(shard, outcome.id);
+  }
+  return outcome;
+}
+
+std::optional<double> ServerFleet::next_event_s() const {
+  std::optional<double> next;
+  for (const auto& s : shards_) {
+    const auto e = s->next_event_s();
+    if (e.has_value() && (!next.has_value() || *e < *next)) next = e;
+  }
+  return next;
+}
+
+std::vector<ServerCompletion> ServerFleet::advance_to(double t) {
+  std::vector<ServerCompletion> done;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    for (auto& c : shards_[k]->advance_to(t)) {
+      c.id = to_fleet_id(k, c.id);
+      shard_wait_s_[k]->observe(c.wait_s());
+      done.push_back(c);
+    }
+  }
+  // Merge shards' (individually ordered) completion streams into global
+  // finish order; stable sort keeps equal-time completions in shard order,
+  // so the merged stream is deterministic.
+  std::stable_sort(done.begin(), done.end(),
+                   [](const ServerCompletion& a, const ServerCompletion& b) {
+                     return a.finish_s < b.finish_s;
+                   });
+  return done;
+}
+
+ServerRemoval ServerFleet::remove(TransferId id, double now) {
+  const std::size_t shard = shard_of(id);
+  if (shard >= shards_.size()) return {};
+  const TransferId local =
+      id & ((TransferId{1} << (64 - kFleetShardBits)) - 1);
+  return shards_[shard]->remove(local, now);
+}
+
+FleetStats ServerFleet::stats() const {
+  FleetStats fs;
+  fs.shards.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    fs.shards.push_back(s->stats());
+    fs.total += s->stats();
+  }
+  return fs;
+}
+
+}  // namespace harvest::server

@@ -1,0 +1,146 @@
+// ServerFleet: K independent CheckpointServer shards behind the single
+// submit / advance_to / remove / next_event_s facade a simulation engine
+// already drives. One checkpoint server saturates well before the paper's
+// ~640-machine Condor pool — checkpoint I/O bandwidth, not compute, bounds
+// utilization at scale — so sites deploy one server per rack and route
+// traffic across them. The fleet models exactly that:
+//
+//   * routing is pluggable: `static` shards on machine index (rack-affine
+//     — a machine always checkpoints to its rack's server), `hash` shards
+//     on a job-id hash (job-affine — a job's checkpoint and its later
+//     recovery meet the same server wherever the job lands), and
+//     `least_loaded` picks the shard with the fewest queued + in-service
+//     megabytes at submission;
+//   * every shard is an unmodified CheckpointServer, so admission control,
+//     traffic classes, scheduling policy, and storm staggering all apply
+//     per shard; a 1-shard fleet is bit-identical to driving the server
+//     directly;
+//   * per-shard runtime state (RNG seed, tracer) is derived in exactly ONE
+//     documented place, FleetConfig::materialize(), replacing the old
+//     silent "seed and tracer are overridden" contract;
+//   * stats aggregate across shards (FleetStats), including the imbalance
+//     ratio routing quality is judged by, and each shard feeds a
+//     `server.fleet.shard<k>.wait_s` histogram in the default
+//     obs::MetricsRegistry so per-shard wait percentiles are scrapeable.
+//
+// TransferIds are fleet-global: the owning shard index lives in the top
+// bits (shard 0 ids are unchanged, preserving single-server bit-identity),
+// so remove() needs no lookup table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/tracer.hpp"
+#include "harvest/server/checkpoint_server.hpp"
+
+namespace harvest::server {
+
+/// How submissions are spread across shards.
+enum class RoutingPolicy {
+  kStatic,      ///< machine_index % shards (rack-affine)
+  kHash,        ///< splitmix64(job_id) % shards (job-affine)
+  kLeastLoaded  ///< fewest queued + in-service megabytes; ties → lowest idx
+};
+
+[[nodiscard]] std::string to_string(RoutingPolicy routing);
+[[nodiscard]] RoutingPolicy routing_from_string(const std::string& name);
+
+/// Shard index bits reserved in the top of a fleet TransferId.
+inline constexpr unsigned kFleetShardBits = 10;
+inline constexpr std::size_t kMaxFleetShards = std::size_t{1}
+                                               << kFleetShardBits;
+
+struct FleetConfig {
+  std::size_t shards = 1;
+  RoutingPolicy routing = RoutingPolicy::kStatic;
+  /// Static per-shard knobs (capacity, slots, queue, policy, stagger,
+  /// backoff). The `seed` and `tracer` fields of this template are NOT
+  /// used — materialize() derives them per shard from its arguments.
+  ServerConfig server;
+
+  /// The one place per-shard runtime state is derived: returns the
+  /// ServerConfig shard `shard_idx` actually runs with. `seed` is mixed
+  /// with the shard index (shard 0 keeps `seed` verbatim, so a 1-shard
+  /// fleet is bit-identical to a single server seeded with `seed`);
+  /// `tracer` is attached as-is. Everything else copies from `server`.
+  [[nodiscard]] ServerConfig materialize(std::size_t shard_idx,
+                                         std::uint64_t seed,
+                                         obs::EventTracer* tracer) const;
+
+  /// Shard-count/routing checks plus the per-shard ServerConfig's own
+  /// validate() warnings. Throws std::invalid_argument on hard errors
+  /// (0 shards, more than kMaxFleetShards).
+  [[nodiscard]] ServerConfigValidation validate() const;
+};
+
+/// Aggregated fleet ledger: the sum plus the per-shard breakdown.
+struct FleetStats {
+  ServerStats total;
+  std::vector<ServerStats> shards;
+
+  /// max over shards of moved_mb, divided by the per-shard mean — 1.0 is a
+  /// perfectly balanced fleet, K is everything-on-one-shard. 1.0 when no
+  /// bytes moved anywhere.
+  [[nodiscard]] double imbalance_ratio() const;
+};
+
+class ServerFleet {
+ public:
+  /// `seed`/`tracer` are the fleet-level runtime state each shard's config
+  /// is materialized from (see FleetConfig::materialize).
+  ServerFleet(const FleetConfig& config, std::uint64_t seed,
+              obs::EventTracer* tracer = nullptr);
+
+  /// Route and submit. The returned id is fleet-global (shard in the top
+  /// bits); pass it back to remove(). Same monotone-time contract as
+  /// CheckpointServer::submit, fleet-wide.
+  SubmitOutcome submit(const ServerTransferRequest& request, double now);
+
+  /// Earliest event over all shards; nullopt when the whole fleet idles.
+  [[nodiscard]] std::optional<double> next_event_s() const;
+
+  /// Advance every shard to `t`; completions are merged in finish order
+  /// (ties: lowest shard first) and carry fleet-global ids.
+  std::vector<ServerCompletion> advance_to(double t);
+
+  /// Eviction by fleet-global id; dispatches to the owning shard.
+  ServerRemoval remove(TransferId id, double now);
+
+  /// Which shard a request would go to right now (exposed for tests and
+  /// for callers that want routing introspection; least_loaded depends on
+  /// current shard load, so the answer is only stable until the next
+  /// submit/advance).
+  [[nodiscard]] std::size_t route(const ServerTransferRequest& request) const;
+
+  /// Shard that owns a fleet-global TransferId.
+  [[nodiscard]] static std::size_t shard_of(TransferId id) {
+    return static_cast<std::size_t>(id >> (64 - kFleetShardBits));
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const CheckpointServer& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+  /// All shards share one backoff schedule (same base/cap).
+  [[nodiscard]] const ExponentialBackoff& backoff() const {
+    return shards_.front()->backoff();
+  }
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+  [[nodiscard]] FleetStats stats() const;
+
+ private:
+  [[nodiscard]] TransferId to_fleet_id(std::size_t shard,
+                                       TransferId local) const;
+
+  FleetConfig config_;
+  std::vector<std::unique_ptr<CheckpointServer>> shards_;
+  /// Cached per-shard wait histograms ("server.fleet.shard<k>.wait_s").
+  std::vector<obs::Histogram*> shard_wait_s_;
+};
+
+}  // namespace harvest::server

@@ -1,6 +1,7 @@
 #include "harvest/server/transfer_scheduler.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 namespace harvest::server {
@@ -41,11 +42,35 @@ namespace {
   return best;
 }
 
+/// Class priority shared by every policy: if any RECOVERY is waiting, the
+/// next transfer to serve is the earliest-arrived recovery; the policy's
+/// own rule only orders the checkpoint class. Returns the pick, or nullopt
+/// when no recovery waits.
+[[nodiscard]] std::optional<std::size_t> recovery_pick(
+    const std::vector<WaitingTransfer>& waiting) {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    const auto& w = waiting[i];
+    if (w.kind != TransferKind::kRecovery) continue;
+    if (!best.has_value()) {
+      best = i;
+      continue;
+    }
+    const auto& b = waiting[*best];
+    if (w.arrival_s < b.arrival_s ||
+        (w.arrival_s == b.arrival_s && w.id < b.id)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
 class FifoScheduler final : public TransferScheduler {
  public:
   [[nodiscard]] std::size_t pick_next(
       const std::vector<WaitingTransfer>& waiting,
       double /*now*/) const override {
+    if (const auto r = recovery_pick(waiting)) return *r;
     return fifo_pick(waiting);
   }
   [[nodiscard]] SchedulerPolicy policy() const override {
@@ -57,10 +82,11 @@ class FairScheduler final : public TransferScheduler {
  public:
   // With unbounded service nothing ever waits for a slot; a transfer is
   // only parked while storm-avoidance defers it, so FIFO order among the
-  // eligible is the natural (and deterministic) choice.
+  // eligible (recoveries first) is the natural deterministic choice.
   [[nodiscard]] std::size_t pick_next(
       const std::vector<WaitingTransfer>& waiting,
       double /*now*/) const override {
+    if (const auto r = recovery_pick(waiting)) return *r;
     return fifo_pick(waiting);
   }
   [[nodiscard]] bool unbounded_service() const override { return true; }
@@ -73,17 +99,20 @@ class UrgencyScheduler final : public TransferScheduler {
  public:
   explicit UrgencyScheduler(double horizon_s) : horizon_s_(horizon_s) {}
 
-  // FIFO, except that transfers flagged urgent at submission — predicted
-  // remaining availability within the imminence horizon — jump the queue,
-  // earliest predicted death (arrival + predicted remaining) first. The
-  // urgent class is decided by the submission-time prediction alone, NOT by
-  // time spent waiting: if long waiters aged into the urgent set, a
-  // saturated queue would migrate wholesale into it and the policy would
-  // collapse back to global earliest-deadline-first, whose differential
-  // service destabilizes the planners' cost feedback (see the header).
+  // FIFO, except that CHECKPOINT transfers flagged urgent at submission —
+  // predicted remaining availability within the imminence horizon — jump
+  // the queue, earliest predicted death (arrival + predicted remaining)
+  // first. Waiting recoveries outrank even urgent checkpoints (class
+  // priority, see the header). The urgent class is decided by the
+  // submission-time prediction alone, NOT by time spent waiting: if long
+  // waiters aged into the urgent set, a saturated queue would migrate
+  // wholesale into it and the policy would collapse back to global
+  // earliest-deadline-first, whose differential service destabilizes the
+  // planners' cost feedback (see the header).
   [[nodiscard]] std::size_t pick_next(
       const std::vector<WaitingTransfer>& waiting,
       double /*now*/) const override {
+    if (const auto r = recovery_pick(waiting)) return *r;
     bool have_urgent = false;
     std::size_t best = 0;
     for (std::size_t i = 0; i < waiting.size(); ++i) {

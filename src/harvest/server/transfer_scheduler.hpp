@@ -29,6 +29,14 @@
 //               that were already racing death when they arrived keeps
 //               the bulk of traffic in FIFO's stable feedback
 //               equilibrium.
+//
+// Traffic classes (admission.hpp) cut across every policy: waiting
+// RECOVERY transfers always enter service before waiting checkpoints —
+// a job that cannot recover is stalled outright, while a job that cannot
+// checkpoint merely risks losing uncommitted work. Recoveries are served
+// FIFO among themselves (fast-tracking a recovery onto a machine predicted
+// to die soon just starts a chunk the eviction then destroys, so the
+// urgency jump applies to the checkpoint class only).
 #pragma once
 
 #include <cstdint>
@@ -36,6 +44,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "harvest/server/admission.hpp"
 
 namespace harvest::server {
 
@@ -56,6 +66,9 @@ struct WaitingTransfer {
   /// Predicted remaining availability of the submitting machine at
   /// submission (+inf when the submitter has no model to ask).
   double predicted_remaining_s = std::numeric_limits<double>::infinity();
+  /// Traffic class: waiting recoveries outrank waiting checkpoints under
+  /// every policy (see the header comment).
+  TransferKind kind = TransferKind::kCheckpoint;
 };
 
 class TransferScheduler {

@@ -6,8 +6,10 @@
 #include "harvest/condor/pool_simulation.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -170,6 +172,97 @@ TEST(PoolSimulationServer, FairPolicyRunsWithZeroSlots) {
   const auto res = run_pool_simulation(park(24), cfg);
   EXPECT_EQ(res.finished_count(), 6u);
   EXPECT_DOUBLE_EQ(res.server.total_wait_s, 0.0);  // nothing ever queues
+}
+
+TEST(PoolSimulationFleet, OneShardFleetMatchesLegacyServerOption) {
+  // cfg.server is documented as shorthand for a 1-shard fleet: spelling
+  // the fleet out explicitly must reproduce the legacy run bit for bit.
+  const auto legacy = run_pool_simulation(park(24), server_config());
+  auto cfg = server_config();
+  server::FleetConfig fleet;
+  fleet.shards = 1;
+  fleet.routing = server::RoutingPolicy::kStatic;
+  fleet.server = *cfg.server;
+  cfg.server.reset();
+  cfg.fleet = fleet;
+  const auto explicit_fleet = run_pool_simulation(park(24), cfg);
+
+  EXPECT_DOUBLE_EQ(legacy.makespan_s, explicit_fleet.makespan_s);
+  EXPECT_DOUBLE_EQ(legacy.total_moved_mb(), explicit_fleet.total_moved_mb());
+  EXPECT_EQ(legacy.server.submitted, explicit_fleet.server.submitted);
+  EXPECT_DOUBLE_EQ(legacy.server.total_wait_s,
+                   explicit_fleet.server.total_wait_s);
+  ASSERT_EQ(legacy.jobs.size(), explicit_fleet.jobs.size());
+  for (std::size_t i = 0; i < legacy.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy.jobs[i].completion_s,
+                     explicit_fleet.jobs[i].completion_s);
+    EXPECT_DOUBLE_EQ(legacy.jobs[i].moved_mb, explicit_fleet.jobs[i].moved_mb);
+  }
+  ASSERT_EQ(explicit_fleet.fleet.shards.size(), 1u);
+}
+
+TEST(PoolSimulationFleet, SettingBothServerAndFleetThrows) {
+  auto cfg = server_config();
+  cfg.fleet = server::FleetConfig{};
+  EXPECT_THROW((void)run_pool_simulation(park(24), cfg),
+               std::invalid_argument);
+}
+
+TEST(PoolSimulationFleet, ShardedFleetRunsAndConservesBytes) {
+  for (const auto routing :
+       {server::RoutingPolicy::kStatic, server::RoutingPolicy::kHash,
+        server::RoutingPolicy::kLeastLoaded}) {
+    auto cfg = server_config();
+    server::FleetConfig fleet;
+    fleet.shards = 3;
+    fleet.routing = routing;
+    fleet.server = *cfg.server;
+    cfg.server.reset();
+    cfg.fleet = fleet;
+    cfg.job_count = 12;
+    const auto res = run_pool_simulation(park(24), cfg);
+    EXPECT_TRUE(res.server_enabled);
+    EXPECT_EQ(res.finished_count(), 12u);
+    ASSERT_EQ(res.fleet.shards.size(), 3u);
+    // The stable `server` field is the fleet aggregate.
+    EXPECT_EQ(res.server.submitted, res.fleet.total.submitted);
+    EXPECT_DOUBLE_EQ(res.server.moved_mb, res.fleet.total.moved_mb);
+    // Per-shard ledgers sum to the aggregate and bytes balance with jobs.
+    double shard_mb = 0.0;
+    std::uint64_t shard_submitted = 0;
+    for (const auto& s : res.fleet.shards) {
+      shard_mb += s.moved_mb;
+      shard_submitted += s.submitted;
+    }
+    EXPECT_NEAR(shard_mb, res.fleet.total.moved_mb,
+                1e-9 * std::max(1.0, shard_mb));
+    EXPECT_EQ(shard_submitted, res.fleet.total.submitted);
+    EXPECT_NEAR(res.server.moved_mb, res.total_moved_mb(),
+                1e-6 * res.total_moved_mb());
+    EXPECT_GE(res.fleet.imbalance_ratio(), 1.0);
+  }
+}
+
+TEST(PoolSimulationFleet, ShardedFleetIsDeterministicPerSeed) {
+  auto make_cfg = [] {
+    auto cfg = server_config();
+    server::FleetConfig fleet;
+    fleet.shards = 4;
+    fleet.routing = server::RoutingPolicy::kHash;
+    fleet.server = *cfg.server;
+    cfg.server.reset();
+    cfg.fleet = fleet;
+    return cfg;
+  };
+  const auto a = run_pool_simulation(park(24), make_cfg());
+  const auto b = run_pool_simulation(park(24), make_cfg());
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.server.submitted, b.server.submitted);
+  ASSERT_EQ(a.fleet.shards.size(), b.fleet.shards.size());
+  for (std::size_t k = 0; k < a.fleet.shards.size(); ++k) {
+    EXPECT_EQ(a.fleet.shards[k].submitted, b.fleet.shards[k].submitted);
+    EXPECT_DOUBLE_EQ(a.fleet.shards[k].moved_mb, b.fleet.shards[k].moved_mb);
+  }
 }
 
 }  // namespace

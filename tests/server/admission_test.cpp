@@ -39,6 +39,44 @@ TEST(AdmissionController, ZeroSlotsMeansUnboundedService) {
   EXPECT_EQ(admission.decide(1000, 0), AdmissionDecision::kAdmit);
 }
 
+TEST(AdmissionController, RecoveryReserveHoldsQueueTailForRecoveries) {
+  // 4-slot queue with the last 2 reserved: checkpoints reject once only
+  // the reserved slots remain, recoveries can fill the whole queue.
+  const AdmissionController admission(1, 4, /*recovery_reserve=*/2);
+  EXPECT_EQ(admission.decide(1, 1, TransferKind::kCheckpoint),
+            AdmissionDecision::kQueue);
+  EXPECT_EQ(admission.decide(1, 2, TransferKind::kCheckpoint),
+            AdmissionDecision::kReject);
+  EXPECT_EQ(admission.decide(1, 2, TransferKind::kRecovery),
+            AdmissionDecision::kQueue);
+  EXPECT_EQ(admission.decide(1, 3, TransferKind::kRecovery),
+            AdmissionDecision::kQueue);
+  EXPECT_EQ(admission.decide(1, 4, TransferKind::kRecovery),
+            AdmissionDecision::kReject);
+}
+
+TEST(AdmissionController, ZeroReserveTreatsClassesIdentically) {
+  const AdmissionController admission(1, 2);
+  for (const auto kind :
+       {TransferKind::kCheckpoint, TransferKind::kRecovery}) {
+    EXPECT_EQ(admission.decide(1, 1, kind), AdmissionDecision::kQueue);
+    EXPECT_EQ(admission.decide(1, 2, kind), AdmissionDecision::kReject);
+  }
+}
+
+TEST(AdmissionController, FreeSlotAdmitsRegardlessOfClassOrReserve) {
+  const AdmissionController admission(2, 1, /*recovery_reserve=*/1);
+  EXPECT_EQ(admission.decide(1, 0, TransferKind::kCheckpoint),
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.decide(1, 0, TransferKind::kRecovery),
+            AdmissionDecision::kAdmit);
+}
+
+TEST(TransferKind, StringNames) {
+  EXPECT_EQ(to_string(TransferKind::kCheckpoint), "checkpoint");
+  EXPECT_EQ(to_string(TransferKind::kRecovery), "recovery");
+}
+
 TEST(ExponentialBackoff, DoublesUntilCap) {
   const ExponentialBackoff backoff(30.0, 1920.0);
   EXPECT_DOUBLE_EQ(backoff.delay_s(0), 30.0);

@@ -269,6 +269,134 @@ TEST(CheckpointServer, ZeroSizeTransferCompletesImmediately) {
   EXPECT_DOUBLE_EQ(done[0].service_s(), 0.0);
 }
 
+ServerTransferRequest classed(std::uint64_t job_id, double mb,
+                              TransferKind kind) {
+  ServerTransferRequest r;
+  r.job_id = job_id;
+  r.megabytes = mb;
+  r.kind = kind;
+  return r;
+}
+
+TEST(CheckpointServer, PerClassStatsSplitTheLedger) {
+  auto cfg = basic_config();
+  cfg.slots = 1;
+  CheckpointServer server(cfg);
+  (void)server.submit(classed(1, 100.0, TransferKind::kCheckpoint), 0.0);
+  (void)server.submit(classed(2, 100.0, TransferKind::kCheckpoint), 0.0);
+  (void)server.submit(classed(3, 100.0, TransferKind::kRecovery), 0.0);
+  (void)drain_all(server);
+  const auto& stats = server.stats();
+  EXPECT_EQ(stats.of(TransferKind::kCheckpoint).submitted, 2u);
+  EXPECT_EQ(stats.of(TransferKind::kRecovery).submitted, 1u);
+  EXPECT_EQ(stats.of(TransferKind::kCheckpoint).started, 2u);
+  EXPECT_EQ(stats.of(TransferKind::kRecovery).started, 1u);
+  // The class slices partition the totals.
+  EXPECT_EQ(stats.of(TransferKind::kCheckpoint).submitted +
+                stats.of(TransferKind::kRecovery).submitted,
+            stats.submitted);
+  EXPECT_NEAR(stats.of(TransferKind::kCheckpoint).total_wait_s +
+                  stats.of(TransferKind::kRecovery).total_wait_s,
+              stats.total_wait_s, 1e-9);
+  // Job 1 serves 0→10; the recovery jumps job 2: waits 10 vs 20.
+  EXPECT_DOUBLE_EQ(stats.of(TransferKind::kRecovery).mean_wait_s(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.of(TransferKind::kCheckpoint).mean_wait_s(), 10.0);
+}
+
+TEST(CheckpointServer, RecoveryReserveRejectsCheckpointsFirst) {
+  auto cfg = basic_config();
+  cfg.slots = 1;
+  cfg.queue_limit = 2;
+  cfg.recovery_queue_reserve = 1;
+  CheckpointServer server(cfg);
+  (void)server.submit(classed(1, 100.0, TransferKind::kCheckpoint), 0.0);
+  EXPECT_EQ(server.submit(classed(2, 100.0, TransferKind::kCheckpoint), 0.0)
+                .status,
+            SubmitStatus::kQueued);
+  // One queue slot left, and it is reserved: checkpoint bounces, recovery
+  // still gets in.
+  EXPECT_EQ(server.submit(classed(3, 100.0, TransferKind::kCheckpoint), 0.0)
+                .status,
+            SubmitStatus::kRejected);
+  EXPECT_EQ(server.submit(classed(4, 100.0, TransferKind::kRecovery), 0.0)
+                .status,
+            SubmitStatus::kQueued);
+  EXPECT_EQ(server.stats().of(TransferKind::kCheckpoint).rejected, 1u);
+  EXPECT_EQ(server.stats().of(TransferKind::kRecovery).rejected, 0u);
+}
+
+TEST(CheckpointServer, CompletionsCarryTheTrafficClass) {
+  CheckpointServer server(basic_config());
+  (void)server.submit(classed(1, 50.0, TransferKind::kRecovery), 0.0);
+  const auto done = drain_all(server);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].kind, TransferKind::kRecovery);
+}
+
+TEST(ServerConfigValidate, FairPolicyIgnoresSlots) {
+  auto cfg = basic_config();
+  cfg.policy = SchedulerPolicy::kFair;
+  cfg.slots = 3;
+  const auto v = validate(cfg);
+  EXPECT_EQ(v.effective.slots, 0u);
+  ASSERT_EQ(v.warnings.size(), 1u);
+  EXPECT_NE(v.warnings[0].find("fair"), std::string::npos);
+  // The constructor enforces the effective config: the fair server runs
+  // processor-sharing even though the template said slots=3.
+  CheckpointServer server(cfg);
+  (void)server.submit({1, 100.0}, 0.0);
+  (void)server.submit({2, 100.0}, 0.0);
+  (void)server.submit({3, 100.0}, 0.0);
+  (void)server.submit({4, 100.0}, 0.0);
+  EXPECT_EQ(server.active_count(), 4u);  // nobody waits for a slot
+}
+
+TEST(ServerConfigValidate, ClampsReserveAndFlagsStrayHorizon) {
+  auto cfg = basic_config();
+  cfg.queue_limit = 4;
+  cfg.recovery_queue_reserve = 10;
+  const auto v = validate(cfg);
+  EXPECT_EQ(v.effective.recovery_queue_reserve, 4u);
+  ASSERT_FALSE(v.warnings.empty());
+
+  auto cfg2 = basic_config();  // fifo
+  cfg2.urgency_horizon_s = 42.0;
+  const auto v2 = validate(cfg2);
+  ASSERT_EQ(v2.warnings.size(), 1u);
+  EXPECT_NE(v2.warnings[0].find("urgency_horizon_s"), std::string::npos);
+
+  EXPECT_TRUE(validate(basic_config()).warnings.empty());
+}
+
+TEST(ServerStats, AggregationAddsCountersAndMaxesPeaks) {
+  ServerStats a;
+  a.submitted = 10;
+  a.completed = 8;
+  a.moved_mb = 100.0;
+  a.total_wait_s = 40.0;
+  a.started = 10;
+  a.peak_queue_depth = 3;
+  a.peak_active = 2;
+  a.of(TransferKind::kRecovery).submitted = 4;
+  ServerStats b;
+  b.submitted = 5;
+  b.completed = 5;
+  b.moved_mb = 50.0;
+  b.total_wait_s = 10.0;
+  b.started = 5;
+  b.peak_queue_depth = 1;
+  b.peak_active = 4;
+  b.of(TransferKind::kRecovery).submitted = 1;
+  a += b;
+  EXPECT_EQ(a.submitted, 15u);
+  EXPECT_EQ(a.completed, 13u);
+  EXPECT_DOUBLE_EQ(a.moved_mb, 150.0);
+  EXPECT_DOUBLE_EQ(a.total_wait_s, 50.0);
+  EXPECT_EQ(a.peak_queue_depth, 3u);  // max, not sum
+  EXPECT_EQ(a.peak_active, 4u);
+  EXPECT_EQ(a.of(TransferKind::kRecovery).submitted, 5u);
+}
+
 TEST(CheckpointServer, RejectsBadInput) {
   CheckpointServer server(basic_config());
   EXPECT_THROW((void)server.submit({1, -5.0}, 0.0), std::invalid_argument);

@@ -1,0 +1,162 @@
+// server::CliOptions: the shared --server-*/--fleet-* flag surface. Checks
+// both `--flag value` and `--flag=value` forms, in-place argv stripping
+// (unrelated flags survive in order), value validation errors, any(), and
+// that server_config()/fleet_config() apply exactly the set fields.
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/server/cli_options.hpp"
+
+namespace harvest::server {
+namespace {
+
+/// Owns mutable copies of the argument strings so parse() can compact the
+/// argv array in place, exactly as main() would hand it over.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& s : storage) ptrs.push_back(s.data());
+    argc = static_cast<int>(ptrs.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+
+  char** data() { return ptrs.data(); }
+  std::vector<std::string> remaining() const {
+    return {ptrs.begin(), ptrs.begin() + argc};
+  }
+};
+
+TEST(CliOptions, ParsesEveryFlagSpaceForm) {
+  Argv av({"prog", "--server-policy", "urgency", "--server-slots", "3",
+           "--server-capacity", "24", "--server-stagger", "7.5",
+           "--server-urgency-horizon", "450", "--server-queue-limit", "32",
+           "--server-recovery-reserve", "4", "--fleet-shards", "4",
+           "--fleet-routing", "hash"});
+  const auto opts = CliOptions::parse(av.argc, av.data());
+  EXPECT_EQ(av.argc, 1);  // everything recognised and stripped
+  EXPECT_TRUE(opts.any());
+  EXPECT_EQ(opts.policy, SchedulerPolicy::kUrgency);
+  EXPECT_EQ(opts.slots, 3u);
+  EXPECT_EQ(opts.capacity_mbps, 24.0);
+  EXPECT_EQ(opts.stagger_window_s, 7.5);
+  EXPECT_EQ(opts.urgency_horizon_s, 450.0);
+  EXPECT_EQ(opts.queue_limit, 32u);
+  EXPECT_EQ(opts.recovery_reserve, 4u);
+  EXPECT_EQ(opts.fleet_shards, 4u);
+  EXPECT_EQ(opts.fleet_routing, RoutingPolicy::kHash);
+}
+
+TEST(CliOptions, ParsesEqualsFormAndLeavesOtherFlagsInOrder) {
+  Argv av({"prog", "pool", "--machines", "64",
+           "--server-queue-limit=8", "--json", "--fleet-shards=2",
+           "--fleet-routing=least_loaded"});
+  const auto opts = CliOptions::parse(av.argc, av.data());
+  EXPECT_EQ(opts.queue_limit, 8u);
+  EXPECT_EQ(opts.fleet_shards, 2u);
+  EXPECT_EQ(opts.fleet_routing, RoutingPolicy::kLeastLoaded);
+  // The caller's own flags come back compacted, order preserved.
+  EXPECT_EQ(av.remaining(),
+            (std::vector<std::string>{"prog", "pool", "--machines", "64",
+                                      "--json"}));
+}
+
+TEST(CliOptions, NoFlagsMeansNoneSetAndUntouchedArgv) {
+  Argv av({"prog", "pool", "--machines", "64"});
+  const auto opts = CliOptions::parse(av.argc, av.data());
+  EXPECT_FALSE(opts.any());
+  EXPECT_EQ(av.argc, 4);
+  EXPECT_FALSE(opts.policy.has_value());
+  EXPECT_FALSE(opts.fleet_shards.has_value());
+}
+
+TEST(CliOptions, AnyTriggersOnEachFlagAlone) {
+  for (const auto& flag :
+       {"--server-policy=fifo", "--server-slots=2", "--server-capacity=8",
+        "--server-stagger=1", "--server-urgency-horizon=60",
+        "--server-queue-limit=4", "--server-recovery-reserve=1",
+        "--fleet-shards=2", "--fleet-routing=static"}) {
+    Argv av({"prog", flag});
+    EXPECT_TRUE(CliOptions::parse(av.argc, av.data()).any()) << flag;
+  }
+}
+
+TEST(CliOptions, RejectsMalformedValues) {
+  const std::vector<std::vector<std::string>> bad = {
+      {"prog", "--server-policy", "lifo"},
+      {"prog", "--server-slots", "many"},
+      {"prog", "--server-slots", "3x"},
+      {"prog", "--server-capacity", "0"},
+      {"prog", "--server-capacity", "-5"},
+      {"prog", "--server-stagger", "-1"},
+      {"prog", "--server-urgency-horizon", "nan?"},
+      {"prog", "--server-queue-limit"},  // missing value
+      {"prog", "--fleet-shards", "0"},
+      {"prog", "--fleet-shards", "1025"},  // > kMaxFleetShards
+      {"prog", "--fleet-routing", "round_robin"},
+  };
+  for (const auto& args : bad) {
+    Argv av(args);
+    EXPECT_THROW((void)CliOptions::parse(av.argc, av.data()),
+                 std::invalid_argument)
+        << args.back();
+  }
+}
+
+TEST(CliOptions, ServerConfigAppliesOnlySetFields) {
+  Argv av({"prog", "--server-slots=5", "--server-recovery-reserve=2"});
+  const auto opts = CliOptions::parse(av.argc, av.data());
+  ServerConfig base;
+  base.capacity_mbps = 99.0;
+  base.policy = SchedulerPolicy::kUrgency;
+  const auto sc = opts.server_config(base);
+  EXPECT_EQ(sc.slots, 5u);
+  EXPECT_EQ(sc.recovery_queue_reserve, 2u);
+  // Untouched fields keep the base values.
+  EXPECT_DOUBLE_EQ(sc.capacity_mbps, 99.0);
+  EXPECT_EQ(sc.policy, SchedulerPolicy::kUrgency);
+}
+
+TEST(CliOptions, FleetConfigCombinesServerAndFleetKnobs) {
+  Argv av({"prog", "--fleet-shards=4", "--fleet-routing=least_loaded",
+           "--server-capacity=20"});
+  const auto opts = CliOptions::parse(av.argc, av.data());
+  const auto fc = opts.fleet_config();
+  EXPECT_EQ(fc.shards, 4u);
+  EXPECT_EQ(fc.routing, RoutingPolicy::kLeastLoaded);
+  EXPECT_DOUBLE_EQ(fc.server.capacity_mbps, 20.0);
+  // Defaults when the fleet flags are absent: one static shard.
+  Argv plain({"prog", "--server-slots=2"});
+  const auto fc1 =
+      CliOptions::parse(plain.argc, plain.data()).fleet_config();
+  EXPECT_EQ(fc1.shards, 1u);
+  EXPECT_EQ(fc1.routing, RoutingPolicy::kStatic);
+}
+
+TEST(CliOptions, WarningsSurfaceSilentAdjustments) {
+  // fair ignores the slot bound: validate() warns, warnings() forwards it.
+  Argv av({"prog", "--server-policy=fair", "--server-slots=3"});
+  const auto warnings = CliOptions::parse(av.argc, av.data()).warnings();
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings.front().find("fair"), std::string::npos);
+
+  Argv clean({"prog", "--server-slots=3"});
+  EXPECT_TRUE(CliOptions::parse(clean.argc, clean.data()).warnings().empty());
+}
+
+TEST(CliOptions, HelpTextMentionsEveryFlag) {
+  const auto help = CliOptions::help_text();
+  for (const auto& flag :
+       {"--server-policy", "--server-slots", "--server-capacity",
+        "--server-stagger", "--server-urgency-horizon",
+        "--server-queue-limit", "--server-recovery-reserve",
+        "--fleet-shards", "--fleet-routing"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace harvest::server

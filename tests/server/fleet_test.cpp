@@ -1,0 +1,255 @@
+// ServerFleet: routing determinism per policy, fleet-global id round trip,
+// 1-shard bit-identity with a raw CheckpointServer, recovery-outranks-
+// checkpoint through the fleet facade, stats aggregation / imbalance, the
+// materialize() seed derivation, and FleetConfig::validate errors.
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/server/fleet.hpp"
+
+namespace harvest::server {
+namespace {
+
+FleetConfig fleet_config(std::size_t shards, RoutingPolicy routing) {
+  FleetConfig fc;
+  fc.shards = shards;
+  fc.routing = routing;
+  fc.server.capacity_mbps = 10.0;
+  fc.server.slots = 1;
+  fc.server.queue_limit = 16;
+  return fc;
+}
+
+ServerTransferRequest req(std::uint64_t job_id, double mb,
+                          std::size_t machine_index = 0,
+                          TransferKind kind = TransferKind::kCheckpoint) {
+  ServerTransferRequest r;
+  r.job_id = job_id;
+  r.megabytes = mb;
+  r.machine_index = machine_index;
+  r.kind = kind;
+  return r;
+}
+
+/// Drain the fleet until it goes idle, collecting every completion.
+std::vector<ServerCompletion> drain_all(ServerFleet& fleet) {
+  std::vector<ServerCompletion> all;
+  while (const auto next = fleet.next_event_s()) {
+    for (auto& done : fleet.advance_to(*next)) all.push_back(done);
+  }
+  return all;
+}
+
+TEST(ServerFleet, StaticRoutingShardsOnMachineIndex) {
+  const ServerFleet fleet(fleet_config(4, RoutingPolicy::kStatic), 1);
+  for (std::size_t machine = 0; machine < 12; ++machine) {
+    EXPECT_EQ(fleet.route(req(99, 100.0, machine)), machine % 4);
+  }
+}
+
+TEST(ServerFleet, HashRoutingIsJobAffineAndSpreads) {
+  const ServerFleet fleet(fleet_config(4, RoutingPolicy::kHash), 1);
+  std::set<std::size_t> used;
+  for (std::uint64_t job = 0; job < 64; ++job) {
+    const auto shard = fleet.route(req(job, 100.0, /*machine_index=*/0));
+    ASSERT_LT(shard, 4u);
+    // Job-affine: the machine index is irrelevant to the hash.
+    EXPECT_EQ(fleet.route(req(job, 100.0, /*machine_index=*/3)), shard);
+    used.insert(shard);
+  }
+  // 64 consecutive job ids through splitmix64 hit every one of 4 shards.
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ServerFleet, LeastLoadedRoutesAwayFromBusyShards) {
+  ServerFleet fleet(fleet_config(3, RoutingPolicy::kLeastLoaded), 1);
+  // Empty fleet: tie on 0 pending MB breaks to the lowest index.
+  EXPECT_EQ(fleet.route(req(1, 100.0)), 0u);
+  (void)fleet.submit(req(1, 500.0), 0.0);  // shard 0 now owns 500 MB
+  EXPECT_EQ(fleet.route(req(2, 100.0)), 1u);
+  (void)fleet.submit(req(2, 300.0), 0.0);  // shard 1 owns 300 MB
+  EXPECT_EQ(fleet.route(req(3, 100.0)), 2u);
+  (void)fleet.submit(req(3, 800.0), 0.0);  // shard 2 owns 800 MB
+  // Now 500 / 300 / 800: shard 1 is lightest.
+  EXPECT_EQ(fleet.route(req(4, 100.0)), 1u);
+}
+
+TEST(ServerFleet, FleetIdsCarryTheShardAndRoundTripThroughRemove) {
+  ServerFleet fleet(fleet_config(4, RoutingPolicy::kStatic), 1);
+  const auto a = fleet.submit(req(1, 100.0, /*machine_index=*/2), 0.0);
+  const auto b = fleet.submit(req(2, 100.0, /*machine_index=*/7), 0.0);
+  ASSERT_EQ(a.status, SubmitStatus::kStarted);
+  ASSERT_EQ(b.status, SubmitStatus::kStarted);
+  EXPECT_EQ(ServerFleet::shard_of(a.id), 2u);
+  EXPECT_EQ(ServerFleet::shard_of(b.id), 3u);
+
+  // remove() dispatches to the owning shard: half the bytes moved by t=5
+  // (100 MB at 10 MB/s, alone on shard 2's pipe).
+  const auto removal = fleet.remove(a.id, 5.0);
+  EXPECT_TRUE(removal.found);
+  EXPECT_TRUE(removal.was_active);
+  EXPECT_DOUBLE_EQ(removal.moved_mb, 50.0);
+  // An id tagged with a shard the fleet doesn't have is politely not found.
+  const auto bogus = fleet.remove(
+      TransferId{9} << (64 - kFleetShardBits), 5.0);
+  EXPECT_FALSE(bogus.found);
+
+  const auto done = drain_all(fleet);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, b.id);
+  EXPECT_EQ(done[0].kind, TransferKind::kCheckpoint);
+}
+
+TEST(ServerFleet, OneShardFleetMatchesRawServerEventByEvent) {
+  // Same submissions, same seed, stagger on so the RNG stream matters.
+  FleetConfig fc = fleet_config(1, RoutingPolicy::kStatic);
+  fc.server.stagger_window_s = 5.0;
+  const std::uint64_t seed = 0xabcdef12u;
+
+  CheckpointServer raw(fc.materialize(0, seed, nullptr));
+  ServerFleet fleet(fc, seed);
+
+  const std::vector<ServerTransferRequest> load = {
+      req(1, 200.0), req(2, 150.0), req(3, 400.0),
+      req(4, 50.0, 0, TransferKind::kRecovery), req(5, 250.0)};
+  double t = 0.0;
+  for (const auto& r : load) {
+    const auto from_raw = raw.submit(r, t);
+    const auto from_fleet = fleet.submit(r, t);
+    EXPECT_EQ(from_raw.status, from_fleet.status);
+    EXPECT_EQ(from_raw.id, from_fleet.id);  // shard 0 ids are untagged
+    t += 0.25;
+  }
+  std::vector<ServerCompletion> raw_done;
+  while (const auto next = raw.next_event_s()) {
+    for (auto& done : raw.advance_to(*next)) raw_done.push_back(done);
+  }
+  const auto fleet_done = drain_all(fleet);
+  ASSERT_EQ(raw_done.size(), fleet_done.size());
+  for (std::size_t i = 0; i < raw_done.size(); ++i) {
+    EXPECT_EQ(raw_done[i].id, fleet_done[i].id);
+    EXPECT_EQ(raw_done[i].job_id, fleet_done[i].job_id);
+    EXPECT_EQ(raw_done[i].kind, fleet_done[i].kind);
+    EXPECT_DOUBLE_EQ(raw_done[i].start_s, fleet_done[i].start_s);
+    EXPECT_DOUBLE_EQ(raw_done[i].finish_s, fleet_done[i].finish_s);
+    EXPECT_DOUBLE_EQ(raw_done[i].megabytes, fleet_done[i].megabytes);
+  }
+  EXPECT_DOUBLE_EQ(raw.stats().moved_mb, fleet.stats().total.moved_mb);
+  EXPECT_EQ(raw.stats().submitted, fleet.stats().total.submitted);
+}
+
+TEST(ServerFleet, RecoveryOutranksWaitingCheckpoints) {
+  // One slot per shard; everything lands on shard 0 (machine_index 0).
+  ServerFleet fleet(fleet_config(2, RoutingPolicy::kStatic), 1);
+  ASSERT_EQ(fleet.submit(req(1, 100.0), 0.0).status, SubmitStatus::kStarted);
+  ASSERT_EQ(fleet.submit(req(2, 100.0), 1.0).status, SubmitStatus::kQueued);
+  ASSERT_EQ(
+      fleet.submit(req(3, 100.0, 0, TransferKind::kRecovery), 2.0).status,
+      SubmitStatus::kQueued);
+  const auto done = drain_all(fleet);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].job_id, 1u);
+  EXPECT_EQ(done[1].job_id, 3u);  // recovery jumps the earlier checkpoint
+  EXPECT_EQ(done[2].job_id, 2u);
+}
+
+TEST(ServerFleet, CompletionsMergeInFinishOrderAcrossShards) {
+  ServerFleet fleet(fleet_config(2, RoutingPolicy::kStatic), 1);
+  // Shard 1 finishes first (t=10), shard 0 later (t=30).
+  (void)fleet.submit(req(1, 300.0, /*machine_index=*/0), 0.0);
+  (void)fleet.submit(req(2, 100.0, /*machine_index=*/1), 0.0);
+  const auto done = fleet.advance_to(100.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].job_id, 2u);
+  EXPECT_DOUBLE_EQ(done[0].finish_s, 10.0);
+  EXPECT_EQ(done[1].job_id, 1u);
+  EXPECT_DOUBLE_EQ(done[1].finish_s, 30.0);
+}
+
+TEST(ServerFleet, StatsAggregateAndImbalanceReflectsSkew) {
+  ServerFleet fleet(fleet_config(4, RoutingPolicy::kStatic), 1);
+  // All traffic on machine 1 → shard 1 only.
+  (void)fleet.submit(req(1, 100.0, /*machine_index=*/1), 0.0);
+  (void)fleet.submit(req(2, 100.0, /*machine_index=*/1), 0.0);
+  (void)drain_all(fleet);
+  const auto stats = fleet.stats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  EXPECT_EQ(stats.total.submitted, 2u);
+  EXPECT_EQ(stats.total.completed, 2u);
+  EXPECT_DOUBLE_EQ(stats.total.moved_mb, 200.0);
+  EXPECT_DOUBLE_EQ(stats.shards[1].moved_mb, 200.0);
+  EXPECT_DOUBLE_EQ(stats.shards[0].moved_mb, 0.0);
+  // Everything on one shard of four: imbalance = peak / mean = 200/50.
+  EXPECT_DOUBLE_EQ(stats.imbalance_ratio(), 4.0);
+}
+
+TEST(ServerFleet, ImbalanceIsOneWhenBalancedOrIdle) {
+  ServerFleet fleet(fleet_config(2, RoutingPolicy::kStatic), 1);
+  EXPECT_DOUBLE_EQ(fleet.stats().imbalance_ratio(), 1.0);  // no traffic
+  (void)fleet.submit(req(1, 100.0, /*machine_index=*/0), 0.0);
+  (void)fleet.submit(req(2, 100.0, /*machine_index=*/1), 0.0);
+  (void)drain_all(fleet);
+  EXPECT_DOUBLE_EQ(fleet.stats().imbalance_ratio(), 1.0);  // 100 MB each
+}
+
+TEST(FleetConfig, MaterializeIsTheOnlySeedDerivation) {
+  FleetConfig fc = fleet_config(4, RoutingPolicy::kStatic);
+  fc.server.seed = 0xdeadbeefu;  // template runtime state must be ignored
+  obs::EventTracer tracer(8);
+
+  const auto shard0 = fc.materialize(0, 42, &tracer);
+  EXPECT_EQ(shard0.seed, 42u);  // verbatim: 1-shard ≡ standalone server
+  EXPECT_EQ(shard0.tracer, &tracer);
+  EXPECT_DOUBLE_EQ(shard0.capacity_mbps, fc.server.capacity_mbps);
+  EXPECT_EQ(shard0.slots, fc.server.slots);
+
+  std::set<std::uint64_t> seeds{shard0.seed};
+  for (std::size_t k = 1; k < 4; ++k) {
+    const auto sc = fc.materialize(k, 42, &tracer);
+    EXPECT_NE(sc.seed, 42u);
+    seeds.insert(sc.seed);
+    EXPECT_EQ(sc.tracer, &tracer);
+  }
+  EXPECT_EQ(seeds.size(), 4u);  // pairwise distinct streams
+  // Deterministic: same (shard, seed) → same derived config.
+  EXPECT_EQ(fc.materialize(3, 42, nullptr).seed,
+            fc.materialize(3, 42, nullptr).seed);
+}
+
+TEST(FleetConfig, ValidateRejectsBadShardCounts) {
+  auto fc = fleet_config(0, RoutingPolicy::kStatic);
+  EXPECT_THROW((void)fc.validate(), std::invalid_argument);
+  fc.shards = kMaxFleetShards + 1;
+  EXPECT_THROW((void)fc.validate(), std::invalid_argument);
+  fc.shards = kMaxFleetShards;
+  EXPECT_NO_THROW((void)fc.validate());
+}
+
+TEST(FleetConfig, ValidateWarnsOnSingleShardLeastLoaded) {
+  const auto fc = fleet_config(1, RoutingPolicy::kLeastLoaded);
+  const auto v = fc.validate();
+  ASSERT_FALSE(v.warnings.empty());
+  EXPECT_NE(v.warnings.back().find("least_loaded"), std::string::npos);
+  EXPECT_TRUE(fleet_config(2, RoutingPolicy::kLeastLoaded)
+                  .validate()
+                  .warnings.empty());
+}
+
+TEST(ServerFleet, RoutingStringRoundTrip) {
+  for (const auto routing :
+       {RoutingPolicy::kStatic, RoutingPolicy::kHash,
+        RoutingPolicy::kLeastLoaded}) {
+    EXPECT_EQ(routing_from_string(to_string(routing)), routing);
+  }
+  EXPECT_EQ(routing_from_string("least-loaded"), RoutingPolicy::kLeastLoaded);
+  EXPECT_THROW((void)routing_from_string("round_robin"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::server

@@ -87,6 +87,46 @@ TEST(TransferScheduler, UrgencyFallsBackToArrivalOrderWithoutPredictions) {
   EXPECT_EQ(urgency->pick_next(waiting, 2.0), 0u);  // id 5, earliest arrival
 }
 
+WaitingTransfer recovery(std::uint64_t id, double arrival) {
+  auto w = wt(id, arrival);
+  w.kind = TransferKind::kRecovery;
+  return w;
+}
+
+TEST(TransferScheduler, RecoveryOutranksCheckpointsUnderFifo) {
+  const auto fifo = make_scheduler(SchedulerPolicy::kFifo);
+  // The recovery arrived last but is served first; among recoveries the
+  // order stays FIFO.
+  const std::vector<WaitingTransfer> waiting = {
+      wt(1, 0.0), wt(2, 1.0), recovery(3, 5.0), recovery(4, 3.0)};
+  EXPECT_EQ(fifo->pick_next(waiting, 5.0), 3u);  // id 4: earliest recovery
+}
+
+TEST(TransferScheduler, RecoveryOutranksEvenImminentCheckpoints) {
+  const auto urgency = make_scheduler(SchedulerPolicy::kUrgency);
+  // The checkpoint's machine dies in 10 s — well inside the horizon — but
+  // a waiting recovery still goes first: the urgency jump reorders only
+  // the checkpoint class.
+  const std::vector<WaitingTransfer> waiting = {
+      wt(1, 0.0, /*predicted=*/10.0), recovery(2, 4.0)};
+  EXPECT_EQ(urgency->pick_next(waiting, 4.0), 1u);
+}
+
+TEST(TransferScheduler, UrgencyStillReordersAmongCheckpointsOnly) {
+  const auto urgency = make_scheduler(SchedulerPolicy::kUrgency);
+  // No recovery waiting: the imminent checkpoint jumps as usual.
+  const std::vector<WaitingTransfer> waiting = {
+      wt(1, 0.0, 9000.0), wt(2, 1.0, 30.0)};
+  EXPECT_EQ(urgency->pick_next(waiting, 1.0), 1u);
+}
+
+TEST(TransferScheduler, RecoveryTiesBreakOnId) {
+  const auto fifo = make_scheduler(SchedulerPolicy::kFifo);
+  const std::vector<WaitingTransfer> waiting = {
+      recovery(8, 2.0), recovery(3, 2.0)};
+  EXPECT_EQ(fifo->pick_next(waiting, 2.0), 1u);  // id 3
+}
+
 TEST(TransferScheduler, RejectsBadUrgencyHorizon) {
   EXPECT_THROW((void)make_scheduler(SchedulerPolicy::kUrgency, -1.0),
                std::invalid_argument);
