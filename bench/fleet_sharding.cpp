@@ -118,8 +118,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   bool tiny = false;
+  std::string timeline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+    if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+      timeline_path = argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
+      timeline_path = argv[i] + 11;
+    }
   }
 
   server::ServerConfig base;
@@ -165,6 +172,10 @@ int main(int argc, char** argv) {
     fc.routing = routing;
     fc.server = base;
     cfg.fleet = fc;
+    // With --timeline every cell records per-interval telemetry; gate (a)
+    // then also proves the timeline does not perturb the simulation (the
+    // legacy run below never sets a cadence).
+    if (!timeline_path.empty()) cfg.snapshot_every_s = 600.0;
     return condor::run_pool_simulation(machines, cfg);
   };
 
@@ -298,6 +309,20 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", failures == 0 ? "all checks passed"
                                     : "SOME CHECKS FAILED");
+
+  if (!timeline_path.empty()) {
+    // Representative cell: the widest fleet under static routing with the
+    // first family/cost — the configuration the README's storm walkthrough
+    // plots.
+    const auto& rep = find_cell(cells, shard_counts.back(),
+                                server::RoutingPolicy::kStatic,
+                                families.front(), pool, costs.front());
+    condor::write_timeline_csv(timeline_path, rep.result.timeline);
+    std::printf("timeline: K=%zu %s %s C=%.0f, %zu frames -> %s\n",
+                rep.shards, server::to_string(rep.routing).c_str(),
+                core::to_string(rep.family).c_str(), rep.cost_s,
+                rep.result.timeline.size(), timeline_path.c_str());
+  }
 
   if (!json_path.empty()) {
     obs::JsonWriter w;

@@ -14,6 +14,8 @@
 //       Whole-pool emulation (negotiation, placements, evictions). With any
 //       --server-* / --fleet-* flag, every transfer contends for a fleet of
 //       checkpoint servers (1 shard unless --fleet-shards says otherwise).
+//       --timeline <out.csv> dumps the per-interval fleet telemetry
+//       (cadence --snapshot-every seconds, default 600).
 //
 // Global flags (any subcommand):
 //   --metrics-json <path>   write the default metrics registry snapshot
@@ -70,6 +72,10 @@ int usage() {
       "  --metrics-json <path>  dump the metrics registry snapshot as JSON\n"
       "  --metrics-prom <path>  dump the snapshot as Prometheus text\n"
       "  --trace-json <path>    dump structured events as a Chrome trace\n"
+      "pool flags:\n"
+      "  --timeline <path>      write the per-interval fleet telemetry CSV\n"
+      "  --snapshot-every <s>   telemetry cadence in simulated seconds\n"
+      "                         (default 600 when --timeline is given)\n"
       "%s",
       server::CliOptions::help_text().c_str());
   return 2;
@@ -244,6 +250,8 @@ int cmd_predict(int argc, char** argv) {
 }
 
 int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
+  const std::string timeline_path = strip_path_flag(argc, argv, "timeline");
+  const std::string every_str = strip_path_flag(argc, argv, "snapshot-every");
   if (argc < 6) return usage();
   const auto traces = trace::load_traces_csv(argv[2]);
   const auto family = core::model_family_from_string(argv[3]);
@@ -252,6 +260,16 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
   cfg.work_per_job_s = std::atof(argv[5]) * 3600.0;
   cfg.family = family;
   cfg.seed = 31;
+  if (!every_str.empty()) {
+    cfg.snapshot_every_s = std::atof(every_str.c_str());
+  } else if (!timeline_path.empty()) {
+    cfg.snapshot_every_s = 600.0;  // --timeline implies a default cadence
+  }
+  if (!timeline_path.empty() && !(cfg.snapshot_every_s > 0.0)) {
+    std::fprintf(stderr, "harvestctl: --timeline needs a positive "
+                 "--snapshot-every\n");
+    return 2;
+  }
 
   // The pool emulation needs a generating law per machine; fit one from
   // each machine's monitor history (Weibull captures the pool's shape).
@@ -322,6 +340,12 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
       std::printf("  imbalance:     %.2fx (max shard MB / mean shard MB)\n",
                   res.fleet.imbalance_ratio());
     }
+  }
+  if (!timeline_path.empty()) {
+    condor::write_timeline_csv(timeline_path, res.timeline);
+    std::printf("timeline:        %zu frames x %.0f s -> %s\n",
+                res.timeline.size(), cfg.snapshot_every_s,
+                timeline_path.c_str());
   }
   return 0;
 }

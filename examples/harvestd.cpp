@@ -1,0 +1,250 @@
+// harvestd — long-running live-scrape daemon over the fleet simulation.
+//
+// Generates a synthetic Condor pool once, then loops whole-pool contended
+// simulations (a fresh seed per iteration) while serving the conventional
+// exporter endpoint set from a background HTTP listener:
+//
+//   /metrics        Prometheus text exposition of the default registry
+//   /healthz        liveness (200 as long as the process runs)
+//   /readyz         readiness (503 until the first simulation finishes)
+//   /snapshot.json  latest SnapshotSeries frame (full registry, JSON)
+//
+// The SnapshotSeries is keyed by cumulative simulated seconds across
+// iterations, so scraping /snapshot.json repeatedly shows the fleet's
+// counters advancing on the simulation's own clock.
+//
+// usage: harvestd [flags]
+//   --port <n>            listen port (default 9188; 0 picks an ephemeral
+//                         port — the bound port is printed on stdout)
+//   --machines <n>        synthetic pool size (default 128)
+//   --jobs <n>            jobs per simulation (default 32)
+//   --work-hours <h>      work per job in hours (default 4)
+//   --family <name>       fitted model family (default weibull)
+//   --snapshot-every <s>  telemetry cadence in simulated seconds, for both
+//                         the pool timeline and the series (default 600)
+//   --seed <n>            base RNG seed (default 31; iteration i adds i)
+//   --once                run exactly one simulation, then keep serving
+//                         until SIGINT/SIGTERM (CI smoke mode)
+//   --tiny                shrink the pool for smoke runs (16 machines,
+//                         4 jobs, 1 work-hour)
+// plus every --server-* / --fleet-* flag (see below). Without any of
+// those, harvestd defaults to a 4-shard static-routed fleet.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harvest/condor/pool_simulation.hpp"
+#include "harvest/obs/http.hpp"
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/series.hpp"
+#include "harvest/server/cli_options.hpp"
+#include "harvest/trace/synthetic.hpp"
+
+namespace {
+
+using namespace harvest;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: harvestd [--port n] [--machines n] [--jobs n] "
+      "[--work-hours h]\n"
+      "                [--family name] [--snapshot-every s] [--seed n]\n"
+      "                [--once] [--tiny]\n"
+      "endpoints: /metrics /healthz /readyz /snapshot.json\n"
+      "%s",
+      server::CliOptions::help_text().c_str());
+  return 2;
+}
+
+/// Strip `--<name> <value>` / `--<name>=<value>`; empty string if absent.
+std::string strip_value_flag(int& argc, char** argv, const char* name) {
+  const std::string eq = std::string("--") + name + "=";
+  const std::string bare = std::string("--") + name;
+  std::string value;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i] && i + 1 < argc) {
+      value = argv[++i];
+    } else if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      value = argv[i] + eq.size();
+    } else {
+      argv[write++] = argv[i];
+    }
+  }
+  argc = write;
+  return value;
+}
+
+/// Strip a bare `--<name>` switch; true when it was present.
+bool strip_switch(int& argc, char** argv, const char* name) {
+  const std::string bare = std::string("--") + name;
+  bool present = false;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) {
+      present = true;
+    } else {
+      argv[write++] = argv[i];
+    }
+  }
+  argc = write;
+  return present;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::CliOptions server_opts;
+  try {
+    server_opts = server::CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "harvestd: %s\n", e.what());
+    return 2;
+  }
+  const std::string port_s = strip_value_flag(argc, argv, "port");
+  const std::string machines_s = strip_value_flag(argc, argv, "machines");
+  const std::string jobs_s = strip_value_flag(argc, argv, "jobs");
+  const std::string hours_s = strip_value_flag(argc, argv, "work-hours");
+  const std::string family_s = strip_value_flag(argc, argv, "family");
+  const std::string every_s = strip_value_flag(argc, argv, "snapshot-every");
+  const std::string seed_s = strip_value_flag(argc, argv, "seed");
+  const bool once = strip_switch(argc, argv, "once");
+  const bool tiny = strip_switch(argc, argv, "tiny");
+  if (argc > 1) return usage();  // leftover positional args
+
+  int port = port_s.empty() ? 9188 : std::atoi(port_s.c_str());
+  std::size_t machines = tiny ? 16 : 128;
+  std::size_t jobs = tiny ? 4 : 32;
+  double work_hours = tiny ? 1.0 : 4.0;
+  double snapshot_every = 600.0;
+  std::uint64_t seed = 31;
+  if (!machines_s.empty()) machines = std::strtoul(machines_s.c_str(), nullptr, 10);
+  if (!jobs_s.empty()) jobs = std::strtoul(jobs_s.c_str(), nullptr, 10);
+  if (!hours_s.empty()) work_hours = std::atof(hours_s.c_str());
+  if (!every_s.empty()) snapshot_every = std::atof(every_s.c_str());
+  if (!seed_s.empty()) seed = std::strtoull(seed_s.c_str(), nullptr, 10);
+  if (port < 0 || port > 65535 || machines == 0 || jobs == 0 ||
+      !(work_hours > 0.0) || !(snapshot_every > 0.0)) {
+    return usage();
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // The park: a synthetic Condor pool whose ground-truth laws drive the
+  // volatility (no fitting detour — harvestd shows the live fleet, not the
+  // model-selection pipeline).
+  trace::PoolSpec pool_spec;
+  pool_spec.machine_count = machines;
+  pool_spec.durations_per_machine = 60;
+  pool_spec.seed = seed;
+  std::vector<condor::TimelinePool::MachineSpec> specs;
+  specs.reserve(machines);
+  for (auto& m : trace::generate_pool(pool_spec)) {
+    condor::TimelinePool::MachineSpec s;
+    s.id = m.trace.machine_id;
+    s.availability_law = std::move(m.ground_truth);
+    specs.push_back(std::move(s));
+  }
+
+  condor::PoolSimConfig cfg;
+  cfg.job_count = jobs;
+  cfg.work_per_job_s = work_hours * 3600.0;
+  cfg.snapshot_every_s = snapshot_every;
+  if (!family_s.empty()) {
+    try {
+      cfg.family = core::model_family_from_string(family_s);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "harvestd: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (server_opts.any()) {
+    cfg.fleet = server_opts.fleet_config();
+  } else {
+    server::FleetConfig fc;
+    fc.shards = 4;
+    cfg.fleet = fc;
+  }
+  for (const auto& w : server_opts.warnings()) {
+    std::fprintf(stderr, "harvestd: warning: %s\n", w.c_str());
+  }
+
+  auto& reg = obs::default_registry();
+  reg.describe("harvestd.iterations",
+               "Completed simulation iterations since startup.");
+  reg.describe("harvestd.sim_seconds",
+               "Cumulative simulated seconds across iterations.");
+  reg.describe("harvestd.last_makespan_s",
+               "Makespan of the most recent simulation (simulated s).");
+  reg.describe("harvestd.last_network_mb",
+               "Network traffic of the most recent simulation (MB).");
+  auto& iterations = reg.counter("harvestd.iterations");
+  auto& sim_seconds = reg.gauge("harvestd.sim_seconds");
+  auto& last_makespan = reg.gauge("harvestd.last_makespan_s");
+  auto& last_network = reg.gauge("harvestd.last_network_mb");
+
+  obs::SnapshotSeries series(snapshot_every);
+  obs::ExporterEndpoints endpoints(reg, series);
+  obs::HttpServer http(endpoints.handler());
+  try {
+    http.bind(static_cast<std::uint16_t>(port));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "harvestd: %s\n", e.what());
+    return 1;
+  }
+  http.start();
+  // CI parses this line to learn the ephemeral port; keep it first and
+  // flushed.
+  std::printf("harvestd: listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(http.port()));
+  std::fflush(stdout);
+
+  double sim_clock_s = 0.0;
+  std::uint64_t iter = 0;
+  while (!g_stop.load()) {
+    if (once && iter >= 1) {
+      // Smoke mode: the one simulation is done; keep serving until a
+      // signal arrives so the scraper can take its time.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
+    }
+    cfg.seed = seed + iter;
+    condor::PoolSimResult res;
+    try {
+      res = condor::run_pool_simulation(specs, cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "harvestd: simulation failed: %s\n", e.what());
+      return 1;
+    }
+    ++iter;
+    iterations.add();
+    sim_clock_s += res.makespan_s;
+    sim_seconds.set(sim_clock_s);
+    last_makespan.set(res.makespan_s);
+    last_network.set(res.total_moved_mb());
+    series.sample(sim_clock_s, reg);
+    endpoints.set_ready(true);
+    std::fprintf(stderr,
+                 "harvestd: iteration %llu: %zu/%zu jobs, makespan %.1f h, "
+                 "network %.1f GB, %zu timeline frames\n",
+                 static_cast<unsigned long long>(iter), res.finished_count(),
+                 res.jobs.size(), res.makespan_s / 3600.0,
+                 res.total_moved_mb() / 1024.0, res.timeline.size());
+  }
+  http.stop();
+  std::fprintf(stderr, "harvestd: stopped after %llu iterations\n",
+               static_cast<unsigned long long>(iter));
+  return 0;
+}

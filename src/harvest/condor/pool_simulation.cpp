@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
 
 #include "harvest/core/optimizer.hpp"
 #include "harvest/dist/conditional.hpp"
@@ -58,6 +62,53 @@ double PoolSimResult::total_lost_work_s() const {
   return s;
 }
 
+std::string timeline_csv(const std::vector<PoolTimelineFrame>& timeline) {
+  std::string out =
+      "frame,start_s,end_s,interval_mb,jobs_finished,shard,queue_depth,"
+      "active,pending_mb,moved_mb,wait_p50_s,wait_p99_s,utilization,"
+      "storms_deferred\n";
+  char buf[256];
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const auto& f = timeline[i];
+    const auto prefix = [&](char* p, std::size_t n) {
+      return static_cast<std::size_t>(std::snprintf(
+          p, n, "%zu,%.6g,%.6g,%.6g,%zu,", i, f.start_s, f.t_s,
+          f.interval_mb, f.jobs_finished));
+    };
+    if (f.shards.empty()) {
+      // Uncontended runs carry no shard telemetry: one row per frame with
+      // the shard columns left empty.
+      prefix(buf, sizeof(buf));
+      out += buf;
+      out += ",,,,,,,\n";
+      continue;
+    }
+    for (std::size_t k = 0; k < f.shards.size(); ++k) {
+      const auto& s = f.shards[k];
+      const std::size_t off = prefix(buf, sizeof(buf));
+      std::snprintf(buf + off, sizeof(buf) - off,
+                    "%zu,%zu,%zu,%.6g,%.6g,%.6g,%.6g,%.6g,%llu\n", k,
+                    s.queue_depth, s.active, s.pending_mb, s.moved_mb,
+                    s.wait_p50_s, s.wait_p99_s, s.utilization,
+                    static_cast<unsigned long long>(s.storms_deferred));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void write_timeline_csv(const std::string& path,
+                        const std::vector<PoolTimelineFrame>& timeline) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_timeline_csv: cannot open " + path);
+  }
+  out << timeline_csv(timeline);
+  if (!out) {
+    throw std::runtime_error("write_timeline_csv: write failed: " + path);
+  }
+}
+
 namespace {
 
 struct PoolMetrics {
@@ -80,6 +131,143 @@ PoolMetrics& pool_metrics() {
       reg.histogram("condor.pool_sim.wall_s"),
   };
   return m;
+}
+
+/// Nearest-rank quantile over an unsorted sample buffer (sorts in place).
+double sample_quantile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Live per-interval telemetry for the contended engine: the engine feeds
+/// every completed/interrupted transfer's bytes (and waits) into the open
+/// interval and calls advance() with its monotone processing time, which
+/// cuts frames at cadence boundaries. Every megabyte lands in exactly one
+/// frame, so the finished timeline partitions the run's network total.
+class FleetTimeline {
+ public:
+  FleetTimeline(double every_s, std::size_t shards, double capacity_mbps)
+      : every_s_(every_s),
+        capacity_mbps_(capacity_mbps),
+        moved_mb_(shards, 0.0),
+        waits_(shards),
+        storms_base_(shards, 0) {}
+
+  /// Cut frames for every cadence boundary at or before `t` (the engine's
+  /// monotone event-processing time).
+  void advance(double t, const server::ServerFleet& fleet) {
+    while (next_boundary() <= t) cut(next_boundary(), fleet);
+  }
+
+  void add_transfer(std::size_t shard, double mb) {
+    moved_mb_[shard] += mb;
+  }
+  void add_wait(std::size_t shard, double wait_s) {
+    waits_[shard].push_back(wait_s);
+  }
+  void job_finished() { ++jobs_finished_; }
+
+  /// Flush the open interval as a final (possibly short) frame and return
+  /// the timeline.
+  std::vector<PoolTimelineFrame> finish(double end_t,
+                                        const server::ServerFleet& fleet) {
+    if (end_t > start_s_ || pending_mb_total() > 0.0 ||
+        jobs_finished_ > 0) {
+      cut(std::max(end_t, start_s_), fleet);
+    }
+    return std::move(frames_);
+  }
+
+ private:
+  [[nodiscard]] double next_boundary() const {
+    return start_s_ + every_s_;
+  }
+  [[nodiscard]] double pending_mb_total() const {
+    double mb = 0.0;
+    for (const double m : moved_mb_) mb += m;
+    return mb;
+  }
+
+  void cut(double boundary, const server::ServerFleet& fleet) {
+    PoolTimelineFrame frame;
+    frame.start_s = start_s_;
+    frame.t_s = boundary;
+    frame.jobs_finished = jobs_finished_;
+    const double dt = boundary - start_s_;
+    frame.shards.reserve(moved_mb_.size());
+    for (std::size_t k = 0; k < moved_mb_.size(); ++k) {
+      const auto& shard = fleet.shard(k);
+      PoolShardFrame sf;
+      sf.queue_depth = shard.queued_count();
+      sf.active = shard.active_count();
+      sf.pending_mb = shard.pending_mb();
+      sf.moved_mb = moved_mb_[k];
+      sf.wait_p50_s = sample_quantile(waits_[k], 0.50);
+      sf.wait_p99_s = sample_quantile(waits_[k], 0.99);
+      sf.utilization =
+          dt > 0.0
+              ? std::min(1.0, moved_mb_[k] / (capacity_mbps_ * dt))
+              : 0.0;
+      const std::uint64_t storms = shard.staggered_count();
+      sf.storms_deferred = storms - storms_base_[k];
+      storms_base_[k] = storms;
+      frame.interval_mb += sf.moved_mb;
+      frame.shards.push_back(std::move(sf));
+      moved_mb_[k] = 0.0;
+      waits_[k].clear();
+    }
+    fleet.sample_gauges();
+    frames_.push_back(std::move(frame));
+    start_s_ = boundary;
+    jobs_finished_ = 0;
+  }
+
+  double every_s_;
+  double capacity_mbps_;
+  double start_s_ = 0.0;  ///< open interval start (= last cut boundary)
+  std::size_t jobs_finished_ = 0;
+  std::vector<double> moved_mb_;            ///< per shard, open interval
+  std::vector<std::vector<double>> waits_;  ///< per shard, open interval
+  std::vector<std::uint64_t> storms_base_;  ///< staggered_count at last cut
+  std::vector<PoolTimelineFrame> frames_;
+};
+
+/// Uncontended mode records (time, megabytes) per placement and job-finish
+/// instants during the run, then buckets them into cadence frames after the
+/// fact (the synchronous placement walk does not process events in global
+/// time order, so live cutting would misattribute).
+struct UncontendedTimelineLog {
+  std::vector<std::pair<double, double>> placement_mb;  ///< (end time, MB)
+  std::vector<double> job_finish_s;
+};
+
+std::vector<PoolTimelineFrame> build_uncontended_timeline(
+    const UncontendedTimelineLog& log, double every_s) {
+  double max_t = 0.0;
+  for (const auto& [t, mb] : log.placement_mb) max_t = std::max(max_t, t);
+  for (const double t : log.job_finish_s) max_t = std::max(max_t, t);
+  const auto frame_count = static_cast<std::size_t>(
+      std::floor(max_t / every_s)) + 1;
+  std::vector<PoolTimelineFrame> frames(frame_count);
+  for (std::size_t i = 0; i < frame_count; ++i) {
+    frames[i].start_s = every_s * static_cast<double>(i);
+    frames[i].t_s =
+        std::min(every_s * static_cast<double>(i + 1), std::max(max_t, 0.0));
+  }
+  const auto index_of = [&](double t) {
+    return std::min(static_cast<std::size_t>(std::floor(t / every_s)),
+                    frame_count - 1);
+  };
+  for (const auto& [t, mb] : log.placement_mb) {
+    frames[index_of(t)].interval_mb += mb;
+  }
+  for (const double t : log.job_finish_s) {
+    ++frames[index_of(t)].jobs_finished;
+  }
+  return frames;
 }
 
 struct PlacementOutcome {
@@ -190,7 +378,7 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
                      const std::vector<dist::DistributionPtr>& fitted,
                      TimelinePool& pool, Matchmaker& matchmaker,
                      numerics::Rng& transfer_rng, std::vector<JobState>& jobs,
-                     double& last_finish) {
+                     double& last_finish, UncontendedTimelineLog* tl) {
   (void)pool;
   // Min-heap of (time, job) negotiation events.
   using Event = std::pair<double, std::size_t>;
@@ -234,6 +422,13 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
     occupied_until[match->machine_index] = outcome.end_time;
     pool_metrics().evictions.add(job.stats.evictions - evictions_before);
     pool_metrics().mb_moved.add(job.stats.moved_mb - mb_before);
+    if (tl != nullptr) {
+      // Whole-placement MB attributed at the placement's end instant: the
+      // addends are the same deltas job stats accumulate, so the bucketed
+      // timeline partitions total_moved_mb() exactly.
+      tl->placement_mb.emplace_back(outcome.end_time,
+                                    job.stats.moved_mb - mb_before);
+    }
     if (config.tracer != nullptr) {
       config.tracer->record_complete("placement", "condor", now,
                                      outcome.end_time - now, job_id,
@@ -246,6 +441,7 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
       job.stats.completion_s = outcome.end_time;
       last_finish = std::max(last_finish, outcome.end_time);
       pool_metrics().finished.add();
+      if (tl != nullptr) tl->job_finish_s.push_back(outcome.end_time);
       if (config.tracer != nullptr) {
         config.tracer->record_instant("job.finished", "condor",
                                       outcome.end_time, job_id,
@@ -283,7 +479,13 @@ class ContendedEngine {
         last_finish_(last_finish),
         occupied_(specs.size(), false),
         occupied_until_(specs.size(), 0.0),
-        states_(jobs.size()) {}
+        states_(jobs.size()) {
+    if (config.snapshot_every_s > 0.0) {
+      timeline_ = std::make_unique<FleetTimeline>(
+          config.snapshot_every_s, fleet_.shard_count(),
+          fleet_.config().server.capacity_mbps);
+    }
+  }
 
   void run() {
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
@@ -301,6 +503,7 @@ class ContendedEngine {
       // the eviction instant counts as completed, matching the synchronous
       // walk's `full <= budget` rule.
       if (server_t <= heap_t) {
+        observe_time(server_t);
         for (const auto& done : fleet_.advance_to(server_t)) {
           handle_completion(done);
         }
@@ -310,6 +513,11 @@ class ContendedEngine {
       (void)seq;
       heap_.pop();
       if (gen != states_[job_id].generation) continue;  // stale placement
+      // Cut timeline frames only at *live* events: stale ones (cancelled
+      // placements long in the future) touch nothing, and skipping them
+      // keeps the timeline from trailing empty frames past the makespan.
+      // Live processing time is monotone, so no event's bytes are split.
+      observe_time(t);
       switch (kind) {
         case EventKind::kNegotiate:
           handle_negotiate(job_id, t);
@@ -329,6 +537,13 @@ class ContendedEngine {
 
   [[nodiscard]] server::FleetStats fleet_stats() const {
     return fleet_.stats();
+  }
+
+  /// Flush the open interval and hand over the timeline (empty when
+  /// snapshot_every_s was 0). Call once, after run().
+  [[nodiscard]] std::vector<PoolTimelineFrame> take_timeline() {
+    if (timeline_ == nullptr) return {};
+    return timeline_->finish(last_t_, fleet_);
   }
 
  private:
@@ -367,6 +582,12 @@ class ContendedEngine {
   void push_event(double t, EventKind kind, std::size_t job,
                   std::uint32_t gen) {
     heap_.push({t, next_seq_++, kind, job, gen});
+  }
+
+  /// Record the engine's processing clock and cut any due timeline frames.
+  void observe_time(double t) {
+    last_t_ = t;
+    if (timeline_ != nullptr) timeline_->advance(t, fleet_);
   }
 
   void handle_negotiate(std::size_t job_id, double now) {
@@ -493,6 +714,11 @@ class ContendedEngine {
     st.placement_mb += done.megabytes;
     st.backoff_attempts = 0;
     pool_metrics().mb_moved.add(done.megabytes);
+    if (timeline_ != nullptr) {
+      const std::size_t shard = server::ServerFleet::shard_of(done.id);
+      timeline_->add_transfer(shard, done.megabytes);
+      timeline_->add_wait(shard, done.wait_s());
+    }
     // The cost the job *felt* — queueing plus wire time — is what it feeds
     // back into the planner as C and R, so schedules adapt to congestion.
     // Smoothed (EWMA), not raw: a single lucky fast transfer would collapse
@@ -524,6 +750,7 @@ class ContendedEngine {
     job.stats.completion_s = now;
     last_finish_ = std::max(last_finish_, now);
     pool_metrics().finished.add();
+    if (timeline_ != nullptr) timeline_->job_finished();
     occupied_until_[st.machine] = now;
     if (config_.tracer != nullptr) {
       config_.tracer->record_complete("placement", "condor",
@@ -549,6 +776,11 @@ class ContendedEngine {
         job.stats.moved_mb += removal.moved_mb;
         st.placement_mb += removal.moved_mb;
         pool_metrics().mb_moved.add(removal.moved_mb);
+        if (timeline_ != nullptr) {
+          timeline_->add_transfer(
+              server::ServerFleet::shard_of(st.transfer_id),
+              removal.moved_mb);
+        }
         if (st.transfer_kind == TransferKind::kCheckpoint) {
           job.stats.lost_work_s += st.chunk;  // never committed
         }
@@ -583,6 +815,8 @@ class ContendedEngine {
   std::vector<bool> occupied_;
   std::vector<double> occupied_until_;
   std::vector<PerJob> states_;
+  std::unique_ptr<FleetTimeline> timeline_;  ///< null when cadence is 0
+  double last_t_ = 0.0;  ///< latest event-processing time (monotone)
 
   /// (time, sequence, kind, job, generation): sequence keeps equal-time
   /// ordering deterministic.
@@ -601,7 +835,8 @@ PoolSimResult run_pool_simulation(
     throw std::invalid_argument("run_pool_simulation: need machines");
   }
   if (config.job_count == 0 || !(config.work_per_job_s > 0.0) ||
-      !(config.negotiation_interval_s > 0.0) || !(config.horizon_s > 0.0)) {
+      !(config.negotiation_interval_s > 0.0) || !(config.horizon_s > 0.0) ||
+      !(config.snapshot_every_s >= 0.0)) {
     throw std::invalid_argument("run_pool_simulation: bad config");
   }
   if (config.server.has_value() && config.fleet.has_value()) {
@@ -656,9 +891,16 @@ PoolSimResult run_pool_simulation(
     result.server_enabled = true;
     result.fleet = engine.fleet_stats();
     result.server = result.fleet.total;
+    result.timeline = engine.take_timeline();
   } else {
+    UncontendedTimelineLog tl;
     run_uncontended(machine_specs, config, fitted, pool, matchmaker,
-                    transfer_rng, jobs, last_finish);
+                    transfer_rng, jobs, last_finish,
+                    config.snapshot_every_s > 0.0 ? &tl : nullptr);
+    if (config.snapshot_every_s > 0.0) {
+      result.timeline =
+          build_uncontended_timeline(tl, config.snapshot_every_s);
+    }
   }
 
   result.jobs.reserve(jobs.size());

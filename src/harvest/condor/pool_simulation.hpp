@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "harvest/condor/matchmaker.hpp"
@@ -61,7 +62,57 @@ struct PoolSimConfig {
   /// policy (server::ServerFleet). A 1-shard fleet is bit-identical to
   /// `server`. Same materialize() contract for seed/tracer as above.
   std::optional<server::FleetConfig> fleet;
+  /// Per-interval telemetry cadence in simulated seconds; 0 (default)
+  /// disables the timeline. When set, PoolSimResult::timeline carries one
+  /// frame per interval whose per-shard megabytes exactly partition the
+  /// run's total network traffic (every completed or interrupted transfer
+  /// lands in exactly one frame). The cadence does not perturb the
+  /// simulation: a run produces bit-identical results with the timeline on
+  /// or off.
+  double snapshot_every_s = 0.0;
 };
+
+/// One fleet shard's slice of a timeline frame. Queue depth / active /
+/// pending are sampled at the frame cut (as of the shard's clock at the
+/// last event processed before the boundary); the rest are per-interval
+/// deltas.
+struct PoolShardFrame {
+  std::size_t queue_depth = 0;   ///< waiting transfers at the cut
+  std::size_t active = 0;        ///< in-service transfers at the cut
+  double pending_mb = 0.0;       ///< queued + in-service MB at the cut
+  double moved_mb = 0.0;         ///< MB completed or interrupted this interval
+  double wait_p50_s = 0.0;       ///< over transfers finishing this interval
+  double wait_p99_s = 0.0;
+  /// Approximate wire occupancy: completed MB this interval over link
+  /// capacity x interval length, clamped to [0, 1]. A transfer spanning a
+  /// boundary charges the interval its bytes are accounted in.
+  double utilization = 0.0;
+  std::uint64_t storms_deferred = 0;  ///< staggerer deferrals this interval
+};
+
+/// One per-interval telemetry sample of the whole pool. Frames tile
+/// [0, end of run): frame i covers simulated time [start_s, t_s), the last
+/// frame may be shorter than the cadence, and megabytes are partitioned
+/// exactly — summing interval_mb (or every shard's moved_mb) over all
+/// frames reproduces the run's total network MB.
+struct PoolTimelineFrame {
+  double start_s = 0.0;
+  double t_s = 0.0;          ///< frame end (the sample instant)
+  double interval_mb = 0.0;  ///< Σ shard moved_mb; all traffic uncontended
+  std::size_t jobs_finished = 0;  ///< completions inside this interval
+  std::vector<PoolShardFrame> shards;  ///< empty in uncontended mode
+};
+
+/// CSV export of a timeline: one row per (frame, shard) — or one row per
+/// frame with the shard columns empty in uncontended mode — under the
+/// stable header
+/// `frame,start_s,end_s,interval_mb,jobs_finished,shard,queue_depth,
+/// active,pending_mb,moved_mb,wait_p50_s,wait_p99_s,utilization,
+/// storms_deferred`.
+[[nodiscard]] std::string timeline_csv(
+    const std::vector<PoolTimelineFrame>& timeline);
+void write_timeline_csv(const std::string& path,
+                        const std::vector<PoolTimelineFrame>& timeline);
 
 struct PoolSimJobStats {
   bool finished = false;
@@ -87,6 +138,9 @@ struct PoolSimResult {
   server::ServerStats server;
   /// Aggregate plus per-shard breakdown and imbalance.
   server::FleetStats fleet;
+  /// Per-interval telemetry; empty unless PoolSimConfig::snapshot_every_s
+  /// was set. See PoolTimelineFrame for the partition guarantee.
+  std::vector<PoolTimelineFrame> timeline;
 
   [[nodiscard]] std::size_t finished_count() const;
   [[nodiscard]] double mean_completion_s() const;  ///< finished jobs only

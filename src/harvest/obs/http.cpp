@@ -1,0 +1,266 @@
+#include "harvest/obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace harvest::obs {
+namespace {
+
+struct HttpMetrics {
+  Counter& requests;
+  Counter& errors;
+};
+
+HttpMetrics& http_metrics() {
+  auto& reg = default_registry();
+  static HttpMetrics m{
+      reg.counter("obs.http.requests"),
+      reg.counter("obs.http.errors"),
+  };
+  return m;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// Write all of `data` to `fd`, swallowing EINTR. Returns false on error.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string render_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.0 " + std::to_string(r.status) + ' ' +
+                    reason_phrase(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpHandler handler)
+    : handler_(std::move(handler)) {
+  if (!handler_) {
+    throw std::invalid_argument("HttpServer: need a handler");
+  }
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void HttpServer::bind(std::uint16_t port) {
+  if (listen_fd_ >= 0) {
+    throw std::runtime_error("HttpServer: already bound");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("HttpServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("HttpServer: cannot listen on "
+                                         "127.0.0.1:") +
+                             std::to_string(port) + " (" +
+                             std::strerror(err) + ")");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw std::runtime_error("HttpServer: getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+}
+
+void HttpServer::start() {
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpServer: bind() before start()");
+  }
+  if (running_.load()) return;
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void HttpServer::serve_loop() {
+  while (!stop_requested_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // Short poll timeout so stop() is honored promptly even when idle.
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+  running_.store(false);
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Read until the end of the request head (or a sane cap); HTTP/1.0 GETs
+  // have no body, so the request line is all we need.
+  std::string req;
+  char buf[2048];
+  while (req.size() < 16 * 1024 &&
+         req.find("\r\n\r\n") == std::string::npos &&
+         req.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  http_metrics().requests.add();
+
+  HttpResponse resp;
+  const auto line_end = req.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? req : req.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    resp = {405, "text/plain; charset=utf-8", "only GET is served\n"};
+  } else {
+    // Strip any ?query: the endpoints dispatch on the bare path.
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const auto q = path.find('?'); q != std::string::npos) {
+      path.resize(q);
+    }
+    try {
+      resp = handler_(path);
+    } catch (const std::exception& e) {
+      resp = {500, "text/plain; charset=utf-8",
+              std::string("error: ") + e.what() + '\n'};
+    }
+  }
+  if (resp.status >= 400) http_metrics().errors.add();
+  write_all(fd, render_response(resp));
+}
+
+HttpResponse ExporterEndpoints::respond(const std::string& path) const {
+  if (path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            registry_.prometheus_text()};
+  }
+  if (path == "/healthz") {
+    return {200, "text/plain; charset=utf-8", "ok\n"};
+  }
+  if (path == "/readyz") {
+    if (ready_.load()) return {200, "text/plain; charset=utf-8", "ready\n"};
+    return {503, "text/plain; charset=utf-8", "not ready\n"};
+  }
+  if (path == "/snapshot.json") {
+    const auto frame = series_.latest();
+    if (!frame.has_value()) {
+      return {404, "application/json", "{\"error\":\"no frame yet\"}\n"};
+    }
+    return {200, "application/json", frame->to_json() + '\n'};
+  }
+  return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+HttpGetResult http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("http_get: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("http_get: cannot connect to 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!write_all(fd, req)) {
+    ::close(fd);
+    throw std::runtime_error("http_get: write failed");
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  HttpGetResult result;
+  const auto head_end = raw.find("\r\n\r\n");
+  const std::string head =
+      head_end == std::string::npos ? raw : raw.substr(0, head_end);
+  if (head_end != std::string::npos) {
+    result.body = raw.substr(head_end + 4);
+  }
+  // Status line: "HTTP/1.0 200 OK".
+  const auto sp = head.find(' ');
+  if (sp != std::string::npos) {
+    result.status = std::atoi(head.c_str() + sp + 1);
+  }
+  // Headers are case-insensitive per RFC, but we only ever talk to
+  // ourselves; match the casing render_response emits.
+  const std::string needle = "Content-Type: ";
+  if (const auto ct = head.find(needle); ct != std::string::npos) {
+    const auto end = head.find("\r\n", ct);
+    result.content_type =
+        head.substr(ct + needle.size(),
+                    end == std::string::npos ? std::string::npos
+                                             : end - ct - needle.size());
+  }
+  return result;
+}
+
+}  // namespace harvest::obs

@@ -1,0 +1,108 @@
+// Minimal blocking HTTP/1.0 exporter — just enough surface for a
+// Prometheus scraper and a curl-wielding operator, with no dependencies
+// beyond POSIX sockets. One listener thread accepts loopback connections,
+// reads a GET request line, dispatches on the path, writes the response,
+// and closes; there is no keep-alive, no TLS, no chunking. That is exactly
+// the contract the Prometheus text exposition expects from a scrape
+// target, and it keeps the attack/bug surface of a research daemon tiny.
+//
+// ExporterEndpoints wires the conventional endpoint set (/metrics,
+// /healthz, /readyz, /snapshot.json) over a MetricsRegistry and a
+// SnapshotSeries, so `harvestd` and the socket smoke tests serve the exact
+// same handler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/series.hpp"
+
+namespace harvest::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Maps a request path ("/metrics") to a response. Exceptions become 500s.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+/// Single-threaded blocking HTTP/1.0 server bound to 127.0.0.1. Lifecycle:
+/// construct with a handler, bind() (port 0 = ephemeral, read the real one
+/// back with port()), start() the listener thread, stop() to shut down
+/// (also done by the destructor). Counts requests and errors in the
+/// default registry (`obs.http.requests` / `obs.http.errors`).
+class HttpServer {
+ public:
+  explicit HttpServer(HttpHandler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind + listen on 127.0.0.1:`port`. Throws std::runtime_error on
+  /// failure (port in use, no socket).
+  void bind(std::uint16_t port);
+  /// The actually-bound port (resolves port 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Start the listener thread. bind() must have succeeded.
+  void start();
+  /// Stop the listener and join the thread. Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+/// The standard exporter endpoint set over a registry + series:
+///   /metrics        Prometheus text exposition of `registry`
+///   /healthz        200 "ok" while the process lives
+///   /readyz         200 once ready() was flipped, 503 before
+///   /snapshot.json  latest SnapshotSeries frame (404 until one exists)
+/// Anything else is a 404. Use as: HttpServer server(endpoints.handler());
+class ExporterEndpoints {
+ public:
+  ExporterEndpoints(const MetricsRegistry& registry,
+                    const SnapshotSeries& series)
+      : registry_(registry), series_(series) {}
+
+  void set_ready(bool ready) { ready_.store(ready); }
+  [[nodiscard]] bool ready() const { return ready_.load(); }
+
+  [[nodiscard]] HttpResponse respond(const std::string& path) const;
+  /// Bindable handler for HttpServer (keeps `this` alive by reference —
+  /// the endpoints must outlive the server).
+  [[nodiscard]] HttpHandler handler() const {
+    return [this](const std::string& path) { return respond(path); };
+  }
+
+ private:
+  const MetricsRegistry& registry_;
+  const SnapshotSeries& series_;
+  std::atomic<bool> ready_{false};
+};
+
+/// Tiny blocking loopback GET client for smoke tests and CLI checks.
+struct HttpGetResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+[[nodiscard]] HttpGetResult http_get(std::uint16_t port,
+                                     const std::string& path);
+
+}  // namespace harvest::obs

@@ -165,6 +165,21 @@ std::string sanitize_prom_name(const std::string& name) {
   return out;
 }
 
+/// HELP text needs \ and newline escaped per the exposition format (a
+/// double quote is legal verbatim in HELP, unlike in label values).
+std::string escape_prom_help(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 /// Label values need \ " and newline escaped per the exposition format.
 std::string escape_prom_label(const std::string& value) {
   std::string out;
@@ -215,18 +230,27 @@ std::string RegistrySnapshot::to_prometheus(
     const std::vector<std::pair<std::string, std::string>>& labels) const {
   std::string out;
   const std::string label_str = prom_labels(labels);
+  const auto help_line = [&out](const std::string& name,
+                                const std::string& help) {
+    if (!help.empty()) {
+      out += "# HELP " + name + ' ' + escape_prom_help(help) + '\n';
+    }
+  };
   for (const auto& c : counters) {
     const std::string name = sanitize_prom_name(c.name) + "_total";
+    help_line(name, c.help);
     out += "# TYPE " + name + " counter\n";
     out += name + label_str + ' ' + std::to_string(c.value) + '\n';
   }
   for (const auto& g : gauges) {
     const std::string name = sanitize_prom_name(g.name);
+    help_line(name, g.help);
     out += "# TYPE " + name + " gauge\n";
     out += name + label_str + ' ' + prom_double(g.value) + '\n';
   }
   for (const auto& h : histograms) {
     const std::string name = sanitize_prom_name(h.name);
+    help_line(name, h.help);
     out += "# TYPE " + name + " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
@@ -236,6 +260,12 @@ std::string RegistrySnapshot::to_prometheus(
                                  : "+Inf";
       out += name + "_bucket" + prom_labels(labels, "le", le) + ' ' +
              std::to_string(cumulative) + '\n';
+    }
+    if (h.bucket_counts.empty()) {
+      // The format requires the +Inf bucket even when the histogram has no
+      // explicit buckets (e.g. a hand-built or not-yet-observed snapshot).
+      out += name + "_bucket" + prom_labels(labels, "le", "+Inf") + ' ' +
+             std::to_string(h.count) + '\n';
     }
     out += name + "_sum" + label_str + ' ' + prom_double(h.sum) + '\n';
     out += name + "_count" + label_str + ' ' + std::to_string(h.count) + '\n';
@@ -283,20 +313,32 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *slot;
 }
 
+void MetricsRegistry::describe(std::string_view name,
+                               std::string_view help) {
+  std::unique_lock lock(mutex_);
+  help_[std::string(name)] = std::string(help);
+}
+
 RegistrySnapshot MetricsRegistry::snapshot() const {
   std::shared_lock lock(mutex_);
+  const auto help_of = [this](const std::string& name) {
+    const auto it = help_.find(name);
+    return it != help_.end() ? it->second : std::string{};
+  };
   RegistrySnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
-    snap.counters.push_back({name, c->value()});
+    snap.counters.push_back({name, help_of(name), c->value()});
   }
   snap.gauges.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
-    snap.gauges.push_back({name, g->value()});
+    snap.gauges.push_back({name, help_of(name), g->value()});
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    snap.histograms.push_back(h->snapshot(name));
+    auto hs = h->snapshot(name);
+    hs.help = help_of(name);
+    snap.histograms.push_back(std::move(hs));
   }
   return snap;
 }

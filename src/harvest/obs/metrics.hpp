@@ -62,6 +62,7 @@ class Gauge {
 /// statistics the exporters need.
 struct HistogramSnapshot {
   std::string name;
+  std::string help;  ///< optional HELP text (see MetricsRegistry::describe)
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;  ///< 0 when count == 0
@@ -122,11 +123,13 @@ class Histogram {
 
 struct CounterSnapshot {
   std::string name;
+  std::string help;  ///< optional HELP text (see MetricsRegistry::describe)
   std::uint64_t value = 0;
 };
 
 struct GaugeSnapshot {
   std::string name;
+  std::string help;  ///< optional HELP text (see MetricsRegistry::describe)
   double value = 0.0;
 };
 
@@ -142,10 +145,14 @@ struct RegistrySnapshot {
 
   /// Prometheus text exposition format (version 0.0.4): counters become
   /// `<name>_total`, gauges expose as-is, histograms emit the conventional
-  /// cumulative `<name>_bucket{le="..."}` series plus `_sum` and `_count`.
-  /// Metric names are sanitized ('.', '-' → '_'); an optional
-  /// `{key="value"}` label set taken from `labels` is attached to every
-  /// sample (useful to tag a scrape with family/policy/run id).
+  /// cumulative `<name>_bucket{le="..."}` series plus `_sum` and `_count`
+  /// (a histogram with no buckets still emits its `+Inf` bucket, which the
+  /// format requires). Metric names are sanitized ('.', '-' → '_'); a
+  /// `# HELP` line precedes `# TYPE` for metrics with help text (escaped
+  /// per the format: `\` and newline); an optional `{key="value"}` label
+  /// set taken from `labels` is attached to every sample (useful to tag a
+  /// scrape with family/policy/run id) with `\`, `"`, and newline escaped
+  /// in the values.
   [[nodiscard]] std::string to_prometheus(
       const std::vector<std::pair<std::string, std::string>>& labels =
           {}) const;
@@ -163,6 +170,11 @@ class MetricsRegistry {
   /// `bounds` only applies on first creation; later callers get the
   /// existing histogram regardless of the bounds they pass.
   Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  /// Attach HELP text to a metric name (any kind, before or after the
+  /// metric exists). Snapshots carry it and the Prometheus exposition
+  /// emits it as a `# HELP` line. Re-describing overwrites.
+  void describe(std::string_view name, std::string_view help);
 
   [[nodiscard]] RegistrySnapshot snapshot() const;
   /// snapshot().to_json() in one call.
@@ -186,6 +198,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 /// The process-wide registry used by the library's built-in

@@ -1,0 +1,242 @@
+#include "harvest/obs/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "harvest/obs/json.hpp"
+
+namespace harvest::obs {
+
+std::string SeriesFrame::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("t_s", t_s);
+  w.key("metrics").raw(snapshot.to_json());
+  w.end_object();
+  return w.str();
+}
+
+SnapshotSeries::SnapshotSeries(double every_s, std::size_t max_frames)
+    : every_s_(every_s), max_frames_(max_frames) {
+  if (!(every_s > 0.0)) {
+    throw std::invalid_argument("SnapshotSeries: every_s must be > 0");
+  }
+  if (max_frames_ > 0) {
+    ring_.reserve(std::min<std::size_t>(max_frames_, 64));
+  }
+}
+
+void SnapshotSeries::push_frame(SeriesFrame frame) {
+  if (max_frames_ == 0 || ring_.size() < max_frames_) {
+    ring_.push_back(std::move(frame));
+    if (max_frames_ > 0) next_ = ring_.size() % max_frames_;
+  } else {
+    ring_[next_] = std::move(frame);
+    next_ = (next_ + 1) % max_frames_;
+  }
+  ++sampled_;
+}
+
+void SnapshotSeries::sample(double t_s, const MetricsRegistry& registry) {
+  sample(t_s, registry.snapshot());
+}
+
+void SnapshotSeries::sample(double t_s, RegistrySnapshot snapshot) {
+  std::lock_guard lock(mutex_);
+  push_frame(SeriesFrame{t_s, std::move(snapshot)});
+}
+
+bool SnapshotSeries::maybe_sample(double t_s,
+                                  const MetricsRegistry& registry) {
+  {
+    std::lock_guard lock(mutex_);
+    if (sampled_any_ && t_s < next_due_s_) return false;
+    sampled_any_ = true;
+    // Advance past t_s in whole cadence steps so a producer that slept
+    // through several periods does not cut a frame backlog.
+    const double base = next_due_s_ > t_s ? next_due_s_ : t_s;
+    next_due_s_ =
+        every_s_ * (std::floor(base / every_s_) + 1.0);
+  }
+  sample(t_s, registry.snapshot());
+  return true;
+}
+
+std::vector<SeriesFrame> SnapshotSeries::frames() const {
+  std::lock_guard lock(mutex_);
+  if (max_frames_ == 0 || ring_.size() < max_frames_) return ring_;
+  std::vector<SeriesFrame> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::optional<SeriesFrame> SnapshotSeries::latest() const {
+  std::lock_guard lock(mutex_);
+  if (ring_.empty()) return std::nullopt;
+  if (max_frames_ == 0 || ring_.size() < max_frames_) return ring_.back();
+  return ring_[(next_ + ring_.size() - 1) % ring_.size()];
+}
+
+std::size_t SnapshotSeries::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t SnapshotSeries::evicted() const {
+  std::lock_guard lock(mutex_);
+  return sampled_ - ring_.size();
+}
+
+void SnapshotSeries::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  sampled_ = 0;
+  sampled_any_ = false;
+  next_due_s_ = 0.0;
+}
+
+namespace {
+
+/// Extract one named metric across frames with `lookup` returning the
+/// value when the frame carries it.
+template <typename Lookup>
+std::vector<SeriesPoint> extract_series(const std::vector<SeriesFrame>& fs,
+                                        const Lookup& lookup) {
+  std::vector<SeriesPoint> out;
+  bool have_prev = false;
+  double prev_v = 0.0;
+  double prev_t = 0.0;
+  for (const auto& f : fs) {
+    double v = 0.0;
+    if (!lookup(f, v)) continue;
+    SeriesPoint p;
+    p.t_s = f.t_s;
+    p.value = v;
+    if (have_prev) {
+      p.delta = v - prev_v;
+      const double dt = f.t_s - prev_t;
+      p.rate = dt > 0.0 ? p.delta / dt : 0.0;
+    }
+    out.push_back(p);
+    have_prev = true;
+    prev_v = v;
+    prev_t = f.t_s;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SeriesPoint> SnapshotSeries::counter_series(
+    const std::string& name) const {
+  return extract_series(
+      frames(), [&](const SeriesFrame& f, double& v) {
+        for (const auto& c : f.snapshot.counters) {
+          if (c.name == name) {
+            v = static_cast<double>(c.value);
+            return true;
+          }
+        }
+        return false;
+      });
+}
+
+std::vector<SeriesPoint> SnapshotSeries::gauge_series(
+    const std::string& name) const {
+  return extract_series(frames(), [&](const SeriesFrame& f, double& v) {
+    for (const auto& g : f.snapshot.gauges) {
+      if (g.name == name) {
+        v = g.value;
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
+std::string SnapshotSeries::to_csv() const {
+  const auto fs = frames();
+  // Sorted union of columns over every frame: the header never depends on
+  // when a metric first appeared (std::set keeps it ordered + unique).
+  std::set<std::string> columns;
+  for (const auto& f : fs) {
+    for (const auto& c : f.snapshot.counters) columns.insert(c.name);
+    for (const auto& g : f.snapshot.gauges) columns.insert(g.name);
+    for (const auto& h : f.snapshot.histograms) {
+      columns.insert(h.name + ".count");
+      columns.insert(h.name + ".sum");
+      columns.insert(h.name + ".p50");
+      columns.insert(h.name + ".p99");
+    }
+  }
+  std::string out = "t_s";
+  for (const auto& c : columns) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  for (const auto& f : fs) {
+    // Per-frame lookup maps (the snapshot vectors are name-sorted, but a
+    // map keeps this O(log n) without assuming that).
+    std::map<std::string, double> values;
+    for (const auto& c : f.snapshot.counters) {
+      values[c.name] = static_cast<double>(c.value);
+    }
+    for (const auto& g : f.snapshot.gauges) values[g.name] = g.value;
+    for (const auto& h : f.snapshot.histograms) {
+      values[h.name + ".count"] = static_cast<double>(h.count);
+      values[h.name + ".sum"] = h.sum;
+      values[h.name + ".p50"] = h.p50;
+      values[h.name + ".p99"] = h.p99;
+    }
+    out += json_number(f.t_s);
+    for (const auto& c : columns) {
+      out += ',';
+      const auto it = values.find(c);
+      if (it != values.end()) out += json_number(it->second);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SnapshotSeries::to_jsonl() const {
+  std::string out;
+  for (const auto& f : frames()) {
+    out += f.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SnapshotSeries: cannot open " + path);
+  }
+  out << text;
+  if (!out) {
+    throw std::runtime_error("SnapshotSeries: write failed: " + path);
+  }
+}
+}  // namespace
+
+void SnapshotSeries::write_csv(const std::string& path) const {
+  write_text_file(path, to_csv());
+}
+
+void SnapshotSeries::write_jsonl(const std::string& path) const {
+  write_text_file(path, to_jsonl());
+}
+
+}  // namespace harvest::obs

@@ -1,0 +1,111 @@
+// The temporal half of harvest::obs: periodic full-registry snapshots
+// keyed by the producer's clock (simulated seconds for the simulators,
+// wall/iteration time for a daemon). A RegistrySnapshot answers "where did
+// the run end up"; a SnapshotSeries answers "when did it happen" — the
+// checkpoint storms and recovery waves the paper cares about are temporal
+// phenomena, invisible in an end-of-run aggregate.
+//
+// The series is a fixed-cadence, bounded ring of frames: maybe_sample()
+// cuts a frame every `every_s` on the producer's clock, the ring keeps the
+// newest `max_frames` frames (older ones are evicted and counted), and
+// per-metric delta/rate extraction plus CSV/JSONL timeline export turn the
+// ring into something a plotting script or a Prometheus scrape can use.
+// Thread-safe: a daemon samples from its simulation loop while an HTTP
+// listener serves the latest frame.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::obs {
+
+/// One sampled frame: the full registry state at one instant.
+struct SeriesFrame {
+  double t_s = 0.0;  ///< sample time on the producer's clock
+  RegistrySnapshot snapshot;
+
+  /// {"t_s": ..., "metrics": <RegistrySnapshot::to_json()>}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// One point of an extracted per-metric timeline: the raw value at t_s
+/// plus the change since the previous surviving frame and its rate.
+struct SeriesPoint {
+  double t_s = 0.0;
+  double value = 0.0;
+  double delta = 0.0;  ///< value - previous frame's value (0 at the first)
+  double rate = 0.0;   ///< delta / dt (0 at the first frame or dt == 0)
+};
+
+class SnapshotSeries {
+ public:
+  static constexpr std::size_t kDefaultMaxFrames = 1024;
+
+  /// `every_s` is the sampling cadence maybe_sample() enforces (must be
+  /// > 0); `max_frames` bounds the ring (0 = unbounded).
+  explicit SnapshotSeries(double every_s,
+                          std::size_t max_frames = kDefaultMaxFrames);
+
+  /// Unconditionally cut a frame at `t_s` from `registry` (or a snapshot
+  /// the caller already holds). Frames must be sampled in nondecreasing
+  /// t_s order for delta extraction to be meaningful; the series does not
+  /// enforce it.
+  void sample(double t_s, const MetricsRegistry& registry);
+  void sample(double t_s, RegistrySnapshot snapshot);
+
+  /// Cut a frame iff `t_s` has reached the next cadence point (first call
+  /// always samples). Returns true when a frame was cut. The next due time
+  /// advances by whole multiples of every_s, so a slow producer that
+  /// overshoots several periods cuts ONE frame, not a backlog.
+  bool maybe_sample(double t_s, const MetricsRegistry& registry);
+
+  /// Frames in sample order, oldest surviving first.
+  [[nodiscard]] std::vector<SeriesFrame> frames() const;
+  [[nodiscard]] std::optional<SeriesFrame> latest() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t max_frames() const { return max_frames_; }
+  [[nodiscard]] double every_s() const { return every_s_; }
+  /// Frames evicted because the ring was full.
+  [[nodiscard]] std::uint64_t evicted() const;
+  void clear();
+
+  /// Timeline of one counter across the surviving frames ({} when the
+  /// counter appears in none). Counters are monotone, so every delta is
+  /// >= 0 as long as nobody reset the registry mid-series.
+  [[nodiscard]] std::vector<SeriesPoint> counter_series(
+      const std::string& name) const;
+  /// Same for a gauge (deltas may be negative).
+  [[nodiscard]] std::vector<SeriesPoint> gauge_series(
+      const std::string& name) const;
+
+  /// CSV timeline: header "t_s,<col>,<col>,..." where the columns are the
+  /// sorted union over all surviving frames of every counter name, gauge
+  /// name, and histogram-derived `<name>.count` / `.sum` / `.p50` /
+  /// `.p99`. Sorting the union keeps the header stable: the column order
+  /// never depends on when a metric first appeared. A frame missing a
+  /// column leaves the cell empty.
+  [[nodiscard]] std::string to_csv() const;
+  /// One frame per line, each line the frame's to_json().
+  [[nodiscard]] std::string to_jsonl() const;
+  void write_csv(const std::string& path) const;
+  void write_jsonl(const std::string& path) const;
+
+ private:
+  void push_frame(SeriesFrame frame);
+
+  mutable std::mutex mutex_;
+  double every_s_;
+  std::size_t max_frames_;  ///< 0 = unbounded
+  double next_due_s_ = 0.0;
+  bool sampled_any_ = false;
+  std::vector<SeriesFrame> ring_;
+  std::size_t next_ = 0;  ///< ring write cursor (bounded mode, when full)
+  std::uint64_t sampled_ = 0;  ///< total frames ever cut
+};
+
+}  // namespace harvest::obs

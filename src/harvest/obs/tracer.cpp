@@ -6,9 +6,18 @@
 #include <utility>
 
 #include "harvest/obs/json.hpp"
+#include "harvest/obs/metrics.hpp"
 
 namespace harvest::obs {
 namespace {
+
+/// Process-wide overwrite count: every tracer (default or caller-owned)
+/// bumps it when a full ring swallows an event, so a scrape of the default
+/// registry reveals truncated traces even when nobody polls dropped().
+Counter& tracer_dropped_counter() {
+  static Counter& c = default_registry().counter("obs.tracer.dropped");
+  return c;
+}
 
 void append_event_json(JsonWriter& w, const TraceEvent& e, bool chrome) {
   // Chrome's trace_event format wants microseconds; JSONL keeps the
@@ -50,6 +59,7 @@ void EventTracer::record(TraceEvent event) {
   } else {
     ring_[next_] = std::move(event);
     next_ = (next_ + 1) % capacity_;
+    tracer_dropped_counter().add();
   }
   ++recorded_;
 }
@@ -101,6 +111,19 @@ void EventTracer::clear() {
 
 std::string EventTracer::to_jsonl() const {
   std::string out;
+  // A truncated ring must not read like a complete record: lead with a
+  // meta line naming how many events the ring overwrote. Kept silent at
+  // zero so an intact trace stays exactly one event per line.
+  if (const std::uint64_t lost = dropped(); lost > 0) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("meta", "tracer");
+    w.field("dropped", lost);
+    w.field("capacity", static_cast<std::uint64_t>(capacity_));
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
   for (const auto& e : events()) {
     JsonWriter w;
     append_event_json(w, e, /*chrome=*/false);
@@ -114,6 +137,12 @@ std::string EventTracer::to_chrome_trace() const {
   JsonWriter w;
   w.begin_object();
   w.field("displayTimeUnit", "ms");
+  // trace viewers ignore unknown otherData keys; ours records ring
+  // truncation so a gap at the start of the timeline is explainable.
+  w.key("otherData").begin_object();
+  w.field("droppedEvents", dropped());
+  w.field("ringCapacity", static_cast<std::uint64_t>(capacity_));
+  w.end_object();
   w.key("traceEvents").begin_array();
   for (const auto& e : events()) append_event_json(w, e, /*chrome=*/true);
   w.end_array();

@@ -87,8 +87,21 @@ ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed,
   for (std::size_t k = 0; k < config.shards; ++k) {
     shards_.push_back(std::make_unique<CheckpointServer>(
         config.materialize(k, seed, tracer)));
-    shard_wait_s_.push_back(&obs::default_registry().histogram(
-        "server.fleet.shard" + std::to_string(k) + ".wait_s"));
+    const std::string prefix = "server.fleet.shard" + std::to_string(k);
+    auto& reg = obs::default_registry();
+    shard_wait_s_.push_back(&reg.histogram(prefix + ".wait_s"));
+    shard_queue_depth_.push_back(&reg.gauge(prefix + ".queue_depth"));
+    shard_active_.push_back(&reg.gauge(prefix + ".active"));
+    shard_pending_mb_.push_back(&reg.gauge(prefix + ".pending_mb"));
+  }
+}
+
+void ServerFleet::sample_gauges() const {
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    shard_queue_depth_[k]->set(
+        static_cast<double>(shards_[k]->queued_count()));
+    shard_active_[k]->set(static_cast<double>(shards_[k]->active_count()));
+    shard_pending_mb_[k]->set(shards_[k]->pending_mb());
   }
 }
 

@@ -133,6 +133,12 @@ class ServerFleet {
   [[nodiscard]] const FleetConfig& config() const { return config_; }
   [[nodiscard]] FleetStats stats() const;
 
+  /// Publish every shard's instantaneous load into the default registry as
+  /// `server.fleet.shard<k>.queue_depth` / `.active` / `.pending_mb`
+  /// gauges. Called at timeline frame cuts (and scrape-able from harvestd);
+  /// cheap — gauge handles are cached at construction.
+  void sample_gauges() const;
+
  private:
   [[nodiscard]] TransferId to_fleet_id(std::size_t shard,
                                        TransferId local) const;
@@ -141,6 +147,10 @@ class ServerFleet {
   std::vector<std::unique_ptr<CheckpointServer>> shards_;
   /// Cached per-shard wait histograms ("server.fleet.shard<k>.wait_s").
   std::vector<obs::Histogram*> shard_wait_s_;
+  /// Cached per-shard load gauges fed by sample_gauges().
+  std::vector<obs::Gauge*> shard_queue_depth_;
+  std::vector<obs::Gauge*> shard_active_;
+  std::vector<obs::Gauge*> shard_pending_mb_;
 };
 
 }  // namespace harvest::server

@@ -1,0 +1,208 @@
+// Per-interval pool telemetry (PoolSimConfig::snapshot_every_s): the
+// timeline must tile the run, partition the network total exactly, carry
+// one shard slice per fleet shard — and, critically, never perturb the
+// simulation itself.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/condor/pool_simulation.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::condor {
+namespace {
+
+std::vector<TimelinePool::MachineSpec> park(std::size_t n) {
+  std::vector<TimelinePool::MachineSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    TimelinePool::MachineSpec s;
+    s.id = "tl" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.5, 2500.0 + 300.0 * static_cast<double>(i % 7));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+PoolSimConfig fleet_config(std::size_t shards) {
+  PoolSimConfig cfg;
+  cfg.job_count = 8;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 5;
+  server::FleetConfig fc;
+  fc.shards = shards;
+  fc.server.capacity_mbps = 12.0;
+  fc.server.slots = 2;
+  cfg.fleet = fc;
+  return cfg;
+}
+
+double timeline_mb(const std::vector<PoolTimelineFrame>& timeline) {
+  double mb = 0.0;
+  for (const auto& f : timeline) mb += f.interval_mb;
+  return mb;
+}
+
+TEST(PoolTimeline, EmptyByDefault) {
+  const auto res = run_pool_simulation(park(16), fleet_config(2));
+  EXPECT_TRUE(res.timeline.empty());
+}
+
+TEST(PoolTimeline, NegativeCadenceThrows) {
+  auto cfg = fleet_config(2);
+  cfg.snapshot_every_s = -1.0;
+  EXPECT_THROW(run_pool_simulation(park(16), cfg), std::invalid_argument);
+}
+
+// The acceptance-criteria run: a 128-machine K=4 fleet at a 600 s cadence.
+// Summing per-interval shard megabytes over all frames must reproduce the
+// run's total network traffic — the frames are an exact partition, not an
+// approximation.
+TEST(PoolTimeline, FleetFramesPartitionNetworkTotalExactly) {
+  auto cfg = fleet_config(4);
+  cfg.job_count = 32;
+  cfg.snapshot_every_s = 600.0;
+  const auto res = run_pool_simulation(park(128), cfg);
+  ASSERT_FALSE(res.timeline.empty());
+  const double total = res.total_moved_mb();
+  ASSERT_GT(total, 0.0);
+  EXPECT_NEAR(timeline_mb(res.timeline), total, 1e-6 * total);
+  // Per-frame consistency: interval_mb is the sum of its shard slices.
+  double shard_sum = 0.0;
+  for (const auto& f : res.timeline) {
+    ASSERT_EQ(f.shards.size(), 4u);
+    double frame_shards = 0.0;
+    for (const auto& s : f.shards) frame_shards += s.moved_mb;
+    EXPECT_NEAR(frame_shards, f.interval_mb,
+                1e-9 * std::max(1.0, f.interval_mb));
+    shard_sum += frame_shards;
+  }
+  EXPECT_NEAR(shard_sum, total, 1e-6 * total);
+  // And the fleet's own per-shard ledgers agree with the timeline's
+  // per-shard sums.
+  for (std::size_t k = 0; k < 4; ++k) {
+    double mb = 0.0;
+    for (const auto& f : res.timeline) mb += f.shards[k].moved_mb;
+    EXPECT_NEAR(mb, res.fleet.shards[k].moved_mb,
+                1e-6 * std::max(1.0, res.fleet.shards[k].moved_mb));
+  }
+}
+
+TEST(PoolTimeline, FramesTileTheRunInOrder) {
+  auto cfg = fleet_config(2);
+  cfg.snapshot_every_s = 900.0;
+  const auto res = run_pool_simulation(park(24), cfg);
+  ASSERT_FALSE(res.timeline.empty());
+  EXPECT_DOUBLE_EQ(res.timeline.front().start_s, 0.0);
+  for (std::size_t i = 0; i < res.timeline.size(); ++i) {
+    const auto& f = res.timeline[i];
+    EXPECT_LE(f.start_s, f.t_s);
+    if (i + 1 < res.timeline.size()) {
+      // Interior frames are exactly one cadence long and abut the next.
+      EXPECT_DOUBLE_EQ(f.t_s - f.start_s, 900.0);
+      EXPECT_DOUBLE_EQ(res.timeline[i + 1].start_s, f.t_s);
+    }
+  }
+  // Job completions land in frames too: their total matches the run.
+  std::size_t finished = 0;
+  for (const auto& f : res.timeline) finished += f.jobs_finished;
+  EXPECT_EQ(finished, res.finished_count());
+}
+
+// Recording the timeline must not change a single bit of the simulation:
+// same seed with and without a cadence gives identical job stats, makespan,
+// and server ledgers.
+TEST(PoolTimeline, TimelineDoesNotPerturbTheRun) {
+  const auto plain = run_pool_simulation(park(24), fleet_config(2));
+  auto cfg = fleet_config(2);
+  cfg.snapshot_every_s = 300.0;
+  const auto timed = run_pool_simulation(park(24), cfg);
+  ASSERT_EQ(plain.jobs.size(), timed.jobs.size());
+  EXPECT_DOUBLE_EQ(plain.makespan_s, timed.makespan_s);
+  EXPECT_EQ(plain.server.submitted, timed.server.submitted);
+  EXPECT_DOUBLE_EQ(plain.server.moved_mb, timed.server.moved_mb);
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.jobs[i].completion_s, timed.jobs[i].completion_s);
+    EXPECT_DOUBLE_EQ(plain.jobs[i].moved_mb, timed.jobs[i].moved_mb);
+    EXPECT_DOUBLE_EQ(plain.jobs[i].server_wait_s,
+                     timed.jobs[i].server_wait_s);
+    EXPECT_EQ(plain.jobs[i].evictions, timed.jobs[i].evictions);
+  }
+  EXPECT_TRUE(plain.timeline.empty());
+  EXPECT_FALSE(timed.timeline.empty());
+}
+
+// Uncontended mode (no server/fleet) buckets whole placements by their end
+// instant; the partition guarantee holds there too, with empty shard
+// slices.
+TEST(PoolTimeline, UncontendedFramesPartitionNetworkTotal) {
+  PoolSimConfig cfg;
+  cfg.job_count = 8;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 5;
+  cfg.snapshot_every_s = 600.0;
+  const auto res = run_pool_simulation(park(24), cfg);
+  EXPECT_FALSE(res.server_enabled);
+  ASSERT_FALSE(res.timeline.empty());
+  const double total = res.total_moved_mb();
+  ASSERT_GT(total, 0.0);
+  EXPECT_NEAR(timeline_mb(res.timeline), total, 1e-6 * total);
+  std::size_t finished = 0;
+  for (const auto& f : res.timeline) {
+    EXPECT_TRUE(f.shards.empty());
+    finished += f.jobs_finished;
+  }
+  EXPECT_EQ(finished, res.finished_count());
+}
+
+TEST(PoolTimeline, CsvHeaderAndRowShape) {
+  auto cfg = fleet_config(2);
+  cfg.snapshot_every_s = 900.0;
+  const auto res = run_pool_simulation(park(24), cfg);
+  const std::string csv = timeline_csv(res.timeline);
+  const std::string header =
+      "frame,start_s,end_s,interval_mb,jobs_finished,shard,queue_depth,"
+      "active,pending_mb,moved_mb,wait_p50_s,wait_p99_s,utilization,"
+      "storms_deferred\n";
+  ASSERT_EQ(csv.rfind(header, 0), 0u);
+  // One row per (frame, shard) plus the header line.
+  const auto lines = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, 1 + res.timeline.size() * 2);
+  // Uncontended timelines render one row per frame with empty shard cells.
+  PoolSimConfig ucfg;
+  ucfg.job_count = 4;
+  ucfg.work_per_job_s = 3600.0;
+  ucfg.seed = 5;
+  ucfg.snapshot_every_s = 600.0;
+  const auto ures = run_pool_simulation(park(16), ucfg);
+  const std::string ucsv = timeline_csv(ures.timeline);
+  const auto ulines = static_cast<std::size_t>(
+      std::count(ucsv.begin(), ucsv.end(), '\n'));
+  EXPECT_EQ(ulines, 1 + ures.timeline.size());
+  EXPECT_NE(ucsv.find(",,,,,,,\n"), std::string::npos);
+}
+
+TEST(PoolTimeline, UtilizationBoundedAndWaitsOrdered) {
+  auto cfg = fleet_config(4);
+  cfg.job_count = 16;
+  cfg.snapshot_every_s = 600.0;
+  const auto res = run_pool_simulation(park(64), cfg);
+  for (const auto& f : res.timeline) {
+    for (const auto& s : f.shards) {
+      EXPECT_GE(s.utilization, 0.0);
+      EXPECT_LE(s.utilization, 1.0);
+      EXPECT_LE(s.wait_p50_s, s.wait_p99_s + 1e-12);
+      EXPECT_GE(s.pending_mb, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harvest::condor

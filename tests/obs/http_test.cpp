@@ -1,0 +1,135 @@
+// HttpServer + ExporterEndpoints socket smoke tests: bind an ephemeral
+// loopback port, GET every endpoint, and assert status, content-type, and
+// that /metrics stays parseable while a producer thread hammers the
+// registry — the harvestd serving path, minus the daemon.
+#include "harvest/obs/http.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/series.hpp"
+
+namespace harvest::obs {
+namespace {
+
+struct Exporter {
+  MetricsRegistry registry;
+  SnapshotSeries series{60.0};
+  ExporterEndpoints endpoints{registry, series};
+  HttpServer server{endpoints.handler()};
+
+  Exporter() {
+    server.bind(0);  // ephemeral port
+    server.start();
+  }
+};
+
+TEST(HttpServer, BindResolvesEphemeralPort) {
+  Exporter e;
+  EXPECT_GT(e.server.port(), 0);
+  EXPECT_TRUE(e.server.running());
+  e.server.stop();
+  EXPECT_FALSE(e.server.running());
+  e.server.stop();  // idempotent
+}
+
+TEST(HttpServer, HealthzAlwaysOk) {
+  Exporter e;
+  const auto res = http_get(e.server.port(), "/healthz");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "text/plain; charset=utf-8");
+  EXPECT_EQ(res.body, "ok\n");
+}
+
+TEST(HttpServer, ReadyzFlipsWithReadiness) {
+  Exporter e;
+  EXPECT_EQ(http_get(e.server.port(), "/readyz").status, 503);
+  e.endpoints.set_ready(true);
+  const auto res = http_get(e.server.port(), "/readyz");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "ready\n");
+}
+
+TEST(HttpServer, MetricsServesPrometheusText) {
+  Exporter e;
+  e.registry.counter("pool.jobs").add(3);
+  e.registry.gauge("pool.depth").set(1.5);
+  const auto res = http_get(e.server.port(), "/metrics");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(res.body.find("pool_jobs_total 3"), std::string::npos);
+  EXPECT_NE(res.body.find("pool_depth 1.5"), std::string::npos);
+}
+
+TEST(HttpServer, SnapshotJson404UntilFrameExistsThenServesLatest) {
+  Exporter e;
+  EXPECT_EQ(http_get(e.server.port(), "/snapshot.json").status, 404);
+  e.registry.counter("c").add(7);
+  e.series.sample(123.0, e.registry);
+  const auto res = http_get(e.server.port(), "/snapshot.json");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  EXPECT_NE(res.body.find("\"t_s\":123"), std::string::npos);
+  EXPECT_NE(res.body.find("\"c\":7"), std::string::npos);
+}
+
+TEST(HttpServer, UnknownPathIs404) {
+  Exporter e;
+  EXPECT_EQ(http_get(e.server.port(), "/nope").status, 404);
+}
+
+TEST(HttpServer, QueryStringIsStripped) {
+  Exporter e;
+  EXPECT_EQ(http_get(e.server.port(), "/healthz?verbose=1").status, 200);
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  HttpServer server([](const std::string&) -> HttpResponse {
+    throw std::runtime_error("boom");
+  });
+  server.bind(0);
+  server.start();
+  EXPECT_EQ(http_get(server.port(), "/anything").status, 500);
+}
+
+// The harvestd contract: /metrics must stay well-formed while a producer
+// thread is mutating the registry and cutting frames.
+TEST(HttpServer, MetricsParseableUnderConcurrentProduction) {
+  Exporter e;
+  // Create the handles before the producer starts so the first scrape
+  // already sees every metric; the thread then just mutates values.
+  auto& items = e.registry.counter("work.items");
+  auto& level = e.registry.gauge("work.level");
+  auto& lat = e.registry.histogram("work.lat_s");
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    double t = 0.0;
+    while (!stop.load()) {
+      items.add(1);
+      level.set(t);
+      lat.observe(0.01);
+      e.series.sample(t, e.registry);
+      t += 1.0;
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    const auto res = http_get(e.server.port(), "/metrics");
+    ASSERT_EQ(res.status, 200);
+    // Spot-check exposition shape: every TYPE'd metric, histogram +Inf.
+    EXPECT_NE(res.body.find("# TYPE work_items_total counter"),
+              std::string::npos);
+    EXPECT_NE(res.body.find("le=\"+Inf\""), std::string::npos);
+    const auto snap = http_get(e.server.port(), "/snapshot.json");
+    ASSERT_TRUE(snap.status == 200 || snap.status == 404);
+  }
+  stop.store(true);
+  producer.join();
+}
+
+}  // namespace
+}  // namespace harvest::obs

@@ -20,8 +20,30 @@ namespace {
 /// kind" headers. Good enough to round-trip what to_prometheus emits.
 struct ParsedExposition {
   std::map<std::string, std::string> types;  // sanitized name -> kind
+  std::map<std::string, std::string> helps;  // sanitized name -> help text
   std::map<std::string, double> samples;     // full sample key -> value
 };
+
+/// Undo HELP escaping (the format escapes `\` and newline, nothing else).
+std::string unescape_help(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      if (s[i + 1] == 'n') {
+        out.push_back('\n');
+        ++i;
+        continue;
+      }
+      if (s[i + 1] == '\\') {
+        out.push_back('\\');
+        ++i;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
 
 ParsedExposition parse_ok(const std::string& text) {
   ParsedExposition parsed;
@@ -35,6 +57,15 @@ ParsedExposition parse_ok(const std::string& text) {
       std::string kind;
       header >> name >> kind;
       parsed.types[name] = kind;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const auto space = rest.find(' ');
+      EXPECT_NE(space, std::string::npos) << "HELP without text: " << line;
+      if (space == std::string::npos) continue;
+      parsed.helps[rest.substr(0, space)] =
+          unescape_help(rest.substr(space + 1));
       continue;
     }
     EXPECT_NE(line[0], '#') << "unknown comment line: " << line;
@@ -146,6 +177,80 @@ TEST(Prometheus, SanitizesHostileMetricNames) {
   reg.counter("weird name-with.dots").add(1);
   const auto parsed = parse_ok(reg.prometheus_text());
   EXPECT_DOUBLE_EQ(parsed.samples.at("weird_name_with_dots_total"), 1.0);
+}
+
+TEST(Prometheus, HelpLinesEmitForDescribedMetricsOnly) {
+  MetricsRegistry reg;
+  reg.counter("described").add(1);
+  reg.counter("anonymous").add(1);
+  reg.describe("described", "Counts described things.");
+  const std::string text = reg.prometheus_text();
+  const auto parsed = parse_ok(text);
+  ASSERT_EQ(parsed.helps.count("described_total"), 1u);
+  EXPECT_EQ(parsed.helps.at("described_total"), "Counts described things.");
+  EXPECT_EQ(parsed.helps.count("anonymous_total"), 0u);
+  // HELP precedes TYPE for the described metric, per convention.
+  EXPECT_LT(text.find("# HELP described_total"),
+            text.find("# TYPE described_total"));
+}
+
+TEST(Prometheus, HelpEscapingRoundTrips) {
+  // The format escapes backslash and newline in HELP (quotes are legal
+  // there, unlike in label values).
+  MetricsRegistry reg;
+  reg.gauge("tricky").set(1.0);
+  const std::string help = "line one\nline two \\ back\"slash";
+  reg.describe("tricky", help);
+  const std::string text = reg.prometheus_text();
+  // The emitted line must stay a single physical line...
+  const auto pos = text.find("# HELP tricky ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string line = text.substr(pos, text.find('\n', pos) - pos);
+  EXPECT_EQ(line, "# HELP tricky line one\\nline two \\\\ back\"slash");
+  // ...and the parser must recover the original text exactly.
+  const auto parsed = parse_ok(text);
+  EXPECT_EQ(parsed.helps.at("tricky"), help);
+}
+
+TEST(Prometheus, DescribeWorksForHistogramsAndOverwrites) {
+  MetricsRegistry reg;
+  reg.histogram("h.wait", {1.0}).observe(0.5);
+  reg.describe("h.wait", "first");
+  reg.describe("h.wait", "second");  // re-describing overwrites
+  const auto parsed = parse_ok(reg.prometheus_text());
+  EXPECT_EQ(parsed.helps.at("h_wait"), "second");
+  // Snapshots carry the help text too.
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].help, "second");
+}
+
+TEST(Prometheus, EmptyHistogramStillEmitsInfBucket) {
+  // A histogram constructed but never observed (or one with no finite
+  // bounds) must still expose the +Inf bucket the format requires.
+  MetricsRegistry reg;
+  reg.histogram("never.observed", {1.0, 2.0});
+  const auto parsed = parse_ok(reg.prometheus_text());
+  EXPECT_EQ(parsed.types.at("never_observed"), "histogram");
+  EXPECT_DOUBLE_EQ(parsed.samples.at("never_observed_bucket{le=\"+Inf\"}"),
+                   0.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("never_observed_count"), 0.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("never_observed_sum"), 0.0);
+}
+
+TEST(Prometheus, BucketlessHistogramSnapshotRoundTrips) {
+  // A snapshot whose bucket_counts is empty entirely (hand-built, as a
+  // downstream aggregator might) still emits a valid +Inf bucket carrying
+  // the count.
+  RegistrySnapshot snap;
+  HistogramSnapshot hs;
+  hs.name = "agg.lat";
+  hs.count = 42;
+  hs.sum = 84.0;
+  snap.histograms.push_back(hs);
+  const auto parsed = parse_ok(snap.to_prometheus());
+  EXPECT_DOUBLE_EQ(parsed.samples.at("agg_lat_bucket{le=\"+Inf\"}"), 42.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("agg_lat_count"), 42.0);
 }
 
 TEST(Prometheus, WriteToFileMatchesInMemoryText) {

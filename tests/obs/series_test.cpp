@@ -1,0 +1,172 @@
+// SnapshotSeries: cadence enforcement, bounded-ring eviction order, delta
+// extraction (monotone for counters, even under concurrent writers), and
+// the stability of the CSV/JSONL timeline exports.
+#include "harvest/obs/series.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::obs {
+namespace {
+
+TEST(SnapshotSeries, RejectsBadCadence) {
+  EXPECT_THROW(SnapshotSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(SnapshotSeries(-5.0), std::invalid_argument);
+}
+
+TEST(SnapshotSeries, MaybeSampleEnforcesCadence) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  SnapshotSeries series(10.0);
+  EXPECT_TRUE(series.maybe_sample(0.0, reg));    // first call always cuts
+  EXPECT_FALSE(series.maybe_sample(5.0, reg));   // not due yet
+  EXPECT_FALSE(series.maybe_sample(9.99, reg));
+  EXPECT_TRUE(series.maybe_sample(10.0, reg));   // due exactly
+  // Overshooting several periods cuts ONE frame, not a backlog.
+  EXPECT_TRUE(series.maybe_sample(55.0, reg));
+  EXPECT_FALSE(series.maybe_sample(59.0, reg));
+  EXPECT_TRUE(series.maybe_sample(60.0, reg));   // next whole multiple
+  EXPECT_EQ(series.size(), 4u);
+}
+
+TEST(SnapshotSeries, BoundedRingEvictsOldestInOrder) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("v");
+  SnapshotSeries series(1.0, 4);
+  for (int i = 0; i < 10; ++i) {
+    g.set(static_cast<double>(i));
+    series.sample(static_cast<double>(i), reg);
+  }
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.evicted(), 6u);
+  const auto frames = series.frames();
+  ASSERT_EQ(frames.size(), 4u);
+  // Oldest surviving first: t = 6, 7, 8, 9.
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_DOUBLE_EQ(frames[i].t_s, 6.0 + static_cast<double>(i));
+    ASSERT_EQ(frames[i].snapshot.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(frames[i].snapshot.gauges[0].value,
+                     6.0 + static_cast<double>(i));
+  }
+  ASSERT_TRUE(series.latest().has_value());
+  EXPECT_DOUBLE_EQ(series.latest()->t_s, 9.0);
+}
+
+TEST(SnapshotSeries, CounterSeriesDeltasAndRates) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("jobs");
+  SnapshotSeries series(1.0);
+  c.add(5);
+  series.sample(0.0, reg);
+  c.add(3);
+  series.sample(10.0, reg);
+  c.add(0);
+  series.sample(20.0, reg);
+  const auto pts = series.counter_series("jobs");
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(pts[0].delta, 0.0);  // no previous frame
+  EXPECT_DOUBLE_EQ(pts[1].delta, 3.0);
+  EXPECT_DOUBLE_EQ(pts[1].rate, 0.3);
+  EXPECT_DOUBLE_EQ(pts[2].delta, 0.0);
+  EXPECT_TRUE(series.counter_series("absent").empty());
+}
+
+// Counters are monotone, so whatever interleaving concurrent writers
+// produce, every frame-to-frame delta must be >= 0.
+TEST(SnapshotSeries, CounterDeltasMonotoneUnderConcurrentWriters) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("hits");
+  SnapshotSeries series(1.0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.add(1);
+    });
+  }
+  for (int i = 0; i < 50; ++i) series.sample(static_cast<double>(i), reg);
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  const auto pts = series.counter_series("hits");
+  ASSERT_EQ(pts.size(), 50u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].delta, 0.0) << "frame " << i;
+    EXPECT_GE(pts[i].value, pts[i - 1].value) << "frame " << i;
+  }
+}
+
+TEST(SnapshotSeries, GaugeSeriesAllowsNegativeDeltas) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("depth");
+  SnapshotSeries series(1.0);
+  g.set(10.0);
+  series.sample(0.0, reg);
+  g.set(4.0);
+  series.sample(2.0, reg);
+  const auto pts = series.gauge_series("depth");
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[1].delta, -6.0);
+  EXPECT_DOUBLE_EQ(pts[1].rate, -3.0);
+}
+
+TEST(SnapshotSeries, CsvHeaderIsSortedUnionAndStable) {
+  MetricsRegistry reg;
+  SnapshotSeries series(1.0);
+  // First frame knows only one metric; later frames add more. The header
+  // must be the sorted union regardless of appearance order.
+  reg.counter("zeta").add(1);
+  series.sample(0.0, reg);
+  reg.gauge("alpha").set(2.0);
+  reg.histogram("mid").observe(1.5);
+  series.sample(1.0, reg);
+  const std::string csv = series.to_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header,
+            "t_s,alpha,mid.count,mid.p50,mid.p99,mid.sum,zeta");
+  // The first frame has no value for 'alpha': its cell is empty.
+  const auto row0_start = csv.find('\n') + 1;
+  const std::string row0 = csv.substr(row0_start,
+                                      csv.find('\n', row0_start) - row0_start);
+  EXPECT_EQ(row0.rfind("0,", 0), 0u);
+  EXPECT_NE(row0.find(",,"), std::string::npos);
+}
+
+TEST(SnapshotSeries, JsonlOneFramePerLine) {
+  MetricsRegistry reg;
+  reg.counter("c").add(2);
+  SnapshotSeries series(1.0);
+  series.sample(0.0, reg);
+  series.sample(1.0, reg);
+  const std::string jsonl = series.to_jsonl();
+  std::size_t lines = 0;
+  for (const char ch : jsonl) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(jsonl.rfind("{\"t_s\":0,", 0), 0u);
+  EXPECT_NE(jsonl.find("\"metrics\":{"), std::string::npos);
+}
+
+TEST(SnapshotSeries, ClearResetsFramesButKeepsConfig) {
+  MetricsRegistry reg;
+  SnapshotSeries series(5.0, 8);
+  series.sample(0.0, reg);
+  series.clear();
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_FALSE(series.latest().has_value());
+  EXPECT_DOUBLE_EQ(series.every_s(), 5.0);
+  EXPECT_EQ(series.max_frames(), 8u);
+  // After clear() the next maybe_sample cuts again immediately.
+  EXPECT_TRUE(series.maybe_sample(0.0, reg));
+}
+
+}  // namespace
+}  // namespace harvest::obs
