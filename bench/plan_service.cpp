@@ -1,0 +1,499 @@
+// Planner-as-a-service: what does the serving path cost, and what does the
+// sharded plan cache buy at fleet scale?
+//
+// Three experiments:
+//   1. Warm-start EM — grow one machine's stream in rounds; each round
+//      refits warm (from the previous parameters) under a fixed small
+//      iteration budget, then binary-searches the minimum number of
+//      cold-EM iterations (quantile-block init over the same data) needed
+//      to match the warm fit's log-likelihood. EM's log-likelihood is
+//      nondecreasing in the iteration count, so the search is valid.
+//   2. Streaming refit throughput — observations/s and refit latency for
+//      each streaming fitter family, plus the streaming-vs-batch parameter
+//      agreement on the same data.
+//   3. Plan cache at fleet scale — a fleet of machines drawn from a few
+//      hardware classes (machines in a class share a ground-truth law)
+//      trains per-machine models on a prefix of observations, then serves
+//      several steady-state rounds where each machine trickles in a few
+//      fresh observations, refits, and asks the shared PlanCache for a
+//      plan; sweeps fleet size x quantization step and reports hit ratio,
+//      distinct plans, and the overhead inflation of serving the bucket-
+//      representative plan instead of re-optimizing exactly.
+//
+// Gated checks:
+//   (a) warm-start EM reaches its log-likelihood in >= 5x fewer
+//       iterations than cold EM needs to match it (mean over rounds and
+//       seeds), without degrading vs a full-budget cold fit — both modes;
+//   (b) streaming fits match batch fits on identical data (rel. 1e-4
+//       exponential/weibull) — both modes;
+//   (c) cache hit ratio > 0.9 in the fleet-scale cell (the largest fleet
+//       at the coarse 0.1 step) — full mode only (tiny prints info);
+//   (d) mean overhead inflation of cached plans <= 1% at the default
+//       0.025 step in every fleet cell — both modes.
+//
+// Flags:
+//   --json <path>   machine-readable artifact (config + cells + checks)
+//   --tiny          CI smoke: small fleet, fewer rounds
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "harvest/core/planner.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/fit/em_hyperexp.hpp"
+#include "harvest/fit/mle_exponential.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/obs/json.hpp"
+#include "harvest/plan/plan_cache.hpp"
+#include "harvest/plan/streaming_fit.hpp"
+#include "harvest/util/table.hpp"
+
+namespace {
+
+using namespace harvest;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 20050917;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct WarmEmRound {
+  std::uint64_t seed = 0;
+  std::size_t samples = 0;
+  int warm_iterations = 0;
+  int cold_to_match = 0;  ///< min cold-EM iterations reaching warm_ll
+  double warm_ll = 0.0;
+  double cold_full_ll = 0.0;  ///< cold fit at its default budget
+};
+
+/// Minimum number of cold-EM iterations whose fit reaches `target_ll` on
+/// `data`, searched by bisection over the iteration cap. Valid because
+/// EM's log-likelihood is nondecreasing in the iteration count (capping
+/// earlier can only stop the ascent sooner). Returns `cap` when even the
+/// full cap falls short — a conservative lower bound for the ratio.
+int cold_iters_to_reach(const std::vector<double>& data, double target_ll,
+                        int cap) {
+  const auto ll_at = [&](int m) {
+    fit::EmOptions opts;
+    opts.max_iterations = m;
+    return fit::fit_hyperexp_em(data, 2, opts).log_likelihood;
+  };
+  if (ll_at(cap) < target_ll) return cap;
+  int lo = 1;
+  int hi = cap;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (ll_at(mid) >= target_ll) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+struct FleetCell {
+  std::size_t machines = 0;
+  double log_step = 0.0;
+  std::uint64_t lookups = 0;
+  plan::PlanCacheStats stats;
+  double mean_inflation = 0.0;
+  double max_inflation = 0.0;
+  double elapsed_s = 0.0;
+};
+
+/// Relative overhead inflation of serving the cached (bucket-
+/// representative) first interval instead of re-optimizing exactly under
+/// the machine's true fitted model.
+double plan_inflation(const dist::DistributionPtr& fitted,
+                      const core::IntervalCosts& costs,
+                      const plan::Plan& cached) {
+  core::MarkovModel model(fitted, costs);
+  core::CheckpointOptimizer optimizer(model);
+  const core::OptimalInterval exact = optimizer.optimize(cached.entries[0].age_s);
+  const double served =
+      model.overhead_ratio(cached.entries[0].work_s, cached.entries[0].age_s);
+  const double best = exact.gamma / exact.work_time;
+  return served / best - 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+  int failures = 0;
+
+  std::printf("=== Planner-as-a-service: streaming fits + plan cache ===\n");
+  std::printf("# repro: seed %llu, %s mode\n\n",
+              static_cast<unsigned long long>(kSeed),
+              tiny ? "tiny" : "full");
+
+  // ------------------------------------------------------------------
+  // 1. Warm-start EM vs cold EM on a growing stream.
+  //
+  // The mixture is deliberately overlapping (rates 1/200 and 1/500): on
+  // well-separated mixtures cold EM converges in ~20 iterations from the
+  // quantile-block init and leaves a warm start nothing to win. Overlap
+  // is where EM crawls — and where the serving path leans on warm refits.
+  //
+  // Each round grows the stream, refits warm under a fixed `warm_budget`
+  // iteration cap, and bisects for the minimum cold-EM iteration count
+  // that matches the warm fit's log-likelihood (minus a tiny absolute
+  // slack that breaks convergence-tolerance ties). Quality guard: the
+  // warm fit must also not degrade vs a cold fit run to its full default
+  // budget.
+  const dist::Hyperexponential truth({0.30, 0.70}, {1.0 / 200.0, 1.0 / 500.0});
+  const std::size_t em_initial = tiny ? 512 : 1024;
+  const std::size_t em_growth = tiny ? 32 : 64;
+  const std::size_t em_rounds = tiny ? 3 : 6;
+  const std::size_t em_seeds = tiny ? 2 : 3;
+  const int warm_budget = 25;
+  const int cold_cap = 4000;
+  const double ll_slack = 1e-3;
+
+  std::vector<WarmEmRound> em_rounds_out;
+  util::TextTable em_table({"seed", "round", "n", "warm iters",
+                            "cold-to-match", "ratio", "dLL vs full cold"});
+  double ratio_sum = 0.0;
+  bool ll_matches = true;
+  for (std::size_t s = 0; s < em_seeds; ++s) {
+    const std::uint64_t seed = kSeed + s;
+    numerics::Rng em_rng(seed);
+    plan::StreamingHyperexpOptions warm_opts;
+    warm_opts.warm_max_iterations = warm_budget;
+    plan::StreamingHyperexpFit warm_fit(warm_opts);
+    std::vector<double> em_data;
+    for (std::size_t i = 0; i < em_initial; ++i) {
+      const double x = truth.sample(em_rng);
+      em_data.push_back(x);
+      warm_fit.observe(x);
+    }
+    (void)warm_fit.fit();  // cold initial fit establishes the warm state
+    for (std::size_t r = 0; r < em_rounds; ++r) {
+      for (std::size_t i = 0; i < em_growth; ++i) {
+        const double x = truth.sample(em_rng);
+        em_data.push_back(x);
+        warm_fit.observe(x);
+      }
+      WarmEmRound round;
+      round.seed = seed;
+      round.samples = em_data.size();
+      (void)warm_fit.fit();
+      round.warm_iterations = warm_fit.last_iterations();
+      round.warm_ll = warm_fit.last_log_likelihood();
+      round.cold_to_match = cold_iters_to_reach(
+          em_data, round.warm_ll - ll_slack, cold_cap);
+      // Quality guard: warm under its tight budget may not be worse than
+      // cold at the full default budget by more than 1e-4 relative.
+      const fit::EmResult cold_full = fit::fit_hyperexp_em(em_data, 2);
+      round.cold_full_ll = cold_full.log_likelihood;
+      const double rel_dll = (round.warm_ll - round.cold_full_ll) /
+                             std::fabs(round.cold_full_ll);
+      if (rel_dll < -1e-4) ll_matches = false;
+      const double ratio = static_cast<double>(round.cold_to_match) /
+                           static_cast<double>(round.warm_iterations);
+      ratio_sum += ratio;
+      em_table.add_row({std::to_string(seed), std::to_string(r + 1),
+                        std::to_string(round.samples),
+                        std::to_string(round.warm_iterations),
+                        std::to_string(round.cold_to_match),
+                        util::format_fixed(ratio, 1),
+                        util::format_fixed(rel_dll, 6)});
+      em_rounds_out.push_back(round);
+    }
+  }
+  const double mean_ratio =
+      ratio_sum / static_cast<double>(em_rounds * em_seeds);
+  std::printf("--- warm-start EM (2-phase overlapping mixture, +%zu "
+              "samples/round, warm budget %d iters, cold search cap %d) "
+              "---\n%s\n",
+              em_growth, warm_budget, cold_cap, em_table.render().c_str());
+  const bool warm_ok = mean_ratio >= 5.0 && ll_matches;
+  if (!warm_ok) ++failures;
+  std::printf("  warm-start speedup: %.1fx fewer iterations, "
+              "log-likelihood %s (need >= 5x at equal LL: %s)\n\n",
+              mean_ratio, ll_matches ? "matches" : "DEGRADED",
+              warm_ok ? "ok" : "FAIL");
+
+  // ------------------------------------------------------------------
+  // 2. Streaming refit throughput + streaming-vs-batch agreement.
+  const std::size_t throughput_n = tiny ? 5000 : 50000;
+  const dist::Weibull wb_truth(0.52, 2400.0);
+  numerics::Rng tp_rng(kSeed + 1);
+  std::vector<double> tp_data;
+  tp_data.reserve(throughput_n);
+  for (std::size_t i = 0; i < throughput_n; ++i) {
+    tp_data.push_back(wb_truth.sample(tp_rng));
+  }
+
+  util::TextTable tp_table(
+      {"fitter", "observe (obs/s)", "refit (ms)", "batch rel. diff"});
+  double exp_rel = 0.0;
+  double wb_rel = 0.0;
+  {
+    plan::StreamingExponentialFit f;
+    const auto t0 = Clock::now();
+    for (const double x : tp_data) f.observe(x);
+    const double observe_s = seconds_since(t0);
+    const auto t1 = Clock::now();
+    const dist::Exponential streaming = f.fit();
+    const double fit_s = seconds_since(t1);
+    const dist::Exponential batch = fit::fit_exponential_mle(tp_data);
+    exp_rel = std::fabs(streaming.rate() / batch.rate() - 1.0);
+    tp_table.add_row(
+        {"exponential",
+         util::format_fixed(static_cast<double>(throughput_n) / observe_s, 0),
+         util::format_fixed(fit_s * 1e3, 3),
+         util::format_fixed(exp_rel, 9)});
+  }
+  {
+    plan::StreamingWeibullFit f;
+    const auto t0 = Clock::now();
+    for (const double x : tp_data) f.observe(x);
+    const double observe_s = seconds_since(t0);
+    const auto t1 = Clock::now();
+    const dist::Weibull streaming = f.fit();
+    const double fit_s = seconds_since(t1);
+    const dist::Weibull batch = fit::fit_weibull_mle(tp_data);
+    wb_rel = std::max(std::fabs(streaming.shape() / batch.shape() - 1.0),
+                      std::fabs(streaming.scale() / batch.scale() - 1.0));
+    tp_table.add_row(
+        {"weibull",
+         util::format_fixed(static_cast<double>(throughput_n) / observe_s, 0),
+         util::format_fixed(fit_s * 1e3, 3),
+         util::format_fixed(wb_rel, 9)});
+  }
+  {
+    // Hyperexp keeps the stream; throughput is the warm refit itself.
+    plan::StreamingHyperexpFit f;
+    const std::size_t hyper_n = std::min<std::size_t>(throughput_n, 4096);
+    for (std::size_t i = 0; i < hyper_n; ++i) f.observe(tp_data[i]);
+    (void)f.fit();
+    for (std::size_t i = 0; i < 64; ++i) f.observe(tp_data[i]);
+    const auto t1 = Clock::now();
+    (void)f.fit();
+    const double fit_s = seconds_since(t1);
+    tp_table.add_row({"hyperexp2 (warm)", "-",
+                      util::format_fixed(fit_s * 1e3, 3),
+                      "- (see warm-start gate)"});
+  }
+  std::printf("--- streaming refit throughput (n = %zu) ---\n%s\n",
+              throughput_n, tp_table.render().c_str());
+  const bool match_ok = exp_rel < 1e-4 && wb_rel < 1e-4;
+  if (!match_ok) ++failures;
+  std::printf("  streaming vs batch agreement: exponential %.2e, weibull "
+              "%.2e (need < 1e-4: %s)\n\n",
+              exp_rel, wb_rel, match_ok ? "ok" : "FAIL");
+
+  // ------------------------------------------------------------------
+  // 3. Plan cache at fleet scale: classes x machines x rounds.
+  const std::size_t n_classes = 8;
+  const std::vector<std::size_t> fleet_sizes =
+      tiny ? std::vector<std::size_t>{64}
+           : std::vector<std::size_t>{128, 512};
+  const std::vector<double> log_steps = {0.025, 0.05, 0.1};
+  // Each machine trains on a prefix, then serves `serve_rounds` steady-
+  // state rounds: trickle in a few fresh observations, refit, look up.
+  // The training lookups are the cold-start misses; the serving rounds
+  // are the regime the cache exists for, where a machine's fit has
+  // stabilized and drifts within (mostly) one quantization bucket.
+  const std::size_t train_obs = tiny ? 160 : 240;
+  const std::size_t serve_rounds = tiny ? 7 : 11;
+  const std::size_t trickle_obs = 4;
+  const core::IntervalCosts costs{600.0, 600.0, -1.0};
+
+  // Hardware classes: well-separated Weibull laws spanning the paper's
+  // shape/scale ranges; every machine in a class shares its law exactly,
+  // so fitted parameters cluster by sampling noise alone.
+  std::vector<dist::Weibull> classes;
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    const double frac =
+        static_cast<double>(c) / static_cast<double>(n_classes - 1);
+    classes.emplace_back(0.35 + 0.35 * frac, 600.0 * std::pow(8.0, frac));
+  }
+
+  std::vector<FleetCell> cells;
+  util::TextTable fleet_table({"machines", "log_step", "lookups", "hits",
+                               "misses", "hit ratio", "plans",
+                               "mean infl", "max infl", "time (s)"});
+  for (const std::size_t fleet : fleet_sizes) {
+    for (const double log_step : log_steps) {
+      const auto t0 = Clock::now();
+      plan::PlanCacheOptions copts;
+      copts.log_step = log_step;
+      plan::PlanCache cache(copts);
+
+      // Per-machine streaming fitters: one training round (the cold-start
+      // misses), then steady-state serving rounds where each machine
+      // trickles in fresh observations, refits, and looks up again.
+      std::vector<plan::StreamingWeibullFit> fitters(fleet);
+      std::vector<numerics::Rng> rngs;
+      rngs.reserve(fleet);
+      for (std::size_t m = 0; m < fleet; ++m) {
+        rngs.emplace_back(kSeed + 101 * m + static_cast<std::uint64_t>(
+                                                log_step * 1e4));
+      }
+      FleetCell cell;
+      cell.machines = fleet;
+      cell.log_step = log_step;
+      double inflation_sum = 0.0;
+      std::uint64_t inflation_n = 0;
+      for (std::size_t round = 0; round <= serve_rounds; ++round) {
+        const std::size_t n_obs = round == 0 ? train_obs : trickle_obs;
+        for (std::size_t m = 0; m < fleet; ++m) {
+          const dist::Weibull& law = classes[m % n_classes];
+          for (std::size_t i = 0; i < n_obs; ++i) {
+            fitters[m].observe(law.sample(rngs[m]));
+          }
+          const auto fitted =
+              std::make_shared<dist::Weibull>(fitters[m].fit());
+          const plan::PlanCache::Result got =
+              cache.lookup_or_compute(*fitted, costs);
+          ++cell.lookups;
+          // ε measurement on the final round, on a machine sample (the
+          // optimizer re-solve is the expensive part).
+          if (round == serve_rounds && m % 16 == 0) {
+            const double infl = plan_inflation(fitted, costs, *got.plan);
+            inflation_sum += infl;
+            cell.max_inflation = std::max(cell.max_inflation, infl);
+            ++inflation_n;
+          }
+        }
+      }
+      cell.stats = cache.stats();
+      cell.mean_inflation =
+          inflation_n > 0 ? inflation_sum / static_cast<double>(inflation_n)
+                          : 0.0;
+      cell.elapsed_s = seconds_since(t0);
+      fleet_table.add_row(
+          {std::to_string(fleet), util::format_fixed(log_step, 3),
+           std::to_string(cell.lookups), std::to_string(cell.stats.hits),
+           std::to_string(cell.stats.misses),
+           util::format_fixed(cell.stats.hit_ratio(), 3),
+           std::to_string(cell.stats.size),
+           util::format_fixed(cell.mean_inflation, 5),
+           util::format_fixed(cell.max_inflation, 5),
+           util::format_fixed(cell.elapsed_s, 2)});
+      cells.push_back(cell);
+      std::fprintf(stderr, "  [plan_service] fleet=%zu step=%.3f done\n",
+                   fleet, log_step);
+    }
+  }
+  std::printf("--- plan cache: fleet x quantization (%zu classes, %zu train "
+              "obs + %zu serve rounds x %zu obs/machine, C=R=%.0f s) "
+              "---\n%s\n",
+              n_classes, train_obs, serve_rounds, trickle_obs,
+              costs.checkpoint, fleet_table.render().c_str());
+
+  std::printf("--- checks ---\n");
+  // Gate (c): the fleet-scale cell — largest fleet, coarse step — must
+  // serve > 0.9 of lookups from cache. Tiny fleets are info-only (too few
+  // machines per bucket for the ratio to be meaningful).
+  for (const auto& cell : cells) {
+    const bool is_gate_cell = !tiny && cell.machines == fleet_sizes.back() &&
+                              cell.log_step == log_steps.back();
+    const bool ok = cell.stats.hit_ratio() > 0.9;
+    if (is_gate_cell && !ok) ++failures;
+    std::printf("  fleet=%-4zu step=%.3f  hit ratio %.3f, %zu plans for "
+                "%llu lookups (%s)\n",
+                cell.machines, cell.log_step, cell.stats.hit_ratio(),
+                cell.stats.size,
+                static_cast<unsigned long long>(cell.lookups),
+                is_gate_cell ? (ok ? "ok" : "FAIL")
+                             : (ok ? "ok, info" : "info"));
+  }
+  // Gate (d): at the default step, serving the bucket representative must
+  // cost < 1% extra overhead vs exact re-optimization.
+  for (const auto& cell : cells) {
+    if (cell.log_step != 0.025) continue;
+    const bool ok = cell.mean_inflation <= 0.01;
+    if (!ok) ++failures;
+    std::printf("  fleet=%-4zu step=%.3f  mean overhead inflation %.5f "
+                "(need <= 0.01: %s)\n",
+                cell.machines, cell.log_step, cell.mean_inflation,
+                ok ? "ok" : "FAIL");
+  }
+  std::printf("%s\n", failures == 0 ? "all checks passed"
+                                    : "SOME CHECKS FAILED");
+
+  if (!json_path.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "plan_service");
+    w.key("config").begin_object();
+    w.field("seed", std::uint64_t{kSeed});
+    w.field("tiny", tiny);
+    w.field("em_initial", static_cast<std::uint64_t>(em_initial));
+    w.field("em_growth", static_cast<std::uint64_t>(em_growth));
+    w.field("em_seeds", static_cast<std::uint64_t>(em_seeds));
+    w.field("warm_budget", warm_budget);
+    w.field("cold_cap", cold_cap);
+    w.field("classes", static_cast<std::uint64_t>(n_classes));
+    w.field("train_obs", static_cast<std::uint64_t>(train_obs));
+    w.field("serve_rounds", static_cast<std::uint64_t>(serve_rounds));
+    w.field("trickle_obs", static_cast<std::uint64_t>(trickle_obs));
+    w.end_object();
+    w.key("warm_em").begin_object();
+    w.field("mean_iteration_ratio", mean_ratio);
+    w.field("ll_matches", ll_matches);
+    w.key("rounds").begin_array();
+    for (const auto& r : em_rounds_out) {
+      w.begin_object();
+      w.field("seed", r.seed);
+      w.field("samples", static_cast<std::uint64_t>(r.samples));
+      w.field("warm_iterations", r.warm_iterations);
+      w.field("cold_to_match", r.cold_to_match);
+      w.field("warm_ll", r.warm_ll);
+      w.field("cold_full_ll", r.cold_full_ll);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.key("agreement").begin_object();
+    w.field("exponential_rel", exp_rel);
+    w.field("weibull_rel", wb_rel);
+    w.end_object();
+    w.key("cells").begin_array();
+    for (const auto& c : cells) {
+      w.begin_object();
+      w.field("machines", static_cast<std::uint64_t>(c.machines));
+      w.field("log_step", c.log_step);
+      w.field("lookups", c.lookups);
+      w.field("hits", c.stats.hits);
+      w.field("misses", c.stats.misses);
+      w.field("hit_ratio", c.stats.hit_ratio());
+      w.field("plans", static_cast<std::uint64_t>(c.stats.size));
+      w.field("mean_inflation", c.mean_inflation);
+      w.field("max_inflation", c.max_inflation);
+      w.field("elapsed_s", c.elapsed_s);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("checks").begin_object();
+    w.field("warm_em_speedup_ok", warm_ok);
+    w.field("streaming_matches_batch", match_ok);
+    w.field("failures", static_cast<std::uint64_t>(failures));
+    w.end_object();
+    w.end_object();
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot open " + json_path);
+    out << w.str() << '\n';
+    std::fprintf(stderr, "  [plan_service] artifact -> %s\n",
+                 json_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

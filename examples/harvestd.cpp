@@ -4,10 +4,27 @@
 // simulations (a fresh seed per iteration) while serving the conventional
 // exporter endpoint set from a background HTTP listener:
 //
-//   /metrics        Prometheus text exposition of the default registry
+//   /metrics        Prometheus text exposition of the default registry,
+//                   plus `<counter>_rate` gauges once two snapshot frames
+//                   exist
 //   /healthz        liveness (200 as long as the process runs)
 //   /readyz         readiness (503 until the first simulation finishes)
 //   /snapshot.json  latest SnapshotSeries frame (full registry, JSON)
+//   /plan           planner-as-a-service: /plan?machine=<id> (an id like
+//                   "m0007" or a bare index like "7") returns the machine's
+//                   fitted model and checkpoint schedule as JSON, served
+//                   from the sharded plan cache
+//   /config         the daemon's effective configuration as JSON
+//
+// Machines continuously report their (ground-truth-sampled) occupancy
+// durations to a plan::PlannerService — the paper's training size (25) per
+// machine up front, a trickle per iteration after, one in eight censored —
+// so /plan exercises the full streaming-fit → plan-cache path live.
+//
+// SIGHUP re-reads --config <path> (``key value`` lines, `#` comments)
+// between simulation iterations and applies the reloadable knobs: jobs,
+// work-hours, family, snapshot-every, seed. /config and the
+// `harvestd.config_reloads` counter reflect each reload.
 //
 // The SnapshotSeries is keyed by cumulative simulated seconds across
 // iterations, so scraping /snapshot.json repeatedly shows the fleet's
@@ -23,17 +40,25 @@
 //   --snapshot-every <s>  telemetry cadence in simulated seconds, for both
 //                         the pool timeline and the series (default 600)
 //   --seed <n>            base RNG seed (default 31; iteration i adds i)
+//   --config <path>       optional config file of ``key value`` lines for
+//                         the reloadable knobs above; applied at startup
+//                         (over the flags) and re-read on SIGHUP
 //   --once                run exactly one simulation, then keep serving
 //                         until SIGINT/SIGTERM (CI smoke mode)
 //   --tiny                shrink the pool for smoke runs (16 machines,
 //                         4 jobs, 1 work-hour)
 // plus every --server-* / --fleet-* flag (see below). Without any of
 // those, harvestd defaults to a 4-shard static-routed fleet.
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -41,8 +66,10 @@
 
 #include "harvest/condor/pool_simulation.hpp"
 #include "harvest/obs/http.hpp"
+#include "harvest/obs/json.hpp"
 #include "harvest/obs/metrics.hpp"
 #include "harvest/obs/series.hpp"
+#include "harvest/plan/service.hpp"
 #include "harvest/server/cli_options.hpp"
 #include "harvest/trace/synthetic.hpp"
 
@@ -51,8 +78,10 @@ namespace {
 using namespace harvest;
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_reload{false};
 
 void on_signal(int) { g_stop.store(true); }
+void on_sighup(int) { g_reload.store(true); }
 
 int usage() {
   std::fprintf(
@@ -60,8 +89,9 @@ int usage() {
       "usage: harvestd [--port n] [--machines n] [--jobs n] "
       "[--work-hours h]\n"
       "                [--family name] [--snapshot-every s] [--seed n]\n"
-      "                [--once] [--tiny]\n"
-      "endpoints: /metrics /healthz /readyz /snapshot.json\n"
+      "                [--config path] [--once] [--tiny]\n"
+      "endpoints: /metrics /healthz /readyz /snapshot.json "
+      "/plan?machine=<id> /config\n"
       "%s",
       server::CliOptions::help_text().c_str());
   return 2;
@@ -102,6 +132,198 @@ bool strip_switch(int& argc, char** argv, const char* name) {
   return present;
 }
 
+/// The knobs a SIGHUP reload may change between simulation iterations.
+/// Pool size and the listener port are intentionally NOT here: the park is
+/// generated once and the socket is bound once.
+struct RuntimeConfig {
+  std::size_t jobs = 32;
+  double work_hours = 4.0;
+  core::ModelFamily family = core::ModelFamily::kWeibull;
+  double snapshot_every = 600.0;
+  std::uint64_t seed = 31;
+};
+
+/// Apply ``key value`` lines from `path` onto `rc`. Returns the problems
+/// encountered (unknown keys, bad values, unreadable file); valid lines
+/// apply even when other lines are broken, so a reload is never all-or-
+/// nothing.
+std::vector<std::string> apply_config_file(const std::string& path,
+                                           RuntimeConfig& rc) {
+  std::vector<std::string> problems;
+  std::ifstream in(path);
+  if (!in) {
+    problems.push_back("cannot open config file '" + path + "'");
+    return problems;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key) || key[0] == '#') continue;
+    std::string value;
+    ls >> value;
+    const auto complain = [&](const std::string& what) {
+      problems.push_back("config line " + std::to_string(lineno) + ": " +
+                         what);
+    };
+    if (key == "jobs") {
+      const auto v = std::strtoul(value.c_str(), nullptr, 10);
+      v > 0 ? void(rc.jobs = v) : complain("jobs must be > 0");
+    } else if (key == "work-hours") {
+      const double v = std::atof(value.c_str());
+      v > 0.0 ? void(rc.work_hours = v) : complain("work-hours must be > 0");
+    } else if (key == "family") {
+      try {
+        rc.family = core::model_family_from_string(value);
+      } catch (const std::exception& e) {
+        complain(e.what());
+      }
+    } else if (key == "snapshot-every") {
+      const double v = std::atof(value.c_str());
+      v > 0.0 ? void(rc.snapshot_every = v)
+              : complain("snapshot-every must be > 0");
+    } else if (key == "seed") {
+      rc.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      complain("unknown key '" + key + "'");
+    }
+  }
+  return problems;
+}
+
+/// Value of `name` in the request target's query string ("" if absent).
+std::string query_param(const std::string& target, const std::string& name) {
+  const auto q = target.find('?');
+  if (q == std::string::npos) return {};
+  std::size_t pos = q + 1;
+  while (pos < target.size()) {
+    auto amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const auto eq = target.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        target.compare(pos, eq - pos, name) == 0) {
+      return target.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
+/// True when the streaming fitters support `family` (plan::PlannerService's
+/// menu).
+bool streaming_family(core::ModelFamily family) {
+  switch (family) {
+    case core::ModelFamily::kExponential:
+    case core::ModelFamily::kWeibull:
+    case core::ModelFamily::kHyperexp2:
+    case core::ModelFamily::kHyperexp3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+obs::HttpResponse json_error(int status, const std::string& message) {
+  obs::JsonWriter w;
+  w.begin_object().field("error", message).end_object();
+  return {status, "application/json", w.str() + '\n'};
+}
+
+/// GET /plan?machine=<id>. Accepts the full machine id ("m0007") or a bare
+/// numeric index ("7", resolved to the pool's zero-padded id scheme).
+obs::HttpResponse plan_response(plan::PlannerService& service,
+                                const std::string& target) {
+  std::string id = query_param(target, "machine");
+  if (id.empty()) {
+    return json_error(400, "missing ?machine=<id> parameter");
+  }
+  if (!id.empty() &&
+      std::all_of(id.begin(), id.end(),
+                  [](unsigned char c) { return std::isdigit(c); })) {
+    std::ostringstream padded;
+    padded << 'm';
+    padded.fill('0');
+    padded.width(4);
+    padded << id;
+    id = padded.str();
+  }
+  plan::GetPlanResult res = service.get_plan(id);
+  if (res.status == plan::PlanStatus::kUnknownMachine) {
+    return json_error(404, "unknown machine '" + id + "'");
+  }
+  if (res.status == plan::PlanStatus::kInsufficientData) {
+    return json_error(503, "machine '" + id +
+                               "' has too little data to fit (" +
+                               std::to_string(res.observations) +
+                               " observations)");
+  }
+  const plan::PlanCacheStats cache = service.cache().stats();
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("machine", id)
+      .field("status", std::string(to_string(res.status)))
+      .field("observations", static_cast<std::uint64_t>(res.observations))
+      .field("family", res.plan->family)
+      .field("model", res.plan->model_description)
+      .field("fitted", res.fitted_description);
+  w.key("params").begin_array();
+  for (const double p : res.plan->params) w.value(p);
+  w.end_array();
+  w.key("cache")
+      .begin_object()
+      .field("hit", res.cache_hit)
+      .field("refitted", res.refitted)
+      .field("hits", cache.hits)
+      .field("misses", cache.misses)
+      .field("evictions", cache.evictions)
+      .field("size", static_cast<std::uint64_t>(cache.size))
+      .field("hit_ratio", cache.hit_ratio())
+      .end_object();
+  w.key("schedule").begin_array();
+  for (const auto& e : res.plan->entries) {
+    w.begin_object()
+        .field("work_s", e.work_s)
+        .field("age_s", e.age_s)
+        .field("efficiency", e.efficiency)
+        .field("at_upper_bound", e.at_upper_bound)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return {200, "application/json", w.str() + '\n'};
+}
+
+/// The /config document: effective configuration + startup warnings.
+std::string render_config_json(const RuntimeConfig& rc, std::size_t machines,
+                               int port, const std::string& config_path,
+                               core::ModelFamily plan_family,
+                               std::size_t fleet_shards, bool once, bool tiny,
+                               std::uint64_t reloads,
+                               const std::vector<std::string>& warnings) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("port", port)
+      .field("machines", static_cast<std::uint64_t>(machines))
+      .field("jobs", static_cast<std::uint64_t>(rc.jobs))
+      .field("work_hours", rc.work_hours)
+      .field("family", core::to_string(rc.family))
+      .field("snapshot_every_s", rc.snapshot_every)
+      .field("seed", rc.seed)
+      .field("config_path", config_path)
+      .field("plan_family", core::to_string(plan_family))
+      .field("fleet_shards", static_cast<std::uint64_t>(fleet_shards))
+      .field("once", once)
+      .field("tiny", tiny)
+      .field("config_reloads", reloads);
+  w.key("warnings").begin_array();
+  for (const auto& warning : warnings) w.value(warning);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,28 +341,46 @@ int main(int argc, char** argv) {
   const std::string family_s = strip_value_flag(argc, argv, "family");
   const std::string every_s = strip_value_flag(argc, argv, "snapshot-every");
   const std::string seed_s = strip_value_flag(argc, argv, "seed");
+  const std::string config_path = strip_value_flag(argc, argv, "config");
   const bool once = strip_switch(argc, argv, "once");
   const bool tiny = strip_switch(argc, argv, "tiny");
   if (argc > 1) return usage();  // leftover positional args
 
   int port = port_s.empty() ? 9188 : std::atoi(port_s.c_str());
   std::size_t machines = tiny ? 16 : 128;
-  std::size_t jobs = tiny ? 4 : 32;
-  double work_hours = tiny ? 1.0 : 4.0;
-  double snapshot_every = 600.0;
-  std::uint64_t seed = 31;
+  RuntimeConfig rc;
+  if (tiny) {
+    rc.jobs = 4;
+    rc.work_hours = 1.0;
+  }
   if (!machines_s.empty()) machines = std::strtoul(machines_s.c_str(), nullptr, 10);
-  if (!jobs_s.empty()) jobs = std::strtoul(jobs_s.c_str(), nullptr, 10);
-  if (!hours_s.empty()) work_hours = std::atof(hours_s.c_str());
-  if (!every_s.empty()) snapshot_every = std::atof(every_s.c_str());
-  if (!seed_s.empty()) seed = std::strtoull(seed_s.c_str(), nullptr, 10);
-  if (port < 0 || port > 65535 || machines == 0 || jobs == 0 ||
-      !(work_hours > 0.0) || !(snapshot_every > 0.0)) {
+  if (!jobs_s.empty()) rc.jobs = std::strtoul(jobs_s.c_str(), nullptr, 10);
+  if (!hours_s.empty()) rc.work_hours = std::atof(hours_s.c_str());
+  if (!every_s.empty()) rc.snapshot_every = std::atof(every_s.c_str());
+  if (!seed_s.empty()) rc.seed = std::strtoull(seed_s.c_str(), nullptr, 10);
+  if (!family_s.empty()) {
+    try {
+      rc.family = core::model_family_from_string(family_s);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "harvestd: %s\n", e.what());
+      return 2;
+    }
+  }
+  std::vector<std::string> config_problems;
+  if (!config_path.empty()) {
+    config_problems = apply_config_file(config_path, rc);
+    for (const auto& p : config_problems) {
+      std::fprintf(stderr, "harvestd: warning: %s\n", p.c_str());
+    }
+  }
+  if (port < 0 || port > 65535 || machines == 0 || rc.jobs == 0 ||
+      !(rc.work_hours > 0.0) || !(rc.snapshot_every > 0.0)) {
     return usage();
   }
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGHUP, on_sighup);
 
   // The park: a synthetic Condor pool whose ground-truth laws drive the
   // volatility (no fitting detour — harvestd shows the live fleet, not the
@@ -148,7 +388,7 @@ int main(int argc, char** argv) {
   trace::PoolSpec pool_spec;
   pool_spec.machine_count = machines;
   pool_spec.durations_per_machine = 60;
-  pool_spec.seed = seed;
+  pool_spec.seed = rc.seed;
   std::vector<condor::TimelinePool::MachineSpec> specs;
   specs.reserve(machines);
   for (auto& m : trace::generate_pool(pool_spec)) {
@@ -159,17 +399,10 @@ int main(int argc, char** argv) {
   }
 
   condor::PoolSimConfig cfg;
-  cfg.job_count = jobs;
-  cfg.work_per_job_s = work_hours * 3600.0;
-  cfg.snapshot_every_s = snapshot_every;
-  if (!family_s.empty()) {
-    try {
-      cfg.family = core::model_family_from_string(family_s);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "harvestd: %s\n", e.what());
-      return 2;
-    }
-  }
+  cfg.job_count = rc.jobs;
+  cfg.work_per_job_s = rc.work_hours * 3600.0;
+  cfg.snapshot_every_s = rc.snapshot_every;
+  cfg.family = rc.family;
   if (server_opts.any()) {
     cfg.fleet = server_opts.fleet_config();
   } else {
@@ -177,7 +410,19 @@ int main(int argc, char** argv) {
     fc.shards = 4;
     cfg.fleet = fc;
   }
-  for (const auto& w : server_opts.warnings()) {
+
+  // Surface EVERY validation warning — the CLI layer's and the fleet
+  // config's own (previously dropped on the default 4-shard path) — once
+  // at startup, and keep the count scrapeable.
+  std::vector<std::string> startup_warnings = server_opts.warnings();
+  const server::ServerConfigValidation fleet_validation =
+      cfg.fleet->validate();
+  startup_warnings.insert(startup_warnings.end(),
+                          fleet_validation.warnings.begin(),
+                          fleet_validation.warnings.end());
+  startup_warnings.insert(startup_warnings.end(), config_problems.begin(),
+                          config_problems.end());
+  for (const auto& w : startup_warnings) {
     std::fprintf(stderr, "harvestd: warning: %s\n", w.c_str());
   }
 
@@ -190,14 +435,58 @@ int main(int argc, char** argv) {
                "Makespan of the most recent simulation (simulated s).");
   reg.describe("harvestd.last_network_mb",
                "Network traffic of the most recent simulation (MB).");
+  reg.describe("harvestd.config_reloads",
+               "Successful SIGHUP config reloads since startup.");
+  reg.describe("config.warnings",
+               "Configuration validation warnings at startup (CLI + fleet "
+               "config + config file).");
+  reg.describe("plan.http_requests", "GET /plan requests served.");
   auto& iterations = reg.counter("harvestd.iterations");
   auto& sim_seconds = reg.gauge("harvestd.sim_seconds");
   auto& last_makespan = reg.gauge("harvestd.last_makespan_s");
   auto& last_network = reg.gauge("harvestd.last_network_mb");
+  auto& config_reloads = reg.counter("harvestd.config_reloads");
+  auto& plan_requests = reg.counter("plan.http_requests");
+  reg.gauge("config.warnings")
+      .set(static_cast<double>(startup_warnings.size()));
 
-  obs::SnapshotSeries series(snapshot_every);
+  // Planner-as-a-service over the same park. The service's family is fixed
+  // at startup (per-machine fitter state is family-specific); a reload's
+  // `family` only changes what the simulation fits.
+  plan::PlannerServiceOptions popts;
+  popts.family =
+      streaming_family(rc.family) ? rc.family : core::ModelFamily::kWeibull;
+  popts.costs.checkpoint =
+      cfg.link.expected_transfer_seconds(cfg.checkpoint_size_mb);
+  popts.costs.recovery = popts.costs.checkpoint;
+  plan::PlannerService service(popts, &reg);
+
+  std::mutex config_mutex;
+  std::string config_json;
+  std::uint64_t reloads = 0;
+  const auto refresh_config_json = [&] {
+    std::string doc = render_config_json(
+        rc, machines, port, config_path, popts.family, cfg.fleet->shards,
+        once, tiny, reloads, startup_warnings);
+    std::lock_guard<std::mutex> lock(config_mutex);
+    config_json = std::move(doc);
+  };
+  refresh_config_json();
+
+  obs::SnapshotSeries series(rc.snapshot_every);
   obs::ExporterEndpoints endpoints(reg, series);
-  obs::HttpServer http(endpoints.handler());
+  obs::HttpServer http([&](const std::string& target) -> obs::HttpResponse {
+    const std::string path = target.substr(0, target.find('?'));
+    if (path == "/plan") {
+      plan_requests.add();
+      return plan_response(service, target);
+    }
+    if (path == "/config") {
+      std::lock_guard<std::mutex> lock(config_mutex);
+      return {200, "application/json", config_json + '\n'};
+    }
+    return endpoints.respond(target);
+  });
   try {
     http.bind(static_cast<std::uint16_t>(port));
   } catch (const std::exception& e) {
@@ -211,16 +500,47 @@ int main(int argc, char** argv) {
               static_cast<unsigned>(http.port()));
   std::fflush(stdout);
 
+  numerics::Rng plan_rng(rc.seed * 0x9E3779B97F4A7C15ULL + 1);
+  std::uint64_t plan_reports = 0;
   double sim_clock_s = 0.0;
   std::uint64_t iter = 0;
   while (!g_stop.load()) {
+    if (g_reload.exchange(false) && !config_path.empty()) {
+      const auto problems = apply_config_file(config_path, rc);
+      for (const auto& p : problems) {
+        std::fprintf(stderr, "harvestd: warning: %s\n", p.c_str());
+      }
+      cfg.job_count = rc.jobs;
+      cfg.work_per_job_s = rc.work_hours * 3600.0;
+      cfg.snapshot_every_s = rc.snapshot_every;
+      cfg.family = rc.family;
+      ++reloads;
+      config_reloads.add();
+      refresh_config_json();
+      std::fprintf(stderr,
+                   "harvestd: reloaded %s (jobs %zu, work %.2f h, family "
+                   "%s, snapshot every %.0f s, seed %llu)\n",
+                   config_path.c_str(), rc.jobs, rc.work_hours,
+                   core::to_string(rc.family).c_str(), rc.snapshot_every,
+                   static_cast<unsigned long long>(rc.seed));
+    }
     if (once && iter >= 1) {
       // Smoke mode: the one simulation is done; keep serving until a
       // signal arrives so the scraper can take its time.
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
       continue;
     }
-    cfg.seed = seed + iter;
+    // Feed the planner service: the paper's training size per machine on
+    // the first iteration, then a trickle, with one in eight reports
+    // censored (occupancy still in progress when recorded).
+    const std::size_t feed = iter == 0 ? cfg.train_count : 4;
+    for (const auto& s : specs) {
+      for (std::size_t i = 0; i < feed; ++i) {
+        const double d = s.availability_law->sample(plan_rng);
+        service.report(s.id, d, (++plan_reports % 8) == 0);
+      }
+    }
+    cfg.seed = rc.seed + iter;
     condor::PoolSimResult res;
     try {
       res = condor::run_pool_simulation(specs, cfg);

@@ -128,6 +128,57 @@ EmResult run_em(const std::vector<double>& data, std::vector<double> weights,
 
 }  // namespace
 
+namespace {
+
+// Shared input validation + zero-floor clamp for both entry points.
+std::vector<double> clean_data(std::span<const double> xs,
+                               const EmOptions& opts, const char* who) {
+  std::vector<double> data(xs.begin(), xs.end());
+  for (double& x : data) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": values must be finite and >= 0");
+    }
+    x = std::max(x, opts.zero_floor);
+  }
+  return data;
+}
+
+}  // namespace
+
+EmResult fit_hyperexp_em_warm(std::span<const double> xs,
+                              std::vector<double> weights,
+                              std::vector<double> rates,
+                              const EmOptions& opts) {
+  if (weights.empty() || weights.size() != rates.size()) {
+    throw std::invalid_argument(
+        "fit_hyperexp_em_warm: weights/rates must match and be non-empty");
+  }
+  if (xs.size() < weights.size()) {
+    throw std::invalid_argument(
+        "fit_hyperexp_em_warm: need at least k samples");
+  }
+  double wsum = 0.0;
+  for (double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "fit_hyperexp_em_warm: weights must be positive and finite");
+    }
+    wsum += w;
+  }
+  for (double& w : weights) w /= wsum;
+  for (double& r : rates) {
+    if (!(r > 0.0) || !std::isfinite(r)) {
+      throw std::invalid_argument(
+          "fit_hyperexp_em_warm: rates must be positive and finite");
+    }
+    r = std::min(r, opts.max_rate);
+  }
+  const std::vector<double> data =
+      clean_data(xs, opts, "fit_hyperexp_em_warm");
+  return run_em(data, std::move(weights), std::move(rates), opts);
+}
+
 EmResult fit_hyperexp_em(std::span<const double> xs, int phases,
                          const EmOptions& opts) {
   if (phases < 1) throw std::invalid_argument("fit_hyperexp_em: phases >= 1");
@@ -137,14 +188,7 @@ EmResult fit_hyperexp_em(std::span<const double> xs, int phases,
   if (opts.restarts < 1) {
     throw std::invalid_argument("fit_hyperexp_em: restarts >= 1");
   }
-  std::vector<double> data(xs.begin(), xs.end());
-  for (double& x : data) {
-    if (!(x >= 0.0) || !std::isfinite(x)) {
-      throw std::invalid_argument(
-          "fit_hyperexp_em: values must be finite and >= 0");
-    }
-    x = std::max(x, opts.zero_floor);
-  }
+  const std::vector<double> data = clean_data(xs, opts, "fit_hyperexp_em");
   std::vector<double> sorted = data;
   std::sort(sorted.begin(), sorted.end());
 

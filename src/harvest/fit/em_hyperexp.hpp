@@ -52,4 +52,17 @@ struct EmResult {
 [[nodiscard]] EmResult fit_hyperexp_em(std::span<const double> xs, int phases,
                                        const EmOptions& opts = {});
 
+/// Warm-started EM: one run from the caller-supplied starting point
+/// (typically the previous refit's parameters) instead of the
+/// quantile-block initialization, and no restarts. When only a few new
+/// observations were appended since the last fit, the old parameters are
+/// already near the new optimum and EM converges in a handful of
+/// iterations instead of from scratch — this is the serving path of
+/// plan::StreamingHyperexpFit. `weights` must be positive (renormalized
+/// exactly) and `rates` positive, with matching sizes.
+[[nodiscard]] EmResult fit_hyperexp_em_warm(std::span<const double> xs,
+                                            std::vector<double> weights,
+                                            std::vector<double> rates,
+                                            const EmOptions& opts = {});
+
 }  // namespace harvest::fit

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -171,11 +172,10 @@ void HttpServer::handle_connection(int fd) {
   } else if (line.substr(0, sp1) != "GET") {
     resp = {405, "text/plain; charset=utf-8", "only GET is served\n"};
   } else {
-    // Strip any ?query: the endpoints dispatch on the bare path.
-    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    if (const auto q = path.find('?'); q != std::string::npos) {
-      path.resize(q);
-    }
+    // The query string (if any) is passed through: handlers that take
+    // parameters (/plan?machine=...) parse it themselves; the standard
+    // exporter endpoints strip it in ExporterEndpoints::respond.
+    const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
     try {
       resp = handler_(path);
     } catch (const std::exception& e) {
@@ -187,10 +187,30 @@ void HttpServer::handle_connection(int fd) {
   write_all(fd, render_response(resp));
 }
 
-HttpResponse ExporterEndpoints::respond(const std::string& path) const {
+HttpResponse ExporterEndpoints::respond(const std::string& raw_path) const {
+  // The standard endpoints take no parameters; dispatch on the bare path.
+  std::string path = raw_path;
+  if (const auto q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
   if (path == "/metrics") {
+    RegistrySnapshot snap = registry_.snapshot();
+    // Precomputed per-second rates between the last two series frames, so
+    // a scraper gets first-derivative counters without doing its own
+    // delta bookkeeping on the producer's (possibly simulated) clock.
+    for (const auto& rate : series_.counter_rates()) {
+      snap.gauges.push_back(
+          {rate.name + "_rate",
+           "Per-second rate of " + rate.name +
+               " between the last two snapshot frames.",
+           rate.rate});
+    }
+    std::sort(snap.gauges.begin(), snap.gauges.end(),
+              [](const GaugeSnapshot& a, const GaugeSnapshot& b) {
+                return a.name < b.name;
+              });
     return {200, "text/plain; version=0.0.4; charset=utf-8",
-            registry_.prometheus_text()};
+            snap.to_prometheus()};
   }
   if (path == "/healthz") {
     return {200, "text/plain; charset=utf-8", "ok\n"};

@@ -29,7 +29,9 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Maps a request path ("/metrics") to a response. Exceptions become 500s.
+/// Maps a request target ("/metrics", "/plan?machine=m0001" — the query
+/// string, when present, is passed through) to a response. Exceptions
+/// become 500s.
 using HttpHandler = std::function<HttpResponse(const std::string& path)>;
 
 /// Single-threaded blocking HTTP/1.0 server bound to 127.0.0.1. Lifecycle:
@@ -69,7 +71,9 @@ class HttpServer {
 };
 
 /// The standard exporter endpoint set over a registry + series:
-///   /metrics        Prometheus text exposition of `registry`
+///   /metrics        Prometheus text exposition of `registry`, plus a
+///                   precomputed `<name>_rate` gauge per counter once the
+///                   series holds >= 2 frames (rate between the last two)
 ///   /healthz        200 "ok" while the process lives
 ///   /readyz         200 once ready() was flipped, 503 before
 ///   /snapshot.json  latest SnapshotSeries frame (404 until one exists)

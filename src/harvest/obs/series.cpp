@@ -150,6 +150,39 @@ std::vector<SeriesPoint> SnapshotSeries::counter_series(
       });
 }
 
+std::vector<SnapshotSeries::CounterRate> SnapshotSeries::counter_rates()
+    const {
+  SeriesFrame prev;
+  SeriesFrame last;
+  {
+    std::lock_guard lock(mutex_);
+    if (ring_.size() < 2) return {};
+    if (max_frames_ == 0 || ring_.size() < max_frames_) {
+      prev = ring_[ring_.size() - 2];
+      last = ring_.back();
+    } else {
+      const std::size_t n = ring_.size();
+      prev = ring_[(next_ + n - 2) % n];
+      last = ring_[(next_ + n - 1) % n];
+    }
+  }
+  const double dt = last.t_s - prev.t_s;
+  if (!(dt > 0.0)) return {};
+  std::vector<CounterRate> out;
+  out.reserve(last.snapshot.counters.size());
+  // Both counter lists are sorted by name; merge-walk them.
+  auto p = prev.snapshot.counters.begin();
+  for (const auto& c : last.snapshot.counters) {
+    while (p != prev.snapshot.counters.end() && p->name < c.name) ++p;
+    if (p == prev.snapshot.counters.end()) break;
+    if (p->name != c.name) continue;
+    const double delta =
+        static_cast<double>(c.value) - static_cast<double>(p->value);
+    out.push_back({c.name, delta / dt});
+  }
+  return out;
+}
+
 std::vector<SeriesPoint> SnapshotSeries::gauge_series(
     const std::string& name) const {
   return extract_series(frames(), [&](const SeriesFrame& f, double& v) {

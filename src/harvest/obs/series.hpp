@@ -79,6 +79,16 @@ class SnapshotSeries {
   /// >= 0 as long as nobody reset the registry mid-series.
   [[nodiscard]] std::vector<SeriesPoint> counter_series(
       const std::string& name) const;
+
+  /// Per-second rate of every counter between the two NEWEST surviving
+  /// frames, sorted by name. Empty until the series holds two frames (or
+  /// when they share a timestamp); counters missing from either frame are
+  /// skipped. This is what /metrics exports as `<name>_rate` gauges.
+  struct CounterRate {
+    std::string name;
+    double rate = 0.0;
+  };
+  [[nodiscard]] std::vector<CounterRate> counter_rates() const;
   /// Same for a gauge (deltas may be negative).
   [[nodiscard]] std::vector<SeriesPoint> gauge_series(
       const std::string& name) const;

@@ -1,0 +1,249 @@
+#include "harvest/plan/plan_cache.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/weibull.hpp"
+
+namespace harvest::plan {
+namespace {
+
+// Family tags inside the key (never serialized; ordering is arbitrary).
+constexpr int kTagExponential = 1;
+constexpr int kTagWeibull = 2;
+constexpr int kTagHyperexp = 3;
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Relative (log-grid) quantization for a strictly positive parameter.
+std::int64_t quantize_log(double p, double log_step) {
+  if (!(p > 0.0) || !std::isfinite(p)) {
+    throw std::invalid_argument("PlanCache: parameters must be > 0");
+  }
+  return std::llround(std::log(p) / log_step);
+}
+
+double representative_log(std::int64_t q, double log_step) {
+  return std::exp(static_cast<double>(q) * log_step);
+}
+
+/// Absolute quantization for a mixture weight, floored at one step so a
+/// tiny-but-alive phase never collapses to weight zero.
+std::int64_t quantize_weight(double w, double weight_step) {
+  if (!(w >= 0.0) || !std::isfinite(w)) {
+    throw std::invalid_argument("PlanCache: weights must be >= 0");
+  }
+  return std::max<std::int64_t>(1, std::llround(w / weight_step));
+}
+
+}  // namespace
+
+bool PlanCache::Key::operator==(const Key& other) const {
+  return family_tag == other.family_tag && qparams == other.qparams &&
+         cost_bits[0] == other.cost_bits[0] &&
+         cost_bits[1] == other.cost_bits[1] &&
+         cost_bits[2] == other.cost_bits[2];
+}
+
+std::size_t PlanCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.family_tag));
+  for (const std::int64_t q : k.qparams) {
+    h = mix64(h ^ static_cast<std::uint64_t>(q));
+  }
+  for (const std::uint64_t c : k.cost_bits) h = mix64(h ^ c);
+  return static_cast<std::size_t>(h);
+}
+
+PlanCache::PlanCache(PlanCacheOptions opts, obs::MetricsRegistry* registry)
+    : opts_(std::move(opts)) {
+  if (opts_.shards == 0) {
+    throw std::invalid_argument("PlanCache: shards must be >= 1");
+  }
+  if (!(opts_.log_step > 0.0) || !(opts_.weight_step > 0.0)) {
+    throw std::invalid_argument("PlanCache: quantization steps must be > 0");
+  }
+  if (opts_.horizon == 0) {
+    throw std::invalid_argument("PlanCache: horizon must be >= 1");
+  }
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (registry != nullptr) {
+    registry->describe("plan.cache.hits",
+                       "Plan lookups served from the sharded plan cache.");
+    registry->describe("plan.cache.misses",
+                       "Plan lookups that had to optimize a new schedule.");
+    registry->describe("plan.cache.evictions",
+                       "Plans evicted by the per-shard LRU bound.");
+    hits_ = &registry->counter("plan.cache.hits");
+    misses_ = &registry->counter("plan.cache.misses");
+    evictions_ = &registry->counter("plan.cache.evictions");
+  }
+}
+
+PlanCache::Key PlanCache::make_key(const dist::Distribution& fitted,
+                                   const core::IntervalCosts& costs) const {
+  Key key;
+  if (const auto* e = dynamic_cast<const dist::Exponential*>(&fitted)) {
+    key.family_tag = kTagExponential;
+    key.qparams = {quantize_log(e->rate(), opts_.log_step)};
+  } else if (const auto* w = dynamic_cast<const dist::Weibull*>(&fitted)) {
+    key.family_tag = kTagWeibull;
+    key.qparams = {quantize_log(w->shape(), opts_.log_step),
+                   quantize_log(w->scale(), opts_.log_step)};
+  } else if (const auto* h =
+                 dynamic_cast<const dist::Hyperexponential*>(&fitted)) {
+    key.family_tag = kTagHyperexp;
+    key.qparams.reserve(2 * h->phases());
+    for (const double weight : h->weights()) {
+      key.qparams.push_back(quantize_weight(weight, opts_.weight_step));
+    }
+    for (const double rate : h->rates()) {
+      key.qparams.push_back(quantize_log(rate, opts_.log_step));
+    }
+  } else {
+    throw std::invalid_argument("PlanCache: unsupported model family '" +
+                                fitted.name() + "'");
+  }
+  key.cost_bits[0] = std::bit_cast<std::uint64_t>(costs.checkpoint);
+  key.cost_bits[1] = std::bit_cast<std::uint64_t>(costs.recovery);
+  key.cost_bits[2] = std::bit_cast<std::uint64_t>(costs.latency);
+  return key;
+}
+
+dist::DistributionPtr PlanCache::representative(
+    const dist::Distribution& fitted) const {
+  if (const auto* e = dynamic_cast<const dist::Exponential*>(&fitted)) {
+    return std::make_shared<dist::Exponential>(representative_log(
+        quantize_log(e->rate(), opts_.log_step), opts_.log_step));
+  }
+  if (const auto* w = dynamic_cast<const dist::Weibull*>(&fitted)) {
+    return std::make_shared<dist::Weibull>(
+        representative_log(quantize_log(w->shape(), opts_.log_step),
+                           opts_.log_step),
+        representative_log(quantize_log(w->scale(), opts_.log_step),
+                           opts_.log_step));
+  }
+  if (const auto* h = dynamic_cast<const dist::Hyperexponential*>(&fitted)) {
+    std::vector<double> weights;
+    std::vector<double> rates;
+    weights.reserve(h->phases());
+    rates.reserve(h->phases());
+    double wsum = 0.0;
+    for (const double weight : h->weights()) {
+      const double rep = static_cast<double>(quantize_weight(
+                             weight, opts_.weight_step)) *
+                         opts_.weight_step;
+      weights.push_back(rep);
+      wsum += rep;
+    }
+    for (double& weight : weights) weight /= wsum;
+    for (const double rate : h->rates()) {
+      rates.push_back(representative_log(
+          quantize_log(rate, opts_.log_step), opts_.log_step));
+    }
+    return std::make_shared<dist::Hyperexponential>(std::move(weights),
+                                                    std::move(rates));
+  }
+  throw std::invalid_argument("PlanCache: unsupported model family '" +
+                              fitted.name() + "'");
+}
+
+PlanPtr PlanCache::compute(const dist::Distribution& fitted,
+                           const core::IntervalCosts& costs) const {
+  const dist::DistributionPtr rep = representative(fitted);
+  core::CheckpointSchedule schedule =
+      core::Planner::make_schedule(rep, costs, opts_.schedule);
+  auto plan = std::make_shared<Plan>();
+  plan->family = rep->name();
+  plan->model_description = rep->describe();
+  plan->costs = costs;
+  if (const auto* e = dynamic_cast<const dist::Exponential*>(rep.get())) {
+    plan->params = {e->rate()};
+  } else if (const auto* w = dynamic_cast<const dist::Weibull*>(rep.get())) {
+    plan->params = {w->shape(), w->scale()};
+  } else if (const auto* h =
+                 dynamic_cast<const dist::Hyperexponential*>(rep.get())) {
+    plan->params = h->weights();
+    plan->params.insert(plan->params.end(), h->rates().begin(),
+                        h->rates().end());
+  }
+  plan->entries.reserve(opts_.horizon);
+  for (std::size_t i = 0; i < opts_.horizon; ++i) {
+    const core::ScheduleEntry e = schedule.entry(i);
+    plan->entries.push_back(
+        {e.work_time, e.age, e.efficiency, e.at_upper_bound});
+  }
+  return plan;
+}
+
+PlanCache::Result PlanCache::lookup_or_compute(
+    const dist::Distribution& fitted, const core::IntervalCosts& costs) {
+  Key key = make_key(fitted, costs);
+  Shard& shard =
+      *shards_[KeyHash{}(key) % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_n_.fetch_add(1, std::memory_order_relaxed);
+      if (hits_ != nullptr) hits_->add();
+      return {it->second->second, true};
+    }
+  }
+  // Optimize outside the shard lock: a golden-section solve is the slow
+  // path, and two racing computes of the same bucket are harmless (the
+  // second insert finds the first's plan and drops its own).
+  misses_n_.fetch_add(1, std::memory_order_relaxed);
+  if (misses_ != nullptr) misses_->add();
+  PlanPtr plan = compute(fitted, costs);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return {it->second->second, false};
+  }
+  shard.lru.emplace_front(key, plan);
+  shard.map.emplace(std::move(key), shard.lru.begin());
+  if (opts_.capacity_per_shard > 0 &&
+      shard.lru.size() > opts_.capacity_per_shard) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_n_.fetch_add(1, std::memory_order_relaxed);
+    if (evictions_ != nullptr) evictions_->add();
+  }
+  return {std::move(plan), false};
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  out.hits = hits_n_.load(std::memory_order_relaxed);
+  out.misses = misses_n_.load(std::memory_order_relaxed);
+  out.evictions = evictions_n_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.size += shard->lru.size();
+  }
+  return out;
+}
+
+void PlanCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+}  // namespace harvest::plan

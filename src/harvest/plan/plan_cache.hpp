@@ -1,0 +1,157 @@
+// Sharded, LRU-bounded cache of checkpoint plans keyed by QUANTIZED fitted
+// parameters. At fleet scale, machines with near-identical fitted
+// availability laws keep re-deriving near-identical golden-section
+// schedules; the cache collapses each quantization bucket onto ONE schedule
+// optimized at the bucket's representative parameters, so a fleet of a
+// million machines whose fits cluster into a few hundred buckets pays a few
+// hundred optimizations, not a million.
+//
+// Key = family tag + quantized parameter vector + interval costs:
+//  * positive parameters (rates, shapes, scales) quantize on a relative
+//    grid: q = round(ln p / log_step), representative exp(q·log_step) — a
+//    bucket spans ±log_step/2 in log space (±1.25 % at the default);
+//  * hyperexponential mixture weights quantize on an absolute grid of
+//    weight_step (weights live in [0, 1]; relative error near 0 is
+//    meaningless) and are renormalized to sum to one;
+//  * the C/R/L link costs enter the key bit-exact — they are deployment
+//    constants, not estimates, so two different cost configurations never
+//    share a plan.
+//
+// ε-closeness: the cached plan is optimal for the representative
+// parameters, which differ from the true fit by at most half a quantization
+// step per parameter. Because the overhead ratio Γ(T)/T is flat (zero
+// derivative) at its minimum and Γ varies smoothly with the availability
+// parameters, evaluating the cached schedule under the TRUE fitted model
+// costs within ε of the exactly re-optimized schedule — property-tested
+// across the quantization grid in tests/plan/plan_cache_test.cpp and
+// measured per cell by bench_plan_service.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harvest/core/planner.hpp"
+#include "harvest/dist/distribution.hpp"
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::plan {
+
+struct PlanCacheOptions {
+  /// Mutex stripes. Each shard owns an independent LRU map; a key's shard
+  /// is a pure function of its hash.
+  std::size_t shards = 16;
+  /// LRU bound per shard (0 = unbounded).
+  std::size_t capacity_per_shard = 4096;
+  /// Relative quantization step for positive parameters (ln-space grid).
+  double log_step = 0.025;
+  /// Absolute quantization step for hyperexponential mixture weights.
+  double weight_step = 0.02;
+  /// Schedule entries materialized per cached plan (the aperiodic
+  /// T_opt(0..horizon-1) sequence a machine needs until its next failure).
+  std::size_t horizon = 8;
+  core::ScheduleOptions schedule;
+};
+
+struct PlanEntryView {
+  double work_s = 0.0;        ///< T_opt(i)
+  double age_s = 0.0;         ///< machine uptime at interval i's start
+  double efficiency = 0.0;    ///< model-predicted T/Γ
+  bool at_upper_bound = false;
+};
+
+/// One cached, fully materialized plan. Immutable after construction and
+/// shared by every machine in the quantization bucket.
+struct Plan {
+  std::string family;                 ///< model family tag, e.g. "weibull"
+  std::vector<double> params;         ///< representative (bucket) parameters
+  std::string model_description;      ///< human-readable representative model
+  core::IntervalCosts costs;
+  std::vector<PlanEntryView> entries;
+};
+using PlanPtr = std::shared_ptr<const Plan>;
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;  ///< cached plans across all shards
+
+  [[nodiscard]] double hit_ratio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class PlanCache {
+ public:
+  struct Result {
+    PlanPtr plan;
+    bool hit = false;  ///< served from cache (false = optimized this call)
+  };
+
+  /// `registry` receives the `plan.cache.*` counters; pass an isolated
+  /// registry in tests. Throws std::invalid_argument on bad options.
+  explicit PlanCache(PlanCacheOptions opts = {},
+                     obs::MetricsRegistry* registry = nullptr);
+
+  /// The serving path: quantize the fitted model's parameters, return the
+  /// bucket's plan, optimizing it first iff this is the bucket's first
+  /// visit. Supported families: exponential, weibull, hyperexponential
+  /// (throws std::invalid_argument otherwise).
+  Result lookup_or_compute(const dist::Distribution& fitted,
+                           const core::IntervalCosts& costs);
+
+  /// Representative (bucket-center) model for a fitted model — what the
+  /// cached plan is optimized for. Exposed for the ε property tests.
+  [[nodiscard]] dist::DistributionPtr representative(
+      const dist::Distribution& fitted) const;
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] const PlanCacheOptions& options() const { return opts_; }
+  void clear();
+
+ private:
+  struct Key {
+    int family_tag = 0;
+    std::vector<std::int64_t> qparams;
+    std::uint64_t cost_bits[3] = {0, 0, 0};
+
+    bool operator==(const Key& other) const;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    std::mutex mutex;
+    /// Most-recently-used at the front.
+    std::list<std::pair<Key, PlanPtr>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, PlanPtr>>::iterator,
+                       KeyHash>
+        map;
+  };
+
+  [[nodiscard]] Key make_key(const dist::Distribution& fitted,
+                             const core::IntervalCosts& costs) const;
+  [[nodiscard]] PlanPtr compute(const dist::Distribution& fitted,
+                                const core::IntervalCosts& costs) const;
+
+  PlanCacheOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Instance-local tallies (stats()); the registry counters — when a
+  /// registry was supplied — mirror them for scraping.
+  std::atomic<std::uint64_t> hits_n_{0};
+  std::atomic<std::uint64_t> misses_n_{0};
+  std::atomic<std::uint64_t> evictions_n_{0};
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+};
+
+}  // namespace harvest::plan

@@ -1,0 +1,197 @@
+#include "harvest/plan/service.hpp"
+
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+namespace harvest::plan {
+
+std::string_view to_string(PlanStatus status) {
+  switch (status) {
+    case PlanStatus::kOk:
+      return "ok";
+    case PlanStatus::kUnknownMachine:
+      return "unknown_machine";
+    case PlanStatus::kInsufficientData:
+      return "insufficient_data";
+  }
+  return "invalid";
+}
+
+PlannerService::PlannerService(PlannerServiceOptions opts,
+                               obs::MetricsRegistry* registry)
+    : opts_(std::move(opts)), cache_(opts_.cache, registry) {
+  switch (opts_.family) {
+    case core::ModelFamily::kExponential:
+    case core::ModelFamily::kWeibull:
+      break;
+    case core::ModelFamily::kHyperexp2:
+      opts_.hyperexp.phases = 2;
+      break;
+    case core::ModelFamily::kHyperexp3:
+      opts_.hyperexp.phases = 3;
+      break;
+    default:
+      throw std::invalid_argument(
+          "PlannerService: family has no streaming fitter (supported: "
+          "exponential, weibull, hyperexp2, hyperexp3)");
+  }
+  if (opts_.refit_every == 0) {
+    throw std::invalid_argument("PlannerService: refit_every must be >= 1");
+  }
+  if (opts_.machine_shards == 0) {
+    throw std::invalid_argument("PlannerService: machine_shards must be >= 1");
+  }
+  shards_.reserve(opts_.machine_shards);
+  for (std::size_t i = 0; i < opts_.machine_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (registry != nullptr) {
+    registry->describe("plan.reports",
+                       "Occupancy durations reported to the planner service.");
+    registry->describe("plan.refits",
+                       "Per-machine model refits performed by the planner "
+                       "service.");
+    registry->describe("plan.refit_failures",
+                       "Refit attempts rejected for insufficient or "
+                       "degenerate data.");
+    registry->describe("plan.machines",
+                       "Machines with planner-service fitter state.");
+    registry->describe("plan.refit_latency_s",
+                       "Wall time of one streaming refit (seconds).");
+    reports_ = &registry->counter("plan.reports");
+    refits_ = &registry->counter("plan.refits");
+    refit_failures_ = &registry->counter("plan.refit_failures");
+    machines_gauge_ = &registry->gauge("plan.machines");
+    refit_latency_ = &registry->histogram(
+        "plan.refit_latency_s",
+        obs::Histogram::exponential_bounds(1e-7, 10.0, 33));
+  }
+}
+
+PlannerService::Shard& PlannerService::shard_for(
+    const std::string& machine_id) {
+  return *shards_[std::hash<std::string>{}(machine_id) % shards_.size()];
+}
+
+PlannerService::Machine PlannerService::make_machine() const {
+  Machine m;
+  switch (opts_.family) {
+    case core::ModelFamily::kExponential:
+      m.exp.emplace();
+      break;
+    case core::ModelFamily::kWeibull:
+      m.weibull.emplace(opts_.weibull);
+      break;
+    default:  // hyperexp2 / hyperexp3, validated in the constructor
+      m.hyperexp.emplace(opts_.hyperexp);
+      break;
+  }
+  return m;
+}
+
+void PlannerService::report(const std::string& machine_id, double duration_s,
+                            bool censored) {
+  Shard& shard = shard_for(machine_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.machines.try_emplace(machine_id);
+  if (inserted) {
+    it->second = make_machine();
+    machines_n_.fetch_add(1, std::memory_order_relaxed);
+    if (machines_gauge_ != nullptr) {
+      machines_gauge_->set(
+          static_cast<double>(machines_n_.load(std::memory_order_relaxed)));
+    }
+  }
+  Machine& m = it->second;
+  if (m.exp) {
+    censored ? m.exp->observe_censored(duration_s)
+             : m.exp->observe(duration_s);
+  } else if (m.weibull) {
+    censored ? m.weibull->observe_censored(duration_s)
+             : m.weibull->observe(duration_s);
+  } else {
+    censored ? m.hyperexp->observe_censored(duration_s)
+             : m.hyperexp->observe(duration_s);
+  }
+  ++m.observations;
+  ++m.pending;
+  reports_n_.fetch_add(1, std::memory_order_relaxed);
+  if (reports_ != nullptr) reports_->add();
+}
+
+bool PlannerService::refit(Machine& m) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    if (m.exp) {
+      auto fitted = m.exp->fit();
+      m.model = std::make_shared<dist::Exponential>(fitted);
+    } else if (m.weibull) {
+      auto fitted = m.weibull->fit();
+      m.model = std::make_shared<dist::Weibull>(fitted);
+    } else {
+      auto fitted = m.hyperexp->fit();
+      m.model = std::make_shared<dist::Hyperexponential>(std::move(fitted));
+    }
+  } catch (const std::invalid_argument&) {
+    if (refit_failures_ != nullptr) refit_failures_->add();
+    return false;
+  } catch (const std::runtime_error&) {
+    // e.g. Weibull shape root outside the grid — degenerate data.
+    if (refit_failures_ != nullptr) refit_failures_->add();
+    return false;
+  }
+  m.model_description = m.model->describe();
+  m.pending = 0;
+  refits_n_.fetch_add(1, std::memory_order_relaxed);
+  if (refits_ != nullptr) refits_->add();
+  if (refit_latency_ != nullptr) {
+    refit_latency_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return true;
+}
+
+GetPlanResult PlannerService::get_plan(const std::string& machine_id) {
+  Shard& shard = shard_for(machine_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.machines.find(machine_id);
+  if (it == shard.machines.end()) {
+    return {};
+  }
+  Machine& m = it->second;
+  GetPlanResult out;
+  out.observations = m.observations;
+  const bool due = m.model == nullptr || m.pending >= opts_.refit_every;
+  if (due) {
+    if (refit(m)) {
+      out.refitted = true;
+      const PlanCache::Result cached =
+          cache_.lookup_or_compute(*m.model, opts_.costs);
+      m.plan = cached.plan;
+      m.last_hit = cached.hit;
+    } else if (m.model == nullptr) {
+      out.status = PlanStatus::kInsufficientData;
+      return out;
+    }
+    // refit failed but an older model exists: keep serving its plan.
+  }
+  out.status = PlanStatus::kOk;
+  out.plan = m.plan;
+  out.cache_hit = m.last_hit;
+  out.fitted_description = m.model_description;
+  return out;
+}
+
+PlannerServiceStats PlannerService::stats() const {
+  PlannerServiceStats out;
+  out.reports = reports_n_.load(std::memory_order_relaxed);
+  out.refits = refits_n_.load(std::memory_order_relaxed);
+  out.machines = machines_n_.load(std::memory_order_relaxed);
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace harvest::plan

@@ -1,0 +1,132 @@
+// Planner-as-a-service facade: the piece a harvesting scheduler actually
+// talks to. Machines report occupancy durations as they happen
+// (`report`); the service folds each into the machine's streaming fitter
+// (streaming_fit.hpp), refits on a configurable cadence, and serves the
+// fitted model's checkpoint schedule out of the shared sharded PlanCache
+// (plan_cache.hpp) — so a fleet whose fits cluster pays one golden-section
+// optimization per quantization bucket, not per machine.
+//
+// Refits are LAZY: report() only appends to O(1)-state fitters (or the
+// stream, for EM); the actual re-solve happens on the next get_plan() once
+// `refit_every` new observations have accumulated. A machine that reports
+// but is never asked for a plan costs nothing beyond its fitter state.
+//
+// Exposed over HTTP by examples/harvestd as /plan?machine=<id>.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "harvest/core/planner.hpp"
+#include "harvest/plan/plan_cache.hpp"
+#include "harvest/plan/streaming_fit.hpp"
+
+namespace harvest::plan {
+
+struct PlannerServiceOptions {
+  /// Availability model fitted per machine. Supported: kExponential,
+  /// kWeibull, kHyperexp2, kHyperexp3 (the streaming-fittable families).
+  core::ModelFamily family = core::ModelFamily::kWeibull;
+  /// C/R/L costs shared by the fleet (deployment constants).
+  core::IntervalCosts costs;
+  /// Refit once this many new observations arrive since the last fit (1 =
+  /// refit on every get_plan after any new data).
+  std::size_t refit_every = 8;
+  /// Mutex stripes over the machine map.
+  std::size_t machine_shards = 16;
+  PlanCacheOptions cache;
+  StreamingWeibullOptions weibull;
+  StreamingHyperexpOptions hyperexp;  ///< phases overridden by `family`
+};
+
+enum class PlanStatus {
+  kOk,
+  kUnknownMachine,     ///< no report() ever seen for this machine id
+  kInsufficientData,   ///< too few (or degenerate) observations to fit
+};
+
+[[nodiscard]] std::string_view to_string(PlanStatus status);
+
+struct GetPlanResult {
+  PlanStatus status = PlanStatus::kUnknownMachine;
+  PlanPtr plan;                   ///< non-null iff status == kOk
+  bool cache_hit = false;         ///< plan came from the cache this call
+  bool refitted = false;          ///< this call re-solved the model
+  std::size_t observations = 0;   ///< total reports for the machine
+  std::string fitted_description; ///< exact (pre-quantization) fitted model
+};
+
+struct PlannerServiceStats {
+  std::uint64_t reports = 0;
+  std::uint64_t refits = 0;
+  std::size_t machines = 0;
+  PlanCacheStats cache;
+};
+
+class PlannerService {
+ public:
+  /// `registry` receives the `plan.*` metrics group (reports, refits,
+  /// refit latency, machine count, cache counters); nullptr disables.
+  /// Throws std::invalid_argument for an unsupported family or bad options.
+  explicit PlannerService(PlannerServiceOptions opts = {},
+                          obs::MetricsRegistry* registry = nullptr);
+
+  /// Record one occupancy duration (seconds) for a machine, creating its
+  /// fitter state on first sight. Censored = the occupancy was still in
+  /// progress when recorded (machine not yet reclaimed).
+  void report(const std::string& machine_id, double duration_s,
+              bool censored = false);
+
+  /// Fit (if due) and return the machine's current plan. Never throws for
+  /// data-quality problems — they map to the status enum.
+  [[nodiscard]] GetPlanResult get_plan(const std::string& machine_id);
+
+  [[nodiscard]] PlannerServiceStats stats() const;
+  [[nodiscard]] const PlannerServiceOptions& options() const { return opts_; }
+  [[nodiscard]] PlanCache& cache() { return cache_; }
+
+ private:
+  struct Machine {
+    // Exactly one engaged, per opts_.family.
+    std::optional<StreamingExponentialFit> exp;
+    std::optional<StreamingWeibullFit> weibull;
+    std::optional<StreamingHyperexpFit> hyperexp;
+    std::size_t observations = 0;
+    std::size_t pending = 0;  ///< observations since the last successful fit
+    dist::DistributionPtr model;
+    std::string model_description;
+    PlanPtr plan;
+    bool last_hit = false;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Machine> machines;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& machine_id);
+  [[nodiscard]] Machine make_machine() const;
+  /// Refit `m` from its fitter. Returns false (and leaves m.model null or
+  /// stale) when the data cannot support the family yet.
+  bool refit(Machine& m);
+
+  PlannerServiceOptions opts_;
+  PlanCache cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> reports_n_{0};
+  std::atomic<std::uint64_t> refits_n_{0};
+  std::atomic<std::uint64_t> machines_n_{0};
+  obs::Counter* reports_ = nullptr;
+  obs::Counter* refits_ = nullptr;
+  obs::Counter* refit_failures_ = nullptr;
+  obs::Gauge* machines_gauge_ = nullptr;
+  obs::Histogram* refit_latency_ = nullptr;
+};
+
+}  // namespace harvest::plan

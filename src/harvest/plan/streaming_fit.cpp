@@ -1,0 +1,249 @@
+#include "harvest/plan/streaming_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harvest::plan {
+namespace {
+
+void check_duration(double x, const char* who) {
+  if (!(x >= 0.0) || !std::isfinite(x)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": durations must be finite and >= 0");
+  }
+}
+
+/// Cubic Hermite interpolant of f on [0, 1] from endpoint values/slopes
+/// (slopes already scaled by the interval length).
+double hermite(double t, double f0, double f1, double d0, double d1) {
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  return f0 * (2.0 * t3 - 3.0 * t2 + 1.0) + d0 * (t3 - 2.0 * t2 + t) +
+         f1 * (-2.0 * t3 + 3.0 * t2) + d1 * (t3 - t2);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamingExponentialFit
+
+void StreamingExponentialFit::observe(double duration_s) {
+  check_duration(duration_s, "StreamingExponentialFit::observe");
+  ++events_;
+  total_time_s_ += duration_s;
+}
+
+void StreamingExponentialFit::observe_censored(double duration_s) {
+  check_duration(duration_s, "StreamingExponentialFit::observe_censored");
+  ++censored_;
+  total_time_s_ += duration_s;
+}
+
+dist::Exponential StreamingExponentialFit::fit() const {
+  if (events_ == 0) {
+    throw std::invalid_argument(
+        "StreamingExponentialFit: need at least one observed event");
+  }
+  if (!(total_time_s_ > 0.0)) {
+    throw std::invalid_argument(
+        "StreamingExponentialFit: total time on test must be > 0");
+  }
+  return dist::Exponential(static_cast<double>(events_) / total_time_s_);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingWeibullFit
+
+StreamingWeibullFit::StreamingWeibullFit(const StreamingWeibullOptions& opts)
+    : opts_(opts) {
+  if (!(opts_.shape_min > 0.0) || !(opts_.shape_max > opts_.shape_min)) {
+    throw std::invalid_argument(
+        "StreamingWeibullFit: need 0 < shape_min < shape_max");
+  }
+  if (opts_.grid_points < 8) {
+    throw std::invalid_argument("StreamingWeibullFit: grid_points >= 8");
+  }
+  if (!(opts_.zero_floor > 0.0)) {
+    throw std::invalid_argument("StreamingWeibullFit: zero_floor must be > 0");
+  }
+  alphas_.resize(opts_.grid_points);
+  const double du = std::log(opts_.shape_max / opts_.shape_min) /
+                    static_cast<double>(opts_.grid_points - 1);
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    alphas_[i] = opts_.shape_min * std::exp(static_cast<double>(i) * du);
+  }
+  offset_.assign(alphas_.size(), -std::numeric_limits<double>::infinity());
+  s0_.assign(alphas_.size(), 0.0);
+  s1_.assign(alphas_.size(), 0.0);
+  s2_.assign(alphas_.size(), 0.0);
+}
+
+void StreamingWeibullFit::observe(double duration_s) {
+  check_duration(duration_s, "StreamingWeibullFit::observe");
+  add(duration_s, /*event=*/true);
+}
+
+void StreamingWeibullFit::observe_censored(double duration_s) {
+  check_duration(duration_s, "StreamingWeibullFit::observe_censored");
+  add(duration_s, /*event=*/false);
+}
+
+void StreamingWeibullFit::add(double duration_s, bool event) {
+  const double x = std::max(duration_s, opts_.zero_floor);
+  const double l = std::log(x);
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    const double a = alphas_[i] * l;
+    double w;
+    if (a > offset_[i]) {
+      // New running max: rescale the stored sums so the largest term is
+      // always exp(0) = 1 — streaming log-sum-exp, immune to overflow for
+      // any shape x duration combination.
+      const double f = std::exp(offset_[i] - a);
+      s0_[i] *= f;
+      s1_[i] *= f;
+      s2_[i] *= f;
+      offset_[i] = a;
+      w = 1.0;
+    } else {
+      w = std::exp(a - offset_[i]);
+    }
+    s0_[i] += w;
+    s1_[i] += w * l;
+    s2_[i] += w * l * l;
+  }
+  ++total_;
+  if (event) {
+    ++events_;
+    sum_log_events_ += l;
+    if (first_event_ < 0.0) {
+      first_event_ = x;
+    } else if (x != first_event_) {
+      distinct_events_ = true;
+    }
+  }
+}
+
+double StreamingWeibullFit::score(std::size_t i) const {
+  const double mean_log_events =
+      sum_log_events_ / static_cast<double>(events_);
+  return s1_[i] / s0_[i] - 1.0 / alphas_[i] - mean_log_events;
+}
+
+double StreamingWeibullFit::score_dlog(std::size_t i) const {
+  const double h = s1_[i] / s0_[i];
+  const double dg = (s2_[i] / s0_[i] - h * h) + 1.0 / (alphas_[i] * alphas_[i]);
+  return alphas_[i] * dg;  // d/d ln α
+}
+
+dist::Weibull StreamingWeibullFit::fit() const {
+  if (events_ < 2) {
+    throw std::invalid_argument("StreamingWeibullFit: need >= 2 events");
+  }
+  if (!distinct_events_) {
+    throw std::invalid_argument(
+        "StreamingWeibullFit: all observed events identical; shape MLE "
+        "diverges");
+  }
+  // The profile score is strictly increasing in α; bracket its sign change
+  // on the grid.
+  if (score(0) > 0.0) {
+    throw std::runtime_error(
+        "StreamingWeibullFit: shape root below grid range");
+  }
+  std::size_t hi = alphas_.size();
+  for (std::size_t i = 1; i < alphas_.size(); ++i) {
+    if (score(i) >= 0.0) {
+      hi = i;
+      break;
+    }
+  }
+  if (hi == alphas_.size()) {
+    throw std::runtime_error(
+        "StreamingWeibullFit: shape root above grid range");
+  }
+  const std::size_t lo = hi - 1;
+  const double u0 = std::log(alphas_[lo]);
+  const double u1 = std::log(alphas_[hi]);
+  const double h = u1 - u0;
+  const double g0 = score(lo);
+  const double g1 = score(hi);
+  // Refine inside the bracket on the cubic Hermite interpolant of g(ln α)
+  // built from the EXACT endpoint scores and slopes. The interpolation
+  // error is O(h^4), far below the batch fitter's own tolerance at the
+  // default grid resolution.
+  const double d0 = score_dlog(lo) * h;
+  const double d1 = score_dlog(hi) * h;
+  double ta = 0.0;
+  double tb = 1.0;
+  for (int it = 0; it < 80; ++it) {
+    const double tm = 0.5 * (ta + tb);
+    if (hermite(tm, g0, g1, d0, d1) < 0.0) {
+      ta = tm;
+    } else {
+      tb = tm;
+    }
+  }
+  const double t = 0.5 * (ta + tb);
+  const double alpha = std::exp(u0 + t * h);
+
+  // Scale: β = (S0(α̂)/r)^{1/α̂} with r = events. ln S0 is interpolated the
+  // same way (values offset + ln s0, slope α·S1/S0 per grid point).
+  const double L0 = offset_[lo] + std::log(s0_[lo]);
+  const double L1 = offset_[hi] + std::log(s0_[hi]);
+  const double dL0 = alphas_[lo] * (s1_[lo] / s0_[lo]) * h;
+  const double dL1 = alphas_[hi] * (s1_[hi] / s0_[hi]) * h;
+  const double log_s0 = hermite(t, L0, L1, dL0, dL1);
+  const double log_beta =
+      (log_s0 - std::log(static_cast<double>(events_))) / alpha;
+  return dist::Weibull(alpha, std::exp(log_beta));
+}
+
+// ---------------------------------------------------------------------------
+// StreamingHyperexpFit
+
+StreamingHyperexpFit::StreamingHyperexpFit(
+    const StreamingHyperexpOptions& opts)
+    : opts_(opts) {
+  if (opts_.phases < 1) {
+    throw std::invalid_argument("StreamingHyperexpFit: phases >= 1");
+  }
+  if (opts_.warm_max_iterations < 1) {
+    throw std::invalid_argument(
+        "StreamingHyperexpFit: warm_max_iterations >= 1");
+  }
+}
+
+void StreamingHyperexpFit::observe(double duration_s) {
+  check_duration(duration_s, "StreamingHyperexpFit::observe");
+  data_.push_back(duration_s);
+}
+
+dist::Hyperexponential StreamingHyperexpFit::fit() {
+  fit::EmResult result = [&] {
+    if (have_warm_) {
+      fit::EmOptions warm = opts_.em;
+      warm.max_iterations = opts_.warm_max_iterations;
+      return fit::fit_hyperexp_em_warm(data_, warm_weights_, warm_rates_,
+                                       warm);
+    }
+    return fit::fit_hyperexp_em(data_, opts_.phases, opts_.em);
+  }();
+  warm_weights_ = result.model.weights();
+  warm_rates_ = result.model.rates();
+  have_warm_ = true;
+  last_iterations_ = result.iterations;
+  last_converged_ = result.converged;
+  last_loglik_ = result.log_likelihood;
+  ++refits_;
+  return result.model;
+}
+
+void StreamingHyperexpFit::reset_warm_state() {
+  have_warm_ = false;
+  warm_weights_.clear();
+  warm_rates_.clear();
+}
+
+}  // namespace harvest::plan

@@ -88,6 +88,43 @@ TEST(HttpServer, QueryStringIsStripped) {
   EXPECT_EQ(http_get(e.server.port(), "/healthz?verbose=1").status, 200);
 }
 
+// The raw target (query included) reaches the handler — harvestd's /plan
+// endpoint parses ?machine=... itself; ExporterEndpoints strips it.
+TEST(HttpServer, HandlerSeesFullTargetWithQuery) {
+  HttpServer server([](const std::string& target) {
+    HttpResponse res;
+    res.status = 200;
+    res.content_type = "text/plain; charset=utf-8";
+    res.body = target;
+    return res;
+  });
+  server.bind(0);
+  server.start();
+  const auto res = http_get(server.port(), "/plan?machine=m0003");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "/plan?machine=m0003");
+}
+
+// Counters scraped twice through a SnapshotSeries grow `_rate` gauges on
+// /metrics (the live-scrape rate view harvestd exports).
+TEST(HttpServer, MetricsExportsCounterRateGauges) {
+  Exporter e;
+  auto& c = e.registry.counter("pool.jobs");
+  c.add(10);
+  // One frame only: no rate gauge yet.
+  e.series.sample(0.0, e.registry);
+  auto res = http_get(e.server.port(), "/metrics");
+  EXPECT_EQ(res.body.find("pool_jobs_rate"), std::string::npos);
+  c.add(30);
+  e.series.sample(60.0, e.registry);
+  res = http_get(e.server.port(), "/metrics");
+  ASSERT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("# TYPE pool_jobs_rate gauge"), std::string::npos);
+  EXPECT_NE(res.body.find("pool_jobs_rate 0.5"), std::string::npos);
+  // The raw counter is still exported alongside its rate.
+  EXPECT_NE(res.body.find("pool_jobs_total 40"), std::string::npos);
+}
+
 TEST(HttpServer, HandlerExceptionBecomes500) {
   HttpServer server([](const std::string&) -> HttpResponse {
     throw std::runtime_error("boom");

@@ -103,6 +103,68 @@ TEST(SnapshotSeries, CounterDeltasMonotoneUnderConcurrentWriters) {
   }
 }
 
+TEST(SnapshotSeries, CounterRatesUseTwoNewestFrames) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("a");
+  auto& b = reg.counter("b");
+  SnapshotSeries series(1.0);
+  EXPECT_TRUE(series.counter_rates().empty());  // needs two frames
+  a.add(10);
+  series.sample(0.0, reg);
+  EXPECT_TRUE(series.counter_rates().empty());
+  a.add(5);
+  b.add(4);
+  series.sample(10.0, reg);
+  auto rates = series.counter_rates();
+  ASSERT_EQ(rates.size(), 2u);  // sorted by name
+  EXPECT_EQ(rates[0].name, "a");
+  EXPECT_DOUBLE_EQ(rates[0].rate, 0.5);
+  // 'b' was absent from the first frame: its full value counts as the
+  // delta only once both frames carry it — here the first frame snapshot
+  // still contains b (created before sampling), value 0.
+  EXPECT_EQ(rates[1].name, "b");
+  EXPECT_DOUBLE_EQ(rates[1].rate, 0.4);
+  // Only the two NEWEST frames matter.
+  a.add(100);
+  series.sample(20.0, reg);
+  rates = series.counter_rates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0].rate, 10.0);
+  EXPECT_DOUBLE_EQ(rates[1].rate, 0.0);
+}
+
+TEST(SnapshotSeries, CounterRatesSkipMissingAndZeroDt) {
+  MetricsRegistry reg;
+  SnapshotSeries series(1.0);
+  reg.counter("old").add(1);
+  series.sample(0.0, reg);
+  MetricsRegistry other;
+  other.counter("new").add(7);
+  series.sample(5.0, other.snapshot());
+  // No counter common to both frames: nothing to rate.
+  EXPECT_TRUE(series.counter_rates().empty());
+  // Identical timestamps make dt = 0: also nothing.
+  SnapshotSeries flat(1.0);
+  reg.counter("old").add(1);
+  flat.sample(3.0, reg);
+  flat.sample(3.0, reg);
+  EXPECT_TRUE(flat.counter_rates().empty());
+}
+
+TEST(SnapshotSeries, CounterRatesSurviveRingWraparound) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("c");
+  SnapshotSeries series(1.0, 3);  // tiny bounded ring
+  for (int i = 0; i < 10; ++i) {
+    c.add(static_cast<std::uint64_t>(i));
+    series.sample(static_cast<double>(i), reg);
+  }
+  // Newest two frames are t = 8 (value 36) and t = 9 (value 45).
+  const auto rates = series.counter_rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].rate, 9.0);
+}
+
 TEST(SnapshotSeries, GaugeSeriesAllowsNegativeDeltas) {
   MetricsRegistry reg;
   auto& g = reg.gauge("depth");

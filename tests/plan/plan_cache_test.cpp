@@ -1,0 +1,224 @@
+// PlanCache: bucket sharing (same quantization bucket -> same shared
+// plan), key separation by family and costs, LRU eviction accounting, and
+// the ε-closeness property — evaluating the cached bucket-representative
+// schedule under the TRUE fitted model must cost within ε of re-optimizing
+// exactly, across the quantization grid and within-bucket offsets.
+#include "harvest/plan/plan_cache.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/core/markov_model.hpp"
+#include "harvest/core/optimizer.hpp"
+#include "harvest/dist/exponential.hpp"
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/lognormal.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::plan {
+namespace {
+
+const core::IntervalCosts kCosts{600.0, 600.0, -1.0};
+
+TEST(PlanCache, SameBucketSharesOnePlan) {
+  PlanCache cache;
+  const dist::Weibull a(0.700, 1800.0);
+  const dist::Weibull b(0.701, 1803.0);  // well inside a's bucket
+  const auto first = cache.lookup_or_compute(a, kCosts);
+  EXPECT_FALSE(first.hit);
+  const auto second = cache.lookup_or_compute(b, kCosts);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.plan.get(), second.plan.get());  // literally shared
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(PlanCache, PlanCarriesScheduleHorizon) {
+  PlanCacheOptions opts;
+  opts.horizon = 5;
+  PlanCache cache(opts);
+  const auto got = cache.lookup_or_compute(dist::Weibull(0.6, 1200.0), kCosts);
+  ASSERT_TRUE(got.plan != nullptr);
+  EXPECT_EQ(got.plan->family, "weibull");
+  ASSERT_EQ(got.plan->entries.size(), 5u);
+  for (const auto& e : got.plan->entries) {
+    EXPECT_GT(e.work_s, 0.0);
+    EXPECT_GE(e.age_s, 0.0);
+    EXPECT_GT(e.efficiency, 0.0);
+  }
+  // Ages are nondecreasing: entry i starts after i completed intervals.
+  for (std::size_t i = 1; i < got.plan->entries.size(); ++i) {
+    EXPECT_GE(got.plan->entries[i].age_s, got.plan->entries[i - 1].age_s);
+  }
+}
+
+TEST(PlanCache, DifferentCostsNeverShare) {
+  PlanCache cache;
+  const dist::Weibull w(0.7, 1800.0);
+  const auto a = cache.lookup_or_compute(w, kCosts);
+  core::IntervalCosts other = kCosts;
+  other.checkpoint = 300.0;
+  const auto b = cache.lookup_or_compute(w, other);
+  EXPECT_FALSE(b.hit);
+  EXPECT_NE(a.plan.get(), b.plan.get());
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(PlanCache, FamiliesAreKeyedApart) {
+  PlanCache cache;
+  // An exponential and a shape-1 Weibull are the same distribution, but
+  // the key is (family, params): no accidental sharing across families.
+  const dist::Exponential e(1.0 / 1000.0);
+  const dist::Weibull w(1.0, 1000.0);
+  (void)cache.lookup_or_compute(e, kCosts);
+  const auto second = cache.lookup_or_compute(w, kCosts);
+  EXPECT_FALSE(second.hit);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(PlanCache, UnsupportedFamilyThrows) {
+  PlanCache cache;
+  const dist::Lognormal ln(5.0, 1.2);
+  EXPECT_THROW(cache.lookup_or_compute(ln, kCosts), std::invalid_argument);
+}
+
+TEST(PlanCache, RepresentativeStaysWithinHalfStep) {
+  PlanCacheOptions opts;
+  opts.log_step = 0.025;
+  PlanCache cache(opts);
+  const dist::Weibull w(0.5432, 1987.6);
+  const auto rep = cache.representative(w);
+  const auto* wrep = dynamic_cast<const dist::Weibull*>(rep.get());
+  ASSERT_NE(wrep, nullptr);
+  // |ln rep − ln fitted| <= log_step/2 per parameter.
+  EXPECT_LE(std::fabs(std::log(wrep->shape() / w.shape())),
+            opts.log_step / 2 + 1e-12);
+  EXPECT_LE(std::fabs(std::log(wrep->scale() / w.scale())),
+            opts.log_step / 2 + 1e-12);
+}
+
+TEST(PlanCache, HyperexpRepresentativeWeightsRenormalized) {
+  PlanCache cache;
+  const dist::Hyperexponential h({0.37, 0.63}, {1.0 / 90.0, 1.0 / 2400.0});
+  const auto rep = cache.representative(h);
+  const auto* hrep = dynamic_cast<const dist::Hyperexponential*>(rep.get());
+  ASSERT_NE(hrep, nullptr);
+  double sum = 0.0;
+  for (const double w : hrep->weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Quantized weights stay near the fitted ones.
+  EXPECT_NEAR(hrep->weights()[0], 0.37, cache.options().weight_step);
+  const auto got = cache.lookup_or_compute(h, kCosts);
+  EXPECT_EQ(got.plan->family, "hyperexp2");
+}
+
+TEST(PlanCache, LruEvictsOldestBucket) {
+  PlanCacheOptions opts;
+  opts.shards = 1;  // deterministic: every key lands in the one shard
+  opts.capacity_per_shard = 2;
+  PlanCache cache(opts);
+  const dist::Weibull a(0.4, 600.0);
+  const dist::Weibull b(0.7, 1800.0);
+  const dist::Weibull c(1.2, 5000.0);
+  (void)cache.lookup_or_compute(a, kCosts);
+  (void)cache.lookup_or_compute(b, kCosts);
+  (void)cache.lookup_or_compute(c, kCosts);  // evicts a (LRU)
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_FALSE(cache.lookup_or_compute(a, kCosts).hit);  // a is gone
+  EXPECT_TRUE(cache.lookup_or_compute(c, kCosts).hit);   // c survived
+}
+
+TEST(PlanCache, TouchRefreshesLruOrder) {
+  PlanCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity_per_shard = 2;
+  PlanCache cache(opts);
+  const dist::Weibull a(0.4, 600.0);
+  const dist::Weibull b(0.7, 1800.0);
+  const dist::Weibull c(1.2, 5000.0);
+  (void)cache.lookup_or_compute(a, kCosts);
+  (void)cache.lookup_or_compute(b, kCosts);
+  (void)cache.lookup_or_compute(a, kCosts);  // touch a: b is now LRU
+  (void)cache.lookup_or_compute(c, kCosts);  // evicts b
+  EXPECT_TRUE(cache.lookup_or_compute(a, kCosts).hit);
+  EXPECT_FALSE(cache.lookup_or_compute(b, kCosts).hit);
+}
+
+TEST(PlanCache, ClearDropsPlansButKeepsCounters) {
+  PlanCache cache;
+  (void)cache.lookup_or_compute(dist::Weibull(0.6, 900.0), kCosts);
+  cache.clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);  // history survives a clear
+  EXPECT_FALSE(cache.lookup_or_compute(dist::Weibull(0.6, 900.0), kCosts).hit);
+}
+
+TEST(PlanCache, RegistryCountersMirrorStats) {
+  obs::MetricsRegistry registry;
+  PlanCache cache({}, &registry);
+  const dist::Weibull w(0.7, 1800.0);
+  (void)cache.lookup_or_compute(w, kCosts);
+  (void)cache.lookup_or_compute(w, kCosts);
+  const auto snap = registry.snapshot();
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "plan.cache.hits") hits = c.value;
+    if (c.name == "plan.cache.misses") misses = c.value;
+  }
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(misses, 1u);
+}
+
+TEST(PlanCache, RejectsBadOptions) {
+  PlanCacheOptions opts;
+  opts.shards = 0;
+  EXPECT_THROW(PlanCache{opts}, std::invalid_argument);
+  opts = {};
+  opts.log_step = 0.0;
+  EXPECT_THROW(PlanCache{opts}, std::invalid_argument);
+  opts = {};
+  opts.horizon = 0;
+  EXPECT_THROW(PlanCache{opts}, std::invalid_argument);
+}
+
+// ε-closeness property: across a grid of fitted Weibulls and deliberate
+// within-bucket offsets, serving the cached (bucket-representative) first
+// interval under the TRUE fitted model costs within ε of re-optimizing for
+// that model exactly. ε = 1% at the default 0.025 step; the bench measures
+// the typical inflation at ~1e-5.
+TEST(PlanCacheProperty, CachedPlansWithinEpsilonAcrossGrid) {
+  PlanCache cache;
+  const double step = cache.options().log_step;
+  for (const double shape : {0.4, 0.6, 0.9, 1.5}) {
+    for (const double scale : {400.0, 1800.0, 8000.0}) {
+      // Offsets inside the bucket of (shape, scale): ±40% of a step.
+      for (const double off : {-0.4, 0.0, 0.4}) {
+        const dist::Weibull fitted(shape * std::exp(off * step),
+                                   scale * std::exp(-off * step));
+        const auto fitted_ptr = std::make_shared<dist::Weibull>(fitted);
+        const auto got = cache.lookup_or_compute(fitted, kCosts);
+        ASSERT_TRUE(got.plan != nullptr);
+        core::MarkovModel model(fitted_ptr, kCosts);
+        core::CheckpointOptimizer optimizer(model);
+        const auto& e0 = got.plan->entries[0];
+        const auto exact = optimizer.optimize(e0.age_s);
+        const double served = model.overhead_ratio(e0.work_s, e0.age_s);
+        const double best = exact.gamma / exact.work_time;
+        EXPECT_LE(served / best - 1.0, 0.01)
+            << "shape " << shape << " scale " << scale << " off " << off;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harvest::plan

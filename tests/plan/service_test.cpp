@@ -1,0 +1,173 @@
+// PlannerService: status mapping (unknown machine / insufficient data /
+// ok), lazy refit cadence, cross-machine plan sharing through the cache,
+// per-family construction, metrics wiring, and a concurrency smoke over
+// the sharded machine map.
+#include "harvest/plan/service.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::plan {
+namespace {
+
+PlannerServiceOptions weibull_options() {
+  PlannerServiceOptions opts;
+  opts.family = core::ModelFamily::kWeibull;
+  opts.costs = core::IntervalCosts{600.0, 600.0, -1.0};
+  opts.refit_every = 4;
+  return opts;
+}
+
+void feed(PlannerService& s, const std::string& id, std::size_t n,
+          std::uint64_t seed) {
+  dist::Weibull law(0.7, 1800.0);
+  numerics::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) s.report(id, law.sample(rng));
+}
+
+TEST(PlannerService, UnknownMachine) {
+  PlannerService s(weibull_options());
+  const auto got = s.get_plan("never-seen");
+  EXPECT_EQ(got.status, PlanStatus::kUnknownMachine);
+  EXPECT_EQ(got.plan, nullptr);
+  EXPECT_EQ(to_string(got.status), "unknown_machine");
+}
+
+TEST(PlannerService, InsufficientDataUntilFittable) {
+  PlannerService s(weibull_options());
+  s.report("m1", 100.0);  // one event cannot fit a Weibull
+  const auto got = s.get_plan("m1");
+  EXPECT_EQ(got.status, PlanStatus::kInsufficientData);
+  EXPECT_EQ(got.plan, nullptr);
+  EXPECT_EQ(got.observations, 1u);
+}
+
+TEST(PlannerService, ServesPlanOnceFittable) {
+  PlannerService s(weibull_options());
+  feed(s, "m1", 25, 5);
+  const auto got = s.get_plan("m1");
+  ASSERT_EQ(got.status, PlanStatus::kOk);
+  ASSERT_NE(got.plan, nullptr);
+  EXPECT_TRUE(got.refitted);  // first get_plan fits
+  EXPECT_EQ(got.observations, 25u);
+  EXPECT_FALSE(got.fitted_description.empty());
+  EXPECT_EQ(got.plan->entries.size(), s.options().cache.horizon);
+}
+
+TEST(PlannerService, RefitsLazilyOnCadence) {
+  PlannerService s(weibull_options());  // refit_every = 4
+  feed(s, "m1", 25, 5);
+  ASSERT_TRUE(s.get_plan("m1").refitted);
+  // No new data: plan is served stale, no refit.
+  EXPECT_FALSE(s.get_plan("m1").refitted);
+  // Fewer than refit_every new observations: still no refit.
+  feed(s, "m1", 3, 6);
+  EXPECT_FALSE(s.get_plan("m1").refitted);
+  // Cadence reached: the next get_plan re-solves.
+  feed(s, "m1", 1, 7);
+  EXPECT_TRUE(s.get_plan("m1").refitted);
+  EXPECT_EQ(s.stats().refits, 2u);
+}
+
+TEST(PlannerService, MachinesInOneBucketShareAPlan) {
+  PlannerService s(weibull_options());
+  // Identical report streams make the bucket sharing deterministic: both
+  // machines fit the same model, so the second is served the FIRST
+  // machine's plan straight from the cache.
+  feed(s, "m1", 400, 5);
+  feed(s, "m2", 400, 5);
+  const auto a = s.get_plan("m1");
+  const auto b = s.get_plan("m2");
+  ASSERT_EQ(a.status, PlanStatus::kOk);
+  ASSERT_EQ(b.status, PlanStatus::kOk);
+  EXPECT_EQ(a.plan.get(), b.plan.get());
+  EXPECT_TRUE(b.cache_hit);
+}
+
+TEST(PlannerService, ExponentialFamilyWorks) {
+  PlannerServiceOptions opts = weibull_options();
+  opts.family = core::ModelFamily::kExponential;
+  PlannerService s(opts);
+  s.report("m1", 120.0);
+  s.report("m1", 3000.0, /*censored=*/true);  // censoring is first-class
+  const auto got = s.get_plan("m1");
+  ASSERT_EQ(got.status, PlanStatus::kOk);
+  EXPECT_EQ(got.plan->family, "exponential");
+}
+
+TEST(PlannerService, HyperexpFamilyWorks) {
+  PlannerServiceOptions opts = weibull_options();
+  opts.family = core::ModelFamily::kHyperexp2;
+  PlannerService s(opts);
+  feed(s, "m1", 64, 5);
+  const auto got = s.get_plan("m1");
+  ASSERT_EQ(got.status, PlanStatus::kOk);
+  EXPECT_EQ(got.plan->family, "hyperexp2");
+}
+
+TEST(PlannerService, UnsupportedFamilyThrows) {
+  PlannerServiceOptions opts = weibull_options();
+  opts.family = core::ModelFamily::kLognormal;
+  EXPECT_THROW(PlannerService{opts}, std::invalid_argument);
+  opts.family = core::ModelFamily::kAutoAic;
+  EXPECT_THROW(PlannerService{opts}, std::invalid_argument);
+}
+
+TEST(PlannerService, StatsAndMetricsCount) {
+  obs::MetricsRegistry registry;
+  PlannerService s(weibull_options(), &registry);
+  feed(s, "m1", 10, 5);
+  feed(s, "m2", 10, 6);
+  (void)s.get_plan("m1");
+  const auto stats = s.stats();
+  EXPECT_EQ(stats.reports, 20u);
+  EXPECT_EQ(stats.machines, 2u);
+  EXPECT_EQ(stats.refits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  const auto snap = registry.snapshot();
+  std::uint64_t reports = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "plan.reports") reports = c.value;
+  }
+  EXPECT_EQ(reports, 20u);
+}
+
+// Shard-map smoke: concurrent reporters and plan readers on overlapping
+// machines must neither crash nor lose reports.
+TEST(PlannerService, ConcurrentReportAndGetPlan) {
+  PlannerService s(weibull_options());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&s, t] {
+      dist::Weibull law(0.7, 1800.0);
+      numerics::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      const std::string id = "m" + std::to_string(t % 4);  // overlap
+      for (int i = 0; i < kPerThread; ++i) {
+        s.report(id, law.sample(rng));
+        if (i % 16 == 0) (void)s.get_plan(id);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto stats = s.stats();
+  EXPECT_EQ(stats.reports,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.machines, 4u);
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(s.get_plan("m" + std::to_string(m)).status, PlanStatus::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace harvest::plan

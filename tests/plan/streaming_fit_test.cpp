@@ -1,0 +1,228 @@
+// Streaming fitters vs their batch counterparts on identical data — the
+// equivalence the plan subsystem's correctness rests on: exponential is
+// EXACT (shared sufficient statistics), Weibull matches to grid-refinement
+// accuracy, hyperexponential's first fit is bit-identical to batch EM and
+// warm refits must not degrade the likelihood. Censored observations are
+// exercised against the censoring-aware batch fitters throughout.
+#include "harvest/plan/streaming_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/hyperexponential.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/fit/censored.hpp"
+#include "harvest/fit/em_hyperexp.hpp"
+#include "harvest/fit/mle_exponential.hpp"
+#include "harvest/fit/mle_weibull.hpp"
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::plan {
+namespace {
+
+std::vector<double> weibull_sample(double shape, double scale, std::size_t n,
+                                   std::uint64_t seed) {
+  dist::Weibull law(shape, scale);
+  numerics::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(law.sample(rng));
+  return xs;
+}
+
+// ---------------------------------------------------------------- exponential
+
+TEST(StreamingExponentialFit, MatchesBatchExactly) {
+  const std::vector<double> xs = {12.0, 90.5, 3.25, 600.0, 41.0};
+  StreamingExponentialFit f;
+  for (const double x : xs) f.observe(x);
+  EXPECT_EQ(f.observations(), xs.size());
+  EXPECT_EQ(f.events(), xs.size());
+  const dist::Exponential batch = fit::fit_exponential_mle(xs);
+  EXPECT_DOUBLE_EQ(f.fit().rate(), batch.rate());
+}
+
+TEST(StreamingExponentialFit, CensoredMatchesBatchExactly) {
+  const std::vector<double> xs = {50.0, 120.0, 120.0, 8.0, 120.0, 77.0};
+  const std::vector<bool> observed = {true, false, false, true, false, true};
+  StreamingExponentialFit f;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (observed[i]) {
+      f.observe(xs[i]);
+    } else {
+      f.observe_censored(xs[i]);
+    }
+  }
+  EXPECT_EQ(f.events(), 3u);
+  EXPECT_EQ(f.censored(), 3u);
+  const dist::Exponential batch =
+      fit::fit_exponential_censored({xs, observed});
+  EXPECT_DOUBLE_EQ(f.fit().rate(), batch.rate());
+}
+
+TEST(StreamingExponentialFit, ThrowsWithoutEvents) {
+  StreamingExponentialFit f;
+  EXPECT_THROW(f.fit(), std::invalid_argument);
+  f.observe_censored(100.0);  // censoring alone cannot identify the rate
+  EXPECT_THROW(f.fit(), std::invalid_argument);
+  f.observe(5.0);
+  EXPECT_NO_THROW(f.fit());
+}
+
+// -------------------------------------------------------------------- weibull
+
+TEST(StreamingWeibullFit, MatchesBatchAcrossShapes) {
+  for (const double shape : {0.35, 0.7, 1.0, 2.4}) {
+    const auto xs = weibull_sample(shape, 1800.0, 400, 42);
+    StreamingWeibullFit f;
+    for (const double x : xs) f.observe(x);
+    const dist::Weibull streaming = f.fit();
+    const dist::Weibull batch = fit::fit_weibull_mle(xs);
+    EXPECT_NEAR(streaming.shape() / batch.shape(), 1.0, 1e-4)
+        << "shape " << shape;
+    EXPECT_NEAR(streaming.scale() / batch.scale(), 1.0, 1e-4)
+        << "shape " << shape;
+  }
+}
+
+TEST(StreamingWeibullFit, CensoredMatchesBatch) {
+  auto xs = weibull_sample(0.6, 900.0, 300, 7);
+  const double horizon = 1200.0;  // right-censor the tail, like a window
+  const fit::CensoredSample sample = fit::CensoredSample::censor_at(
+      xs, horizon);
+  StreamingWeibullFit f;
+  for (std::size_t i = 0; i < sample.values.size(); ++i) {
+    if (sample.observed[i]) {
+      f.observe(sample.values[i]);
+    } else {
+      f.observe_censored(sample.values[i]);
+    }
+  }
+  ASSERT_LT(sample.event_count(), sample.size());  // censoring engaged
+  const dist::Weibull streaming = f.fit();
+  const dist::Weibull batch = fit::fit_weibull_censored(sample);
+  EXPECT_NEAR(streaming.shape() / batch.shape(), 1.0, 1e-4);
+  EXPECT_NEAR(streaming.scale() / batch.scale(), 1.0, 1e-4);
+}
+
+// The whole point of the streaming form: refitting after each arrival must
+// agree with a from-scratch batch fit of the prefix, at every prefix.
+TEST(StreamingWeibullFit, IncrementalPrefixesMatchBatch) {
+  const auto xs = weibull_sample(0.52, 2400.0, 64, 11);
+  StreamingWeibullFit f;
+  std::vector<double> prefix;
+  for (const double x : xs) {
+    f.observe(x);
+    prefix.push_back(x);
+    if (prefix.size() < 8) continue;  // tiny fits are noisy for both alike
+    const dist::Weibull streaming = f.fit();
+    const dist::Weibull batch = fit::fit_weibull_mle(prefix);
+    ASSERT_NEAR(streaming.shape() / batch.shape(), 1.0, 1e-4)
+        << "prefix " << prefix.size();
+    ASSERT_NEAR(streaming.scale() / batch.scale(), 1.0, 1e-4)
+        << "prefix " << prefix.size();
+  }
+}
+
+TEST(StreamingWeibullFit, DegenerateInputsThrow) {
+  StreamingWeibullFit f;
+  EXPECT_THROW(f.fit(), std::invalid_argument);  // no data
+  f.observe(100.0);
+  EXPECT_THROW(f.fit(), std::invalid_argument);  // one event
+  f.observe(100.0);
+  // Two events but identical values: the shape MLE diverges.
+  EXPECT_THROW(f.fit(), std::invalid_argument);
+  f.observe(250.0);
+  EXPECT_NO_THROW(f.fit());
+}
+
+TEST(StreamingWeibullFit, CensoredOnlyObservationsCannotFit) {
+  StreamingWeibullFit f;
+  f.observe_censored(10.0);
+  f.observe_censored(20.0);
+  f.observe_censored(30.0);
+  EXPECT_THROW(f.fit(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- hyperexp
+
+TEST(StreamingHyperexpFit, FirstFitIsBatchEm) {
+  const dist::Hyperexponential truth({0.6, 0.4}, {1.0 / 60.0, 1.0 / 1500.0});
+  numerics::Rng rng(3);
+  std::vector<double> xs;
+  StreamingHyperexpFit f;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double x = truth.sample(rng);
+    xs.push_back(x);
+    f.observe(x);
+  }
+  const dist::Hyperexponential streaming = f.fit();
+  const fit::EmResult batch = fit::fit_hyperexp_em(xs, 2);
+  // Cold path and batch EM share init and options: bit-identical.
+  ASSERT_EQ(streaming.weights().size(), batch.model.weights().size());
+  for (std::size_t k = 0; k < streaming.weights().size(); ++k) {
+    EXPECT_DOUBLE_EQ(streaming.weights()[k], batch.model.weights()[k]);
+    EXPECT_DOUBLE_EQ(streaming.rates()[k], batch.model.rates()[k]);
+  }
+  EXPECT_EQ(f.last_iterations(), batch.iterations);
+  EXPECT_DOUBLE_EQ(f.last_log_likelihood(), batch.log_likelihood);
+  EXPECT_EQ(f.refits(), 1u);
+}
+
+TEST(StreamingHyperexpFit, WarmRefitDoesNotDegradeLikelihood) {
+  const dist::Hyperexponential truth({0.3, 0.7}, {1.0 / 200.0, 1.0 / 500.0});
+  numerics::Rng rng(17);
+  std::vector<double> xs;
+  StreamingHyperexpFit f;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const double x = truth.sample(rng);
+    xs.push_back(x);
+    f.observe(x);
+  }
+  (void)f.fit();
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double x = truth.sample(rng);
+    xs.push_back(x);
+    f.observe(x);
+  }
+  (void)f.fit();  // warm
+  const double warm_ll = f.last_log_likelihood();
+  // A cold fit of the same grown stream may not beat the warm fit by a
+  // meaningful margin (warm is allowed to be better).
+  const fit::EmResult cold = fit::fit_hyperexp_em(xs, 2);
+  EXPECT_GE(warm_ll, cold.log_likelihood - 1e-3 * std::fabs(cold.log_likelihood));
+  EXPECT_EQ(f.refits(), 2u);
+}
+
+TEST(StreamingHyperexpFit, ResetWarmStateReproducesColdFit) {
+  const dist::Hyperexponential truth({0.5, 0.5}, {1.0 / 80.0, 1.0 / 2000.0});
+  numerics::Rng rng(23);
+  StreamingHyperexpFit f;
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double x = truth.sample(rng);
+    xs.push_back(x);
+    f.observe(x);
+  }
+  (void)f.fit();
+  f.reset_warm_state();
+  const dist::Hyperexponential again = f.fit();
+  const fit::EmResult batch = fit::fit_hyperexp_em(xs, 2);
+  for (std::size_t k = 0; k < again.weights().size(); ++k) {
+    EXPECT_DOUBLE_EQ(again.weights()[k], batch.model.weights()[k]);
+    EXPECT_DOUBLE_EQ(again.rates()[k], batch.model.rates()[k]);
+  }
+}
+
+TEST(StreamingHyperexpFit, ThrowsWithTooFewObservations) {
+  StreamingHyperexpFit f;
+  EXPECT_THROW(f.fit(), std::invalid_argument);
+  f.observe(10.0);
+  EXPECT_THROW(f.fit(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::plan
