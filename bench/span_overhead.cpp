@@ -1,0 +1,245 @@
+// Span-tracing overhead and correctness gate: run the pool simulation in
+// both engines with and without an obs::SpanStore attached and check that
+// the tracing layer is (a) free of behavioral side effects and (b) cheap
+// enough to leave on.
+//
+// Experiments:
+//   1. Contended mode (2-shard fleet) — repeated runs over fresh seeds,
+//      spans off vs on; compares makespan, every per-job stat, and the
+//      fleet ledger field-by-field with exact floating-point equality.
+//   2. Uncontended mode — same bit-identity comparison.
+//   3. Attribution quality — on the spanned runs, the wait-partition
+//      defect max |stagger + admission + scheduler - wait| and the span
+//      tree's well-formedness (no orphans, inversions, or overlapping
+//      phase siblings).
+//
+// Gated checks:
+//   (a) both engines bit-identical with spans attached — both modes;
+//   (b) max partition error <= 1e-9 over every spanned run — both modes;
+//   (c) span tree verify() clean — both modes;
+//   (d) enabled-mode wall-clock overhead <= 1.5x baseline (full mode
+//       only; tiny runs are too short to time meaningfully and print the
+//       ratio as info).
+//
+// Also prints the top-5 slowest-transfer attribution table from the last
+// contended run — the EXPERIMENTS.md example.
+//
+// Flags:
+//   --json <path>   machine-readable artifact (config + checks + report)
+//   --tiny          CI smoke: smaller park, fewer reps
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "harvest/condor/pool_simulation.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/obs/json.hpp"
+#include "harvest/obs/span.hpp"
+#include "harvest/util/table.hpp"
+
+namespace {
+
+using namespace harvest;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 20050917;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<condor::TimelinePool::MachineSpec> park(std::size_t n) {
+  std::vector<condor::TimelinePool::MachineSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    condor::TimelinePool::MachineSpec s;
+    s.id = "b" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.5, 2500.0 + 300.0 * static_cast<double>(i % 7));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+/// Exact (bitwise double) equality of two runs' externally visible results.
+bool identical(const condor::PoolSimResult& a,
+               const condor::PoolSimResult& b) {
+  if (a.makespan_s != b.makespan_s) return false;
+  if (a.jobs.size() != b.jobs.size()) return false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& x = a.jobs[i];
+    const auto& y = b.jobs[i];
+    if (x.finished != y.finished || x.completion_s != y.completion_s ||
+        x.useful_work_s != y.useful_work_s ||
+        x.lost_work_s != y.lost_work_s || x.moved_mb != y.moved_mb ||
+        x.placements != y.placements || x.evictions != y.evictions ||
+        x.server_wait_s != y.server_wait_s ||
+        x.rejected_submits != y.rejected_submits) {
+      return false;
+    }
+  }
+  const auto& s = a.server;
+  const auto& t = b.server;
+  return s.submitted == t.submitted && s.started == t.started &&
+         s.rejected == t.rejected && s.completed == t.completed &&
+         s.interrupted == t.interrupted && s.moved_mb == t.moved_mb &&
+         s.total_wait_s == t.total_wait_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+  int failures = 0;
+
+  const std::size_t machines = tiny ? 16 : 32;
+  const std::size_t jobs = tiny ? 4 : 8;
+  const std::size_t reps = tiny ? 2 : 5;
+  const auto specs = park(machines);
+
+  std::printf("=== Span tracing: bit-identity + wait-partition gate ===\n");
+  std::printf("# repro: seed %llu, %zu machines, %zu jobs, %zu reps, %s\n\n",
+              static_cast<unsigned long long>(kSeed), machines, jobs, reps,
+              tiny ? "tiny" : "full");
+
+  condor::PoolSimConfig contended;
+  contended.job_count = jobs;
+  contended.work_per_job_s = 2.0 * 3600.0;
+  server::FleetConfig fc;
+  fc.shards = 2;
+  fc.server.capacity_mbps = 12.0;
+  fc.server.slots = 2;
+  fc.server.stagger_window_s = 20.0;
+  contended.fleet = fc;
+
+  condor::PoolSimConfig uncontended;
+  uncontended.job_count = jobs;
+  uncontended.work_per_job_s = 2.0 * 3600.0;
+
+  bool bit_identical = true;
+  double max_partition_error = 0.0;
+  bool tree_ok = true;
+  double base_s = 0.0;
+  double spanned_s = 0.0;
+  obs::SpanStore last_report_store;
+  std::uint64_t attributed = 0;
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (const bool server_mode : {true, false}) {
+      condor::PoolSimConfig cfg = server_mode ? contended : uncontended;
+      cfg.seed = kSeed + rep;
+      cfg.spans = nullptr;
+      const auto t0 = Clock::now();
+      const auto plain = condor::run_pool_simulation(specs, cfg);
+      base_s += seconds_since(t0);
+
+      obs::SpanStore store;
+      cfg.spans = &store;
+      const auto t1 = Clock::now();
+      const auto spanned = condor::run_pool_simulation(specs, cfg);
+      spanned_s += seconds_since(t1);
+
+      if (!identical(plain, spanned)) bit_identical = false;
+      max_partition_error =
+          std::max(max_partition_error, store.max_partition_error_s());
+      if (!store.verify().ok()) tree_ok = false;
+      attributed += store.report().total.transfers;
+      if (server_mode && rep + 1 == reps) {
+        // Keep the last contended run's spans for the attribution table.
+        cfg.spans = &last_report_store;
+        (void)condor::run_pool_simulation(specs, cfg);
+      }
+    }
+  }
+
+  const obs::AttributionReport report = last_report_store.report();
+  util::TextTable table({"transfer", "job", "shard", "kind", "MB",
+                         "slowness s", "stagger s", "admission s",
+                         "scheduler s", "dilation s"});
+  const std::size_t top = std::min<std::size_t>(5, report.slowest.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const auto& s = report.slowest[i];
+    char buf[32];
+    const auto num = [&buf](double v) {
+      std::snprintf(buf, sizeof buf, "%.2f", v);
+      return std::string(buf);
+    };
+    table.add_row({std::to_string(s.transfer_id), std::to_string(s.job_id),
+                   std::to_string(s.shard),
+                   s.kind == 1 ? "recovery" : "checkpoint",
+                   num(s.megabytes), num(s.slowness_s()), num(s.w.stagger_s),
+                   num(s.w.admission_queue_s), num(s.w.scheduler_queue_s),
+                   num(s.w.dilation_s)});
+  }
+  std::printf("top-%zu slowest transfers (last contended run):\n%s\n",
+              top, table.render().c_str());
+  std::printf("attributed transfers over all spanned runs: %llu\n",
+              static_cast<unsigned long long>(attributed));
+
+  const double ratio = base_s > 0.0 ? spanned_s / base_s : 1.0;
+  std::printf("wall clock: baseline %.3f s, spans on %.3f s, ratio %.3f\n\n",
+              base_s, spanned_s, ratio);
+
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("%-52s %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  };
+  check(bit_identical, "spans attached => results bit-identical");
+  check(max_partition_error <= 1e-9,
+        "wait partition exact (max error <= 1e-9)");
+  check(tree_ok, "span tree well-formed (verify() clean)");
+  check(attributed > 0, "spanned runs attributed transfers");
+  if (tiny) {
+    std::printf("%-52s info (%.3fx, tiny run not timed)\n",
+                "enabled-mode overhead <= 1.5x", ratio);
+  } else {
+    check(ratio <= 1.5, "enabled-mode overhead <= 1.5x");
+  }
+  std::printf("%s\n", failures == 0 ? "all checks passed"
+                                    : "SOME CHECKS FAILED");
+
+  if (!json_path.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "span_overhead");
+    w.key("config")
+        .begin_object()
+        .field("seed", kSeed)
+        .field("machines", static_cast<std::uint64_t>(machines))
+        .field("jobs", static_cast<std::uint64_t>(jobs))
+        .field("reps", static_cast<std::uint64_t>(reps))
+        .field("tiny", tiny)
+        .end_object();
+    w.key("checks")
+        .begin_object()
+        .field("bit_identical", bit_identical)
+        .field("max_partition_error_s", max_partition_error)
+        .field("tree_ok", tree_ok)
+        .field("attributed_transfers", attributed)
+        .field("baseline_s", base_s)
+        .field("spanned_s", spanned_s)
+        .field("overhead_ratio", ratio)
+        .field("failures", static_cast<std::uint64_t>(failures))
+        .end_object();
+    w.key("attribution").raw(report.to_json());
+    w.end_object();
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -14,6 +14,14 @@
 //                   "m0007" or a bare index like "7") returns the machine's
 //                   fitted model and checkpoint schedule as JSON, served
 //                   from the sharded plan cache
+//   /spans.json     newest causal spans from the live SpanStore
+//                   (?limit=<n>, default 256) plus recorded/dropped totals
+//   /attribution.json  the fleet-wide wait-attribution report: per-phase
+//                   totals overall / per shard / per traffic class and the
+//                   top-k slowest transfers with their exact wait breakdown
+//   /history.json   bounded ring (newest-last, up to 64) of per-iteration
+//                   simulation summaries: seed, wall seconds, makespan,
+//                   network MB, jobs finished, timeline frame count
 //   /config         the daemon's effective configuration as JSON
 //
 // Machines continuously report their (ground-truth-sampled) occupancy
@@ -56,6 +64,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -69,6 +78,7 @@
 #include "harvest/obs/json.hpp"
 #include "harvest/obs/metrics.hpp"
 #include "harvest/obs/series.hpp"
+#include "harvest/obs/span.hpp"
 #include "harvest/plan/service.hpp"
 #include "harvest/server/cli_options.hpp"
 #include "harvest/trace/synthetic.hpp"
@@ -91,7 +101,8 @@ int usage() {
       "                [--family name] [--snapshot-every s] [--seed n]\n"
       "                [--config path] [--once] [--tiny]\n"
       "endpoints: /metrics /healthz /readyz /snapshot.json "
-      "/plan?machine=<id> /config\n"
+      "/plan?machine=<id>\n"
+      "           /spans.json /attribution.json /history.json /config\n"
       "%s",
       server::CliOptions::help_text().c_str());
   return 2;
@@ -229,6 +240,82 @@ obs::HttpResponse json_error(int status, const std::string& message) {
   obs::JsonWriter w;
   w.begin_object().field("error", message).end_object();
   return {status, "application/json", w.str() + '\n'};
+}
+
+/// One finished simulation iteration, as /history.json reports it.
+struct IterationRecord {
+  std::uint64_t iteration = 0;
+  std::uint64_t seed = 0;      ///< PoolSimConfig seed this iteration ran with
+  double wall_s = 0.0;         ///< real time the simulation took
+  double makespan_s = 0.0;
+  double network_mb = 0.0;
+  std::size_t jobs_finished = 0;
+  std::size_t jobs = 0;
+  std::size_t timeline_frames = 0;
+};
+
+/// Bounded newest-last ring of iteration summaries behind /history.json.
+class IterationHistory {
+ public:
+  static constexpr std::size_t kMaxRecords = 64;
+
+  void push(const IterationRecord& rec) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(rec);
+    if (records_.size() > kMaxRecords) records_.pop_front();
+  }
+
+  [[nodiscard]] obs::HttpResponse respond() const {
+    obs::JsonWriter w;
+    std::lock_guard<std::mutex> lock(mutex_);
+    w.begin_object()
+        .field("count", static_cast<std::uint64_t>(records_.size()))
+        .field("capacity", static_cast<std::uint64_t>(kMaxRecords));
+    w.key("iterations").begin_array();
+    for (const auto& r : records_) {
+      w.begin_object()
+          .field("iteration", r.iteration)
+          .field("seed", r.seed)
+          .field("wall_s", r.wall_s)
+          .field("makespan_s", r.makespan_s)
+          .field("network_mb", r.network_mb)
+          .field("jobs_finished", static_cast<std::uint64_t>(r.jobs_finished))
+          .field("jobs", static_cast<std::uint64_t>(r.jobs))
+          .field("timeline_frames",
+                 static_cast<std::uint64_t>(r.timeline_frames))
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return {200, "application/json", w.str() + '\n'};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<IterationRecord> records_;
+};
+
+/// GET /spans.json: the newest `?limit=` spans (default 256, 0 = all
+/// surviving) plus the store's recorded/dropped totals.
+obs::HttpResponse spans_response(const obs::SpanStore& store,
+                                 const std::string& target) {
+  std::size_t limit = 256;
+  const std::string limit_s = query_param(target, "limit");
+  if (!limit_s.empty()) limit = std::strtoul(limit_s.c_str(), nullptr, 10);
+  const std::vector<obs::Span> all = store.spans();
+  const std::size_t n = limit == 0 ? all.size() : std::min(limit, all.size());
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("recorded", store.recorded())
+      .field("dropped", store.dropped())
+      .field("count", static_cast<std::uint64_t>(n));
+  w.key("spans").begin_array();
+  for (std::size_t i = all.size() - n; i < all.size(); ++i) {
+    w.raw(all[i].to_json());
+  }
+  w.end_array();
+  w.end_object();
+  return {200, "application/json", w.str() + '\n'};
 }
 
 /// GET /plan?machine=<id>. Accepts the full machine id ("m0007") or a bare
@@ -398,11 +485,18 @@ int main(int argc, char** argv) {
     specs.push_back(std::move(s));
   }
 
+  // Live span sink shared by every iteration: /spans.json serves the ring,
+  // /attribution.json the eviction-proof aggregate report.
+  obs::SpanStoreOptions span_opts;
+  span_opts.capacity = 1 << 15;
+  obs::SpanStore span_store(span_opts, &obs::default_registry());
+
   condor::PoolSimConfig cfg;
   cfg.job_count = rc.jobs;
   cfg.work_per_job_s = rc.work_hours * 3600.0;
   cfg.snapshot_every_s = rc.snapshot_every;
   cfg.family = rc.family;
+  cfg.spans = &span_store;
   if (server_opts.any()) {
     cfg.fleet = server_opts.fleet_config();
   } else {
@@ -473,13 +567,29 @@ int main(int argc, char** argv) {
   };
   refresh_config_json();
 
-  obs::SnapshotSeries series(rc.snapshot_every);
+  // A daemon outlives its ring: compact instead of evicting, so the series
+  // keeps cadence resolution for the recent past and a coarser long tail.
+  obs::SeriesCompaction series_compaction;
+  series_compaction.keep_recent = 256;
+  obs::SnapshotSeries series(rc.snapshot_every,
+                             obs::SnapshotSeries::kDefaultMaxFrames,
+                             series_compaction);
+  IterationHistory history;
   obs::ExporterEndpoints endpoints(reg, series);
   obs::HttpServer http([&](const std::string& target) -> obs::HttpResponse {
     const std::string path = target.substr(0, target.find('?'));
     if (path == "/plan") {
       plan_requests.add();
       return plan_response(service, target);
+    }
+    if (path == "/spans.json") {
+      return spans_response(span_store, target);
+    }
+    if (path == "/attribution.json") {
+      return {200, "application/json", span_store.report().to_json() + '\n'};
+    }
+    if (path == "/history.json") {
+      return history.respond();
     }
     if (path == "/config") {
       std::lock_guard<std::mutex> lock(config_mutex);
@@ -542,14 +652,21 @@ int main(int argc, char** argv) {
     }
     cfg.seed = rc.seed + iter;
     condor::PoolSimResult res;
+    const auto wall_start = std::chrono::steady_clock::now();
     try {
       res = condor::run_pool_simulation(specs, cfg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "harvestd: simulation failed: %s\n", e.what());
       return 1;
     }
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
     ++iter;
     iterations.add();
+    history.push({iter, cfg.seed, wall_s, res.makespan_s,
+                  res.total_moved_mb(), res.finished_count(), res.jobs.size(),
+                  res.timeline.size()});
     sim_clock_s += res.makespan_s;
     sim_seconds.set(sim_clock_s);
     last_makespan.set(res.makespan_s);

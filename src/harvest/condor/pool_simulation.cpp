@@ -278,9 +278,9 @@ struct PlacementOutcome {
 // Simulate one whole placement synchronously: the eviction instant is known
 // (spell end), so the recovery/work/checkpoint walk inside it is
 // deterministic given the sampled transfer times.
-PlacementOutcome run_placement(double start, double eviction_time,
-                               double uptime_at_start, double remaining_work,
-                               bool has_checkpoint,
+PlacementOutcome run_placement(std::size_t job_id, double start,
+                               double eviction_time, double uptime_at_start,
+                               double remaining_work, bool has_checkpoint,
                                const dist::DistributionPtr& model,
                                const PoolSimConfig& cfg, numerics::Rng& rng,
                                PoolSimJobStats& stats,
@@ -304,10 +304,33 @@ PlacementOutcome run_placement(double start, double eviction_time,
             full > 0.0 ? cfg.checkpoint_size_mb * budget / full : 0.0,
             false};
   };
+  // Uncontended transfers start the instant they are requested and own the
+  // sampled link alone, so the span degenerates to a pure service phase:
+  // zero wait, solo == duration, dilation == 0. Keeping the record anyway
+  // means job span trees (and the partition invariant) hold in both
+  // engines, and a contended-vs-uncontended attribution diff reads off
+  // exactly what contention cost.
+  const auto record_span = [&](double t0, const Transfer& tr, bool recovery) {
+    if (cfg.spans == nullptr) return;
+    obs::TransferTimings t;
+    t.job_id = job_id;
+    t.kind = recovery ? 1 : 0;
+    t.megabytes = cfg.checkpoint_size_mb;
+    t.moved_mb = tr.moved_mb;
+    t.arrival_s = t0;
+    t.eligible_s = t0;
+    t.start_s = t0;
+    t.end_s = t0 + tr.duration;
+    t.solo_service_s = tr.duration;
+    t.entered_service = true;
+    t.completed = tr.completed;
+    cfg.spans->record_transfer(t);
+  };
 
   // Recovery of the last checkpoint, if any exists.
   if (has_checkpoint) {
     const auto [dur, moved, ok] = transfer(eviction_time - now);
+    record_span(now, {dur, moved, ok}, /*recovery=*/true);
     now += dur;
     uptime += dur;
     stats.moved_mb += moved;
@@ -342,6 +365,7 @@ PlacementOutcome run_placement(double start, double eviction_time,
 
     // Transfer: a periodic checkpoint, or the final result upload.
     const auto [dur, moved, ok] = transfer(eviction_time - now);
+    record_span(now, {dur, moved, ok}, /*recovery=*/false);
     stats.moved_mb += moved;
     now += dur;
     uptime += dur;
@@ -383,7 +407,10 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
   // Min-heap of (time, job) negotiation events.
   using Event = std::pair<double, std::size_t>;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
-  for (std::size_t j = 0; j < jobs.size(); ++j) queue.push({0.0, j});
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    queue.push({0.0, j});
+    if (config.spans != nullptr) config.spans->open_job(j, 0.0);
+  }
 
   std::vector<bool> occupied(specs.size(), false);
   std::vector<double> occupied_until(specs.size(), 0.0);
@@ -413,7 +440,7 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
     const double mb_before = job.stats.moved_mb;
     const std::size_t evictions_before = job.stats.evictions;
     const auto outcome = run_placement(
-        now, eviction_time, match->uptime_s, job.remaining_work,
+        job_id, now, eviction_time, match->uptime_s, job.remaining_work,
         job.has_checkpoint, fitted[match->machine_index], config,
         transfer_rng, job.stats, remaining_after, ckpt_after);
     job.remaining_work = remaining_after;
@@ -441,6 +468,9 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
       job.stats.completion_s = outcome.end_time;
       last_finish = std::max(last_finish, outcome.end_time);
       pool_metrics().finished.add();
+      if (config.spans != nullptr) {
+        config.spans->close_job(job_id, outcome.end_time, /*finished=*/true);
+      }
       if (tl != nullptr) tl->job_finish_s.push_back(outcome.end_time);
       if (config.tracer != nullptr) {
         config.tracer->record_instant("job.finished", "condor",
@@ -452,6 +482,15 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
       // Re-queue at the next negotiation after the eviction.
       queue.push(
           {outcome.end_time + config.negotiation_interval_s, job_id});
+    }
+  }
+  if (config.spans != nullptr) {
+    // Same unfinished-job convention as the contended engine: close at the
+    // horizon, the makespan an incomplete run reports.
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (!jobs[j].stats.finished) {
+        config.spans->close_job(j, config.horizon_s, /*finished=*/false);
+      }
     }
   }
 }
@@ -474,7 +513,7 @@ class ContendedEngine {
       : config_(config),
         fitted_(fitted),
         matchmaker_(matchmaker),
-        fleet_(fleet_config, server_seed, config.tracer),
+        fleet_(fleet_config, server_seed, config.tracer, config.spans),
         jobs_(jobs),
         last_finish_(last_finish),
         occupied_(specs.size(), false),
@@ -490,6 +529,9 @@ class ContendedEngine {
   void run() {
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
       push_event(0.0, EventKind::kNegotiate, j, states_[j].generation);
+      // All jobs are submitted at t=0; each gets one root span the server's
+      // transfer spans (and our backoff/rejection spans) parent under.
+      if (config_.spans != nullptr) config_.spans->open_job(j, 0.0);
     }
     for (;;) {
       const double heap_t =
@@ -526,11 +568,23 @@ class ContendedEngine {
           handle_work_done(job_id, t);
           break;
         case EventKind::kRetry:
+          // The backoff span closes where the retry fires; the new
+          // submission's own spans start from here.
+          record_backoff_span(job_id, t);
           submit_transfer(job_id, t);
           break;
         case EventKind::kEvict:
           handle_evict(job_id, t);
           break;
+      }
+    }
+    if (config_.spans != nullptr) {
+      // Jobs the horizon cut off close unfinished at the horizon — the same
+      // convention makespan_s reports for incomplete runs.
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        if (!jobs_[j].stats.finished) {
+          config_.spans->close_job(j, config_.horizon_s, /*finished=*/false);
+        }
       }
     }
   }
@@ -576,6 +630,7 @@ class ContendedEngine {
     server::TransferId transfer_id = 0;
     double transfer_submit_s = 0.0;
     std::uint32_t backoff_attempts = 0;  ///< resets on a completed transfer
+    double backoff_start = 0.0;          ///< when the current backoff began
     double placement_mb = 0.0;           ///< bytes moved this placement
   };
 
@@ -622,6 +677,7 @@ class ContendedEngine {
         // This client's last transfer was interrupted or rejected: back off
         // before hammering the server again.
         st.phase = Phase::kBackoff;
+        st.backoff_start = now;
         push_event(
             now + fleet_.backoff().delay_s(st.backoff_attempts - 1),
             EventKind::kRetry, job_id, st.generation);
@@ -681,6 +737,7 @@ class ContendedEngine {
       ++job.stats.rejected_submits;
       ++st.backoff_attempts;
       st.phase = Phase::kBackoff;
+      st.backoff_start = now;
       push_event(now + fleet_.backoff().delay_s(st.backoff_attempts - 1),
                  EventKind::kRetry, job_id, st.generation);
       return;
@@ -688,6 +745,17 @@ class ContendedEngine {
     st.phase = Phase::kTransferring;
     st.transfer_id = outcome.id;
     st.transfer_submit_s = now;
+  }
+
+  /// Close the job's current backoff interval as a span ending at `end_s`
+  /// (the retry firing, or the eviction that cancels it).
+  void record_backoff_span(std::size_t job_id, double end_s) {
+    if (config_.spans == nullptr) return;
+    const PerJob& st = states_[job_id];
+    if (st.phase != Phase::kBackoff) return;
+    config_.spans->record_backoff(
+        job_id, st.backoff_start, end_s,
+        static_cast<std::uint8_t>(st.transfer_kind));
   }
 
   /// What the urgency scheduler orders by: the fitted model's expected
@@ -760,6 +828,9 @@ class ContendedEngine {
       config_.tracer->record_instant("job.finished", "condor", now, job_id,
                                      job.stats.useful_work_s, st.machine);
     }
+    if (config_.spans != nullptr) {
+      config_.spans->close_job(job_id, now, /*finished=*/true);
+    }
     st.phase = Phase::kDone;
     ++st.generation;  // cancels the pending eviction event
   }
@@ -788,6 +859,11 @@ class ContendedEngine {
         break;
       }
       case Phase::kBackoff:
+        // The pending retry dies with the placement; truncate its backoff
+        // span at the eviction so attributed backoff time is time actually
+        // spent waiting, not the schedule that never ran out.
+        record_backoff_span(job_id, now);
+        break;
       case Phase::kIdle:
       case Phase::kDone:
         break;

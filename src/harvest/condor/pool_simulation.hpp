@@ -20,6 +20,7 @@
 #include "harvest/condor/matchmaker.hpp"
 #include "harvest/core/planner.hpp"
 #include "harvest/net/bandwidth_model.hpp"
+#include "harvest/obs/span.hpp"
 #include "harvest/obs/tracer.hpp"
 #include "harvest/server/fleet.hpp"
 
@@ -47,6 +48,16 @@ struct PoolSimConfig {
   /// job completions. Times are simulated pool seconds, so the Chrome-trace
   /// view of this tracer is the cluster's gantt chart.
   obs::EventTracer* tracer = nullptr;
+  /// Optional causal span sink (obs/span.hpp): both engines open one root
+  /// span per job and report every transfer's full lifecycle — plus
+  /// client-side backoff and rejection spans in contended mode — so each
+  /// transfer's wait partitions exactly into stagger / admission-queue /
+  /// scheduler-queue phases and its service splits into solo + dilation.
+  /// Recording is pure bookkeeping (no RNG, no decisions): a run produces
+  /// bit-identical results with the store attached or not. Runtime state
+  /// like `tracer`; in contended mode it is attached to every shard through
+  /// server::FleetConfig::materialize().
+  obs::SpanStore* spans = nullptr;
   /// Opt-in contended checkpoint server: shorthand for a 1-shard `fleet`
   /// (below) and kept for callers that predate sharding. When set, every
   /// job's recovery and checkpoint transfer contends for one

@@ -21,17 +21,65 @@ std::string SeriesFrame::to_json() const {
   return w.str();
 }
 
-SnapshotSeries::SnapshotSeries(double every_s, std::size_t max_frames)
-    : every_s_(every_s), max_frames_(max_frames) {
+SnapshotSeries::SnapshotSeries(double every_s, std::size_t max_frames,
+                               SeriesCompaction compaction)
+    : every_s_(every_s), max_frames_(max_frames), compaction_(compaction) {
   if (!(every_s > 0.0)) {
     throw std::invalid_argument("SnapshotSeries: every_s must be > 0");
+  }
+  if (compaction_.enabled()) {
+    if (max_frames_ == 0 || compaction_.keep_recent >= max_frames_) {
+      throw std::invalid_argument(
+          "SnapshotSeries: compaction.keep_recent must be < max_frames");
+    }
+    if (compaction_.stride < 2) {
+      throw std::invalid_argument(
+          "SnapshotSeries: compaction.stride must be >= 2");
+    }
   }
   if (max_frames_ > 0) {
     ring_.reserve(std::min<std::size_t>(max_frames_, 64));
   }
 }
 
+std::vector<SeriesFrame> SnapshotSeries::ordered_locked() const {
+  if (max_frames_ == 0 || ring_.size() < max_frames_) return ring_;
+  std::vector<SeriesFrame> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void SnapshotSeries::compact_locked() {
+  std::vector<SeriesFrame> ordered = ordered_locked();
+  const std::size_t old_n = ordered.size() > compaction_.keep_recent
+                                ? ordered.size() - compaction_.keep_recent
+                                : 0;
+  if (old_n < compaction_.stride) return;  // nothing mergeable; caller evicts
+  std::vector<SeriesFrame> out;
+  out.reserve(ordered.size());
+  std::size_t i = 0;
+  while (i < old_n) {
+    // Keep the LAST frame of each group: snapshots are cumulative, so the
+    // survivor carries the merged frames' state and deltas across surviving
+    // boundaries stay exact.
+    const std::size_t run = std::min(compaction_.stride, old_n - i);
+    out.push_back(std::move(ordered[i + run - 1]));
+    compacted_ += run - 1;
+    i += run;
+  }
+  for (; i < ordered.size(); ++i) out.push_back(std::move(ordered[i]));
+  ring_ = std::move(out);
+  next_ = ring_.size() % max_frames_;
+}
+
 void SnapshotSeries::push_frame(SeriesFrame frame) {
+  if (compaction_.enabled() && max_frames_ > 0 &&
+      ring_.size() >= max_frames_) {
+    compact_locked();
+  }
   if (max_frames_ == 0 || ring_.size() < max_frames_) {
     ring_.push_back(std::move(frame));
     if (max_frames_ > 0) next_ = ring_.size() % max_frames_;
@@ -69,13 +117,7 @@ bool SnapshotSeries::maybe_sample(double t_s,
 
 std::vector<SeriesFrame> SnapshotSeries::frames() const {
   std::lock_guard lock(mutex_);
-  if (max_frames_ == 0 || ring_.size() < max_frames_) return ring_;
-  std::vector<SeriesFrame> out;
-  out.reserve(ring_.size());
-  for (std::size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(next_ + i) % ring_.size()]);
-  }
-  return out;
+  return ordered_locked();
 }
 
 std::optional<SeriesFrame> SnapshotSeries::latest() const {
@@ -92,7 +134,12 @@ std::size_t SnapshotSeries::size() const {
 
 std::uint64_t SnapshotSeries::evicted() const {
   std::lock_guard lock(mutex_);
-  return sampled_ - ring_.size();
+  return sampled_ - ring_.size() - compacted_;
+}
+
+std::uint64_t SnapshotSeries::compacted() const {
+  std::lock_guard lock(mutex_);
+  return compacted_;
 }
 
 void SnapshotSeries::clear() {
@@ -100,6 +147,7 @@ void SnapshotSeries::clear() {
   ring_.clear();
   next_ = 0;
   sampled_ = 0;
+  compacted_ = 0;
   sampled_any_ = false;
   next_due_s_ = 0.0;
 }

@@ -42,14 +42,38 @@ struct SeriesPoint {
   double rate = 0.0;   ///< delta / dt (0 at the first frame or dt == 0)
 };
 
+/// Retention policy for runs that outlive the ring: instead of silently
+/// dropping the oldest frames, merge adjacent old frames so the series
+/// keeps full resolution near "now" and a progressively coarser long tail.
+/// Each merge keeps the LAST frame of the merged group — frames are
+/// cumulative point-in-time snapshots, so the delta across a surviving
+/// boundary equals the sum of the merged frames' deltas and
+/// counter_series()/counter_rates()/gauge_series() stay exact (just
+/// coarser) across compacted regions. Old survivors get re-merged each
+/// time the ring refills, so a very long run decays geometrically: newest
+/// `keep_recent` frames at cadence resolution, then ~stride×, ~stride²×,
+/// ... coarser toward the beginning.
+struct SeriesCompaction {
+  /// Newest frames exempt from merging. 0 disables compaction (the ring
+  /// falls back to plain oldest-first eviction). Must be < max_frames.
+  std::size_t keep_recent = 0;
+  /// Adjacent frames merged per group (>= 2) when compaction runs.
+  std::size_t stride = 2;
+
+  [[nodiscard]] bool enabled() const { return keep_recent > 0; }
+};
+
 class SnapshotSeries {
  public:
   static constexpr std::size_t kDefaultMaxFrames = 1024;
 
   /// `every_s` is the sampling cadence maybe_sample() enforces (must be
-  /// > 0); `max_frames` bounds the ring (0 = unbounded).
+  /// > 0); `max_frames` bounds the ring (0 = unbounded); `compaction`
+  /// (optional) merges old frames instead of evicting them when the ring
+  /// fills — see SeriesCompaction.
   explicit SnapshotSeries(double every_s,
-                          std::size_t max_frames = kDefaultMaxFrames);
+                          std::size_t max_frames = kDefaultMaxFrames,
+                          SeriesCompaction compaction = {});
 
   /// Unconditionally cut a frame at `t_s` from `registry` (or a snapshot
   /// the caller already holds). Frames must be sampled in nondecreasing
@@ -70,8 +94,15 @@ class SnapshotSeries {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t max_frames() const { return max_frames_; }
   [[nodiscard]] double every_s() const { return every_s_; }
-  /// Frames evicted because the ring was full.
+  /// Frames dropped with no surviving representative (ring overflow with
+  /// compaction disabled, or when a compaction pass could not free room).
   [[nodiscard]] std::uint64_t evicted() const;
+  /// Frames merged away into a surviving neighbour by compaction.
+  /// evicted() + compacted() + size() == total frames ever sampled.
+  [[nodiscard]] std::uint64_t compacted() const;
+  [[nodiscard]] const SeriesCompaction& compaction() const {
+    return compaction_;
+  }
   void clear();
 
   /// Timeline of one counter across the surviving frames ({} when the
@@ -107,15 +138,22 @@ class SnapshotSeries {
 
  private:
   void push_frame(SeriesFrame frame);
+  /// Merge old frames per the compaction policy; leaves the ring in sample
+  /// order with next_ positioned for appends. Caller holds the lock.
+  void compact_locked();
+  /// Ring contents in sample order. Caller holds the lock.
+  [[nodiscard]] std::vector<SeriesFrame> ordered_locked() const;
 
   mutable std::mutex mutex_;
   double every_s_;
   std::size_t max_frames_;  ///< 0 = unbounded
+  SeriesCompaction compaction_;
   double next_due_s_ = 0.0;
   bool sampled_any_ = false;
   std::vector<SeriesFrame> ring_;
   std::size_t next_ = 0;  ///< ring write cursor (bounded mode, when full)
-  std::uint64_t sampled_ = 0;  ///< total frames ever cut
+  std::uint64_t sampled_ = 0;    ///< total frames ever cut
+  std::uint64_t compacted_ = 0;  ///< frames merged away by compaction
 };
 
 }  // namespace harvest::obs

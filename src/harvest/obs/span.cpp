@@ -1,0 +1,543 @@
+#include "harvest/obs/span.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "harvest/obs/json.hpp"
+
+namespace harvest::obs {
+namespace {
+
+constexpr std::string_view kPhaseNames[kSpanPhaseCount] = {
+    "job",           "transfer",        "stagger", "admission_queue",
+    "scheduler_queue", "service",       "backoff", "rejected"};
+
+constexpr std::string_view kKindNames[kSpanKindCount] = {"checkpoint",
+                                                         "recovery"};
+
+/// Phase-chain siblings are allowed to touch but not to overlap; a sub-ns
+/// slop absorbs fp rounding in the producers' clocks.
+constexpr double kOverlapTolerance = 1e-9;
+
+void append_span_json(JsonWriter& w, const Span& s, bool chrome) {
+  const double scale = chrome ? 1e6 : 1.0;
+  w.begin_object();
+  if (chrome) {
+    w.field("name", to_string(s.phase));
+    w.field("cat", "span");
+    w.field("ph", "X");
+    w.field("ts", s.start_s * scale);
+    w.field("dur", s.duration_s() * scale);
+    w.field("pid", 1);
+    // One lane per job: the whole checkpoint history of a job reads as a
+    // single track of nested transfer/phase blocks.
+    w.field("tid", s.job_id);
+    w.key("args").begin_object();
+    w.field("id", s.id);
+    w.field("parent", s.parent);
+    w.field("transfer", s.transfer_id);
+    w.field("shard", static_cast<std::uint64_t>(s.shard));
+    w.field("kind", kKindNames[s.kind < kSpanKindCount ? s.kind : 0]);
+    w.field("value", s.value);
+    w.field("ok", s.ok);
+    w.end_object();
+  } else {
+    w.field("id", s.id);
+    w.field("parent", s.parent);
+    w.field("phase", to_string(s.phase));
+    w.field("start_s", s.start_s);
+    w.field("end_s", s.end_s);
+    w.field("dur_s", s.duration_s());
+    w.field("job", s.job_id);
+    w.field("transfer", s.transfer_id);
+    w.field("shard", static_cast<std::uint64_t>(s.shard));
+    w.field("kind", kKindNames[s.kind < kSpanKindCount ? s.kind : 0]);
+    w.field("value", s.value);
+    w.field("ok", s.ok);
+  }
+  w.end_object();
+}
+
+void append_totals_json(JsonWriter& w, const PhaseTotals& t) {
+  w.begin_object();
+  w.field("transfers", t.transfers);
+  w.field("completed", t.completed);
+  w.field("interrupted", t.interrupted);
+  w.field("rejected", t.rejected);
+  w.field("backoffs", t.backoffs);
+  w.field("stagger_s", t.stagger_s);
+  w.field("admission_queue_s", t.admission_queue_s);
+  w.field("scheduler_queue_s", t.scheduler_queue_s);
+  w.field("backoff_s", t.backoff_s);
+  w.field("service_solo_s", t.service_solo_s);
+  w.field("service_dilation_s", t.service_dilation_s);
+  w.field("wait_s", t.wait_s);
+  w.field("moved_mb", t.moved_mb);
+  w.end_object();
+}
+
+void fold(PhaseTotals& agg, const TransferTimings& t, const WaitBreakdown& w) {
+  ++agg.transfers;
+  if (t.completed) {
+    ++agg.completed;
+  } else {
+    ++agg.interrupted;
+  }
+  agg.stagger_s += w.stagger_s;
+  agg.admission_queue_s += w.admission_queue_s;
+  agg.scheduler_queue_s += w.scheduler_queue_s;
+  agg.service_solo_s += w.solo_s;
+  agg.service_dilation_s += w.dilation_s;
+  agg.wait_s += w.wait_s;
+  agg.moved_mb += t.moved_mb;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SpanStore: cannot open " + path);
+  out << text;
+  if (!out) throw std::runtime_error("SpanStore: write failed: " + path);
+}
+
+}  // namespace
+
+std::string_view to_string(SpanPhase phase) {
+  const auto i = static_cast<std::size_t>(phase);
+  return i < kSpanPhaseCount ? kPhaseNames[i] : "unknown";
+}
+
+std::string Span::to_json() const {
+  JsonWriter w;
+  append_span_json(w, *this, /*chrome=*/false);
+  return w.str();
+}
+
+WaitBreakdown attribute(const TransferTimings& t) {
+  WaitBreakdown w;
+  // Phase boundaries clamp at the end of the observation: a transfer
+  // removed while still staggered or queued truncates its chain there.
+  const double eligible = std::min(t.eligible_s, t.end_s);
+  w.stagger_s = eligible - t.arrival_s;
+  if (t.entered_service) {
+    const double pass =
+        t.first_pass_s ? std::min(*t.first_pass_s, t.start_s) : t.start_s;
+    w.admission_queue_s = pass - eligible;
+    w.scheduler_queue_s = t.start_s - pass;
+    w.wait_s = t.start_s - t.arrival_s;
+    w.service_s = t.end_s - t.start_s;
+    w.solo_s = t.solo_service_s;
+    w.dilation_s = w.service_s - w.solo_s;
+  } else {
+    const double pass =
+        t.first_pass_s ? std::min(*t.first_pass_s, t.end_s) : t.end_s;
+    w.admission_queue_s = pass - eligible;
+    w.scheduler_queue_s = t.end_s - pass;
+    w.wait_s = t.end_s - t.arrival_s;
+  }
+  return w;
+}
+
+std::string AttributionReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("max_partition_error_s", max_partition_error_s);
+  w.key("total");
+  append_totals_json(w, total);
+  w.key("by_shard").begin_array();
+  for (const auto& t : by_shard) append_totals_json(w, t);
+  w.end_array();
+  w.key("by_kind").begin_object();
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    w.key(kKindNames[k]);
+    append_totals_json(w, by_kind[k]);
+  }
+  w.end_object();
+  w.key("slowest").begin_array();
+  for (const auto& s : slowest) {
+    w.begin_object();
+    w.field("transfer_id", s.transfer_id);
+    w.field("job_id", s.job_id);
+    w.field("shard", static_cast<std::uint64_t>(s.shard));
+    w.field("kind", kKindNames[s.kind < kSpanKindCount ? s.kind : 0]);
+    w.field("megabytes", s.megabytes);
+    w.field("completed", s.completed);
+    w.field("slowness_s", s.slowness_s());
+    w.field("wait_s", s.w.wait_s);
+    w.field("stagger_s", s.w.stagger_s);
+    w.field("admission_queue_s", s.w.admission_queue_s);
+    w.field("scheduler_queue_s", s.w.scheduler_queue_s);
+    w.field("service_s", s.w.service_s);
+    w.field("solo_s", s.w.solo_s);
+    w.field("dilation_s", s.w.dilation_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+SpanStore::SpanStore(SpanStoreOptions opts, MetricsRegistry* registry)
+    : opts_(opts) {
+  if (opts_.capacity > 0) {
+    ring_.reserve(std::min<std::size_t>(opts_.capacity, 1024));
+  }
+  if (registry != nullptr) {
+    registry->describe("obs.span.recorded",
+                       "Spans pushed into the store (all phases).");
+    registry->describe("obs.span.dropped",
+                       "Spans overwritten by the bounded ring.");
+    registry->describe("obs.span.transfers",
+                       "Transfer lifecycles attributed (finished + removed).");
+    registry->describe("obs.span.rejected",
+                       "Submissions bounced by admission control.");
+    registry->describe("obs.span.backoff_s",
+                       "Client-side backoff span durations (s).");
+    registry->describe("obs.span.dilation_s",
+                       "Service dilation over solo transfer time (s).");
+    m_recorded_ = &registry->counter("obs.span.recorded");
+    m_dropped_ = &registry->counter("obs.span.dropped");
+    m_transfers_ = &registry->counter("obs.span.transfers");
+    m_rejected_ = &registry->counter("obs.span.rejected");
+    m_backoff_s_ = &registry->histogram("obs.span.backoff_s");
+    m_dilation_s_ = &registry->histogram("obs.span.dilation_s");
+  }
+}
+
+SpanStore::JobSlot& SpanStore::ensure_job_locked(std::uint64_t job_id,
+                                                 double t_s) {
+  auto [it, inserted] = jobs_.try_emplace(job_id);
+  JobSlot& slot = it->second;
+  if (inserted || !slot.open) {
+    // Fresh root — a reopened job (next daemon iteration) gets a new span
+    // id so children never attach to a closed parent.
+    slot.span_id = ++next_id_;
+    slot.start_s = t_s;
+    slot.open = true;
+  }
+  return slot;
+}
+
+void SpanStore::push_locked(Span span) {
+  if (opts_.capacity == 0 || ring_.size() < opts_.capacity) {
+    ring_.push_back(span);
+    if (opts_.capacity > 0) next_ = ring_.size() % opts_.capacity;
+  } else {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % opts_.capacity;
+    if (m_dropped_ != nullptr) m_dropped_->add();
+  }
+  ++recorded_;
+  if (m_recorded_ != nullptr) m_recorded_->add();
+}
+
+void SpanStore::open_job(std::uint64_t job_id, double t_s) {
+  std::lock_guard lock(mutex_);
+  ensure_job_locked(job_id, t_s);
+}
+
+void SpanStore::close_job(std::uint64_t job_id, double t_s, bool finished) {
+  std::lock_guard lock(mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || !it->second.open) return;
+  Span s;
+  s.id = it->second.span_id;
+  s.parent = 0;
+  s.phase = SpanPhase::kJob;
+  s.start_s = it->second.start_s;
+  s.end_s = t_s;
+  s.job_id = job_id;
+  s.ok = finished;
+  it->second.open = false;
+  push_locked(s);
+}
+
+void SpanStore::record_backoff(std::uint64_t job_id, double start_s,
+                               double end_s, std::uint8_t kind) {
+  std::lock_guard lock(mutex_);
+  const JobSlot& job = ensure_job_locked(job_id, start_s);
+  Span s;
+  s.id = ++next_id_;
+  s.parent = job.span_id;
+  s.phase = SpanPhase::kBackoff;
+  s.start_s = start_s;
+  s.end_s = end_s;
+  s.job_id = job_id;
+  s.kind = kind;
+  push_locked(s);
+  ++total_.backoffs;
+  total_.backoff_s += end_s - start_s;
+  if (kind < kSpanKindCount) {
+    ++by_kind_[kind].backoffs;
+    by_kind_[kind].backoff_s += end_s - start_s;
+  }
+  if (m_backoff_s_ != nullptr) m_backoff_s_->observe(end_s - start_s);
+}
+
+void SpanStore::record_rejected(std::uint64_t job_id, std::uint32_t shard,
+                                std::uint8_t kind, double t_s) {
+  std::lock_guard lock(mutex_);
+  const JobSlot& job = ensure_job_locked(job_id, t_s);
+  Span s;
+  s.id = ++next_id_;
+  s.parent = job.span_id;
+  s.phase = SpanPhase::kRejected;
+  s.start_s = t_s;
+  s.end_s = t_s;
+  s.job_id = job_id;
+  s.shard = shard;
+  s.kind = kind;
+  push_locked(s);
+  ++total_.rejected;
+  if (shard >= by_shard_.size()) by_shard_.resize(shard + 1);
+  ++by_shard_[shard].rejected;
+  if (kind < kSpanKindCount) ++by_kind_[kind].rejected;
+  if (m_rejected_ != nullptr) m_rejected_->add();
+}
+
+void SpanStore::record_transfer(const TransferTimings& t) {
+  const WaitBreakdown w = attribute(t);
+  std::lock_guard lock(mutex_);
+  const std::uint64_t transfer_id =
+      t.transfer_id != 0 ? t.transfer_id : ++next_transfer_id_;
+  const JobSlot& job = ensure_job_locked(t.job_id, t.arrival_s);
+
+  Span transfer;
+  transfer.id = ++next_id_;
+  transfer.parent = job.span_id;
+  transfer.phase = SpanPhase::kTransfer;
+  transfer.start_s = t.arrival_s;
+  transfer.end_s = t.end_s;
+  transfer.job_id = t.job_id;
+  transfer.transfer_id = transfer_id;
+  transfer.shard = t.shard;
+  transfer.kind = t.kind;
+  transfer.value = t.moved_mb;
+  transfer.ok = t.completed;
+  push_locked(transfer);
+
+  // Phase children tile [arrival, end); zero-duration phases are elided so
+  // traces stay readable, but their (zero) contribution is still folded
+  // into the aggregates, keeping the partition identity exact.
+  double cursor = t.arrival_s;
+  const auto child = [&](SpanPhase phase, double duration, double value,
+                         bool ok) {
+    if (duration <= 0.0) return;
+    Span s;
+    s.id = ++next_id_;
+    s.parent = transfer.id;
+    s.phase = phase;
+    s.start_s = cursor;
+    s.end_s = cursor + duration;
+    s.job_id = t.job_id;
+    s.transfer_id = transfer_id;
+    s.shard = t.shard;
+    s.kind = t.kind;
+    s.value = value;
+    s.ok = ok;
+    push_locked(s);
+    cursor = s.end_s;
+  };
+  child(SpanPhase::kStagger, w.stagger_s, 0.0, true);
+  child(SpanPhase::kAdmissionQueue, w.admission_queue_s, 0.0, true);
+  child(SpanPhase::kSchedulerQueue, w.scheduler_queue_s, 0.0, true);
+  if (t.entered_service) {
+    child(SpanPhase::kService, w.service_s, w.dilation_s, t.completed);
+  }
+
+  fold_totals_locked(t, w);
+  if (m_transfers_ != nullptr) m_transfers_->add();
+  if (m_dilation_s_ != nullptr && t.entered_service) {
+    m_dilation_s_->observe(w.dilation_s);
+  }
+}
+
+void SpanStore::fold_totals_locked(const TransferTimings& t,
+                                   const WaitBreakdown& w) {
+  fold(total_, t, w);
+  if (t.shard >= by_shard_.size()) by_shard_.resize(t.shard + 1);
+  fold(by_shard_[t.shard], t, w);
+  if (t.kind < kSpanKindCount) fold(by_kind_[t.kind], t, w);
+
+  const double defect = std::fabs(
+      (w.stagger_s + w.admission_queue_s + w.scheduler_queue_s) - w.wait_s);
+  max_partition_error_ = std::max(max_partition_error_, defect);
+
+  SlowTransfer slow;
+  slow.transfer_id = t.transfer_id;
+  slow.job_id = t.job_id;
+  slow.shard = t.shard;
+  slow.kind = t.kind;
+  slow.megabytes = t.megabytes;
+  slow.completed = t.completed;
+  slow.w = w;
+  const auto faster = [](const SlowTransfer& a, const SlowTransfer& b) {
+    return a.slowness_s() > b.slowness_s();
+  };
+  if (opts_.top_k == 0) return;
+  if (top_.size() < opts_.top_k) {
+    top_.push_back(slow);
+    std::push_heap(top_.begin(), top_.end(), faster);
+  } else if (slow.slowness_s() > top_.front().slowness_s()) {
+    std::pop_heap(top_.begin(), top_.end(), faster);
+    top_.back() = slow;
+    std::push_heap(top_.begin(), top_.end(), faster);
+  }
+}
+
+std::vector<Span> SpanStore::spans_locked() const {
+  if (opts_.capacity == 0 || ring_.size() < opts_.capacity) return ring_;
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Span> SpanStore::spans() const {
+  std::lock_guard lock(mutex_);
+  return spans_locked();
+}
+
+std::size_t SpanStore::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t SpanStore::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t SpanStore::dropped() const {
+  std::lock_guard lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+AttributionReport SpanStore::report() const {
+  std::lock_guard lock(mutex_);
+  AttributionReport r;
+  r.total = total_;
+  r.by_shard = by_shard_;
+  r.by_kind = by_kind_;
+  r.slowest = top_;
+  r.max_partition_error_s = max_partition_error_;
+  std::sort(r.slowest.begin(), r.slowest.end(),
+            [](const SlowTransfer& a, const SlowTransfer& b) {
+              if (a.slowness_s() != b.slowness_s()) {
+                return a.slowness_s() > b.slowness_s();
+              }
+              return a.transfer_id < b.transfer_id;
+            });
+  return r;
+}
+
+double SpanStore::max_partition_error_s() const {
+  std::lock_guard lock(mutex_);
+  return max_partition_error_;
+}
+
+void SpanStore::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+  next_id_ = 0;
+  next_transfer_id_ = 0;
+  jobs_.clear();
+  total_ = PhaseTotals{};
+  by_shard_.clear();
+  by_kind_ = {};
+  top_.clear();
+  max_partition_error_ = 0.0;
+}
+
+SpanStore::TreeCheck SpanStore::verify() const {
+  std::lock_guard lock(mutex_);
+  const std::vector<Span> all = spans_locked();
+  TreeCheck check;
+
+  std::unordered_map<std::uint64_t, bool> known;
+  known.reserve(all.size() + jobs_.size());
+  for (const auto& s : all) known.emplace(s.id, true);
+  for (const auto& [job_id, slot] : jobs_) known.emplace(slot.span_id, true);
+
+  // Group the wait/service phase chain by its parent transfer span and
+  // check the siblings tile without overlap.
+  std::unordered_map<std::uint64_t, std::vector<const Span*>> chains;
+  for (const auto& s : all) {
+    if (s.end_s < s.start_s - kOverlapTolerance) ++check.inverted;
+    if (s.parent != 0 && known.find(s.parent) == known.end()) ++check.orphans;
+    switch (s.phase) {
+      case SpanPhase::kStagger:
+      case SpanPhase::kAdmissionQueue:
+      case SpanPhase::kSchedulerQueue:
+      case SpanPhase::kService:
+        chains[s.parent].push_back(&s);
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& [parent, chain] : chains) {
+    std::sort(chain.begin(), chain.end(), [](const Span* a, const Span* b) {
+      return a->start_s < b->start_s;
+    });
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      if (chain[i]->start_s < chain[i - 1]->end_s - kOverlapTolerance) {
+        ++check.overlaps;
+      }
+    }
+  }
+  return check;
+}
+
+std::string SpanStore::to_jsonl() const {
+  std::string out;
+  if (const std::uint64_t lost = dropped(); lost > 0) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("meta", "spans");
+    w.field("dropped", lost);
+    w.field("capacity", static_cast<std::uint64_t>(opts_.capacity));
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const auto& s : spans()) {
+    JsonWriter w;
+    append_span_json(w, s, /*chrome=*/false);
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SpanStore::to_chrome_trace() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.field("droppedSpans", dropped());
+  w.field("ringCapacity", static_cast<std::uint64_t>(opts_.capacity));
+  w.end_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& s : spans()) append_span_json(w, s, /*chrome=*/true);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void SpanStore::write_jsonl(const std::string& path) const {
+  write_text_file(path, to_jsonl());
+}
+
+void SpanStore::write_chrome_trace(const std::string& path) const {
+  write_text_file(path, to_chrome_trace());
+}
+
+}  // namespace harvest::obs

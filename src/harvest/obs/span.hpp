@@ -1,0 +1,285 @@
+// Causal span tracing with EXACT wait attribution across the transfer
+// lifecycle. The registry answers "how much", the tracer "when", the
+// timeline "how fast" — this layer answers "WHY was this transfer slow",
+// which is the question the cooperative-scheduling and prediction-window
+// directions need answered before they can claim wins: was the delay
+// contention (no capacity), policy (the scheduler chose someone else),
+// storm avoidance (deliberate deferral), or client-side backoff?
+//
+// The model is a tree of spans:
+//
+//   job (root, one per job per run)
+//   ├── backoff            client-side retry delay after a rejection or
+//   │                      an interrupted transfer
+//   ├── rejected           instant: admission bounced a submission
+//   └── transfer           one submitted transfer, submit → finish/removal
+//       ├── stagger          [arrival, eligible)   storm-staggerer deferral
+//       ├── admission_queue  [eligible, pass)      waiting with no free slot
+//       │                    and no scheduling decision made yet
+//       ├── scheduler_queue  [pass, start)         waiting after the first
+//       │                    LOSING scheduling decision — a slot freed, the
+//       │                    policy picked someone else
+//       └── service          [start, finish)       on the wire; value is
+//                            the dilation over the solo transfer time
+//
+// The phase chain of a transfer tiles [arrival, end) contiguously, so the
+// attributed phase durations sum EXACTLY to the transfer's recorded wait
+// (and service = solo + dilation by construction) — the same conservation
+// spirit as the timeline's Σ interval_mb == network MB. The store keeps a
+// running max of the partition defect so tests and benches can gate on it.
+//
+// Memory is bounded everywhere: spans land in an overwriting ring (drops
+// counted), per-fleet/per-shard/per-class aggregates are fixed-size and
+// survive ring eviction, and the slowest-transfer list is a bounded
+// min-heap. Recording takes no RNG and makes no decisions, so enabling
+// spans never perturbs a simulation — results stay bit-identical with the
+// store attached or not.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::obs {
+
+enum class SpanPhase : std::uint8_t {
+  kJob = 0,
+  kTransfer,
+  kStagger,
+  kAdmissionQueue,
+  kSchedulerQueue,
+  kService,
+  kBackoff,
+  kRejected,  ///< instant (zero duration)
+};
+
+inline constexpr std::size_t kSpanPhaseCount = 8;
+
+[[nodiscard]] std::string_view to_string(SpanPhase phase);
+
+/// Traffic classes mirrored from server::TransferKind without depending on
+/// the server layer (obs sits below it).
+inline constexpr std::size_t kSpanKindCount = 2;  ///< checkpoint, recovery
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root (job spans only)
+  SpanPhase phase = SpanPhase::kTransfer;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::uint64_t job_id = 0;
+  std::uint64_t transfer_id = 0;  ///< 0 for job/backoff/rejected spans
+  std::uint32_t shard = 0;
+  std::uint8_t kind = 0;  ///< 0 = checkpoint, 1 = recovery
+  /// Payload: megabytes moved (transfer), dilation seconds (service),
+  /// 0 otherwise.
+  double value = 0.0;
+  /// Transfer/service: completed (vs interrupted). Job: finished.
+  bool ok = true;
+
+  [[nodiscard]] double duration_s() const { return end_s - start_s; }
+  /// One JSONL-style record (same fields as a SpanStore::to_jsonl line).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Everything a server knows about one finished (or removed) transfer.
+/// Timestamps are ordered arrival <= eligible <= first_pass <= start <=
+/// end; attribution clamps at `end_s` for transfers removed mid-phase.
+struct TransferTimings {
+  std::uint64_t transfer_id = 0;  ///< 0 = the store assigns one
+  std::uint64_t job_id = 0;
+  std::uint32_t shard = 0;
+  std::uint8_t kind = 0;
+  double megabytes = 0.0;
+  double moved_mb = 0.0;  ///< bytes actually on the wire (== megabytes
+                          ///< when completed, pro-rated when interrupted)
+  double arrival_s = 0.0;   ///< submission
+  double eligible_s = 0.0;  ///< arrival + storm-staggerer deferral
+  /// Clock of the first LOSING scheduling decision: a slot was free, this
+  /// transfer was eligible, and the policy picked a different one. Unset
+  /// when the transfer was never passed over (its whole queue wait was
+  /// pure capacity wait).
+  std::optional<double> first_pass_s;
+  double start_s = 0.0;  ///< service entry (meaningful iff entered_service)
+  double end_s = 0.0;    ///< finish, or the removal instant
+  /// Time the moved bytes would have taken alone on the pipe
+  /// (moved_mb / capacity); dilation = observed service - solo.
+  double solo_service_s = 0.0;
+  bool entered_service = true;
+  bool completed = true;
+};
+
+/// The exact per-phase decomposition of one transfer's lifetime.
+/// stagger + admission_queue + scheduler_queue == wait_s (to fp rounding)
+/// and service_s == solo_s + dilation_s by construction.
+struct WaitBreakdown {
+  double stagger_s = 0.0;
+  double admission_queue_s = 0.0;
+  double scheduler_queue_s = 0.0;
+  double wait_s = 0.0;     ///< start (or removal) - arrival
+  double service_s = 0.0;  ///< 0 unless the transfer entered service
+  double solo_s = 0.0;
+  double dilation_s = 0.0;  ///< service - solo (can be ~-1e-12 from the
+                            ///< server's finish tolerance; not clamped)
+};
+
+/// Pure attribution function — property tests hit this directly.
+[[nodiscard]] WaitBreakdown attribute(const TransferTimings& t);
+
+/// Aggregated attributed seconds (one row of the attribution report).
+struct PhaseTotals {
+  std::uint64_t transfers = 0;  ///< finished + interrupted
+  std::uint64_t completed = 0;
+  std::uint64_t interrupted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t backoffs = 0;
+  double stagger_s = 0.0;
+  double admission_queue_s = 0.0;
+  double scheduler_queue_s = 0.0;
+  double backoff_s = 0.0;
+  double service_solo_s = 0.0;
+  double service_dilation_s = 0.0;
+  double wait_s = 0.0;
+  double moved_mb = 0.0;
+};
+
+/// One entry of the top-k slowest list; slowness = wait + positive part of
+/// the service dilation (the two components contention can inflate).
+struct SlowTransfer {
+  std::uint64_t transfer_id = 0;
+  std::uint64_t job_id = 0;
+  std::uint32_t shard = 0;
+  std::uint8_t kind = 0;
+  double megabytes = 0.0;
+  bool completed = true;
+  WaitBreakdown w;
+
+  [[nodiscard]] double slowness_s() const {
+    return w.wait_s + (w.dilation_s > 0.0 ? w.dilation_s : 0.0);
+  }
+};
+
+struct AttributionReport {
+  PhaseTotals total;
+  std::vector<PhaseTotals> by_shard;  ///< indexed by shard
+  std::array<PhaseTotals, kSpanKindCount> by_kind{};
+  std::vector<SlowTransfer> slowest;  ///< sorted, slowest first
+  /// Running max of |Σ wait phases - wait_s| over every recorded transfer.
+  double max_partition_error_s = 0.0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct SpanStoreOptions {
+  /// Span ring capacity; oldest spans are overwritten (and counted) when
+  /// full. 0 = unbounded. Aggregates and the top-k list are NOT affected
+  /// by ring eviction.
+  std::size_t capacity = 1 << 16;
+  /// Slowest transfers retained for the attribution report.
+  std::size_t top_k = 16;
+};
+
+/// Thread-safe bounded span store + attribution aggregator. `registry`
+/// (nullable) receives the `obs.span.*` metrics group.
+class SpanStore {
+ public:
+  explicit SpanStore(SpanStoreOptions opts = {},
+                     MetricsRegistry* registry = nullptr);
+
+  /// Open a job root span (idempotent while open; reopening a CLOSED job —
+  /// e.g. the next daemon iteration — starts a fresh root). Transfers for
+  /// an unknown job auto-open its root at the transfer's arrival, so
+  /// standalone-server producers need not manage job spans at all.
+  void open_job(std::uint64_t job_id, double t_s);
+  /// Close the job's root span and emit it to the ring. No-op when the job
+  /// is unknown or already closed.
+  void close_job(std::uint64_t job_id, double t_s, bool finished);
+
+  /// Client-side retry delay (after a rejection or an interrupted
+  /// transfer), truncated at eviction when the retry never fired.
+  void record_backoff(std::uint64_t job_id, double start_s, double end_s,
+                      std::uint8_t kind);
+  /// Admission bounced a submission outright (instant span).
+  void record_rejected(std::uint64_t job_id, std::uint32_t shard,
+                       std::uint8_t kind, double t_s);
+  /// One finished or removed transfer: emits the transfer span plus its
+  /// non-empty phase children and folds the breakdown into the aggregates,
+  /// the top-k list, and the partition-defect maximum.
+  void record_transfer(const TransferTimings& t);
+
+  /// Ring contents, oldest surviving first.
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] AttributionReport report() const;
+  [[nodiscard]] double max_partition_error_s() const;
+  void clear();
+
+  /// Structural self-check over the surviving spans: `orphans` = non-root
+  /// spans whose parent id is unknown, `inverted` = spans ending before
+  /// they start, `overlaps` = phase-chain siblings of one transfer that
+  /// overlap in time. All zero for a well-formed store.
+  struct TreeCheck {
+    std::uint64_t orphans = 0;
+    std::uint64_t inverted = 0;
+    std::uint64_t overlaps = 0;
+    [[nodiscard]] bool ok() const {
+      return orphans == 0 && inverted == 0 && overlaps == 0;
+    }
+  };
+  [[nodiscard]] TreeCheck verify() const;
+
+  /// One span per line:
+  /// {"id":…,"parent":…,"phase":…,"start_s":…,"end_s":…,"job":…,…}
+  /// prefixed by a meta line when the ring overwrote spans.
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Chrome trace_event view: one "X" event per span on the owning job's
+  /// track, so chrome://tracing renders each job's checkpoint history as
+  /// one lane of nested phases.
+  [[nodiscard]] std::string to_chrome_trace() const;
+  void write_jsonl(const std::string& path) const;
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct JobSlot {
+    std::uint64_t span_id = 0;
+    double start_s = 0.0;
+    bool open = false;
+  };
+
+  JobSlot& ensure_job_locked(std::uint64_t job_id, double t_s);
+  void push_locked(Span span);
+  void fold_totals_locked(const TransferTimings& t, const WaitBreakdown& w);
+  [[nodiscard]] std::vector<Span> spans_locked() const;
+
+  mutable std::mutex mutex_;
+  SpanStoreOptions opts_;
+  std::vector<Span> ring_;
+  std::size_t next_ = 0;        ///< ring write cursor (bounded mode)
+  std::uint64_t recorded_ = 0;  ///< spans ever pushed
+  std::uint64_t next_id_ = 0;
+  std::uint64_t next_transfer_id_ = 0;  ///< auto-ids for transfer_id == 0
+  std::unordered_map<std::uint64_t, JobSlot> jobs_;
+  PhaseTotals total_;
+  std::vector<PhaseTotals> by_shard_;
+  std::array<PhaseTotals, kSpanKindCount> by_kind_{};
+  std::vector<SlowTransfer> top_;  ///< min-heap by slowness
+  double max_partition_error_ = 0.0;
+
+  Counter* m_recorded_ = nullptr;
+  Counter* m_dropped_ = nullptr;
+  Counter* m_transfers_ = nullptr;
+  Counter* m_rejected_ = nullptr;
+  Histogram* m_backoff_s_ = nullptr;
+  Histogram* m_dilation_s_ = nullptr;
+};
+
+}  // namespace harvest::obs

@@ -43,6 +43,11 @@ PlannerService::PlannerService(PlannerServiceOptions opts,
   if (opts_.machine_shards == 0) {
     throw std::invalid_argument("PlannerService: machine_shards must be >= 1");
   }
+  if (opts_.idle_ttl_reports > 0 && opts_.evict_sweep_every == 0) {
+    throw std::invalid_argument(
+        "PlannerService: evict_sweep_every must be >= 1 when "
+        "idle_ttl_reports is set");
+  }
   shards_.reserve(opts_.machine_shards);
   for (std::size_t i = 0; i < opts_.machine_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -58,9 +63,13 @@ PlannerService::PlannerService(PlannerServiceOptions opts,
                        "degenerate data.");
     registry->describe("plan.machines",
                        "Machines with planner-service fitter state.");
+    registry->describe("plan.evicted",
+                       "Idle machine fitter states dropped by the planner "
+                       "service's idle-TTL sweep.");
     registry->describe("plan.refit_latency_s",
                        "Wall time of one streaming refit (seconds).");
     reports_ = &registry->counter("plan.reports");
+    evicted_ = &registry->counter("plan.evicted");
     refits_ = &registry->counter("plan.refits");
     refit_failures_ = &registry->counter("plan.refit_failures");
     machines_gauge_ = &registry->gauge("plan.machines");
@@ -93,32 +102,65 @@ PlannerService::Machine PlannerService::make_machine() const {
 
 void PlannerService::report(const std::string& machine_id, double duration_s,
                             bool censored) {
-  Shard& shard = shard_for(machine_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto [it, inserted] = shard.machines.try_emplace(machine_id);
-  if (inserted) {
-    it->second = make_machine();
-    machines_n_.fetch_add(1, std::memory_order_relaxed);
-    if (machines_gauge_ != nullptr) {
-      machines_gauge_->set(
-          static_cast<double>(machines_n_.load(std::memory_order_relaxed)));
+  const std::uint64_t seq =
+      reports_n_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    Shard& shard = shard_for(machine_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.machines.try_emplace(machine_id);
+    if (inserted) {
+      it->second = make_machine();
+      machines_n_.fetch_add(1, std::memory_order_relaxed);
+      if (machines_gauge_ != nullptr) {
+        machines_gauge_->set(
+            static_cast<double>(machines_n_.load(std::memory_order_relaxed)));
+      }
+    }
+    Machine& m = it->second;
+    if (m.exp) {
+      censored ? m.exp->observe_censored(duration_s)
+               : m.exp->observe(duration_s);
+    } else if (m.weibull) {
+      censored ? m.weibull->observe_censored(duration_s)
+               : m.weibull->observe(duration_s);
+    } else {
+      censored ? m.hyperexp->observe_censored(duration_s)
+               : m.hyperexp->observe(duration_s);
+    }
+    ++m.observations;
+    ++m.pending;
+    m.last_report_seq = seq;
+  }
+  if (reports_ != nullptr) reports_->add();
+  if (opts_.idle_ttl_reports > 0 && seq % opts_.evict_sweep_every == 0) {
+    sweep_idle(seq);
+  }
+}
+
+void PlannerService::sweep_idle(std::uint64_t seq) {
+  // One shard per sweep, chosen by rotation, so every shard is eventually
+  // visited while each report pays at most one shard scan.
+  Shard& shard = *shards_[(seq / opts_.evict_sweep_every) % shards_.size()];
+  std::size_t erased = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.machines.begin(); it != shard.machines.end();) {
+      if (seq - it->second.last_report_seq > opts_.idle_ttl_reports) {
+        it = shard.machines.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
     }
   }
-  Machine& m = it->second;
-  if (m.exp) {
-    censored ? m.exp->observe_censored(duration_s)
-             : m.exp->observe(duration_s);
-  } else if (m.weibull) {
-    censored ? m.weibull->observe_censored(duration_s)
-             : m.weibull->observe(duration_s);
-  } else {
-    censored ? m.hyperexp->observe_censored(duration_s)
-             : m.hyperexp->observe(duration_s);
+  if (erased == 0) return;
+  evicted_n_.fetch_add(erased, std::memory_order_relaxed);
+  machines_n_.fetch_sub(erased, std::memory_order_relaxed);
+  if (machines_gauge_ != nullptr) {
+    machines_gauge_->set(
+        static_cast<double>(machines_n_.load(std::memory_order_relaxed)));
   }
-  ++m.observations;
-  ++m.pending;
-  reports_n_.fetch_add(1, std::memory_order_relaxed);
-  if (reports_ != nullptr) reports_->add();
+  if (evicted_ != nullptr) evicted_->add(erased);
 }
 
 bool PlannerService::refit(Machine& m) {
@@ -190,6 +232,7 @@ PlannerServiceStats PlannerService::stats() const {
   out.reports = reports_n_.load(std::memory_order_relaxed);
   out.refits = refits_n_.load(std::memory_order_relaxed);
   out.machines = machines_n_.load(std::memory_order_relaxed);
+  out.evictions = evicted_n_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
   return out;
 }

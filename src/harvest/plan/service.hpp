@@ -41,6 +41,18 @@ struct PlannerServiceOptions {
   std::size_t refit_every = 8;
   /// Mutex stripes over the machine map.
   std::size_t machine_shards = 16;
+  /// Idle TTL in fleet-wide report sequence numbers: a machine whose last
+  /// report is more than this many reports old is evicted (fitter state,
+  /// model, and plan pointer dropped) by the next sweep — bounding memory
+  /// for a long-lived daemon watching a churning park. 0 (default) keeps
+  /// state forever. An evicted machine answers kUnknownMachine until it
+  /// reports again, then starts a fresh fitter.
+  std::uint64_t idle_ttl_reports = 0;
+  /// Sweep cadence when idle_ttl_reports > 0: every this many reports one
+  /// rotation-selected shard is scanned for idle machines, so the scan cost
+  /// is amortized across reports and each shard is visited in turn. Must be
+  /// >= 1 when eviction is enabled.
+  std::uint64_t evict_sweep_every = 1024;
   PlanCacheOptions cache;
   StreamingWeibullOptions weibull;
   StreamingHyperexpOptions hyperexp;  ///< phases overridden by `family`
@@ -67,6 +79,7 @@ struct PlannerServiceStats {
   std::uint64_t reports = 0;
   std::uint64_t refits = 0;
   std::size_t machines = 0;
+  std::uint64_t evictions = 0;  ///< idle fitter states dropped (idle TTL)
   PlanCacheStats cache;
 };
 
@@ -104,6 +117,7 @@ class PlannerService {
     std::string model_description;
     PlanPtr plan;
     bool last_hit = false;
+    std::uint64_t last_report_seq = 0;  ///< fleet-wide seq of latest report
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -112,6 +126,9 @@ class PlannerService {
 
   [[nodiscard]] Shard& shard_for(const std::string& machine_id);
   [[nodiscard]] Machine make_machine() const;
+  /// Evict idle machines from the rotation-selected shard for report `seq`.
+  /// Called outside any shard lock.
+  void sweep_idle(std::uint64_t seq);
   /// Refit `m` from its fitter. Returns false (and leaves m.model null or
   /// stale) when the data cannot support the family yet.
   bool refit(Machine& m);
@@ -122,7 +139,9 @@ class PlannerService {
   std::atomic<std::uint64_t> reports_n_{0};
   std::atomic<std::uint64_t> refits_n_{0};
   std::atomic<std::uint64_t> machines_n_{0};
+  std::atomic<std::uint64_t> evicted_n_{0};
   obs::Counter* reports_ = nullptr;
+  obs::Counter* evicted_ = nullptr;
   obs::Counter* refits_ = nullptr;
   obs::Counter* refit_failures_ = nullptr;
   obs::Gauge* machines_gauge_ = nullptr;

@@ -16,6 +16,18 @@ std::string to_string(TransferKind kind) {
   return "unknown";
 }
 
+std::string to_string(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kQueue:
+      return "queue";
+    case AdmissionDecision::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
 AdmissionController::AdmissionController(std::size_t slots,
                                          std::size_t queue_limit,
                                          std::size_t recovery_reserve)

@@ -34,6 +34,8 @@ enum class AdmissionDecision {
   kReject,  ///< queue full: client must back off and retry
 };
 
+[[nodiscard]] std::string to_string(AdmissionDecision decision);
+
 /// Pure admission policy: a function of the server's occupancy, limits, and
 /// the request's traffic class. Kept separate from CheckpointServer so
 /// tests (and future policies — per-job quotas, bytes-in-flight caps) can

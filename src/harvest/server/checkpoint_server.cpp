@@ -162,6 +162,11 @@ SubmitOutcome CheckpointServer::submit(const ServerTransferRequest& request,
                                      request.job_id, request.megabytes,
                                      kServerTraceTrack);
     }
+    if (config_.spans != nullptr) {
+      config_.spans->record_rejected(
+          request.job_id, static_cast<std::uint32_t>(config_.shard_index),
+          static_cast<std::uint8_t>(request.kind), now);
+    }
     return {SubmitStatus::kRejected, 0};
   }
 
@@ -224,6 +229,7 @@ ServerRemoval CheckpointServer::remove(TransferId id, double now) {
                                       a.start_s, clock_ - a.start_s, a.job_id,
                                       removal.moved_mb, kServerTraceTrack);
     }
+    record_span(a, clock_, removal.moved_mb, /*completed=*/false);
     active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
     set_queue_gauges();
     promote_eligible();
@@ -234,6 +240,7 @@ ServerRemoval CheckpointServer::remove(TransferId id, double now) {
     removal.found = true;
     ++stats_.interrupted;
     metrics().interrupted.add();
+    record_waiting_span(waiting_[i], clock_);
     waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
     set_queue_gauges();
     return removal;
@@ -271,6 +278,7 @@ void CheckpointServer::drain_to(double t) {
                                           done.job_id, done.megabytes,
                                           kServerTraceTrack);
         }
+        record_span(a, clock_, a.megabytes, /*completed=*/true);
         done_buffer_.push_back(done);
         active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
@@ -308,6 +316,18 @@ void CheckpointServer::promote_eligible() {
     }
     if (eligible.empty()) break;
     const std::size_t pick = index[scheduler_->pick_next(eligible, clock_)];
+    if (config_.spans != nullptr) {
+      // Every eligible transfer NOT picked just lost a scheduling decision:
+      // from here on its wait is the policy's choice, not lack of capacity.
+      // Stamping the first such instant is what lets the span layer split
+      // queue wait into admission-queue vs scheduler-queue exactly. Pure
+      // bookkeeping — no effect on behaviour when spans are disabled.
+      for (const std::size_t i : index) {
+        if (i == pick || waiting_[i].passed_over) continue;
+        waiting_[i].passed_over = true;
+        waiting_[i].first_pass_s = clock_;
+      }
+    }
     Pending pending = std::move(waiting_[pick]);
     waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(pick));
     start_service(std::move(pending));
@@ -348,7 +368,10 @@ void CheckpointServer::start_service(Pending pending) {
   a.megabytes = pending.megabytes;
   a.remaining_mb = pending.megabytes;
   a.arrival_s = pending.sched.arrival_s;
+  a.eligible_s = pending.sched.eligible_s;
   a.start_s = clock_;
+  a.passed_over = pending.passed_over;
+  a.first_pass_s = pending.first_pass_s;
   a.kind = pending.sched.kind;
   ++stats_.started;
   stats_.total_wait_s += a.start_s - a.arrival_s;
@@ -372,6 +395,49 @@ double CheckpointServer::pending_mb() const {
 void CheckpointServer::set_queue_gauges() {
   metrics().queue_depth.set(static_cast<double>(waiting_.size()));
   metrics().active.set(static_cast<double>(active_.size()));
+}
+
+void CheckpointServer::record_span(const Active& a, double end_s,
+                                   double moved_mb, bool completed) const {
+  if (config_.spans == nullptr) return;
+  obs::TransferTimings t;
+  t.transfer_id = a.id;
+  t.job_id = a.job_id;
+  t.shard = static_cast<std::uint32_t>(config_.shard_index);
+  t.kind = static_cast<std::uint8_t>(a.kind);
+  t.megabytes = a.megabytes;
+  t.moved_mb = moved_mb;
+  t.arrival_s = a.arrival_s;
+  t.eligible_s = a.eligible_s;
+  if (a.passed_over) t.first_pass_s = a.first_pass_s;
+  t.start_s = a.start_s;
+  t.end_s = end_s;
+  // Solo baseline for the bytes that actually moved: what the pipe would
+  // have taken with no one else on it. Dilation = observed service - solo.
+  t.solo_service_s = moved_mb / config_.capacity_mbps;
+  t.entered_service = true;
+  t.completed = completed;
+  config_.spans->record_transfer(t);
+}
+
+void CheckpointServer::record_waiting_span(const Pending& p,
+                                           double end_s) const {
+  if (config_.spans == nullptr) return;
+  obs::TransferTimings t;
+  t.transfer_id = p.sched.id;
+  t.job_id = p.job_id;
+  t.shard = static_cast<std::uint32_t>(config_.shard_index);
+  t.kind = static_cast<std::uint8_t>(p.sched.kind);
+  t.megabytes = p.megabytes;
+  t.moved_mb = 0.0;
+  t.arrival_s = p.sched.arrival_s;
+  t.eligible_s = p.sched.eligible_s;
+  if (p.passed_over) t.first_pass_s = p.first_pass_s;
+  t.end_s = end_s;
+  t.solo_service_s = 0.0;
+  t.entered_service = false;
+  t.completed = false;
+  config_.spans->record_transfer(t);
 }
 
 }  // namespace harvest::server

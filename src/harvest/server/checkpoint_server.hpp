@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "harvest/obs/span.hpp"
 #include "harvest/obs/tracer.hpp"
 #include "harvest/server/admission.hpp"
 #include "harvest/server/stagger.hpp"
@@ -76,6 +77,18 @@ struct ServerConfig {
   /// transfer whose value is the megabytes that actually moved. Runtime
   /// state like `seed`; see FleetConfig::materialize().
   obs::EventTracer* tracer = nullptr;
+  /// Optional causal span sink: every finished / interrupted / rejected
+  /// transfer reports its full lifecycle (arrival → stagger-eligible →
+  /// first losing scheduling decision → service start → end) so the store
+  /// can exactly partition the observed wait into named phases. Recording
+  /// is pure bookkeeping — no RNG, no decisions — so attaching a store
+  /// never changes simulation results. Runtime state like `seed`; see
+  /// FleetConfig::materialize().
+  obs::SpanStore* spans = nullptr;
+  /// Index of this server within its fleet, stamped onto spans so the
+  /// attribution report can break waits down per shard. Runtime state set
+  /// by FleetConfig::materialize(); 0 for a standalone server.
+  std::size_t shard_index = 0;
 };
 
 /// Self-validation: returns the configuration the server will actually
@@ -231,13 +244,24 @@ class CheckpointServer {
     double megabytes = 0.0;
     double remaining_mb = 0.0;
     double arrival_s = 0.0;
+    double eligible_s = 0.0;  ///< arrival + stagger defer
     double start_s = 0.0;
+    /// First losing scheduling decision (see Pending); carried through so
+    /// the completion span can split queue wait into capacity vs policy.
+    bool passed_over = false;
+    double first_pass_s = 0.0;
     TransferKind kind = TransferKind::kCheckpoint;
   };
   struct Pending {
     WaitingTransfer sched;  ///< what the scheduler sees
     std::uint64_t job_id = 0;
     double megabytes = 0.0;
+    /// Set the first time a slot was free, this transfer was eligible, and
+    /// the scheduler picked a different one — the boundary between
+    /// admission-queue wait (no capacity) and scheduler-queue wait (policy
+    /// chose someone else) in the span decomposition.
+    bool passed_over = false;
+    double first_pass_s = 0.0;
   };
 
   /// Drain internal events (completions, promotions) up to `t` and leave
@@ -252,6 +276,11 @@ class CheckpointServer {
   [[nodiscard]] std::optional<double> next_internal_event() const;
   void start_service(Pending pending);
   void set_queue_gauges();
+  /// Feed one finished or removed transfer to the configured span store
+  /// (no-op without one). `end_s` is the finish or removal instant.
+  void record_span(const Active& a, double end_s, double moved_mb,
+                   bool completed) const;
+  void record_waiting_span(const Pending& p, double end_s) const;
 
   ServerConfig config_;
   std::unique_ptr<TransferScheduler> scheduler_;

@@ -43,12 +43,15 @@ RoutingPolicy routing_from_string(const std::string& name) {
 
 ServerConfig FleetConfig::materialize(std::size_t shard_idx,
                                       std::uint64_t seed,
-                                      obs::EventTracer* tracer) const {
+                                      obs::EventTracer* tracer,
+                                      obs::SpanStore* spans) const {
   ServerConfig sc = server;
   // Shard 0 keeps the fleet seed verbatim: a 1-shard fleet must drive an
   // RNG stream bit-identical to a standalone server seeded with `seed`.
   sc.seed = shard_idx == 0 ? seed : mix64(seed ^ mix64(shard_idx));
   sc.tracer = tracer;
+  sc.spans = spans;
+  sc.shard_index = shard_idx;
   return sc;
 }
 
@@ -78,7 +81,7 @@ double FleetStats::imbalance_ratio() const {
 }
 
 ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed,
-                         obs::EventTracer* tracer)
+                         obs::EventTracer* tracer, obs::SpanStore* spans)
     : config_(config) {
   const auto v = config.validate();  // throws on hard errors
   (void)v;
@@ -86,7 +89,7 @@ ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed,
   shard_wait_s_.reserve(config.shards);
   for (std::size_t k = 0; k < config.shards; ++k) {
     shards_.push_back(std::make_unique<CheckpointServer>(
-        config.materialize(k, seed, tracer)));
+        config.materialize(k, seed, tracer, spans)));
     const std::string prefix = "server.fleet.shard" + std::to_string(k);
     auto& reg = obs::default_registry();
     shard_wait_s_.push_back(&reg.histogram(prefix + ".wait_s"));

@@ -67,10 +67,13 @@ struct FleetConfig {
   /// ServerConfig shard `shard_idx` actually runs with. `seed` is mixed
   /// with the shard index (shard 0 keeps `seed` verbatim, so a 1-shard
   /// fleet is bit-identical to a single server seeded with `seed`);
-  /// `tracer` is attached as-is. Everything else copies from `server`.
+  /// `tracer` and `spans` are attached as-is and `shard_index` is stamped,
+  /// so every shard reports into one fleet-wide span store with its own
+  /// shard label. Everything else copies from `server`.
   [[nodiscard]] ServerConfig materialize(std::size_t shard_idx,
                                          std::uint64_t seed,
-                                         obs::EventTracer* tracer) const;
+                                         obs::EventTracer* tracer,
+                                         obs::SpanStore* spans = nullptr) const;
 
   /// Shard-count/routing checks plus the per-shard ServerConfig's own
   /// validate() warnings. Throws std::invalid_argument on hard errors
@@ -91,10 +94,11 @@ struct FleetStats {
 
 class ServerFleet {
  public:
-  /// `seed`/`tracer` are the fleet-level runtime state each shard's config
-  /// is materialized from (see FleetConfig::materialize).
+  /// `seed`/`tracer`/`spans` are the fleet-level runtime state each
+  /// shard's config is materialized from (see FleetConfig::materialize).
   ServerFleet(const FleetConfig& config, std::uint64_t seed,
-              obs::EventTracer* tracer = nullptr);
+              obs::EventTracer* tracer = nullptr,
+              obs::SpanStore* spans = nullptr);
 
   /// Route and submit. The returned id is fleet-global (shard in the top
   /// bits); pass it back to remove(). Same monotone-time contract as

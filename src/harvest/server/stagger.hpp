@@ -21,6 +21,8 @@ class StormStaggerer {
   /// of previous arrivals this object has seen. Nonzero only when the
   /// request lands within `window_s` of the previous arrival. Call exactly
   /// once per submission (it advances the RNG and the arrival history).
+  /// The span layer attributes [arrival, arrival + defer) to the `stagger`
+  /// phase of the transfer's wait decomposition (obs/span.hpp).
   [[nodiscard]] double defer_s(double arrival_s);
 
   [[nodiscard]] double window_s() const { return window_s_; }

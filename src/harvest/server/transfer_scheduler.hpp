@@ -30,6 +30,12 @@
 //               the bulk of traffic in FIFO's stable feedback
 //               equilibrium.
 //
+// Each pick_next decision doubles as the span layer's attribution
+// boundary: an eligible transfer NOT picked while a slot was free has, from
+// that instant on, a wait that is the policy's choice rather than lack of
+// capacity — the server stamps that first losing decision and obs/span.hpp
+// splits queue wait into admission-queue vs scheduler-queue there.
+//
 // Traffic classes (admission.hpp) cut across every policy: waiting
 // RECOVERY transfers always enter service before waiting checkpoints —
 // a job that cannot recover is stalled outright, while a job that cannot

@@ -1,0 +1,163 @@
+// Pool-level span tracing: attaching a SpanStore must not change either
+// engine's results bit-for-bit, every attributed transfer's wait must
+// partition exactly, job roots must cover the run, and the contended
+// engine must surface backoff / rejection spans when admission pushes
+// back.
+#include "harvest/condor/pool_simulation.hpp"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/obs/span.hpp"
+
+namespace harvest::condor {
+namespace {
+
+std::vector<TimelinePool::MachineSpec> park(std::size_t n) {
+  std::vector<TimelinePool::MachineSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    TimelinePool::MachineSpec s;
+    s.id = "sp" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.5, 2500.0 + 300.0 * static_cast<double>(i % 7));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+PoolSimConfig contended_config() {
+  PoolSimConfig cfg;
+  cfg.job_count = 6;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 5;
+  cfg.server = server::ServerConfig{};
+  cfg.server->capacity_mbps = 12.0;
+  cfg.server->slots = 2;
+  return cfg;
+}
+
+void expect_identical(const PoolSimResult& a, const PoolSimResult& b) {
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.server.submitted, b.server.submitted);
+  EXPECT_EQ(a.server.completed, b.server.completed);
+  EXPECT_EQ(a.server.rejected, b.server.rejected);
+  EXPECT_DOUBLE_EQ(a.server.moved_mb, b.server.moved_mb);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].finished, b.jobs[i].finished);
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_s, b.jobs[i].completion_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].moved_mb, b.jobs[i].moved_mb);
+    EXPECT_DOUBLE_EQ(a.jobs[i].server_wait_s, b.jobs[i].server_wait_s);
+    EXPECT_EQ(a.jobs[i].evictions, b.jobs[i].evictions);
+  }
+}
+
+TEST(PoolSpans, ContendedEngineIsBitIdenticalWithSpansAttached) {
+  const auto plain = run_pool_simulation(park(24), contended_config());
+  obs::SpanStore store;
+  PoolSimConfig cfg = contended_config();
+  cfg.spans = &store;
+  const auto spanned = run_pool_simulation(park(24), cfg);
+  expect_identical(plain, spanned);
+  EXPECT_GT(store.report().total.transfers, 0u);
+}
+
+TEST(PoolSpans, ContendedPartitionIsExactAndTreeWellFormed) {
+  obs::SpanStore store;
+  PoolSimConfig cfg = contended_config();
+  cfg.spans = &store;
+  const auto res = run_pool_simulation(park(24), cfg);
+  const auto r = store.report();
+  EXPECT_LE(r.max_partition_error_s, 1e-9);
+  EXPECT_TRUE(store.verify().ok());
+  // Every server-side completion or interruption was attributed.
+  EXPECT_EQ(r.total.transfers,
+            res.server.completed + res.server.interrupted);
+  EXPECT_EQ(r.total.rejected, res.server.rejected);
+  EXPECT_NEAR(r.total.moved_mb, res.server.moved_mb, 1e-6);
+  // One root span per job, all closed by the end of the run.
+  std::size_t job_roots = 0;
+  for (const auto& s : store.spans()) {
+    if (s.phase == obs::SpanPhase::kJob) ++job_roots;
+  }
+  EXPECT_EQ(job_roots, res.jobs.size());
+}
+
+TEST(PoolSpans, AdmissionPushbackYieldsBackoffAndRejectionSpans) {
+  obs::SpanStore store;
+  PoolSimConfig cfg = contended_config();
+  cfg.server->slots = 1;
+  cfg.server->queue_limit = 0;  // every contender is bounced into backoff
+  cfg.spans = &store;
+  (void)run_pool_simulation(park(24), cfg);
+  const auto r = store.report();
+  EXPECT_GT(r.total.rejected, 0u);
+  EXPECT_GT(r.total.backoffs, 0u);
+  EXPECT_GT(r.total.backoff_s, 0.0);
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST(PoolSpans, UncontendedEngineIsBitIdenticalWithSpansAttached) {
+  PoolSimConfig cfg;
+  cfg.job_count = 5;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 11;
+  const auto plain = run_pool_simulation(park(20), cfg);
+  obs::SpanStore store;
+  cfg.spans = &store;
+  const auto spanned = run_pool_simulation(park(20), cfg);
+  EXPECT_DOUBLE_EQ(plain.makespan_s, spanned.makespan_s);
+  ASSERT_EQ(plain.jobs.size(), spanned.jobs.size());
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.jobs[i].completion_s,
+                     spanned.jobs[i].completion_s);
+    EXPECT_DOUBLE_EQ(plain.jobs[i].moved_mb, spanned.jobs[i].moved_mb);
+  }
+  // Uncontended transfers never wait: pure service phase, zero wait,
+  // trivially exact partition.
+  const auto r = store.report();
+  EXPECT_GT(r.total.transfers, 0u);
+  EXPECT_DOUBLE_EQ(r.total.wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.total.stagger_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_partition_error_s, 0.0);
+  EXPECT_GT(r.total.service_solo_s, 0.0);
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST(PoolSpans, FleetRunSplitsAttributionAcrossShards) {
+  obs::SpanStore store;
+  PoolSimConfig cfg;
+  cfg.job_count = 8;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 7;
+  server::FleetConfig fc;
+  fc.shards = 2;
+  fc.server.capacity_mbps = 12.0;
+  fc.server.slots = 2;
+  cfg.fleet = fc;
+  cfg.spans = &store;
+  const auto res = run_pool_simulation(park(24), cfg);
+  ASSERT_TRUE(res.server_enabled);
+  const auto r = store.report();
+  EXPECT_LE(r.max_partition_error_s, 1e-9);
+  ASSERT_EQ(r.by_shard.size(), res.fleet.shards.size());
+  std::uint64_t sum = 0;
+  double shard_mb = 0.0;
+  for (std::size_t i = 0; i < r.by_shard.size(); ++i) {
+    sum += r.by_shard[i].transfers;
+    shard_mb += r.by_shard[i].moved_mb;
+    // Per-shard span totals mirror the per-shard server ledger.
+    EXPECT_EQ(r.by_shard[i].transfers,
+              res.fleet.shards[i].completed + res.fleet.shards[i].interrupted);
+  }
+  EXPECT_EQ(sum, r.total.transfers);
+  EXPECT_NEAR(shard_mb, res.fleet.total.moved_mb, 1e-6);
+}
+
+}  // namespace
+}  // namespace harvest::condor

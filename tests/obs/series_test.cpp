@@ -217,6 +217,122 @@ TEST(SnapshotSeries, JsonlOneFramePerLine) {
   EXPECT_NE(jsonl.find("\"metrics\":{"), std::string::npos);
 }
 
+TEST(SnapshotSeries, CompactionRejectsBadOptions) {
+  SeriesCompaction comp;
+  comp.keep_recent = 8;  // >= max_frames
+  EXPECT_THROW(SnapshotSeries(1.0, 8, comp), std::invalid_argument);
+  comp.keep_recent = 4;
+  EXPECT_THROW(SnapshotSeries(1.0, 0, comp), std::invalid_argument);
+  comp.stride = 1;
+  EXPECT_THROW(SnapshotSeries(1.0, 8, comp), std::invalid_argument);
+  comp.stride = 2;
+  EXPECT_NO_THROW(SnapshotSeries(1.0, 8, comp));
+}
+
+TEST(SnapshotSeries, CompactionMergesOldFramesKeepingGroupLast) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("work");
+  SeriesCompaction comp;
+  comp.keep_recent = 4;
+  comp.stride = 2;
+  SnapshotSeries series(1.0, 8, comp);
+  for (int i = 0; i < 8; ++i) {
+    c.add(1);
+    series.sample(static_cast<double>(i), reg);
+  }
+  EXPECT_EQ(series.size(), 8u);
+  EXPECT_EQ(series.compacted(), 0u);
+  // 9th sample: the full ring compacts the oldest 4 frames (t = 0..3) into
+  // the group-last survivors t = 1 and t = 3, keeps the recent t = 4..7,
+  // then appends t = 8 — nothing is evicted outright.
+  c.add(1);
+  series.sample(8.0, reg);
+  EXPECT_EQ(series.size(), 7u);
+  EXPECT_EQ(series.compacted(), 2u);
+  EXPECT_EQ(series.evicted(), 0u);
+  const auto fs = series.frames();
+  ASSERT_EQ(fs.size(), 7u);
+  EXPECT_DOUBLE_EQ(fs[0].t_s, 1.0);
+  EXPECT_DOUBLE_EQ(fs[1].t_s, 3.0);
+  EXPECT_DOUBLE_EQ(fs[2].t_s, 4.0);
+  EXPECT_DOUBLE_EQ(fs.back().t_s, 8.0);
+  // Conservation: every frame ever cut is alive, merged, or evicted.
+  EXPECT_EQ(series.evicted() + series.compacted() + series.size(), 9u);
+}
+
+TEST(SnapshotSeries, CounterDeltasStayExactAcrossCompactedBoundaries) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("work");
+  SeriesCompaction comp;
+  comp.keep_recent = 4;
+  comp.stride = 2;
+  SnapshotSeries series(1.0, 8, comp);
+  // Frame i carries a distinct increment so merged deltas are detectable.
+  std::uint64_t total = 0;
+  for (int i = 0; i < 9; ++i) {
+    c.add(static_cast<std::uint64_t>(i + 1));
+    total += static_cast<std::uint64_t>(i + 1);
+    series.sample(static_cast<double>(i), reg);
+  }
+  ASSERT_GT(series.compacted(), 0u);
+  const auto pts = series.counter_series("work");
+  ASSERT_GE(pts.size(), 3u);
+  // The survivor boundary t=1 → t=3 spans two raw frames; its delta is the
+  // SUM of the merged per-frame increments (3 + 4), and its rate uses the
+  // widened dt — cumulative snapshots make compaction lossless for deltas.
+  EXPECT_DOUBLE_EQ(pts[0].t_s, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].t_s, 3.0);
+  EXPECT_DOUBLE_EQ(pts[1].delta, 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(pts[1].rate, (3.0 + 4.0) / 2.0);
+  // Sum of surviving deltas reproduces the total counter movement since
+  // the first surviving frame.
+  double sum = 0.0;
+  for (const auto& p : pts) sum += p.delta;
+  EXPECT_DOUBLE_EQ(sum + pts.front().value, static_cast<double>(total));
+}
+
+TEST(SnapshotSeries, RepeatedCompactionCoarsensTheTail) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("work");
+  SeriesCompaction comp;
+  comp.keep_recent = 2;
+  comp.stride = 2;
+  SnapshotSeries series(1.0, 4, comp);
+  for (int i = 0; i < 32; ++i) {
+    c.add(1);
+    series.sample(static_cast<double>(i), reg);
+  }
+  // The ring never outgrows its bound, nothing is evicted outright, and
+  // the conservation identity holds through many compaction rounds.
+  EXPECT_LE(series.size(), 4u);
+  EXPECT_EQ(series.evicted(), 0u);
+  EXPECT_EQ(series.evicted() + series.compacted() + series.size(), 32u);
+  // Newest frame is always intact, and deltas still telescope exactly.
+  const auto fs = series.frames();
+  EXPECT_DOUBLE_EQ(fs.back().t_s, 31.0);
+  const auto pts = series.counter_series("work");
+  double sum = 0.0;
+  for (const auto& p : pts) sum += p.delta;
+  EXPECT_DOUBLE_EQ(sum + pts.front().value, 32.0);
+}
+
+TEST(SnapshotSeries, CompactionClearResetsCounters) {
+  MetricsRegistry reg;
+  SeriesCompaction comp;
+  comp.keep_recent = 2;
+  comp.stride = 2;
+  SnapshotSeries series(1.0, 4, comp);
+  for (int i = 0; i < 12; ++i) series.sample(static_cast<double>(i), reg);
+  ASSERT_GT(series.compacted(), 0u);
+  series.clear();
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_EQ(series.compacted(), 0u);
+  EXPECT_EQ(series.evicted(), 0u);
+  // The policy survives clear(): refilling compacts again.
+  for (int i = 0; i < 12; ++i) series.sample(static_cast<double>(i), reg);
+  EXPECT_GT(series.compacted(), 0u);
+}
+
 TEST(SnapshotSeries, ClearResetsFramesButKeepsConfig) {
   MetricsRegistry reg;
   SnapshotSeries series(5.0, 8);

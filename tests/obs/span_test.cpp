@@ -1,0 +1,238 @@
+// SpanStore unit behavior: the attribute() wait decomposition (exact
+// partition, pass-over boundary, truncation of removed transfers), job-root
+// lifecycle, bounded-ring drops with eviction-proof aggregates, bounded
+// top-k, tree well-formedness, exports, and metrics wiring.
+#include "harvest/obs/span.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/obs/metrics.hpp"
+
+namespace harvest::obs {
+namespace {
+
+/// A fully populated lifecycle: staggered 2 s, passed over at t = 15,
+/// served 10 s of which 8 s was the solo transfer time.
+TransferTimings full_timings() {
+  TransferTimings t;
+  t.job_id = 1;
+  t.megabytes = 100.0;
+  t.moved_mb = 100.0;
+  t.arrival_s = 10.0;
+  t.eligible_s = 12.0;
+  t.first_pass_s = 15.0;
+  t.start_s = 20.0;
+  t.end_s = 30.0;
+  t.solo_service_s = 8.0;
+  t.entered_service = true;
+  t.completed = true;
+  return t;
+}
+
+TEST(SpanAttribute, PartitionsWaitExactly) {
+  const WaitBreakdown w = attribute(full_timings());
+  EXPECT_DOUBLE_EQ(w.stagger_s, 2.0);
+  EXPECT_DOUBLE_EQ(w.admission_queue_s, 3.0);
+  EXPECT_DOUBLE_EQ(w.scheduler_queue_s, 5.0);
+  EXPECT_DOUBLE_EQ(w.wait_s, 10.0);
+  EXPECT_DOUBLE_EQ(w.stagger_s + w.admission_queue_s + w.scheduler_queue_s,
+                   w.wait_s);
+  EXPECT_DOUBLE_EQ(w.service_s, 10.0);
+  EXPECT_DOUBLE_EQ(w.solo_s, 8.0);
+  EXPECT_DOUBLE_EQ(w.dilation_s, 2.0);
+}
+
+TEST(SpanAttribute, NeverPassedOverHasNoSchedulerWait) {
+  TransferTimings t = full_timings();
+  t.first_pass_s.reset();
+  const WaitBreakdown w = attribute(t);
+  // Without a losing scheduling decision the whole queue wait is capacity.
+  EXPECT_DOUBLE_EQ(w.admission_queue_s, 8.0);
+  EXPECT_DOUBLE_EQ(w.scheduler_queue_s, 0.0);
+  EXPECT_DOUBLE_EQ(w.stagger_s + w.admission_queue_s + w.scheduler_queue_s,
+                   w.wait_s);
+}
+
+TEST(SpanAttribute, RemovedWhileWaitingTruncatesTheChain) {
+  TransferTimings t = full_timings();
+  t.entered_service = false;
+  t.completed = false;
+  t.moved_mb = 0.0;
+  t.solo_service_s = 0.0;
+  t.end_s = 14.0;  // removed after eligibility, before any pass-over
+  t.first_pass_s.reset();
+  const WaitBreakdown w = attribute(t);
+  EXPECT_DOUBLE_EQ(w.stagger_s, 2.0);
+  EXPECT_DOUBLE_EQ(w.admission_queue_s, 2.0);
+  EXPECT_DOUBLE_EQ(w.scheduler_queue_s, 0.0);
+  EXPECT_DOUBLE_EQ(w.wait_s, 4.0);
+  EXPECT_DOUBLE_EQ(w.service_s, 0.0);
+  // Removed while still staggered: even the stagger phase clamps.
+  t.end_s = 11.0;
+  const WaitBreakdown w2 = attribute(t);
+  EXPECT_DOUBLE_EQ(w2.stagger_s, 1.0);
+  EXPECT_DOUBLE_EQ(w2.admission_queue_s, 0.0);
+  EXPECT_DOUBLE_EQ(w2.wait_s, 1.0);
+}
+
+TEST(SpanStore, TransferOpensJobRootAndChildrenTile) {
+  SpanStore store;
+  store.record_transfer(full_timings());
+  store.close_job(1, 40.0, /*finished=*/true);
+  const auto spans = store.spans();
+  // transfer + stagger + admission + scheduler + service + job root.
+  ASSERT_EQ(spans.size(), 6u);
+  const Span& transfer = spans[0];
+  EXPECT_EQ(transfer.phase, SpanPhase::kTransfer);
+  EXPECT_DOUBLE_EQ(transfer.start_s, 10.0);
+  EXPECT_DOUBLE_EQ(transfer.end_s, 30.0);
+  // Phase children tile [arrival, end) under the transfer span.
+  double cursor = transfer.start_s;
+  for (std::size_t i = 1; i + 1 < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].parent, transfer.id);
+    EXPECT_DOUBLE_EQ(spans[i].start_s, cursor);
+    cursor = spans[i].end_s;
+  }
+  EXPECT_DOUBLE_EQ(cursor, transfer.end_s);
+  const Span& job = spans.back();
+  EXPECT_EQ(job.phase, SpanPhase::kJob);
+  EXPECT_EQ(job.parent, 0u);
+  EXPECT_EQ(transfer.parent, job.id);
+  // The auto-opened root starts at the first transfer's arrival.
+  EXPECT_DOUBLE_EQ(job.start_s, 10.0);
+  EXPECT_DOUBLE_EQ(job.end_s, 40.0);
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST(SpanStore, ReopenedJobGetsAFreshRoot) {
+  SpanStore store;
+  store.open_job(7, 0.0);
+  store.close_job(7, 5.0, true);
+  store.open_job(7, 10.0);
+  store.close_job(7, 15.0, false);
+  const auto spans = store.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].id, spans[1].id);
+  EXPECT_TRUE(spans[0].ok);
+  EXPECT_FALSE(spans[1].ok);
+  // Closing an already-closed (or unknown) job is a no-op.
+  store.close_job(7, 20.0, true);
+  store.close_job(99, 20.0, true);
+  EXPECT_EQ(store.spans().size(), 2u);
+}
+
+TEST(SpanStore, RingDropsOldestButAggregatesSurviveEviction) {
+  SpanStoreOptions opts;
+  opts.capacity = 4;
+  SpanStore store(opts);
+  for (int i = 0; i < 10; ++i) {
+    TransferTimings t = full_timings();
+    t.job_id = static_cast<std::uint64_t>(i + 1);
+    t.arrival_s += i;
+    t.eligible_s += i;
+    *t.first_pass_s += i;
+    t.start_s += i;
+    t.end_s += i;
+    store.record_transfer(t);
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_GT(store.dropped(), 0u);
+  EXPECT_EQ(store.recorded(), store.dropped() + store.size());
+  // The report is folded at record time, so eviction cannot lose it.
+  const AttributionReport r = store.report();
+  EXPECT_EQ(r.total.transfers, 10u);
+  EXPECT_EQ(r.total.completed, 10u);
+  EXPECT_DOUBLE_EQ(r.total.wait_s, 100.0);
+  EXPECT_DOUBLE_EQ(r.total.moved_mb, 1000.0);
+  EXPECT_LE(r.max_partition_error_s, 1e-9);
+}
+
+TEST(SpanStore, TopKKeepsTheSlowestSortedDescending) {
+  SpanStoreOptions opts;
+  opts.top_k = 2;
+  SpanStore store(opts);
+  for (int i = 0; i < 5; ++i) {
+    TransferTimings t = full_timings();
+    t.transfer_id = static_cast<std::uint64_t>(i + 1);
+    t.first_pass_s.reset();
+    t.start_s = t.eligible_s + static_cast<double>(i);  // wait grows with i
+    t.end_s = t.start_s + 8.0;
+    store.record_transfer(t);
+  }
+  const AttributionReport r = store.report();
+  ASSERT_EQ(r.slowest.size(), 2u);
+  EXPECT_EQ(r.slowest[0].transfer_id, 5u);
+  EXPECT_EQ(r.slowest[1].transfer_id, 4u);
+  EXPECT_GE(r.slowest[0].slowness_s(), r.slowest[1].slowness_s());
+}
+
+TEST(SpanStore, BackoffAndRejectedFoldIntoTotalsOnly) {
+  SpanStore store;
+  store.record_backoff(3, 100.0, 130.0, /*kind=*/0);
+  store.record_rejected(3, /*shard=*/2, /*kind=*/1, 130.0);
+  const AttributionReport r = store.report();
+  EXPECT_EQ(r.total.backoffs, 1u);
+  EXPECT_DOUBLE_EQ(r.total.backoff_s, 30.0);
+  EXPECT_EQ(r.total.rejected, 1u);
+  EXPECT_EQ(r.by_kind[0].backoffs, 1u);
+  EXPECT_EQ(r.by_kind[1].rejected, 1u);
+  ASSERT_GE(r.by_shard.size(), 3u);
+  EXPECT_EQ(r.by_shard[2].rejected, 1u);
+  // Neither contributes transfers (they precede / replace a lifecycle).
+  EXPECT_EQ(r.total.transfers, 0u);
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST(SpanStore, ExportsParseAndFlagDrops) {
+  SpanStoreOptions opts;
+  opts.capacity = 3;
+  SpanStore store(opts);
+  for (int i = 0; i < 3; ++i) store.record_transfer(full_timings());
+  const std::string jsonl = store.to_jsonl();
+  std::size_t lines = 0;
+  for (const char ch : jsonl) {
+    if (ch == '\n') ++lines;
+  }
+  // Every surviving span is one line, plus the meta line once dropping
+  // started (3 transfers x 5 spans >> capacity 3).
+  EXPECT_EQ(lines, store.size() + 1);
+  EXPECT_EQ(jsonl.rfind("{\"meta\":\"spans\"", 0), 0u);
+  EXPECT_NE(jsonl.find("\"phase\":"), std::string::npos);
+  const std::string chrome = store.to_chrome_trace();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  // The standalone Span::to_json matches the JSONL record shape.
+  const std::string one = store.spans().front().to_json();
+  EXPECT_EQ(one.rfind("{\"id\":", 0), 0u);
+  EXPECT_NE(one.find("\"dur_s\":"), std::string::npos);
+}
+
+TEST(SpanStore, MetricsCountRecordedTransfersAndRejections) {
+  MetricsRegistry reg;
+  SpanStoreOptions opts;
+  opts.capacity = 2;
+  SpanStore store(opts, &reg);
+  store.record_transfer(full_timings());
+  store.record_rejected(1, 0, 0, 31.0);
+  EXPECT_EQ(reg.counter("obs.span.recorded").value(), store.recorded());
+  EXPECT_EQ(reg.counter("obs.span.transfers").value(), 1u);
+  EXPECT_EQ(reg.counter("obs.span.rejected").value(), 1u);
+  EXPECT_EQ(reg.counter("obs.span.dropped").value(), store.dropped());
+}
+
+TEST(SpanStore, ClearResetsEverything) {
+  SpanStore store;
+  store.record_transfer(full_timings());
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.recorded(), 0u);
+  EXPECT_EQ(store.report().total.transfers, 0u);
+  EXPECT_DOUBLE_EQ(store.max_partition_error_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace harvest::obs

@@ -140,6 +140,47 @@ TEST(PlannerService, StatsAndMetricsCount) {
   EXPECT_EQ(reports, 20u);
 }
 
+TEST(PlannerService, IdleTtlRequiresSweepCadence) {
+  PlannerServiceOptions opts = weibull_options();
+  opts.idle_ttl_reports = 8;
+  opts.evict_sweep_every = 0;
+  EXPECT_THROW(PlannerService{opts}, std::invalid_argument);
+}
+
+TEST(PlannerService, IdleTtlEvictsStaleFitterState) {
+  PlannerServiceOptions opts = weibull_options();
+  opts.machine_shards = 1;       // one shard: every sweep scans everything
+  opts.idle_ttl_reports = 4;     // stale after 4 reports without one
+  opts.evict_sweep_every = 1;    // sweep on every report
+  obs::MetricsRegistry registry;
+  PlannerService s(opts, &registry);
+  feed(s, "stale", 5, 1);   // report seq 1..5
+  feed(s, "live", 10, 2);   // seq 6..15: at seq 10, 10 - 5 > 4 → evicted
+  EXPECT_EQ(s.get_plan("stale").status, PlanStatus::kUnknownMachine);
+  EXPECT_EQ(s.get_plan("live").status, PlanStatus::kOk);
+  const auto stats = s.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.machines, 1u);
+  EXPECT_EQ(registry.counter("plan.evicted").value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge("plan.machines").value(), 1.0);
+  // Reporting again recreates the machine from scratch (fresh fitter).
+  feed(s, "stale", 1, 3);
+  const auto again = s.get_plan("stale");
+  EXPECT_NE(again.status, PlanStatus::kUnknownMachine);
+  EXPECT_EQ(again.observations, 1u);
+  EXPECT_EQ(s.stats().machines, 2u);
+}
+
+TEST(PlannerService, IdleTtlDisabledKeepsStateForever) {
+  PlannerServiceOptions opts = weibull_options();
+  opts.machine_shards = 1;  // idle_ttl_reports stays 0 (default: never)
+  PlannerService s(opts);
+  feed(s, "old", 5, 1);
+  feed(s, "busy", 5000, 2);
+  EXPECT_EQ(s.get_plan("old").observations, 5u);
+  EXPECT_EQ(s.stats().evictions, 0u);
+}
+
 // Shard-map smoke: concurrent reporters and plan readers on overlapping
 // machines must neither crash nor lose reports.
 TEST(PlannerService, ConcurrentReportAndGetPlan) {

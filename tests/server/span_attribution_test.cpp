@@ -1,0 +1,281 @@
+// End-to-end wait attribution through the real server: the span store's
+// breakdown of each transfer's wait into stagger / admission-queue /
+// scheduler-queue must match hand-computed values for FIFO scenarios, mark
+// the pass-over boundary when policy (not capacity) makes a transfer wait,
+// truncate removed transfers, and hold the exact-partition invariant
+// across a policy x stagger x traffic-class sweep and a sharded fleet.
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/obs/span.hpp"
+#include "harvest/server/checkpoint_server.hpp"
+#include "harvest/server/fleet.hpp"
+
+namespace harvest::server {
+namespace {
+
+ServerConfig spanned_config(obs::SpanStore* spans) {
+  ServerConfig cfg;
+  cfg.capacity_mbps = 10.0;
+  cfg.slots = 1;
+  cfg.queue_limit = 16;
+  cfg.policy = SchedulerPolicy::kFifo;
+  cfg.spans = spans;
+  return cfg;
+}
+
+void drain_all(CheckpointServer& server) {
+  while (const auto next = server.next_event_s()) {
+    (void)server.advance_to(*next);
+  }
+}
+
+void drain_all(ServerFleet& fleet) {
+  while (const auto next = fleet.next_event_s()) {
+    (void)fleet.advance_to(*next);
+  }
+}
+
+/// The report's breakdown entry for `job_id` (top_k default holds all of
+/// these small workloads).
+std::optional<obs::SlowTransfer> entry_for(const obs::SpanStore& store,
+                                           std::uint64_t job_id) {
+  for (const auto& s : store.report().slowest) {
+    if (s.job_id == job_id) return s;
+  }
+  return std::nullopt;
+}
+
+TEST(SpanAttribution, FifoSplitsCapacityWaitFromPolicyWait) {
+  obs::SpanStore store;
+  CheckpointServer server(spanned_config(&store));
+  (void)server.submit({1, 500.0}, 0.0);  // serves [0, 50) alone
+  (void)server.submit({2, 100.0}, 0.0);  // queued; picked first at t = 50
+  (void)server.submit({3, 100.0}, 0.0);  // passed over at t = 50
+  drain_all(server);
+
+  const auto t1 = entry_for(store, 1);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_DOUBLE_EQ(t1->w.wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(t1->w.service_s, 50.0);
+  EXPECT_DOUBLE_EQ(t1->w.dilation_s, 0.0);  // slots=1: always solo
+
+  // T2 was never passed over: its whole 50 s wait is lack of capacity.
+  const auto t2 = entry_for(store, 2);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_DOUBLE_EQ(t2->w.admission_queue_s, 50.0);
+  EXPECT_DOUBLE_EQ(t2->w.scheduler_queue_s, 0.0);
+  EXPECT_DOUBLE_EQ(t2->w.wait_s, 50.0);
+
+  // T3 lost the t = 50 decision to T2: from that instant its wait is the
+  // policy's choice, not capacity.
+  const auto t3 = entry_for(store, 3);
+  ASSERT_TRUE(t3.has_value());
+  EXPECT_DOUBLE_EQ(t3->w.admission_queue_s, 50.0);
+  EXPECT_DOUBLE_EQ(t3->w.scheduler_queue_s, 10.0);
+  EXPECT_DOUBLE_EQ(t3->w.wait_s, 60.0);
+
+  EXPECT_DOUBLE_EQ(store.max_partition_error_s(), 0.0);
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST(SpanAttribution, StaggerDeferralIsItsOwnPhase) {
+  obs::SpanStore store;
+  ServerConfig cfg = spanned_config(&store);
+  cfg.slots = 4;  // no queueing: any wait must be the staggerer's
+  cfg.stagger_window_s = 30.0;
+  CheckpointServer server(cfg);
+  (void)server.submit({1, 100.0}, 0.0);
+  const auto second = server.submit({2, 100.0}, 1.0);
+  EXPECT_EQ(second.status, SubmitStatus::kDeferred);
+  drain_all(server);
+
+  const auto t2 = entry_for(store, 2);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_GT(t2->w.stagger_s, 0.0);
+  EXPECT_DOUBLE_EQ(t2->w.admission_queue_s, 0.0);
+  EXPECT_DOUBLE_EQ(t2->w.scheduler_queue_s, 0.0);
+  EXPECT_DOUBLE_EQ(t2->w.wait_s, t2->w.stagger_s);
+  EXPECT_DOUBLE_EQ(store.max_partition_error_s(), 0.0);
+}
+
+TEST(SpanAttribution, RecoveryClassJumpMarksThePassedOverCheckpoint) {
+  obs::SpanStore store;
+  CheckpointServer server(spanned_config(&store));
+  (void)server.submit({1, 500.0}, 0.0);  // serves [0, 50)
+  (void)server.submit({2, 100.0}, 0.0);  // checkpoint, FIFO-first in queue
+  ServerTransferRequest recovery;
+  recovery.job_id = 3;
+  recovery.megabytes = 100.0;
+  recovery.kind = TransferKind::kRecovery;
+  (void)server.submit(recovery, 1.0);
+  drain_all(server);
+
+  // The recovery outranks the earlier checkpoint at t = 50, so the
+  // checkpoint's extra 10 s wait is attributed to the scheduler, not to
+  // capacity.
+  const auto ckpt = entry_for(store, 2);
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_DOUBLE_EQ(ckpt->w.admission_queue_s, 50.0);
+  EXPECT_DOUBLE_EQ(ckpt->w.scheduler_queue_s, 10.0);
+  const auto rec = entry_for(store, 3);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_DOUBLE_EQ(rec->w.wait_s, 49.0);
+  EXPECT_DOUBLE_EQ(rec->w.scheduler_queue_s, 0.0);
+  const auto r = store.report();
+  EXPECT_EQ(r.by_kind[1].transfers, 1u);
+  EXPECT_EQ(r.by_kind[0].transfers, 2u);
+  EXPECT_DOUBLE_EQ(store.max_partition_error_s(), 0.0);
+}
+
+TEST(SpanAttribution, RemovedTransfersTruncateTheirChains) {
+  obs::SpanStore store;
+  CheckpointServer server(spanned_config(&store));
+  const auto a = server.submit({1, 500.0}, 0.0);
+  (void)server.submit({2, 100.0}, 0.0);
+  const auto c = server.submit({3, 100.0}, 0.0);
+  // T3 evicted while still waiting: its whole 5 s is queue wait, no
+  // service phase.
+  (void)server.advance_to(5.0);
+  ASSERT_TRUE(server.remove(c.id, 5.0).found);
+  // T1 evicted mid-service at t = 10 with 100 MB on the wire.
+  const auto removal = server.remove(a.id, 10.0);
+  ASSERT_TRUE(removal.was_active);
+  EXPECT_DOUBLE_EQ(removal.moved_mb, 100.0);
+  drain_all(server);
+
+  const auto waiting = entry_for(store, 3);
+  ASSERT_TRUE(waiting.has_value());
+  EXPECT_FALSE(waiting->completed);
+  EXPECT_DOUBLE_EQ(waiting->w.wait_s, 5.0);
+  EXPECT_DOUBLE_EQ(waiting->w.service_s, 0.0);
+  const auto active = entry_for(store, 1);
+  ASSERT_TRUE(active.has_value());
+  EXPECT_FALSE(active->completed);
+  EXPECT_DOUBLE_EQ(active->w.service_s, 10.0);
+  EXPECT_DOUBLE_EQ(active->w.solo_s, 10.0);  // 100 MB moved / 10 MB/s
+  // T2 inherits the freed slot at t = 10 and completes.
+  const auto survivor = entry_for(store, 2);
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_TRUE(survivor->completed);
+  EXPECT_DOUBLE_EQ(survivor->w.wait_s, 10.0);
+  const auto r = store.report();
+  EXPECT_EQ(r.total.transfers, 3u);
+  EXPECT_EQ(r.total.interrupted, 2u);
+  EXPECT_EQ(r.total.completed, 1u);
+  EXPECT_DOUBLE_EQ(store.max_partition_error_s(), 0.0);
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST(SpanAttribution, RejectionRecordsAZeroLengthSpan) {
+  obs::SpanStore store;
+  ServerConfig cfg = spanned_config(&store);
+  cfg.queue_limit = 0;
+  CheckpointServer server(cfg);
+  (void)server.submit({1, 500.0}, 0.0);
+  const auto bounced = server.submit({2, 100.0}, 1.0);
+  EXPECT_EQ(bounced.status, SubmitStatus::kRejected);
+  drain_all(server);
+  EXPECT_EQ(store.report().total.rejected, 1u);
+  bool saw_rejected = false;
+  for (const auto& s : store.spans()) {
+    if (s.phase == obs::SpanPhase::kRejected) {
+      saw_rejected = true;
+      EXPECT_EQ(s.job_id, 2u);
+      EXPECT_DOUBLE_EQ(s.duration_s(), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_rejected);
+}
+
+// Property sweep: whatever the policy, staggering, traffic mix, and
+// mid-flight evictions do, every attributed transfer's phases partition
+// its wait to 1e-9 and the span tree stays well-formed.
+TEST(SpanAttribution, PartitionHoldsAcrossPolicyStaggerClassSweep) {
+  const SchedulerPolicy policies[] = {SchedulerPolicy::kFifo,
+                                      SchedulerPolicy::kFair,
+                                      SchedulerPolicy::kUrgency};
+  for (const auto policy : policies) {
+    for (const double window : {0.0, 45.0}) {
+      obs::SpanStore store;
+      ServerConfig cfg = spanned_config(&store);
+      cfg.policy = policy;
+      cfg.slots = 2;
+      cfg.queue_limit = 8;  // small enough that the sweep also rejects
+      cfg.stagger_window_s = window;
+      CheckpointServer server(cfg);
+      std::vector<TransferId> ids;
+      std::uint64_t rejected = 0;
+      for (std::uint64_t i = 0; i < 40; ++i) {
+        ServerTransferRequest req;
+        req.job_id = i;
+        req.megabytes = 50.0 + 37.0 * static_cast<double>(i % 5);
+        req.kind =
+            i % 3 == 0 ? TransferKind::kRecovery : TransferKind::kCheckpoint;
+        req.predicted_remaining_s =
+            i % 4 == 0 ? 60.0 : std::numeric_limits<double>::infinity();
+        // Four near-simultaneous submissions per wave to provoke storms.
+        const auto out =
+            server.submit(req, static_cast<double>(i / 4) * 10.0);
+        if (out.status == SubmitStatus::kRejected) {
+          ++rejected;
+        } else {
+          ids.push_back(out.id);
+        }
+      }
+      // Evict a scattering of transfers wherever they are by now.
+      for (std::size_t i = 0; i < ids.size(); i += 5) {
+        (void)server.remove(ids[i], 120.0);
+      }
+      drain_all(server);
+
+      const auto r = store.report();
+      EXPECT_LE(r.max_partition_error_s, 1e-9)
+          << to_string(policy) << " window=" << window;
+      EXPECT_TRUE(store.verify().ok());
+      EXPECT_EQ(r.total.transfers + r.total.rejected, 40u);
+      EXPECT_EQ(r.total.rejected, rejected);
+      EXPECT_EQ(r.total.transfers,
+                r.total.completed + r.total.interrupted);
+      // The span ledger and the server ledger agree on bytes moved.
+      EXPECT_NEAR(r.total.moved_mb, server.stats().moved_mb, 1e-9);
+      if (window > 0.0) EXPECT_GT(r.total.stagger_s, 0.0);
+    }
+  }
+}
+
+TEST(SpanAttribution, FleetStampsShardsIntoOneStore) {
+  obs::SpanStore store;
+  FleetConfig fc;
+  fc.shards = 4;
+  fc.routing = RoutingPolicy::kStatic;
+  fc.server.capacity_mbps = 10.0;
+  fc.server.slots = 1;
+  ServerFleet fleet(fc, /*seed=*/0x5eed, nullptr, &store);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ServerTransferRequest req;
+    req.job_id = i;
+    req.megabytes = 120.0;
+    req.machine_index = static_cast<std::size_t>(i);  // round-robin shards
+    (void)fleet.submit(req, static_cast<double>(i));
+  }
+  drain_all(fleet);
+  const auto r = store.report();
+  EXPECT_EQ(r.total.transfers, 16u);
+  ASSERT_EQ(r.by_shard.size(), 4u);
+  std::uint64_t sum = 0;
+  for (const auto& shard : r.by_shard) {
+    EXPECT_EQ(shard.transfers, 4u);  // static routing: i % 4
+    sum += shard.transfers;
+  }
+  EXPECT_EQ(sum, r.total.transfers);
+  EXPECT_LE(r.max_partition_error_s, 1e-9);
+  EXPECT_TRUE(store.verify().ok());
+}
+
+}  // namespace
+}  // namespace harvest::server
