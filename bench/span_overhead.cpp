@@ -177,7 +177,9 @@ int main(int argc, char** argv) {
     };
     table.add_row({std::to_string(s.transfer_id), std::to_string(s.job_id),
                    std::to_string(s.shard),
-                   s.kind == 1 ? "recovery" : "checkpoint",
+                   s.kind == 1   ? "recovery"
+                   : s.kind == 2 ? "proactive"
+                                 : "checkpoint",
                    num(s.megabytes), num(s.slowness_s()), num(s.w.stagger_s),
                    num(s.w.admission_queue_s), num(s.w.scheduler_queue_s),
                    num(s.w.dilation_s)});

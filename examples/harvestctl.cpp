@@ -16,6 +16,11 @@
 //       checkpoint servers (1 shard unless --fleet-shards says otherwise).
 //       --timeline <out.csv> dumps the per-interval fleet telemetry
 //       (cadence --snapshot-every seconds, default 600).
+//       --trace-spans <out> dumps the causal span tree of every transfer
+//       (JSONL when the path ends in .jsonl, Chrome trace otherwise).
+//       --predict-p/--predict-r/--predict-window attach a fault-prediction
+//       oracle (precision, recall, window seconds) and enable proactive
+//       checkpointing on its alerts.
 //
 // Global flags (any subcommand):
 //   --metrics-json <path>   write the default metrics registry snapshot
@@ -35,8 +40,10 @@
 #include "harvest/core/prediction.hpp"
 #include "harvest/fit/model_select.hpp"
 #include "harvest/obs/metrics.hpp"
+#include "harvest/obs/span.hpp"
 #include "harvest/obs/timer.hpp"
 #include "harvest/obs/tracer.hpp"
+#include "harvest/predict/failure_predictor.hpp"
 #include "harvest/server/cli_options.hpp"
 #include "harvest/sim/experiment.hpp"
 #include "harvest/stats/summary.hpp"
@@ -76,6 +83,12 @@ int usage() {
       "  --timeline <path>      write the per-interval fleet telemetry CSV\n"
       "  --snapshot-every <s>   telemetry cadence in simulated seconds\n"
       "                         (default 600 when --timeline is given)\n"
+      "  --trace-spans <path>   write the causal transfer spans (JSONL when\n"
+      "                         the path ends in .jsonl, Chrome trace else)\n"
+      "  --predict-p <p>        fault-predictor precision in (0,1]\n"
+      "  --predict-r <r>        fault-predictor recall in [0,1]\n"
+      "  --predict-window <s>   prediction window in seconds (default 1800;\n"
+      "                         any --predict-* flag enables the predictor)\n"
       "%s",
       server::CliOptions::help_text().c_str());
   return 2;
@@ -252,6 +265,10 @@ int cmd_predict(int argc, char** argv) {
 int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
   const std::string timeline_path = strip_path_flag(argc, argv, "timeline");
   const std::string every_str = strip_path_flag(argc, argv, "snapshot-every");
+  const std::string spans_path = strip_path_flag(argc, argv, "trace-spans");
+  const std::string predict_p = strip_path_flag(argc, argv, "predict-p");
+  const std::string predict_r = strip_path_flag(argc, argv, "predict-r");
+  const std::string predict_w = strip_path_flag(argc, argv, "predict-window");
   if (argc < 6) return usage();
   const auto traces = trace::load_traces_csv(argv[2]);
   const auto family = core::model_family_from_string(argv[3]);
@@ -270,6 +287,16 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
                  "--snapshot-every\n");
     return 2;
   }
+  if (!predict_p.empty() || !predict_r.empty() || !predict_w.empty()) {
+    predict::PredictorConfig pc;
+    if (!predict_p.empty()) pc.precision = std::atof(predict_p.c_str());
+    if (!predict_r.empty()) pc.recall = std::atof(predict_r.c_str());
+    if (!predict_w.empty()) pc.window_s = std::atof(predict_w.c_str());
+    pc.validate();  // invalid values surface as a CLI error in main()
+    cfg.predictor = pc;
+  }
+  obs::SpanStore span_store;
+  if (!spans_path.empty()) cfg.spans = &span_store;
 
   // The pool emulation needs a generating law per machine; fit one from
   // each machine's monitor history (Weibull captures the pool's shape).
@@ -311,6 +338,16 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
   std::printf("network:         %.1f GB\n", res.total_moved_mb() / 1024.0);
   std::printf("evictions:       %zu\n", res.total_evictions());
   std::printf("lost work:       %.1f h\n", res.total_lost_work_s() / 3600.0);
+  if (res.predictor_enabled) {
+    std::printf("predictor:       %llu events, observed p %.2f / r %.2f "
+                "(%llu false alerts, %llu missed)\n",
+                static_cast<unsigned long long>(res.predictor.events),
+                res.predictor.observed_precision(),
+                res.predictor.observed_recall(),
+                static_cast<unsigned long long>(res.predictor.false_alerts),
+                static_cast<unsigned long long>(res.predictor.missed));
+    std::printf("proactive ckpts: %zu\n", res.total_proactive_checkpoints());
+  }
   if (res.server_enabled) {
     const auto& fc = *cfg.fleet;
     const auto effective = fc.validate().effective;
@@ -336,6 +373,12 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
     std::printf("  recovery:      %llu submitted, mean wait %.1f s\n",
                 static_cast<unsigned long long>(rec.submitted),
                 rec.mean_wait_s());
+    if (res.predictor_enabled) {
+      const auto& pro = res.server.of(server::TransferKind::kProactive);
+      std::printf("  proactive:     %llu submitted, mean wait %.1f s\n",
+                  static_cast<unsigned long long>(pro.submitted),
+                  pro.mean_wait_s());
+    }
     if (fc.shards > 1) {
       std::printf("  imbalance:     %.2fx (max shard MB / mean shard MB)\n",
                   res.fleet.imbalance_ratio());
@@ -346,6 +389,21 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
     std::printf("timeline:        %zu frames x %.0f s -> %s\n",
                 res.timeline.size(), cfg.snapshot_every_s,
                 timeline_path.c_str());
+  }
+  if (!spans_path.empty()) {
+    const std::string suffix = ".jsonl";
+    const bool jsonl =
+        spans_path.size() >= suffix.size() &&
+        spans_path.compare(spans_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0;
+    if (jsonl) {
+      span_store.write_jsonl(spans_path);
+    } else {
+      span_store.write_chrome_trace(spans_path);
+    }
+    std::printf("spans:           %llu recorded -> %s (%s)\n",
+                static_cast<unsigned long long>(span_store.recorded()),
+                spans_path.c_str(), jsonl ? "jsonl" : "chrome trace");
   }
   return 0;
 }

@@ -41,6 +41,9 @@
 // usage: harvestd [flags]
 //   --port <n>            listen port (default 9188; 0 picks an ephemeral
 //                         port — the bound port is printed on stdout)
+//   --bind <addr>         IPv4 listen address (default 127.0.0.1; anything
+//                         else exposes the exporter beyond loopback and is
+//                         called out with a startup warning)
 //   --machines <n>        synthetic pool size (default 128)
 //   --jobs <n>            jobs per simulation (default 32)
 //   --work-hours <h>      work per job in hours (default 4)
@@ -80,6 +83,7 @@
 #include "harvest/obs/series.hpp"
 #include "harvest/obs/span.hpp"
 #include "harvest/plan/service.hpp"
+#include "harvest/predict/failure_predictor.hpp"
 #include "harvest/server/cli_options.hpp"
 #include "harvest/trace/synthetic.hpp"
 
@@ -96,12 +100,11 @@ void on_sighup(int) { g_reload.store(true); }
 int usage() {
   std::fprintf(
       stderr,
-      "usage: harvestd [--port n] [--machines n] [--jobs n] "
-      "[--work-hours h]\n"
-      "                [--family name] [--snapshot-every s] [--seed n]\n"
-      "                [--config path] [--once] [--tiny]\n"
-      "endpoints: /metrics /healthz /readyz /snapshot.json "
-      "/plan?machine=<id>\n"
+      "usage: harvestd [--port n] [--bind addr] [--machines n] [--jobs n]\n"
+      "                [--work-hours h] [--family name] [--snapshot-every s]\n"
+      "                [--seed n] [--config path] [--once] [--tiny]\n"
+      "endpoints: /metrics /healthz /readyz /snapshot.json\n"
+      "           /plan?machine=<id>[&p=&r=&window=]\n"
       "           /spans.json /attribution.json /history.json /config\n"
       "%s",
       server::CliOptions::help_text().c_str());
@@ -318,8 +321,12 @@ obs::HttpResponse spans_response(const obs::SpanStore& store,
   return {200, "application/json", w.str() + '\n'};
 }
 
-/// GET /plan?machine=<id>. Accepts the full machine id ("m0007") or a bare
-/// numeric index ("7", resolved to the pool's zero-padded id scheme).
+/// GET /plan?machine=<id>[&p=<precision>&r=<recall>&window=<s>]. Accepts
+/// the full machine id ("m0007") or a bare numeric index ("7", resolved to
+/// the pool's zero-padded id scheme). Supplying any predictor parameter
+/// switches to the prediction-aware plan (all three default sensibly:
+/// p 0.8, r 0.7, window 1800 s); the response then carries a "predictor"
+/// object and the schedule's work_s entries include the period stretch.
 obs::HttpResponse plan_response(plan::PlannerService& service,
                                 const std::string& target) {
   std::string id = query_param(target, "machine");
@@ -336,7 +343,23 @@ obs::HttpResponse plan_response(plan::PlannerService& service,
     padded << id;
     id = padded.str();
   }
-  plan::GetPlanResult res = service.get_plan(id);
+  const std::string p_s = query_param(target, "p");
+  const std::string r_s = query_param(target, "r");
+  const std::string window_s = query_param(target, "window");
+  std::optional<predict::PredictorConfig> predictor;
+  if (!p_s.empty() || !r_s.empty() || !window_s.empty()) {
+    predict::PredictorConfig pc;
+    if (!p_s.empty()) pc.precision = std::atof(p_s.c_str());
+    if (!r_s.empty()) pc.recall = std::atof(r_s.c_str());
+    if (!window_s.empty()) pc.window_s = std::atof(window_s.c_str());
+    try {
+      pc.validate();
+    } catch (const std::exception& e) {
+      return json_error(400, e.what());
+    }
+    predictor = pc;
+  }
+  plan::GetPlanResult res = service.get_plan(id, predictor);
   if (res.status == plan::PlanStatus::kUnknownMachine) {
     return json_error(404, "unknown machine '" + id + "'");
   }
@@ -358,6 +381,15 @@ obs::HttpResponse plan_response(plan::PlannerService& service,
   w.key("params").begin_array();
   for (const double p : res.plan->params) w.value(p);
   w.end_array();
+  if (res.plan->predictor_enabled) {
+    w.key("predictor")
+        .begin_object()
+        .field("precision", res.plan->predictor.precision)
+        .field("recall", res.plan->predictor.recall)
+        .field("window_s", res.plan->predictor.window_s)
+        .field("period_factor", res.plan->period_factor)
+        .end_object();
+  }
   w.key("cache")
       .begin_object()
       .field("hit", res.cache_hit)
@@ -422,6 +454,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string port_s = strip_value_flag(argc, argv, "port");
+  std::string bind_addr = strip_value_flag(argc, argv, "bind");
+  if (bind_addr.empty()) bind_addr = "127.0.0.1";
   const std::string machines_s = strip_value_flag(argc, argv, "machines");
   const std::string jobs_s = strip_value_flag(argc, argv, "jobs");
   const std::string hours_s = strip_value_flag(argc, argv, "work-hours");
@@ -509,6 +543,13 @@ int main(int argc, char** argv) {
   // config's own (previously dropped on the default 4-shard path) — once
   // at startup, and keep the count scrapeable.
   std::vector<std::string> startup_warnings = server_opts.warnings();
+  if (bind_addr != "127.0.0.1") {
+    startup_warnings.push_back(
+        "--bind " + bind_addr +
+        " exposes the exporter beyond loopback; it serves plaintext HTTP "
+        "with no authentication — front it with a firewall or reverse "
+        "proxy");
+  }
   const server::ServerConfigValidation fleet_validation =
       cfg.fleet->validate();
   startup_warnings.insert(startup_warnings.end(),
@@ -598,15 +639,15 @@ int main(int argc, char** argv) {
     return endpoints.respond(target);
   });
   try {
-    http.bind(static_cast<std::uint16_t>(port));
+    http.bind(bind_addr, static_cast<std::uint16_t>(port));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "harvestd: %s\n", e.what());
     return 1;
   }
   http.start();
   // CI parses this line to learn the ephemeral port; keep it first and
-  // flushed.
-  std::printf("harvestd: listening on 127.0.0.1:%u\n",
+  // flushed (on the default bind it reads "listening on 127.0.0.1:<port>").
+  std::printf("harvestd: listening on %s:%u\n", http.address().c_str(),
               static_cast<unsigned>(http.port()));
   std::fflush(stdout);
 

@@ -15,6 +15,7 @@
 #include "harvest/numerics/rng.hpp"
 #include "harvest/obs/metrics.hpp"
 #include "harvest/obs/timer.hpp"
+#include "harvest/predict/proactive_policy.hpp"
 
 namespace harvest::condor {
 
@@ -60,6 +61,12 @@ double PoolSimResult::total_lost_work_s() const {
   double s = 0.0;
   for (const auto& j : jobs) s += j.lost_work_s;
   return s;
+}
+
+std::size_t PoolSimResult::total_proactive_checkpoints() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.proactive_checkpoints;
+  return n;
 }
 
 std::string timeline_csv(const std::vector<PoolTimelineFrame>& timeline) {
@@ -283,6 +290,7 @@ PlacementOutcome run_placement(std::size_t job_id, double start,
                                double remaining_work, bool has_checkpoint,
                                const dist::DistributionPtr& model,
                                const PoolSimConfig& cfg, numerics::Rng& rng,
+                               predict::FailurePredictor* predictor,
                                PoolSimJobStats& stats,
                                double& remaining_work_out,
                                bool& has_checkpoint_out) {
@@ -290,6 +298,18 @@ PlacementOutcome run_placement(std::size_t job_id, double start,
   double uptime = uptime_at_start;
   double measured_cost =
       cfg.link.expected_transfer_seconds(cfg.checkpoint_size_mb);
+
+  // Fault-prediction scenario: the oracle sees this placement's hidden
+  // reclamation instant (the spell end) and emits its alerts up front; the
+  // walk below consults them through the window-aware proactive rule. The
+  // policy only ever sees alert times — never Alert::truth.
+  std::vector<predict::Alert> alerts;
+  std::optional<predict::ProactivePolicy> policy;
+  if (predictor != nullptr && eviction_time > now) {
+    alerts = predictor->alerts_for_spell(now, eviction_time);
+    policy.emplace(predictor->config());
+  }
+  std::size_t alert_idx = 0;
 
   struct Transfer {
     double duration;  ///< elapsed wire time (cut at budget if interrupted)
@@ -310,11 +330,12 @@ PlacementOutcome run_placement(std::size_t job_id, double start,
   // means job span trees (and the partition invariant) hold in both
   // engines, and a contended-vs-uncontended attribution diff reads off
   // exactly what contention cost.
-  const auto record_span = [&](double t0, const Transfer& tr, bool recovery) {
+  const auto record_span = [&](double t0, const Transfer& tr,
+                               std::uint8_t kind) {
     if (cfg.spans == nullptr) return;
     obs::TransferTimings t;
     t.job_id = job_id;
-    t.kind = recovery ? 1 : 0;
+    t.kind = kind;
     t.megabytes = cfg.checkpoint_size_mb;
     t.moved_mb = tr.moved_mb;
     t.arrival_s = t0;
@@ -330,7 +351,7 @@ PlacementOutcome run_placement(std::size_t job_id, double start,
   // Recovery of the last checkpoint, if any exists.
   if (has_checkpoint) {
     const auto [dur, moved, ok] = transfer(eviction_time - now);
-    record_span(now, {dur, moved, ok}, /*recovery=*/true);
+    record_span(now, {dur, moved, ok}, /*kind=*/1);
     now += dur;
     uptime += dur;
     stats.moved_mb += moved;
@@ -349,8 +370,37 @@ PlacementOutcome run_placement(std::size_t job_id, double start,
     costs.recovery = measured_cost;
     const core::CheckpointOptimizer optimizer(
         core::MarkovModel(model, costs), cfg.optimizer);
-    const double t_opt = optimizer.optimize(uptime).work_time;
-    const double chunk = std::min(t_opt, remaining_work);
+    double t_opt = optimizer.optimize(uptime).work_time;
+    if (policy.has_value()) {
+      // A predictor that catches a fraction r̃ of reclamations lets the
+      // periodic schedule relax: stretch T_opt by 1/sqrt(1 - r̃). With
+      // recall 0 the factor is exactly 1.0, preserving bit-identity.
+      t_opt *= predict::prediction_period_factor(predictor->config(),
+                                                 measured_cost);
+    }
+    double chunk = std::min(t_opt, remaining_work);
+
+    // Scan alerts landing inside this work chunk; the first one the window
+    // rule acts on truncates the chunk so the checkpoint starts at the
+    // alert's optimal in-window delay.
+    bool proactive = false;
+    if (policy.has_value()) {
+      while (alert_idx < alerts.size() && alerts[alert_idx].time_s <= now) {
+        ++alert_idx;
+      }
+      for (std::size_t i = alert_idx;
+           i < alerts.size() && alerts[i].time_s < now + chunk; ++i) {
+        const double work_at_risk = alerts[i].time_s - now;
+        const auto decision = policy->decide(work_at_risk, measured_cost);
+        if (decision.action == predict::ProactiveAction::kSkip) continue;
+        const double start_at = alerts[i].time_s + decision.delay_s;
+        // The periodic checkpoint beats a delayed proactive start.
+        if (start_at >= now + chunk) continue;
+        chunk = start_at - now;
+        proactive = true;
+        break;
+      }
+    }
 
     if (now + chunk > eviction_time) {
       // Evicted mid-computation: work since the last checkpoint is lost.
@@ -363,9 +413,11 @@ PlacementOutcome run_placement(std::size_t job_id, double start,
     now += chunk;
     uptime += chunk;
 
-    // Transfer: a periodic checkpoint, or the final result upload.
+    // Transfer: a periodic checkpoint, an alert-driven proactive one, or
+    // the final result upload.
     const auto [dur, moved, ok] = transfer(eviction_time - now);
-    record_span(now, {dur, moved, ok}, /*recovery=*/false);
+    record_span(now, {dur, moved, ok}, proactive ? std::uint8_t{2}
+                                                 : std::uint8_t{0});
     stats.moved_mb += moved;
     now += dur;
     uptime += dur;
@@ -378,6 +430,7 @@ PlacementOutcome run_placement(std::size_t job_id, double start,
       return {eviction_time, false};
     }
     stats.useful_work_s += chunk;
+    if (proactive) ++stats.proactive_checkpoints;
     remaining_work -= chunk;
     has_checkpoint = true;
     measured_cost = dur;
@@ -401,8 +454,10 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
                      const PoolSimConfig& config,
                      const std::vector<dist::DistributionPtr>& fitted,
                      TimelinePool& pool, Matchmaker& matchmaker,
-                     numerics::Rng& transfer_rng, std::vector<JobState>& jobs,
-                     double& last_finish, UncontendedTimelineLog* tl) {
+                     numerics::Rng& transfer_rng,
+                     predict::FailurePredictor* predictor,
+                     std::vector<JobState>& jobs, double& last_finish,
+                     UncontendedTimelineLog* tl) {
   (void)pool;
   // Min-heap of (time, job) negotiation events.
   using Event = std::pair<double, std::size_t>;
@@ -442,7 +497,7 @@ void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
     const auto outcome = run_placement(
         job_id, now, eviction_time, match->uptime_s, job.remaining_work,
         job.has_checkpoint, fitted[match->machine_index], config,
-        transfer_rng, job.stats, remaining_after, ckpt_after);
+        transfer_rng, predictor, job.stats, remaining_after, ckpt_after);
     job.remaining_work = remaining_after;
     job.has_checkpoint = ckpt_after;
     occupied[match->machine_index] = true;
@@ -508,12 +563,14 @@ class ContendedEngine {
                   const std::vector<dist::DistributionPtr>& fitted,
                   Matchmaker& matchmaker,
                   const server::FleetConfig& fleet_config,
-                  std::uint64_t server_seed, std::vector<JobState>& jobs,
-                  double& last_finish)
+                  std::uint64_t server_seed,
+                  predict::FailurePredictor* predictor,
+                  std::vector<JobState>& jobs, double& last_finish)
       : config_(config),
         fitted_(fitted),
         matchmaker_(matchmaker),
         fleet_(fleet_config, server_seed, config.tracer, config.spans),
+        predictor_(predictor),
         jobs_(jobs),
         last_finish_(last_finish),
         occupied_(specs.size(), false),
@@ -524,6 +581,7 @@ class ContendedEngine {
           config.snapshot_every_s, fleet_.shard_count(),
           fleet_.config().server.capacity_mbps);
     }
+    if (predictor_ != nullptr) policy_.emplace(predictor_->config());
   }
 
   void run() {
@@ -576,6 +634,9 @@ class ContendedEngine {
         case EventKind::kEvict:
           handle_evict(job_id, t);
           break;
+        case EventKind::kAlert:
+          handle_alert(job_id, t);
+          break;
       }
     }
     if (config_.spans != nullptr) {
@@ -605,7 +666,8 @@ class ContendedEngine {
     kNegotiate,
     kWorkDone,
     kRetry,
-    kEvict
+    kEvict,
+    kAlert  ///< predictor alert lands (prediction scenario only)
   };
   enum class Phase : std::uint8_t {
     kIdle,
@@ -626,6 +688,13 @@ class ContendedEngine {
     double measured_cost = 0.0;  ///< last observed transfer cost (wait+wire)
     double chunk = 0.0;          ///< work chunk awaiting its checkpoint
     double work_start = 0.0;
+    /// Scheduled checkpoint instant of the current chunk. handle_work_done
+    /// only fires when the event's time matches exactly — an alert that
+    /// truncates the chunk reschedules it here and the superseded kWorkDone
+    /// (still in the heap) no-ops.
+    double work_done_t = 0.0;
+    /// The current chunk's checkpoint was rescheduled by an alert.
+    bool pending_proactive = false;
     TransferKind transfer_kind = TransferKind::kRecovery;
     server::TransferId transfer_id = 0;
     double transfer_submit_s = 0.0;
@@ -670,6 +739,15 @@ class ContendedEngine {
     occupied_[st.machine] = true;
     occupied_until_[st.machine] = st.eviction_time;
     push_event(st.eviction_time, EventKind::kEvict, job_id, st.generation);
+    if (predictor_ != nullptr && st.eviction_time > now) {
+      // The oracle sees the placement's hidden reclamation instant and
+      // drops its alerts into the event stream; the generation stamp voids
+      // them if the placement ends early (job finished).
+      for (const auto& a : predictor_->alerts_for_spell(now,
+                                                        st.eviction_time)) {
+        push_event(a.time_s, EventKind::kAlert, job_id, st.generation);
+      }
+    }
 
     if (job.has_checkpoint) {
       st.transfer_kind = TransferKind::kRecovery;
@@ -698,18 +776,55 @@ class ContendedEngine {
     costs.recovery = st.measured_cost;
     const core::CheckpointOptimizer optimizer(
         core::MarkovModel(fitted_[st.machine], costs), config_.optimizer);
-    const double t_opt = optimizer.optimize(uptime).work_time;
+    double t_opt = optimizer.optimize(uptime).work_time;
+    if (predictor_ != nullptr) {
+      // Aupy et al. period stretch: the predictor absorbs a fraction r̃ of
+      // reclamations, so the reactive schedule relaxes by 1/sqrt(1 - r̃).
+      // Exactly 1.0 at recall 0, preserving bit-identity.
+      t_opt *= predict::prediction_period_factor(predictor_->config(),
+                                                 st.measured_cost);
+    }
     st.chunk = std::min(t_opt, job.remaining_work);
     st.phase = Phase::kWorking;
     st.work_start = now;
+    st.work_done_t = now + st.chunk;
+    st.pending_proactive = false;
     // If the chunk outlives the availability spell, the eviction event
     // (already queued) fires first and charges the lost work.
-    push_event(now + st.chunk, EventKind::kWorkDone, job_id, st.generation);
+    push_event(st.work_done_t, EventKind::kWorkDone, job_id, st.generation);
   }
 
   void handle_work_done(std::size_t job_id, double now) {
-    states_[job_id].transfer_kind = TransferKind::kCheckpoint;
+    PerJob& st = states_[job_id];
+    // Exact-time guard: an alert that truncated the chunk rescheduled the
+    // checkpoint, leaving the original kWorkDone in the heap. The scheduled
+    // instant is stored verbatim from the push, so the comparison is exact
+    // (never a recomputation) and the legacy path — one kWorkDone per
+    // enter_work — always passes it.
+    if (st.phase != Phase::kWorking || now != st.work_done_t) return;
+    st.transfer_kind = st.pending_proactive ? TransferKind::kProactive
+                                            : TransferKind::kCheckpoint;
+    st.pending_proactive = false;
     submit_transfer(job_id, now);
+  }
+
+  /// A predictor alert lands while (possibly) working: apply the window
+  /// rule against the work currently at risk and, when it acts inside the
+  /// current chunk, pull the checkpoint forward to the alert's optimal
+  /// in-window start.
+  void handle_alert(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    if (st.phase != Phase::kWorking) return;  // mid-transfer/backoff: ignore
+    const auto decision =
+        policy_->decide(now - st.work_start, st.measured_cost);
+    if (decision.action == predict::ProactiveAction::kSkip) return;
+    const double start_at = now + decision.delay_s;
+    // The already-scheduled checkpoint beats a delayed proactive start.
+    if (start_at >= st.work_done_t) return;
+    st.chunk = start_at - st.work_start;
+    st.work_done_t = start_at;
+    st.pending_proactive = true;
+    push_event(start_at, EventKind::kWorkDone, job_id, st.generation);
   }
 
   void submit_transfer(std::size_t job_id, double now) {
@@ -723,13 +838,13 @@ class ContendedEngine {
     // the fleet's static routing shards on the submitting machine.
     req.kind = st.transfer_kind;
     req.machine_index = st.machine;
-    // Only checkpoints carry the urgency hint: a checkpoint racing the
-    // machine's predicted death has a committed chunk at risk, so jumping
-    // the queue saves real work. A recovery has nothing committed yet —
-    // fast-tracking it onto a machine predicted to die soon just starts a
-    // chunk that the eviction then destroys, so recoveries queue FIFO
-    // within their class.
-    if (st.transfer_kind == TransferKind::kCheckpoint) {
+    // Only checkpoint-class transfers (periodic or proactive) carry the
+    // urgency hint: a checkpoint racing the machine's predicted death has
+    // an uncommitted chunk at risk, so jumping the queue saves real work.
+    // A recovery has nothing committed yet — fast-tracking it onto a
+    // machine predicted to die soon just starts a chunk that the eviction
+    // then destroys, so recoveries queue FIFO within their class.
+    if (st.transfer_kind != TransferKind::kRecovery) {
       req.predicted_remaining_s = predicted_remaining(job_id, now);
     }
     const auto outcome = fleet_.submit(req, now);
@@ -800,7 +915,10 @@ class ContendedEngine {
       enter_work(job_id, now);
       return;
     }
-    // Checkpoint (or final result upload) committed.
+    // Checkpoint (periodic, proactive, or final result upload) committed.
+    if (st.transfer_kind == TransferKind::kProactive) {
+      ++job.stats.proactive_checkpoints;
+    }
     job.stats.useful_work_s += st.chunk;
     job.remaining_work -= st.chunk;
     job.has_checkpoint = true;
@@ -852,7 +970,7 @@ class ContendedEngine {
               server::ServerFleet::shard_of(st.transfer_id),
               removal.moved_mb);
         }
-        if (st.transfer_kind == TransferKind::kCheckpoint) {
+        if (st.transfer_kind != TransferKind::kRecovery) {
           job.stats.lost_work_s += st.chunk;  // never committed
         }
         ++st.backoff_attempts;  // interrupted: retry backs off next time
@@ -886,6 +1004,8 @@ class ContendedEngine {
   const std::vector<dist::DistributionPtr>& fitted_;
   Matchmaker& matchmaker_;
   server::ServerFleet fleet_;
+  predict::FailurePredictor* predictor_;        ///< null = legacy engine
+  std::optional<predict::ProactivePolicy> policy_;
   std::vector<JobState>& jobs_;
   double& last_finish_;
   std::vector<bool> occupied_;
@@ -959,24 +1079,43 @@ PoolSimResult run_pool_simulation(
 
   PoolSimResult result;
   double last_finish = 0.0;
+  std::optional<predict::FailurePredictor> predictor;
   if (fleet_config.has_value()) {
+    // The predictor's seed is drawn strictly AFTER every legacy stream
+    // (histories, pool, matchmaker, transfer RNG, server seed): with the
+    // predictor unset no draw happens and every stream is untouched, so
+    // legacy runs stay bit-identical.
+    const std::uint64_t server_seed = master.next_u64();
+    if (config.predictor.has_value()) {
+      predictor.emplace(*config.predictor, master.next_u64());
+    }
     ContendedEngine engine(machine_specs, config, fitted, matchmaker,
-                           *fleet_config, master.next_u64(), jobs,
-                           last_finish);
+                           *fleet_config, server_seed,
+                           predictor.has_value() ? &*predictor : nullptr,
+                           jobs, last_finish);
     engine.run();
     result.server_enabled = true;
     result.fleet = engine.fleet_stats();
     result.server = result.fleet.total;
     result.timeline = engine.take_timeline();
   } else {
+    if (config.predictor.has_value()) {
+      predictor.emplace(*config.predictor, master.next_u64());
+    }
     UncontendedTimelineLog tl;
     run_uncontended(machine_specs, config, fitted, pool, matchmaker,
-                    transfer_rng, jobs, last_finish,
+                    transfer_rng,
+                    predictor.has_value() ? &*predictor : nullptr, jobs,
+                    last_finish,
                     config.snapshot_every_s > 0.0 ? &tl : nullptr);
     if (config.snapshot_every_s > 0.0) {
       result.timeline =
           build_uncontended_timeline(tl, config.snapshot_every_s);
     }
+  }
+  if (predictor.has_value()) {
+    result.predictor_enabled = true;
+    result.predictor = predictor->stats();
   }
 
   result.jobs.reserve(jobs.size());

@@ -22,6 +22,7 @@
 #include "harvest/net/bandwidth_model.hpp"
 #include "harvest/obs/span.hpp"
 #include "harvest/obs/tracer.hpp"
+#include "harvest/predict/failure_predictor.hpp"
 #include "harvest/server/fleet.hpp"
 
 namespace harvest::condor {
@@ -73,6 +74,16 @@ struct PoolSimConfig {
   /// policy (server::ServerFleet). A 1-shard fleet is bit-identical to
   /// `server`. Same materialize() contract for seed/tracer as above.
   std::optional<server::FleetConfig> fleet;
+  /// Opt-in fault-prediction scenario (harvest/predict): a seeded oracle
+  /// with precision/recall/window over each placement's hidden reclamation
+  /// instant. Alerts drive the window-aware proactive-checkpoint rule
+  /// (proactive transfers are their own TransferKind, so they contend and
+  /// attribute like any other class) and stretch the reactive period by the
+  /// Aupy et al. 1/sqrt(1 - r̃) factor. The predictor's RNG stream is
+  /// derived from `seed` strictly after every existing stream, so leaving
+  /// this unset — or setting recall = 0, which can never emit an alert —
+  /// reproduces the legacy engines bit-identically.
+  std::optional<predict::PredictorConfig> predictor;
   /// Per-interval telemetry cadence in simulated seconds; 0 (default)
   /// disables the timeline. When set, PoolSimResult::timeline carries one
   /// frame per interval whose per-shard megabytes exactly partition the
@@ -137,6 +148,8 @@ struct PoolSimJobStats {
   double server_wait_s = 0.0;
   /// Server mode only: submissions the admission controller bounced.
   std::size_t rejected_submits = 0;
+  /// Predictor mode only: alert-driven checkpoints that committed.
+  std::size_t proactive_checkpoints = 0;
 };
 
 struct PoolSimResult {
@@ -152,6 +165,10 @@ struct PoolSimResult {
   /// Per-interval telemetry; empty unless PoolSimConfig::snapshot_every_s
   /// was set. See PoolTimelineFrame for the partition guarantee.
   std::vector<PoolTimelineFrame> timeline;
+  /// Filled when PoolSimConfig::predictor was set: the oracle's pool-wide
+  /// accounting (events, true/false alerts, misses, observed p̂/r̂).
+  bool predictor_enabled = false;
+  predict::PredictorStats predictor;
 
   [[nodiscard]] std::size_t finished_count() const;
   [[nodiscard]] double mean_completion_s() const;  ///< finished jobs only
@@ -159,6 +176,7 @@ struct PoolSimResult {
   [[nodiscard]] std::size_t total_evictions() const;
   [[nodiscard]] double total_useful_work_s() const;
   [[nodiscard]] double total_lost_work_s() const;
+  [[nodiscard]] std::size_t total_proactive_checkpoints() const;
 };
 
 /// Run the pool emulation. `machine_specs` define the park; models are

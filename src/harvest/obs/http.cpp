@@ -80,8 +80,18 @@ HttpServer::~HttpServer() {
 }
 
 void HttpServer::bind(std::uint16_t port) {
+  bind("127.0.0.1", port);
+}
+
+void HttpServer::bind(const std::string& address, std::uint16_t port) {
   if (listen_fd_ >= 0) {
     throw std::runtime_error("HttpServer: already bound");
+  }
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, address.c_str(), &parsed) != 1) {
+    throw std::invalid_argument(
+        "HttpServer: '" + address +
+        "' is not an IPv4 dotted-quad bind address");
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -91,15 +101,14 @@ void HttpServer::bind(std::uint16_t port) {
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr = parsed;
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 16) != 0) {
     const int err = errno;
     ::close(fd);
-    throw std::runtime_error(std::string("HttpServer: cannot listen on "
-                                         "127.0.0.1:") +
-                             std::to_string(port) + " (" +
+    throw std::runtime_error("HttpServer: cannot listen on " + address +
+                             ':' + std::to_string(port) + " (" +
                              std::strerror(err) + ")");
   }
   socklen_t len = sizeof(addr);
@@ -109,6 +118,7 @@ void HttpServer::bind(std::uint16_t port) {
   }
   listen_fd_ = fd;
   port_ = ntohs(addr.sin_port);
+  address_ = address;
 }
 
 void HttpServer::start() {

@@ -49,8 +49,17 @@ class HttpServer {
   /// Bind + listen on 127.0.0.1:`port`. Throws std::runtime_error on
   /// failure (port in use, no socket).
   void bind(std::uint16_t port);
+  /// Bind + listen on an explicit IPv4 dotted-quad `address` (e.g.
+  /// "0.0.0.0" to expose the exporter beyond loopback — the caller owns
+  /// that decision and should surface a warning). Throws
+  /// std::invalid_argument for an unparseable address, std::runtime_error
+  /// on bind/listen failure.
+  void bind(const std::string& address, std::uint16_t port);
   /// The actually-bound port (resolves port 0 to the kernel's pick).
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// The dotted-quad address bind() used ("127.0.0.1" for the default
+  /// overload; empty before any successful bind).
+  [[nodiscard]] const std::string& address() const { return address_; }
 
   /// Start the listener thread. bind() must have succeeded.
   void start();
@@ -65,6 +74,7 @@ class HttpServer {
   HttpHandler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::string address_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};

@@ -16,8 +16,8 @@ constexpr std::string_view kPhaseNames[kSpanPhaseCount] = {
     "job",           "transfer",        "stagger", "admission_queue",
     "scheduler_queue", "service",       "backoff", "rejected"};
 
-constexpr std::string_view kKindNames[kSpanKindCount] = {"checkpoint",
-                                                         "recovery"};
+constexpr std::string_view kKindNames[kSpanKindCount] = {
+    "checkpoint", "recovery", "proactive"};
 
 /// Phase-chain siblings are allowed to touch but not to overlap; a sub-ns
 /// slop absorbs fp rounding in the producers' clocks.

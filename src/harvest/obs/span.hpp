@@ -66,7 +66,8 @@ inline constexpr std::size_t kSpanPhaseCount = 8;
 
 /// Traffic classes mirrored from server::TransferKind without depending on
 /// the server layer (obs sits below it).
-inline constexpr std::size_t kSpanKindCount = 2;  ///< checkpoint, recovery
+inline constexpr std::size_t kSpanKindCount = 3;  ///< checkpoint, recovery,
+                                                  ///< proactive
 
 struct Span {
   std::uint64_t id = 0;
@@ -77,7 +78,7 @@ struct Span {
   std::uint64_t job_id = 0;
   std::uint64_t transfer_id = 0;  ///< 0 for job/backoff/rejected spans
   std::uint32_t shard = 0;
-  std::uint8_t kind = 0;  ///< 0 = checkpoint, 1 = recovery
+  std::uint8_t kind = 0;  ///< 0 = checkpoint, 1 = recovery, 2 = proactive
   /// Payload: megabytes moved (transfer), dilation seconds (service),
   /// 0 otherwise.
   double value = 0.0;

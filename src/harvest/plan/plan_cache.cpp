@@ -7,6 +7,7 @@
 #include "harvest/dist/exponential.hpp"
 #include "harvest/dist/hyperexponential.hpp"
 #include "harvest/dist/weibull.hpp"
+#include "harvest/predict/proactive_policy.hpp"
 
 namespace harvest::plan {
 namespace {
@@ -51,7 +52,8 @@ bool PlanCache::Key::operator==(const Key& other) const {
   return family_tag == other.family_tag && qparams == other.qparams &&
          cost_bits[0] == other.cost_bits[0] &&
          cost_bits[1] == other.cost_bits[1] &&
-         cost_bits[2] == other.cost_bits[2];
+         cost_bits[2] == other.cost_bits[2] &&
+         has_predictor == other.has_predictor;
 }
 
 std::size_t PlanCache::KeyHash::operator()(const Key& k) const {
@@ -60,6 +62,7 @@ std::size_t PlanCache::KeyHash::operator()(const Key& k) const {
     h = mix64(h ^ static_cast<std::uint64_t>(q));
   }
   for (const std::uint64_t c : k.cost_bits) h = mix64(h ^ c);
+  h = mix64(h ^ static_cast<std::uint64_t>(k.has_predictor));
   return static_cast<std::size_t>(h);
 }
 
@@ -91,8 +94,9 @@ PlanCache::PlanCache(PlanCacheOptions opts, obs::MetricsRegistry* registry)
   }
 }
 
-PlanCache::Key PlanCache::make_key(const dist::Distribution& fitted,
-                                   const core::IntervalCosts& costs) const {
+PlanCache::Key PlanCache::make_key(
+    const dist::Distribution& fitted, const core::IntervalCosts& costs,
+    const std::optional<predict::PredictorConfig>& predictor) const {
   Key key;
   if (const auto* e = dynamic_cast<const dist::Exponential*>(&fitted)) {
     key.family_tag = kTagExponential;
@@ -118,7 +122,38 @@ PlanCache::Key PlanCache::make_key(const dist::Distribution& fitted,
   key.cost_bits[0] = std::bit_cast<std::uint64_t>(costs.checkpoint);
   key.cost_bits[1] = std::bit_cast<std::uint64_t>(costs.recovery);
   key.cost_bits[2] = std::bit_cast<std::uint64_t>(costs.latency);
+  if (predictor.has_value()) {
+    predictor->validate();
+    key.has_predictor = true;
+    // Precision and recall live in [0, 1] like mixture weights, so they
+    // take the absolute grid (precision floored at one step — it must stay
+    // positive; recall 0 must stay exactly 0 so the bucket keeps the
+    // identity period factor). The window is a positive duration and takes
+    // the relative log grid.
+    key.qparams.push_back(std::max<std::int64_t>(
+        1, std::llround(predictor->precision / opts_.weight_step)));
+    key.qparams.push_back(
+        std::llround(predictor->recall / opts_.weight_step));
+    key.qparams.push_back(quantize_log(predictor->window_s, opts_.log_step));
+  }
   return key;
+}
+
+predict::PredictorConfig PlanCache::representative_predictor(
+    const predict::PredictorConfig& predictor) const {
+  predictor.validate();
+  predict::PredictorConfig rep;
+  rep.precision = std::min(
+      1.0, static_cast<double>(std::max<std::int64_t>(
+               1, std::llround(predictor.precision / opts_.weight_step))) *
+               opts_.weight_step);
+  rep.recall = std::min(
+      1.0, static_cast<double>(
+               std::llround(predictor.recall / opts_.weight_step)) *
+               opts_.weight_step);
+  rep.window_s = representative_log(
+      quantize_log(predictor.window_s, opts_.log_step), opts_.log_step);
+  return rep;
 }
 
 dist::DistributionPtr PlanCache::representative(
@@ -159,8 +194,9 @@ dist::DistributionPtr PlanCache::representative(
                               fitted.name() + "'");
 }
 
-PlanPtr PlanCache::compute(const dist::Distribution& fitted,
-                           const core::IntervalCosts& costs) const {
+PlanPtr PlanCache::compute(
+    const dist::Distribution& fitted, const core::IntervalCosts& costs,
+    const std::optional<predict::PredictorConfig>& predictor) const {
   const dist::DistributionPtr rep = representative(fitted);
   core::CheckpointSchedule schedule =
       core::Planner::make_schedule(rep, costs, opts_.schedule);
@@ -184,12 +220,34 @@ PlanPtr PlanCache::compute(const dist::Distribution& fitted,
     plan->entries.push_back(
         {e.work_time, e.age, e.efficiency, e.at_upper_bound});
   }
+  if (predictor.has_value()) {
+    // Blend the prediction scenario in: stretch every interval by the Aupy
+    // et al. factor for the bucket-representative predictor (the same
+    // factor both pool engines apply to T_opt, evaluated at the plan's
+    // checkpoint cost). Ages and efficiencies keep the reactive model's
+    // values — efficiency is the model-predicted T/Γ at the unstretched
+    // optimum, the honest reactive baseline the stretch is relative to.
+    const predict::PredictorConfig rep_pred =
+        representative_predictor(*predictor);
+    const double factor =
+        predict::prediction_period_factor(rep_pred, costs.checkpoint);
+    for (auto& entry : plan->entries) entry.work_s *= factor;
+    plan->predictor_enabled = true;
+    plan->predictor = rep_pred;
+    plan->period_factor = factor;
+  }
   return plan;
 }
 
 PlanCache::Result PlanCache::lookup_or_compute(
     const dist::Distribution& fitted, const core::IntervalCosts& costs) {
-  Key key = make_key(fitted, costs);
+  return lookup_or_compute(fitted, costs, std::nullopt);
+}
+
+PlanCache::Result PlanCache::lookup_or_compute(
+    const dist::Distribution& fitted, const core::IntervalCosts& costs,
+    const std::optional<predict::PredictorConfig>& predictor) {
+  Key key = make_key(fitted, costs, predictor);
   Shard& shard =
       *shards_[KeyHash{}(key) % shards_.size()];
   {
@@ -207,7 +265,7 @@ PlanCache::Result PlanCache::lookup_or_compute(
   // second insert finds the first's plan and drops its own).
   misses_n_.fetch_add(1, std::memory_order_relaxed);
   if (misses_ != nullptr) misses_->add();
-  PlanPtr plan = compute(fitted, costs);
+  PlanPtr plan = compute(fitted, costs, predictor);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {

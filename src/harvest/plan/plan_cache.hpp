@@ -32,6 +32,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "harvest/core/planner.hpp"
 #include "harvest/dist/distribution.hpp"
 #include "harvest/obs/metrics.hpp"
+#include "harvest/predict/failure_predictor.hpp"
 
 namespace harvest::plan {
 
@@ -73,6 +75,12 @@ struct Plan {
   std::string model_description;      ///< human-readable representative model
   core::IntervalCosts costs;
   std::vector<PlanEntryView> entries;
+  /// Prediction-aware plans only: the (quantized, bucket-representative)
+  /// predictor the schedule was blended with, and the Aupy et al.
+  /// 1/sqrt(1 - r̃) stretch already applied to every entry's work_s.
+  bool predictor_enabled = false;
+  predict::PredictorConfig predictor{};
+  double period_factor = 1.0;
 };
 using PlanPtr = std::shared_ptr<const Plan>;
 
@@ -108,10 +116,26 @@ class PlanCache {
   Result lookup_or_compute(const dist::Distribution& fitted,
                            const core::IntervalCosts& costs);
 
+  /// Prediction-aware serving path: the predictor's (p, r, I) joins the
+  /// quantized key — p and r on the absolute weight grid, the window on the
+  /// relative log grid — so prediction-aware and reactive plans for the
+  /// same fit never collide, and every entry's work_s carries the
+  /// 1/sqrt(1 - r̃) period stretch for the bucket-representative predictor.
+  /// nullopt behaves exactly like the two-argument overload.
+  Result lookup_or_compute(
+      const dist::Distribution& fitted, const core::IntervalCosts& costs,
+      const std::optional<predict::PredictorConfig>& predictor);
+
   /// Representative (bucket-center) model for a fitted model — what the
   /// cached plan is optimized for. Exposed for the ε property tests.
   [[nodiscard]] dist::DistributionPtr representative(
       const dist::Distribution& fitted) const;
+
+  /// Representative (bucket-center) predictor parameters, mirroring
+  /// `representative`. Precision stays >= one weight step (it must remain
+  /// positive) and both fractions are clamped to their valid ranges.
+  [[nodiscard]] predict::PredictorConfig representative_predictor(
+      const predict::PredictorConfig& predictor) const;
 
   [[nodiscard]] PlanCacheStats stats() const;
   [[nodiscard]] const PlanCacheOptions& options() const { return opts_; }
@@ -122,6 +146,10 @@ class PlanCache {
     int family_tag = 0;
     std::vector<std::int64_t> qparams;
     std::uint64_t cost_bits[3] = {0, 0, 0};
+    /// Prediction-aware keys append quantized (p, r, window) to qparams;
+    /// the flag keeps them disjoint from reactive keys whose qparams
+    /// coincide by accident.
+    bool has_predictor = false;
 
     bool operator==(const Key& other) const;
   };
@@ -137,10 +165,12 @@ class PlanCache {
         map;
   };
 
-  [[nodiscard]] Key make_key(const dist::Distribution& fitted,
-                             const core::IntervalCosts& costs) const;
-  [[nodiscard]] PlanPtr compute(const dist::Distribution& fitted,
-                                const core::IntervalCosts& costs) const;
+  [[nodiscard]] Key make_key(
+      const dist::Distribution& fitted, const core::IntervalCosts& costs,
+      const std::optional<predict::PredictorConfig>& predictor) const;
+  [[nodiscard]] PlanPtr compute(
+      const dist::Distribution& fitted, const core::IntervalCosts& costs,
+      const std::optional<predict::PredictorConfig>& predictor) const;
 
   PlanCacheOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -197,6 +197,13 @@ bool PlannerService::refit(Machine& m) {
 }
 
 GetPlanResult PlannerService::get_plan(const std::string& machine_id) {
+  return get_plan(machine_id, std::nullopt);
+}
+
+GetPlanResult PlannerService::get_plan(
+    const std::string& machine_id,
+    const std::optional<predict::PredictorConfig>& predictor) {
+  if (predictor.has_value()) predictor->validate();
   Shard& shard = shard_for(machine_id);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.machines.find(machine_id);
@@ -221,8 +228,18 @@ GetPlanResult PlannerService::get_plan(const std::string& machine_id) {
     // refit failed but an older model exists: keep serving its plan.
   }
   out.status = PlanStatus::kOk;
-  out.plan = m.plan;
-  out.cache_hit = m.last_hit;
+  if (predictor.has_value()) {
+    // Per-query scenario: serve from the predictor-keyed bucket without
+    // disturbing the machine's cached reactive plan (the next plain
+    // get_plan must not see prediction-stretched intervals).
+    const PlanCache::Result cached =
+        cache_.lookup_or_compute(*m.model, opts_.costs, predictor);
+    out.plan = cached.plan;
+    out.cache_hit = cached.hit;
+  } else {
+    out.plan = m.plan;
+    out.cache_hit = m.last_hit;
+  }
   out.fitted_description = m.model_description;
   return out;
 }

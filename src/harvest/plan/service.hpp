@@ -101,6 +101,17 @@ class PlannerService {
   /// data-quality problems — they map to the status enum.
   [[nodiscard]] GetPlanResult get_plan(const std::string& machine_id);
 
+  /// Prediction-aware variant: same refit-if-due protocol, but the served
+  /// plan is looked up under the (fit, costs, quantized predictor) key and
+  /// its entries carry the 1/sqrt(1 - r̃) period stretch. The machine's
+  /// cached reactive plan pointer is left untouched — the PlanCache is the
+  /// dedup layer for per-query predictor parameters. nullopt behaves like
+  /// the plain overload. Throws std::invalid_argument for an invalid
+  /// predictor config (a caller input error, unlike data-quality problems).
+  [[nodiscard]] GetPlanResult get_plan(
+      const std::string& machine_id,
+      const std::optional<predict::PredictorConfig>& predictor);
+
   [[nodiscard]] PlannerServiceStats stats() const;
   [[nodiscard]] const PlannerServiceOptions& options() const { return opts_; }
   [[nodiscard]] PlanCache& cache() { return cache_; }

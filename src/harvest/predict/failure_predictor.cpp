@@ -1,0 +1,83 @@
+#include "harvest/predict/failure_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::predict {
+
+void PredictorConfig::validate() const {
+  if (!(precision > 0.0) || !(precision <= 1.0) || !std::isfinite(precision)) {
+    throw std::invalid_argument(
+        "PredictorConfig: precision must be in (0, 1]");
+  }
+  if (!(recall >= 0.0) || !(recall <= 1.0) || !std::isfinite(recall)) {
+    throw std::invalid_argument("PredictorConfig: recall must be in [0, 1]");
+  }
+  if (!(window_s > 0.0) || !std::isfinite(window_s)) {
+    throw std::invalid_argument("PredictorConfig: window_s must be > 0");
+  }
+}
+
+PredictorStats& PredictorStats::operator+=(const PredictorStats& other) {
+  events += other.events;
+  true_alerts += other.true_alerts;
+  false_alerts += other.false_alerts;
+  missed += other.missed;
+  return *this;
+}
+
+FailurePredictor::FailurePredictor(const PredictorConfig& config,
+                                   std::uint64_t seed)
+    : config_(config),
+      false_rate_(config.recall * (1.0 - config.precision) /
+                  config.precision),
+      rng_(seed) {
+  config_.validate();
+}
+
+std::vector<Alert> FailurePredictor::alerts_for_spell(double start_s,
+                                                      double event_s) {
+  if (!(event_s > start_s)) {
+    throw std::invalid_argument(
+        "FailurePredictor: spell must end after it starts");
+  }
+  ++stats_.events;
+  std::vector<Alert> alerts;
+
+  // True alert: recall-sampled, uniform inside the window of length I
+  // ending at the event (clipped to the spell for spells shorter than I).
+  if (rng_.uniform() < config_.recall) {
+    const double lo = std::max(start_s, event_s - config_.window_s);
+    Alert a;
+    a.time_s = rng_.uniform(lo, event_s);
+    a.truth = true;
+    alerts.push_back(a);
+    ++stats_.true_alerts;
+  } else {
+    ++stats_.missed;
+  }
+
+  // False alerts: expected false_rate_ per spell, each placed strictly more
+  // than a window before the event so its forward window cannot contain it.
+  // Spells with no such room emit none.
+  const double false_hi = event_s - config_.window_s;
+  if (false_rate_ > 0.0 && false_hi > start_s) {
+    const double frac = false_rate_ - std::floor(false_rate_);
+    auto count = static_cast<std::uint64_t>(std::floor(false_rate_));
+    if (frac > 0.0 && rng_.uniform() < frac) ++count;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Alert a;
+      a.time_s = rng_.uniform(start_s, false_hi);
+      a.truth = false;
+      alerts.push_back(a);
+      ++stats_.false_alerts;
+    }
+  }
+
+  std::sort(alerts.begin(), alerts.end(),
+            [](const Alert& a, const Alert& b) { return a.time_s < b.time_s; });
+  return alerts;
+}
+
+}  // namespace harvest::predict

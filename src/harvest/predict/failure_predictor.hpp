@@ -1,0 +1,105 @@
+// Seeded fault-prediction oracle for the pool simulation, after
+// Aupy/Robert/Vivien/Zaidouni ("Impact of fault prediction on checkpointing
+// strategies" and the prediction-windows follow-up): a real-world predictor
+// is characterized by its precision p (fraction of alerts that precede a
+// real event), recall r (fraction of events that get an alert), and a
+// prediction window I (the alert says "failure within the next I seconds",
+// not "failure at time t").
+//
+// The oracle sees the HIDDEN reclamation trace — each availability spell
+// [start, event) as the simulation samples it — and emits alerts per spell:
+//
+//   * a true alert with probability r, placed uniformly inside the window
+//     of length I ending at the true event, i.e. in
+//     [max(start, event - I), event), so the event always falls inside the
+//     alert's forward window (alert, alert + I];
+//   * false alerts at a per-spell rate of r·(1-p)/p, placed uniformly in
+//     [start, event - I) — strictly more than I before the event, so their
+//     forward window provably does NOT contain it. With TP per spell = r
+//     and FP per spell = r·(1-p)/p the observed precision
+//     TP/(TP+FP) = r/(r + r·(1-p)/p) = p converges to the configured
+//     precision. Spells shorter than I have no room for a provably false
+//     alert and emit none (the observed precision then converges from
+//     above — every alert the oracle can place is true).
+//
+// Everything is deterministic given the seed and the spell sequence: the
+// oracle owns a private Rng, so attaching it never perturbs any other
+// random stream in the simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::predict {
+
+struct PredictorConfig {
+  /// Precision p ∈ (0, 1]: fraction of alerts that are true.
+  double precision = 0.8;
+  /// Recall r ∈ [0, 1]: fraction of reclamations that get an alert.
+  double recall = 0.7;
+  /// Prediction window I > 0 (seconds): a true alert fires inside the
+  /// window of length I ending at the event.
+  double window_s = 1800.0;
+
+  /// Throws std::invalid_argument when a field is outside its domain.
+  void validate() const;
+};
+
+/// One emitted alert. `truth` is ground truth the simulation may use for
+/// accounting ONLY — a policy reacting to an alert must not peek at it
+/// (a real predictor does not know which of its alerts are false).
+struct Alert {
+  double time_s = 0.0;
+  bool truth = false;
+};
+
+/// Per-pool tallies of the oracle's behavior; observed_precision() /
+/// observed_recall() converge to the configured (p, r) as spells accumulate
+/// (precision from above when many spells are shorter than the window).
+struct PredictorStats {
+  std::uint64_t events = 0;       ///< spells observed (each ends in an event)
+  std::uint64_t true_alerts = 0;  ///< events that got their alert
+  std::uint64_t false_alerts = 0;
+  std::uint64_t missed = 0;  ///< events with no alert (= events - true)
+
+  [[nodiscard]] double observed_precision() const {
+    const std::uint64_t alerts = true_alerts + false_alerts;
+    return alerts > 0
+               ? static_cast<double>(true_alerts) / static_cast<double>(alerts)
+               : 0.0;
+  }
+  [[nodiscard]] double observed_recall() const {
+    return events > 0
+               ? static_cast<double>(true_alerts) / static_cast<double>(events)
+               : 0.0;
+  }
+
+  PredictorStats& operator+=(const PredictorStats& other);
+};
+
+class FailurePredictor {
+ public:
+  /// Throws std::invalid_argument when `config` fails validate().
+  FailurePredictor(const PredictorConfig& config, std::uint64_t seed);
+
+  /// Alerts for one availability spell [start_s, event_s) whose hidden
+  /// reclamation happens at event_s. Returned sorted by time, each alert
+  /// strictly inside [start_s, event_s). Consumes this oracle's private
+  /// RNG in call order, so a fixed seed and spell sequence reproduce the
+  /// alert stream bit-for-bit.
+  [[nodiscard]] std::vector<Alert> alerts_for_spell(double start_s,
+                                                    double event_s);
+
+  [[nodiscard]] const PredictorStats& stats() const { return stats_; }
+  [[nodiscard]] const PredictorConfig& config() const { return config_; }
+
+ private:
+  PredictorConfig config_;
+  double false_rate_;  ///< expected false alerts per spell: r·(1-p)/p
+  numerics::Rng rng_;
+  PredictorStats stats_;
+};
+
+}  // namespace harvest::predict

@@ -1,0 +1,61 @@
+#include "harvest/predict/proactive_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harvest::predict {
+
+std::string_view to_string(ProactiveAction action) {
+  switch (action) {
+    case ProactiveAction::kSkip:
+      return "skip";
+    case ProactiveAction::kCheckpointNow:
+      return "checkpoint_now";
+    case ProactiveAction::kCheckpointDelayed:
+      return "checkpoint_delayed";
+  }
+  return "invalid";
+}
+
+ProactivePolicy::ProactivePolicy(const PredictorConfig& predictor,
+                                 ProactivePolicyConfig config)
+    : predictor_(predictor), config_(config) {
+  predictor_.validate();
+}
+
+ProactiveDecision ProactivePolicy::decide(double work_at_risk_s,
+                                          double checkpoint_cost_s) const {
+  ProactiveDecision out;
+  const double I = predictor_.window_s;
+  const double C = std::max(checkpoint_cost_s, 0.0);
+  const double W = std::max(work_at_risk_s, 0.0);
+  const double slack = I - C;
+  if (!(slack > 0.0)) return out;  // no delay lets the checkpoint commit
+
+  const double d = std::clamp((slack - W) / 2.0, 0.0, slack);
+  const double commit_prob = (slack - d) / I;  // event past a+d+C
+  out.expected_benefit_s =
+      predictor_.precision * commit_prob * (W + d) - C;
+  if (!(out.expected_benefit_s > config_.min_benefit_s)) return out;
+  out.delay_s = d;
+  out.action = d > 0.0 ? ProactiveAction::kCheckpointDelayed
+                       : ProactiveAction::kCheckpointNow;
+  return out;
+}
+
+double effective_recall(const PredictorConfig& predictor,
+                        double checkpoint_cost_s) {
+  const double slack = predictor.window_s - std::max(checkpoint_cost_s, 0.0);
+  if (!(slack > 0.0)) return 0.0;
+  return predictor.recall * slack / predictor.window_s;
+}
+
+double prediction_period_factor(const PredictorConfig& predictor,
+                                double checkpoint_cost_s) {
+  const double r =
+      std::min(effective_recall(predictor, checkpoint_cost_s),
+               kMaxEffectiveRecall);
+  return 1.0 / std::sqrt(1.0 - r);
+}
+
+}  // namespace harvest::predict

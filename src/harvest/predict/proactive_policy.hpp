@@ -1,0 +1,102 @@
+// Window-aware proactive-checkpoint placement and the prediction-aware
+// period correction, after Aupy/Robert/Vivien/Zaidouni's prediction-window
+// analysis ("Checkpointing strategies with prediction windows").
+//
+// On an alert at time a, the predictor asserts "failure within (a, a+I]"
+// with probability p (the precision). A proactive checkpoint of duration C
+// started after a delay d completes at a+d+C; under a uniform event
+// position inside the window it commits in time with probability
+// (I-d-C)/I, saving the W seconds of uncommitted work at the alert plus
+// the d seconds accrued during the delay. The expected benefit
+//
+//   B(d) = p · max(0, I-d-C)/I · (W+d) - C
+//
+// is a downward parabola in d with unconstrained maximum at
+// d* = ((I-C) - W)/2; clamping to [0, I-C] yields the window rule:
+//
+//   * I <= C               -> skip (no delay can fit the checkpoint);
+//   * W >= I-C             -> checkpoint now (d* = 0: every second of
+//                             delay risks more than it accrues);
+//   * otherwise            -> checkpoint at the window fraction d*/I
+//                             (accrue a little more work first);
+// and in every case act only when B(d*) clears the configured margin.
+//
+// The same paper's first-order period correction: a predictor with
+// effective recall r̃ removes a fraction r̃ of unpredicted failures, so the
+// reactive (periodic) checkpoint interval stretches by 1/sqrt(1-r̃) — the
+// Young/Daly-style square-root law applied to the surviving failure rate.
+// The window discounts recall by the fraction of alerts whose window can
+// fit a checkpoint at all: r̃ = r · max(0, I-C)/I.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "harvest/predict/failure_predictor.hpp"
+
+namespace harvest::predict {
+
+enum class ProactiveAction : std::uint8_t {
+  kSkip = 0,            ///< ignore the alert
+  kCheckpointNow,       ///< start the proactive checkpoint immediately
+  kCheckpointDelayed,   ///< start it delay_s into the window
+};
+
+[[nodiscard]] std::string_view to_string(ProactiveAction action);
+
+struct ProactiveDecision {
+  ProactiveAction action = ProactiveAction::kSkip;
+  /// Seconds after the alert at which to start the checkpoint (0 for
+  /// kCheckpointNow, the window-fraction delay for kCheckpointDelayed).
+  double delay_s = 0.0;
+  /// B(d*): expected seconds of work saved net of the checkpoint cost.
+  double expected_benefit_s = 0.0;
+};
+
+struct ProactivePolicyConfig {
+  /// Act only when the expected net benefit clears this margin (seconds of
+  /// work). 0 acts on any positive expected benefit.
+  double min_benefit_s = 0.0;
+};
+
+/// Pure decision function (no RNG, no state beyond the configs): both pool
+/// engines and the tests call the same rule.
+class ProactivePolicy {
+ public:
+  explicit ProactivePolicy(const PredictorConfig& predictor,
+                           ProactivePolicyConfig config = {});
+
+  /// Decide at an alert, given the uncommitted work W (seconds since the
+  /// last committed checkpoint) and the checkpoint cost C the job currently
+  /// measures.
+  [[nodiscard]] ProactiveDecision decide(double work_at_risk_s,
+                                         double checkpoint_cost_s) const;
+
+  [[nodiscard]] const PredictorConfig& predictor() const {
+    return predictor_;
+  }
+  [[nodiscard]] const ProactivePolicyConfig& config() const {
+    return config_;
+  }
+
+ private:
+  PredictorConfig predictor_;
+  ProactivePolicyConfig config_;
+};
+
+/// Effective recall r̃ = r · max(0, I-C)/I: an alert whose window cannot
+/// fit a checkpoint saves nothing.
+[[nodiscard]] double effective_recall(const PredictorConfig& predictor,
+                                      double checkpoint_cost_s);
+
+/// Aupy et al. first-order period stretch 1/sqrt(1 - r̃), the factor a
+/// prediction-aware planner applies to the reactive T_opt. r̃ is capped
+/// just below 1 so a perfect predictor yields a large finite stretch
+/// instead of an unbounded interval.
+[[nodiscard]] double prediction_period_factor(const PredictorConfig& predictor,
+                                              double checkpoint_cost_s);
+
+/// Cap applied to the effective recall inside prediction_period_factor.
+inline constexpr double kMaxEffectiveRecall = 0.99;
+
+}  // namespace harvest::predict

@@ -12,6 +12,8 @@ std::string to_string(TransferKind kind) {
       return "checkpoint";
     case TransferKind::kRecovery:
       return "recovery";
+    case TransferKind::kProactive:
+      return "proactive";
   }
   return "unknown";
 }

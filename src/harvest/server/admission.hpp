@@ -21,10 +21,18 @@ namespace harvest::server {
 
 /// Traffic class of a transfer request. Recovery = a job pulling its last
 /// checkpoint so it can resume at all; checkpoint = a job persisting new
-/// work. Recovery outranks checkpoint at equal slot pressure.
-enum class TransferKind : std::uint8_t { kCheckpoint = 0, kRecovery = 1 };
+/// work on its periodic schedule; proactive = a checkpoint taken early on a
+/// failure-prediction alert (harvest/predict). Recovery outranks both
+/// checkpoint classes at equal slot pressure; proactive shares checkpoint's
+/// admission treatment but is accounted as its own class so prediction's
+/// extra traffic is visible in per-class stats and span attribution.
+enum class TransferKind : std::uint8_t {
+  kCheckpoint = 0,
+  kRecovery = 1,
+  kProactive = 2,
+};
 
-inline constexpr std::size_t kTransferKindCount = 2;
+inline constexpr std::size_t kTransferKindCount = 3;
 
 [[nodiscard]] std::string to_string(TransferKind kind);
 

@@ -176,7 +176,7 @@ struct ServerStats {
   std::size_t peak_queue_depth = 0;
   std::size_t peak_active = 0;
   /// Traffic-class breakdown, indexed by TransferKind (0 = checkpoint,
-  /// 1 = recovery).
+  /// 1 = recovery, 2 = proactive).
   std::array<ClassStats, kTransferKindCount> by_kind{};
 
   [[nodiscard]] double mean_wait_s() const {

@@ -1,0 +1,195 @@
+// Fault prediction in the pool engines: leaving the predictor unset (or
+// silencing it with recall 0) must reproduce the legacy engines
+// bit-identically, an active predictor must surface proactive checkpoints
+// as their own traffic class end to end, and the run must be deterministic
+// under a fixed seed.
+#include "harvest/condor/pool_simulation.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/obs/span.hpp"
+
+namespace harvest::condor {
+namespace {
+
+std::vector<TimelinePool::MachineSpec> park(std::size_t n) {
+  std::vector<TimelinePool::MachineSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    TimelinePool::MachineSpec s;
+    s.id = "pr" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.5, 2500.0 + 300.0 * static_cast<double>(i % 7));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+PoolSimConfig contended_config() {
+  PoolSimConfig cfg;
+  cfg.job_count = 6;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 5;
+  server::FleetConfig fc;
+  fc.shards = 2;
+  fc.server.capacity_mbps = 12.0;
+  fc.server.slots = 2;
+  cfg.fleet = fc;
+  return cfg;
+}
+
+PoolSimConfig uncontended_config() {
+  PoolSimConfig cfg;
+  cfg.job_count = 5;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+/// Short window + the fleet's ~42 s checkpoints: the clamped d* placement
+/// regularly lands before the periodic cadence, so proactive fires.
+predict::PredictorConfig active_predictor() {
+  return {0.9, 0.8, 600.0};
+}
+
+void expect_identical(const PoolSimResult& a, const PoolSimResult& b) {
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.server.submitted, b.server.submitted);
+  EXPECT_EQ(a.server.completed, b.server.completed);
+  EXPECT_EQ(a.server.rejected, b.server.rejected);
+  EXPECT_DOUBLE_EQ(a.server.moved_mb, b.server.moved_mb);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].finished, b.jobs[i].finished);
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_s, b.jobs[i].completion_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].useful_work_s, b.jobs[i].useful_work_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].lost_work_s, b.jobs[i].lost_work_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].moved_mb, b.jobs[i].moved_mb);
+    EXPECT_EQ(a.jobs[i].placements, b.jobs[i].placements);
+    EXPECT_EQ(a.jobs[i].evictions, b.jobs[i].evictions);
+    EXPECT_EQ(a.jobs[i].proactive_checkpoints,
+              b.jobs[i].proactive_checkpoints);
+  }
+}
+
+TEST(PoolPrediction, RecallZeroPredictorIsBitIdenticalContended) {
+  const auto plain = run_pool_simulation(park(24), contended_config());
+  PoolSimConfig cfg = contended_config();
+  predict::PredictorConfig silent = active_predictor();
+  silent.recall = 0.0;
+  cfg.predictor = silent;
+  const auto silenced = run_pool_simulation(park(24), cfg);
+  expect_identical(plain, silenced);
+  EXPECT_FALSE(plain.predictor_enabled);
+  EXPECT_TRUE(silenced.predictor_enabled);
+  EXPECT_EQ(silenced.predictor.true_alerts, 0u);
+  EXPECT_EQ(silenced.predictor.false_alerts, 0u);
+  EXPECT_EQ(silenced.total_proactive_checkpoints(), 0u);
+  // The silent predictor still observed every placement spell.
+  EXPECT_GT(silenced.predictor.events, 0u);
+}
+
+TEST(PoolPrediction, RecallZeroPredictorIsBitIdenticalUncontended) {
+  const auto plain = run_pool_simulation(park(20), uncontended_config());
+  PoolSimConfig cfg = uncontended_config();
+  predict::PredictorConfig silent = active_predictor();
+  silent.recall = 0.0;
+  cfg.predictor = silent;
+  const auto silenced = run_pool_simulation(park(20), cfg);
+  expect_identical(plain, silenced);
+  EXPECT_EQ(silenced.total_proactive_checkpoints(), 0u);
+}
+
+TEST(PoolPrediction, ActivePredictorIsDeterministicUnderFixedSeed) {
+  PoolSimConfig cfg = contended_config();
+  cfg.predictor = active_predictor();
+  const auto a = run_pool_simulation(park(24), cfg);
+  const auto b = run_pool_simulation(park(24), cfg);
+  expect_identical(a, b);
+  EXPECT_EQ(a.predictor.events, b.predictor.events);
+  EXPECT_EQ(a.predictor.true_alerts, b.predictor.true_alerts);
+  EXPECT_EQ(a.predictor.false_alerts, b.predictor.false_alerts);
+}
+
+TEST(PoolPrediction, ProactiveIsItsOwnTrafficClassContended) {
+  obs::SpanStore store;
+  PoolSimConfig cfg = contended_config();
+  cfg.predictor = active_predictor();
+  cfg.spans = &store;
+  const auto res = run_pool_simulation(park(24), cfg);
+  ASSERT_TRUE(res.predictor_enabled);
+  EXPECT_GT(res.predictor.true_alerts, 0u);
+  EXPECT_GT(res.total_proactive_checkpoints(), 0u);
+
+  // Fleet ledger: the proactive class is accounted separately and the
+  // three classes partition the submissions.
+  const auto& pro = res.server.of(server::TransferKind::kProactive);
+  const auto& ckpt = res.server.of(server::TransferKind::kCheckpoint);
+  const auto& rec = res.server.of(server::TransferKind::kRecovery);
+  EXPECT_GT(pro.submitted, 0u);
+  EXPECT_EQ(ckpt.submitted + rec.submitted + pro.submitted,
+            res.server.submitted);
+
+  // Span layer: proactive transfers carry kind 2 through attribution.
+  const auto report = store.report();
+  EXPECT_GT(report.by_kind[2].transfers, 0u);
+  EXPECT_LE(report.max_partition_error_s, 1e-9);
+  EXPECT_TRUE(store.verify().ok());
+
+  // A committed proactive checkpoint moved checkpoint-sized payloads.
+  EXPECT_GT(report.by_kind[2].moved_mb, 0.0);
+}
+
+TEST(PoolPrediction, ProactiveCheckpointsCommitUncontended) {
+  PoolSimConfig cfg = uncontended_config();
+  cfg.predictor = active_predictor();
+  const auto res = run_pool_simulation(park(20), cfg);
+  ASSERT_TRUE(res.predictor_enabled);
+  EXPECT_GT(res.predictor.events, 0u);
+  EXPECT_GT(res.predictor.true_alerts, 0u);
+  EXPECT_GT(res.total_proactive_checkpoints(), 0u);
+  std::size_t sum = 0;
+  for (const auto& j : res.jobs) sum += j.proactive_checkpoints;
+  EXPECT_EQ(sum, res.total_proactive_checkpoints());
+}
+
+TEST(PoolPrediction, ObservedPrecisionTracksConfigured) {
+  // Many placements accumulate enough spells for p̂ to be meaningful; with
+  // spells often shorter than the window, precision converges from above.
+  PoolSimConfig cfg = uncontended_config();
+  cfg.job_count = 10;
+  cfg.work_per_job_s = 4.0 * 3600.0;
+  cfg.predictor = active_predictor();
+  const auto res = run_pool_simulation(park(24), cfg);
+  ASSERT_TRUE(res.predictor_enabled);
+  ASSERT_GT(res.predictor.true_alerts + res.predictor.false_alerts, 20u);
+  EXPECT_GE(res.predictor.observed_precision(),
+            cfg.predictor->precision - 0.15);
+  EXPECT_LE(res.predictor.observed_recall(), 1.0);
+  EXPECT_EQ(res.predictor.missed,
+            res.predictor.events - res.predictor.true_alerts);
+}
+
+TEST(PoolPrediction, PeriodStretchReducesCheckpointTraffic) {
+  // Same seed, same park: an active predictor stretches the periodic
+  // cadence (1/sqrt(1 - r̃)), so the run moves fewer checkpoint bytes.
+  PoolSimConfig cfg = contended_config();
+  const auto plain = run_pool_simulation(park(24), cfg);
+  cfg.predictor = active_predictor();
+  const auto predicted = run_pool_simulation(park(24), cfg);
+  EXPECT_LT(predicted.total_moved_mb(), plain.total_moved_mb());
+}
+
+TEST(PoolPrediction, InvalidPredictorConfigThrows) {
+  PoolSimConfig cfg = uncontended_config();
+  cfg.predictor = predict::PredictorConfig{0.0, 0.5, 600.0};
+  EXPECT_THROW((void)run_pool_simulation(park(4), cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::condor

@@ -38,6 +38,35 @@ TEST(HttpServer, BindResolvesEphemeralPort) {
   e.server.stop();  // idempotent
 }
 
+TEST(HttpServer, BindExplicitLoopbackAddressServes) {
+  MetricsRegistry registry;
+  SnapshotSeries series{60.0};
+  ExporterEndpoints endpoints{registry, series};
+  HttpServer server{endpoints.handler()};
+  server.bind("127.0.0.1", 0);
+  server.start();
+  EXPECT_EQ(server.address(), "127.0.0.1");
+  EXPECT_GT(server.port(), 0);
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+}
+
+TEST(HttpServer, BindRejectsUnparseableAddress) {
+  MetricsRegistry registry;
+  SnapshotSeries series{60.0};
+  ExporterEndpoints endpoints{registry, series};
+  HttpServer server{endpoints.handler()};
+  EXPECT_THROW(server.bind("not-an-address", 0), std::invalid_argument);
+  EXPECT_THROW(server.bind("256.0.0.1", 0), std::invalid_argument);
+  // The failed binds left the server unbound; a good address still works.
+  server.bind("127.0.0.1", 0);
+  EXPECT_GT(server.port(), 0);
+}
+
+TEST(HttpServer, DefaultBindReportsLoopbackAddress) {
+  Exporter e;
+  EXPECT_EQ(e.server.address(), "127.0.0.1");
+}
+
 TEST(HttpServer, HealthzAlwaysOk) {
   Exporter e;
   const auto res = http_get(e.server.port(), "/healthz");

@@ -1,0 +1,212 @@
+// Prediction-aware planning: predictor-keyed PlanCache buckets (separation
+// from reactive keys, sharing within a quantization bucket, the period
+// stretch applied to every entry), representative-predictor clamping, and
+// the PlannerService overload that serves stretched plans without
+// disturbing a machine's cached reactive plan.
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "harvest/dist/weibull.hpp"
+#include "harvest/plan/plan_cache.hpp"
+#include "harvest/plan/service.hpp"
+#include "harvest/predict/proactive_policy.hpp"
+
+namespace harvest::plan {
+namespace {
+
+const core::IntervalCosts kCosts{600.0, 600.0, -1.0};
+const predict::PredictorConfig kPred{0.8, 0.7, 1800.0};
+
+TEST(PlanCachePredict, PredictorKeyNeverCollidesWithReactiveKey) {
+  PlanCache cache;
+  const dist::Weibull w(0.7, 1800.0);
+  const auto reactive = cache.lookup_or_compute(w, kCosts);
+  const auto predicted = cache.lookup_or_compute(w, kCosts, kPred);
+  EXPECT_FALSE(predicted.hit);
+  EXPECT_NE(reactive.plan.get(), predicted.plan.get());
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_FALSE(reactive.plan->predictor_enabled);
+  EXPECT_TRUE(predicted.plan->predictor_enabled);
+  // nullopt routes to the plain overload's bucket.
+  const auto again = cache.lookup_or_compute(w, kCosts, std::nullopt);
+  EXPECT_TRUE(again.hit);
+  EXPECT_EQ(again.plan.get(), reactive.plan.get());
+}
+
+TEST(PlanCachePredict, SamePredictorBucketSharesOnePlan) {
+  PlanCache cache;
+  const dist::Weibull w(0.7, 1800.0);
+  const auto first = cache.lookup_or_compute(w, kCosts, kPred);
+  predict::PredictorConfig nudged = kPred;
+  nudged.precision += 1e-4;  // well inside one weight_step (0.02)
+  nudged.recall -= 1e-4;
+  nudged.window_s *= 1.001;  // well inside one log_step (2.5 %)
+  const auto second = cache.lookup_or_compute(w, kCosts, nudged);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.plan.get(), second.plan.get());
+}
+
+TEST(PlanCachePredict, DistinctPredictorsKeyApart) {
+  PlanCache cache;
+  const dist::Weibull w(0.7, 1800.0);
+  (void)cache.lookup_or_compute(w, kCosts, kPred);
+  predict::PredictorConfig other = kPred;
+  other.recall = 0.3;  // many weight steps away
+  const auto second = cache.lookup_or_compute(w, kCosts, other);
+  EXPECT_FALSE(second.hit);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(PlanCachePredict, EntriesCarryThePeriodStretch) {
+  PlanCache cache;
+  const dist::Weibull w(0.7, 1800.0);
+  const auto reactive = cache.lookup_or_compute(w, kCosts);
+  const auto predicted = cache.lookup_or_compute(w, kCosts, kPred);
+  const auto rep = cache.representative_predictor(kPred);
+  const double factor =
+      predict::prediction_period_factor(rep, kCosts.checkpoint);
+  EXPECT_GT(factor, 1.0);
+  EXPECT_DOUBLE_EQ(predicted.plan->period_factor, factor);
+  ASSERT_EQ(predicted.plan->entries.size(), reactive.plan->entries.size());
+  for (std::size_t i = 0; i < predicted.plan->entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(predicted.plan->entries[i].work_s,
+                     reactive.plan->entries[i].work_s * factor);
+  }
+  // The plan echoes the bucket-representative predictor it was blended
+  // with, so a client can see exactly which scenario it is holding.
+  EXPECT_DOUBLE_EQ(predicted.plan->predictor.precision, rep.precision);
+  EXPECT_DOUBLE_EQ(predicted.plan->predictor.recall, rep.recall);
+  EXPECT_DOUBLE_EQ(predicted.plan->predictor.window_s, rep.window_s);
+}
+
+TEST(PlanCachePredict, ZeroRecallPredictorStretchesNothing) {
+  PlanCache cache;
+  const dist::Weibull w(0.7, 1800.0);
+  predict::PredictorConfig silent = kPred;
+  silent.recall = 0.0;
+  const auto reactive = cache.lookup_or_compute(w, kCosts);
+  const auto predicted = cache.lookup_or_compute(w, kCosts, silent);
+  // Still its own bucket (scenario key), but the factor is exactly 1.
+  EXPECT_NE(reactive.plan.get(), predicted.plan.get());
+  EXPECT_EQ(predicted.plan->period_factor, 1.0);
+  for (std::size_t i = 0; i < predicted.plan->entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(predicted.plan->entries[i].work_s,
+                     reactive.plan->entries[i].work_s);
+  }
+}
+
+TEST(PlanCachePredict, RepresentativePredictorClampsToValidDomain) {
+  PlanCache cache;
+  const double ws = cache.options().weight_step;
+  // A precision below half a weight step must not round to zero.
+  predict::PredictorConfig tiny = kPred;
+  tiny.precision = ws / 10.0;
+  const auto rep = cache.representative_predictor(tiny);
+  EXPECT_GE(rep.precision, ws);
+  EXPECT_NO_THROW(rep.validate());
+  // Recall 0 stays exactly 0 (the identity-factor bucket).
+  predict::PredictorConfig silent = kPred;
+  silent.recall = 0.0;
+  EXPECT_EQ(cache.representative_predictor(silent).recall, 0.0);
+  // Fractions never exceed 1 after rounding up.
+  predict::PredictorConfig full = kPred;
+  full.precision = 0.999;
+  full.recall = 0.999;
+  const auto high = cache.representative_predictor(full);
+  EXPECT_LE(high.precision, 1.0);
+  EXPECT_LE(high.recall, 1.0);
+}
+
+TEST(PlanCachePredict, InvalidPredictorThrowsBeforeTouchingTheCache) {
+  PlanCache cache;
+  const dist::Weibull w(0.7, 1800.0);
+  predict::PredictorConfig bad = kPred;
+  bad.window_s = -5.0;
+  EXPECT_THROW(cache.lookup_or_compute(w, kCosts, bad),
+               std::invalid_argument);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+PlannerServiceOptions service_opts() {
+  PlannerServiceOptions opts;
+  opts.family = core::ModelFamily::kWeibull;
+  opts.costs = kCosts;
+  opts.refit_every = 1;
+  return opts;
+}
+
+/// A service with one machine ("m1") holding enough reports to fit.
+struct Seeded {
+  PlannerService svc{service_opts()};
+  Seeded() {
+    for (int i = 0; i < 40; ++i) {
+      svc.report("m1", 1200.0 + 40.0 * (i % 11));
+    }
+  }
+};
+
+TEST(ServicePredict, PredictorOverloadServesStretchedPlan) {
+  Seeded seeded;
+  auto& svc = seeded.svc;
+  const auto reactive = svc.get_plan("m1");
+  ASSERT_EQ(reactive.status, PlanStatus::kOk);
+  const auto predicted = svc.get_plan("m1", kPred);
+  ASSERT_EQ(predicted.status, PlanStatus::kOk);
+  ASSERT_NE(predicted.plan, nullptr);
+  EXPECT_TRUE(predicted.plan->predictor_enabled);
+  EXPECT_GT(predicted.plan->period_factor, 1.0);
+  ASSERT_EQ(predicted.plan->entries.size(), reactive.plan->entries.size());
+  for (std::size_t i = 0; i < predicted.plan->entries.size(); ++i) {
+    EXPECT_GT(predicted.plan->entries[i].work_s,
+              reactive.plan->entries[i].work_s);
+  }
+}
+
+TEST(ServicePredict, PredictorQueriesDoNotPolluteTheReactivePlan) {
+  Seeded seeded;
+  auto& svc = seeded.svc;
+  const auto before = svc.get_plan("m1");
+  ASSERT_EQ(before.status, PlanStatus::kOk);
+  (void)svc.get_plan("m1", kPred);
+  const auto after = svc.get_plan("m1");
+  ASSERT_EQ(after.status, PlanStatus::kOk);
+  // The machine's cached reactive plan pointer survived the predictor
+  // query — no stretched intervals leak into plain serving.
+  EXPECT_EQ(before.plan.get(), after.plan.get());
+  EXPECT_FALSE(after.plan->predictor_enabled);
+}
+
+TEST(ServicePredict, NulloptBehavesLikePlainOverload) {
+  Seeded seeded;
+  auto& svc = seeded.svc;
+  const auto plain = svc.get_plan("m1");
+  const auto nul = svc.get_plan("m1", std::nullopt);
+  ASSERT_EQ(plain.status, PlanStatus::kOk);
+  ASSERT_EQ(nul.status, PlanStatus::kOk);
+  EXPECT_EQ(plain.plan.get(), nul.plan.get());
+}
+
+TEST(ServicePredict, RepeatedPredictorQueriesHitTheCache) {
+  Seeded seeded;
+  auto& svc = seeded.svc;
+  (void)svc.get_plan("m1", kPred);
+  const auto second = svc.get_plan("m1", kPred);
+  ASSERT_EQ(second.status, PlanStatus::kOk);
+  EXPECT_TRUE(second.cache_hit);
+}
+
+TEST(ServicePredict, UnknownMachineAndInvalidPredictor) {
+  Seeded seeded;
+  auto& svc = seeded.svc;
+  EXPECT_EQ(svc.get_plan("ghost", kPred).status,
+            PlanStatus::kUnknownMachine);
+  predict::PredictorConfig bad = kPred;
+  bad.recall = 2.0;
+  EXPECT_THROW((void)svc.get_plan("m1", bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::plan

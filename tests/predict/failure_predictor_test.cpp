@@ -1,0 +1,175 @@
+// FailurePredictor oracle: config validation, determinism under a fixed
+// seed, alert-placement invariants (true alerts inside the window ending at
+// the event, false alerts provably outside it), and convergence of the
+// observed precision/recall to the configured (p, r).
+#include "harvest/predict/failure_predictor.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::predict {
+namespace {
+
+TEST(PredictorConfig, ValidateRejectsOutOfDomainFields) {
+  PredictorConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  PredictorConfig bad = ok;
+  bad.precision = 0.0;  // p must be strictly positive
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.precision = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.recall = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.recall = 1.01;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.window_s = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  PredictorConfig edge = ok;
+  edge.precision = 1.0;  // a perfect predictor is in-domain
+  edge.recall = 0.0;     // a silent one too
+  EXPECT_NO_THROW(edge.validate());
+}
+
+TEST(FailurePredictor, RejectsNonPositiveSpell) {
+  FailurePredictor oracle({}, 1);
+  EXPECT_THROW(oracle.alerts_for_spell(100.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(oracle.alerts_for_spell(100.0, 50.0), std::invalid_argument);
+}
+
+TEST(FailurePredictor, SameSeedAndSpellsReproduceAlertsBitForBit) {
+  const PredictorConfig cfg{0.7, 0.6, 900.0};
+  FailurePredictor a(cfg, 42);
+  FailurePredictor b(cfg, 42);
+  numerics::Rng spells(7);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double len = spells.uniform(10.0, 5000.0);
+    const auto xs = a.alerts_for_spell(t, t + len);
+    const auto ys = b.alerts_for_spell(t, t + len);
+    ASSERT_EQ(xs.size(), ys.size());
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      EXPECT_EQ(xs[k].time_s, ys[k].time_s);  // exact double equality
+      EXPECT_EQ(xs[k].truth, ys[k].truth);
+    }
+    t += len;
+  }
+  EXPECT_EQ(a.stats().events, b.stats().events);
+  EXPECT_EQ(a.stats().true_alerts, b.stats().true_alerts);
+  EXPECT_EQ(a.stats().false_alerts, b.stats().false_alerts);
+}
+
+TEST(FailurePredictor, AlertsRespectWindowPlacementInvariants) {
+  const PredictorConfig cfg{0.6, 0.8, 600.0};
+  FailurePredictor oracle(cfg, 9);
+  numerics::Rng spells(3);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double len = spells.uniform(5.0, 4000.0);
+    const double event = t + len;
+    double prev = t;
+    for (const auto& a : oracle.alerts_for_spell(t, event)) {
+      // Sorted, strictly inside the spell.
+      EXPECT_GE(a.time_s, prev);
+      EXPECT_GE(a.time_s, t);
+      EXPECT_LT(a.time_s, event);
+      if (a.truth) {
+        // True alert: inside the window of length I ending at the event,
+        // so the event falls inside (alert, alert + I].
+        EXPECT_GE(a.time_s, event - cfg.window_s);
+      } else {
+        // False alert: strictly more than I before the event, so its
+        // forward window provably misses it.
+        EXPECT_LT(a.time_s, event - cfg.window_s);
+      }
+      prev = a.time_s;
+    }
+    t = event;
+  }
+}
+
+TEST(FailurePredictor, ZeroRecallNeverAlerts) {
+  FailurePredictor oracle({0.8, 0.0, 1800.0}, 5);
+  numerics::Rng spells(1);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double len = spells.uniform(10.0, 5000.0);
+    EXPECT_TRUE(oracle.alerts_for_spell(t, t + len).empty());
+    t += len;
+  }
+  EXPECT_EQ(oracle.stats().true_alerts, 0u);
+  EXPECT_EQ(oracle.stats().false_alerts, 0u);
+  EXPECT_EQ(oracle.stats().missed, oracle.stats().events);
+  EXPECT_EQ(oracle.stats().events, 100u);
+}
+
+TEST(FailurePredictor, ObservedPrecisionAndRecallConverge) {
+  const PredictorConfig cfg{0.8, 0.7, 300.0};
+  FailurePredictor oracle(cfg, 2024);
+  numerics::Rng spells(77);
+  double t = 0.0;
+  // Spells mostly much longer than the window, so false alerts have room
+  // and the observed precision can converge to p (not just from above).
+  for (int i = 0; i < 20000; ++i) {
+    const double len = spells.uniform(600.0, 6000.0);
+    (void)oracle.alerts_for_spell(t, t + len);
+    t += len;
+  }
+  const auto& s = oracle.stats();
+  EXPECT_EQ(s.events, 20000u);
+  EXPECT_EQ(s.missed, s.events - s.true_alerts);
+  EXPECT_NEAR(oracle.stats().observed_recall(), cfg.recall, 0.02);
+  EXPECT_NEAR(oracle.stats().observed_precision(), cfg.precision, 0.02);
+}
+
+TEST(FailurePredictor, ShortSpellsPushObservedPrecisionAboveConfigured) {
+  // Every spell shorter than the window: no room for a provably false
+  // alert, so every emitted alert is true and precision converges to 1.
+  const PredictorConfig cfg{0.5, 0.9, 10000.0};
+  FailurePredictor oracle(cfg, 6);
+  numerics::Rng spells(8);
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double len = spells.uniform(10.0, 1000.0);
+    (void)oracle.alerts_for_spell(t, t + len);
+    t += len;
+  }
+  EXPECT_EQ(oracle.stats().false_alerts, 0u);
+  EXPECT_DOUBLE_EQ(oracle.stats().observed_precision(), 1.0);
+}
+
+TEST(PredictorStats, AccumulateAcrossOracles) {
+  PredictorStats total;
+  FailurePredictor a({0.8, 0.7, 600.0}, 1);
+  FailurePredictor b({0.8, 0.7, 600.0}, 2);
+  (void)a.alerts_for_spell(0.0, 5000.0);
+  (void)b.alerts_for_spell(0.0, 5000.0);
+  total += a.stats();
+  total += b.stats();
+  EXPECT_EQ(total.events, 2u);
+  EXPECT_EQ(total.true_alerts + total.missed, total.events);
+}
+
+TEST(PredictorStats, EmptyStatsReportZeroRates) {
+  const PredictorStats s;
+  EXPECT_DOUBLE_EQ(s.observed_precision(), 0.0);
+  EXPECT_DOUBLE_EQ(s.observed_recall(), 0.0);
+}
+
+TEST(FailurePredictor, InvalidConfigThrowsAtConstruction) {
+  PredictorConfig bad;
+  bad.window_s = -1.0;
+  EXPECT_THROW(FailurePredictor(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::predict

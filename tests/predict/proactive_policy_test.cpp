@@ -1,0 +1,142 @@
+// ProactivePolicy window rule: the three regimes of the clamped
+// d* = ((I-C) - W)/2 placement, the benefit margin, and the Aupy et al.
+// period-stretch factor with its effective-recall discount and cap.
+#include "harvest/predict/proactive_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace harvest::predict {
+namespace {
+
+constexpr PredictorConfig kPred{0.9, 0.8, 1000.0};  // p, r, I
+
+TEST(ProactivePolicy, WindowTooShortForCheckpointSkips) {
+  const ProactivePolicy policy(kPred);
+  // I <= C: no delay can fit the checkpoint inside the window.
+  const auto d = policy.decide(/*work_at_risk_s=*/500.0,
+                               /*checkpoint_cost_s=*/1000.0);
+  EXPECT_EQ(d.action, ProactiveAction::kSkip);
+  const auto d2 = policy.decide(500.0, 1500.0);
+  EXPECT_EQ(d2.action, ProactiveAction::kSkip);
+}
+
+TEST(ProactivePolicy, LargeWorkAtRiskCheckpointsImmediately) {
+  const ProactivePolicy policy(kPred);
+  // W >= I - C: d* clamps to 0 — delaying risks more than it accrues.
+  const double c = 100.0;  // slack = 900
+  const auto d = policy.decide(/*work_at_risk_s=*/2000.0, c);
+  EXPECT_EQ(d.action, ProactiveAction::kCheckpointNow);
+  EXPECT_DOUBLE_EQ(d.delay_s, 0.0);
+  // B(0) = p * (I - C)/I * W - C.
+  EXPECT_NEAR(d.expected_benefit_s, 0.9 * (900.0 / 1000.0) * 2000.0 - c,
+              1e-9);
+}
+
+TEST(ProactivePolicy, SmallWorkAtRiskDelaysToWindowFraction) {
+  const ProactivePolicy policy(kPred);
+  const double c = 100.0;   // slack = I - C = 900
+  const double w = 100.0;   // < slack: d* = (900 - 100)/2 = 400
+  const auto d = policy.decide(w, c);
+  EXPECT_EQ(d.action, ProactiveAction::kCheckpointDelayed);
+  EXPECT_DOUBLE_EQ(d.delay_s, 400.0);
+  // B(d*) = p * (slack - d*)/I * (W + d*) - C.
+  EXPECT_NEAR(d.expected_benefit_s,
+              0.9 * (500.0 / 1000.0) * 500.0 - c, 1e-9);
+}
+
+TEST(ProactivePolicy, DelayedPlacementMaximizesTheBenefitParabola) {
+  const ProactivePolicy policy(kPred);
+  const double c = 50.0;
+  const double w = 200.0;
+  const auto best = policy.decide(w, c);
+  ASSERT_EQ(best.action, ProactiveAction::kCheckpointDelayed);
+  const double slack = kPred.window_s - c;
+  for (const double d : {0.0, 100.0, best.delay_s - 1.0, best.delay_s + 1.0,
+                         slack}) {
+    const double b =
+        kPred.precision * ((slack - d) / kPred.window_s) * (w + d) - c;
+    EXPECT_GE(best.expected_benefit_s, b - 1e-9);
+  }
+}
+
+TEST(ProactivePolicy, NegativeBenefitSkipsEvenWhenWindowFits) {
+  const ProactivePolicy policy(kPred);
+  // Tiny work at risk, expensive checkpoint: B(d*) < 0.
+  const auto d = policy.decide(/*work_at_risk_s=*/0.1,
+                               /*checkpoint_cost_s=*/800.0);
+  EXPECT_EQ(d.action, ProactiveAction::kSkip);
+}
+
+TEST(ProactivePolicy, MinBenefitMarginGatesTheAction) {
+  const double c = 100.0;
+  const double w = 100.0;
+  const double b =
+      ProactivePolicy(kPred).decide(w, c).expected_benefit_s;
+  ASSERT_GT(b, 0.0);
+  ProactivePolicyConfig strict;
+  strict.min_benefit_s = b + 1.0;  // just above what this alert clears
+  EXPECT_EQ(ProactivePolicy(kPred, strict).decide(w, c).action,
+            ProactiveAction::kSkip);
+  strict.min_benefit_s = b - 1.0;
+  EXPECT_NE(ProactivePolicy(kPred, strict).decide(w, c).action,
+            ProactiveAction::kSkip);
+}
+
+TEST(ProactivePolicy, InvalidPredictorConfigThrows) {
+  PredictorConfig bad = kPred;
+  bad.precision = 2.0;
+  EXPECT_THROW(ProactivePolicy{bad}, std::invalid_argument);
+}
+
+TEST(ToString, CoversEveryAction) {
+  EXPECT_EQ(to_string(ProactiveAction::kSkip), "skip");
+  EXPECT_EQ(to_string(ProactiveAction::kCheckpointNow), "checkpoint_now");
+  EXPECT_EQ(to_string(ProactiveAction::kCheckpointDelayed),
+            "checkpoint_delayed");
+}
+
+TEST(EffectiveRecall, DiscountsByWindowFraction) {
+  // r̃ = r * max(0, I - C)/I.
+  EXPECT_DOUBLE_EQ(effective_recall(kPred, 0.0), 0.8);
+  EXPECT_DOUBLE_EQ(effective_recall(kPred, 500.0), 0.8 * 0.5);
+  EXPECT_DOUBLE_EQ(effective_recall(kPred, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(effective_recall(kPred, 2000.0), 0.0);
+}
+
+TEST(PeriodFactor, ZeroRecallIsExactlyIdentity) {
+  PredictorConfig silent = kPred;
+  silent.recall = 0.0;
+  // Bit-exact 1.0: the engines multiply T_opt by this on the legacy path.
+  EXPECT_EQ(prediction_period_factor(silent, 60.0), 1.0);
+  // A window the checkpoint cannot fit is equally inert.
+  EXPECT_EQ(prediction_period_factor(kPred, kPred.window_s), 1.0);
+}
+
+TEST(PeriodFactor, MatchesSquareRootLawAndIsCapped) {
+  const double c = 200.0;  // r̃ = 0.8 * 0.8 = 0.64
+  EXPECT_NEAR(prediction_period_factor(kPred, c),
+              1.0 / std::sqrt(1.0 - 0.64), 1e-12);
+  // Perfect recall with a negligible checkpoint: capped, large, finite.
+  PredictorConfig perfect = kPred;
+  perfect.recall = 1.0;
+  const double f = prediction_period_factor(perfect, 0.0);
+  EXPECT_NEAR(f, 1.0 / std::sqrt(1.0 - kMaxEffectiveRecall), 1e-12);
+  EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(PeriodFactor, MonotoneInRecall) {
+  double prev = 1.0;
+  for (double r = 0.1; r <= 1.0; r += 0.1) {
+    PredictorConfig cfg = kPred;
+    cfg.recall = r;
+    const double f = prediction_period_factor(cfg, 100.0);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace harvest::predict
