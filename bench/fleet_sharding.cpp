@@ -171,11 +171,11 @@ int main(int argc, char** argv) {
     fc.shards = shards;
     fc.routing = routing;
     fc.server = base;
-    cfg.fleet = fc;
+    cfg.scenario.fleet = fc;
     // With --timeline every cell records per-interval telemetry; gate (a)
     // then also proves the timeline does not perturb the simulation (the
     // legacy run below never sets a cadence).
-    if (!timeline_path.empty()) cfg.snapshot_every_s = 600.0;
+    if (!timeline_path.empty()) cfg.hooks.snapshot_every_s = 600.0;
     return condor::run_pool_simulation(machines, cfg);
   };
 

@@ -1,0 +1,388 @@
+// Megapool scaling: does the SoA machine table + calendar event queues
+// actually buy the fleet-scale pools the paper's cycle-harvesting story
+// needs? Sweeps pool size x worker threads and reports the wall-clock
+// scaling curve of the megapool engine, with the legacy engine as the
+// correctness anchor: at equal seeds the megapool run must be bit-identical
+// to the single-threaded legacy engine, at every thread count, with and
+// without fleet contention and fault prediction in the scenario.
+//
+// Gated checks:
+//   (a) megapool == legacy bit-identically on the identity cell (contended
+//       fleet + predictor + model-ranked matchmaking) at EVERY thread count;
+//   (b) every swept scale cell is bit-identical across all thread counts
+//       (the deterministic-merge guarantee, measured not assumed);
+//   (c) on hosts with >= 8 cores (full mode), the largest shared scale cell
+//       must run >= 4x faster at 8 threads than at 1 — on smaller hosts the
+//       ratio prints as info.
+//
+// Full mode finishes with the showcase cell: a million-machine park driven
+// through a multi-month trace at hardware concurrency. --months scales the
+// horizon (default 18 on multi-core hosts is the headline configuration;
+// single-core CI boxes should pass --months 2 or use --tiny).
+//
+// Flags:
+//   --json <path>   machine-readable artifact (config + cells + checks)
+//   --tiny          CI smoke: small pools, threads {1,2}, no showcase
+//   --months <m>    showcase horizon in 30-day months (default 18)
+//   --no-showcase   skip the million-machine cell
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "harvest/condor/pool_simulation.hpp"
+#include "harvest/obs/json.hpp"
+#include "harvest/trace/synthetic.hpp"
+#include "harvest/util/table.hpp"
+
+namespace {
+
+using namespace harvest;
+
+constexpr std::uint64_t kSimSeed = 47;
+
+std::vector<condor::TimelinePool::MachineSpec> build_park(std::size_t n) {
+  trace::PoolSpec spec;
+  spec.machine_count = n;
+  spec.durations_per_machine = 1;
+  spec.seed = bench::kStandardTraceSeed;
+  std::vector<condor::TimelinePool::MachineSpec> machines;
+  machines.reserve(n);
+  for (auto& m : trace::generate_pool(spec)) {
+    condor::TimelinePool::MachineSpec s;
+    s.id = m.trace.machine_id;
+    s.availability_law = std::move(m.ground_truth);
+    machines.push_back(std::move(s));
+  }
+  return machines;
+}
+
+/// Exact equality across every field both engines report — the bench's
+/// bit-identity gates compare with ==, never with a tolerance.
+bool results_identical(const condor::PoolSimResult& a,
+                       const condor::PoolSimResult& b) {
+  if (a.makespan_s != b.makespan_s || a.jobs.size() != b.jobs.size() ||
+      a.server.submitted != b.server.submitted ||
+      a.server.completed != b.server.completed ||
+      a.server.rejected != b.server.rejected ||
+      a.server.interrupted != b.server.interrupted ||
+      a.server.moved_mb != b.server.moved_mb ||
+      a.server.total_wait_s != b.server.total_wait_s ||
+      a.predictor.events != b.predictor.events ||
+      a.predictor.true_alerts != b.predictor.true_alerts ||
+      a.predictor.false_alerts != b.predictor.false_alerts) {
+    return false;
+  }
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    if (a.jobs[j].finished != b.jobs[j].finished ||
+        a.jobs[j].completion_s != b.jobs[j].completion_s ||
+        a.jobs[j].useful_work_s != b.jobs[j].useful_work_s ||
+        a.jobs[j].lost_work_s != b.jobs[j].lost_work_s ||
+        a.jobs[j].moved_mb != b.jobs[j].moved_mb ||
+        a.jobs[j].placements != b.jobs[j].placements ||
+        a.jobs[j].evictions != b.jobs[j].evictions ||
+        a.jobs[j].proactive_checkpoints != b.jobs[j].proactive_checkpoints) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct TimedRun {
+  condor::PoolSimResult result;
+  double wall_s = 0.0;
+};
+
+TimedRun timed_run(const std::vector<condor::TimelinePool::MachineSpec>& park,
+                   const condor::PoolSimConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TimedRun out;
+  out.result = condor::run_pool_simulation(park, cfg);
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  return out;
+}
+
+/// Scale-cell configuration: a contended fleet with jobs sized to the
+/// horizon, so the job queue stays busy for the whole run. The work must be
+/// finite: the engines drain placed jobs past the horizon until eviction or
+/// completion, and an unbounded job parked on one of the availability law's
+/// heavy-tail spells (days to years) would stretch that drain without limit.
+condor::PoolSimConfig scale_config(double horizon_s) {
+  condor::PoolSimConfig cfg;
+  cfg.engine = condor::PoolEngine::kMegapool;
+  cfg.job_count = 64;
+  cfg.work_per_job_s = horizon_s;
+  cfg.horizon_s = horizon_s;
+  cfg.seed = kSimSeed;
+  server::FleetConfig fc;
+  fc.shards = 4;
+  fc.server.capacity_mbps = 24.0;
+  fc.server.slots = 4;
+  cfg.scenario.fleet = fc;
+  return cfg;
+}
+
+std::string strip_value(int& argc, char** argv, const char* name) {
+  const std::string bare = std::string("--") + name;
+  const std::string eq = bare + "=";
+  std::string value;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i] && i + 1 < argc) {
+      value = argv[++i];
+    } else if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      value = argv[i] + eq.size();
+    } else {
+      argv[write++] = argv[i];
+    }
+  }
+  argc = write;
+  return value;
+}
+
+bool strip_switch(int& argc, char** argv, const char* name) {
+  const std::string bare = std::string("--") + name;
+  bool present = false;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) {
+      present = true;
+    } else {
+      argv[write++] = argv[i];
+    }
+  }
+  argc = write;
+  return present;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  const bool tiny = strip_switch(argc, argv, "tiny");
+  const bool no_showcase = strip_switch(argc, argv, "no-showcase");
+  const std::string months_s = strip_value(argc, argv, "months");
+  const double months = months_s.empty() ? 18.0 : std::atof(months_s.c_str());
+  if (!(months > 0.0)) {
+    std::fprintf(stderr, "bench_megapool: --months must be > 0\n");
+    return 2;
+  }
+
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<std::size_t> thread_list =
+      tiny ? std::vector<std::size_t>{1, 2}
+           : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::vector<std::size_t> scale_machines =
+      tiny ? std::vector<std::size_t>{512, 2048}
+           : std::vector<std::size_t>{10000, 100000};
+  const double scale_horizon_s =
+      tiny ? 7.0 * 86400.0 : 60.0 * 86400.0;  // full: two months per cell
+  const std::size_t identity_machines = tiny ? 512 : 2048;
+  const double identity_horizon_s = tiny ? 7.0 * 86400.0 : 14.0 * 86400.0;
+
+  std::printf("=== Megapool scaling: machines x threads (host %u cores) "
+              "===\n\n",
+              hw);
+
+  int failures = 0;
+
+  // Gate (a): the identity cell exercises every scenario axis at once —
+  // contended fleet, fault predictor, model-ranked matchmaking — and the
+  // megapool engine must reproduce the legacy engine bit for bit at every
+  // thread count.
+  bool identity_ok = true;
+  {
+    const auto park = build_park(identity_machines);
+    condor::PoolSimConfig cfg;
+    cfg.job_count = 16;
+    cfg.work_per_job_s = 6.0 * 3600.0;
+    cfg.horizon_s = identity_horizon_s;
+    cfg.policy = condor::MatchPolicy::kModelRanked;
+    cfg.seed = kSimSeed;
+    server::FleetConfig fc;
+    fc.shards = 2;
+    fc.server.capacity_mbps = 12.0;
+    fc.server.slots = 2;
+    cfg.scenario.fleet = fc;
+    cfg.scenario.predictor = predict::PredictorConfig{0.9, 0.8, 900.0};
+    std::fprintf(stderr, "  [megapool] identity cell: park built, running legacy...\n");
+    const auto legacy = timed_run(park, cfg);
+    std::printf("identity cell: %zu machines, contended + predictor, "
+                "legacy %.2f s\n",
+                identity_machines, legacy.wall_s);
+    for (const std::size_t threads : thread_list) {
+      condor::PoolSimConfig mcfg = cfg;
+      mcfg.engine = condor::PoolEngine::kMegapool;
+      mcfg.megapool.threads = threads;
+      const auto mega = timed_run(park, mcfg);
+      const bool ok = results_identical(legacy.result, mega.result);
+      if (!ok) {
+        identity_ok = false;
+        ++failures;
+      }
+      std::printf("  megapool %zu thread%s: %.2f s, vs legacy %s\n", threads,
+                  threads == 1 ? " " : "s", mega.wall_s,
+                  ok ? "identical" : "MISMATCH");
+    }
+  }
+  std::printf("\n");
+
+  // Scaling curve + gate (b): one row per (machines, threads); every row of
+  // a pool size must be bit-identical to that size's 1-thread row.
+  struct Cell {
+    std::size_t machines = 0;
+    std::size_t threads = 0;
+    double wall_s = 0.0;
+    double makespan_s = 0.0;
+    double moved_mb = 0.0;
+    std::size_t evictions = 0;
+    bool identical = true;
+  };
+  std::vector<Cell> cells;
+  bool cross_thread_ok = true;
+  double largest_wall_1t = 0.0;
+  double largest_wall_maxt = 0.0;
+  util::TextTable table({"machines", "threads", "wall (s)", "speedup",
+                         "GB moved", "evictions", "identical"});
+  for (const std::size_t n : scale_machines) {
+    const auto park = build_park(n);
+    condor::PoolSimResult reference;
+    double wall_1t = 0.0;
+    for (const std::size_t threads : thread_list) {
+      condor::PoolSimConfig cfg = scale_config(scale_horizon_s);
+      cfg.megapool.threads = threads;
+      const auto run = timed_run(park, cfg);
+      Cell cell;
+      cell.machines = n;
+      cell.threads = threads;
+      cell.wall_s = run.wall_s;
+      cell.makespan_s = run.result.makespan_s;
+      cell.moved_mb = run.result.total_moved_mb();
+      cell.evictions = run.result.total_evictions();
+      if (threads == thread_list.front()) {
+        reference = run.result;
+        wall_1t = run.wall_s;
+      } else {
+        cell.identical = results_identical(reference, run.result);
+        if (!cell.identical) {
+          cross_thread_ok = false;
+          ++failures;
+        }
+      }
+      if (n == scale_machines.back()) {
+        if (threads == 1) largest_wall_1t = run.wall_s;
+        if (threads == thread_list.back()) largest_wall_maxt = run.wall_s;
+      }
+      table.add_row({std::to_string(n), std::to_string(threads),
+                     util::format_fixed(run.wall_s, 2),
+                     util::format_fixed(
+                         run.wall_s > 0.0 ? wall_1t / run.wall_s : 0.0, 2),
+                     util::format_fixed(cell.moved_mb / 1024.0, 1),
+                     std::to_string(cell.evictions),
+                     cell.identical ? "yes" : "NO"});
+      std::fprintf(stderr, "  [megapool] %zu machines x %zu threads: %.2f s\n",
+                   n, threads, run.wall_s);
+      cells.push_back(cell);
+    }
+  }
+  std::printf("--- scale cells: contended fleet, 64 horizon-sized jobs, "
+              "%.0f-day horizon ---\n%s\n",
+              scale_horizon_s / 86400.0, table.render().c_str());
+
+  // Gate (c): parallelism must pay where there are cores to pay with.
+  const std::size_t max_threads = thread_list.back();
+  const double speedup = largest_wall_maxt > 0.0
+                             ? largest_wall_1t / largest_wall_maxt
+                             : 0.0;
+  const bool gate_speedup = !tiny && hw >= max_threads && max_threads >= 8;
+  const bool speedup_ok = speedup >= 4.0;
+  if (gate_speedup && !speedup_ok) ++failures;
+  std::printf("speedup on largest cell (%zu machines, %zu threads vs 1): "
+              "%.2fx (%s)\n\n",
+              scale_machines.back(), max_threads, speedup,
+              gate_speedup ? (speedup_ok ? "ok, >= 4x" : "FAIL, < 4x")
+                           : "info — host has too few cores to gate");
+
+  // The showcase: a million machines through a multi-month trace at
+  // hardware concurrency. Not gated on time — the point is that it
+  // completes and prints its throughput.
+  double showcase_wall_s = 0.0;
+  std::size_t showcase_machines = 0;
+  if (!tiny && !no_showcase) {
+    showcase_machines = 1000000;
+    const double horizon_s = months * 30.0 * 86400.0;
+    std::printf("showcase: %zu machines x %.1f months at hardware "
+                "concurrency...\n",
+                showcase_machines, months);
+    const auto park = build_park(showcase_machines);
+    condor::PoolSimConfig cfg = scale_config(horizon_s);
+    cfg.megapool.threads = 0;  // hardware
+    const auto run = timed_run(park, cfg);
+    showcase_wall_s = run.wall_s;
+    std::printf("  wall %.1f s (%.1f min), makespan %.0f d, %.1f GB moved, "
+                "%zu evictions\n\n",
+                run.wall_s, run.wall_s / 60.0,
+                run.result.makespan_s / 86400.0,
+                run.result.total_moved_mb() / 1024.0,
+                run.result.total_evictions());
+  }
+
+  std::printf("%s\n", failures == 0 ? "all checks passed"
+                                    : "SOME CHECKS FAILED");
+
+  if (!json_path.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "megapool");
+    w.key("config").begin_object();
+    w.field("pool_seed", std::uint64_t{bench::kStandardTraceSeed});
+    w.field("sim_seed", std::uint64_t{kSimSeed});
+    w.field("host_cores", static_cast<std::uint64_t>(hw));
+    w.field("tiny", tiny);
+    w.field("scale_horizon_s", scale_horizon_s);
+    w.field("identity_machines",
+            static_cast<std::uint64_t>(identity_machines));
+    w.end_object();
+    w.key("checks").begin_object();
+    w.field("identity_vs_legacy", identity_ok);
+    w.field("cross_thread_identity", cross_thread_ok);
+    w.field("speedup_largest_cell", speedup);
+    w.field("speedup_gated", gate_speedup);
+    w.field("failures", static_cast<std::uint64_t>(failures));
+    w.end_object();
+    w.key("cells").begin_array();
+    for (const auto& c : cells) {
+      w.begin_object();
+      w.field("machines", static_cast<std::uint64_t>(c.machines));
+      w.field("threads", static_cast<std::uint64_t>(c.threads));
+      w.field("wall_s", c.wall_s);
+      w.field("makespan_s", c.makespan_s);
+      w.field("moved_mb", c.moved_mb);
+      w.field("evictions", static_cast<std::uint64_t>(c.evictions));
+      w.field("identical", c.identical);
+      w.end_object();
+    }
+    w.end_array();
+    if (showcase_machines > 0) {
+      w.key("showcase").begin_object();
+      w.field("machines", static_cast<std::uint64_t>(showcase_machines));
+      w.field("months", months);
+      w.field("wall_s", showcase_wall_s);
+      w.end_object();
+    }
+    w.end_object();
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot open " + json_path);
+    out << w.str() << '\n';
+    std::fprintf(stderr, "  [megapool] artifact -> %s\n", json_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

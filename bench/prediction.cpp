@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
   fc.server.capacity_mbps = 12.0;
   fc.server.slots = 2;
   fc.server.stagger_window_s = 20.0;
-  base.fleet = fc;
+  base.scenario.fleet = fc;
 
   // Window sized so an alert's optimal placement d* = (I - C - W)/2 can land
   // before the reactive period ends (C ~ 42 s at 12 MB/s, T_opt ~ 460 s on
@@ -159,12 +159,12 @@ int main(int argc, char** argv) {
   for (const bool contended : {true, false}) {
     for (std::size_t rep = 0; rep < seeds; ++rep) {
       condor::PoolSimConfig cfg = base;
-      if (!contended) cfg.fleet.reset();
+      if (!contended) cfg.scenario.fleet.reset();
       cfg.seed = kSeed + rep;
       const auto plain = condor::run_pool_simulation(specs, cfg);
       predict::PredictorConfig r0 = good;
       r0.recall = 0.0;
-      cfg.predictor = r0;
+      cfg.scenario.predictor = r0;
       const auto silenced = condor::run_pool_simulation(specs, cfg);
       if (!identical(plain, silenced)) bit_identical = false;
       if (silenced.predictor.true_alerts + silenced.predictor.false_alerts !=
@@ -186,11 +186,11 @@ int main(int argc, char** argv) {
         condor::PoolSimConfig cfg = base;
         cfg.family = fams[f].second;
         cfg.seed = kSeed + rep;
-        cfg.predictor = scenarios[s].predictor;
+        cfg.scenario.predictor = scenarios[s].predictor;
         // --- Experiment 3 rides along on one good-predictor run. ---
         obs::SpanStore store;
         const bool spanned = s + 1 == scenarios.size() && rep == 0;
-        if (spanned) cfg.spans = &store;
+        if (spanned) cfg.hooks.spans = &store;
         const auto res = condor::run_pool_simulation(specs, cfg);
         cell.network_mb.push_back(res.total_moved_mb());
         cell.lost_h.push_back(res.total_lost_work_s() / 3600.0);

@@ -270,8 +270,8 @@ int main(int argc, char** argv) {
             cfg.checkpoint_size_mb = cost * base.capacity_mbps;
             cfg.family = family;
             cfg.seed = kBaseSimSeed + k;
-            cfg.fleet = fleet_base;
-            cfg.fleet->server.policy = policy;
+            cfg.scenario.fleet = fleet_base;
+            cfg.scenario.fleet->server.policy = policy;
             auto r = condor::run_pool_simulation(machines, cfg);
             cell.moved_mb.push_back(r.total_moved_mb());
             cell.mean_wait_s.push_back(r.server.mean_wait_s());

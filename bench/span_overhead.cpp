@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
   fc.server.capacity_mbps = 12.0;
   fc.server.slots = 2;
   fc.server.stagger_window_s = 20.0;
-  contended.fleet = fc;
+  contended.scenario.fleet = fc;
 
   condor::PoolSimConfig uncontended;
   uncontended.job_count = jobs;
@@ -139,13 +139,13 @@ int main(int argc, char** argv) {
     for (const bool server_mode : {true, false}) {
       condor::PoolSimConfig cfg = server_mode ? contended : uncontended;
       cfg.seed = kSeed + rep;
-      cfg.spans = nullptr;
+      cfg.hooks.spans = nullptr;
       const auto t0 = Clock::now();
       const auto plain = condor::run_pool_simulation(specs, cfg);
       base_s += seconds_since(t0);
 
       obs::SpanStore store;
-      cfg.spans = &store;
+      cfg.hooks.spans = &store;
       const auto t1 = Clock::now();
       const auto spanned = condor::run_pool_simulation(specs, cfg);
       spanned_s += seconds_since(t1);
@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
       attributed += store.report().total.transfers;
       if (server_mode && rep + 1 == reps) {
         // Keep the last contended run's spans for the attribution table.
-        cfg.spans = &last_report_store;
+        cfg.hooks.spans = &last_report_store;
         (void)condor::run_pool_simulation(specs, cfg);
       }
     }

@@ -110,7 +110,7 @@ void part_three_pool(const char* trace_path) {
   cfg.job_count = 12;
   cfg.work_per_job_s = 4.0 * 3600.0;
   cfg.seed = 7;
-  cfg.tracer = &tracer;
+  cfg.hooks.tracer = &tracer;
   cfg.server = server::ServerConfig{};
   cfg.server->capacity_mbps = 12.0;
   cfg.server->slots = 3;

@@ -278,11 +278,11 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
   cfg.family = family;
   cfg.seed = 31;
   if (!every_str.empty()) {
-    cfg.snapshot_every_s = std::atof(every_str.c_str());
+    cfg.hooks.snapshot_every_s = std::atof(every_str.c_str());
   } else if (!timeline_path.empty()) {
-    cfg.snapshot_every_s = 600.0;  // --timeline implies a default cadence
+    cfg.hooks.snapshot_every_s = 600.0;  // --timeline implies a default cadence
   }
-  if (!timeline_path.empty() && !(cfg.snapshot_every_s > 0.0)) {
+  if (!timeline_path.empty() && !(cfg.hooks.snapshot_every_s > 0.0)) {
     std::fprintf(stderr, "harvestctl: --timeline needs a positive "
                  "--snapshot-every\n");
     return 2;
@@ -293,10 +293,10 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
     if (!predict_r.empty()) pc.recall = std::atof(predict_r.c_str());
     if (!predict_w.empty()) pc.window_s = std::atof(predict_w.c_str());
     pc.validate();  // invalid values surface as a CLI error in main()
-    cfg.predictor = pc;
+    cfg.scenario.predictor = pc;
   }
   obs::SpanStore span_store;
-  if (!spans_path.empty()) cfg.spans = &span_store;
+  if (!spans_path.empty()) cfg.hooks.spans = &span_store;
 
   // The pool emulation needs a generating law per machine; fit one from
   // each machine's monitor history (Weibull captures the pool's shape).
@@ -317,20 +317,22 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
     return 1;
   }
 
-  if (server_opts.any()) {
-    cfg.fleet = server_opts.fleet_config();
-    // Surface what the engine will silently adjust (e.g. fair ignoring
-    // slots) — the self-validation satellite of the server config.
-    for (const auto& w : server_opts.warnings()) {
-      std::fprintf(stderr, "harvestctl: warning: %s\n", w.c_str());
-    }
+  condor::apply_cli_options(cfg, server_opts);
+  if (g_observing) cfg.hooks.tracer = &obs::default_tracer();
+  // Resolve engine/scenario up front: surfaces every warning (deprecated
+  // shorthands, ignored tuning, fleet adjustments) and the engine that will
+  // actually run.
+  const auto validation = cfg.validate();
+  for (const auto& w : validation.warnings) {
+    std::fprintf(stderr, "harvestctl: warning: %s\n", w.c_str());
   }
-  if (g_observing) cfg.tracer = &obs::default_tracer();
 
   const auto res = condor::run_pool_simulation(machines, cfg);
-  std::printf("pool of %zu machines, %zu jobs x %.1f h, model %s\n",
+  std::printf("pool of %zu machines, %zu jobs x %.1f h, model %s, engine "
+              "%s\n",
               machines.size(), cfg.job_count, cfg.work_per_job_s / 3600.0,
-              core::to_string(family).c_str());
+              core::to_string(family).c_str(),
+              condor::to_string(res.engine).c_str());
   std::printf("finished:        %zu/%zu\n", res.finished_count(),
               res.jobs.size());
   std::printf("mean completion: %.1f h\n", res.mean_completion_s() / 3600.0);
@@ -349,7 +351,7 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
     std::printf("proactive ckpts: %zu\n", res.total_proactive_checkpoints());
   }
   if (res.server_enabled) {
-    const auto& fc = *cfg.fleet;
+    const auto& fc = *cfg.scenario.fleet;
     const auto effective = fc.validate().effective;
     std::printf("server fleet [%zu x %s, routing %s, %zu slots, %.0f MB/s "
                 "each]:\n",
@@ -387,7 +389,7 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
   if (!timeline_path.empty()) {
     condor::write_timeline_csv(timeline_path, res.timeline);
     std::printf("timeline:        %zu frames x %.0f s -> %s\n",
-                res.timeline.size(), cfg.snapshot_every_s,
+                res.timeline.size(), cfg.hooks.snapshot_every_s,
                 timeline_path.c_str());
   }
   if (!spans_path.empty()) {

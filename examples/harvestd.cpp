@@ -528,15 +528,14 @@ int main(int argc, char** argv) {
   condor::PoolSimConfig cfg;
   cfg.job_count = rc.jobs;
   cfg.work_per_job_s = rc.work_hours * 3600.0;
-  cfg.snapshot_every_s = rc.snapshot_every;
+  cfg.hooks.snapshot_every_s = rc.snapshot_every;
   cfg.family = rc.family;
-  cfg.spans = &span_store;
-  if (server_opts.any()) {
-    cfg.fleet = server_opts.fleet_config();
-  } else {
+  cfg.hooks.spans = &span_store;
+  condor::apply_cli_options(cfg, server_opts);
+  if (!cfg.scenario.fleet.has_value()) {
     server::FleetConfig fc;
     fc.shards = 4;
-    cfg.fleet = fc;
+    cfg.scenario.fleet = fc;
   }
 
   // Surface EVERY validation warning — the CLI layer's and the fleet
@@ -551,7 +550,7 @@ int main(int argc, char** argv) {
         "proxy");
   }
   const server::ServerConfigValidation fleet_validation =
-      cfg.fleet->validate();
+      cfg.scenario.fleet->validate();
   startup_warnings.insert(startup_warnings.end(),
                           fleet_validation.warnings.begin(),
                           fleet_validation.warnings.end());
@@ -601,7 +600,7 @@ int main(int argc, char** argv) {
   std::uint64_t reloads = 0;
   const auto refresh_config_json = [&] {
     std::string doc = render_config_json(
-        rc, machines, port, config_path, popts.family, cfg.fleet->shards,
+        rc, machines, port, config_path, popts.family, cfg.scenario.fleet->shards,
         once, tiny, reloads, startup_warnings);
     std::lock_guard<std::mutex> lock(config_mutex);
     config_json = std::move(doc);
@@ -663,7 +662,7 @@ int main(int argc, char** argv) {
       }
       cfg.job_count = rc.jobs;
       cfg.work_per_job_s = rc.work_hours * 3600.0;
-      cfg.snapshot_every_s = rc.snapshot_every;
+      cfg.hooks.snapshot_every_s = rc.snapshot_every;
       cfg.family = rc.family;
       ++reloads;
       config_reloads.add();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "harvest/dist/conditional.hpp"
+#include "harvest/predict/failure_predictor.hpp"
 
 namespace harvest::condor {
 
@@ -82,6 +83,14 @@ double TimelinePool::remaining_availability(std::size_t i, double now) {
   return machines_[i].spell_end - now;
 }
 
+std::pair<double, double> TimelinePool::spell(std::size_t i, double now) {
+  if (i >= machines_.size()) {
+    throw std::out_of_range("TimelinePool::spell: machine index");
+  }
+  machines_[i].advance_to(now);
+  return {machines_[i].spell_start, machines_[i].spell_end};
+}
+
 const TimelinePool::MachineSpec& TimelinePool::spec(std::size_t i) const {
   if (i >= machines_.size()) throw std::out_of_range("TimelinePool::spec");
   return machines_[i].spec;
@@ -138,6 +147,16 @@ std::optional<Matchmaker::Match> Matchmaker::place(
         } catch (const std::exception&) {
           expected = model->mean();  // survival underflow at extreme age
         }
+        if (predictor_ != nullptr) {
+          // The oracle's view of this machine's current spell: when it
+          // foresees the reclamation, the machine is worth no more than the
+          // residual the prediction gives it. The hint keys on the exact
+          // stored spell bounds, so every engine computes the same score.
+          const auto [ss, se] =
+              pool_.spell(candidates[c].machine_index, now);
+          const auto hint = predictor_->reclaim_hint(ss, se, now);
+          if (hint.has_value() && *hint < expected) expected = *hint;
+        }
         if (expected > best) {
           best = expected;
           pick = c;
@@ -152,6 +171,10 @@ std::optional<Matchmaker::Match> Matchmaker::place(
   match.uptime_s = candidates[pick].uptime_s;
   match.remaining_s = pool_.remaining_availability(match.machine_index, now);
   return match;
+}
+
+void Matchmaker::set_predictor(const predict::FailurePredictor* predictor) {
+  predictor_ = predictor;
 }
 
 }  // namespace harvest::condor

@@ -17,10 +17,15 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harvest/dist/distribution.hpp"
 #include "harvest/numerics/rng.hpp"
+
+namespace harvest::predict {
+class FailurePredictor;
+}
 
 namespace harvest::condor {
 
@@ -51,6 +56,11 @@ class TimelinePool {
 
   /// Remaining availability of machine `i` at `now` (it must be available).
   [[nodiscard]] double remaining_availability(std::size_t i, double now);
+
+  /// Machine `i`'s current spell bounds (start, end) after advancing to
+  /// `now` — the exact stored doubles, so spell-keyed consumers (the fault
+  /// predictor's reclaim hints) see the same values from every engine.
+  [[nodiscard]] std::pair<double, double> spell(std::size_t i, double now);
 
   [[nodiscard]] const MachineSpec& spec(std::size_t i) const;
 
@@ -87,6 +97,14 @@ class Matchmaker {
   [[nodiscard]] std::optional<Match> place(
       double now, const std::vector<bool>& occupied = {});
 
+  /// Attach the fault-prediction oracle. kModelRanked then scores each
+  /// candidate as min(E[residual | uptime], predicted time-to-reclaim) —
+  /// machines whose reclamation the oracle foresees are demoted to the
+  /// residual it predicts. reclaim_hint is deterministic per spell and
+  /// consumes no RNG, and with recall 0 it never fires, so attaching a
+  /// zero-recall predictor reproduces the unattached ranking bit-for-bit.
+  void set_predictor(const predict::FailurePredictor* predictor);
+
   [[nodiscard]] MatchPolicy policy() const { return policy_; }
 
  private:
@@ -94,6 +112,7 @@ class Matchmaker {
   std::vector<dist::DistributionPtr> models_;
   MatchPolicy policy_;
   numerics::Rng rng_;
+  const predict::FailurePredictor* predictor_ = nullptr;
 };
 
 }  // namespace harvest::condor

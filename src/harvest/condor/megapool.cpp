@@ -1,0 +1,299 @@
+#include "harvest/condor/megapool.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "harvest/dist/conditional.hpp"
+
+namespace harvest::condor::engine {
+
+std::size_t MegaPark::auto_shard_count(std::size_t machines) {
+  return std::clamp<std::size_t>(machines / 256, 1, 1024);
+}
+
+MegaPark::MegaPark(const std::vector<TimelinePool::MachineSpec>& specs,
+                   std::uint64_t pool_seed,
+                   std::vector<dist::DistributionPtr> models,
+                   MatchPolicy policy, std::uint64_t matchmaker_seed,
+                   const MegapoolOptions& options, util::ThreadPool* workers)
+    : models_(std::move(models)),
+      policy_(policy),
+      match_rng_(matchmaker_seed),
+      workers_(workers) {
+  if (specs.empty()) throw std::invalid_argument("MegaPark: no machines");
+  if (specs.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("MegaPark: too many machines (32-bit index)");
+  }
+  if (policy_ == MatchPolicy::kModelRanked &&
+      models_.size() != specs.size()) {
+    throw std::invalid_argument(
+        "MegaPark: kModelRanked needs one fitted model per machine");
+  }
+  const std::size_t n = specs.size();
+
+  // Contiguous, 64-aligned shard ranges: shards never share a mask word,
+  // so parallel shard advancement is race-free by construction.
+  const std::size_t want =
+      options.shards != 0 ? options.shards : auto_shard_count(n);
+  std::size_t per = (n + want - 1) / want;
+  per = ((per + 63) / 64) * 64;
+  machines_per_shard_ = per;
+  shards_.resize((n + per - 1) / per);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].begin = s * per;
+    shards_[s].end = std::min(n, (s + 1) * per);
+  }
+
+  laws_.reserve(n);
+  busy_mean_.reserve(n);
+  rngs_.reserve(n);
+  spell_start_.assign(n, 0.0);
+  spell_end_.reserve(n);
+  timeline_avail_.reserve(n);
+  occupied_.assign(n, 0);
+  occupied_until_.assign(n, 0.0);
+  mask_.assign((n + 63) / 64, 0);
+
+  // Exactly TimelinePool's construction: one master split per machine in
+  // index order, then the phase draw and the first spell length from the
+  // machine's own stream — so every draw is bitwise the legacy draw.
+  numerics::Rng master(pool_seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& spec = specs[i];
+    if (!spec.availability_law) {
+      throw std::invalid_argument("MegaPark: machine without law");
+    }
+    rngs_.push_back(master.split());
+    laws_.push_back(spec.availability_law);
+    // Start each machine in a random phase: available with the long-run
+    // probability mean_avail / (mean_avail + mean_busy).
+    const double ma = spec.availability_law->mean();
+    const double mb =
+        spec.busy_mean_s > 0.0 ? spec.busy_mean_s : 0.5 * ma;
+    busy_mean_.push_back(mb);
+    const bool avail = rngs_[i].uniform() < ma / (ma + mb);
+    timeline_avail_.push_back(avail ? 1 : 0);
+    spell_end_.push_back(avail ? laws_[i]->sample(rngs_[i])
+                               : rngs_[i].exponential(1.0 / mb));
+    const auto m = static_cast<std::uint32_t>(i);
+    Shard& shard = shard_of(i);
+    if (avail) {
+      set_avail_bit(m);
+      ++shard.avail_count;
+    }
+    // A non-finite spell end (possible in principle from an extreme draw)
+    // matches the legacy semantics of a machine frozen in its current
+    // state forever: no transition is ever due, so none is queued.
+    if (std::isfinite(spell_end_[i])) {
+      shard.transitions.push(spell_end_[i], m, m);
+    }
+  }
+}
+
+void MegaPark::set_predictor(const predict::FailurePredictor* predictor) {
+  predictor_ = predictor;
+}
+
+void MegaPark::step_machine(std::uint32_t m, Shard& shard) {
+  spell_start_[m] = spell_end_[m];
+  if (timeline_avail_[m] != 0) {
+    // Owner reclaims: busy spell.
+    spell_end_[m] = spell_start_[m] + rngs_[m].exponential(1.0 / busy_mean_[m]);
+    timeline_avail_[m] = 0;
+    if (occupied_[m] == 0) {
+      clear_avail_bit(m);
+      --shard.avail_count;
+    }
+  } else {
+    spell_end_[m] = spell_start_[m] + laws_[m]->sample(rngs_[m]);
+    timeline_avail_[m] = 1;
+    if (occupied_[m] == 0) {
+      set_avail_bit(m);
+      ++shard.avail_count;
+    }
+  }
+  if (std::isfinite(spell_end_[m])) {
+    shard.transitions.push(spell_end_[m], m, m);
+  }
+}
+
+void MegaPark::advance_shard(Shard& shard, double now) {
+  // Spell transitions first (the `while (spell_end <= now)` walk), then
+  // releases: a release frees the machine only if its timeline state — as
+  // of `now` — is available, so the order converges to the same mask.
+  auto& q = shard.transitions;
+  while (!q.empty() && q.next_time() <= now) {
+    step_machine(q.pop().payload, shard);
+  }
+  auto& r = shard.releases;
+  while (!r.empty() && r.top().first <= now) {
+    const auto [t, m] = r.top();
+    r.pop();
+    // Lazy entries: the machine may have been re-occupied with a later
+    // release since this was queued; the legacy rule is simply
+    // "free iff occupied_until <= now".
+    if (occupied_[m] != 0 && occupied_until_[m] <= now) {
+      occupied_[m] = 0;
+      if (timeline_avail_[m] != 0) {
+        set_avail_bit(m);
+        ++shard.avail_count;
+      }
+    }
+  }
+}
+
+void MegaPark::advance_to(double now) {
+  due_.clear();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    const bool transitions_due =
+        !shard.transitions.empty() && shard.transitions.next_time() <= now;
+    const bool releases_due =
+        !shard.releases.empty() && shard.releases.top().first <= now;
+    if (transitions_due || releases_due) due_.push_back(s);
+  }
+  if (due_.empty()) return;
+  if (workers_ != nullptr && workers_->thread_count() > 1 &&
+      due_.size() > 1) {
+    util::parallel_for_each(*workers_, due_.size(), [&](std::size_t i) {
+      advance_shard(shards_[due_[i]], now);
+    });
+  } else {
+    for (const std::size_t s : due_) advance_shard(shards_[s], now);
+  }
+}
+
+MegaPark::ShardBest MegaPark::scan_shard(const Shard& shard,
+                                         double now) const {
+  ShardBest best;
+  const std::size_t w0 = shard.begin >> 6;
+  const std::size_t w1 = (shard.end + 63) >> 6;
+  for (std::size_t w = w0; w < w1; ++w) {
+    std::uint64_t bits = mask_[w];
+    while (bits != 0) {
+      const std::size_t m =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      // The same doubles the sequential Matchmaker computes: uptime as
+      // now - spell_start, compared with strict >, ascending index order.
+      const double uptime = now - spell_start_[m];
+      double score;
+      if (policy_ == MatchPolicy::kLongestUptime) {
+        score = uptime;
+      } else {
+        const auto& model = models_[m];
+        try {
+          score = dist::Conditional(model, uptime).mean();
+        } catch (const std::exception&) {
+          score = model->mean();  // survival underflow at extreme age
+        }
+        if (predictor_ != nullptr) {
+          const auto hint =
+              predictor_->reclaim_hint(spell_start_[m], spell_end_[m], now);
+          if (hint.has_value() && *hint < score) score = *hint;
+        }
+      }
+      if (score > best.score) {
+        best.score = score;
+        best.machine = m;
+        best.uptime = uptime;
+        best.found = true;
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t MegaPark::select_nth_available(std::uint64_t target) const {
+  for (const auto& shard : shards_) {
+    if (target >= shard.avail_count) {
+      target -= shard.avail_count;
+      continue;
+    }
+    const std::size_t w0 = shard.begin >> 6;
+    const std::size_t w1 = (shard.end + 63) >> 6;
+    for (std::size_t w = w0; w < w1; ++w) {
+      std::uint64_t bits = mask_[w];
+      const auto in_word = static_cast<std::uint64_t>(std::popcount(bits));
+      if (target >= in_word) {
+        target -= in_word;
+        continue;
+      }
+      while (target > 0) {
+        bits &= bits - 1;
+        --target;
+      }
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+    }
+  }
+  throw std::logic_error("MegaPark: availability count out of sync");
+}
+
+std::optional<Matchmaker::Match> MegaPark::place(double now) {
+  if (!(now >= 0.0)) {
+    throw std::invalid_argument("MegaPark::place: now >= 0");
+  }
+  advance_to(now);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.avail_count;
+  if (total == 0) return std::nullopt;
+
+  std::size_t machine = 0;
+  double uptime = 0.0;
+  if (policy_ == MatchPolicy::kRandom) {
+    // The matchmaker RNG draw happens iff candidates exist and consumes the
+    // same (count) argument as the sequential path — stream-identical.
+    machine = select_nth_available(match_rng_.uniform_index(total));
+    uptime = now - spell_start_[machine];
+  } else {
+    scan_best_.assign(shards_.size(), ShardBest{});
+    const auto scan_one = [&](std::size_t s) {
+      scan_best_[s] = scan_shard(shards_[s], now);
+    };
+    if (workers_ != nullptr && workers_->thread_count() > 1 &&
+        shards_.size() > 1) {
+      util::parallel_for_each(*workers_, shards_.size(), scan_one);
+    } else {
+      for (std::size_t s = 0; s < shards_.size(); ++s) scan_one(s);
+    }
+    // Merging in shard order with the same strict > reproduces the single
+    // ascending scan: the first machine attaining the maximum wins.
+    double best_score = -1.0;
+    bool found = false;
+    for (const auto& b : scan_best_) {
+      if (b.found && b.score > best_score) {
+        best_score = b.score;
+        machine = b.machine;
+        uptime = b.uptime;
+        found = true;
+      }
+    }
+    if (!found) return std::nullopt;  // unreachable while counts are in sync
+  }
+
+  Matchmaker::Match match;
+  match.machine_index = machine;
+  match.uptime_s = uptime;
+  match.remaining_s = spell_end_[machine] - now;
+  return match;
+}
+
+void MegaPark::occupy(std::size_t machine, double until) {
+  Shard& shard = shard_of(machine);
+  occupied_[machine] = 1;
+  occupied_until_[machine] = until;
+  // place() just returned this machine, so its candidate bit is set.
+  clear_avail_bit(static_cast<std::uint32_t>(machine));
+  --shard.avail_count;
+  shard.releases.emplace(until, static_cast<std::uint32_t>(machine));
+}
+
+void MegaPark::release_at(std::size_t machine, double t) {
+  occupied_until_[machine] = t;
+  shard_of(machine).releases.emplace(t, static_cast<std::uint32_t>(machine));
+}
+
+}  // namespace harvest::condor::engine

@@ -1,0 +1,130 @@
+// MegaPark: the million-machine machine park. The per-machine Timeline
+// objects of TimelinePool become a flat structure-of-arrays table — RNG
+// cursors, spell clocks, availability/occupancy flags, law and fitted-model
+// handles in parallel vectors — and the implicit "advance every machine on
+// every negotiation" walk becomes per-shard calendar queues of spell-end
+// transitions: only machines whose spell actually ends get touched, so a
+// negotiation at time t costs O(transitions due) instead of O(machines).
+//
+// The table is split into contiguous, cacheline-aligned shards fanned across
+// a util::ThreadPool. Determinism at any shard/thread count is by
+// construction, not by luck:
+//   * every machine owns an independent RNG stream (split off the pool seed
+//     in index order, exactly as TimelinePool does), so shard advancement
+//     order cannot change any draw;
+//   * candidate selection merges per-shard results in shard order with the
+//     same strict-inequality tie-breaks as the sequential scan, so the
+//     winner is the machine the single-threaded Matchmaker would pick,
+//     bit for bit;
+//   * the matchmaker RNG is consumed only on the (single-threaded) spine.
+// Consequently MegaPark is bit-identical to LegacyPark at equal seeds — the
+// property bench_megapool and the megapool tests gate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "harvest/condor/pool_engine.hpp"
+#include "harvest/sim/calendar_queue.hpp"
+
+namespace harvest::condor::engine {
+
+class MegaPark final : public MachinePark {
+ public:
+  /// `models` are the fitted per-machine availability models (used by
+  /// kModelRanked exactly like Matchmaker). Reproduces TimelinePool's
+  /// construction draws from `pool_seed` and Matchmaker's selection stream
+  /// from `matchmaker_seed`.
+  MegaPark(const std::vector<TimelinePool::MachineSpec>& specs,
+           std::uint64_t pool_seed, std::vector<dist::DistributionPtr> models,
+           MatchPolicy policy, std::uint64_t matchmaker_seed,
+           const MegapoolOptions& options, util::ThreadPool* workers);
+
+  [[nodiscard]] std::optional<Matchmaker::Match> place(double now) override;
+  void occupy(std::size_t machine, double until) override;
+  void release_at(std::size_t machine, double t) override;
+  void set_predictor(const predict::FailurePredictor* predictor) override;
+
+  /// Default shard count for a pool of `machines`: one shard per 256
+  /// machines, clamped to [1, 1024]. A pure function of the machine count —
+  /// never of the thread count — so the partition (and therefore the run)
+  /// is reproducible across hosts.
+  [[nodiscard]] static std::size_t auto_shard_count(std::size_t machines);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::size_t begin = 0;  ///< first machine (multiple of 64)
+    std::size_t end = 0;    ///< one past last machine
+    /// Pending spell-end transitions: (spell end, machine index).
+    sim::CalendarQueue<std::uint32_t> transitions;
+    /// Pending occupation releases: (release time, machine), min-heap.
+    /// Lazy — stale entries are skipped against occupied_until_.
+    std::priority_queue<std::pair<double, std::uint32_t>,
+                        std::vector<std::pair<double, std::uint32_t>>,
+                        std::greater<>>
+        releases;
+    std::size_t avail_count = 0;  ///< set bits in this shard's mask words
+  };
+
+  /// Per-shard best candidate under a scanning policy.
+  struct ShardBest {
+    double score = -1.0;
+    std::size_t machine = 0;
+    double uptime = 0.0;
+    bool found = false;
+  };
+
+  void advance_to(double now);
+  void advance_shard(Shard& shard, double now);
+  void step_machine(std::uint32_t m, Shard& shard);
+  [[nodiscard]] ShardBest scan_shard(const Shard& shard, double now) const;
+  [[nodiscard]] std::size_t select_nth_available(std::uint64_t target) const;
+  [[nodiscard]] Shard& shard_of(std::size_t machine) {
+    return shards_[machine / machines_per_shard_];
+  }
+
+  void set_avail_bit(std::uint32_t m) {
+    mask_[m >> 6] |= (std::uint64_t{1} << (m & 63));
+  }
+  void clear_avail_bit(std::uint32_t m) {
+    mask_[m >> 6] &= ~(std::uint64_t{1} << (m & 63));
+  }
+
+  // SoA machine table. `laws_`/`busy_mean_` mirror what TimelinePool reads
+  // off each spec; busy_mean_ is precomputed once (the mean is a pure
+  // function of the law's parameters, so the value is bitwise the same as
+  // the legacy per-transition recomputation).
+  std::vector<dist::DistributionPtr> laws_;
+  std::vector<dist::DistributionPtr> models_;  ///< fitted, for kModelRanked
+  std::vector<double> busy_mean_;
+  std::vector<numerics::Rng> rngs_;
+  std::vector<double> spell_start_;
+  std::vector<double> spell_end_;
+  std::vector<std::uint8_t> timeline_avail_;  ///< availability-law state
+  std::vector<std::uint8_t> occupied_;
+  std::vector<double> occupied_until_;
+  /// Candidate bitset: bit m set ⇔ timeline_avail_[m] && !occupied_[m].
+  /// Shard ranges are 64-aligned, so shards never share a word.
+  std::vector<std::uint64_t> mask_;
+
+  std::vector<Shard> shards_;
+  std::size_t machines_per_shard_ = 1;
+
+  MatchPolicy policy_;
+  numerics::Rng match_rng_;
+  const predict::FailurePredictor* predictor_ = nullptr;
+  util::ThreadPool* workers_;  ///< null or 1-thread → run inline
+
+  // Spine-owned scratch (reused across place() calls to avoid allocation
+  // churn; the spine is single-threaded by the MachinePark contract).
+  std::vector<std::size_t> due_;
+  std::vector<ShardBest> scan_best_;
+};
+
+}  // namespace harvest::condor::engine

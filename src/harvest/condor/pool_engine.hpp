@@ -1,0 +1,156 @@
+// Internal engine layer behind run_pool_simulation: the shared job spines
+// (uncontended synchronous walk, contended fleet walk) parametrized over a
+// MachinePark — the abstraction that owns machine availability timelines,
+// occupancy, and policy-driven selection. Two parks implement it:
+//
+//   * LegacyPark  — TimelinePool + Matchmaker + occupancy vectors, the
+//                   original per-machine-object path, moved here verbatim;
+//   * MegaPark    — the flat SoA machine table with per-shard calendar
+//                   queues (condor/megapool.hpp), bit-identical to
+//                   LegacyPark at equal seeds at any shard/thread count.
+//
+// Everything in harvest::condor::engine is an implementation detail of
+// run_pool_simulation; the public API lives in pool_simulation.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "harvest/condor/matchmaker.hpp"
+#include "harvest/condor/pool_simulation.hpp"
+#include "harvest/numerics/rng.hpp"
+#include "harvest/obs/metrics.hpp"
+#include "harvest/predict/failure_predictor.hpp"
+#include "harvest/server/fleet.hpp"
+#include "harvest/util/thread_pool.hpp"
+
+namespace harvest::condor::engine {
+
+struct PoolMetrics {
+  obs::Counter& runs;
+  obs::Counter& placements;
+  obs::Counter& evictions;
+  obs::Counter& finished;
+  obs::Gauge& mb_moved;
+  obs::Histogram& wall_s;
+};
+
+PoolMetrics& pool_metrics();
+
+/// What both spines need from the pool of machines: advance the availability
+/// timelines, track guest-job occupancy, and pick a machine under the
+/// matchmaking policy. The spines drive a park single-threaded, in
+/// nondecreasing `now` order; a park may parallelize internally as long as
+/// its observable behavior is deterministic.
+class MachinePark {
+ public:
+  virtual ~MachinePark() = default;
+
+  /// Advance timelines to `now`, free occupations whose release time has
+  /// passed (release <= now), and pick an available unoccupied machine
+  /// under the policy; nullopt when none is available.
+  [[nodiscard]] virtual std::optional<Matchmaker::Match> place(double now) = 0;
+
+  /// Mark `machine` (just returned by place()) occupied until `until`.
+  virtual void occupy(std::size_t machine, double until) = 0;
+
+  /// Move machine's pending release earlier (its job finished at `t`).
+  virtual void release_at(std::size_t machine, double t) = 0;
+
+  /// Attach the fault-prediction oracle: kModelRanked selection then ranks
+  /// by min(fitted residual mean, predicted time-to-reclaim).
+  virtual void set_predictor(const predict::FailurePredictor* predictor) = 0;
+};
+
+/// The original per-machine-object park: TimelinePool timelines, Matchmaker
+/// selection, dense occupancy vectors scanned on every negotiation.
+class LegacyPark final : public MachinePark {
+ public:
+  LegacyPark(const std::vector<TimelinePool::MachineSpec>& specs,
+             std::uint64_t pool_seed, std::vector<dist::DistributionPtr> models,
+             MatchPolicy policy, std::uint64_t matchmaker_seed);
+
+  [[nodiscard]] std::optional<Matchmaker::Match> place(double now) override;
+  void occupy(std::size_t machine, double until) override;
+  void release_at(std::size_t machine, double t) override;
+  void set_predictor(const predict::FailurePredictor* predictor) override;
+
+ private:
+  TimelinePool pool_;
+  Matchmaker matchmaker_;
+  std::vector<bool> occupied_;
+  std::vector<double> occupied_until_;
+};
+
+struct JobState {
+  double remaining_work = 0.0;
+  bool has_checkpoint = false;
+  PoolSimJobStats stats;
+};
+
+struct PlacementOutcome {
+  double end_time = 0.0;  ///< when the machine frees (eviction or finish)
+  bool job_finished = false;
+};
+
+/// Simulate one whole placement synchronously: the eviction instant is known
+/// (spell end), so the recovery/work/checkpoint walk inside it is
+/// deterministic given the sampled transfer times.
+PlacementOutcome run_placement(std::size_t job_id, double start,
+                               double eviction_time, double uptime_at_start,
+                               double remaining_work, bool has_checkpoint,
+                               const dist::DistributionPtr& model,
+                               const PoolSimConfig& cfg, numerics::Rng& rng,
+                               predict::FailurePredictor* predictor,
+                               PoolSimJobStats& stats,
+                               double& remaining_work_out,
+                               bool& has_checkpoint_out);
+
+/// Uncontended mode records (time, megabytes) per placement and job-finish
+/// instants during the run, then buckets them into cadence frames after the
+/// fact (the synchronous placement walk does not process events in global
+/// time order, so live cutting would misattribute).
+struct UncontendedTimelineLog {
+  std::vector<std::pair<double, double>> placement_mb;  ///< (end time, MB)
+  std::vector<double> job_finish_s;
+};
+
+std::vector<PoolTimelineFrame> build_uncontended_timeline(
+    const UncontendedTimelineLog& log, double every_s);
+
+/// The per-placement synchronous spine: each transfer samples an independent
+/// BandwidthModel duration (no cross-job network interaction).
+void run_uncontended_engine(const PoolSimConfig& config,
+                            const std::vector<dist::DistributionPtr>& fitted,
+                            MachinePark& park, numerics::Rng& transfer_rng,
+                            predict::FailurePredictor* predictor,
+                            std::vector<JobState>& jobs, double& last_finish,
+                            UncontendedTimelineLog* tl);
+
+struct ContendedOutputs {
+  server::FleetStats fleet;
+  std::vector<PoolTimelineFrame> timeline;  ///< empty when cadence is 0
+};
+
+/// The contended spine: a global discrete-event walk where every recovery
+/// and checkpoint transfer is a request against a server::ServerFleet.
+ContendedOutputs run_contended_engine(
+    const PoolSimConfig& config,
+    const std::vector<dist::DistributionPtr>& fitted, MachinePark& park,
+    const server::FleetConfig& fleet_config, std::uint64_t server_seed,
+    predict::FailurePredictor* predictor, std::vector<JobState>& jobs,
+    double& last_finish);
+
+/// Monitor histories → fitted models (what the planner is allowed to see).
+/// Consumes one master.split() per machine in index order, then samples and
+/// fits from each machine's own child stream — so the result is
+/// bit-identical whether the fits run inline (`workers == nullptr`) or
+/// fanned across the pool.
+std::vector<dist::DistributionPtr> fit_pool_models(
+    const std::vector<TimelinePool::MachineSpec>& specs, numerics::Rng& master,
+    core::ModelFamily family, std::size_t train_count,
+    util::ThreadPool* workers);
+
+}  // namespace harvest::condor::engine

@@ -1,0 +1,607 @@
+// The contended spine: a global discrete-event walk where every recovery and
+// checkpoint transfer is a request against a server::ServerFleet (K sharded
+// checkpoint servers; K=1 is the single-server case). Jobs interleave in
+// simulated time, so simultaneous checkpoints queue for slots and slow each
+// other down — the pool-wide interaction the paper's conclusion flags as
+// unmodeled. Job events live in a calendar queue keyed by submission
+// sequence, which reproduces the (time, seq) order of the binary heap it
+// replaced bit-for-bit.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "harvest/condor/pool_engine.hpp"
+#include "harvest/core/optimizer.hpp"
+#include "harvest/dist/conditional.hpp"
+#include "harvest/predict/proactive_policy.hpp"
+#include "harvest/sim/calendar_queue.hpp"
+
+namespace harvest::condor::engine {
+
+namespace {
+
+/// Nearest-rank quantile over an unsorted sample buffer (sorts in place).
+double sample_quantile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Live per-interval telemetry for the contended engine: the engine feeds
+/// every completed/interrupted transfer's bytes (and waits) into the open
+/// interval and calls advance() with its monotone processing time, which
+/// cuts frames at cadence boundaries. Every megabyte lands in exactly one
+/// frame, so the finished timeline partitions the run's network total.
+class FleetTimeline {
+ public:
+  FleetTimeline(double every_s, std::size_t shards, double capacity_mbps)
+      : every_s_(every_s),
+        capacity_mbps_(capacity_mbps),
+        moved_mb_(shards, 0.0),
+        waits_(shards),
+        storms_base_(shards, 0) {}
+
+  /// Cut frames for every cadence boundary at or before `t` (the engine's
+  /// monotone event-processing time).
+  void advance(double t, const server::ServerFleet& fleet) {
+    while (next_boundary() <= t) cut(next_boundary(), fleet);
+  }
+
+  void add_transfer(std::size_t shard, double mb) {
+    moved_mb_[shard] += mb;
+  }
+  void add_wait(std::size_t shard, double wait_s) {
+    waits_[shard].push_back(wait_s);
+  }
+  void job_finished() { ++jobs_finished_; }
+
+  /// Flush the open interval as a final (possibly short) frame and return
+  /// the timeline.
+  std::vector<PoolTimelineFrame> finish(double end_t,
+                                        const server::ServerFleet& fleet) {
+    if (end_t > start_s_ || pending_mb_total() > 0.0 ||
+        jobs_finished_ > 0) {
+      cut(std::max(end_t, start_s_), fleet);
+    }
+    return std::move(frames_);
+  }
+
+ private:
+  [[nodiscard]] double next_boundary() const {
+    return start_s_ + every_s_;
+  }
+  [[nodiscard]] double pending_mb_total() const {
+    double mb = 0.0;
+    for (const double m : moved_mb_) mb += m;
+    return mb;
+  }
+
+  void cut(double boundary, const server::ServerFleet& fleet) {
+    PoolTimelineFrame frame;
+    frame.start_s = start_s_;
+    frame.t_s = boundary;
+    frame.jobs_finished = jobs_finished_;
+    const double dt = boundary - start_s_;
+    frame.shards.reserve(moved_mb_.size());
+    for (std::size_t k = 0; k < moved_mb_.size(); ++k) {
+      const auto& shard = fleet.shard(k);
+      PoolShardFrame sf;
+      sf.queue_depth = shard.queued_count();
+      sf.active = shard.active_count();
+      sf.pending_mb = shard.pending_mb();
+      sf.moved_mb = moved_mb_[k];
+      sf.wait_p50_s = sample_quantile(waits_[k], 0.50);
+      sf.wait_p99_s = sample_quantile(waits_[k], 0.99);
+      sf.utilization =
+          dt > 0.0
+              ? std::min(1.0, moved_mb_[k] / (capacity_mbps_ * dt))
+              : 0.0;
+      const std::uint64_t storms = shard.staggered_count();
+      sf.storms_deferred = storms - storms_base_[k];
+      storms_base_[k] = storms;
+      frame.interval_mb += sf.moved_mb;
+      frame.shards.push_back(std::move(sf));
+      moved_mb_[k] = 0.0;
+      waits_[k].clear();
+    }
+    fleet.sample_gauges();
+    frames_.push_back(std::move(frame));
+    start_s_ = boundary;
+    jobs_finished_ = 0;
+  }
+
+  double every_s_;
+  double capacity_mbps_;
+  double start_s_ = 0.0;  ///< open interval start (= last cut boundary)
+  std::size_t jobs_finished_ = 0;
+  std::vector<double> moved_mb_;            ///< per shard, open interval
+  std::vector<std::vector<double>> waits_;  ///< per shard, open interval
+  std::vector<std::uint64_t> storms_base_;  ///< staggered_count at last cut
+  std::vector<PoolTimelineFrame> frames_;
+};
+
+class ContendedEngine {
+ public:
+  ContendedEngine(const PoolSimConfig& config,
+                  const std::vector<dist::DistributionPtr>& fitted,
+                  MachinePark& park, const server::FleetConfig& fleet_config,
+                  std::uint64_t server_seed,
+                  predict::FailurePredictor* predictor,
+                  std::vector<JobState>& jobs, double& last_finish)
+      : config_(config),
+        fitted_(fitted),
+        park_(park),
+        fleet_(fleet_config, server_seed, config.hooks.tracer,
+               config.hooks.spans),
+        predictor_(predictor),
+        jobs_(jobs),
+        last_finish_(last_finish),
+        states_(jobs.size()),
+        events_(config.negotiation_interval_s) {
+    if (config.hooks.snapshot_every_s > 0.0) {
+      timeline_ = std::make_unique<FleetTimeline>(
+          config.hooks.snapshot_every_s, fleet_.shard_count(),
+          fleet_.config().server.capacity_mbps);
+    }
+    if (predictor_ != nullptr) policy_.emplace(predictor_->config());
+  }
+
+  void run() {
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      push_event(0.0, EventKind::kNegotiate, j, states_[j].generation);
+      // All jobs are submitted at t=0; each gets one root span the server's
+      // transfer spans (and our backoff/rejection spans) parent under.
+      if (config_.hooks.spans != nullptr) config_.hooks.spans->open_job(j, 0.0);
+    }
+    for (;;) {
+      const double heap_t = events_.next_time();
+      const auto server_next = fleet_.next_event_s();
+      const double server_t =
+          server_next.value_or(std::numeric_limits<double>::infinity());
+      if (!std::isfinite(heap_t) && !std::isfinite(server_t)) break;
+      // Server completions win ties: a transfer that finishes exactly at
+      // the eviction instant counts as completed, matching the synchronous
+      // walk's `full <= budget` rule.
+      if (server_t <= heap_t) {
+        observe_time(server_t);
+        for (const auto& done : fleet_.advance_to(server_t)) {
+          handle_completion(done);
+        }
+        continue;
+      }
+      const auto event = events_.pop();
+      const double t = event.time;
+      const auto [kind, gen, job_id] = event.payload;
+      if (gen != states_[job_id].generation) continue;  // stale placement
+      // Cut timeline frames only at *live* events: stale ones (cancelled
+      // placements long in the future) touch nothing, and skipping them
+      // keeps the timeline from trailing empty frames past the makespan.
+      // Live processing time is monotone, so no event's bytes are split.
+      observe_time(t);
+      switch (kind) {
+        case EventKind::kNegotiate:
+          handle_negotiate(job_id, t);
+          break;
+        case EventKind::kWorkDone:
+          handle_work_done(job_id, t);
+          break;
+        case EventKind::kRetry:
+          // The backoff span closes where the retry fires; the new
+          // submission's own spans start from here.
+          record_backoff_span(job_id, t);
+          submit_transfer(job_id, t);
+          break;
+        case EventKind::kEvict:
+          handle_evict(job_id, t);
+          break;
+        case EventKind::kAlert:
+          handle_alert(job_id, t);
+          break;
+      }
+    }
+    if (config_.hooks.spans != nullptr) {
+      // Jobs the horizon cut off close unfinished at the horizon — the same
+      // convention makespan_s reports for incomplete runs.
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        if (!jobs_[j].stats.finished) {
+          config_.hooks.spans->close_job(j, config_.horizon_s,
+                                         /*finished=*/false);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] server::FleetStats fleet_stats() const {
+    return fleet_.stats();
+  }
+
+  /// Flush the open interval and hand over the timeline (empty when
+  /// snapshot_every_s was 0). Call once, after run().
+  [[nodiscard]] std::vector<PoolTimelineFrame> take_timeline() {
+    if (timeline_ == nullptr) return {};
+    return timeline_->finish(last_t_, fleet_);
+  }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kNegotiate,
+    kWorkDone,
+    kRetry,
+    kEvict,
+    kAlert  ///< predictor alert lands (prediction scenario only)
+  };
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kWorking,
+    kTransferring,
+    kBackoff,
+    kDone
+  };
+  using TransferKind = server::TransferKind;
+
+  struct PerJob {
+    Phase phase = Phase::kIdle;
+    std::uint32_t generation = 0;  ///< bumps at placement end; stales events
+    std::size_t machine = 0;
+    double placement_start = 0.0;
+    double eviction_time = 0.0;
+    double uptime_at_start = 0.0;
+    double measured_cost = 0.0;  ///< last observed transfer cost (wait+wire)
+    double chunk = 0.0;          ///< work chunk awaiting its checkpoint
+    double work_start = 0.0;
+    /// Scheduled checkpoint instant of the current chunk. handle_work_done
+    /// only fires when the event's time matches exactly — an alert that
+    /// truncates the chunk reschedules it here and the superseded kWorkDone
+    /// (still queued) no-ops.
+    double work_done_t = 0.0;
+    /// The current chunk's checkpoint was rescheduled by an alert.
+    bool pending_proactive = false;
+    TransferKind transfer_kind = TransferKind::kRecovery;
+    server::TransferId transfer_id = 0;
+    double transfer_submit_s = 0.0;
+    std::uint32_t backoff_attempts = 0;  ///< resets on a completed transfer
+    double backoff_start = 0.0;          ///< when the current backoff began
+    double placement_mb = 0.0;           ///< bytes moved this placement
+  };
+
+  struct EventRec {
+    EventKind kind = EventKind::kNegotiate;
+    std::uint32_t generation = 0;
+    std::size_t job = 0;
+  };
+
+  void push_event(double t, EventKind kind, std::size_t job,
+                  std::uint32_t gen) {
+    // The push sequence is the tie-break key: equal-time events pop in
+    // submission order, exactly the (time, seq) heap discipline.
+    events_.push(t, next_seq_++, EventRec{kind, gen, job});
+  }
+
+  /// Record the engine's processing clock and cut any due timeline frames.
+  void observe_time(double t) {
+    last_t_ = t;
+    if (timeline_ != nullptr) timeline_->advance(t, fleet_);
+  }
+
+  void handle_negotiate(std::size_t job_id, double now) {
+    if (now >= config_.horizon_s) return;  // job reports unfinished
+    const auto match = park_.place(now);
+    if (!match) {
+      push_event(now + config_.negotiation_interval_s, EventKind::kNegotiate,
+                 job_id, states_[job_id].generation);
+      return;
+    }
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    ++job.stats.placements;
+    pool_metrics().placements.add();
+    st.machine = match->machine_index;
+    st.placement_start = now;
+    st.eviction_time = now + match->remaining_s;
+    st.uptime_at_start = match->uptime_s;
+    st.placement_mb = 0.0;
+    st.measured_cost =
+        config_.checkpoint_size_mb / fleet_.config().server.capacity_mbps;
+    park_.occupy(st.machine, st.eviction_time);
+    push_event(st.eviction_time, EventKind::kEvict, job_id, st.generation);
+    if (predictor_ != nullptr && st.eviction_time > now) {
+      // The oracle sees the placement's hidden reclamation instant and
+      // drops its alerts into the event stream; the generation stamp voids
+      // them if the placement ends early (job finished).
+      for (const auto& a : predictor_->alerts_for_spell(now,
+                                                        st.eviction_time)) {
+        push_event(a.time_s, EventKind::kAlert, job_id, st.generation);
+      }
+    }
+
+    if (job.has_checkpoint) {
+      st.transfer_kind = TransferKind::kRecovery;
+      if (st.backoff_attempts > 0) {
+        // This client's last transfer was interrupted or rejected: back off
+        // before hammering the server again.
+        st.phase = Phase::kBackoff;
+        st.backoff_start = now;
+        push_event(
+            now + fleet_.backoff().delay_s(st.backoff_attempts - 1),
+            EventKind::kRetry, job_id, st.generation);
+      } else {
+        submit_transfer(job_id, now);
+      }
+    } else {
+      enter_work(job_id, now);
+    }
+  }
+
+  void enter_work(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    const double uptime = st.uptime_at_start + (now - st.placement_start);
+    core::IntervalCosts costs;
+    costs.checkpoint = st.measured_cost;
+    costs.recovery = st.measured_cost;
+    const core::CheckpointOptimizer optimizer(
+        core::MarkovModel(fitted_[st.machine], costs), config_.optimizer);
+    double t_opt = optimizer.optimize(uptime).work_time;
+    if (predictor_ != nullptr) {
+      // Aupy et al. period stretch: the predictor absorbs a fraction r̃ of
+      // reclamations, so the reactive schedule relaxes by 1/sqrt(1 - r̃).
+      // Exactly 1.0 at recall 0, preserving bit-identity.
+      t_opt *= predict::prediction_period_factor(predictor_->config(),
+                                                 st.measured_cost);
+    }
+    st.chunk = std::min(t_opt, job.remaining_work);
+    st.phase = Phase::kWorking;
+    st.work_start = now;
+    st.work_done_t = now + st.chunk;
+    st.pending_proactive = false;
+    // If the chunk outlives the availability spell, the eviction event
+    // (already queued) fires first and charges the lost work.
+    push_event(st.work_done_t, EventKind::kWorkDone, job_id, st.generation);
+  }
+
+  void handle_work_done(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    // Exact-time guard: an alert that truncated the chunk rescheduled the
+    // checkpoint, leaving the original kWorkDone queued. The scheduled
+    // instant is stored verbatim from the push, so the comparison is exact
+    // (never a recomputation) and the legacy path — one kWorkDone per
+    // enter_work — always passes it.
+    if (st.phase != Phase::kWorking || now != st.work_done_t) return;
+    st.transfer_kind = st.pending_proactive ? TransferKind::kProactive
+                                            : TransferKind::kCheckpoint;
+    st.pending_proactive = false;
+    submit_transfer(job_id, now);
+  }
+
+  /// A predictor alert lands while (possibly) working: apply the window
+  /// rule against the work currently at risk and, when it acts inside the
+  /// current chunk, pull the checkpoint forward to the alert's optimal
+  /// in-window start.
+  void handle_alert(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    if (st.phase != Phase::kWorking) return;  // mid-transfer/backoff: ignore
+    const auto decision =
+        policy_->decide(now - st.work_start, st.measured_cost);
+    if (decision.action == predict::ProactiveAction::kSkip) return;
+    const double start_at = now + decision.delay_s;
+    // The already-scheduled checkpoint beats a delayed proactive start.
+    if (start_at >= st.work_done_t) return;
+    st.chunk = start_at - st.work_start;
+    st.work_done_t = start_at;
+    st.pending_proactive = true;
+    push_event(start_at, EventKind::kWorkDone, job_id, st.generation);
+  }
+
+  void submit_transfer(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    server::ServerTransferRequest req;
+    req.job_id = job_id;
+    req.megabytes = config_.checkpoint_size_mb;
+    // The traffic class rides the request: admission and the schedulers
+    // give recoveries headroom and service priority (admission.hpp), and
+    // the fleet's static routing shards on the submitting machine.
+    req.kind = st.transfer_kind;
+    req.machine_index = st.machine;
+    // Only checkpoint-class transfers (periodic or proactive) carry the
+    // urgency hint: a checkpoint racing the machine's predicted death has
+    // an uncommitted chunk at risk, so jumping the queue saves real work.
+    // A recovery has nothing committed yet — fast-tracking it onto a
+    // machine predicted to die soon just starts a chunk that the eviction
+    // then destroys, so recoveries queue FIFO within their class.
+    if (st.transfer_kind != TransferKind::kRecovery) {
+      req.predicted_remaining_s = predicted_remaining(job_id, now);
+    }
+    const auto outcome = fleet_.submit(req, now);
+    if (outcome.status == server::SubmitStatus::kRejected) {
+      ++job.stats.rejected_submits;
+      ++st.backoff_attempts;
+      st.phase = Phase::kBackoff;
+      st.backoff_start = now;
+      push_event(now + fleet_.backoff().delay_s(st.backoff_attempts - 1),
+                 EventKind::kRetry, job_id, st.generation);
+      return;
+    }
+    st.phase = Phase::kTransferring;
+    st.transfer_id = outcome.id;
+    st.transfer_submit_s = now;
+  }
+
+  /// Close the job's current backoff interval as a span ending at `end_s`
+  /// (the retry firing, or the eviction that cancels it).
+  void record_backoff_span(std::size_t job_id, double end_s) {
+    if (config_.hooks.spans == nullptr) return;
+    const PerJob& st = states_[job_id];
+    if (st.phase != Phase::kBackoff) return;
+    config_.hooks.spans->record_backoff(
+        job_id, st.backoff_start, end_s,
+        static_cast<std::uint8_t>(st.transfer_kind));
+  }
+
+  /// What the urgency scheduler orders by: the fitted model's expected
+  /// remaining availability of the submitting machine right now (same
+  /// estimate kModelRanked matchmaking uses).
+  [[nodiscard]] double predicted_remaining(std::size_t job_id,
+                                           double now) const {
+    const PerJob& st = states_[job_id];
+    const double uptime = st.uptime_at_start + (now - st.placement_start);
+    try {
+      return dist::Conditional(fitted_[st.machine], uptime).mean();
+    } catch (const std::exception&) {
+      return fitted_[st.machine]->mean();  // survival underflow at old age
+    }
+  }
+
+  void handle_completion(const server::ServerCompletion& done) {
+    const auto job_id = static_cast<std::size_t>(done.job_id);
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    const double now = done.finish_s;
+    job.stats.moved_mb += done.megabytes;
+    job.stats.server_wait_s += done.wait_s();
+    st.placement_mb += done.megabytes;
+    st.backoff_attempts = 0;
+    pool_metrics().mb_moved.add(done.megabytes);
+    if (timeline_ != nullptr) {
+      const std::size_t shard = server::ServerFleet::shard_of(done.id);
+      timeline_->add_transfer(shard, done.megabytes);
+      timeline_->add_wait(shard, done.wait_s());
+    }
+    // The cost the job *felt* — queueing plus wire time — is what it feeds
+    // back into the planner as C and R, so schedules adapt to congestion.
+    // Smoothed (EWMA), not raw: a single lucky fast transfer would collapse
+    // the planner's C, trigger a burst of frequent checkpoints, lengthen
+    // everyone's queue, and oscillate — the smoothing damps that closed
+    // loop regardless of scheduling policy.
+    const double sample = std::max(now - st.transfer_submit_s, 1e-6);
+    st.measured_cost = 0.5 * st.measured_cost + 0.5 * sample;
+
+    if (st.transfer_kind == TransferKind::kRecovery) {
+      enter_work(job_id, now);
+      return;
+    }
+    // Checkpoint (periodic, proactive, or final result upload) committed.
+    if (st.transfer_kind == TransferKind::kProactive) {
+      ++job.stats.proactive_checkpoints;
+    }
+    job.stats.useful_work_s += st.chunk;
+    job.remaining_work -= st.chunk;
+    job.has_checkpoint = true;
+    if (job.remaining_work <= 1e-9) {
+      finish_job(job_id, now);
+    } else {
+      enter_work(job_id, now);
+    }
+  }
+
+  void finish_job(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    job.stats.finished = true;
+    job.stats.completion_s = now;
+    last_finish_ = std::max(last_finish_, now);
+    pool_metrics().finished.add();
+    if (timeline_ != nullptr) timeline_->job_finished();
+    park_.release_at(st.machine, now);
+    if (config_.hooks.tracer != nullptr) {
+      config_.hooks.tracer->record_complete("placement", "condor",
+                                            st.placement_start,
+                                            now - st.placement_start, job_id,
+                                            st.placement_mb, st.machine);
+      config_.hooks.tracer->record_instant("job.finished", "condor", now,
+                                           job_id, job.stats.useful_work_s,
+                                           st.machine);
+    }
+    if (config_.hooks.spans != nullptr) {
+      config_.hooks.spans->close_job(job_id, now, /*finished=*/true);
+    }
+    st.phase = Phase::kDone;
+    ++st.generation;  // cancels the pending eviction event
+  }
+
+  void handle_evict(std::size_t job_id, double now) {
+    PerJob& st = states_[job_id];
+    JobState& job = jobs_[job_id];
+    switch (st.phase) {
+      case Phase::kWorking:
+        job.stats.lost_work_s += now - st.work_start;
+        break;
+      case Phase::kTransferring: {
+        const auto removal = fleet_.remove(st.transfer_id, now);
+        job.stats.moved_mb += removal.moved_mb;
+        st.placement_mb += removal.moved_mb;
+        pool_metrics().mb_moved.add(removal.moved_mb);
+        if (timeline_ != nullptr) {
+          timeline_->add_transfer(
+              server::ServerFleet::shard_of(st.transfer_id),
+              removal.moved_mb);
+        }
+        if (st.transfer_kind != TransferKind::kRecovery) {
+          job.stats.lost_work_s += st.chunk;  // never committed
+        }
+        ++st.backoff_attempts;  // interrupted: retry backs off next time
+        break;
+      }
+      case Phase::kBackoff:
+        // The pending retry dies with the placement; truncate its backoff
+        // span at the eviction so attributed backoff time is time actually
+        // spent waiting, not the schedule that never ran out.
+        record_backoff_span(job_id, now);
+        break;
+      case Phase::kIdle:
+      case Phase::kDone:
+        break;
+    }
+    ++job.stats.evictions;
+    pool_metrics().evictions.add();
+    if (config_.hooks.tracer != nullptr) {
+      config_.hooks.tracer->record_complete("placement", "condor",
+                                            st.placement_start,
+                                            now - st.placement_start, job_id,
+                                            st.placement_mb, st.machine);
+    }
+    st.phase = Phase::kIdle;
+    ++st.generation;  // cancels pending work/retry events
+    push_event(now + config_.negotiation_interval_s, EventKind::kNegotiate,
+               job_id, st.generation);
+  }
+
+  const PoolSimConfig& config_;
+  const std::vector<dist::DistributionPtr>& fitted_;
+  MachinePark& park_;
+  server::ServerFleet fleet_;
+  predict::FailurePredictor* predictor_;        ///< null = legacy engine
+  std::optional<predict::ProactivePolicy> policy_;
+  std::vector<JobState>& jobs_;
+  double& last_finish_;
+  std::vector<PerJob> states_;
+  std::unique_ptr<FleetTimeline> timeline_;  ///< null when cadence is 0
+  double last_t_ = 0.0;  ///< latest event-processing time (monotone)
+
+  sim::CalendarQueue<EventRec> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace
+
+ContendedOutputs run_contended_engine(
+    const PoolSimConfig& config,
+    const std::vector<dist::DistributionPtr>& fitted, MachinePark& park,
+    const server::FleetConfig& fleet_config, std::uint64_t server_seed,
+    predict::FailurePredictor* predictor, std::vector<JobState>& jobs,
+    double& last_finish) {
+  ContendedEngine engine(config, fitted, park, fleet_config, server_seed,
+                         predictor, jobs, last_finish);
+  engine.run();
+  ContendedOutputs out;
+  out.fleet = engine.fleet_stats();
+  out.timeline = engine.take_timeline();
+  return out;
+}
+
+}  // namespace harvest::condor::engine

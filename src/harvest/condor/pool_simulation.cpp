@@ -1,21 +1,16 @@
 #include "harvest/condor/pool_simulation.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <queue>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 
-#include "harvest/core/optimizer.hpp"
-#include "harvest/dist/conditional.hpp"
+#include "harvest/condor/megapool.hpp"
+#include "harvest/condor/pool_engine.hpp"
 #include "harvest/numerics/rng.hpp"
-#include "harvest/obs/metrics.hpp"
 #include "harvest/obs/timer.hpp"
-#include "harvest/predict/proactive_policy.hpp"
+#include "harvest/server/cli_options.hpp"
 
 namespace harvest::condor {
 
@@ -116,913 +111,101 @@ void write_timeline_csv(const std::string& path,
   }
 }
 
-namespace {
-
-struct PoolMetrics {
-  obs::Counter& runs;
-  obs::Counter& placements;
-  obs::Counter& evictions;
-  obs::Counter& finished;
-  obs::Gauge& mb_moved;
-  obs::Histogram& wall_s;
-};
-
-PoolMetrics& pool_metrics() {
-  auto& reg = obs::default_registry();
-  static PoolMetrics m{
-      reg.counter("condor.pool_sim.runs"),
-      reg.counter("condor.pool_sim.placements"),
-      reg.counter("condor.pool_sim.evictions"),
-      reg.counter("condor.pool_sim.jobs_finished"),
-      reg.gauge("condor.pool_sim.mb_moved"),
-      reg.histogram("condor.pool_sim.wall_s"),
-  };
-  return m;
+std::string to_string(PoolEngine engine) {
+  switch (engine) {
+    case PoolEngine::kAuto:
+      return "auto";
+    case PoolEngine::kUncontended:
+      return "uncontended";
+    case PoolEngine::kContended:
+      return "contended";
+    case PoolEngine::kMegapool:
+      return "megapool";
+  }
+  return "unknown";
 }
 
-/// Nearest-rank quantile over an unsorted sample buffer (sorts in place).
-double sample_quantile(std::vector<double>& v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(v.size() - 1) + 0.5);
-  return v[std::min(idx, v.size() - 1)];
+PoolEngine pool_engine_from_string(const std::string& name) {
+  if (name == "auto") return PoolEngine::kAuto;
+  if (name == "uncontended") return PoolEngine::kUncontended;
+  if (name == "contended") return PoolEngine::kContended;
+  if (name == "megapool") return PoolEngine::kMegapool;
+  throw std::invalid_argument("unknown pool engine: " + name);
 }
 
-/// Live per-interval telemetry for the contended engine: the engine feeds
-/// every completed/interrupted transfer's bytes (and waits) into the open
-/// interval and calls advance() with its monotone processing time, which
-/// cuts frames at cadence boundaries. Every megabyte lands in exactly one
-/// frame, so the finished timeline partitions the run's network total.
-class FleetTimeline {
- public:
-  FleetTimeline(double every_s, std::size_t shards, double capacity_mbps)
-      : every_s_(every_s),
-        capacity_mbps_(capacity_mbps),
-        moved_mb_(shards, 0.0),
-        waits_(shards),
-        storms_base_(shards, 0) {}
-
-  /// Cut frames for every cadence boundary at or before `t` (the engine's
-  /// monotone event-processing time).
-  void advance(double t, const server::ServerFleet& fleet) {
-    while (next_boundary() <= t) cut(next_boundary(), fleet);
-  }
-
-  void add_transfer(std::size_t shard, double mb) {
-    moved_mb_[shard] += mb;
-  }
-  void add_wait(std::size_t shard, double wait_s) {
-    waits_[shard].push_back(wait_s);
-  }
-  void job_finished() { ++jobs_finished_; }
-
-  /// Flush the open interval as a final (possibly short) frame and return
-  /// the timeline.
-  std::vector<PoolTimelineFrame> finish(double end_t,
-                                        const server::ServerFleet& fleet) {
-    if (end_t > start_s_ || pending_mb_total() > 0.0 ||
-        jobs_finished_ > 0) {
-      cut(std::max(end_t, start_s_), fleet);
-    }
-    return std::move(frames_);
-  }
-
- private:
-  [[nodiscard]] double next_boundary() const {
-    return start_s_ + every_s_;
-  }
-  [[nodiscard]] double pending_mb_total() const {
-    double mb = 0.0;
-    for (const double m : moved_mb_) mb += m;
-    return mb;
-  }
-
-  void cut(double boundary, const server::ServerFleet& fleet) {
-    PoolTimelineFrame frame;
-    frame.start_s = start_s_;
-    frame.t_s = boundary;
-    frame.jobs_finished = jobs_finished_;
-    const double dt = boundary - start_s_;
-    frame.shards.reserve(moved_mb_.size());
-    for (std::size_t k = 0; k < moved_mb_.size(); ++k) {
-      const auto& shard = fleet.shard(k);
-      PoolShardFrame sf;
-      sf.queue_depth = shard.queued_count();
-      sf.active = shard.active_count();
-      sf.pending_mb = shard.pending_mb();
-      sf.moved_mb = moved_mb_[k];
-      sf.wait_p50_s = sample_quantile(waits_[k], 0.50);
-      sf.wait_p99_s = sample_quantile(waits_[k], 0.99);
-      sf.utilization =
-          dt > 0.0
-              ? std::min(1.0, moved_mb_[k] / (capacity_mbps_ * dt))
-              : 0.0;
-      const std::uint64_t storms = shard.staggered_count();
-      sf.storms_deferred = storms - storms_base_[k];
-      storms_base_[k] = storms;
-      frame.interval_mb += sf.moved_mb;
-      frame.shards.push_back(std::move(sf));
-      moved_mb_[k] = 0.0;
-      waits_[k].clear();
-    }
-    fleet.sample_gauges();
-    frames_.push_back(std::move(frame));
-    start_s_ = boundary;
-    jobs_finished_ = 0;
-  }
-
-  double every_s_;
-  double capacity_mbps_;
-  double start_s_ = 0.0;  ///< open interval start (= last cut boundary)
-  std::size_t jobs_finished_ = 0;
-  std::vector<double> moved_mb_;            ///< per shard, open interval
-  std::vector<std::vector<double>> waits_;  ///< per shard, open interval
-  std::vector<std::uint64_t> storms_base_;  ///< staggered_count at last cut
-  std::vector<PoolTimelineFrame> frames_;
-};
-
-/// Uncontended mode records (time, megabytes) per placement and job-finish
-/// instants during the run, then buckets them into cadence frames after the
-/// fact (the synchronous placement walk does not process events in global
-/// time order, so live cutting would misattribute).
-struct UncontendedTimelineLog {
-  std::vector<std::pair<double, double>> placement_mb;  ///< (end time, MB)
-  std::vector<double> job_finish_s;
-};
-
-std::vector<PoolTimelineFrame> build_uncontended_timeline(
-    const UncontendedTimelineLog& log, double every_s) {
-  double max_t = 0.0;
-  for (const auto& [t, mb] : log.placement_mb) max_t = std::max(max_t, t);
-  for (const double t : log.job_finish_s) max_t = std::max(max_t, t);
-  const auto frame_count = static_cast<std::size_t>(
-      std::floor(max_t / every_s)) + 1;
-  std::vector<PoolTimelineFrame> frames(frame_count);
-  for (std::size_t i = 0; i < frame_count; ++i) {
-    frames[i].start_s = every_s * static_cast<double>(i);
-    frames[i].t_s =
-        std::min(every_s * static_cast<double>(i + 1), std::max(max_t, 0.0));
-  }
-  const auto index_of = [&](double t) {
-    return std::min(static_cast<std::size_t>(std::floor(t / every_s)),
-                    frame_count - 1);
-  };
-  for (const auto& [t, mb] : log.placement_mb) {
-    frames[index_of(t)].interval_mb += mb;
-  }
-  for (const double t : log.job_finish_s) {
-    ++frames[index_of(t)].jobs_finished;
-  }
-  return frames;
+void apply_cli_options(PoolSimConfig& config,
+                       const server::CliOptions& opts) {
+  if (opts.engine) config.engine = pool_engine_from_string(*opts.engine);
+  if (opts.megapool_threads) config.megapool.threads = *opts.megapool_threads;
+  if (opts.megapool_shards) config.megapool.shards = *opts.megapool_shards;
+  if (opts.any()) config.scenario.fleet = opts.fleet_config();
 }
 
-struct PlacementOutcome {
-  double end_time = 0.0;   ///< when the machine frees (eviction or finish)
-  bool job_finished = false;
-};
-
-// Simulate one whole placement synchronously: the eviction instant is known
-// (spell end), so the recovery/work/checkpoint walk inside it is
-// deterministic given the sampled transfer times.
-PlacementOutcome run_placement(std::size_t job_id, double start,
-                               double eviction_time, double uptime_at_start,
-                               double remaining_work, bool has_checkpoint,
-                               const dist::DistributionPtr& model,
-                               const PoolSimConfig& cfg, numerics::Rng& rng,
-                               predict::FailurePredictor* predictor,
-                               PoolSimJobStats& stats,
-                               double& remaining_work_out,
-                               bool& has_checkpoint_out) {
-  double now = start;
-  double uptime = uptime_at_start;
-  double measured_cost =
-      cfg.link.expected_transfer_seconds(cfg.checkpoint_size_mb);
-
-  // Fault-prediction scenario: the oracle sees this placement's hidden
-  // reclamation instant (the spell end) and emits its alerts up front; the
-  // walk below consults them through the window-aware proactive rule. The
-  // policy only ever sees alert times — never Alert::truth.
-  std::vector<predict::Alert> alerts;
-  std::optional<predict::ProactivePolicy> policy;
-  if (predictor != nullptr && eviction_time > now) {
-    alerts = predictor->alerts_for_spell(now, eviction_time);
-    policy.emplace(predictor->config());
+PoolSimValidation PoolSimConfig::validate() const {
+  if (job_count == 0 || !(work_per_job_s > 0.0) ||
+      !(negotiation_interval_s > 0.0) || !(horizon_s > 0.0) ||
+      !(hooks.snapshot_every_s >= 0.0)) {
+    throw std::invalid_argument("PoolSimConfig: bad config");
   }
-  std::size_t alert_idx = 0;
-
-  struct Transfer {
-    double duration;  ///< elapsed wire time (cut at budget if interrupted)
-    double moved_mb;  ///< pro-rated bytes
-    bool completed;
-  };
-  const auto transfer = [&](double budget) -> Transfer {
-    const double full =
-        cfg.link.sample_transfer_seconds(cfg.checkpoint_size_mb, rng);
-    if (full <= budget) return {full, cfg.checkpoint_size_mb, true};
-    return {budget,
-            full > 0.0 ? cfg.checkpoint_size_mb * budget / full : 0.0,
-            false};
-  };
-  // Uncontended transfers start the instant they are requested and own the
-  // sampled link alone, so the span degenerates to a pure service phase:
-  // zero wait, solo == duration, dilation == 0. Keeping the record anyway
-  // means job span trees (and the partition invariant) hold in both
-  // engines, and a contended-vs-uncontended attribution diff reads off
-  // exactly what contention cost.
-  const auto record_span = [&](double t0, const Transfer& tr,
-                               std::uint8_t kind) {
-    if (cfg.spans == nullptr) return;
-    obs::TransferTimings t;
-    t.job_id = job_id;
-    t.kind = kind;
-    t.megabytes = cfg.checkpoint_size_mb;
-    t.moved_mb = tr.moved_mb;
-    t.arrival_s = t0;
-    t.eligible_s = t0;
-    t.start_s = t0;
-    t.end_s = t0 + tr.duration;
-    t.solo_service_s = tr.duration;
-    t.entered_service = true;
-    t.completed = tr.completed;
-    cfg.spans->record_transfer(t);
-  };
-
-  // Recovery of the last checkpoint, if any exists.
-  if (has_checkpoint) {
-    const auto [dur, moved, ok] = transfer(eviction_time - now);
-    record_span(now, {dur, moved, ok}, /*kind=*/1);
-    now += dur;
-    uptime += dur;
-    stats.moved_mb += moved;
-    if (!ok) {
-      ++stats.evictions;
-      remaining_work_out = remaining_work;
-      has_checkpoint_out = has_checkpoint;
-      return {eviction_time, false};
-    }
-    measured_cost = dur;
+  if (server.has_value() && scenario.fleet.has_value()) {
+    throw std::invalid_argument(
+        "PoolSimConfig: set `server` (the deprecated 1-shard shorthand) or "
+        "`scenario.fleet`, not both");
   }
 
-  for (;;) {
-    core::IntervalCosts costs;
-    costs.checkpoint = measured_cost;
-    costs.recovery = measured_cost;
-    const core::CheckpointOptimizer optimizer(
-        core::MarkovModel(model, costs), cfg.optimizer);
-    double t_opt = optimizer.optimize(uptime).work_time;
-    if (policy.has_value()) {
-      // A predictor that catches a fraction r̃ of reclamations lets the
-      // periodic schedule relax: stretch T_opt by 1/sqrt(1 - r̃). With
-      // recall 0 the factor is exactly 1.0, preserving bit-identity.
-      t_opt *= predict::prediction_period_factor(predictor->config(),
-                                                 measured_cost);
-    }
-    double chunk = std::min(t_opt, remaining_work);
+  PoolSimValidation v;
+  v.fleet = scenario.fleet;
+  if (!v.fleet.has_value() && server.has_value()) {
+    // The single place the deprecated shorthand desugars: a 1-shard fleet
+    // is bit-identical to driving the server directly.
+    server::FleetConfig fc;
+    fc.server = *server;
+    v.fleet = fc;
+    v.warnings.push_back(
+        "`server` is deprecated; use scenario.fleet (it desugars to a "
+        "1-shard fleet, bit-identical)");
+  }
 
-    // Scan alerts landing inside this work chunk; the first one the window
-    // rule acts on truncates the chunk so the checkpoint starts at the
-    // alert's optimal in-window delay.
-    bool proactive = false;
-    if (policy.has_value()) {
-      while (alert_idx < alerts.size() && alerts[alert_idx].time_s <= now) {
-        ++alert_idx;
+  switch (engine) {
+    case PoolEngine::kAuto:
+      v.engine = v.fleet.has_value() ? PoolEngine::kContended
+                                     : PoolEngine::kUncontended;
+      break;
+    case PoolEngine::kUncontended:
+      if (v.fleet.has_value()) {
+        throw std::invalid_argument(
+            "PoolSimConfig: engine kUncontended cannot run a fleet "
+            "scenario; use kContended, kMegapool, or kAuto");
       }
-      for (std::size_t i = alert_idx;
-           i < alerts.size() && alerts[i].time_s < now + chunk; ++i) {
-        const double work_at_risk = alerts[i].time_s - now;
-        const auto decision = policy->decide(work_at_risk, measured_cost);
-        if (decision.action == predict::ProactiveAction::kSkip) continue;
-        const double start_at = alerts[i].time_s + decision.delay_s;
-        // The periodic checkpoint beats a delayed proactive start.
-        if (start_at >= now + chunk) continue;
-        chunk = start_at - now;
-        proactive = true;
-        break;
+      v.engine = PoolEngine::kUncontended;
+      break;
+    case PoolEngine::kContended:
+      if (!v.fleet.has_value()) {
+        throw std::invalid_argument(
+            "PoolSimConfig: engine kContended needs scenario.fleet");
       }
-    }
+      v.engine = PoolEngine::kContended;
+      break;
+    case PoolEngine::kMegapool:
+      // Runs whichever spine the scenario needs; no constraint.
+      v.engine = PoolEngine::kMegapool;
+      break;
+  }
 
-    if (now + chunk > eviction_time) {
-      // Evicted mid-computation: work since the last checkpoint is lost.
-      stats.lost_work_s += eviction_time - now;
-      ++stats.evictions;
-      remaining_work_out = remaining_work;
-      has_checkpoint_out = has_checkpoint;
-      return {eviction_time, false};
-    }
-    now += chunk;
-    uptime += chunk;
-
-    // Transfer: a periodic checkpoint, an alert-driven proactive one, or
-    // the final result upload.
-    const auto [dur, moved, ok] = transfer(eviction_time - now);
-    record_span(now, {dur, moved, ok}, proactive ? std::uint8_t{2}
-                                                 : std::uint8_t{0});
-    stats.moved_mb += moved;
-    now += dur;
-    uptime += dur;
-    if (!ok) {
-      // The chunk was never committed.
-      stats.lost_work_s += chunk;
-      ++stats.evictions;
-      remaining_work_out = remaining_work;
-      has_checkpoint_out = has_checkpoint;
-      return {eviction_time, false};
-    }
-    stats.useful_work_s += chunk;
-    if (proactive) ++stats.proactive_checkpoints;
-    remaining_work -= chunk;
-    has_checkpoint = true;
-    measured_cost = dur;
-    if (remaining_work <= 1e-9) {
-      remaining_work_out = 0.0;
-      has_checkpoint_out = true;
-      return {now, true};
+  if (v.engine != PoolEngine::kMegapool &&
+      (megapool.shards != 0 || megapool.threads != 0)) {
+    v.warnings.push_back("megapool tuning is ignored under engine `" +
+                         to_string(v.engine) + "`");
+  }
+  if (v.fleet.has_value()) {
+    auto fleet_validation = v.fleet->validate();
+    for (auto& w : fleet_validation.warnings) {
+      v.warnings.push_back("fleet: " + std::move(w));
     }
   }
+  if (scenario.predictor.has_value()) scenario.predictor->validate();
+  return v;
 }
-
-struct JobState {
-  double remaining_work = 0.0;
-  bool has_checkpoint = false;
-  PoolSimJobStats stats;
-};
-
-/// The original per-placement synchronous walk: each transfer samples an
-/// independent BandwidthModel duration (no cross-job network interaction).
-void run_uncontended(const std::vector<TimelinePool::MachineSpec>& specs,
-                     const PoolSimConfig& config,
-                     const std::vector<dist::DistributionPtr>& fitted,
-                     TimelinePool& pool, Matchmaker& matchmaker,
-                     numerics::Rng& transfer_rng,
-                     predict::FailurePredictor* predictor,
-                     std::vector<JobState>& jobs, double& last_finish,
-                     UncontendedTimelineLog* tl) {
-  (void)pool;
-  // Min-heap of (time, job) negotiation events.
-  using Event = std::pair<double, std::size_t>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    queue.push({0.0, j});
-    if (config.spans != nullptr) config.spans->open_job(j, 0.0);
-  }
-
-  std::vector<bool> occupied(specs.size(), false);
-  std::vector<double> occupied_until(specs.size(), 0.0);
-
-  while (!queue.empty()) {
-    const auto [now, job_id] = queue.top();
-    queue.pop();
-    if (now >= config.horizon_s) continue;
-    JobState& job = jobs[job_id];
-
-    // Free machines whose placements have ended.
-    for (std::size_t m = 0; m < occupied.size(); ++m) {
-      if (occupied[m] && occupied_until[m] <= now) occupied[m] = false;
-    }
-
-    const auto match = matchmaker.place(now, occupied);
-    if (!match) {
-      // Nothing idle: wait for the next negotiation cycle.
-      queue.push({now + config.negotiation_interval_s, job_id});
-      continue;
-    }
-    ++job.stats.placements;
-    pool_metrics().placements.add();
-    const double eviction_time = now + match->remaining_s;
-    double remaining_after = job.remaining_work;
-    bool ckpt_after = job.has_checkpoint;
-    const double mb_before = job.stats.moved_mb;
-    const std::size_t evictions_before = job.stats.evictions;
-    const auto outcome = run_placement(
-        job_id, now, eviction_time, match->uptime_s, job.remaining_work,
-        job.has_checkpoint, fitted[match->machine_index], config,
-        transfer_rng, predictor, job.stats, remaining_after, ckpt_after);
-    job.remaining_work = remaining_after;
-    job.has_checkpoint = ckpt_after;
-    occupied[match->machine_index] = true;
-    occupied_until[match->machine_index] = outcome.end_time;
-    pool_metrics().evictions.add(job.stats.evictions - evictions_before);
-    pool_metrics().mb_moved.add(job.stats.moved_mb - mb_before);
-    if (tl != nullptr) {
-      // Whole-placement MB attributed at the placement's end instant: the
-      // addends are the same deltas job stats accumulate, so the bucketed
-      // timeline partitions total_moved_mb() exactly.
-      tl->placement_mb.emplace_back(outcome.end_time,
-                                    job.stats.moved_mb - mb_before);
-    }
-    if (config.tracer != nullptr) {
-      config.tracer->record_complete("placement", "condor", now,
-                                     outcome.end_time - now, job_id,
-                                     job.stats.moved_mb - mb_before,
-                                     match->machine_index);
-    }
-
-    if (outcome.job_finished) {
-      job.stats.finished = true;
-      job.stats.completion_s = outcome.end_time;
-      last_finish = std::max(last_finish, outcome.end_time);
-      pool_metrics().finished.add();
-      if (config.spans != nullptr) {
-        config.spans->close_job(job_id, outcome.end_time, /*finished=*/true);
-      }
-      if (tl != nullptr) tl->job_finish_s.push_back(outcome.end_time);
-      if (config.tracer != nullptr) {
-        config.tracer->record_instant("job.finished", "condor",
-                                      outcome.end_time, job_id,
-                                      job.stats.useful_work_s,
-                                      match->machine_index);
-      }
-    } else {
-      // Re-queue at the next negotiation after the eviction.
-      queue.push(
-          {outcome.end_time + config.negotiation_interval_s, job_id});
-    }
-  }
-  if (config.spans != nullptr) {
-    // Same unfinished-job convention as the contended engine: close at the
-    // horizon, the makespan an incomplete run reports.
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (!jobs[j].stats.finished) {
-        config.spans->close_job(j, config.horizon_s, /*finished=*/false);
-      }
-    }
-  }
-}
-
-/// Contended mode: a global discrete-event walk where every recovery and
-/// checkpoint transfer is a request against a server::ServerFleet (K
-/// sharded checkpoint servers; K=1 is the single-server case). Jobs
-/// interleave in simulated time, so simultaneous checkpoints queue for
-/// slots and slow each other down — the pool-wide interaction the paper's
-/// conclusion flags as unmodeled.
-class ContendedEngine {
- public:
-  ContendedEngine(const std::vector<TimelinePool::MachineSpec>& specs,
-                  const PoolSimConfig& config,
-                  const std::vector<dist::DistributionPtr>& fitted,
-                  Matchmaker& matchmaker,
-                  const server::FleetConfig& fleet_config,
-                  std::uint64_t server_seed,
-                  predict::FailurePredictor* predictor,
-                  std::vector<JobState>& jobs, double& last_finish)
-      : config_(config),
-        fitted_(fitted),
-        matchmaker_(matchmaker),
-        fleet_(fleet_config, server_seed, config.tracer, config.spans),
-        predictor_(predictor),
-        jobs_(jobs),
-        last_finish_(last_finish),
-        occupied_(specs.size(), false),
-        occupied_until_(specs.size(), 0.0),
-        states_(jobs.size()) {
-    if (config.snapshot_every_s > 0.0) {
-      timeline_ = std::make_unique<FleetTimeline>(
-          config.snapshot_every_s, fleet_.shard_count(),
-          fleet_.config().server.capacity_mbps);
-    }
-    if (predictor_ != nullptr) policy_.emplace(predictor_->config());
-  }
-
-  void run() {
-    for (std::size_t j = 0; j < jobs_.size(); ++j) {
-      push_event(0.0, EventKind::kNegotiate, j, states_[j].generation);
-      // All jobs are submitted at t=0; each gets one root span the server's
-      // transfer spans (and our backoff/rejection spans) parent under.
-      if (config_.spans != nullptr) config_.spans->open_job(j, 0.0);
-    }
-    for (;;) {
-      const double heap_t =
-          heap_.empty() ? std::numeric_limits<double>::infinity()
-                        : std::get<0>(heap_.top());
-      const auto server_next = fleet_.next_event_s();
-      const double server_t =
-          server_next.value_or(std::numeric_limits<double>::infinity());
-      if (!std::isfinite(heap_t) && !std::isfinite(server_t)) break;
-      // Server completions win ties: a transfer that finishes exactly at
-      // the eviction instant counts as completed, matching the synchronous
-      // walk's `full <= budget` rule.
-      if (server_t <= heap_t) {
-        observe_time(server_t);
-        for (const auto& done : fleet_.advance_to(server_t)) {
-          handle_completion(done);
-        }
-        continue;
-      }
-      const auto [t, seq, kind, job_id, gen] = heap_.top();
-      (void)seq;
-      heap_.pop();
-      if (gen != states_[job_id].generation) continue;  // stale placement
-      // Cut timeline frames only at *live* events: stale ones (cancelled
-      // placements long in the future) touch nothing, and skipping them
-      // keeps the timeline from trailing empty frames past the makespan.
-      // Live processing time is monotone, so no event's bytes are split.
-      observe_time(t);
-      switch (kind) {
-        case EventKind::kNegotiate:
-          handle_negotiate(job_id, t);
-          break;
-        case EventKind::kWorkDone:
-          handle_work_done(job_id, t);
-          break;
-        case EventKind::kRetry:
-          // The backoff span closes where the retry fires; the new
-          // submission's own spans start from here.
-          record_backoff_span(job_id, t);
-          submit_transfer(job_id, t);
-          break;
-        case EventKind::kEvict:
-          handle_evict(job_id, t);
-          break;
-        case EventKind::kAlert:
-          handle_alert(job_id, t);
-          break;
-      }
-    }
-    if (config_.spans != nullptr) {
-      // Jobs the horizon cut off close unfinished at the horizon — the same
-      // convention makespan_s reports for incomplete runs.
-      for (std::size_t j = 0; j < jobs_.size(); ++j) {
-        if (!jobs_[j].stats.finished) {
-          config_.spans->close_job(j, config_.horizon_s, /*finished=*/false);
-        }
-      }
-    }
-  }
-
-  [[nodiscard]] server::FleetStats fleet_stats() const {
-    return fleet_.stats();
-  }
-
-  /// Flush the open interval and hand over the timeline (empty when
-  /// snapshot_every_s was 0). Call once, after run().
-  [[nodiscard]] std::vector<PoolTimelineFrame> take_timeline() {
-    if (timeline_ == nullptr) return {};
-    return timeline_->finish(last_t_, fleet_);
-  }
-
- private:
-  enum class EventKind : std::uint8_t {
-    kNegotiate,
-    kWorkDone,
-    kRetry,
-    kEvict,
-    kAlert  ///< predictor alert lands (prediction scenario only)
-  };
-  enum class Phase : std::uint8_t {
-    kIdle,
-    kWorking,
-    kTransferring,
-    kBackoff,
-    kDone
-  };
-  using TransferKind = server::TransferKind;
-
-  struct PerJob {
-    Phase phase = Phase::kIdle;
-    std::uint32_t generation = 0;  ///< bumps at placement end; stales events
-    std::size_t machine = 0;
-    double placement_start = 0.0;
-    double eviction_time = 0.0;
-    double uptime_at_start = 0.0;
-    double measured_cost = 0.0;  ///< last observed transfer cost (wait+wire)
-    double chunk = 0.0;          ///< work chunk awaiting its checkpoint
-    double work_start = 0.0;
-    /// Scheduled checkpoint instant of the current chunk. handle_work_done
-    /// only fires when the event's time matches exactly — an alert that
-    /// truncates the chunk reschedules it here and the superseded kWorkDone
-    /// (still in the heap) no-ops.
-    double work_done_t = 0.0;
-    /// The current chunk's checkpoint was rescheduled by an alert.
-    bool pending_proactive = false;
-    TransferKind transfer_kind = TransferKind::kRecovery;
-    server::TransferId transfer_id = 0;
-    double transfer_submit_s = 0.0;
-    std::uint32_t backoff_attempts = 0;  ///< resets on a completed transfer
-    double backoff_start = 0.0;          ///< when the current backoff began
-    double placement_mb = 0.0;           ///< bytes moved this placement
-  };
-
-  void push_event(double t, EventKind kind, std::size_t job,
-                  std::uint32_t gen) {
-    heap_.push({t, next_seq_++, kind, job, gen});
-  }
-
-  /// Record the engine's processing clock and cut any due timeline frames.
-  void observe_time(double t) {
-    last_t_ = t;
-    if (timeline_ != nullptr) timeline_->advance(t, fleet_);
-  }
-
-  void handle_negotiate(std::size_t job_id, double now) {
-    if (now >= config_.horizon_s) return;  // job reports unfinished
-    for (std::size_t m = 0; m < occupied_.size(); ++m) {
-      if (occupied_[m] && occupied_until_[m] <= now) occupied_[m] = false;
-    }
-    const auto match = matchmaker_.place(now, occupied_);
-    if (!match) {
-      push_event(now + config_.negotiation_interval_s, EventKind::kNegotiate,
-                 job_id, states_[job_id].generation);
-      return;
-    }
-    PerJob& st = states_[job_id];
-    JobState& job = jobs_[job_id];
-    ++job.stats.placements;
-    pool_metrics().placements.add();
-    st.machine = match->machine_index;
-    st.placement_start = now;
-    st.eviction_time = now + match->remaining_s;
-    st.uptime_at_start = match->uptime_s;
-    st.placement_mb = 0.0;
-    st.measured_cost =
-        config_.checkpoint_size_mb / fleet_.config().server.capacity_mbps;
-    occupied_[st.machine] = true;
-    occupied_until_[st.machine] = st.eviction_time;
-    push_event(st.eviction_time, EventKind::kEvict, job_id, st.generation);
-    if (predictor_ != nullptr && st.eviction_time > now) {
-      // The oracle sees the placement's hidden reclamation instant and
-      // drops its alerts into the event stream; the generation stamp voids
-      // them if the placement ends early (job finished).
-      for (const auto& a : predictor_->alerts_for_spell(now,
-                                                        st.eviction_time)) {
-        push_event(a.time_s, EventKind::kAlert, job_id, st.generation);
-      }
-    }
-
-    if (job.has_checkpoint) {
-      st.transfer_kind = TransferKind::kRecovery;
-      if (st.backoff_attempts > 0) {
-        // This client's last transfer was interrupted or rejected: back off
-        // before hammering the server again.
-        st.phase = Phase::kBackoff;
-        st.backoff_start = now;
-        push_event(
-            now + fleet_.backoff().delay_s(st.backoff_attempts - 1),
-            EventKind::kRetry, job_id, st.generation);
-      } else {
-        submit_transfer(job_id, now);
-      }
-    } else {
-      enter_work(job_id, now);
-    }
-  }
-
-  void enter_work(std::size_t job_id, double now) {
-    PerJob& st = states_[job_id];
-    JobState& job = jobs_[job_id];
-    const double uptime = st.uptime_at_start + (now - st.placement_start);
-    core::IntervalCosts costs;
-    costs.checkpoint = st.measured_cost;
-    costs.recovery = st.measured_cost;
-    const core::CheckpointOptimizer optimizer(
-        core::MarkovModel(fitted_[st.machine], costs), config_.optimizer);
-    double t_opt = optimizer.optimize(uptime).work_time;
-    if (predictor_ != nullptr) {
-      // Aupy et al. period stretch: the predictor absorbs a fraction r̃ of
-      // reclamations, so the reactive schedule relaxes by 1/sqrt(1 - r̃).
-      // Exactly 1.0 at recall 0, preserving bit-identity.
-      t_opt *= predict::prediction_period_factor(predictor_->config(),
-                                                 st.measured_cost);
-    }
-    st.chunk = std::min(t_opt, job.remaining_work);
-    st.phase = Phase::kWorking;
-    st.work_start = now;
-    st.work_done_t = now + st.chunk;
-    st.pending_proactive = false;
-    // If the chunk outlives the availability spell, the eviction event
-    // (already queued) fires first and charges the lost work.
-    push_event(st.work_done_t, EventKind::kWorkDone, job_id, st.generation);
-  }
-
-  void handle_work_done(std::size_t job_id, double now) {
-    PerJob& st = states_[job_id];
-    // Exact-time guard: an alert that truncated the chunk rescheduled the
-    // checkpoint, leaving the original kWorkDone in the heap. The scheduled
-    // instant is stored verbatim from the push, so the comparison is exact
-    // (never a recomputation) and the legacy path — one kWorkDone per
-    // enter_work — always passes it.
-    if (st.phase != Phase::kWorking || now != st.work_done_t) return;
-    st.transfer_kind = st.pending_proactive ? TransferKind::kProactive
-                                            : TransferKind::kCheckpoint;
-    st.pending_proactive = false;
-    submit_transfer(job_id, now);
-  }
-
-  /// A predictor alert lands while (possibly) working: apply the window
-  /// rule against the work currently at risk and, when it acts inside the
-  /// current chunk, pull the checkpoint forward to the alert's optimal
-  /// in-window start.
-  void handle_alert(std::size_t job_id, double now) {
-    PerJob& st = states_[job_id];
-    if (st.phase != Phase::kWorking) return;  // mid-transfer/backoff: ignore
-    const auto decision =
-        policy_->decide(now - st.work_start, st.measured_cost);
-    if (decision.action == predict::ProactiveAction::kSkip) return;
-    const double start_at = now + decision.delay_s;
-    // The already-scheduled checkpoint beats a delayed proactive start.
-    if (start_at >= st.work_done_t) return;
-    st.chunk = start_at - st.work_start;
-    st.work_done_t = start_at;
-    st.pending_proactive = true;
-    push_event(start_at, EventKind::kWorkDone, job_id, st.generation);
-  }
-
-  void submit_transfer(std::size_t job_id, double now) {
-    PerJob& st = states_[job_id];
-    JobState& job = jobs_[job_id];
-    server::ServerTransferRequest req;
-    req.job_id = job_id;
-    req.megabytes = config_.checkpoint_size_mb;
-    // The traffic class rides the request: admission and the schedulers
-    // give recoveries headroom and service priority (admission.hpp), and
-    // the fleet's static routing shards on the submitting machine.
-    req.kind = st.transfer_kind;
-    req.machine_index = st.machine;
-    // Only checkpoint-class transfers (periodic or proactive) carry the
-    // urgency hint: a checkpoint racing the machine's predicted death has
-    // an uncommitted chunk at risk, so jumping the queue saves real work.
-    // A recovery has nothing committed yet — fast-tracking it onto a
-    // machine predicted to die soon just starts a chunk that the eviction
-    // then destroys, so recoveries queue FIFO within their class.
-    if (st.transfer_kind != TransferKind::kRecovery) {
-      req.predicted_remaining_s = predicted_remaining(job_id, now);
-    }
-    const auto outcome = fleet_.submit(req, now);
-    if (outcome.status == server::SubmitStatus::kRejected) {
-      ++job.stats.rejected_submits;
-      ++st.backoff_attempts;
-      st.phase = Phase::kBackoff;
-      st.backoff_start = now;
-      push_event(now + fleet_.backoff().delay_s(st.backoff_attempts - 1),
-                 EventKind::kRetry, job_id, st.generation);
-      return;
-    }
-    st.phase = Phase::kTransferring;
-    st.transfer_id = outcome.id;
-    st.transfer_submit_s = now;
-  }
-
-  /// Close the job's current backoff interval as a span ending at `end_s`
-  /// (the retry firing, or the eviction that cancels it).
-  void record_backoff_span(std::size_t job_id, double end_s) {
-    if (config_.spans == nullptr) return;
-    const PerJob& st = states_[job_id];
-    if (st.phase != Phase::kBackoff) return;
-    config_.spans->record_backoff(
-        job_id, st.backoff_start, end_s,
-        static_cast<std::uint8_t>(st.transfer_kind));
-  }
-
-  /// What the urgency scheduler orders by: the fitted model's expected
-  /// remaining availability of the submitting machine right now (same
-  /// estimate kModelRanked matchmaking uses).
-  [[nodiscard]] double predicted_remaining(std::size_t job_id,
-                                           double now) const {
-    const PerJob& st = states_[job_id];
-    const double uptime = st.uptime_at_start + (now - st.placement_start);
-    try {
-      return dist::Conditional(fitted_[st.machine], uptime).mean();
-    } catch (const std::exception&) {
-      return fitted_[st.machine]->mean();  // survival underflow at old age
-    }
-  }
-
-  void handle_completion(const server::ServerCompletion& done) {
-    const auto job_id = static_cast<std::size_t>(done.job_id);
-    PerJob& st = states_[job_id];
-    JobState& job = jobs_[job_id];
-    const double now = done.finish_s;
-    job.stats.moved_mb += done.megabytes;
-    job.stats.server_wait_s += done.wait_s();
-    st.placement_mb += done.megabytes;
-    st.backoff_attempts = 0;
-    pool_metrics().mb_moved.add(done.megabytes);
-    if (timeline_ != nullptr) {
-      const std::size_t shard = server::ServerFleet::shard_of(done.id);
-      timeline_->add_transfer(shard, done.megabytes);
-      timeline_->add_wait(shard, done.wait_s());
-    }
-    // The cost the job *felt* — queueing plus wire time — is what it feeds
-    // back into the planner as C and R, so schedules adapt to congestion.
-    // Smoothed (EWMA), not raw: a single lucky fast transfer would collapse
-    // the planner's C, trigger a burst of frequent checkpoints, lengthen
-    // everyone's queue, and oscillate — the smoothing damps that closed
-    // loop regardless of scheduling policy.
-    const double sample = std::max(now - st.transfer_submit_s, 1e-6);
-    st.measured_cost = 0.5 * st.measured_cost + 0.5 * sample;
-
-    if (st.transfer_kind == TransferKind::kRecovery) {
-      enter_work(job_id, now);
-      return;
-    }
-    // Checkpoint (periodic, proactive, or final result upload) committed.
-    if (st.transfer_kind == TransferKind::kProactive) {
-      ++job.stats.proactive_checkpoints;
-    }
-    job.stats.useful_work_s += st.chunk;
-    job.remaining_work -= st.chunk;
-    job.has_checkpoint = true;
-    if (job.remaining_work <= 1e-9) {
-      finish_job(job_id, now);
-    } else {
-      enter_work(job_id, now);
-    }
-  }
-
-  void finish_job(std::size_t job_id, double now) {
-    PerJob& st = states_[job_id];
-    JobState& job = jobs_[job_id];
-    job.stats.finished = true;
-    job.stats.completion_s = now;
-    last_finish_ = std::max(last_finish_, now);
-    pool_metrics().finished.add();
-    if (timeline_ != nullptr) timeline_->job_finished();
-    occupied_until_[st.machine] = now;
-    if (config_.tracer != nullptr) {
-      config_.tracer->record_complete("placement", "condor",
-                                      st.placement_start,
-                                      now - st.placement_start, job_id,
-                                      st.placement_mb, st.machine);
-      config_.tracer->record_instant("job.finished", "condor", now, job_id,
-                                     job.stats.useful_work_s, st.machine);
-    }
-    if (config_.spans != nullptr) {
-      config_.spans->close_job(job_id, now, /*finished=*/true);
-    }
-    st.phase = Phase::kDone;
-    ++st.generation;  // cancels the pending eviction event
-  }
-
-  void handle_evict(std::size_t job_id, double now) {
-    PerJob& st = states_[job_id];
-    JobState& job = jobs_[job_id];
-    switch (st.phase) {
-      case Phase::kWorking:
-        job.stats.lost_work_s += now - st.work_start;
-        break;
-      case Phase::kTransferring: {
-        const auto removal = fleet_.remove(st.transfer_id, now);
-        job.stats.moved_mb += removal.moved_mb;
-        st.placement_mb += removal.moved_mb;
-        pool_metrics().mb_moved.add(removal.moved_mb);
-        if (timeline_ != nullptr) {
-          timeline_->add_transfer(
-              server::ServerFleet::shard_of(st.transfer_id),
-              removal.moved_mb);
-        }
-        if (st.transfer_kind != TransferKind::kRecovery) {
-          job.stats.lost_work_s += st.chunk;  // never committed
-        }
-        ++st.backoff_attempts;  // interrupted: retry backs off next time
-        break;
-      }
-      case Phase::kBackoff:
-        // The pending retry dies with the placement; truncate its backoff
-        // span at the eviction so attributed backoff time is time actually
-        // spent waiting, not the schedule that never ran out.
-        record_backoff_span(job_id, now);
-        break;
-      case Phase::kIdle:
-      case Phase::kDone:
-        break;
-    }
-    ++job.stats.evictions;
-    pool_metrics().evictions.add();
-    if (config_.tracer != nullptr) {
-      config_.tracer->record_complete("placement", "condor",
-                                      st.placement_start,
-                                      now - st.placement_start, job_id,
-                                      st.placement_mb, st.machine);
-    }
-    st.phase = Phase::kIdle;
-    ++st.generation;  // cancels pending work/retry events
-    push_event(now + config_.negotiation_interval_s, EventKind::kNegotiate,
-               job_id, st.generation);
-  }
-
-  const PoolSimConfig& config_;
-  const std::vector<dist::DistributionPtr>& fitted_;
-  Matchmaker& matchmaker_;
-  server::ServerFleet fleet_;
-  predict::FailurePredictor* predictor_;        ///< null = legacy engine
-  std::optional<predict::ProactivePolicy> policy_;
-  std::vector<JobState>& jobs_;
-  double& last_finish_;
-  std::vector<bool> occupied_;
-  std::vector<double> occupied_until_;
-  std::vector<PerJob> states_;
-  std::unique_ptr<FleetTimeline> timeline_;  ///< null when cadence is 0
-  double last_t_ = 0.0;  ///< latest event-processing time (monotone)
-
-  /// (time, sequence, kind, job, generation): sequence keeps equal-time
-  /// ordering deterministic.
-  using Event =
-      std::tuple<double, std::uint64_t, EventKind, std::size_t, std::uint32_t>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
-  std::uint64_t next_seq_ = 0;
-};
-
-}  // namespace
 
 PoolSimResult run_pool_simulation(
     const std::vector<TimelinePool::MachineSpec>& machine_specs,
@@ -1030,87 +213,80 @@ PoolSimResult run_pool_simulation(
   if (machine_specs.empty()) {
     throw std::invalid_argument("run_pool_simulation: need machines");
   }
-  if (config.job_count == 0 || !(config.work_per_job_s > 0.0) ||
-      !(config.negotiation_interval_s > 0.0) || !(config.horizon_s > 0.0) ||
-      !(config.snapshot_every_s >= 0.0)) {
-    throw std::invalid_argument("run_pool_simulation: bad config");
-  }
-  if (config.server.has_value() && config.fleet.has_value()) {
-    throw std::invalid_argument(
-        "run_pool_simulation: set `server` (1-shard shorthand) or `fleet`, "
-        "not both");
-  }
-  // `server` is sugar for a 1-shard fleet; from here on there is one code
-  // path, and K=1 is bit-identical to the old single-server engine.
-  std::optional<server::FleetConfig> fleet_config = config.fleet;
-  if (!fleet_config.has_value() && config.server.has_value()) {
-    server::FleetConfig fc;
-    fc.server = *config.server;
-    fleet_config = fc;
-  }
+  const PoolSimValidation v = config.validate();
 
-  pool_metrics().runs.add();
-  obs::ScopedTimer run_timer(&pool_metrics().wall_s);
+  engine::pool_metrics().runs.add();
+  obs::ScopedTimer run_timer(&engine::pool_metrics().wall_s);
+
+  // The megapool engine owns a worker pool; the other engines never
+  // parallelize (threads == 1 forces the megapool inline too — the
+  // degenerate case the bit-identity tests pin against).
+  std::unique_ptr<util::ThreadPool> workers;
+  if (v.engine == PoolEngine::kMegapool && config.megapool.threads != 1) {
+    workers = std::make_unique<util::ThreadPool>(config.megapool.threads);
+  }
 
   numerics::Rng master(config.seed);
 
-  // Monitor histories → fitted models (what the planner is allowed to see).
-  std::vector<dist::DistributionPtr> fitted;
-  fitted.reserve(machine_specs.size());
-  for (const auto& spec : machine_specs) {
-    numerics::Rng hist_rng = master.split();
-    std::vector<double> history(config.train_count);
-    for (auto& h : history) h = spec.availability_law->sample(hist_rng);
-    dist::DistributionPtr model;
-    try {
-      model = core::Planner::fit_model(history, config.family);
-    } catch (const std::exception&) {
-      model = spec.availability_law;  // degenerate history
-    }
-    fitted.push_back(std::move(model));
-  }
+  // Master stream order is the API contract (documented on PoolEngine):
+  // per-machine history splits, pool seed, matchmaker seed, transfer
+  // stream, then — only when the scenario asks — server and predictor
+  // seeds. Every engine consumes it identically.
+  std::vector<dist::DistributionPtr> fitted = engine::fit_pool_models(
+      machine_specs, master, config.family, config.train_count,
+      workers.get());
 
-  TimelinePool pool(machine_specs, master.next_u64());
-  Matchmaker matchmaker(pool, fitted, config.policy, master.next_u64());
+  const std::uint64_t pool_seed = master.next_u64();
+  const std::uint64_t matchmaker_seed = master.next_u64();
   numerics::Rng transfer_rng = master.split();
 
-  std::vector<JobState> jobs(config.job_count);
+  std::unique_ptr<engine::MachinePark> park;
+  if (v.engine == PoolEngine::kMegapool) {
+    park = std::make_unique<engine::MegaPark>(
+        machine_specs, pool_seed, fitted, config.policy, matchmaker_seed,
+        config.megapool, workers.get());
+  } else {
+    park = std::make_unique<engine::LegacyPark>(
+        machine_specs, pool_seed, fitted, config.policy, matchmaker_seed);
+  }
+
+  std::vector<engine::JobState> jobs(config.job_count);
   for (auto& j : jobs) j.remaining_work = config.work_per_job_s;
 
   PoolSimResult result;
+  result.engine = v.engine;
   double last_finish = 0.0;
   std::optional<predict::FailurePredictor> predictor;
-  if (fleet_config.has_value()) {
+  if (v.fleet.has_value()) {
     // The predictor's seed is drawn strictly AFTER every legacy stream
     // (histories, pool, matchmaker, transfer RNG, server seed): with the
     // predictor unset no draw happens and every stream is untouched, so
     // legacy runs stay bit-identical.
     const std::uint64_t server_seed = master.next_u64();
-    if (config.predictor.has_value()) {
-      predictor.emplace(*config.predictor, master.next_u64());
+    if (config.scenario.predictor.has_value()) {
+      predictor.emplace(*config.scenario.predictor, master.next_u64());
+      park->set_predictor(&*predictor);
     }
-    ContendedEngine engine(machine_specs, config, fitted, matchmaker,
-                           *fleet_config, server_seed,
-                           predictor.has_value() ? &*predictor : nullptr,
-                           jobs, last_finish);
-    engine.run();
+    auto outputs = engine::run_contended_engine(
+        config, fitted, *park, *v.fleet, server_seed,
+        predictor.has_value() ? &*predictor : nullptr, jobs, last_finish);
     result.server_enabled = true;
-    result.fleet = engine.fleet_stats();
+    result.fleet = std::move(outputs.fleet);
     result.server = result.fleet.total;
-    result.timeline = engine.take_timeline();
+    result.timeline = std::move(outputs.timeline);
   } else {
-    if (config.predictor.has_value()) {
-      predictor.emplace(*config.predictor, master.next_u64());
+    if (config.scenario.predictor.has_value()) {
+      predictor.emplace(*config.scenario.predictor, master.next_u64());
+      park->set_predictor(&*predictor);
     }
-    UncontendedTimelineLog tl;
-    run_uncontended(machine_specs, config, fitted, pool, matchmaker,
-                    transfer_rng,
-                    predictor.has_value() ? &*predictor : nullptr, jobs,
-                    last_finish,
-                    config.snapshot_every_s > 0.0 ? &tl : nullptr);
-    if (config.snapshot_every_s > 0.0) {
-      result.timeline =
-          build_uncontended_timeline(tl, config.snapshot_every_s);
+    engine::UncontendedTimelineLog tl;
+    engine::run_uncontended_engine(
+        config, fitted, *park, transfer_rng,
+        predictor.has_value() ? &*predictor : nullptr, jobs, last_finish,
+        config.hooks.snapshot_every_s > 0.0 ? &tl : nullptr);
+    if (config.hooks.snapshot_every_s > 0.0) {
+      result.timeline = engine::build_uncontended_timeline(
+          tl, config.hooks.snapshot_every_s);
     }
   }
   if (predictor.has_value()) {

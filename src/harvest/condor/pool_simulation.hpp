@@ -7,9 +7,18 @@
 // machine, then requeue. The headline metric is what the user feels:
 // completion time (and the network what the site feels).
 //
-// This composes every layer of the library: TimelinePool (machine
-// volatility) + Matchmaker (policy) + Planner (model fit + T_opt) +
-// BandwidthModel (transfer costs) + the paper's interval cycle.
+// This composes every layer of the library: a machine park (TimelinePool or
+// the SoA megapool table) + Matchmaker (policy) + Planner (model fit +
+// T_opt) + BandwidthModel (transfer costs) + the paper's interval cycle.
+//
+// Selection happens through three orthogonal knobs:
+//   engine   — which discrete-event core runs the pool (see PoolEngine),
+//   scenario — what world the jobs run in (fleet contention, fault
+//              prediction),
+//   hooks    — which observability sinks ride along (obs::RuntimeHooks;
+//              never perturb results).
+// validate() resolves them (and the deprecated `server` shorthand) into the
+// effective engine + canonical fleet, mirroring FleetConfig::validate().
 #pragma once
 
 #include <cstdint>
@@ -20,12 +29,81 @@
 #include "harvest/condor/matchmaker.hpp"
 #include "harvest/core/planner.hpp"
 #include "harvest/net/bandwidth_model.hpp"
-#include "harvest/obs/span.hpp"
-#include "harvest/obs/tracer.hpp"
+#include "harvest/obs/runtime_hooks.hpp"
 #include "harvest/predict/failure_predictor.hpp"
 #include "harvest/server/fleet.hpp"
 
+namespace harvest::server {
+struct CliOptions;
+}
+
 namespace harvest::condor {
+
+/// Which discrete-event core runs the pool.
+enum class PoolEngine : std::uint8_t {
+  /// Resolve from the scenario: contended when a fleet (or the deprecated
+  /// `server` shorthand) is configured, uncontended otherwise — exactly the
+  /// pre-selector behavior.
+  kAuto,
+  /// The original per-placement synchronous walk; every transfer samples an
+  /// independent BandwidthModel duration. Requires no fleet.
+  kUncontended,
+  /// Global discrete-event walk where every transfer contends for the
+  /// server fleet. Requires a fleet.
+  kContended,
+  /// Flat SoA machine table + calendar event queues, sharded across a
+  /// thread pool with a deterministic merge. Runs whichever spine the
+  /// scenario needs (contended iff a fleet is configured) and is
+  /// bit-identical to it at equal seeds, at any shard/thread count.
+  kMegapool,
+};
+
+[[nodiscard]] std::string to_string(PoolEngine engine);
+/// Inverse of to_string; throws std::invalid_argument on an unknown name.
+[[nodiscard]] PoolEngine pool_engine_from_string(const std::string& name);
+
+/// What world the jobs run in: the scenario axes that change results (as
+/// opposed to hooks, which never do).
+struct ScenarioConfig {
+  /// Contended checkpoint traffic: K sharded checkpoint servers behind a
+  /// routing policy (server::ServerFleet). When set, every recovery and
+  /// checkpoint transfer queues for slots and shares the pipe TCP-fairly
+  /// instead of sampling an independent BandwidthModel duration. Per-shard
+  /// runtime state derives through server::FleetConfig::materialize() (seed
+  /// from the run's master stream, tracer/spans from `hooks`).
+  std::optional<server::FleetConfig> fleet;
+  /// Fault-prediction scenario (harvest/predict): a seeded oracle with
+  /// precision/recall/window over each placement's hidden reclamation
+  /// instant. Alerts drive the window-aware proactive-checkpoint rule and
+  /// stretch the reactive period by the Aupy et al. 1/sqrt(1 - r̃) factor;
+  /// when matchmaking is kModelRanked the matchmaker also demotes machines
+  /// the oracle's alert board predicts will be reclaimed soon. The
+  /// predictor's RNG stream is derived strictly after every legacy stream,
+  /// so leaving this unset — or setting recall = 0, which can never emit an
+  /// alert — reproduces the predictor-free engines bit-identically.
+  std::optional<predict::PredictorConfig> predictor;
+};
+
+/// Tuning for PoolEngine::kMegapool. Neither knob may change results — the
+/// sharded merge is deterministic — only wall-clock.
+struct MegapoolOptions {
+  /// Machine-table shards; 0 → auto (grows with the machine count).
+  std::size_t shards = 0;
+  /// Worker threads for the shard fan-out; 0 → hardware concurrency,
+  /// 1 → run everything inline on the caller.
+  std::size_t threads = 0;
+};
+
+/// What PoolSimConfig::validate() resolves: the engine that will actually
+/// run, the canonical fleet (the deprecated `server` shorthand folded in),
+/// and non-fatal warnings, mirroring server::FleetConfig::validate().
+struct PoolSimValidation {
+  PoolEngine engine = PoolEngine::kUncontended;  ///< never kAuto
+  /// Canonical fleet configuration (scenario.fleet, or the 1-shard fleet
+  /// the deprecated `server` desugars to); nullopt for uncontended runs.
+  std::optional<server::FleetConfig> fleet;
+  std::vector<std::string> warnings;
+};
 
 struct PoolSimConfig {
   std::size_t job_count = 16;
@@ -43,55 +121,38 @@ struct PoolSimConfig {
   double horizon_s = 14.0 * 24.0 * 3600.0;
   core::OptimizerOptions optimizer;
   std::uint64_t seed = 1;
-  /// Optional structured timeline (category "condor"): one complete event
-  /// per placement (id = job, value = MB moved during it, tid = machine
-  /// index → one Chrome-trace track per machine) plus instant markers for
-  /// job completions. Times are simulated pool seconds, so the Chrome-trace
-  /// view of this tracer is the cluster's gantt chart.
-  obs::EventTracer* tracer = nullptr;
-  /// Optional causal span sink (obs/span.hpp): both engines open one root
-  /// span per job and report every transfer's full lifecycle — plus
-  /// client-side backoff and rejection spans in contended mode — so each
-  /// transfer's wait partitions exactly into stagger / admission-queue /
-  /// scheduler-queue phases and its service splits into solo + dilation.
-  /// Recording is pure bookkeeping (no RNG, no decisions): a run produces
-  /// bit-identical results with the store attached or not. Runtime state
-  /// like `tracer`; in contended mode it is attached to every shard through
-  /// server::FleetConfig::materialize().
-  obs::SpanStore* spans = nullptr;
-  /// Opt-in contended checkpoint server: shorthand for a 1-shard `fleet`
-  /// (below) and kept for callers that predate sharding. When set, every
-  /// job's recovery and checkpoint transfer contends for one
-  /// server::CheckpointServer — transfers queue for slots, share the pipe
-  /// TCP-fairly, and can be staggered or rejected — instead of each
-  /// sampling an independent BandwidthModel duration. The config's `seed`
-  /// and `tracer` fields are ignored: the engine derives per-shard runtime
-  /// state through server::FleetConfig::materialize() (seed from `seed`
-  /// above, tracer from `tracer` above). Setting both this and `fleet`
-  /// throws.
+
+  /// Which discrete-event core runs the pool; see PoolEngine. kAuto keeps
+  /// the historical scenario-driven selection.
+  PoolEngine engine = PoolEngine::kAuto;
+  /// The scenario axes (fleet contention, fault prediction).
+  ScenarioConfig scenario;
+  /// Tuning for the megapool engine; ignored (with a validate() warning)
+  /// under the other engines.
+  MegapoolOptions megapool;
+  /// Observability attachments (tracer, spans, timeline cadence). Hooks are
+  /// pure bookkeeping: results are bit-identical with hooks attached or
+  /// not. The tracer records one complete event per placement (id = job,
+  /// value = MB moved, tid = machine index) plus instant markers for job
+  /// completions; the span store gets one root span per job with every
+  /// transfer's full lifecycle parented under it; snapshot_every_s > 0
+  /// fills PoolSimResult::timeline at that cadence.
+  obs::RuntimeHooks hooks;
+
+  /// DEPRECATED shorthand for `scenario.fleet` with one shard, kept for
+  /// callers that predate sharding. validate() canonicalizes it — that is
+  /// the single place the desugaring happens — and a 1-shard fleet is
+  /// bit-identical to the old single-server engine. Setting both this and
+  /// scenario.fleet throws.
   std::optional<server::ServerConfig> server;
-  /// Full contended mode: K sharded checkpoint servers behind a routing
-  /// policy (server::ServerFleet). A 1-shard fleet is bit-identical to
-  /// `server`. Same materialize() contract for seed/tracer as above.
-  std::optional<server::FleetConfig> fleet;
-  /// Opt-in fault-prediction scenario (harvest/predict): a seeded oracle
-  /// with precision/recall/window over each placement's hidden reclamation
-  /// instant. Alerts drive the window-aware proactive-checkpoint rule
-  /// (proactive transfers are their own TransferKind, so they contend and
-  /// attribute like any other class) and stretch the reactive period by the
-  /// Aupy et al. 1/sqrt(1 - r̃) factor. The predictor's RNG stream is
-  /// derived from `seed` strictly after every existing stream, so leaving
-  /// this unset — or setting recall = 0, which can never emit an alert —
-  /// reproduces the legacy engines bit-identically.
-  std::optional<predict::PredictorConfig> predictor;
-  /// Per-interval telemetry cadence in simulated seconds; 0 (default)
-  /// disables the timeline. When set, PoolSimResult::timeline carries one
-  /// frame per interval whose per-shard megabytes exactly partition the
-  /// run's total network traffic (every completed or interrupted transfer
-  /// lands in exactly one frame). The cadence does not perturb the
-  /// simulation: a run produces bit-identical results with the timeline on
-  /// or off.
-  double snapshot_every_s = 0.0;
+
+  /// Resolve engine/scenario into what will actually run. Throws
+  /// std::invalid_argument on contradictions (both `server` and
+  /// `scenario.fleet` set; kUncontended with a fleet; kContended without
+  /// one; non-positive counts/durations; bad predictor domain) and returns
+  /// the effective engine, the canonical fleet, and warnings (deprecated
+  /// `server` use, ignored megapool tuning, fleet config warnings).
+  [[nodiscard]] PoolSimValidation validate() const;
 };
 
 /// One fleet shard's slice of a timeline frame. Queue depth / active /
@@ -155,17 +216,20 @@ struct PoolSimJobStats {
 struct PoolSimResult {
   std::vector<PoolSimJobStats> jobs;
   double makespan_s = 0.0;  ///< last finisher (or horizon if any unfinished)
-  /// Filled when PoolSimConfig::server or ::fleet was set.
+  /// The engine that actually ran (validate()'s resolution of kAuto).
+  PoolEngine engine = PoolEngine::kUncontended;
+  /// Filled when the run was contended (a fleet — or the deprecated
+  /// `server` shorthand — was configured).
   bool server_enabled = false;
   /// Fleet-wide aggregate (equals fleet.total; kept as the stable field
   /// callers predating sharding read).
   server::ServerStats server;
   /// Aggregate plus per-shard breakdown and imbalance.
   server::FleetStats fleet;
-  /// Per-interval telemetry; empty unless PoolSimConfig::snapshot_every_s
-  /// was set. See PoolTimelineFrame for the partition guarantee.
+  /// Per-interval telemetry; empty unless hooks.snapshot_every_s was set.
+  /// See PoolTimelineFrame for the partition guarantee.
   std::vector<PoolTimelineFrame> timeline;
-  /// Filled when PoolSimConfig::predictor was set: the oracle's pool-wide
+  /// Filled when scenario.predictor was set: the oracle's pool-wide
   /// accounting (events, true/false alerts, misses, observed p̂/r̂).
   bool predictor_enabled = false;
   predict::PredictorStats predictor;
@@ -178,6 +242,14 @@ struct PoolSimResult {
   [[nodiscard]] double total_lost_work_s() const;
   [[nodiscard]] std::size_t total_proactive_checkpoints() const;
 };
+
+/// The one place the shared CLI flag surface (server::CliOptions) maps onto
+/// a pool config, so front ends cannot drift: --engine/--megapool-* apply
+/// to the engine knobs, and any --server-*/--fleet-* flag installs
+/// scenario.fleet via opts.fleet_config(). Fields without a flag given are
+/// left untouched.
+void apply_cli_options(PoolSimConfig& config,
+                       const server::CliOptions& opts);
 
 /// Run the pool emulation. `machine_specs` define the park; models are
 /// fitted per machine from monitor histories sampled inside the function

@@ -1,0 +1,32 @@
+// Runtime attachments shared by every simulation front end (harvestctl,
+// harvestd, the benches): the optional observability sinks and the telemetry
+// cadence a run carries. Grouping them in one struct keeps new sinks from
+// growing ad-hoc fields on every config type — a front end fills one
+// RuntimeHooks and hands the same value to whatever it runs.
+//
+// Hooks are pure bookkeeping by contract: attaching any of them (or all)
+// never perturbs a simulation's random streams or decisions, so a run
+// produces bit-identical results with hooks attached or not. The engines
+// test and gate that property.
+#pragma once
+
+#include "harvest/obs/span.hpp"
+#include "harvest/obs/tracer.hpp"
+
+namespace harvest::obs {
+
+struct RuntimeHooks {
+  /// Optional structured event timeline (Chrome-trace/JSONL export).
+  EventTracer* tracer = nullptr;
+  /// Optional causal span sink with exact wait attribution (obs/span.hpp).
+  SpanStore* spans = nullptr;
+  /// Per-interval telemetry cadence in simulated seconds; 0 disables the
+  /// timeline. Negative values are rejected by config validation.
+  double snapshot_every_s = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return tracer != nullptr || spans != nullptr || snapshot_every_s > 0.0;
+  }
+};
+
+}  // namespace harvest::obs

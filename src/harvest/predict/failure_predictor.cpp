@@ -1,10 +1,23 @@
 #include "harvest/predict/failure_predictor.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 namespace harvest::predict {
+
+namespace {
+
+/// splitmix64 finalizer: the spell-hash mixer behind reclaim_hint.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 void PredictorConfig::validate() const {
   if (!(precision > 0.0) || !(precision <= 1.0) || !std::isfinite(precision)) {
@@ -32,8 +45,26 @@ FailurePredictor::FailurePredictor(const PredictorConfig& config,
     : config_(config),
       false_rate_(config.recall * (1.0 - config.precision) /
                   config.precision),
+      salt_(mix64(seed)),
       rng_(seed) {
   config_.validate();
+}
+
+std::optional<double> FailurePredictor::reclaim_hint(double spell_start_s,
+                                                     double spell_end_s,
+                                                     double now_s) const {
+  if (!(config_.recall > 0.0)) return std::nullopt;
+  // A realistic predictor only speaks within its window: before
+  // spell_end - I no alert for this reclamation can have fired yet.
+  if (spell_end_s - now_s > config_.window_s) return std::nullopt;
+  // Coverage is a recall-weighted coin keyed on the spell itself (hashed
+  // bounds, salted by the seed): the same spell always answers the same
+  // way, and across the pool a fraction `recall` of spells are covered.
+  std::uint64_t h = mix64(salt_ ^ std::bit_cast<std::uint64_t>(spell_start_s));
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(spell_end_s));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= config_.recall) return std::nullopt;
+  return std::max(spell_end_s - now_s, 0.0);
 }
 
 std::vector<Alert> FailurePredictor::alerts_for_spell(double start_s,

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "harvest/numerics/rng.hpp"
@@ -92,12 +93,28 @@ class FailurePredictor {
   [[nodiscard]] std::vector<Alert> alerts_for_spell(double start_s,
                                                     double event_s);
 
+  /// The matchmaker's view of the oracle: does it foresee the reclamation
+  /// ending the availability spell [spell_start_s, spell_end_s) of a machine
+  /// being considered at now_s, and if so, how long until it? Returns the
+  /// residual spell_end_s - now_s when (a) the oracle covers this spell —
+  /// decided with probability `recall` by a hash of the spell bounds, so the
+  /// answer is stable across repeated queries — and (b) the reclamation is
+  /// within the prediction window (an alert for it could have fired by now).
+  /// Deterministic, side-effect free, and RNG-free: querying it any number
+  /// of times (or not at all) never perturbs the alert stream, and with
+  /// recall 0 it never fires — both properties the engines' bit-identity
+  /// guarantees rely on.
+  [[nodiscard]] std::optional<double> reclaim_hint(double spell_start_s,
+                                                   double spell_end_s,
+                                                   double now_s) const;
+
   [[nodiscard]] const PredictorStats& stats() const { return stats_; }
   [[nodiscard]] const PredictorConfig& config() const { return config_; }
 
  private:
   PredictorConfig config_;
   double false_rate_;  ///< expected false alerts per spell: r·(1-p)/p
+  std::uint64_t salt_;  ///< seed-derived; keys reclaim_hint's spell hash
   numerics::Rng rng_;
   PredictorStats stats_;
 };

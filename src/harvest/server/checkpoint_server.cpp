@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "harvest/obs/metrics.hpp"
@@ -45,6 +46,19 @@ ServerMetrics& metrics() {
 /// rounding noise of zero (mirrors net::SharedLink's sweep tolerance).
 [[nodiscard]] double finish_tolerance_mb(double megabytes) {
   return 1e-12 * megabytes + 1e-15;
+}
+
+/// Bytes the server cannot represent as future service: one ulp of the
+/// simulation clock times the current per-transfer rate. A residual below
+/// this can never be integrated away — `clock_ + remaining/share` rounds
+/// back to `clock_` — so the finish test must absorb it or drain_to spins
+/// forever on a zero-length step. Grows with the clock (ulp(2^18 s) is
+/// already 6e-11 s), which is why long-horizon runs hit it first.
+[[nodiscard]] double clock_resolution_mb(double clock_s, double share_mbps) {
+  const double ulp =
+      std::nextafter(clock_s, std::numeric_limits<double>::infinity()) -
+      clock_s;
+  return share_mbps * ulp;
 }
 
 }  // namespace
@@ -254,10 +268,20 @@ void CheckpointServer::drain_to(double t) {
     const auto next = next_internal_event();
     if (!next.has_value() || *next > t) break;
     integrate_to(*next);
-    // Collect every transfer that just finished.
+    // Collect every transfer that just finished. The threshold is the
+    // larger of the byte tolerance and the clock's resolution: below the
+    // latter the next completion instant is not representable, so the
+    // transfer is done by construction (identical to the plain tolerance
+    // at small clocks, where the resolution term is orders smaller).
+    const double share_mbps =
+        active_.empty()
+            ? 0.0
+            : config_.capacity_mbps / static_cast<double>(active_.size());
+    const double done_mb = clock_resolution_mb(clock_, share_mbps);
     for (std::size_t i = 0; i < active_.size();) {
       Active& a = active_[i];
-      if (a.remaining_mb <= finish_tolerance_mb(a.megabytes)) {
+      if (a.remaining_mb <=
+          std::max(finish_tolerance_mb(a.megabytes), done_mb)) {
         ServerCompletion done;
         done.id = a.id;
         done.job_id = a.job_id;

@@ -102,6 +102,20 @@ CliOptions CliOptions::parse(int& argc, char** argv) {
   if (const auto v = strip_value_flag(argc, argv, "fleet-routing")) {
     o.fleet_routing = routing_from_string(*v);
   }
+  if (const auto v = strip_value_flag(argc, argv, "engine")) {
+    if (*v != "auto" && *v != "uncontended" && *v != "contended" &&
+        *v != "megapool") {
+      throw std::invalid_argument(
+          "--engine must be auto|uncontended|contended|megapool, got " + *v);
+    }
+    o.engine = *v;
+  }
+  if (const auto v = strip_value_flag(argc, argv, "megapool-threads")) {
+    o.megapool_threads = parse_count("megapool-threads", *v);
+  }
+  if (const auto v = strip_value_flag(argc, argv, "megapool-shards")) {
+    o.megapool_shards = parse_count("megapool-shards", *v);
+  }
   return o;
 }
 
@@ -119,7 +133,12 @@ std::string CliOptions::help_text() {
       "                           traffic (checkpoints reject earlier)\n"
       "fleet flags (shard the server K ways):\n"
       "  --fleet-shards <k>       independent checkpoint servers (default 1)\n"
-      "  --fleet-routing <static|hash|least_loaded>\n";
+      "  --fleet-routing <static|hash|least_loaded>\n"
+      "engine flags (which discrete-event core runs the pool):\n"
+      "  --engine <auto|uncontended|contended|megapool>\n"
+      "  --megapool-threads <n>   worker threads for the megapool shard\n"
+      "                           fan-out (0 = hardware, 1 = inline)\n"
+      "  --megapool-shards <k>    machine-table shards (0 = auto)\n";
 }
 
 bool CliOptions::any() const {

@@ -32,6 +32,14 @@ struct CliOptions {
   // Fleet knobs (--fleet-*).
   std::optional<std::size_t> fleet_shards;
   std::optional<RoutingPolicy> fleet_routing;
+  // Engine knobs (--engine, --megapool-*). Parsed here so every front end
+  // shares one spelling, but NOT part of any(): choosing an engine does not
+  // by itself enable contended mode. The string is validated at parse time
+  // ("auto", "uncontended", "contended", "megapool"); front ends map it
+  // onto condor::PoolEngine (this module sits below condor and cannot).
+  std::optional<std::string> engine;
+  std::optional<std::size_t> megapool_threads;
+  std::optional<std::size_t> megapool_shards;
 
   /// Strip every recognised `--flag value` / `--flag=value` pair from argv
   /// (same in-place compaction idiom as the callers' other flags) and

@@ -1,0 +1,224 @@
+// Calendar event queue (R. Brown, CACM 1988): the classic O(1) pending-event
+// set behind simlib-style event-list disciplines. Events hash into a ring of
+// day buckets of width `w`; pop scans the current day for the earliest entry
+// and steps to the next day when the bucket holds nothing due, so both push
+// and pop are amortized O(1) when the bucket count tracks the population —
+// the property that lets a million-machine pool run its ~10^8 spell
+// transitions without a log-factor heap walk.
+//
+// Ordering contract (what the deterministic engines rely on): entries pop in
+// ascending (time, key) order, bit-exactly and independent of push order,
+// bucket count, or resize history. Ties in time are broken by the
+// caller-chosen 64-bit key — a sequence number, job id, or machine index —
+// which is how the sharded megapool engine reproduces the single-threaded
+// event order. Equal times always land in the same day, so the tie-break
+// never crosses a bucket boundary.
+//
+// The scan cursor is an integer day number, not a float boundary: an entry
+// is due on the scanned day iff day_of(entry.time) equals it, an exact
+// comparison immune to the rounding a `time < k*width` test would risk at
+// bucket edges. A push into an earlier day than the scan has reached (legal
+// whenever the lazy scan ran ahead to a sparse far-future minimum) rewinds
+// the scan, so nothing is ever skipped.
+//
+// Resizes (grow at >2 entries/bucket, shrink at <1/4) re-estimate the day
+// width from the live population's time span and redistribute; the scan is
+// rebuilt from the last popped time, so a resize is observationally
+// invisible. A guard path (one full ring scanned without a due entry) does a
+// direct min search and re-anchors the scan, which keeps sparse far-future
+// populations correct regardless of how badly the width fits them.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace harvest::sim {
+
+template <typename Payload>
+class CalendarQueue {
+ public:
+  struct Entry {
+    double time = 0.0;
+    std::uint64_t key = 0;  ///< tie-break for equal times (lower pops first)
+    Payload payload{};
+  };
+
+  explicit CalendarQueue(double initial_width = 1.0,
+                         std::size_t initial_buckets = 8)
+      : width_(initial_width > 0.0 && std::isfinite(initial_width)
+                   ? initial_width
+                   : 1.0),
+        buckets_(round_up_pow2(initial_buckets < 2 ? 2 : initial_buckets)) {}
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  void push(double time, std::uint64_t key, Payload payload) {
+    if (!(time >= 0.0) || !std::isfinite(time)) {
+      throw std::invalid_argument("CalendarQueue::push: bad time");
+    }
+    const std::uint64_t day = day_of(time);
+    buckets_[day & (buckets_.size() - 1)].push_back(
+        Entry{time, key, std::move(payload)});
+    ++count_;
+    peek_valid_ = false;
+    // Rewind so the new entry cannot be behind the scan: cursor_ tracks the
+    // last popped time, but the lazy scan may have run ahead of it to a
+    // sparse far-future minimum.
+    cursor_ = std::min(cursor_, time);
+    scan_day_ = std::min(scan_day_, day);
+    if (count_ > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+      resize(buckets_.size() * 2);
+    }
+  }
+
+  /// Earliest entry by (time, key); nullptr when empty. Valid until the next
+  /// push/pop.
+  [[nodiscard]] const Entry* peek() const {
+    if (count_ == 0) return nullptr;
+    if (!peek_valid_) {
+      locate_min();
+      peek_valid_ = true;
+    }
+    return &buckets_[peek_bucket_][peek_slot_];
+  }
+
+  /// Earliest pending time; +inf when empty.
+  [[nodiscard]] double next_time() const {
+    const Entry* e = peek();
+    return e != nullptr ? e->time : std::numeric_limits<double>::infinity();
+  }
+
+  /// Remove and return the earliest entry by (time, key).
+  Entry pop() {
+    const Entry* top = peek();
+    if (top == nullptr) throw std::logic_error("CalendarQueue::pop: empty");
+    auto& bucket = buckets_[peek_bucket_];
+    Entry out = std::move(bucket[peek_slot_]);
+    bucket[peek_slot_] = std::move(bucket.back());
+    bucket.pop_back();
+    --count_;
+    peek_valid_ = false;
+    cursor_ = out.time;  // no remaining entry is earlier
+    if (count_ < buckets_.size() / 4 && buckets_.size() > 8) {
+      resize(buckets_.size() / 2);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+  /// Day numbers stay below this, keeping the double→uint64 cast defined
+  /// even when a resize estimates a pathologically narrow width.
+  static constexpr double kMaxDay = 9.0e15;
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  [[nodiscard]] std::uint64_t day_of(double time) const {
+    return static_cast<std::uint64_t>(time / width_);
+  }
+
+  /// Find the earliest (time, key) entry. Scans days forward from
+  /// scan_day_; falls back to a direct min search (and re-anchors) after
+  /// one fruitless lap of the ring.
+  void locate_min() const {
+    std::uint64_t day = scan_day_;
+    for (std::size_t lap = 0; lap <= buckets_.size(); ++lap, ++day) {
+      const auto& bucket = buckets_[day & (buckets_.size() - 1)];
+      std::size_t best = bucket.size();
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (day_of(bucket[i].time) != day) continue;  // another lap's entry
+        if (best == bucket.size() || earlier(bucket[i], bucket[best])) {
+          best = i;
+        }
+      }
+      if (best != bucket.size()) {
+        scan_day_ = day;
+        peek_bucket_ = day & (buckets_.size() - 1);
+        peek_slot_ = best;
+        return;
+      }
+    }
+    direct_min();
+  }
+
+  void direct_min() const {
+    std::size_t bb = 0;
+    std::size_t bs = 0;
+    const Entry* best = nullptr;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      const auto& bucket = buckets_[b];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (best == nullptr || earlier(bucket[i], *best)) {
+          best = &bucket[i];
+          bb = b;
+          bs = i;
+        }
+      }
+    }
+    // count_ > 0 is guaranteed by peek(); re-anchor the scan on the min.
+    scan_day_ = day_of(best->time);
+    peek_bucket_ = bb;
+    peek_slot_ = bs;
+  }
+
+  static bool earlier(const Entry& a, const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.key < b.key;
+  }
+
+  void resize(std::size_t new_bucket_count) {
+    std::vector<Entry> all;
+    all.reserve(count_);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = 0.0;
+    for (auto& bucket : buckets_) {
+      for (auto& e : bucket) {
+        lo = std::min(lo, e.time);
+        hi = std::max(hi, e.time);
+        all.push_back(std::move(e));
+      }
+      bucket.clear();
+    }
+    // One entry per bucket on average ⇒ amortized O(1) scans. A degenerate
+    // span (all times equal, or empty) keeps the previous width; a span so
+    // narrow the day numbers would overflow is widened to the cast-safe
+    // floor.
+    if (!all.empty() && hi > lo) {
+      width_ = (hi - lo) / static_cast<double>(all.size());
+    }
+    if (hi / width_ >= kMaxDay) width_ = hi / kMaxDay;
+    buckets_.assign(new_bucket_count, {});
+    for (auto& e : all) {
+      buckets_[day_of(e.time) & (buckets_.size() - 1)].push_back(
+          std::move(e));
+    }
+    // cursor_ is ≤ every live time, so its day under the NEW width is ≤
+    // every live day: the rebuilt scan cannot skip anything.
+    scan_day_ = day_of(cursor_);
+    peek_valid_ = false;
+  }
+
+  double width_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t count_ = 0;
+  double cursor_ = 0.0;  ///< min(last popped time, earliest push since)
+  // Scan state (mutable: advanced lazily by const peeks).
+  mutable std::uint64_t scan_day_ = 0;
+  mutable bool peek_valid_ = false;
+  mutable std::size_t peek_bucket_ = 0;
+  mutable std::size_t peek_slot_ = 0;
+};
+
+}  // namespace harvest::sim

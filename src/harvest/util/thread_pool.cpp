@@ -83,4 +83,34 @@ void parallel_for_each(ThreadPool& pool, std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_for_blocks(
+    ThreadPool& pool, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::size_t blocks = (count + grain - 1) / grain;
+  const std::size_t workers =
+      std::min<std::size_t>(pool.thread_count(), blocks);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&, grain] {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= count) return;
+        try {
+          body(begin, std::min(begin + grain, count));
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace harvest::util

@@ -49,4 +49,13 @@ class ThreadPool {
 void parallel_for_each(ThreadPool& pool, std::size_t count,
                        const std::function<void(std::size_t)>& body);
 
+/// Block-grained variant for cheap per-index bodies: workers claim
+/// contiguous blocks of up to `grain` indices (one atomic fetch per block,
+/// not per index) and call body(begin, end) once per block. Same blocking
+/// and first-exception-rethrow contract as parallel_for_each. `grain == 0`
+/// is treated as 1.
+void parallel_for_blocks(
+    ThreadPool& pool, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace harvest::util

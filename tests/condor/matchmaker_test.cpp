@@ -6,6 +6,7 @@
 
 #include "harvest/dist/exponential.hpp"
 #include "harvest/dist/weibull.hpp"
+#include "harvest/predict/failure_predictor.hpp"
 
 namespace harvest::condor {
 namespace {
@@ -141,6 +142,59 @@ TEST(Matchmaker, AgeAwarePoliciesBeatRandomOnHeavyTails) {
   // decisive policy difference while keeping the test stable.
   EXPECT_GT(mean_oldest, mean_random * 1.1);
   EXPECT_GT(mean_model, mean_random * 1.1);
+}
+
+TEST(Matchmaker, SilentPredictorLeavesModelRankedUntouched) {
+  // recall = 0 can never hint, so attaching the oracle must not move a
+  // single placement.
+  const auto specs = mixed_specs(30);
+  const auto models = ground_truth_models(specs);
+  const predict::FailurePredictor silent({0.9, 0.0, 600.0}, 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double now = 1500.0 + 811.0 * trial;
+    TimelinePool p1(specs, 40 + trial);
+    TimelinePool p2(specs, 40 + trial);
+    Matchmaker plain(p1, models, MatchPolicy::kModelRanked, trial);
+    Matchmaker hinted(p2, models, MatchPolicy::kModelRanked, trial);
+    hinted.set_predictor(&silent);
+    const auto a = plain.place(now);
+    const auto b = hinted.place(now);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->machine_index, b->machine_index);
+      EXPECT_DOUBLE_EQ(a->remaining_s, b->remaining_s);
+    }
+  }
+}
+
+TEST(Matchmaker, PerfectOracleImprovesModelRankedPlacements) {
+  // A perfect oracle (recall 1, window covering every spell) hints the
+  // exact time-to-reclaim, so ranking by min(model, hint) demotes machines
+  // about to be reclaimed and lands on longer-lived ones than the model
+  // alone.
+  const auto specs = mixed_specs(40);
+  const auto models = ground_truth_models(specs);
+  const predict::FailurePredictor oracle({0.9, 1.0, 1.0e12}, 99);
+
+  double mean_plain = 0.0;
+  double mean_hinted = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 250; ++trial) {
+    const double now = 2000.0 + 997.0 * trial;
+    TimelinePool p1(specs, 100 + trial);
+    TimelinePool p2(specs, 100 + trial);
+    Matchmaker plain(p1, models, MatchPolicy::kModelRanked, trial);
+    Matchmaker hinted(p2, models, MatchPolicy::kModelRanked, trial);
+    hinted.set_predictor(&oracle);
+    const auto a = plain.place(now);
+    const auto b = hinted.place(now);
+    if (!a || !b) continue;
+    mean_plain += a->remaining_s;
+    mean_hinted += b->remaining_s;
+    ++n;
+  }
+  ASSERT_GT(n, 150);
+  EXPECT_GT(mean_hinted / n, mean_plain / n * 1.1);
 }
 
 TEST(Matchmaker, RandomEventuallyCoversCandidates) {

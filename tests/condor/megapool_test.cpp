@@ -1,0 +1,247 @@
+// The megapool engine's headline guarantee: bit-identical results to the
+// legacy single-threaded engines at equal seeds, for every scenario
+// (uncontended, contended, predictor) at any shard or thread count — plus
+// the validate() resolution rules of the engine/scenario API.
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/condor/pool_simulation.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/obs/span.hpp"
+
+namespace harvest::condor {
+namespace {
+
+std::vector<TimelinePool::MachineSpec> park(std::size_t n) {
+  std::vector<TimelinePool::MachineSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    TimelinePool::MachineSpec s;
+    s.id = "mp" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.55, 2200.0 + 250.0 * static_cast<double>(i % 9));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+PoolSimConfig base_config() {
+  PoolSimConfig cfg;
+  cfg.job_count = 6;
+  cfg.work_per_job_s = 2.0 * 3600.0;
+  cfg.seed = 17;
+  return cfg;
+}
+
+PoolSimConfig contended_config() {
+  PoolSimConfig cfg = base_config();
+  server::FleetConfig fc;
+  fc.shards = 2;
+  fc.server.capacity_mbps = 12.0;
+  fc.server.slots = 2;
+  cfg.scenario.fleet = fc;
+  return cfg;
+}
+
+void expect_identical(const PoolSimResult& a, const PoolSimResult& b) {
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.server_enabled, b.server_enabled);
+  EXPECT_EQ(a.server.submitted, b.server.submitted);
+  EXPECT_EQ(a.server.completed, b.server.completed);
+  EXPECT_DOUBLE_EQ(a.server.moved_mb, b.server.moved_mb);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].finished, b.jobs[i].finished) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_s, b.jobs[i].completion_s)
+        << "job " << i;
+    EXPECT_DOUBLE_EQ(a.jobs[i].useful_work_s, b.jobs[i].useful_work_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].lost_work_s, b.jobs[i].lost_work_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].moved_mb, b.jobs[i].moved_mb);
+    EXPECT_EQ(a.jobs[i].placements, b.jobs[i].placements);
+    EXPECT_EQ(a.jobs[i].evictions, b.jobs[i].evictions);
+    EXPECT_EQ(a.jobs[i].proactive_checkpoints,
+              b.jobs[i].proactive_checkpoints);
+  }
+}
+
+PoolSimResult run_megapool(PoolSimConfig cfg, std::size_t threads,
+                           std::size_t machines, std::size_t shards = 0) {
+  cfg.engine = PoolEngine::kMegapool;
+  cfg.megapool.threads = threads;
+  cfg.megapool.shards = shards;
+  return run_pool_simulation(park(machines), cfg);
+}
+
+TEST(Megapool, UncontendedBitIdenticalAtAnyThreadCount) {
+  const auto legacy = run_pool_simulation(park(24), base_config());
+  EXPECT_EQ(legacy.engine, PoolEngine::kUncontended);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto mega = run_megapool(base_config(), threads, 24);
+    EXPECT_EQ(mega.engine, PoolEngine::kMegapool);
+    expect_identical(legacy, mega);
+  }
+}
+
+TEST(Megapool, ContendedBitIdenticalAtAnyThreadCount) {
+  const auto legacy = run_pool_simulation(park(24), contended_config());
+  EXPECT_EQ(legacy.engine, PoolEngine::kContended);
+  ASSERT_TRUE(legacy.server_enabled);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto mega = run_megapool(contended_config(), threads, 24);
+    expect_identical(legacy, mega);
+    EXPECT_EQ(legacy.fleet.shards.size(), mega.fleet.shards.size());
+  }
+}
+
+TEST(Megapool, ShardCountNeverChangesResults) {
+  const auto one = run_megapool(contended_config(), 2, 30, 1);
+  for (const std::size_t shards : {3u, 16u, 64u}) {
+    expect_identical(one, run_megapool(contended_config(), 2, 30, shards));
+  }
+}
+
+TEST(Megapool, PredictorScenarioBitIdentical) {
+  PoolSimConfig cfg = contended_config();
+  cfg.scenario.predictor = predict::PredictorConfig{0.9, 0.8, 600.0};
+  const auto legacy = run_pool_simulation(park(24), cfg);
+  ASSERT_TRUE(legacy.predictor_enabled);
+  for (const std::size_t threads : {1u, 8u}) {
+    const auto mega = run_megapool(cfg, threads, 24);
+    expect_identical(legacy, mega);
+    EXPECT_EQ(legacy.predictor.events, mega.predictor.events);
+    EXPECT_EQ(legacy.predictor.true_alerts, mega.predictor.true_alerts);
+    EXPECT_EQ(legacy.predictor.false_alerts, mega.predictor.false_alerts);
+  }
+}
+
+TEST(Megapool, ModelRankedPolicyBitIdentical) {
+  // kModelRanked exercises the candidate scan (uptime, model scoring, the
+  // predictor demotion) rather than the random pick.
+  for (auto policy : {MatchPolicy::kLongestUptime, MatchPolicy::kModelRanked}) {
+    PoolSimConfig cfg = contended_config();
+    cfg.policy = policy;
+    cfg.scenario.predictor = predict::PredictorConfig{0.9, 0.7, 900.0};
+    const auto legacy = run_pool_simulation(park(24), cfg);
+    const auto mega = run_megapool(cfg, 8, 24);
+    expect_identical(legacy, mega);
+  }
+}
+
+TEST(Megapool, HooksRideAlongIdentically) {
+  // Spans + timeline attach through the same RuntimeHooks on both engines
+  // and must neither perturb results nor disagree with each other.
+  obs::SpanStore legacy_spans;
+  obs::SpanStore mega_spans;
+  PoolSimConfig cfg = contended_config();
+  cfg.hooks.snapshot_every_s = 6.0 * 3600.0;
+  cfg.hooks.spans = &legacy_spans;
+  const auto legacy = run_pool_simulation(park(24), cfg);
+  cfg.hooks.spans = &mega_spans;
+  const auto mega = run_megapool(cfg, 8, 24);
+  expect_identical(legacy, mega);
+  ASSERT_EQ(legacy.timeline.size(), mega.timeline.size());
+  for (std::size_t f = 0; f < legacy.timeline.size(); ++f) {
+    EXPECT_DOUBLE_EQ(legacy.timeline[f].interval_mb,
+                     mega.timeline[f].interval_mb);
+    EXPECT_EQ(legacy.timeline[f].jobs_finished,
+              mega.timeline[f].jobs_finished);
+  }
+  const auto lr = legacy_spans.report();
+  const auto mr = mega_spans.report();
+  EXPECT_EQ(lr.total.transfers, mr.total.transfers);
+  EXPECT_DOUBLE_EQ(lr.total.moved_mb, mr.total.moved_mb);
+  EXPECT_TRUE(mega_spans.verify().ok());
+}
+
+TEST(Megapool, DeprecatedServerShorthandStaysBitIdentical) {
+  // `server` desugars to a one-shard fleet in validate(); both spellings
+  // must produce the same run under both engine families.
+  server::ServerConfig sc;
+  sc.capacity_mbps = 12.0;
+  sc.slots = 2;
+
+  PoolSimConfig shorthand = base_config();
+  shorthand.server = sc;
+  PoolSimConfig canonical = base_config();
+  server::FleetConfig fc;
+  fc.shards = 1;
+  fc.server = sc;
+  canonical.scenario.fleet = fc;
+
+  expect_identical(run_pool_simulation(park(20), shorthand),
+                   run_pool_simulation(park(20), canonical));
+  expect_identical(run_megapool(shorthand, 4, 20),
+                   run_megapool(canonical, 4, 20));
+}
+
+TEST(PoolSimValidate, AutoResolvesFromScenario) {
+  PoolSimConfig cfg = base_config();
+  EXPECT_EQ(cfg.validate().engine, PoolEngine::kUncontended);
+  EXPECT_FALSE(cfg.validate().fleet.has_value());
+  PoolSimConfig fleet_cfg = contended_config();
+  EXPECT_EQ(fleet_cfg.validate().engine, PoolEngine::kContended);
+  EXPECT_TRUE(fleet_cfg.validate().fleet.has_value());
+  fleet_cfg.engine = PoolEngine::kMegapool;
+  EXPECT_EQ(fleet_cfg.validate().engine, PoolEngine::kMegapool);
+}
+
+TEST(PoolSimValidate, DeprecatedServerDesugarsWithWarning) {
+  PoolSimConfig cfg = base_config();
+  cfg.server = server::ServerConfig{};
+  const auto v = cfg.validate();
+  EXPECT_EQ(v.engine, PoolEngine::kContended);
+  ASSERT_TRUE(v.fleet.has_value());
+  EXPECT_EQ(v.fleet->shards, 1u);
+  const bool warned = std::any_of(
+      v.warnings.begin(), v.warnings.end(), [](const std::string& w) {
+        return w.find("deprecated") != std::string::npos;
+      });
+  EXPECT_TRUE(warned);
+}
+
+TEST(PoolSimValidate, ContradictionsThrow) {
+  PoolSimConfig both = contended_config();
+  both.server = server::ServerConfig{};
+  EXPECT_THROW((void)both.validate(), std::invalid_argument);
+
+  PoolSimConfig unc_fleet = contended_config();
+  unc_fleet.engine = PoolEngine::kUncontended;
+  EXPECT_THROW((void)unc_fleet.validate(), std::invalid_argument);
+
+  PoolSimConfig cont_bare = base_config();
+  cont_bare.engine = PoolEngine::kContended;
+  EXPECT_THROW((void)cont_bare.validate(), std::invalid_argument);
+
+  PoolSimConfig bad = base_config();
+  bad.job_count = 0;
+  EXPECT_THROW((void)bad.validate(), std::invalid_argument);
+  bad = base_config();
+  bad.negotiation_interval_s = 0.0;
+  EXPECT_THROW((void)bad.validate(), std::invalid_argument);
+}
+
+TEST(PoolSimValidate, WarnsWhenMegapoolTuningIsIgnored) {
+  PoolSimConfig cfg = base_config();
+  cfg.megapool.threads = 8;
+  const auto v = cfg.validate();
+  EXPECT_EQ(v.engine, PoolEngine::kUncontended);
+  const bool warned = std::any_of(
+      v.warnings.begin(), v.warnings.end(), [](const std::string& w) {
+        return w.find("megapool") != std::string::npos;
+      });
+  EXPECT_TRUE(warned);
+}
+
+TEST(PoolSimValidate, EngineNamesRoundTrip) {
+  EXPECT_EQ(to_string(PoolEngine::kAuto), "auto");
+  EXPECT_EQ(to_string(PoolEngine::kUncontended), "uncontended");
+  EXPECT_EQ(to_string(PoolEngine::kContended), "contended");
+  EXPECT_EQ(to_string(PoolEngine::kMegapool), "megapool");
+}
+
+}  // namespace
+}  // namespace harvest::condor

@@ -38,7 +38,7 @@ PoolSimConfig contended_config() {
   fc.shards = 2;
   fc.server.capacity_mbps = 12.0;
   fc.server.slots = 2;
-  cfg.fleet = fc;
+  cfg.scenario.fleet = fc;
   return cfg;
 }
 
@@ -81,7 +81,7 @@ TEST(PoolPrediction, RecallZeroPredictorIsBitIdenticalContended) {
   PoolSimConfig cfg = contended_config();
   predict::PredictorConfig silent = active_predictor();
   silent.recall = 0.0;
-  cfg.predictor = silent;
+  cfg.scenario.predictor = silent;
   const auto silenced = run_pool_simulation(park(24), cfg);
   expect_identical(plain, silenced);
   EXPECT_FALSE(plain.predictor_enabled);
@@ -98,7 +98,7 @@ TEST(PoolPrediction, RecallZeroPredictorIsBitIdenticalUncontended) {
   PoolSimConfig cfg = uncontended_config();
   predict::PredictorConfig silent = active_predictor();
   silent.recall = 0.0;
-  cfg.predictor = silent;
+  cfg.scenario.predictor = silent;
   const auto silenced = run_pool_simulation(park(20), cfg);
   expect_identical(plain, silenced);
   EXPECT_EQ(silenced.total_proactive_checkpoints(), 0u);
@@ -106,7 +106,7 @@ TEST(PoolPrediction, RecallZeroPredictorIsBitIdenticalUncontended) {
 
 TEST(PoolPrediction, ActivePredictorIsDeterministicUnderFixedSeed) {
   PoolSimConfig cfg = contended_config();
-  cfg.predictor = active_predictor();
+  cfg.scenario.predictor = active_predictor();
   const auto a = run_pool_simulation(park(24), cfg);
   const auto b = run_pool_simulation(park(24), cfg);
   expect_identical(a, b);
@@ -118,8 +118,8 @@ TEST(PoolPrediction, ActivePredictorIsDeterministicUnderFixedSeed) {
 TEST(PoolPrediction, ProactiveIsItsOwnTrafficClassContended) {
   obs::SpanStore store;
   PoolSimConfig cfg = contended_config();
-  cfg.predictor = active_predictor();
-  cfg.spans = &store;
+  cfg.scenario.predictor = active_predictor();
+  cfg.hooks.spans = &store;
   const auto res = run_pool_simulation(park(24), cfg);
   ASSERT_TRUE(res.predictor_enabled);
   EXPECT_GT(res.predictor.true_alerts, 0u);
@@ -146,7 +146,7 @@ TEST(PoolPrediction, ProactiveIsItsOwnTrafficClassContended) {
 
 TEST(PoolPrediction, ProactiveCheckpointsCommitUncontended) {
   PoolSimConfig cfg = uncontended_config();
-  cfg.predictor = active_predictor();
+  cfg.scenario.predictor = active_predictor();
   const auto res = run_pool_simulation(park(20), cfg);
   ASSERT_TRUE(res.predictor_enabled);
   EXPECT_GT(res.predictor.events, 0u);
@@ -163,12 +163,12 @@ TEST(PoolPrediction, ObservedPrecisionTracksConfigured) {
   PoolSimConfig cfg = uncontended_config();
   cfg.job_count = 10;
   cfg.work_per_job_s = 4.0 * 3600.0;
-  cfg.predictor = active_predictor();
+  cfg.scenario.predictor = active_predictor();
   const auto res = run_pool_simulation(park(24), cfg);
   ASSERT_TRUE(res.predictor_enabled);
   ASSERT_GT(res.predictor.true_alerts + res.predictor.false_alerts, 20u);
   EXPECT_GE(res.predictor.observed_precision(),
-            cfg.predictor->precision - 0.15);
+            cfg.scenario.predictor->precision - 0.15);
   EXPECT_LE(res.predictor.observed_recall(), 1.0);
   EXPECT_EQ(res.predictor.missed,
             res.predictor.events - res.predictor.true_alerts);
@@ -179,14 +179,14 @@ TEST(PoolPrediction, PeriodStretchReducesCheckpointTraffic) {
   // cadence (1/sqrt(1 - r̃)), so the run moves fewer checkpoint bytes.
   PoolSimConfig cfg = contended_config();
   const auto plain = run_pool_simulation(park(24), cfg);
-  cfg.predictor = active_predictor();
+  cfg.scenario.predictor = active_predictor();
   const auto predicted = run_pool_simulation(park(24), cfg);
   EXPECT_LT(predicted.total_moved_mb(), plain.total_moved_mb());
 }
 
 TEST(PoolPrediction, InvalidPredictorConfigThrows) {
   PoolSimConfig cfg = uncontended_config();
-  cfg.predictor = predict::PredictorConfig{0.0, 0.5, 600.0};
+  cfg.scenario.predictor = predict::PredictorConfig{0.0, 0.5, 600.0};
   EXPECT_THROW((void)run_pool_simulation(park(4), cfg),
                std::invalid_argument);
 }

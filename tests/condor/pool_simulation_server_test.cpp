@@ -88,7 +88,7 @@ TEST(PoolSimulationServer, SeedChangesTheRun) {
 TEST(PoolSimulationServer, TracerBytesMatchMovedMb) {
   auto cfg = server_config();
   obs::EventTracer tracer(0);  // unbounded: every event must survive
-  cfg.tracer = &tracer;
+  cfg.hooks.tracer = &tracer;
   const auto res = run_pool_simulation(park(24), cfg);
 
   // Σ per-transfer server event bytes == server moved_mb == job moved_mb.
@@ -123,7 +123,7 @@ TEST(PoolSimulationServer, LegacyPathTracerAlsoUsesMachineTracks) {
   cfg.work_per_job_s = 2.0 * 3600.0;
   cfg.seed = 5;
   obs::EventTracer tracer(0);
-  cfg.tracer = &tracer;
+  cfg.hooks.tracer = &tracer;
   const auto res = run_pool_simulation(park(24), cfg);
   EXPECT_FALSE(res.server_enabled);
   double placement_traced_mb = 0.0;
@@ -184,7 +184,7 @@ TEST(PoolSimulationFleet, OneShardFleetMatchesLegacyServerOption) {
   fleet.routing = server::RoutingPolicy::kStatic;
   fleet.server = *cfg.server;
   cfg.server.reset();
-  cfg.fleet = fleet;
+  cfg.scenario.fleet = fleet;
   const auto explicit_fleet = run_pool_simulation(park(24), cfg);
 
   EXPECT_DOUBLE_EQ(legacy.makespan_s, explicit_fleet.makespan_s);
@@ -203,7 +203,7 @@ TEST(PoolSimulationFleet, OneShardFleetMatchesLegacyServerOption) {
 
 TEST(PoolSimulationFleet, SettingBothServerAndFleetThrows) {
   auto cfg = server_config();
-  cfg.fleet = server::FleetConfig{};
+  cfg.scenario.fleet = server::FleetConfig{};
   EXPECT_THROW((void)run_pool_simulation(park(24), cfg),
                std::invalid_argument);
 }
@@ -218,7 +218,7 @@ TEST(PoolSimulationFleet, ShardedFleetRunsAndConservesBytes) {
     fleet.routing = routing;
     fleet.server = *cfg.server;
     cfg.server.reset();
-    cfg.fleet = fleet;
+    cfg.scenario.fleet = fleet;
     cfg.job_count = 12;
     const auto res = run_pool_simulation(park(24), cfg);
     EXPECT_TRUE(res.server_enabled);
@@ -251,7 +251,7 @@ TEST(PoolSimulationFleet, ShardedFleetIsDeterministicPerSeed) {
     fleet.routing = server::RoutingPolicy::kHash;
     fleet.server = *cfg.server;
     cfg.server.reset();
-    cfg.fleet = fleet;
+    cfg.scenario.fleet = fleet;
     return cfg;
   };
   const auto a = run_pool_simulation(park(24), make_cfg());

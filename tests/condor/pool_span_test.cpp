@@ -61,7 +61,7 @@ TEST(PoolSpans, ContendedEngineIsBitIdenticalWithSpansAttached) {
   const auto plain = run_pool_simulation(park(24), contended_config());
   obs::SpanStore store;
   PoolSimConfig cfg = contended_config();
-  cfg.spans = &store;
+  cfg.hooks.spans = &store;
   const auto spanned = run_pool_simulation(park(24), cfg);
   expect_identical(plain, spanned);
   EXPECT_GT(store.report().total.transfers, 0u);
@@ -70,7 +70,7 @@ TEST(PoolSpans, ContendedEngineIsBitIdenticalWithSpansAttached) {
 TEST(PoolSpans, ContendedPartitionIsExactAndTreeWellFormed) {
   obs::SpanStore store;
   PoolSimConfig cfg = contended_config();
-  cfg.spans = &store;
+  cfg.hooks.spans = &store;
   const auto res = run_pool_simulation(park(24), cfg);
   const auto r = store.report();
   EXPECT_LE(r.max_partition_error_s, 1e-9);
@@ -93,7 +93,7 @@ TEST(PoolSpans, AdmissionPushbackYieldsBackoffAndRejectionSpans) {
   PoolSimConfig cfg = contended_config();
   cfg.server->slots = 1;
   cfg.server->queue_limit = 0;  // every contender is bounced into backoff
-  cfg.spans = &store;
+  cfg.hooks.spans = &store;
   (void)run_pool_simulation(park(24), cfg);
   const auto r = store.report();
   EXPECT_GT(r.total.rejected, 0u);
@@ -109,7 +109,7 @@ TEST(PoolSpans, UncontendedEngineIsBitIdenticalWithSpansAttached) {
   cfg.seed = 11;
   const auto plain = run_pool_simulation(park(20), cfg);
   obs::SpanStore store;
-  cfg.spans = &store;
+  cfg.hooks.spans = &store;
   const auto spanned = run_pool_simulation(park(20), cfg);
   EXPECT_DOUBLE_EQ(plain.makespan_s, spanned.makespan_s);
   ASSERT_EQ(plain.jobs.size(), spanned.jobs.size());
@@ -139,8 +139,8 @@ TEST(PoolSpans, FleetRunSplitsAttributionAcrossShards) {
   fc.shards = 2;
   fc.server.capacity_mbps = 12.0;
   fc.server.slots = 2;
-  cfg.fleet = fc;
-  cfg.spans = &store;
+  cfg.scenario.fleet = fc;
+  cfg.hooks.spans = &store;
   const auto res = run_pool_simulation(park(24), cfg);
   ASSERT_TRUE(res.server_enabled);
   const auto r = store.report();

@@ -39,7 +39,7 @@ PoolSimConfig fleet_config(std::size_t shards) {
   fc.shards = shards;
   fc.server.capacity_mbps = 12.0;
   fc.server.slots = 2;
-  cfg.fleet = fc;
+  cfg.scenario.fleet = fc;
   return cfg;
 }
 
@@ -56,7 +56,7 @@ TEST(PoolTimeline, EmptyByDefault) {
 
 TEST(PoolTimeline, NegativeCadenceThrows) {
   auto cfg = fleet_config(2);
-  cfg.snapshot_every_s = -1.0;
+  cfg.hooks.snapshot_every_s = -1.0;
   EXPECT_THROW(run_pool_simulation(park(16), cfg), std::invalid_argument);
 }
 
@@ -67,7 +67,7 @@ TEST(PoolTimeline, NegativeCadenceThrows) {
 TEST(PoolTimeline, FleetFramesPartitionNetworkTotalExactly) {
   auto cfg = fleet_config(4);
   cfg.job_count = 32;
-  cfg.snapshot_every_s = 600.0;
+  cfg.hooks.snapshot_every_s = 600.0;
   const auto res = run_pool_simulation(park(128), cfg);
   ASSERT_FALSE(res.timeline.empty());
   const double total = res.total_moved_mb();
@@ -96,7 +96,7 @@ TEST(PoolTimeline, FleetFramesPartitionNetworkTotalExactly) {
 
 TEST(PoolTimeline, FramesTileTheRunInOrder) {
   auto cfg = fleet_config(2);
-  cfg.snapshot_every_s = 900.0;
+  cfg.hooks.snapshot_every_s = 900.0;
   const auto res = run_pool_simulation(park(24), cfg);
   ASSERT_FALSE(res.timeline.empty());
   EXPECT_DOUBLE_EQ(res.timeline.front().start_s, 0.0);
@@ -121,7 +121,7 @@ TEST(PoolTimeline, FramesTileTheRunInOrder) {
 TEST(PoolTimeline, TimelineDoesNotPerturbTheRun) {
   const auto plain = run_pool_simulation(park(24), fleet_config(2));
   auto cfg = fleet_config(2);
-  cfg.snapshot_every_s = 300.0;
+  cfg.hooks.snapshot_every_s = 300.0;
   const auto timed = run_pool_simulation(park(24), cfg);
   ASSERT_EQ(plain.jobs.size(), timed.jobs.size());
   EXPECT_DOUBLE_EQ(plain.makespan_s, timed.makespan_s);
@@ -146,7 +146,7 @@ TEST(PoolTimeline, UncontendedFramesPartitionNetworkTotal) {
   cfg.job_count = 8;
   cfg.work_per_job_s = 2.0 * 3600.0;
   cfg.seed = 5;
-  cfg.snapshot_every_s = 600.0;
+  cfg.hooks.snapshot_every_s = 600.0;
   const auto res = run_pool_simulation(park(24), cfg);
   EXPECT_FALSE(res.server_enabled);
   ASSERT_FALSE(res.timeline.empty());
@@ -163,7 +163,7 @@ TEST(PoolTimeline, UncontendedFramesPartitionNetworkTotal) {
 
 TEST(PoolTimeline, CsvHeaderAndRowShape) {
   auto cfg = fleet_config(2);
-  cfg.snapshot_every_s = 900.0;
+  cfg.hooks.snapshot_every_s = 900.0;
   const auto res = run_pool_simulation(park(24), cfg);
   const std::string csv = timeline_csv(res.timeline);
   const std::string header =
@@ -180,7 +180,7 @@ TEST(PoolTimeline, CsvHeaderAndRowShape) {
   ucfg.job_count = 4;
   ucfg.work_per_job_s = 3600.0;
   ucfg.seed = 5;
-  ucfg.snapshot_every_s = 600.0;
+  ucfg.hooks.snapshot_every_s = 600.0;
   const auto ures = run_pool_simulation(park(16), ucfg);
   const std::string ucsv = timeline_csv(ures.timeline);
   const auto ulines = static_cast<std::size_t>(
@@ -192,7 +192,7 @@ TEST(PoolTimeline, CsvHeaderAndRowShape) {
 TEST(PoolTimeline, UtilizationBoundedAndWaitsOrdered) {
   auto cfg = fleet_config(4);
   cfg.job_count = 16;
-  cfg.snapshot_every_s = 600.0;
+  cfg.hooks.snapshot_every_s = 600.0;
   const auto res = run_pool_simulation(park(64), cfg);
   for (const auto& f : res.timeline) {
     for (const auto& s : f.shards) {

@@ -171,5 +171,66 @@ TEST(FailurePredictor, InvalidConfigThrowsAtConstruction) {
   EXPECT_THROW(FailurePredictor(bad, 1), std::invalid_argument);
 }
 
+TEST(FailurePredictor, ReclaimHintIsDeterministicAndRngFree) {
+  // The matchmaking hint must be a pure function of (seed, spell, now):
+  // calling it any number of times, in any order, neither advances the
+  // alert RNG nor changes its own answer.
+  const PredictorConfig cfg{0.8, 0.7, 900.0};
+  FailurePredictor a(cfg, 33);
+  FailurePredictor b(cfg, 33);
+  numerics::Rng spells(4);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double len = spells.uniform(10.0, 4000.0);
+    const double now = t + 0.25 * len;
+    const auto h1 = a.reclaim_hint(t, t + len, now);
+    const auto h2 = a.reclaim_hint(t, t + len, now);  // idempotent
+    ASSERT_EQ(h1.has_value(), h2.has_value());
+    if (h1.has_value()) EXPECT_EQ(*h1, *h2);
+    // `a` answered hints, `b` did not; their alert streams must agree.
+    const auto xs = a.alerts_for_spell(t, t + len);
+    const auto ys = b.alerts_for_spell(t, t + len);
+    ASSERT_EQ(xs.size(), ys.size());
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      EXPECT_EQ(xs[k].time_s, ys[k].time_s);
+    }
+    t += len;
+  }
+}
+
+TEST(FailurePredictor, ReclaimHintRespectsWindowAndRecall) {
+  const PredictorConfig cfg{0.8, 1.0, 900.0};
+  FailurePredictor oracle(cfg, 7);
+  // Event outside the look-ahead window: no hint regardless of recall.
+  EXPECT_FALSE(oracle.reclaim_hint(0.0, 10000.0, 100.0).has_value());
+  // Event inside the window with recall 1: always hinted, with the exact
+  // remaining time.
+  const auto hint = oracle.reclaim_hint(0.0, 500.0, 100.0);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_DOUBLE_EQ(*hint, 400.0);
+  // Reclamation already due clamps at zero rather than going negative.
+  const auto overdue = oracle.reclaim_hint(0.0, 500.0, 600.0);
+  ASSERT_TRUE(overdue.has_value());
+  EXPECT_DOUBLE_EQ(*overdue, 0.0);
+
+  FailurePredictor silent({0.8, 0.0, 900.0}, 7);
+  EXPECT_FALSE(silent.reclaim_hint(0.0, 500.0, 100.0).has_value());
+}
+
+TEST(FailurePredictor, ReclaimHintCoverageTracksRecall) {
+  const PredictorConfig cfg{0.8, 0.6, 1.0e9};
+  FailurePredictor oracle(cfg, 11);
+  numerics::Rng spells(12);
+  int hinted = 0;
+  const int trials = 5000;
+  double t = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double len = spells.uniform(10.0, 4000.0);
+    if (oracle.reclaim_hint(t, t + len, t).has_value()) ++hinted;
+    t += len;
+  }
+  EXPECT_NEAR(static_cast<double>(hinted) / trials, cfg.recall, 0.03);
+}
+
 }  // namespace
 }  // namespace harvest::predict

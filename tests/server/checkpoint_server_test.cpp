@@ -412,5 +412,27 @@ TEST(CheckpointServer, RejectsBadInput) {
   EXPECT_NO_THROW(CheckpointServer{cfg2});
 }
 
+TEST(CheckpointServer, SubUlpResidualCompletesInsteadOfSpinning) {
+  // Regression: at a large clock, remaining bytes whose wire time is below
+  // one ulp of the clock used to spin drain_to forever — the completion
+  // instant `clock + remaining/share` rounded back onto the clock, so
+  // integrate_to advanced nothing and the transfer never crossed the byte
+  // tolerance. Long-horizon pool runs (sim time past ~2^18 s) hit this
+  // through ordinary rounding residue; the finish test now absorbs
+  // anything below the clock's resolution.
+  CheckpointServer server(basic_config());
+  const double t0 = 400000.0;  // ulp(t0) ~ 5.8e-11 s; solo share = 10 MB/s
+  // Wire time 2e-11 s: below half an ulp, so t0 + wire == t0 exactly.
+  const auto outcome = server.submit({/*job_id=*/1, /*megabytes=*/2e-10}, t0);
+  EXPECT_EQ(outcome.status, SubmitStatus::kStarted);
+  const auto next = server.next_event_s();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, t0);  // the finish instant is not representable past t0
+  const auto done = drain_all(server);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].job_id, 1u);
+  EXPECT_EQ(done[0].finish_s, t0);
+}
+
 }  // namespace
 }  // namespace harvest::server

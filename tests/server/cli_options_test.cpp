@@ -35,10 +35,14 @@ TEST(CliOptions, ParsesEveryFlagSpaceForm) {
            "--server-capacity", "24", "--server-stagger", "7.5",
            "--server-urgency-horizon", "450", "--server-queue-limit", "32",
            "--server-recovery-reserve", "4", "--fleet-shards", "4",
-           "--fleet-routing", "hash"});
+           "--fleet-routing", "hash", "--engine", "megapool",
+           "--megapool-threads", "8", "--megapool-shards", "16"});
   const auto opts = CliOptions::parse(av.argc, av.data());
   EXPECT_EQ(av.argc, 1);  // everything recognised and stripped
   EXPECT_TRUE(opts.any());
+  EXPECT_EQ(opts.engine, "megapool");
+  EXPECT_EQ(opts.megapool_threads, 8u);
+  EXPECT_EQ(opts.megapool_shards, 16u);
   EXPECT_EQ(opts.policy, SchedulerPolicy::kUrgency);
   EXPECT_EQ(opts.slots, 3u);
   EXPECT_EQ(opts.capacity_mbps, 24.0);
@@ -97,6 +101,9 @@ TEST(CliOptions, RejectsMalformedValues) {
       {"prog", "--fleet-shards", "0"},
       {"prog", "--fleet-shards", "1025"},  // > kMaxFleetShards
       {"prog", "--fleet-routing", "round_robin"},
+      {"prog", "--engine", "warp"},
+      {"prog", "--megapool-threads", "many"},
+      {"prog", "--megapool-shards", "4x"},
   };
   for (const auto& args : bad) {
     Argv av(args);
@@ -153,9 +160,21 @@ TEST(CliOptions, HelpTextMentionsEveryFlag) {
        {"--server-policy", "--server-slots", "--server-capacity",
         "--server-stagger", "--server-urgency-horizon",
         "--server-queue-limit", "--server-recovery-reserve",
-        "--fleet-shards", "--fleet-routing"}) {
+        "--fleet-shards", "--fleet-routing", "--engine",
+        "--megapool-threads", "--megapool-shards"}) {
     EXPECT_NE(help.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST(CliOptions, EngineFlagsDoNotEnableContendedMode) {
+  // Choosing an engine is orthogonal to the scenario: no --server-*/
+  // --fleet-* flag means any() stays false and no fleet is implied.
+  Argv av({"prog", "--engine=megapool", "--megapool-threads=4"});
+  const auto opts = CliOptions::parse(av.argc, av.data());
+  EXPECT_FALSE(opts.any());
+  EXPECT_EQ(opts.engine, "megapool");
+  EXPECT_EQ(opts.megapool_threads, 4u);
+  EXPECT_FALSE(opts.megapool_shards.has_value());
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+// CalendarQueue ordering contract: ascending (time, key) pops, bit-exact
+// and independent of push order, bucket count, or resize history. The
+// engines' determinism rests on this, so the stress tests mirror every
+// operation against a sorted reference and compare pop-for-pop.
+#include "harvest/sim/calendar_queue.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+
+namespace harvest::sim {
+namespace {
+
+using Queue = CalendarQueue<int>;
+using Ref = std::tuple<double, std::uint64_t, int>;  // (time, key, payload)
+using RefQueue =
+    std::priority_queue<Ref, std::vector<Ref>, std::greater<Ref>>;
+
+TEST(CalendarQueue, EmptyBehaviour) {
+  Queue q(10.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.peek(), nullptr);
+  EXPECT_EQ(q.next_time(), std::numeric_limits<double>::infinity());
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(CalendarQueue, RejectsBadTimes) {
+  Queue q(10.0);
+  EXPECT_THROW(q.push(-1.0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::quiet_NaN(), 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::infinity(), 0, 0),
+               std::invalid_argument);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, PopsInTimeOrder) {
+  Queue q(10.0);
+  q.push(30.0, 0, 3);
+  q.push(10.0, 1, 1);
+  q.push(20.0, 2, 2);
+  EXPECT_EQ(q.next_time(), 10.0);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, EqualTimesPopInKeyOrderRegardlessOfPushOrder) {
+  // Two permutations of the same (time, key) set must pop identically.
+  const std::vector<std::uint64_t> keys = {5, 1, 9, 3, 7, 0, 2, 8};
+  Queue fwd(10.0);
+  Queue rev(10.0);
+  for (const auto k : keys) fwd.push(42.0, k, static_cast<int>(k));
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    rev.push(42.0, *it, static_cast<int>(*it));
+  }
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto a = fwd.pop();
+    const auto b = rev.pop();
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.payload, b.payload);
+    if (i > 0) EXPECT_GT(a.key, prev);
+    prev = a.key;
+  }
+}
+
+TEST(CalendarQueue, PushEarlierThanScannedMinIsNotSkipped) {
+  // Regression: with one far-future entry, peek() advances the lazy scan
+  // many days past the last popped time. A later push in between — after
+  // the cursor but before the scanned day — must still pop first.
+  Queue q(300.0, 8);
+  q.push(1000.0, 0, 0);
+  EXPECT_EQ(q.pop().payload, 0);  // cursor now 1000
+  q.push(5000.0, 1, 1);
+  EXPECT_EQ(q.next_time(), 5000.0);  // scan ran ahead to day(5000)
+  q.push(2000.0, 2, 2);              // earlier day, after the cursor
+  EXPECT_EQ(q.next_time(), 2000.0);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+}
+
+TEST(CalendarQueue, GrowsAndShrinksWhileStayingSorted) {
+  Queue q(1.0, 8);
+  const std::size_t initial = q.bucket_count();
+  for (std::size_t i = 0; i < 512; ++i) {
+    q.push(static_cast<double>((i * 137) % 997), i, static_cast<int>(i));
+  }
+  EXPECT_GT(q.bucket_count(), initial);
+  double prev = -1.0;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+  EXPECT_LE(q.bucket_count(), initial * 8);
+}
+
+TEST(CalendarQueue, DegenerateWidthEstimatesStayCorrect) {
+  // All times equal: a resize cannot infer a span, and the near-zero span
+  // path must not break ordering (keys still tie-break).
+  Queue q(1.0, 8);
+  for (std::size_t i = 0; i < 64; ++i) {
+    q.push(7.0, 63 - i, static_cast<int>(63 - i));
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const auto e = q.pop();
+    EXPECT_EQ(e.time, 7.0);
+    EXPECT_EQ(e.key, k);
+  }
+
+  // Times packed into a tiny span around a large offset: the re-estimated
+  // width is pathologically narrow relative to the magnitude.
+  Queue tight(1.0, 8);
+  for (std::size_t i = 0; i < 64; ++i) {
+    tight.push(1.0e9 + 1.0e-3 * static_cast<double>((i * 29) % 64), i,
+               static_cast<int>(i));
+  }
+  double prev = 0.0;
+  while (!tight.empty()) {
+    const auto e = tight.pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+/// Discrete-event style stress: interleave pushes (at or after the last
+/// popped time, like an engine scheduling from `now`) with pops, mirroring
+/// a std::priority_queue, across width/bucket configurations that force
+/// wraps and resizes. Every pop must match the mirror exactly.
+TEST(CalendarQueue, StressMatchesReferenceHeap) {
+  const double widths[] = {0.5, 37.0, 300.0};
+  for (const double width : widths) {
+    Queue q(width, 8);
+    RefQueue ref;
+    numerics::Rng rng(20260808u ^
+                      static_cast<std::uint64_t>(width * 16.0));
+    double now = 0.0;
+    std::uint64_t seq = 0;
+    for (std::size_t step = 0; step < 20000; ++step) {
+      const double u = rng.uniform();
+      if (u < 0.55 || ref.empty()) {
+        // Mix of near-future bursts and sparse far-future events, plus
+        // exact ties at `now` (key-order critical).
+        double t = now;
+        const double v = rng.uniform();
+        if (v < 0.2) {
+          t = now;  // tie at the clock
+        } else if (v < 0.9) {
+          t = now + 3000.0 * rng.uniform();
+        } else {
+          t = now + 1.0e6 * rng.uniform();  // far future: scan runs ahead
+        }
+        const std::uint64_t key = seq++;
+        q.push(t, key, static_cast<int>(key & 0x7fffffff));
+        ref.emplace(t, key, static_cast<int>(key & 0x7fffffff));
+      } else {
+        const auto got = q.pop();
+        const auto [t, key, payload] = ref.top();
+        ref.pop();
+        ASSERT_EQ(got.time, t) << "width " << width << " step " << step;
+        ASSERT_EQ(got.key, key) << "width " << width << " step " << step;
+        ASSERT_EQ(got.payload, payload);
+        now = got.time;
+      }
+    }
+    while (!ref.empty()) {
+      const auto got = q.pop();
+      const auto [t, key, payload] = ref.top();
+      ref.pop();
+      ASSERT_EQ(got.time, t);
+      ASSERT_EQ(got.key, key);
+      ASSERT_EQ(got.payload, payload);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+/// Adversarial drain/refill cycles: repeatedly drain to nearly empty (deep
+/// shrink resizes), then refill far ahead of the cursor (deep grows), so
+/// the scan is rebuilt across radically different widths.
+TEST(CalendarQueue, DrainRefillCyclesMatchReference) {
+  Queue q(10.0, 8);
+  RefQueue ref;
+  numerics::Rng rng(99u);
+  double now = 0.0;
+  std::uint64_t seq = 0;
+  for (std::size_t cycle = 0; cycle < 40; ++cycle) {
+    const double spread = (cycle % 2 == 0) ? 50.0 : 2.0e5;
+    for (std::size_t i = 0; i < 100; ++i) {
+      const double t = now + spread * rng.uniform();
+      const std::uint64_t key = seq++;
+      q.push(t, key, static_cast<int>(key));
+      ref.emplace(t, key, static_cast<int>(key));
+    }
+    const std::size_t drain = (cycle % 3 == 2) ? ref.size() : 99;
+    for (std::size_t i = 0; i < drain; ++i) {
+      const auto got = q.pop();
+      const auto [t, key, payload] = ref.top();
+      ref.pop();
+      ASSERT_EQ(got.time, t) << "cycle " << cycle << " pop " << i;
+      ASSERT_EQ(got.key, key);
+      now = got.time;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harvest::sim
