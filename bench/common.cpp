@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "harvest/condor/live_experiment.hpp"
+#include "harvest/obs/buildinfo.hpp"
 #include "harvest/obs/json.hpp"
 #include "harvest/sim/sweep.hpp"
 #include "harvest/stats/ttest.hpp"
@@ -200,6 +201,7 @@ void write_bench_json(const std::string& path, const std::string& bench_name,
   w.begin_object();
   w.field("bench", bench_name);
   w.field("schema_version", 1);
+  w.key("buildinfo").raw(obs::build_info_json());
 
   // Everything needed to regenerate these numbers byte-for-byte.
   w.key("config").begin_object();

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "harvest/obs/buildinfo.hpp"
 #include "harvest/condor/pool_simulation.hpp"
 #include "harvest/obs/json.hpp"
 #include "harvest/server/cli_options.hpp"
@@ -328,6 +329,7 @@ int main(int argc, char** argv) {
     obs::JsonWriter w;
     w.begin_object();
     w.field("bench", "fleet_sharding");
+    w.key("buildinfo").raw(obs::build_info_json());
     w.key("config").begin_object();
     w.field("pool_seed", std::uint64_t{bench::kStandardTraceSeed});
     w.field("sim_seed", std::uint64_t{kSimSeed});

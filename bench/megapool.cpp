@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "harvest/obs/buildinfo.hpp"
 #include "harvest/condor/pool_simulation.hpp"
 #include "harvest/obs/json.hpp"
 #include "harvest/trace/synthetic.hpp"
@@ -342,6 +343,7 @@ int main(int argc, char** argv) {
     obs::JsonWriter w;
     w.begin_object();
     w.field("bench", "megapool");
+    w.key("buildinfo").raw(obs::build_info_json());
     w.key("config").begin_object();
     w.field("pool_seed", std::uint64_t{bench::kStandardTraceSeed});
     w.field("sim_seed", std::uint64_t{kSimSeed});

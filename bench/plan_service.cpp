@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "harvest/obs/buildinfo.hpp"
 #include "harvest/core/planner.hpp"
 #include "harvest/dist/hyperexponential.hpp"
 #include "harvest/dist/weibull.hpp"
@@ -434,6 +435,7 @@ int main(int argc, char** argv) {
     obs::JsonWriter w;
     w.begin_object();
     w.field("bench", "plan_service");
+    w.key("buildinfo").raw(obs::build_info_json());
     w.key("config").begin_object();
     w.field("seed", std::uint64_t{kSeed});
     w.field("tiny", tiny);

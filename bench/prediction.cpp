@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "harvest/obs/buildinfo.hpp"
 #include "harvest/condor/pool_simulation.hpp"
 #include "harvest/dist/weibull.hpp"
 #include "harvest/obs/json.hpp"
@@ -282,6 +283,7 @@ int main(int argc, char** argv) {
     obs::JsonWriter w;
     w.begin_object();
     w.field("bench", "prediction");
+    w.key("buildinfo").raw(obs::build_info_json());
     w.key("config")
         .begin_object()
         .field("seed", kSeed)

@@ -1,0 +1,281 @@
+// Phase-profiler overhead and purity gate: run the pool simulation in all
+// three engines with and without an obs::prof::PhaseProfiler attached and
+// check that self-profiling is (a) free of behavioral side effects and
+// (b) cheap enough to leave on.
+//
+// Experiments:
+//   1. Contended mode (2-shard fleet) — repeated runs over fresh seeds,
+//      profiler off vs on; compares makespan, every per-job stat, and the
+//      fleet ledger field-by-field with exact floating-point equality.
+//   2. Uncontended mode — same bit-identity comparison.
+//   3. Megapool engine (multi-shard, inline) — same comparison, plus the
+//      profiler report's own invariants: conservation (Σ phase self time
+//      <= thread wall time on every thread) and byte-determinism of the
+//      folded report across repeated report() calls.
+//
+// Gated checks:
+//   (a) every engine bit-identical with the profiler attached;
+//   (b) conservation_ok on every profiled run;
+//   (c) report() is stable: folding the same slabs twice yields identical
+//       JSON bytes;
+//   (d) the expected phase taxonomy shows up (negotiate + drain in
+//       contended runs, placement in uncontended, spell-advance/matchmake
+//       in megapool runs);
+//   (e) enabled-mode wall-clock overhead <= 1.5x baseline (full mode only;
+//       tiny runs are too short to time meaningfully and print the ratio
+//       as info).
+//
+// Also prints the per-phase self-time table of the last contended run —
+// the EXPERIMENTS.md example.
+//
+// Flags:
+//   --json <path>   machine-readable artifact (config + checks + report)
+//   --tiny          CI smoke: smaller park, fewer reps
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "harvest/condor/pool_simulation.hpp"
+#include "harvest/dist/weibull.hpp"
+#include "harvest/obs/buildinfo.hpp"
+#include "harvest/obs/json.hpp"
+#include "harvest/obs/prof.hpp"
+#include "harvest/util/table.hpp"
+
+namespace {
+
+using namespace harvest;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 20050917;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<condor::TimelinePool::MachineSpec> park(std::size_t n) {
+  std::vector<condor::TimelinePool::MachineSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    condor::TimelinePool::MachineSpec s;
+    s.id = "b" + std::to_string(i);
+    s.availability_law = std::make_shared<dist::Weibull>(
+        0.5, 2500.0 + 300.0 * static_cast<double>(i % 7));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+/// Exact (bitwise double) equality of two runs' externally visible results.
+bool identical(const condor::PoolSimResult& a,
+               const condor::PoolSimResult& b) {
+  if (a.makespan_s != b.makespan_s) return false;
+  if (a.jobs.size() != b.jobs.size()) return false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& x = a.jobs[i];
+    const auto& y = b.jobs[i];
+    if (x.finished != y.finished || x.completion_s != y.completion_s ||
+        x.useful_work_s != y.useful_work_s ||
+        x.lost_work_s != y.lost_work_s || x.moved_mb != y.moved_mb ||
+        x.placements != y.placements || x.evictions != y.evictions ||
+        x.server_wait_s != y.server_wait_s ||
+        x.rejected_submits != y.rejected_submits) {
+      return false;
+    }
+  }
+  const auto& s = a.server;
+  const auto& t = b.server;
+  return s.submitted == t.submitted && s.started == t.started &&
+         s.rejected == t.rejected && s.completed == t.completed &&
+         s.interrupted == t.interrupted && s.moved_mb == t.moved_mb &&
+         s.total_wait_s == t.total_wait_s;
+}
+
+enum class Mode { kContended, kUncontended, kMegapool };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kContended: return "contended";
+    case Mode::kUncontended: return "uncontended";
+    case Mode::kMegapool: return "megapool";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+  int failures = 0;
+
+  const std::size_t machines = tiny ? 16 : 32;
+  const std::size_t jobs = tiny ? 4 : 8;
+  const std::size_t reps = tiny ? 2 : 5;
+  const auto specs = park(machines);
+
+  std::printf("=== Phase profiler: bit-identity + overhead gate ===\n");
+  std::printf("# repro: seed %llu, %zu machines, %zu jobs, %zu reps, %s\n\n",
+              static_cast<unsigned long long>(kSeed), machines, jobs, reps,
+              tiny ? "tiny" : "full");
+
+  server::FleetConfig fc;
+  fc.shards = 2;
+  fc.server.capacity_mbps = 12.0;
+  fc.server.slots = 2;
+  fc.server.stagger_window_s = 20.0;
+
+  bool bit_identical = true;
+  bool conservation_ok = true;
+  bool report_stable = true;
+  bool phases_present = true;
+  double base_s = 0.0;
+  double profiled_s = 0.0;
+  double max_excess_s = 0.0;
+  std::string last_contended_json;
+  obs::prof::ProfileReport last_contended;
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (const Mode mode :
+         {Mode::kContended, Mode::kUncontended, Mode::kMegapool}) {
+      condor::PoolSimConfig cfg;
+      cfg.job_count = jobs;
+      cfg.work_per_job_s = 2.0 * 3600.0;
+      cfg.seed = kSeed + rep;
+      if (mode == Mode::kContended) cfg.scenario.fleet = fc;
+      if (mode == Mode::kMegapool) {
+        cfg.engine = condor::PoolEngine::kMegapool;
+        cfg.megapool.shards = 4;
+        cfg.megapool.threads = 1;  // inline: determinism pinned elsewhere
+        // A scanning policy so the matchmake phase actually runs (kRandom
+        // selects by rank without scoring shards).
+        cfg.policy = condor::MatchPolicy::kLongestUptime;
+      }
+
+      const auto t0 = Clock::now();
+      const auto plain = condor::run_pool_simulation(specs, cfg);
+      base_s += seconds_since(t0);
+
+      obs::prof::PhaseProfiler profiler;
+      cfg.hooks.profiler = &profiler;
+      const auto t1 = Clock::now();
+      const auto profiled = condor::run_pool_simulation(specs, cfg);
+      profiled_s += seconds_since(t1);
+
+      if (!identical(plain, profiled)) {
+        bit_identical = false;
+        std::printf("MISMATCH: %s rep %zu differs with profiler on\n",
+                    mode_name(mode), rep);
+      }
+      const auto report = profiler.report();
+      if (!report.conservation_ok) conservation_ok = false;
+      max_excess_s = std::max(max_excess_s, report.max_thread_excess_s);
+      if (report.to_json() != profiler.report().to_json()) {
+        report_stable = false;
+      }
+      const bool expected =
+          mode == Mode::kContended
+              ? report.scope_count("contended.negotiate") > 0 &&
+                    report.scope_count("contended.drain") > 0 &&
+                    report.scope_count("server.admission") > 0
+          : mode == Mode::kUncontended
+              ? report.scope_count("uncontended.placement") > 0 &&
+                    report.scope_count("uncontended.negotiate") > 0
+              : report.scope_count("megapool.spell-advance") > 0 &&
+                    report.scope_count("megapool.matchmake") > 0;
+      if (!expected) {
+        phases_present = false;
+        std::printf("MISSING PHASES: %s rep %zu\n", mode_name(mode), rep);
+      }
+      if (mode == Mode::kContended && rep + 1 == reps) {
+        last_contended = report;
+        last_contended_json = report.to_json();
+      }
+    }
+  }
+
+  util::TextTable table({"phase", "parent", "kind", "count", "self s",
+                         "p50 ms", "p99 ms"});
+  std::size_t rows = 0;
+  for (const auto& p : last_contended.phases) {
+    if (p.shard != obs::prof::kNoShard) continue;  // fold shards away here
+    if (rows++ >= 12) break;
+    char buf[32];
+    const auto num = [&buf](double v, const char* f) {
+      std::snprintf(buf, sizeof buf, f, v);
+      return std::string(buf);
+    };
+    table.add_row({p.name, p.parent.empty() ? "-" : p.parent,
+                   p.latency ? "latency" : "self", std::to_string(p.count),
+                   num(p.self_s, "%.4f"), num(p.sketch.quantile(0.5) * 1e3, "%.3f"),
+                   num(p.sketch.quantile(0.99) * 1e3, "%.3f")});
+  }
+  std::printf("phase self-times (last contended run):\n%s\n",
+              table.render().c_str());
+
+  const double ratio = base_s > 0.0 ? profiled_s / base_s : 1.0;
+  std::printf("wall clock: baseline %.3f s, profiler on %.3f s, ratio %.3f\n\n",
+              base_s, profiled_s, ratio);
+
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("%-52s %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  };
+  check(bit_identical, "profiler attached => results bit-identical");
+  check(conservation_ok, "conservation: sum(self) <= thread wall");
+  check(report_stable, "report() byte-stable across folds");
+  check(phases_present, "expected phase taxonomy present");
+  if (tiny) {
+    std::printf("%-52s info (%.3fx, tiny run not timed)\n",
+                "enabled-mode overhead <= 1.5x", ratio);
+  } else {
+    check(ratio <= 1.5, "enabled-mode overhead <= 1.5x");
+  }
+  std::printf("%s\n", failures == 0 ? "all checks passed"
+                                    : "SOME CHECKS FAILED");
+
+  if (!json_path.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "prof_overhead");
+    w.key("buildinfo").raw(obs::build_info_json());
+    w.key("config")
+        .begin_object()
+        .field("seed", kSeed)
+        .field("machines", static_cast<std::uint64_t>(machines))
+        .field("jobs", static_cast<std::uint64_t>(jobs))
+        .field("reps", static_cast<std::uint64_t>(reps))
+        .field("tiny", tiny)
+        .end_object();
+    w.key("checks")
+        .begin_object()
+        .field("bit_identical", bit_identical)
+        .field("conservation_ok", conservation_ok)
+        .field("max_thread_excess_s", max_excess_s)
+        .field("report_stable", report_stable)
+        .field("phases_present", phases_present)
+        .field("baseline_s", base_s)
+        .field("profiled_s", profiled_s)
+        .field("overhead_ratio", ratio)
+        .field("failures", static_cast<std::uint64_t>(failures))
+        .end_object();
+    w.key("profile").raw(last_contended_json);
+    w.end_object();
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+  }
+  return failures == 0 ? 0 : 1;
+}

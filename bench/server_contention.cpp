@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "harvest/obs/buildinfo.hpp"
 #include "harvest/condor/pool_simulation.hpp"
 #include "harvest/obs/json.hpp"
 #include "harvest/server/cli_options.hpp"
@@ -126,6 +127,7 @@ void write_artifact(const std::string& path, const std::vector<Cell>& cells,
   obs::JsonWriter w;
   w.begin_object();
   w.field("bench", "server_contention");
+  w.key("buildinfo").raw(obs::build_info_json());
   w.key("config").begin_object();
   w.field("pool_seed", std::uint64_t{bench::kStandardTraceSeed});
   w.field("sim_seed_base", std::uint64_t{kBaseSimSeed});

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "harvest/obs/buildinfo.hpp"
 #include "harvest/condor/pool_simulation.hpp"
 #include "harvest/dist/weibull.hpp"
 #include "harvest/obs/json.hpp"
@@ -215,6 +216,7 @@ int main(int argc, char** argv) {
     obs::JsonWriter w;
     w.begin_object();
     w.field("bench", "span_overhead");
+    w.key("buildinfo").raw(obs::build_info_json());
     w.key("config")
         .begin_object()
         .field("seed", kSeed)

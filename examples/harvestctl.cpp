@@ -32,6 +32,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,7 @@
 #include "harvest/core/prediction.hpp"
 #include "harvest/fit/model_select.hpp"
 #include "harvest/obs/metrics.hpp"
+#include "harvest/obs/prof.hpp"
 #include "harvest/obs/span.hpp"
 #include "harvest/obs/timer.hpp"
 #include "harvest/obs/tracer.hpp"
@@ -89,6 +92,10 @@ int usage() {
       "  --predict-r <r>        fault-predictor recall in [0,1]\n"
       "  --predict-window <s>   prediction window in seconds (default 1800;\n"
       "                         any --predict-* flag enables the predictor)\n"
+      "  --profile-json <path>  run under the phase profiler and write the\n"
+      "                         phase tree (self times + quantiles) as JSON\n"
+      "  --profile-trace <path> also capture per-scope events and write a\n"
+      "                         Chrome-trace flame view of the run\n"
       "%s",
       server::CliOptions::help_text().c_str());
   return 2;
@@ -269,6 +276,9 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
   const std::string predict_p = strip_path_flag(argc, argv, "predict-p");
   const std::string predict_r = strip_path_flag(argc, argv, "predict-r");
   const std::string predict_w = strip_path_flag(argc, argv, "predict-window");
+  const std::string profile_path = strip_path_flag(argc, argv, "profile-json");
+  const std::string profile_trace =
+      strip_path_flag(argc, argv, "profile-trace");
   if (argc < 6) return usage();
   const auto traces = trace::load_traces_csv(argv[2]);
   const auto family = core::model_family_from_string(argv[3]);
@@ -297,6 +307,13 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
   }
   obs::SpanStore span_store;
   if (!spans_path.empty()) cfg.hooks.spans = &span_store;
+  std::unique_ptr<obs::prof::PhaseProfiler> profiler;
+  if (!profile_path.empty() || !profile_trace.empty()) {
+    obs::prof::PhaseProfilerOptions popts;
+    popts.capture_events = !profile_trace.empty();
+    profiler = std::make_unique<obs::prof::PhaseProfiler>(popts);
+    cfg.hooks.profiler = profiler.get();
+  }
 
   // The pool emulation needs a generating law per machine; fit one from
   // each machine's monitor history (Weibull captures the pool's shape).
@@ -406,6 +423,20 @@ int cmd_pool(int argc, char** argv, const server::CliOptions& server_opts) {
     std::printf("spans:           %llu recorded -> %s (%s)\n",
                 static_cast<unsigned long long>(span_store.recorded()),
                 spans_path.c_str(), jsonl ? "jsonl" : "chrome trace");
+  }
+  if (profiler != nullptr) {
+    const auto report = profiler->report();
+    if (!profile_path.empty()) {
+      std::ofstream out(profile_path);
+      out << report.to_json() << '\n';
+      std::printf("profile:         %zu phase rows, conservation %s -> %s\n",
+                  report.phases.size(), report.conservation_ok ? "ok" : "VIOLATED",
+                  profile_path.c_str());
+    }
+    if (!profile_trace.empty()) {
+      profiler->write_chrome_trace(profile_trace);
+      std::printf("flame trace:     -> %s\n", profile_trace.c_str());
+    }
   }
   return 0;
 }

@@ -77,9 +77,11 @@
 #include <vector>
 
 #include "harvest/condor/pool_simulation.hpp"
+#include "harvest/obs/buildinfo.hpp"
 #include "harvest/obs/http.hpp"
 #include "harvest/obs/json.hpp"
 #include "harvest/obs/metrics.hpp"
+#include "harvest/obs/prof.hpp"
 #include "harvest/obs/series.hpp"
 #include "harvest/obs/span.hpp"
 #include "harvest/plan/service.hpp"
@@ -103,9 +105,11 @@ int usage() {
       "usage: harvestd [--port n] [--bind addr] [--machines n] [--jobs n]\n"
       "                [--work-hours h] [--family name] [--snapshot-every s]\n"
       "                [--seed n] [--config path] [--once] [--tiny]\n"
+      "                [--predict-p p] [--predict-r r] [--predict-window s]\n"
       "endpoints: /metrics /healthz /readyz /snapshot.json\n"
       "           /plan?machine=<id>[&p=&r=&window=]\n"
       "           /spans.json /attribution.json /history.json /config\n"
+      "           /profile.json /buildinfo.json\n"
       "%s",
       server::CliOptions::help_text().c_str());
   return 2;
@@ -463,6 +467,10 @@ int main(int argc, char** argv) {
   const std::string every_s = strip_value_flag(argc, argv, "snapshot-every");
   const std::string seed_s = strip_value_flag(argc, argv, "seed");
   const std::string config_path = strip_value_flag(argc, argv, "config");
+  const std::string predict_p_s = strip_value_flag(argc, argv, "predict-p");
+  const std::string predict_r_s = strip_value_flag(argc, argv, "predict-r");
+  const std::string predict_w_s =
+      strip_value_flag(argc, argv, "predict-window");
   const bool once = strip_switch(argc, argv, "once");
   const bool tiny = strip_switch(argc, argv, "tiny");
   if (argc > 1) return usage();  // leftover positional args
@@ -525,13 +533,36 @@ int main(int argc, char** argv) {
   span_opts.capacity = 1 << 15;
   obs::SpanStore span_store(span_opts, &obs::default_registry());
 
+  // Engine self-profiling: one profiler shared by every iteration AND the
+  // HTTP thread (so /plan requests' fit/cache phases land in the same
+  // report). Activated for the daemon's whole life; /profile.json serves a
+  // fold of everything accumulated so far.
+  obs::prof::PhaseProfiler profiler;
+  obs::prof::set_active(&profiler);
+
   condor::PoolSimConfig cfg;
   cfg.job_count = rc.jobs;
   cfg.work_per_job_s = rc.work_hours * 3600.0;
   cfg.hooks.snapshot_every_s = rc.snapshot_every;
   cfg.family = rc.family;
   cfg.hooks.spans = &span_store;
+  cfg.hooks.profiler = &profiler;
   condor::apply_cli_options(cfg, server_opts);
+  // Any --predict-* flag switches on the fault-prediction scenario; the
+  // others keep PredictorConfig's defaults.
+  if (!predict_p_s.empty() || !predict_r_s.empty() || !predict_w_s.empty()) {
+    predict::PredictorConfig pc;
+    if (!predict_p_s.empty()) pc.precision = std::atof(predict_p_s.c_str());
+    if (!predict_r_s.empty()) pc.recall = std::atof(predict_r_s.c_str());
+    if (!predict_w_s.empty()) pc.window_s = std::atof(predict_w_s.c_str());
+    try {
+      pc.validate();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "harvestd: %s\n", e.what());
+      return 2;
+    }
+    cfg.scenario.predictor = pc;
+  }
   if (!cfg.scenario.fleet.has_value()) {
     server::FleetConfig fc;
     fc.shards = 4;
@@ -635,6 +666,12 @@ int main(int argc, char** argv) {
       std::lock_guard<std::mutex> lock(config_mutex);
       return {200, "application/json", config_json + '\n'};
     }
+    if (path == "/profile.json") {
+      return {200, "application/json", profiler.report().to_json() + '\n'};
+    }
+    if (path == "/buildinfo.json") {
+      return {200, "application/json", obs::build_info_json() + '\n'};
+    }
     return endpoints.respond(target);
   });
   try {
@@ -711,6 +748,19 @@ int main(int argc, char** argv) {
     sim_seconds.set(sim_clock_s);
     last_makespan.set(res.makespan_s);
     last_network.set(res.total_moved_mb());
+    if (res.predictor_enabled) {
+      // Per-machine predictor quality: how well the oracle's configured
+      // (p, r) held up on each machine's actual spell mix. Sampled before
+      // series.sample so /snapshot.json carries the same gauges.
+      for (std::size_t m = 0; m < res.predictor_machines.size(); ++m) {
+        const auto& ms = res.predictor_machines[m];
+        if (ms.events == 0) continue;
+        const std::string base = "predict.machine." + specs[m].id;
+        reg.gauge(base + ".events").set(static_cast<double>(ms.events));
+        reg.gauge(base + ".precision").set(ms.observed_precision());
+        reg.gauge(base + ".recall").set(ms.observed_recall());
+      }
+    }
     series.sample(sim_clock_s, reg);
     endpoints.set_ready(true);
     std::fprintf(stderr,

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "harvest/dist/conditional.hpp"
+#include "harvest/obs/prof.hpp"
 
 namespace harvest::condor::engine {
 
@@ -121,6 +122,7 @@ void MegaPark::step_machine(std::uint32_t m, Shard& shard) {
 }
 
 void MegaPark::advance_shard(Shard& shard, double now) {
+  PROF_PHASE_SHARD("megapool.spell-advance", &shard - shards_.data());
   // Spell transitions first (the `while (spell_end <= now)` walk), then
   // releases: a release frees the machine only if its timeline state — as
   // of `now` — is available, so the order converges to the same mask.
@@ -168,6 +170,7 @@ void MegaPark::advance_to(double now) {
 
 MegaPark::ShardBest MegaPark::scan_shard(const Shard& shard,
                                          double now) const {
+  PROF_PHASE_SHARD("megapool.matchmake", &shard - shards_.data());
   ShardBest best;
   const std::size_t w0 = shard.begin >> 6;
   const std::size_t w1 = (shard.end + 63) >> 6;
@@ -233,6 +236,7 @@ std::size_t MegaPark::select_nth_available(std::uint64_t target) const {
 }
 
 std::optional<Matchmaker::Match> MegaPark::place(double now) {
+  PROF_PHASE("megapool.negotiate");
   if (!(now >= 0.0)) {
     throw std::invalid_argument("MegaPark::place: now >= 0");
   }
@@ -261,6 +265,7 @@ std::optional<Matchmaker::Match> MegaPark::place(double now) {
     }
     // Merging in shard order with the same strict > reproduces the single
     // ascending scan: the first machine attaining the maximum wins.
+    PROF_PHASE("megapool.merge");
     double best_score = -1.0;
     bool found = false;
     for (const auto& b : scan_best_) {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "harvest/core/optimizer.hpp"
+#include "harvest/obs/prof.hpp"
 #include "harvest/obs/span.hpp"
 #include "harvest/predict/proactive_policy.hpp"
 #include "harvest/sim/calendar_queue.hpp"
@@ -58,15 +59,17 @@ void LegacyPark::set_predictor(const predict::FailurePredictor* predictor) {
 // Simulate one whole placement synchronously: the eviction instant is known
 // (spell end), so the recovery/work/checkpoint walk inside it is
 // deterministic given the sampled transfer times.
-PlacementOutcome run_placement(std::size_t job_id, double start,
-                               double eviction_time, double uptime_at_start,
-                               double remaining_work, bool has_checkpoint,
+PlacementOutcome run_placement(std::size_t job_id, std::size_t machine_index,
+                               double start, double eviction_time,
+                               double uptime_at_start, double remaining_work,
+                               bool has_checkpoint,
                                const dist::DistributionPtr& model,
                                const PoolSimConfig& cfg, numerics::Rng& rng,
                                predict::FailurePredictor* predictor,
                                PoolSimJobStats& stats,
                                double& remaining_work_out,
                                bool& has_checkpoint_out) {
+  PROF_PHASE("uncontended.placement");
   double now = start;
   double uptime = uptime_at_start;
   double measured_cost =
@@ -79,7 +82,7 @@ PlacementOutcome run_placement(std::size_t job_id, double start,
   std::vector<predict::Alert> alerts;
   std::optional<predict::ProactivePolicy> policy;
   if (predictor != nullptr && eviction_time > now) {
-    alerts = predictor->alerts_for_spell(now, eviction_time);
+    alerts = predictor->alerts_for_spell(now, eviction_time, machine_index);
     policy.emplace(predictor->config());
   }
   std::size_t alert_idx = 0;
@@ -262,7 +265,10 @@ void run_uncontended_engine(const PoolSimConfig& config,
     if (now >= config.horizon_s) continue;
     JobState& job = jobs[job_id];
 
-    const auto match = park.place(now);
+    const auto match = [&] {
+      PROF_PHASE("uncontended.negotiate");
+      return park.place(now);
+    }();
     if (!match) {
       // Nothing idle: wait for the next negotiation cycle.
       queue.push(now + config.negotiation_interval_s, job_id, job_id);
@@ -276,9 +282,10 @@ void run_uncontended_engine(const PoolSimConfig& config,
     const double mb_before = job.stats.moved_mb;
     const std::size_t evictions_before = job.stats.evictions;
     const auto outcome = run_placement(
-        job_id, now, eviction_time, match->uptime_s, job.remaining_work,
-        job.has_checkpoint, fitted[match->machine_index], config,
-        transfer_rng, predictor, job.stats, remaining_after, ckpt_after);
+        job_id, match->machine_index, now, eviction_time, match->uptime_s,
+        job.remaining_work, job.has_checkpoint, fitted[match->machine_index],
+        config, transfer_rng, predictor, job.stats, remaining_after,
+        ckpt_after);
     job.remaining_work = remaining_after;
     job.has_checkpoint = ckpt_after;
     park.occupy(match->machine_index, outcome.end_time);
@@ -344,6 +351,7 @@ std::vector<dist::DistributionPtr> fit_pool_models(
   for (std::size_t i = 0; i < specs.size(); ++i) {
     hist_rngs.push_back(master.split());
   }
+  PROF_PHASE("fit.models");
   std::vector<dist::DistributionPtr> fitted(specs.size());
   const auto fit_one = [&](std::size_t i) {
     std::vector<double> history(train_count);
@@ -359,6 +367,7 @@ std::vector<dist::DistributionPtr> fit_pool_models(
     // million machines the per-index overhead would dwarf the tiny fits.
     util::parallel_for_blocks(*workers, specs.size(), 256,
                               [&](std::size_t begin, std::size_t end) {
+                                PROF_PHASE("fit.block");
                                 for (std::size_t i = begin; i < end; ++i) {
                                   fit_one(i);
                                 }

@@ -97,10 +97,12 @@ struct PlacementOutcome {
 
 /// Simulate one whole placement synchronously: the eviction instant is known
 /// (spell end), so the recovery/work/checkpoint walk inside it is
-/// deterministic given the sampled transfer times.
-PlacementOutcome run_placement(std::size_t job_id, double start,
-                               double eviction_time, double uptime_at_start,
-                               double remaining_work, bool has_checkpoint,
+/// deterministic given the sampled transfer times. `machine_index` only
+/// attributes predictor tallies (FailurePredictor::machine_stats).
+PlacementOutcome run_placement(std::size_t job_id, std::size_t machine_index,
+                               double start, double eviction_time,
+                               double uptime_at_start, double remaining_work,
+                               bool has_checkpoint,
                                const dist::DistributionPtr& model,
                                const PoolSimConfig& cfg, numerics::Rng& rng,
                                predict::FailurePredictor* predictor,

@@ -16,6 +16,7 @@
 #include "harvest/condor/pool_engine.hpp"
 #include "harvest/core/optimizer.hpp"
 #include "harvest/dist/conditional.hpp"
+#include "harvest/obs/prof.hpp"
 #include "harvest/predict/proactive_policy.hpp"
 #include "harvest/sim/calendar_queue.hpp"
 
@@ -169,6 +170,7 @@ class ContendedEngine {
       // walk's `full <= budget` rule.
       if (server_t <= heap_t) {
         observe_time(server_t);
+        PROF_PHASE("contended.drain");
         for (const auto& done : fleet_.advance_to(server_t)) {
           handle_completion(done);
         }
@@ -289,6 +291,7 @@ class ContendedEngine {
   }
 
   void handle_negotiate(std::size_t job_id, double now) {
+    PROF_PHASE("contended.negotiate");
     if (now >= config_.horizon_s) return;  // job reports unfinished
     const auto match = park_.place(now);
     if (!match) {
@@ -313,8 +316,8 @@ class ContendedEngine {
       // The oracle sees the placement's hidden reclamation instant and
       // drops its alerts into the event stream; the generation stamp voids
       // them if the placement ends early (job finished).
-      for (const auto& a : predictor_->alerts_for_spell(now,
-                                                        st.eviction_time)) {
+      for (const auto& a : predictor_->alerts_for_spell(now, st.eviction_time,
+                                                        st.machine)) {
         push_event(a.time_s, EventKind::kAlert, job_id, st.generation);
       }
     }

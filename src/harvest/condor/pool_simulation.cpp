@@ -9,6 +9,7 @@
 #include "harvest/condor/megapool.hpp"
 #include "harvest/condor/pool_engine.hpp"
 #include "harvest/numerics/rng.hpp"
+#include "harvest/obs/prof.hpp"
 #include "harvest/obs/timer.hpp"
 #include "harvest/server/cli_options.hpp"
 
@@ -217,6 +218,11 @@ PoolSimResult run_pool_simulation(
 
   engine::pool_metrics().runs.add();
   obs::ScopedTimer run_timer(&engine::pool_metrics().wall_s);
+  // Self-profiling rides along like every other hook: activating a profiler
+  // touches no RNG stream, so results are bit-identical with it attached or
+  // not (pinned by the prof tests). The scope restores the previous active
+  // profiler on every exit path.
+  obs::prof::ActivationScope prof_scope(config.hooks.profiler);
 
   // The megapool engine owns a worker pool; the other engines never
   // parallelize (threads == 1 forces the megapool inline too — the
@@ -292,6 +298,7 @@ PoolSimResult run_pool_simulation(
   if (predictor.has_value()) {
     result.predictor_enabled = true;
     result.predictor = predictor->stats();
+    result.predictor_machines = predictor->machine_stats();
   }
 
   result.jobs.reserve(jobs.size());

@@ -233,6 +233,12 @@ struct PoolSimResult {
   /// accounting (events, true/false alerts, misses, observed p̂/r̂).
   bool predictor_enabled = false;
   predict::PredictorStats predictor;
+  /// Per-machine slice of `predictor`, indexed by machine (sized to the
+  /// largest index that hosted an attributed spell). Summing every entry
+  /// reproduces the machine-attributed share of `predictor`; the engines
+  /// attribute every spell, so the sum equals the aggregate. Empty when the
+  /// predictor was off.
+  std::vector<predict::PredictorStats> predictor_machines;
 
   [[nodiscard]] std::size_t finished_count() const;
   [[nodiscard]] double mean_completion_s() const;  ///< finished jobs only

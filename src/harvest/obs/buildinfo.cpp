@@ -1,0 +1,68 @@
+#include "harvest/obs/buildinfo.hpp"
+
+#include "harvest/obs/json.hpp"
+
+// Definitions are injected by src/harvest/obs/CMakeLists.txt; the fallbacks
+// keep the file compiling standalone (e.g. in a tooling build).
+#ifndef HARVEST_VERSION
+#define HARVEST_VERSION "unknown"
+#endif
+#ifndef HARVEST_GIT_SHA
+#define HARVEST_GIT_SHA "unknown"
+#endif
+#ifndef HARVEST_BUILD_TYPE
+#define HARVEST_BUILD_TYPE "unknown"
+#endif
+#ifndef HARVEST_SANITIZER_FLAGS
+#define HARVEST_SANITIZER_FLAGS ""
+#endif
+
+namespace harvest::obs {
+namespace {
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string detect_standard() {
+#if __cplusplus >= 202302L
+  return "c++23";
+#elif __cplusplus >= 202002L
+  return "c++20";
+#else
+  return "pre-c++20";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      HARVEST_VERSION,         HARVEST_GIT_SHA, detect_compiler(),
+      HARVEST_BUILD_TYPE,      HARVEST_SANITIZER_FLAGS,
+      detect_standard()};
+  return info;
+}
+
+std::string BuildInfo::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("version", version);
+  w.field("git_sha", git_sha);
+  w.field("compiler", compiler);
+  w.field("build_type", build_type);
+  w.field("sanitizers", sanitizers);
+  w.field("cxx_standard", cxx_standard);
+  w.end_object();
+  return w.str();
+}
+
+std::string build_info_json() { return build_info().to_json(); }
+
+}  // namespace harvest::obs

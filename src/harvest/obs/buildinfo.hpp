@@ -1,0 +1,32 @@
+// Build provenance: which binary produced this artifact? Exposed as
+// harvestd /buildinfo.json and embedded in every bench --json header so a
+// BENCH_*.json row is attributable to a version + git sha + compiler +
+// build type + sanitizer mix. Values are baked in at configure/compile
+// time (best-effort: the git sha is read when CMake configures, so an
+// incremental rebuild without re-configuring can lag the working tree).
+#pragma once
+
+#include <string>
+
+namespace harvest::obs {
+
+struct BuildInfo {
+  std::string version;          ///< project version (CMake)
+  std::string git_sha;          ///< short sha at configure time, or "unknown"
+  std::string compiler;         ///< compiler id + version (__VERSION__)
+  std::string build_type;       ///< CMAKE_BUILD_TYPE
+  std::string sanitizers;       ///< -fsanitize=... flags, or ""
+  std::string cxx_standard;     ///< e.g. "c++20"
+
+  /// {"version": ..., "git_sha": ..., "compiler": ..., "build_type": ...,
+  ///  "sanitizers": ..., "cxx_standard": ...}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The binary's baked-in build info.
+[[nodiscard]] const BuildInfo& build_info();
+
+/// build_info().to_json() in one call — convenient for JsonWriter::raw.
+[[nodiscard]] std::string build_info_json();
+
+}  // namespace harvest::obs

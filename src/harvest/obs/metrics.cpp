@@ -120,6 +120,21 @@ std::vector<double> Histogram::default_bounds() {
   return exponential_bounds(1e-6, 1e7, 40);
 }
 
+SketchSnapshot Sketch::snapshot(std::string name) const {
+  std::lock_guard lock(mutex_);
+  SketchSnapshot snap;
+  snap.name = std::move(name);
+  snap.count = sketch_.count();
+  snap.sum = sketch_.sum();
+  snap.min = sketch_.min();
+  snap.max = sketch_.max();
+  snap.p50 = sketch_.quantile(0.50);
+  snap.p90 = sketch_.quantile(0.90);
+  snap.p99 = sketch_.quantile(0.99);
+  snap.relative_error = sketch_.relative_error();
+  return snap;
+}
+
 std::string RegistrySnapshot::to_json() const {
   JsonWriter w;
   w.begin_object();
@@ -140,6 +155,21 @@ std::string RegistrySnapshot::to_json() const {
     w.field("p50", h.p50);
     w.field("p90", h.p90);
     w.field("p99", h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("sketches").begin_object();
+  for (const auto& s : sketches) {
+    w.key(s.name).begin_object();
+    w.field("count", s.count);
+    w.field("sum", s.sum);
+    w.field("mean", s.mean());
+    w.field("min", s.min);
+    w.field("max", s.max);
+    w.field("p50", s.p50);
+    w.field("p90", s.p90);
+    w.field("p99", s.p99);
+    w.field("relative_error", s.relative_error);
     w.end_object();
   }
   w.end_object();
@@ -270,6 +300,19 @@ std::string RegistrySnapshot::to_prometheus(
     out += name + "_sum" + label_str + ' ' + prom_double(h.sum) + '\n';
     out += name + "_count" + label_str + ' ' + std::to_string(h.count) + '\n';
   }
+  for (const auto& s : sketches) {
+    const std::string name = sanitize_prom_name(s.name);
+    help_line(name, s.help);
+    out += "# TYPE " + name + " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", s.p50}, {"0.9", s.p90}, {"0.99", s.p99}};
+    for (const auto& [q, v] : quantiles) {
+      out += name + prom_labels(labels, "quantile", q) + ' ' +
+             prom_double(v) + '\n';
+    }
+    out += name + "_sum" + label_str + ' ' + prom_double(s.sum) + '\n';
+    out += name + "_count" + label_str + ' ' + std::to_string(s.count) + '\n';
+  }
   return out;
 }
 
@@ -313,6 +356,20 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *slot;
 }
 
+Sketch& MetricsRegistry::sketch(std::string_view name,
+                                double relative_error) {
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = sketches_.find(name); it != sketches_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = sketches_[std::string(name)];
+  if (!slot) slot = std::make_unique<Sketch>(relative_error);
+  return *slot;
+}
+
 void MetricsRegistry::describe(std::string_view name,
                                std::string_view help) {
   std::unique_lock lock(mutex_);
@@ -339,6 +396,12 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
     auto hs = h->snapshot(name);
     hs.help = help_of(name);
     snap.histograms.push_back(std::move(hs));
+  }
+  snap.sketches.reserve(sketches_.size());
+  for (const auto& [name, s] : sketches_) {
+    auto ss = s->snapshot(name);
+    ss.help = help_of(name);
+    snap.sketches.push_back(std::move(ss));
   }
   return snap;
 }
@@ -383,6 +446,7 @@ void MetricsRegistry::reset() {
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();
+  for (const auto& [name, s] : sketches_) s->reset();
 }
 
 MetricsRegistry& default_registry() {

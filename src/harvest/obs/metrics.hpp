@@ -22,11 +22,14 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "harvest/obs/quantile_sketch.hpp"
 
 namespace harvest::obs {
 
@@ -121,6 +124,66 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Immutable point-in-time view of one registry sketch.
+struct SketchSnapshot {
+  std::string name;
+  std::string help;  ///< optional HELP text (see MetricsRegistry::describe)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double relative_error = QuantileSketch::kDefaultRelativeError;
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Registry instrument wrapping a QuantileSketch. Unlike the fixed-bucket
+/// Histogram (lock-free, bounded relative resolution only inside its
+/// preset bucket range), a Sketch guarantees a relative-error bound at any
+/// scale and merges *exactly* — per-shard/per-thread sketches fold to the
+/// same bytes in any order. The trade: the write path takes a mutex (the
+/// bucket table grows), so Sketch suits fold-ins and moderate-rate
+/// observations rather than per-event hammering from many threads.
+class Sketch {
+ public:
+  explicit Sketch(
+      double relative_error = QuantileSketch::kDefaultRelativeError)
+      : sketch_(relative_error) {}
+
+  void observe(double v) {
+    std::lock_guard lock(mutex_);
+    sketch_.add(v);
+  }
+  /// Exact fold of a locally-built sketch (e.g. one shard's distribution).
+  void merge_from(const QuantileSketch& other) {
+    std::lock_guard lock(mutex_);
+    sketch_.merge(other);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    std::lock_guard lock(mutex_);
+    return sketch_.count();
+  }
+  /// Copy of the underlying sketch (for further merging or encode()).
+  [[nodiscard]] QuantileSketch snapshot_sketch() const {
+    std::lock_guard lock(mutex_);
+    return sketch_;
+  }
+  [[nodiscard]] SketchSnapshot snapshot(std::string name = {}) const;
+  void reset() {
+    std::lock_guard lock(mutex_);
+    sketch_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  QuantileSketch sketch_;
+};
+
 struct CounterSnapshot {
   std::string name;
   std::string help;  ///< optional HELP text (see MetricsRegistry::describe)
@@ -138,14 +201,17 @@ struct RegistrySnapshot {
   std::vector<CounterSnapshot> counters;
   std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<SketchSnapshot> sketches;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  /// mean, min, max, p50, p90, p99}}}
+  /// mean, min, max, p50, p90, p99}}, "sketches": {name: {count, sum, mean,
+  /// min, max, p50, p90, p99, relative_error}}}
   [[nodiscard]] std::string to_json() const;
 
   /// Prometheus text exposition format (version 0.0.4): counters become
-  /// `<name>_total`, gauges expose as-is, histograms emit the conventional
-  /// cumulative `<name>_bucket{le="..."}` series plus `_sum` and `_count`
+  /// `<name>_total`, gauges expose as-is, sketches emit as summaries
+  /// (`<name>{quantile="..."}` plus `_sum`/`_count`), histograms emit the
+  /// conventional cumulative `<name>_bucket{le="..."}` series plus `_sum` and `_count`
   /// (a histogram with no buckets still emits its `+Inf` bucket, which the
   /// format requires). Metric names are sanitized ('.', '-' → '_'); a
   /// `# HELP` line precedes `# TYPE` for metrics with help text (escaped
@@ -170,6 +236,9 @@ class MetricsRegistry {
   /// `bounds` only applies on first creation; later callers get the
   /// existing histogram regardless of the bounds they pass.
   Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+  /// `relative_error` only applies on first creation, like histogram bounds.
+  Sketch& sketch(std::string_view name,
+                 double relative_error = QuantileSketch::kDefaultRelativeError);
 
   /// Attach HELP text to a metric name (any kind, before or after the
   /// metric exists). Snapshots carry it and the Prometheus exposition
@@ -198,6 +267,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Sketch>, std::less<>> sketches_;
   std::map<std::string, std::string, std::less<>> help_;
 };
 

@@ -1,0 +1,437 @@
+#include "harvest/obs/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "harvest/obs/json.hpp"
+
+namespace harvest::obs::prof {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The phase-name interner. Append-only and never destroyed so ids stay
+/// valid from static destructors.
+struct Interner {
+  std::mutex mutex;
+  std::vector<std::string> names;
+  std::unordered_map<std::string_view, std::uint16_t> ids;
+};
+
+Interner& interner() {
+  static auto* i = new Interner();  // intentionally leaked
+  return *i;
+}
+
+std::atomic<PhaseProfiler*> g_active{nullptr};
+/// Bumped on every set_active so thread-local slab caches re-resolve.
+std::atomic<std::uint64_t> g_generation{0};
+
+struct TlsCache {
+  PhaseProfiler* owner = nullptr;
+  std::uint64_t generation = 0;
+  void* state = nullptr;
+};
+thread_local TlsCache tls_cache;
+
+std::uint64_t slot_key(std::uint16_t parent, std::uint16_t phase,
+                       std::uint32_t shard) {
+  return (static_cast<std::uint64_t>(parent) << 48) |
+         (static_cast<std::uint64_t>(phase) << 32) |
+         static_cast<std::uint64_t>(shard);
+}
+
+}  // namespace
+
+std::uint16_t phase_id(std::string_view name) {
+  Interner& in = interner();
+  std::lock_guard lock(in.mutex);
+  if (const auto it = in.ids.find(name); it != in.ids.end()) {
+    return it->second;
+  }
+  if (in.names.size() >= kNoPhase) {
+    throw std::length_error("prof::phase_id: too many distinct phases");
+  }
+  const auto id = static_cast<std::uint16_t>(in.names.size());
+  in.names.emplace_back(name);
+  // The key views the interner's own (stable, never-destroyed) string.
+  in.ids.emplace(in.names.back(), id);
+  return id;
+}
+
+std::string_view phase_name(std::uint16_t id) {
+  Interner& in = interner();
+  std::lock_guard lock(in.mutex);
+  if (id >= in.names.size()) return {};
+  return in.names[id];
+}
+
+PhaseProfiler* active() { return g_active.load(std::memory_order_acquire); }
+
+void set_active(PhaseProfiler* p) {
+  // Bump first, publish second: a reader that observes the new pointer is
+  // guaranteed to observe a generation at least as new, so its cached slab
+  // can never be mistaken for one registered with this profiler.
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+  g_active.store(p, std::memory_order_release);
+}
+
+ActivationScope::ActivationScope(PhaseProfiler* p) {
+  if (p == nullptr) return;
+  previous_ = active();
+  set_active(p);
+  installed_ = true;
+}
+
+ActivationScope::~ActivationScope() {
+  if (installed_) set_active(previous_);
+}
+
+PhaseProfiler::PhaseProfiler(PhaseProfilerOptions options)
+    : options_(options), epoch_ns_(now_ns()) {
+  if (options_.capture_events) {
+    tracer_ = std::make_unique<EventTracer>(options_.event_capacity);
+  }
+}
+
+PhaseProfiler::~PhaseProfiler() {
+  // Losing the active slot on destruction beats dangling; callers normally
+  // deactivate first (ActivationScope).
+  PhaseProfiler* self = this;
+  if (g_active.compare_exchange_strong(self, nullptr,
+                                       std::memory_order_acq_rel)) {
+    g_generation.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+PhaseProfiler::ThreadState* PhaseProfiler::thread_state() {
+  const auto me = std::this_thread::get_id();
+  std::lock_guard lock(threads_mutex_);
+  for (const auto& t : threads_) {
+    if (t->owner == me) return t.get();
+  }
+  auto state = std::make_unique<ThreadState>();
+  state->owner = me;
+  state->index = threads_.size();
+  state->first_ns = now_ns();
+  state->last_ns = state->first_ns;
+  threads_.push_back(std::move(state));
+  return threads_.back().get();
+}
+
+namespace {
+
+/// Resolve the calling thread's slab for the active profiler, via the
+/// thread-local cache (re-resolves on profiler change).
+PhaseProfiler::ThreadState* current_state(PhaseProfiler* p) {
+  const std::uint64_t gen = g_generation.load(std::memory_order_acquire);
+  TlsCache& cache = tls_cache;
+  if (cache.owner != p || cache.generation != gen) {
+    cache.state = p->thread_state();
+    cache.owner = p;
+    cache.generation = gen;
+  }
+  return static_cast<PhaseProfiler::ThreadState*>(cache.state);
+}
+
+}  // namespace
+
+ScopedPhase::ScopedPhase(std::uint16_t phase, std::uint32_t shard) {
+  PhaseProfiler* p = active();
+  if (p == nullptr) return;
+  profiler_ = p;
+  state_ = current_state(p);
+  phase_ = phase;
+  shard_ = shard;
+  parent_ = state_->top;
+  parent_phase_ = parent_ != nullptr ? parent_->phase_ : kNoPhase;
+  state_->top = this;
+  start_ns_ = now_ns();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (profiler_ == nullptr) return;
+  const std::uint64_t end_ns = now_ns();
+  const double elapsed_s =
+      static_cast<double>(end_ns - start_ns_) * 1e-9;
+  // Self time excludes nested scopes; the full elapsed time rolls up into
+  // the parent's child accumulator so *its* self time excludes us.
+  const double self_s = std::max(0.0, elapsed_s - child_s_);
+  if (parent_ != nullptr) parent_->child_s_ += elapsed_s;
+  state_->top = parent_;
+  {
+    std::lock_guard lock(state_->mutex);
+    const std::uint64_t key = slot_key(parent_phase_, phase_, shard_);
+    auto it = state_->slots.find(key);
+    if (it == state_->slots.end()) {
+      it = state_->slots
+               .emplace(key,
+                        PhaseProfiler::Slot(
+                            profiler_->options_.sketch_relative_error))
+               .first;
+    }
+    it->second.count += 1;
+    it->second.self_s += self_s;
+    it->second.sketch.add(self_s);
+    state_->last_ns = std::max(state_->last_ns, end_ns);
+  }
+  if (profiler_->tracer_ != nullptr) {
+    profiler_->tracer_->record_complete(
+        std::string(phase_name(phase_)), "prof",
+        static_cast<double>(start_ns_ - profiler_->epoch_ns_) * 1e-9,
+        elapsed_s, shard_ == kNoShard ? 0 : shard_, self_s, state_->index);
+  }
+}
+
+void record(std::uint16_t phase, double seconds, std::uint32_t shard) {
+  PhaseProfiler* p = active();
+  if (p == nullptr) return;
+  if (!(seconds >= 0.0) || !std::isfinite(seconds)) return;
+  PhaseProfiler::ThreadState* state = current_state(p);
+  const std::uint16_t parent =
+      state->top != nullptr ? state->top->phase_ : kNoPhase;
+  std::lock_guard lock(state->mutex);
+  const std::uint64_t key = slot_key(parent, phase, shard);
+  auto it = state->slots.find(key);
+  if (it == state->slots.end()) {
+    it = state->slots
+             .emplace(key, PhaseProfiler::Slot(
+                               p->options_.sketch_relative_error))
+             .first;
+  }
+  it->second.count += 1;
+  it->second.self_s += seconds;
+  it->second.latency = true;
+  it->second.sketch.add(seconds);
+}
+
+ProfileReport PhaseProfiler::report() const {
+  ProfileReport report;
+  report.relative_error = options_.sketch_relative_error;
+  // Fold per-thread slabs into one canonical table. std::map keys keep the
+  // row order deterministic; sketch merges are exact over bucket counts, so
+  // the fold is byte-deterministic regardless of thread registration order.
+  std::map<std::uint64_t, PhaseStat> folded;
+  std::lock_guard threads_lock(threads_mutex_);
+  report.threads.reserve(threads_.size());
+  for (const auto& t : threads_) {
+    ThreadProfile tp;
+    tp.thread = t->index;
+    std::lock_guard lock(t->mutex);
+    tp.wall_s = static_cast<double>(t->last_ns - t->first_ns) * 1e-9;
+    for (const auto& [key, slot] : t->slots) {
+      auto it = folded.find(key);
+      if (it == folded.end()) {
+        PhaseStat stat;
+        stat.name = std::string(
+            phase_name(static_cast<std::uint16_t>((key >> 32) & 0xffff)));
+        const auto parent = static_cast<std::uint16_t>(key >> 48);
+        stat.parent =
+            parent == kNoPhase ? std::string() : std::string(phase_name(parent));
+        stat.shard = static_cast<std::uint32_t>(key & 0xffffffffu);
+        stat.latency = slot.latency;
+        stat.sketch = QuantileSketch(options_.sketch_relative_error);
+        it = folded.emplace(key, std::move(stat)).first;
+      }
+      it->second.count += slot.count;
+      it->second.self_s += slot.self_s;
+      it->second.latency = it->second.latency || slot.latency;
+      it->second.sketch.merge(slot.sketch);
+      if (!slot.latency) tp.self_total_s += slot.self_s;
+    }
+    // Clock-rounding slack: each scope contributes two clock reads worth of
+    // double-rounding; 1 µs + 1e-9 of wall absorbs it.
+    const double slack = 1e-6 + 1e-9 * tp.wall_s;
+    const double excess = tp.self_total_s - tp.wall_s;
+    if (excess > slack) {
+      report.conservation_ok = false;
+    }
+    report.max_thread_excess_s =
+        std::max(report.max_thread_excess_s, excess);
+    report.threads.push_back(tp);
+  }
+  report.phases.reserve(folded.size());
+  for (auto& [key, stat] : folded) {
+    (void)key;
+    report.phases.push_back(std::move(stat));
+  }
+  return report;
+}
+
+void PhaseProfiler::write_chrome_trace(const std::string& path) const {
+  if (tracer_ == nullptr) {
+    throw std::runtime_error(
+        "PhaseProfiler::write_chrome_trace: event capture disabled "
+        "(PhaseProfilerOptions::capture_events)");
+  }
+  tracer_->write_chrome_trace(path);
+}
+
+void PhaseProfiler::clear() {
+  std::lock_guard lock(threads_mutex_);
+  for (const auto& t : threads_) {
+    std::lock_guard state_lock(t->mutex);
+    t->slots.clear();
+    t->first_ns = now_ns();
+    t->last_ns = t->first_ns;
+  }
+  if (tracer_ != nullptr) tracer_->clear();
+}
+
+double ProfileReport::self_seconds(std::string_view name) const {
+  double total = 0.0;
+  for (const auto& stat : phases) {
+    if (stat.name == name) total += stat.self_s;
+  }
+  return total;
+}
+
+std::uint64_t ProfileReport::scope_count(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& stat : phases) {
+    if (stat.name == name) total += stat.count;
+  }
+  return total;
+}
+
+namespace {
+
+/// Aggregate of all shard rows for one (parent, name) tree node.
+struct TreeNode {
+  std::string name;
+  std::string parent;
+  bool latency = false;
+  std::uint64_t count = 0;
+  double self_s = 0.0;
+  QuantileSketch sketch;
+  std::vector<const PhaseStat*> shard_rows;  ///< rows with shard != kNoShard
+
+  explicit TreeNode(double relative_error) : sketch(relative_error) {}
+};
+
+void write_node(JsonWriter& w, const TreeNode& node,
+                const std::vector<TreeNode>& nodes, int depth);
+
+void write_children(JsonWriter& w, const std::string& parent,
+                    const std::vector<TreeNode>& nodes, int depth) {
+  w.begin_array();
+  for (const auto& node : nodes) {
+    if (node.parent == parent && node.name != parent) {
+      write_node(w, node, nodes, depth);
+    }
+  }
+  w.end_array();
+}
+
+void write_node(JsonWriter& w, const TreeNode& node,
+                const std::vector<TreeNode>& nodes, int depth) {
+  w.begin_object();
+  w.field("name", node.name);
+  w.field("kind", node.latency ? "latency" : "self");
+  w.field("count", node.count);
+  w.field("self_s", node.self_s);
+  w.field("mean_s", node.sketch.mean());
+  w.field("p50_s", node.sketch.quantile(0.50));
+  w.field("p90_s", node.sketch.quantile(0.90));
+  w.field("p99_s", node.sketch.quantile(0.99));
+  w.field("max_s", node.sketch.max());
+  if (!node.shard_rows.empty()) {
+    // Busiest shards first, capped so a million-shard run stays readable.
+    constexpr std::size_t kMaxShards = 32;
+    auto rows = node.shard_rows;
+    std::sort(rows.begin(), rows.end(),
+              [](const PhaseStat* a, const PhaseStat* b) {
+                if (a->self_s != b->self_s) return a->self_s > b->self_s;
+                return a->shard < b->shard;
+              });
+    w.field("shards_total", static_cast<std::uint64_t>(rows.size()));
+    if (rows.size() > kMaxShards) rows.resize(kMaxShards);
+    w.key("shards").begin_array();
+    for (const PhaseStat* row : rows) {
+      w.begin_object();
+      w.field("shard", static_cast<std::uint64_t>(row->shard));
+      w.field("count", row->count);
+      w.field("self_s", row->self_s);
+      w.field("p99_s", row->sketch.quantile(0.99));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.key("children");
+  if (depth >= 8) {
+    w.begin_array().end_array();  // recursion fuse (self-nested phases)
+  } else {
+    write_children(w, node.name, nodes, depth + 1);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string ProfileReport::to_json() const {
+  // Collapse shard rows into (parent, name) nodes for the tree.
+  std::vector<TreeNode> nodes;
+  for (const auto& stat : phases) {
+    TreeNode* node = nullptr;
+    for (auto& n : nodes) {
+      if (n.name == stat.name && n.parent == stat.parent) {
+        node = &n;
+        break;
+      }
+    }
+    if (node == nullptr) {
+      nodes.emplace_back(relative_error);
+      node = &nodes.back();
+      node->name = stat.name;
+      node->parent = stat.parent;
+    }
+    node->latency = node->latency || stat.latency;
+    node->count += stat.count;
+    node->self_s += stat.self_s;
+    node->sketch.merge(stat.sketch);
+    if (stat.shard != kNoShard) node->shard_rows.push_back(&stat);
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.field("relative_error", relative_error);
+  w.field("conservation_ok", conservation_ok);
+  w.field("max_thread_excess_s", max_thread_excess_s);
+  w.key("threads").begin_array();
+  for (const auto& t : threads) {
+    w.begin_object();
+    w.field("thread", static_cast<std::uint64_t>(t.thread));
+    w.field("wall_s", t.wall_s);
+    w.field("self_total_s", t.self_total_s);
+    w.end_object();
+  }
+  w.end_array();
+  // Top level: nodes whose parent never appears as a node name (covers both
+  // true roots and nodes whose parent phase was never profiled here).
+  w.key("phases").begin_array();
+  for (const auto& node : nodes) {
+    bool parent_present = false;
+    if (!node.parent.empty()) {
+      for (const auto& other : nodes) {
+        if (other.name == node.parent && &other != &node) {
+          parent_present = true;
+          break;
+        }
+      }
+    }
+    if (!parent_present) write_node(w, node, nodes, 0);
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace harvest::obs::prof

@@ -1,0 +1,247 @@
+// Engine self-profiling: a sharded wall-clock phase profiler. Every other
+// obs instrument observes *simulated* time; this one observes where the
+// engine spends *host* time, attributed to named phases ("negotiate",
+// "spell-advance", "matchmake", …) per shard and per thread.
+//
+// Design:
+//  - Phases are interned strings (phase_id) so a scope guard carries a
+//    16-bit id, not a string.
+//  - PROF_PHASE("name") opens a ScopedPhase tied to the process-wide
+//    *active* profiler. With no profiler active the guard is inert: one
+//    atomic load, no clock read, no allocation — which is how profiling
+//    stays off by default behind obs::RuntimeHooks::profiler with the
+//    established purity contract (bit-identical sim results either way;
+//    profiling reads wall clocks and touches no random stream).
+//  - Scopes nest; each guard accumulates **self time** (its elapsed time
+//    minus the elapsed time of guards opened inside it) into a per-thread
+//    slab keyed by (parent phase, phase, shard). Per-thread slabs mean the
+//    hot path never contends across threads; report() folds the slabs.
+//  - Each (parent, phase, shard, thread) cell keeps a QuantileSketch of
+//    per-scope self times. Sketch merges are exact over bucket counts, so
+//    the folded distribution is byte-deterministic at any thread count.
+//
+// Conservation invariant (tested): for every thread, the summed self time
+// of its wall-clock phases is <= the thread's observed wall time (first to
+// last activity). Phases recorded via record() are *latency* observations
+// (e.g. thread-pool queue wait: many jobs wait concurrently) and are
+// excluded from the invariant; reports mark them "latency".
+//
+// Lifecycle contract: set_active(p) publishes the profiler to every thread;
+// deactivate (set_active(nullptr) or ActivationScope destruction) only when
+// no scope guard is open on any thread — in practice engines close all
+// worker scopes before their ThreadPool joins. The profiler must outlive
+// its active window.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "harvest/obs/quantile_sketch.hpp"
+#include "harvest/obs/tracer.hpp"
+
+namespace harvest::obs::prof {
+
+/// Intern a phase name (process-wide, append-only). Ids are dense and
+/// stable for the process lifetime; at most 65535 distinct phases.
+[[nodiscard]] std::uint16_t phase_id(std::string_view name);
+/// Name for an interned id; empty for kNoPhase / unknown ids.
+[[nodiscard]] std::string_view phase_name(std::uint16_t id);
+
+inline constexpr std::uint16_t kNoPhase = 0xffff;
+inline constexpr std::uint32_t kNoShard = 0xffffffffu;
+
+struct PhaseProfilerOptions {
+  /// Relative error of the per-phase self-time sketches.
+  double sketch_relative_error = QuantileSketch::kDefaultRelativeError;
+  /// Also record every scope as a Chrome-trace complete event (one trace
+  /// track per thread) for flame-graph export. Off by default: the
+  /// aggregate slabs are cheap, per-scope events are not free.
+  bool capture_events = false;
+  /// Bounded ring capacity for captured events (oldest dropped when full).
+  std::size_t event_capacity = EventTracer::kDefaultCapacity;
+};
+
+/// One folded (parent, phase, shard) row of a ProfileReport.
+struct PhaseStat {
+  std::string name;
+  std::string parent;            ///< empty for top-level phases
+  std::uint32_t shard = kNoShard;
+  bool latency = false;          ///< recorded via record(); no wall claim
+  std::uint64_t count = 0;
+  double self_s = 0.0;
+  QuantileSketch sketch{};       ///< per-scope self times
+};
+
+struct ThreadProfile {
+  std::size_t thread = 0;        ///< registration-order index
+  double wall_s = 0.0;           ///< first to last observed activity
+  double self_total_s = 0.0;     ///< Σ wall-phase self time on this thread
+};
+
+struct ProfileReport {
+  double relative_error = QuantileSketch::kDefaultRelativeError;
+  /// Rows sorted by (parent, name, shard); shard == kNoShard rows first.
+  std::vector<PhaseStat> phases;
+  std::vector<ThreadProfile> threads;
+  /// Σ self <= wall held on every thread (small clock-rounding slack).
+  bool conservation_ok = true;
+  double max_thread_excess_s = 0.0;
+
+  /// Total self time / scope count across all rows named `name`.
+  [[nodiscard]] double self_seconds(std::string_view name) const;
+  [[nodiscard]] std::uint64_t scope_count(std::string_view name) const;
+
+  /// Phase tree with sketch quantiles:
+  /// {"relative_error", "conservation_ok", "threads": [...],
+  ///  "phases": [{name, kind, count, self_s, p50_s, p90_s, p99_s, max_s,
+  ///              shards?: [...], children: [...]}]}
+  [[nodiscard]] std::string to_json() const;
+};
+
+class PhaseProfiler {
+ public:
+  explicit PhaseProfiler(PhaseProfilerOptions options = {});
+  ~PhaseProfiler();
+
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  [[nodiscard]] const PhaseProfilerOptions& options() const {
+    return options_;
+  }
+
+  /// Fold every thread slab into one report. Safe to call while scopes are
+  /// still being opened (harvestd serves /profile.json live); rows then
+  /// reflect a consistent per-thread prefix.
+  [[nodiscard]] ProfileReport report() const;
+
+  /// Captured scope events (nullptr unless options().capture_events).
+  [[nodiscard]] const EventTracer* events() const { return tracer_.get(); }
+  /// Flame export: write captured events in Chrome trace_event format.
+  /// Throws std::runtime_error when event capture is disabled.
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Drop all accumulated data (slabs and captured events). Threads stay
+  /// registered. Not concurrency-safe against open scopes.
+  void clear();
+
+  // Implementation detail below (public so the scope-guard hot path can
+  // reach the calling thread's slab without indirection).
+  struct Slot {
+    std::uint64_t count = 0;
+    double self_s = 0.0;
+    bool latency = false;
+    QuantileSketch sketch;
+
+    explicit Slot(double relative_error) : sketch(relative_error) {}
+  };
+
+  struct ThreadState {
+    std::thread::id owner;
+    std::size_t index = 0;
+    class ScopedPhase* top = nullptr;  ///< owner thread only
+    std::uint64_t first_ns = 0;
+    std::uint64_t last_ns = 0;
+    mutable std::mutex mutex;          ///< guards slots + last_ns
+    /// (parent << 48) | (phase << 32) | shard — ordered for determinism.
+    std::map<std::uint64_t, Slot> slots;
+  };
+
+  /// Register-or-find the calling thread's slab.
+  ThreadState* thread_state();
+
+ private:
+  friend class ScopedPhase;
+  friend void record(std::uint16_t, double, std::uint32_t);
+
+  PhaseProfilerOptions options_;
+  std::unique_ptr<EventTracer> tracer_;
+  std::uint64_t epoch_ns_ = 0;
+  mutable std::mutex threads_mutex_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+/// The process-wide active profiler (nullptr when profiling is off).
+[[nodiscard]] PhaseProfiler* active();
+/// Publish `p` as the active profiler (nullptr deactivates). See the
+/// lifecycle contract at the top of this header.
+void set_active(PhaseProfiler* p);
+
+/// RAII activation: installs `p` if non-null, restores the previous active
+/// profiler on destruction. A null `p` is a no-op scope, which is how the
+/// engines honor an unset obs::RuntimeHooks::profiler.
+class ActivationScope {
+ public:
+  explicit ActivationScope(PhaseProfiler* p);
+  ~ActivationScope();
+
+  ActivationScope(const ActivationScope&) = delete;
+  ActivationScope& operator=(const ActivationScope&) = delete;
+
+ private:
+  PhaseProfiler* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+/// Wall-clock scope guard; see PROF_PHASE. Inert when no profiler is
+/// active at construction.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::uint16_t phase,
+                       std::uint32_t shard = kNoShard);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  friend class PhaseProfiler;
+  friend void record(std::uint16_t, double, std::uint32_t);
+
+  PhaseProfiler* profiler_ = nullptr;       ///< null = inert
+  PhaseProfiler::ThreadState* state_ = nullptr;
+  ScopedPhase* parent_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  double child_s_ = 0.0;
+  std::uint16_t phase_ = kNoPhase;
+  std::uint16_t parent_phase_ = kNoPhase;
+  std::uint32_t shard_ = kNoShard;
+};
+
+/// Record a pre-measured latency observation (e.g. queue wait) against
+/// `phase`. Latency rows are excluded from the conservation invariant —
+/// unlike scope self time, concurrent waits legitimately sum past wall
+/// time. No-op when no profiler is active.
+void record(std::uint16_t phase, double seconds,
+            std::uint32_t shard = kNoShard);
+
+}  // namespace harvest::obs::prof
+
+// Scope-guard entry points. The interned id is resolved once per call site
+// (thread-safe magic static), so a disabled guard costs one atomic load.
+#define HARVEST_PROF_CONCAT_INNER(a, b) a##b
+#define HARVEST_PROF_CONCAT(a, b) HARVEST_PROF_CONCAT_INNER(a, b)
+
+#define PROF_PHASE(name)                                                   \
+  static const std::uint16_t HARVEST_PROF_CONCAT(harvest_prof_id_,         \
+                                                 __LINE__) =               \
+      ::harvest::obs::prof::phase_id(name);                                \
+  ::harvest::obs::prof::ScopedPhase HARVEST_PROF_CONCAT(                   \
+      harvest_prof_scope_, __LINE__)(                                      \
+      HARVEST_PROF_CONCAT(harvest_prof_id_, __LINE__))
+
+#define PROF_PHASE_SHARD(name, shard)                                      \
+  static const std::uint16_t HARVEST_PROF_CONCAT(harvest_prof_id_,         \
+                                                 __LINE__) =               \
+      ::harvest::obs::prof::phase_id(name);                                \
+  ::harvest::obs::prof::ScopedPhase HARVEST_PROF_CONCAT(                   \
+      harvest_prof_scope_, __LINE__)(                                      \
+      HARVEST_PROF_CONCAT(harvest_prof_id_, __LINE__),                     \
+      static_cast<std::uint32_t>(shard))

@@ -1,0 +1,217 @@
+#include "harvest/obs/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace harvest::obs {
+namespace {
+
+constexpr char kMagic[4] = {'q', 's', 'k', '1'};
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void append_i32(std::string& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+  }
+}
+
+void append_double(std::string& out, double v) {
+  append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
+
+  std::uint64_t read_u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t read_i32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return static_cast<std::int32_t>(v);
+  }
+
+  double read_double() { return std::bit_cast<double>(read_u64()); }
+
+  void read_magic() {
+    require(4);
+    if (std::memcmp(bytes_.data() + pos_, kMagic, 4) != 0) {
+      throw std::invalid_argument("QuantileSketch::decode: bad magic");
+    }
+    pos_ += 4;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t n) {
+    if (bytes_.size() - pos_ < n) {
+      throw std::invalid_argument("QuantileSketch::decode: truncated input");
+    }
+  }
+
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : alpha_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      log_gamma_(std::log(gamma_)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (!(relative_error > 0.0) || !(relative_error < 1.0)) {
+    throw std::invalid_argument(
+        "QuantileSketch: relative_error must be in (0, 1)");
+  }
+}
+
+std::int32_t QuantileSketch::bucket_index(double v) const {
+  // v > 0 by the caller's check. clamp keeps pathological magnitudes from
+  // overflowing the 32-bit index space.
+  const double raw = std::ceil(std::log(v) / log_gamma_);
+  return static_cast<std::int32_t>(std::clamp(raw, -2e9, 2e9));
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+  // Midpoint (harmonic) of the bucket (gamma^(i-1), gamma^i]: guarantees
+  // |est - v| / v <= alpha for every v in the bucket.
+  return 2.0 * std::pow(gamma_, static_cast<double>(index)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::add(double v, std::uint64_t n) {
+  if (std::isnan(v) || n == 0) return;
+  if (v <= 0.0 || !std::isfinite(v)) {
+    if (!std::isfinite(v)) return;  // +inf has no bucket; drop it
+    zero_count_ += n;
+  } else {
+    buckets_[bucket_index(v)] += n;
+  }
+  count_ += n;
+  sum_ += v * static_cast<double>(n);
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (alpha_ != other.alpha_) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge: relative errors differ");
+  }
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+  zero_count_ += other.zero_count_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSketch::min() const { return count_ > 0 ? min_ : 0.0; }
+
+double QuantileSketch::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  if (rank < zero_count_) return 0.0;
+  std::uint64_t cumulative = zero_count_;
+  for (const auto& [index, n] : buckets_) {
+    cumulative += n;
+    if (cumulative > rank) {
+      // Clamp to the observed extremes so tiny buckets at the edges never
+      // report values outside [min, max].
+      return std::clamp(bucket_value(index), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void QuantileSketch::clear() {
+  buckets_.clear();
+  count_ = 0;
+  zero_count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::string QuantileSketch::encode() const {
+  std::string out;
+  out.reserve(4 + 8 * 5 + buckets_.size() * 12);
+  out.append(kMagic, 4);
+  append_double(out, alpha_);
+  append_u64(out, count_);
+  append_u64(out, zero_count_);
+  append_double(out, min_);
+  append_double(out, max_);
+  append_u64(out, buckets_.size());
+  for (const auto& [index, n] : buckets_) {
+    append_i32(out, index);
+    append_u64(out, n);
+  }
+  return out;
+}
+
+QuantileSketch QuantileSketch::decode(const std::string& bytes) {
+  ByteReader r(bytes);
+  r.read_magic();
+  QuantileSketch sketch(r.read_double());
+  sketch.count_ = r.read_u64();
+  sketch.zero_count_ = r.read_u64();
+  sketch.min_ = r.read_double();
+  sketch.max_ = r.read_double();
+  const std::uint64_t buckets = r.read_u64();
+  std::int32_t prev_index = std::numeric_limits<std::int32_t>::min();
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    const std::int32_t index = r.read_i32();
+    if (b > 0 && index <= prev_index) {
+      throw std::invalid_argument(
+          "QuantileSketch::decode: bucket indices not ascending");
+    }
+    prev_index = index;
+    sketch.buckets_[index] = r.read_u64();
+  }
+  if (!r.exhausted()) {
+    throw std::invalid_argument("QuantileSketch::decode: trailing bytes");
+  }
+  // The exact sum is not encoded (see encode()); approximate it from the
+  // bucket table so mean() stays within the relative-error bound.
+  double sum = 0.0;
+  for (const auto& [index, n] : sketch.buckets_) {
+    sum += sketch.bucket_value(index) * static_cast<double>(n);
+  }
+  sketch.sum_ = sum;
+  return sketch;
+}
+
+}  // namespace harvest::obs

@@ -1,0 +1,80 @@
+// Mergeable relative-error quantile sketch (DDSketch-style). Values land in
+// log-spaced buckets indexed by ceil(log_gamma(v)), so every reported
+// quantile is within a multiplicative `relative_error` of some observed
+// value, regardless of the data's scale or spread. Unlike the fixed-bucket
+// obs::Histogram, sketches from different shards/threads merge *exactly* —
+// merge() adds integer bucket counts — which makes the fold order
+// irrelevant: any merge tree over the same inputs yields the same bucket
+// table, and encode() serializes only order-independent state so the merged
+// bytes are identical at any thread count. That is the property the sharded
+// PhaseProfiler (obs/prof.hpp) builds on.
+//
+// Not thread-safe; one writer at a time. The registry wraps it in
+// obs::Sketch (metrics.hpp) for concurrent use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace harvest::obs {
+
+class QuantileSketch {
+ public:
+  static constexpr double kDefaultRelativeError = 0.01;
+
+  /// `relative_error` must be in (0, 1); throws std::invalid_argument.
+  explicit QuantileSketch(double relative_error = kDefaultRelativeError);
+
+  /// Record `n` observations of `v`. Values <= 0 (and non-finite values
+  /// clamped by the caller's domain — durations here) count in the exact
+  /// zero bucket; NaN is ignored.
+  void add(double v, std::uint64_t n = 1);
+
+  /// Exact merge: adds the other sketch's bucket counts into this one.
+  /// Commutative and associative over any fold order. Throws
+  /// std::invalid_argument if the relative errors differ.
+  void merge(const QuantileSketch& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// 0 when empty.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Value at rank floor(q * (count - 1)); within relative_error() of the
+  /// observed value at that rank. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double relative_error() const { return alpha_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  void clear();
+
+  /// Canonical byte encoding of the order-independent state (relative
+  /// error, counts, min/max, bucket table in ascending index order). Two
+  /// sketches built from the same multiset of adds — in any order, via any
+  /// merge tree — encode to identical bytes. The floating-point `sum` is
+  /// deliberately excluded: its value depends on addition order at the ulp
+  /// level.
+  [[nodiscard]] std::string encode() const;
+  /// Inverse of encode(); throws std::invalid_argument on malformed input.
+  [[nodiscard]] static QuantileSketch decode(const std::string& bytes);
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double v) const;
+  [[nodiscard]] double bucket_value(std::int32_t index) const;
+
+  double alpha_;
+  double gamma_;
+  double log_gamma_;
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_count_ = 0;
+  double sum_ = 0.0;
+  double min_;
+  double max_;
+  /// bucket index -> count; ordered so iteration (and encode) is canonical.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+};
+
+}  // namespace harvest::obs

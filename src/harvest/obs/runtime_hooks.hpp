@@ -15,17 +15,28 @@
 
 namespace harvest::obs {
 
+namespace prof {
+class PhaseProfiler;  // obs/prof.hpp; forward-declared to keep the
+                      // PROF_PHASE macros out of every hooks consumer
+}  // namespace prof
+
 struct RuntimeHooks {
   /// Optional structured event timeline (Chrome-trace/JSONL export).
   EventTracer* tracer = nullptr;
   /// Optional causal span sink with exact wait attribution (obs/span.hpp).
   SpanStore* spans = nullptr;
+  /// Optional wall-clock phase profiler (obs/prof.hpp): the engines
+  /// activate it for the run's duration; PROF_PHASE scopes throughout the
+  /// library accumulate into it. Like every hook, attaching it never
+  /// perturbs sim results — it reads host clocks, not random streams.
+  prof::PhaseProfiler* profiler = nullptr;
   /// Per-interval telemetry cadence in simulated seconds; 0 disables the
   /// timeline. Negative values are rejected by config validation.
   double snapshot_every_s = 0.0;
 
   [[nodiscard]] bool any() const {
-    return tracer != nullptr || spans != nullptr || snapshot_every_s > 0.0;
+    return tracer != nullptr || spans != nullptr || profiler != nullptr ||
+           snapshot_every_s > 0.0;
   }
 };
 

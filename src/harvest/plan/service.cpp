@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "harvest/obs/prof.hpp"
+
 namespace harvest::plan {
 
 std::string_view to_string(PlanStatus status) {
@@ -164,6 +166,7 @@ void PlannerService::sweep_idle(std::uint64_t seq) {
 }
 
 bool PlannerService::refit(Machine& m) {
+  PROF_PHASE("plan.fit");
   const auto start = std::chrono::steady_clock::now();
   try {
     if (m.exp) {
@@ -217,8 +220,10 @@ GetPlanResult PlannerService::get_plan(
   if (due) {
     if (refit(m)) {
       out.refitted = true;
-      const PlanCache::Result cached =
-          cache_.lookup_or_compute(*m.model, opts_.costs);
+      const PlanCache::Result cached = [&] {
+        PROF_PHASE("plan.cache");
+        return cache_.lookup_or_compute(*m.model, opts_.costs);
+      }();
       m.plan = cached.plan;
       m.last_hit = cached.hit;
     } else if (m.model == nullptr) {
@@ -232,8 +237,10 @@ GetPlanResult PlannerService::get_plan(
     // Per-query scenario: serve from the predictor-keyed bucket without
     // disturbing the machine's cached reactive plan (the next plain
     // get_plan must not see prediction-stretched intervals).
-    const PlanCache::Result cached =
-        cache_.lookup_or_compute(*m.model, opts_.costs, predictor);
+    const PlanCache::Result cached = [&] {
+      PROF_PHASE("plan.cache");
+      return cache_.lookup_or_compute(*m.model, opts_.costs, predictor);
+    }();
     out.plan = cached.plan;
     out.cache_hit = cached.hit;
   } else {

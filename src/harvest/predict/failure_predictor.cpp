@@ -68,12 +68,19 @@ std::optional<double> FailurePredictor::reclaim_hint(double spell_start_s,
 }
 
 std::vector<Alert> FailurePredictor::alerts_for_spell(double start_s,
-                                                      double event_s) {
+                                                      double event_s,
+                                                      std::size_t machine) {
   if (!(event_s > start_s)) {
     throw std::invalid_argument(
         "FailurePredictor: spell must end after it starts");
   }
+  PredictorStats* per_machine = nullptr;
+  if (machine != kNoMachine) {
+    if (machine >= machine_stats_.size()) machine_stats_.resize(machine + 1);
+    per_machine = &machine_stats_[machine];
+  }
   ++stats_.events;
+  if (per_machine != nullptr) ++per_machine->events;
   std::vector<Alert> alerts;
 
   // True alert: recall-sampled, uniform inside the window of length I
@@ -85,8 +92,10 @@ std::vector<Alert> FailurePredictor::alerts_for_spell(double start_s,
     a.truth = true;
     alerts.push_back(a);
     ++stats_.true_alerts;
+    if (per_machine != nullptr) ++per_machine->true_alerts;
   } else {
     ++stats_.missed;
+    if (per_machine != nullptr) ++per_machine->missed;
   }
 
   // False alerts: expected false_rate_ per spell, each placed strictly more
@@ -103,6 +112,7 @@ std::vector<Alert> FailurePredictor::alerts_for_spell(double start_s,
       a.truth = false;
       alerts.push_back(a);
       ++stats_.false_alerts;
+      if (per_machine != nullptr) ++per_machine->false_alerts;
     }
   }
 

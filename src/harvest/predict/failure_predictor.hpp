@@ -27,6 +27,7 @@
 // random stream in the simulation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -82,6 +83,10 @@ struct PredictorStats {
 
 class FailurePredictor {
  public:
+  /// Sentinel for "spell not attributed to a machine".
+  static constexpr std::size_t kNoMachine =
+      static_cast<std::size_t>(-1);
+
   /// Throws std::invalid_argument when `config` fails validate().
   FailurePredictor(const PredictorConfig& config, std::uint64_t seed);
 
@@ -89,9 +94,11 @@ class FailurePredictor {
   /// reclamation happens at event_s. Returned sorted by time, each alert
   /// strictly inside [start_s, event_s). Consumes this oracle's private
   /// RNG in call order, so a fixed seed and spell sequence reproduce the
-  /// alert stream bit-for-bit.
-  [[nodiscard]] std::vector<Alert> alerts_for_spell(double start_s,
-                                                    double event_s);
+  /// alert stream bit-for-bit. `machine` (when not kNoMachine) attributes
+  /// the spell's tallies to that machine in machine_stats() — pure
+  /// bookkeeping, the alert stream is machine-agnostic.
+  [[nodiscard]] std::vector<Alert> alerts_for_spell(
+      double start_s, double event_s, std::size_t machine = kNoMachine);
 
   /// The matchmaker's view of the oracle: does it foresee the reclamation
   /// ending the availability spell [spell_start_s, spell_end_s) of a machine
@@ -109,6 +116,12 @@ class FailurePredictor {
                                                    double now_s) const;
 
   [[nodiscard]] const PredictorStats& stats() const { return stats_; }
+  /// Per-machine tallies, indexed by machine; sized to the largest machine
+  /// index attributed so far (empty if no call passed one). Summing every
+  /// entry reproduces the machine-attributed share of stats().
+  [[nodiscard]] const std::vector<PredictorStats>& machine_stats() const {
+    return machine_stats_;
+  }
   [[nodiscard]] const PredictorConfig& config() const { return config_; }
 
  private:
@@ -117,6 +130,7 @@ class FailurePredictor {
   std::uint64_t salt_;  ///< seed-derived; keys reclaim_hint's spell hash
   numerics::Rng rng_;
   PredictorStats stats_;
+  std::vector<PredictorStats> machine_stats_;
 };
 
 }  // namespace harvest::predict

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "harvest/obs/metrics.hpp"
+#include "harvest/obs/prof.hpp"
 
 namespace harvest::server {
 namespace {
@@ -150,6 +151,7 @@ CheckpointServer::CheckpointServer(const ServerConfig& config)
 
 SubmitOutcome CheckpointServer::submit(const ServerTransferRequest& request,
                                        double now) {
+  PROF_PHASE("server.admission");
   if (!(request.megabytes >= 0.0) || !std::isfinite(request.megabytes)) {
     throw std::invalid_argument("CheckpointServer::submit: bad size");
   }
@@ -263,6 +265,7 @@ ServerRemoval CheckpointServer::remove(TransferId id, double now) {
 }
 
 void CheckpointServer::drain_to(double t) {
+  PROF_PHASE("server.drain");
   for (;;) {
     promote_eligible();
     const auto next = next_internal_event();
@@ -326,6 +329,7 @@ void CheckpointServer::integrate_to(double t) {
 }
 
 void CheckpointServer::promote_eligible() {
+  PROF_PHASE("server.schedule");
   const bool unbounded = scheduler_->unbounded_service();
   while (!waiting_.empty() &&
          (unbounded || active_.size() < config_.slots)) {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "harvest/obs/prof.hpp"
+
 namespace harvest::server {
 namespace {
 
@@ -139,6 +141,7 @@ std::size_t ServerFleet::route(const ServerTransferRequest& request) const {
 
 SubmitOutcome ServerFleet::submit(const ServerTransferRequest& request,
                                   double now) {
+  PROF_PHASE("fleet.submit");
   const std::size_t shard = route(request);
   SubmitOutcome outcome = shards_[shard]->submit(request, now);
   if (outcome.status != SubmitStatus::kRejected) {
@@ -157,6 +160,7 @@ std::optional<double> ServerFleet::next_event_s() const {
 }
 
 std::vector<ServerCompletion> ServerFleet::advance_to(double t) {
+  PROF_PHASE("fleet.drain");
   std::vector<ServerCompletion> done;
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     for (auto& c : shards_[k]->advance_to(t)) {

@@ -1,9 +1,34 @@
 #include "harvest/util/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/prof.hpp"
+
 namespace harvest::util {
+
+namespace {
+
+obs::Gauge& queue_depth_gauge() {
+  static auto& g = []() -> obs::Gauge& {
+    auto& reg = obs::default_registry();
+    reg.describe("util.thread_pool.queue_depth",
+                 "Jobs waiting in the shared thread pool queue (sampled at "
+                 "every submit and dequeue).");
+    return reg.gauge("util.thread_pool.queue_depth");
+  }();
+  return g;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,9 +50,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  // Queue wait is a latency, not self-time: concurrent waiters overlap, so
+  // the profiler files it under a latency slot (excluded from the wall-clock
+  // conservation check). The clock is read only while a profiler is active —
+  // the common inert path pays one atomic load.
+  const bool profiled = obs::prof::active() != nullptr;
+  const double enqueued_s = profiled ? now_s() : 0.0;
   {
     std::lock_guard lock(mutex_);
-    jobs_.push(std::move(job));
+    jobs_.push(Queued{std::move(job), enqueued_s, profiled});
+    queue_depth_gauge().set(static_cast<double>(jobs_.size()));
   }
   cv_work_.notify_one();
 }
@@ -38,17 +70,26 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  static const std::uint16_t kQueueWait =
+      obs::prof::phase_id("pool.queue-wait");
   for (;;) {
-    std::function<void()> job;
+    Queued item;
     {
       std::unique_lock lock(mutex_);
       cv_work_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
       if (stopping_ && jobs_.empty()) return;
-      job = std::move(jobs_.front());
+      item = std::move(jobs_.front());
       jobs_.pop();
+      queue_depth_gauge().set(static_cast<double>(jobs_.size()));
       ++in_flight_;
     }
-    job();  // jobs are expected to catch their own exceptions
+    if (item.profiled) {
+      obs::prof::record(kQueueWait, std::max(0.0, now_s() - item.enqueued_s));
+      PROF_PHASE("pool.run");
+      item.job();  // jobs are expected to catch their own exceptions
+    } else {
+      item.job();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -32,10 +32,19 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  /// A queued job plus its profiler stamp: `enqueued_s` is read only when a
+  /// phase profiler was active at submit time, so the inert path never
+  /// touches the clock.
+  struct Queued {
+    std::function<void()> job;
+    double enqueued_s = 0.0;
+    bool profiled = false;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> jobs_;
+  std::queue<Queued> jobs_;
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_idle_;

@@ -1,0 +1,404 @@
+// QuantileSketch + PhaseProfiler: the self-profiling layer's own contracts.
+// Suite names (QuantileSketch*, PhaseProfiler*) are part of the CI TSan
+// regex — the concurrent tests here run under -fsanitize=thread.
+#include "harvest/obs/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harvest/numerics/rng.hpp"
+#include "harvest/obs/metrics.hpp"
+#include "harvest/obs/quantile_sketch.hpp"
+#include "harvest/util/thread_pool.hpp"
+
+namespace harvest::obs {
+namespace {
+
+TEST(QuantileSketch, EmptyAndBasicMoments) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  s.add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(QuantileSketch, RelativeErrorBoundHolds) {
+  // DDSketch contract: quantile(q) is within alpha (relative) of the exact
+  // order statistic for every q, for any value distribution.
+  const double alpha = 0.01;
+  QuantileSketch s(alpha);
+  numerics::Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Heavy-tailed mix spanning ~9 decades.
+    const double v = std::exp(rng.uniform(-9.0, 9.0) * std::log(10.0) / 4.0);
+    values.push_back(v);
+    s.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    const double exact = values[rank];
+    const double est = s.quantile(q);
+    EXPECT_NEAR(est, exact, 2.0 * alpha * exact)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(QuantileSketch, ZeroAndNegativeGoToZeroBucket) {
+  QuantileSketch s;
+  s.add(0.0);
+  s.add(-5.0);
+  s.add(1.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.quantile(0.0), 0.0);
+  EXPECT_NEAR(s.quantile(1.0), 1.0, QuantileSketch::kDefaultRelativeError);
+}
+
+TEST(QuantileSketch, MergeEqualsBulkAdd) {
+  QuantileSketch a, b, all;
+  numerics::Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.exponential(1.0);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  // Quantiles derive from integer bucket counts only, so a merge is EXACT,
+  // not approximate: identical buckets, identical quantiles.
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q));
+  }
+  EXPECT_EQ(a.encode(), all.encode());
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedError) {
+  QuantileSketch a(0.01), b(0.02);
+  b.add(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, EncodeDecodeRoundTrip) {
+  QuantileSketch s(0.02);
+  numerics::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform(0.001, 1000.0));
+  s.add(0.0);
+  const auto bytes = s.encode();
+  const auto back = QuantileSketch::decode(bytes);
+  EXPECT_EQ(back.count(), s.count());
+  EXPECT_DOUBLE_EQ(back.min(), s.min());
+  EXPECT_DOUBLE_EQ(back.max(), s.max());
+  EXPECT_DOUBLE_EQ(back.relative_error(), s.relative_error());
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(back.quantile(q), s.quantile(q));
+  }
+  // Decoded bytes re-encode identically (sum is reconstructed from bucket
+  // midpoints and excluded from the wire format by design).
+  EXPECT_EQ(back.encode(), bytes);
+}
+
+TEST(QuantileSketch, DecodeRejectsGarbage) {
+  EXPECT_THROW(QuantileSketch::decode("nonsense"),
+               std::invalid_argument);
+  auto bytes = QuantileSketch().encode();
+  bytes += "trailing";
+  EXPECT_THROW(QuantileSketch::decode(bytes), std::invalid_argument);
+}
+
+TEST(QuantileSketch, MergeDeterministicUnderThreadPoolAnyOrder) {
+  // The /profile.json byte-determinism claim reduced to its core: the same
+  // multiset of samples, partitioned across any number of concurrent
+  // shards and merged in any order, encodes to the same bytes.
+  numerics::Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 8000; ++i) values.push_back(rng.exponential(0.5));
+
+  const auto run = [&](std::size_t shards, std::size_t threads,
+                       bool reverse_merge) {
+    std::vector<QuantileSketch> parts(shards);
+    util::ThreadPool pool(threads);
+    util::parallel_for_each(pool, shards, [&](std::size_t s) {
+      for (std::size_t i = s; i < values.size(); i += shards) {
+        parts[s].add(values[i]);
+      }
+    });
+    QuantileSketch total;
+    if (reverse_merge) {
+      for (std::size_t s = shards; s-- > 0;) total.merge(parts[s]);
+    } else {
+      for (const auto& p : parts) total.merge(p);
+    }
+    return total.encode();
+  };
+
+  const std::string reference = run(1, 1, false);
+  EXPECT_EQ(run(4, 4, false), reference);
+  EXPECT_EQ(run(4, 2, true), reference);
+  EXPECT_EQ(run(16, 8, true), reference);
+}
+
+TEST(QuantileSketch, RegistryInstrumentExposesSummary) {
+  MetricsRegistry reg;
+  reg.describe("demo.latency_s", "Demo sketch.");
+  auto& sk = reg.sketch("demo.latency_s");
+  for (int i = 1; i <= 100; ++i) sk.observe(static_cast<double>(i));
+  EXPECT_EQ(sk.count(), 100u);
+  // Same name returns the same instrument.
+  reg.sketch("demo.latency_s").observe(1.0);
+  EXPECT_EQ(sk.count(), 101u);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.sketches.size(), 1u);
+  EXPECT_EQ(snap.sketches[0].name, "demo.latency_s");
+  EXPECT_EQ(snap.sketches[0].count, 101u);
+  EXPECT_GT(snap.sketches[0].p99, snap.sketches[0].p50);
+
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"sketches\""), std::string::npos);
+  EXPECT_NE(json.find("demo.latency_s"), std::string::npos);
+
+  const std::string prom = reg.snapshot().to_prometheus();
+  EXPECT_NE(prom.find("# TYPE demo_latency_s summary"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(prom.find("demo_latency_s_count 101"), std::string::npos);
+}
+
+TEST(PhaseProfiler, InertWithoutActivation) {
+  prof::set_active(nullptr);
+  {
+    PROF_PHASE("inert.scope");  // must be a no-op, not a crash
+  }
+  EXPECT_EQ(prof::active(), nullptr);
+}
+
+TEST(PhaseProfiler, ActivationScopeRestoresPrevious) {
+  prof::PhaseProfiler outer;
+  prof::set_active(&outer);
+  {
+    prof::PhaseProfiler inner;
+    prof::ActivationScope scope(&inner);
+    EXPECT_EQ(prof::active(), &inner);
+  }
+  EXPECT_EQ(prof::active(), &outer);
+  {
+    prof::ActivationScope noop(nullptr);  // null profiler: no-op scope
+    EXPECT_EQ(prof::active(), &outer);
+  }
+  prof::set_active(nullptr);
+}
+
+TEST(PhaseProfiler, NestedScopesAttributeSelfTime) {
+  prof::PhaseProfiler profiler;
+  prof::ActivationScope scope(&profiler);
+  for (int i = 0; i < 3; ++i) {
+    PROF_PHASE("outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      PROF_PHASE("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  const auto report = profiler.report();
+  EXPECT_EQ(report.scope_count("outer"), 3u);
+  EXPECT_EQ(report.scope_count("inner"), 3u);
+  EXPECT_GT(report.self_seconds("outer"), 0.0);
+  EXPECT_GT(report.self_seconds("inner"), 0.0);
+  // inner's time is NOT double-counted into outer's self time.
+  bool found_inner = false;
+  for (const auto& p : report.phases) {
+    if (p.name == "inner") {
+      EXPECT_EQ(p.parent, "outer");
+      found_inner = true;
+    }
+  }
+  EXPECT_TRUE(found_inner);
+  EXPECT_TRUE(report.conservation_ok) << report.max_thread_excess_s;
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+}
+
+TEST(PhaseProfiler, ConservationHoldsUnderRepeatedScopes) {
+  prof::PhaseProfiler profiler;
+  prof::ActivationScope scope(&profiler);
+  for (int i = 0; i < 5000; ++i) {
+    PROF_PHASE("hot");
+  }
+  const auto report = profiler.report();
+  EXPECT_EQ(report.scope_count("hot"), 5000u);
+  ASSERT_EQ(report.threads.size(), 1u);
+  // The invariant itself, re-derived from the report's own numbers.
+  EXPECT_LE(report.threads[0].self_total_s,
+            report.threads[0].wall_s + 1e-6 +
+                1e-9 * report.threads[0].wall_s);
+  EXPECT_TRUE(report.conservation_ok);
+}
+
+TEST(PhaseProfiler, RecordedLatencyExcludedFromConservation) {
+  prof::PhaseProfiler profiler;
+  prof::ActivationScope scope(&profiler);
+  static const std::uint16_t kWait = prof::phase_id("test.wait");
+  {
+    PROF_PHASE("work");
+    // A concurrent-wait total can legitimately dwarf wall time (N queued
+    // jobs waiting together); it must not trip the wall-clock invariant.
+    prof::record(kWait, 1e6);
+    prof::record(kWait, 2e6);
+  }
+  const auto report = profiler.report();
+  EXPECT_TRUE(report.conservation_ok) << report.max_thread_excess_s;
+  bool found = false;
+  for (const auto& p : report.phases) {
+    if (p.name == "test.wait") {
+      EXPECT_TRUE(p.latency);
+      EXPECT_EQ(p.parent, "work");  // attributed under the enclosing scope
+      EXPECT_EQ(p.count, 2u);
+      EXPECT_DOUBLE_EQ(p.self_s, 3e6);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(report.to_json().find("\"latency\""), std::string::npos);
+}
+
+TEST(PhaseProfiler, ShardedScopesFoldPerShard) {
+  prof::PhaseProfiler profiler;
+  prof::ActivationScope scope(&profiler);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (int i = 0; i <= static_cast<int>(s); ++i) {
+      PROF_PHASE_SHARD("sharded", s);
+    }
+  }
+  const auto report = profiler.report();
+  EXPECT_EQ(report.scope_count("sharded"), 6u);
+  std::size_t shard_rows = 0;
+  for (const auto& p : report.phases) {
+    if (p.name == "sharded" && p.shard != prof::kNoShard) ++shard_rows;
+  }
+  EXPECT_EQ(shard_rows, 3u);
+}
+
+TEST(PhaseProfiler, ConcurrentScopesMergeAcrossThreads) {
+  // TSan-covered: many threads open nested scopes against one profiler
+  // while the main thread folds reports mid-flight.
+  prof::PhaseProfiler profiler;
+  prof::ActivationScope scope(&profiler);
+  constexpr int kThreads = 8;
+  constexpr int kScopesPerThread = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kScopesPerThread; ++i) {
+        PROF_PHASE("mt.outer");
+        PROF_PHASE("mt.inner");
+      }
+    });
+  }
+  go.store(true);
+  (void)profiler.report();  // live fold while scopes are open
+  for (auto& t : threads) t.join();
+  const auto report = profiler.report();
+  EXPECT_EQ(report.scope_count("mt.outer"),
+            static_cast<std::uint64_t>(kThreads) * kScopesPerThread);
+  EXPECT_EQ(report.scope_count("mt.inner"),
+            static_cast<std::uint64_t>(kThreads) * kScopesPerThread);
+  EXPECT_GE(report.threads.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_TRUE(report.conservation_ok) << report.max_thread_excess_s;
+}
+
+TEST(PhaseProfiler, ThreadPoolQueueInstrumentation) {
+  prof::PhaseProfiler profiler;
+  prof::ActivationScope scope(&profiler);
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      });
+    }
+    pool.wait_idle();
+  }
+  const auto report = profiler.report();
+  EXPECT_EQ(report.scope_count("pool.run"), 64u);
+  EXPECT_EQ(report.scope_count("pool.queue-wait"), 64u);
+  bool wait_is_latency = false;
+  for (const auto& p : report.phases) {
+    if (p.name == "pool.queue-wait") wait_is_latency = p.latency;
+  }
+  EXPECT_TRUE(wait_is_latency);
+  EXPECT_TRUE(report.conservation_ok) << report.max_thread_excess_s;
+  // The queue-depth gauge is always on (profiler or not).
+  bool gauge_found = false;
+  for (const auto& g : default_registry().snapshot().gauges) {
+    if (g.name == "util.thread_pool.queue_depth") gauge_found = true;
+  }
+  EXPECT_TRUE(gauge_found);
+}
+
+TEST(PhaseProfiler, FlameExportRequiresCaptureEvents) {
+  prof::PhaseProfiler plain;
+  EXPECT_THROW(plain.write_chrome_trace("/tmp/never_written.json"),
+               std::runtime_error);
+
+  prof::PhaseProfilerOptions opts;
+  opts.capture_events = true;
+  prof::PhaseProfiler capturing(opts);
+  {
+    prof::ActivationScope scope(&capturing);
+    PROF_PHASE("flame.scope");
+  }
+  ASSERT_NE(capturing.events(), nullptr);
+  EXPECT_GE(capturing.events()->size(), 1u);
+  const std::string path =
+      ::testing::TempDir() + "prof_flame_test_trace.json";
+  capturing.write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("flame.scope"), std::string::npos);
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+}
+
+TEST(PhaseProfiler, ClearDropsDataKeepsThreads) {
+  prof::PhaseProfiler profiler;
+  {
+    prof::ActivationScope scope(&profiler);
+    PROF_PHASE("gone");
+  }
+  EXPECT_EQ(profiler.report().scope_count("gone"), 1u);
+  profiler.clear();
+  EXPECT_EQ(profiler.report().scope_count("gone"), 0u);
+}
+
+TEST(PhaseProfiler, PhaseInternIsStable) {
+  const auto a = prof::phase_id("intern.same");
+  const auto b = prof::phase_id("intern.same");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(prof::phase_name(a), "intern.same");
+  EXPECT_NE(prof::phase_id("intern.other"), a);
+}
+
+}  // namespace
+}  // namespace harvest::obs
